@@ -1,0 +1,323 @@
+// Benchmarks regenerating every experiment of DESIGN.md's per-experiment
+// index. The simulated experiments (E1–E6) report the paper's quantities —
+// steps, distinct base objects, RMRs — as custom metrics (wall-clock time
+// of a simulator is not the object of study); E8 benchmarks the native stm
+// package for real throughput.
+package progressivetm
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/stm"
+	"repro/stm/norecstm"
+)
+
+var (
+	e1Sizes  = []int{8, 32, 128}
+	e3Procs  = []int{2, 4, 8, 16, 32}
+	tmNames  = []string{"irtm", "tl2", "norec", "vrtm", "sgltm", "mvtm", "mvtm-gc", "dstm", "tml"}
+	rmrLocks = []string{"lm:irtm", "lm:norec", "lm:sgltm", "tas", "ttas", "ticket", "anderson", "mcs", "clh", "bakery", "tournament", "llsc"}
+)
+
+// BenchmarkE1ValidationSteps regenerates experiment E1 (Theorem 3(1), the
+// read-validation step-complexity figure): reader steps per committed
+// read-only transaction of m reads, solo and against the Lemma-2 adversary.
+func BenchmarkE1ValidationSteps(b *testing.B) {
+	for _, name := range tmNames {
+		for _, adversary := range []bool{false, true} {
+			if adversary && name == "sgltm" {
+				continue // blocking TM: the adversary execution does not exist
+			}
+			mode := "solo"
+			if adversary {
+				mode = "adversary"
+			}
+			for _, m := range e1Sizes {
+				b.Run(fmt.Sprintf("tm=%s/mode=%s/m=%d", name, mode, m), func(b *testing.B) {
+					var last exp.E1Row
+					for i := 0; i < b.N; i++ {
+						rows, err := exp.RunE1(name, []int{m}, adversary)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = rows[0]
+					}
+					b.ReportMetric(float64(last.TotalSteps), "steps/txn")
+					b.ReportMetric(float64(last.LastReadSteps), "steps/lastread")
+					b.ReportMetric(float64(last.Attempts), "attempts")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE2SpaceLastRead regenerates experiment E2 (Theorem 3(2), the
+// space figure): distinct base objects accessed during the m-th read and
+// tryCommit.
+func BenchmarkE2SpaceLastRead(b *testing.B) {
+	for _, name := range tmNames {
+		for _, m := range e1Sizes {
+			b.Run(fmt.Sprintf("tm=%s/m=%d", name, m), func(b *testing.B) {
+				var last exp.E2Row
+				for i := 0; i < b.N; i++ {
+					rows, err := exp.RunE2(name, []int{m}, false)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = rows[0]
+				}
+				b.ReportMetric(float64(last.DistinctObjs), "objects/lastread+tryC")
+				b.ReportMetric(float64(last.Bound), "bound(m-1)")
+			})
+		}
+	}
+}
+
+// BenchmarkE3RMR regenerates experiment E3 (Theorem 9, the RMR figure):
+// total RMRs when n processes each acquire the lock k times, per cache
+// model, for L(M) over each strongly progressive TM and for the classic
+// spin-lock baselines.
+func BenchmarkE3RMR(b *testing.B) {
+	const k = 4
+	for _, lock := range rmrLocks {
+		for _, model := range []string{"cc-wt", "cc-wb", "dsm"} {
+			for _, n := range e3Procs {
+				b.Run(fmt.Sprintf("lock=%s/model=%s/n=%d", lock, model, n), func(b *testing.B) {
+					var last exp.E3Row
+					for i := 0; i < b.N; i++ {
+						rows, err := exp.RunE3(lock, model, []int{n}, k, 42)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = rows[0]
+						if last.Violations != 0 {
+							b.Fatalf("mutual exclusion violated %d times", last.Violations)
+						}
+					}
+					b.ReportMetric(float64(last.TotalRMRs), "rmrs/run")
+					b.ReportMetric(last.PerAcq, "rmrs/acq")
+					b.ReportMetric(last.NLogN, "nlogn-ref")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE4Overhead regenerates experiment E4 (Theorem 7): the hand-off
+// RMRs of L(M) per acquisition, which the theorem bounds by O(1).
+func BenchmarkE4Overhead(b *testing.B) {
+	const k = 4
+	for _, lock := range []string{"lm:irtm", "lm:norec", "lm:sgltm"} {
+		for _, model := range []string{"cc-wt", "cc-wb", "dsm"} {
+			for _, n := range []int{2, 8, 32} {
+				b.Run(fmt.Sprintf("lock=%s/model=%s/n=%d", lock, model, n), func(b *testing.B) {
+					var last exp.E4Row
+					for i := 0; i < b.N; i++ {
+						rows, err := exp.RunE4(lock, model, []int{n}, k, 42)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = rows[0]
+					}
+					b.ReportMetric(float64(last.TMRMRs), "tm-rmrs")
+					b.ReportMetric(float64(last.HandoffRMRs), "handoff-rmrs")
+					b.ReportMetric(last.HandoffPerAcq, "handoff-rmrs/acq")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkE6Tightness regenerates experiment E6 (Section 6): irtm's exact
+// match of the m(m−1)/2 + 3m closed form.
+func BenchmarkE6Tightness(b *testing.B) {
+	for _, m := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			var last exp.E6Row
+			for i := 0; i < b.N; i++ {
+				rows, err := exp.RunE6([]int{m})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows[0]
+				if last.Measured != last.Formula {
+					b.Fatalf("measured %d ≠ formula %d", last.Measured, last.Formula)
+				}
+			}
+			b.ReportMetric(float64(last.Measured), "steps")
+		})
+	}
+}
+
+// BenchmarkE7Progress regenerates experiment E7: committed/aborted split of
+// the randomized contention workload per TM.
+func BenchmarkE7Progress(b *testing.B) {
+	for _, name := range tmNames {
+		b.Run("tm="+name, func(b *testing.B) {
+			var last exp.E7Row
+			for i := 0; i < b.N; i++ {
+				row, err := exp.RunE7(name, exp.E7Config{
+					Procs: 4, TxnsPerProc: 8, Objects: 4, OpsPerTxn: 3,
+					WriteRatio: 0.5, Seed: int64(i) + 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			total := float64(last.Committed + last.Aborted)
+			b.ReportMetric(float64(last.Committed), "committed")
+			b.ReportMetric(float64(last.Aborted), "aborted")
+			if total > 0 {
+				b.ReportMetric(float64(last.Aborted)/total, "abort-ratio")
+			}
+		})
+	}
+}
+
+// BenchmarkE8NativeCounter measures the native stm package: contended
+// read-modify-write transactions (the workload whose validation cost
+// Theorem 3 bounds).
+func BenchmarkE8NativeCounter(b *testing.B) {
+	ctr := stm.NewVar(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				ctr.Set(tx, ctr.Get(tx)+1)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkE8NativeReadOnly measures invisible-read scaling: read-only
+// transactions over disjoint-ish hot data.
+func BenchmarkE8NativeReadOnly(b *testing.B) {
+	const vars = 64
+	vs := make([]*stm.Var[int], vars)
+	for i := range vs {
+		vs[i] = stm.NewVar(i)
+	}
+	for _, m := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("readset=%d", m), func(b *testing.B) {
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						s := 0
+						for i := 0; i < m; i++ {
+							s += vs[i].Get(tx)
+						}
+						_ = s
+						return nil
+					})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkE8NativeBank measures mixed transfer transactions across many
+// accounts (low conflict probability, the DAP-friendly regime).
+func BenchmarkE8NativeBank(b *testing.B) {
+	const accounts = 256
+	vs := make([]*stm.Var[int], accounts)
+	for i := range vs {
+		vs[i] = stm.NewVar(1000)
+	}
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			from := vs[(i*2654435761)%accounts]
+			to := vs[(i*40503+17)%accounts]
+			if from == to {
+				continue
+			}
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				f := from.Get(tx)
+				from.Set(tx, f-1)
+				to.Set(tx, to.Get(tx)+1)
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkE8EngineCompare runs identical workloads on the two native
+// engines (TL2 in repro/stm, NOrec in repro/stm/norecstm) — the ablation of
+// DESIGN.md's E8 row carried into native code: same invisible-read scaling
+// for read-only work, different write-side costs (per-variable locks vs.
+// one global sequence lock).
+func BenchmarkE8EngineCompare(b *testing.B) {
+	b.Run("engine=tl2/readonly", func(b *testing.B) {
+		vars := make([]*stm.Var[int], 16)
+		for i := range vars {
+			vars[i] = stm.NewVar(i)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					s := 0
+					for _, v := range vars {
+						s += v.Get(tx)
+					}
+					_ = s
+					return nil
+				})
+			}
+		})
+	})
+	b.Run("engine=norec/readonly", func(b *testing.B) {
+		vars := make([]*norecstm.Var[int], 16)
+		for i := range vars {
+			vars[i] = norecstm.NewVar(i)
+		}
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+					s := 0
+					for _, v := range vars {
+						s += v.Get(tx)
+					}
+					_ = s
+					return nil
+				})
+			}
+		})
+	})
+	b.Run("engine=tl2/disjoint-writes", func(b *testing.B) {
+		vars := make([]*stm.Var[int], 64)
+		for i := range vars {
+			vars[i] = stm.NewVar(0)
+		}
+		var seq atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v := vars[seq.Add(1)%64]
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					v.Set(tx, v.Get(tx)+1)
+					return nil
+				})
+			}
+		})
+	})
+	b.Run("engine=norec/disjoint-writes", func(b *testing.B) {
+		vars := make([]*norecstm.Var[int], 64)
+		for i := range vars {
+			vars[i] = norecstm.NewVar(0)
+		}
+		var seq atomic.Uint64
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				v := vars[seq.Add(1)%64]
+				_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+					v.Set(tx, v.Get(tx)+1)
+					return nil
+				})
+			}
+		})
+	})
+}

@@ -1,0 +1,75 @@
+// Command rmrsim runs one contended mutual-exclusion execution on the
+// simulated memory and prints a per-process breakdown of steps and RMRs —
+// the microscope view behind experiment E3's aggregates.
+//
+// Usage:
+//
+//	rmrsim [-lock lm:irtm] [-model cc-wb] [-n 8] [-k 4] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	ptm "repro"
+	"repro/internal/memory"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		lockName = flag.String("lock", "lm:irtm", "lock algorithm (see tmbench -exp e3)")
+		model    = flag.String("model", "cc-wb", "cache model: cc-wt, cc-wb, dsm")
+		n        = flag.Int("n", 8, "number of processes")
+		k        = flag.Int("k", 4, "acquisitions per process")
+		seed     = flag.Int64("seed", 42, "scheduling seed")
+	)
+	flag.Parse()
+
+	mem := ptm.NewMemory(*n, *model)
+	if mem == nil {
+		fatal(fmt.Errorf("unknown cache model %q", *model))
+	}
+	lock, err := ptm.NewLock(*lockName, mem)
+	if err != nil {
+		fatal(err)
+	}
+	s := sched.New(mem)
+	for i := 0; i < *n; i++ {
+		s.Go(i, func(p *memory.Proc) {
+			for j := 0; j < *k; j++ {
+				lock.Enter(p)
+				lock.Exit(p)
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(*seed)); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("lock=%s model=%s n=%d k=%d seed=%d\n\n", *lockName, *model, *n, *k, *seed)
+	t := ptm.Table{Header: []string{"proc", "steps", "rmrs", "rmrs/acq"}}
+	lm, isLM := lock.(*mutex.LM)
+	if isLM {
+		t.Header = append(t.Header, "tm-rmrs", "handoff-rmrs")
+	}
+	for i := 0; i < *n; i++ {
+		p := mem.Proc(i)
+		cells := []any{i, p.Steps(), p.RMRs(), float64(p.RMRs()) / float64(*k)}
+		if isLM {
+			cells = append(cells, lm.TMRMRs(i), p.RMRs()-lm.TMRMRs(i))
+		}
+		t.Add(cells...)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	fmt.Printf("total: steps=%d rmrs=%d (%.2f rmrs/acquisition over %d acquisitions)\n",
+		mem.TotalSteps(), mem.TotalRMRs(),
+		float64(mem.TotalRMRs())/float64(*n**k), *n**k)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rmrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,360 @@
+// Command tmbench regenerates the experiment tables of DESIGN.md's
+// per-experiment index from the command line.
+//
+// Usage:
+//
+//	tmbench -exp e1 [-tms irtm,tl2] [-ms 4,8,16,32] [-adversary]
+//	tmbench -exp e2 [-tms irtm,tl2] [-ms 4,8,16,32] [-adversary]
+//	tmbench -exp e3 [-locks lm:irtm,mcs] [-models cc-wb,dsm] [-ns 2,4,8] [-k 4] [-seed 42]
+//	tmbench -exp e4 [-locks lm:irtm] [-models cc-wb] [-ns 2,8,32] [-k 4]
+//	tmbench -exp e6 [-ms 4,8,16,32]
+//	tmbench -exp e7 [-tms irtm] [-seed 42]
+//	tmbench -exp all        # every table with default parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	ptm "repro"
+	"repro/internal/exp"
+)
+
+func main() {
+	var (
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e6, e7, or all")
+		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
+		locks     = flag.String("locks", strings.Join(ptm.Locks(), ","), "comma-separated lock algorithms")
+		models    = flag.String("models", strings.Join(ptm.CacheModels(), ","), "comma-separated cache models")
+		ms        = flag.String("ms", "4,8,16,32,64", "comma-separated read-set sizes")
+		ns        = flag.String("ns", "2,4,8,16,32", "comma-separated process counts")
+		k         = flag.Int("k", 4, "acquisitions per process (e3/e4)")
+		seed      = flag.Int64("seed", 42, "scheduling seed")
+		adversary = flag.Bool("adversary", false, "run e1/e2 against the Lemma-2 adversary")
+	)
+	flag.Parse()
+
+	cfg := config{
+		tms:    split(*tms),
+		locks:  split(*locks),
+		models: split(*models),
+		ms:     ints(*ms),
+		ns:     ints(*ns),
+		k:      *k,
+		seed:   *seed,
+		adv:    *adversary,
+	}
+	var err error
+	switch *expName {
+	case "e1":
+		err = runE1(cfg)
+	case "e2":
+		err = runE2(cfg)
+	case "e3":
+		err = runE3(cfg)
+	case "e4":
+		err = runE4(cfg)
+	case "e5":
+		err = runE5(cfg)
+	case "e6":
+		err = runE6(cfg)
+	case "e7":
+		err = runE7(cfg)
+	case "class":
+		err = runClass(cfg)
+	case "mc":
+		err = runMC(cfg)
+	case "all":
+		solo, adv := cfg, cfg
+		solo.adv, adv.adv = false, true
+		steps := []func() error{
+			func() error { return runClass(cfg) },
+			func() error { return runE1(solo) },
+			func() error { return runE1(adv) },
+			func() error { return runE2(solo) },
+			func() error { return runE2(adv) },
+			func() error { return runE3(cfg) },
+			func() error { return runE4(cfg) },
+			func() error { return runE5(cfg) },
+			func() error { return runE6(cfg) },
+			func() error { return runE7(cfg) },
+		}
+		for _, f := range steps {
+			if err = f(); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown experiment %q", *expName)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tmbench:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	tms, locks, models []string
+	ms, ns             []int
+	k                  int
+	seed               int64
+	adv                bool
+}
+
+func split(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func ints(s string) []int {
+	var out []int
+	for _, p := range split(s) {
+		n, err := strconv.Atoi(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tmbench: bad integer %q\n", p)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func modeLabel(adv bool) string {
+	if adv {
+		return "adversary"
+	}
+	return "solo"
+}
+
+func runE1(c config) error {
+	t := ptm.Table{
+		Title:  fmt.Sprintf("E1 (Theorem 3(1)) — reader steps, %s", modeLabel(c.adv)),
+		Header: []string{"tm", "m", "attempts", "total-steps", "last-read-steps", "m(m-1)/2"},
+	}
+	for _, name := range c.tms {
+		rows, err := ptm.RunE1(name, c.ms, c.adv)
+		if err != nil {
+			if c.adv {
+				fmt.Fprintf(os.Stderr, "tmbench: skipping %s: %v\n", name, err)
+				continue
+			}
+			return err
+		}
+		for _, r := range rows {
+			t.Add(r.TM, r.M, r.Attempts, r.TotalSteps, r.LastReadSteps, uint64(r.M)*uint64(r.M-1)/2)
+		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runE2(c config) error {
+	t := ptm.Table{
+		Title:  fmt.Sprintf("E2 (Theorem 3(2)) — distinct base objects in last read + tryC, %s", modeLabel(c.adv)),
+		Header: []string{"tm", "m", "distinct-objects", "bound(m-1)"},
+	}
+	for _, name := range c.tms {
+		rows, err := ptm.RunE2(name, c.ms, c.adv)
+		if err != nil {
+			if c.adv {
+				fmt.Fprintf(os.Stderr, "tmbench: skipping %s: %v\n", name, err)
+				continue
+			}
+			return err
+		}
+		for _, r := range rows {
+			t.Add(r.TM, r.M, r.DistinctObjs, r.Bound)
+		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runE3(c config) error {
+	for _, model := range c.models {
+		t := ptm.Table{
+			Title:  fmt.Sprintf("E3 (Theorem 9) — RMRs, model=%s, k=%d", model, c.k),
+			Header: []string{"lock", "n", "total-rmrs", "rmrs/acq", "nk·log2(n)", "violations"},
+		}
+		for _, lock := range c.locks {
+			rows, err := ptm.RunE3(lock, model, c.ns, c.k, c.seed)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				t.Add(r.Lock, r.N, r.TotalRMRs, r.PerAcq, r.NLogN, r.Violations)
+			}
+		}
+		ptm.PrintTable(os.Stdout, &t)
+	}
+	return nil
+}
+
+func runE4(c config) error {
+	for _, model := range c.models {
+		t := ptm.Table{
+			Title:  fmt.Sprintf("E4 (Theorem 7) — L(M) RMR split, model=%s, k=%d", model, c.k),
+			Header: []string{"lock", "n", "tm-rmrs", "handoff-rmrs", "handoff-rmrs/acq"},
+		}
+		for _, lock := range c.locks {
+			if !strings.HasPrefix(lock, "lm:") {
+				continue
+			}
+			rows, err := ptm.RunE4(lock, model, c.ns, c.k, c.seed)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				t.Add(r.Lock, r.N, r.TMRMRs, r.HandoffRMRs, r.HandoffPerAcq)
+			}
+		}
+		ptm.PrintTable(os.Stdout, &t)
+	}
+	return nil
+}
+
+// runMC runs the exhaustive (bounded-preemption) mutual-exclusion model
+// check for each lock, two processes, one acquisition each.
+func runMC(c config) error {
+	t := ptm.Table{
+		Title:  "MC — exhaustive mutual-exclusion check (n=2, k=1, ≤2 preemptions)",
+		Header: []string{"lock", "runs", "truncated", "exhausted", "violation"},
+	}
+	for _, lockName := range c.locks {
+		lockName := lockName
+		build := func() (*ptm.Scheduler, func() error) {
+			mem := ptm.NewMemory(2, "")
+			lock, err := ptm.NewLock(lockName, mem)
+			if err != nil {
+				panic(err)
+			}
+			scratch := mem.Alloc("cs.scratch")
+			inCS := 0
+			s := ptm.NewScheduler(mem)
+			for i := 0; i < 2; i++ {
+				s.Go(i, func(p *ptm.Proc) {
+					lock.Enter(p)
+					inCS++
+					if inCS > 1 {
+						panic("mutual exclusion violated")
+					}
+					p.Read(scratch)
+					inCS--
+					lock.Exit(p)
+				})
+			}
+			return s, func() error { return nil }
+		}
+		res, err := ptm.Explore(build, ptm.ExploreOpts{MaxPreemptions: 2, MaxRuns: 60_000})
+		violation := "none"
+		if err != nil {
+			violation = err.Error()
+			if len(violation) > 48 {
+				violation = violation[:48] + "…"
+			}
+		}
+		t.Add(lockName, res.Runs, res.Truncated, res.Exhausted, violation)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runClass(c config) error {
+	t := ptm.Table{
+		Title: "TM taxonomy — measured class membership (✗ = counterexample found)",
+		Header: []string{"tm", "weak-dap", "inv-reads", "weak-inv-reads",
+			"progressive", "strong-1item", "opaque", "declared"},
+	}
+	mark := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "✗"
+	}
+	for _, name := range c.tms {
+		row, err := exp.Classify(name, 6)
+		if err != nil {
+			return err
+		}
+		t.Add(row.TM, mark(row.WeakDAP), mark(row.InvisibleReads), mark(row.WeakInvisibleReads),
+			mark(row.Progressive), mark(row.StrongSingleItem), mark(row.Opaque), row.Declared.String())
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runE5(c config) error {
+	t := ptm.Table{
+		Title:  "E5 — contention sweep: abort ratio and steps per committed txn",
+		Header: []string{"tm", "write-ratio", "commits", "aborts", "abort-ratio", "steps/txn", "base-objects"},
+	}
+	cfg := exp.DefaultE5Config()
+	cfg.Seed = c.seed
+	for _, name := range c.tms {
+		rows, err := exp.RunE5(name, cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			t.Add(r.TM, r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
+		}
+		if name == "dstm" || name == "vrtm" {
+			// The contention-management ablation: the same sweep with
+			// exponential backoff between retries.
+			bcfg := cfg
+			bcfg.Backoff = true
+			rows, err := exp.RunE5(name, bcfg)
+			if err != nil {
+				return err
+			}
+			for _, r := range rows {
+				t.Add(r.TM+"+backoff", r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
+			}
+		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runE6(c config) error {
+	rows, err := ptm.RunE6(c.ms)
+	if err != nil {
+		return err
+	}
+	t := ptm.Table{
+		Title:  "E6 (Section 6) — irtm tightness vs m(m-1)/2 + 3m",
+		Header: []string{"m", "measured-steps", "formula", "match"},
+	}
+	for _, r := range rows {
+		t.Add(r.M, r.Measured, r.Formula, r.Measured == r.Formula)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+func runE7(c config) error {
+	t := ptm.Table{
+		Title:  "E7 — randomized contention: progress and correctness checks",
+		Header: []string{"tm", "committed", "aborted", "progress-viol", "strong-viol", "opaque", "strict-ser"},
+	}
+	for _, name := range c.tms {
+		row, err := ptm.RunE7(name, exp.E7Config{
+			Procs: 4, TxnsPerProc: 4, Objects: 4, OpsPerTxn: 3,
+			WriteRatio: 0.5, Seed: c.seed, CheckOpacity: true,
+		})
+		if err != nil {
+			return err
+		}
+		t.Add(row.TM, row.Committed, row.Aborted, row.ProgressViolations, row.StrongViolations, row.Opaque, row.StrictSerializable)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}

@@ -1,0 +1,189 @@
+// intset: a concurrent sorted linked-list set built from transactional
+// variables — the classic STM data-structure workload (the kind of
+// composable structure the paper's introduction motivates: no hand-over-
+// hand locking, just sequential list code inside transactions).
+//
+// Run with: go run ./examples/intset
+//
+// Several goroutines run a mixed insert/remove/contains workload; the
+// program then verifies the set against a sequential model built from the
+// same operation log.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+
+	"repro/stm"
+)
+
+// node is a list cell. Key is immutable; next is transactional.
+type node struct {
+	key  int
+	next *stm.Var[*node]
+}
+
+// Set is a sorted singly-linked integer set with transactional operations.
+type Set struct {
+	head *stm.Var[*node] // first real node (list is sorted ascending)
+}
+
+// NewSet returns an empty set.
+func NewSet() *Set {
+	return &Set{head: stm.NewVar[*node](nil)}
+}
+
+// locate returns the vars around key: prev points at the first node with
+// key ≥ target (or nil), cur is that node.
+func (s *Set) locate(tx *stm.Tx, key int) (prev *stm.Var[*node], cur *node) {
+	prev = s.head
+	cur = prev.Get(tx)
+	for cur != nil && cur.key < key {
+		prev = cur.next
+		cur = prev.Get(tx)
+	}
+	return prev, cur
+}
+
+// Insert adds key, reporting whether it was absent.
+func (s *Set) Insert(key int) bool {
+	var added bool
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		prev, cur := s.locate(tx, key)
+		if cur != nil && cur.key == key {
+			added = false
+			return nil
+		}
+		prev.Set(tx, &node{key: key, next: stm.NewVar(cur)})
+		added = true
+		return nil
+	}))
+	return added
+}
+
+// Remove deletes key, reporting whether it was present.
+func (s *Set) Remove(key int) bool {
+	var removed bool
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		prev, cur := s.locate(tx, key)
+		if cur == nil || cur.key != key {
+			removed = false
+			return nil
+		}
+		prev.Set(tx, cur.next.Get(tx))
+		removed = true
+		return nil
+	}))
+	return removed
+}
+
+// Contains reports whether key is present.
+func (s *Set) Contains(key int) bool {
+	var found bool
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		_, cur := s.locate(tx, key)
+		found = cur != nil && cur.key == key
+		return nil
+	}))
+	return found
+}
+
+// Snapshot returns the sorted contents in one consistent transaction.
+func (s *Set) Snapshot() []int {
+	var out []int
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		out = out[:0]
+		for cur := s.head.Get(tx); cur != nil; cur = cur.next.Get(tx) {
+			out = append(out, cur.key)
+		}
+		return nil
+	}))
+	return out
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+type op struct {
+	insert bool
+	key    int
+}
+
+func main() {
+	const (
+		workers = 6
+		opsEach = 3_000
+		keys    = 200
+	)
+	set := NewSet()
+	logs := make([][]op, workers)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w+1) * 0x9e3779b97f4a7c15
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % n
+			}
+			for i := 0; i < opsEach; i++ {
+				k := next(keys)
+				switch next(10) {
+				case 0, 1, 2, 3: // 40% insert
+					if set.Insert(k) {
+						logs[w] = append(logs[w], op{insert: true, key: k})
+					}
+				case 4, 5: // 20% remove
+					if set.Remove(k) {
+						logs[w] = append(logs[w], op{insert: false, key: k})
+					}
+				default: // 40% lookup
+					set.Contains(k)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Every successful insert/remove is atomic, so per key the counts must
+	// reconcile: inserts - removes == final membership (0 or 1).
+	delta := map[int]int{}
+	for _, l := range logs {
+		for _, o := range l {
+			if o.insert {
+				delta[o.key]++
+			} else {
+				delta[o.key]--
+			}
+		}
+	}
+	final := set.Snapshot()
+	if !sort.IntsAreSorted(final) {
+		log.Fatalf("set not sorted: %v", final)
+	}
+	member := map[int]bool{}
+	for _, k := range final {
+		if member[k] {
+			log.Fatalf("duplicate key %d in set", k)
+		}
+		member[k] = true
+	}
+	for k := 0; k < keys; k++ {
+		want := delta[k] == 1
+		if delta[k] != 0 && delta[k] != 1 {
+			log.Fatalf("key %d: inserts-removes = %d; atomicity violated", k, delta[k])
+		}
+		if member[k] != want {
+			log.Fatalf("key %d: membership %v, log says %v", k, member[k], want)
+		}
+	}
+	fmt.Printf("%d workers × %d ops: set consistent, %d keys present\n", workers, opsEach, len(final))
+}

@@ -1,0 +1,72 @@
+// mutexrmr: the Section 5 demo. Builds the paper's Algorithm 1 mutex L(M)
+// from strongly progressive TMs, runs n processes through contended
+// acquisitions on the simulated machine under each cache model, and prints
+// measured RMRs next to the n·k·log₂(n) reference curve of Theorem 9 —
+// alongside the classic spin locks whose RMR behaviour brackets the story
+// (TAS: unbounded; MCS: O(1) even in DSM; CLH: O(1) only in CC).
+//
+// Run with: go run ./examples/mutexrmr
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	ptm "repro"
+)
+
+func main() {
+	ns := []int{2, 4, 8, 16, 32}
+	const k = 4
+
+	fmt.Println("Theorem 9: any strictly serializable, strongly progressive TM using")
+	fmt.Println("read/write/conditional primitives on one t-object has executions with")
+	fmt.Println("Ω(n log n) RMRs — proved by the reduction L(M) below (Algorithm 1).")
+	fmt.Println()
+
+	for _, model := range ptm.CacheModels() {
+		t := ptm.Table{
+			Title:  fmt.Sprintf("model=%s, k=%d acquisitions/process", model, k),
+			Header: []string{"lock", "n", "total-rmrs", "rmrs/acq", "nk·log2(n)"},
+		}
+		for _, lock := range []string{"lm:irtm", "lm:norec", "lm:sgltm", "tas", "ttas", "ticket", "anderson", "mcs", "clh", "bakery", "tournament"} {
+			rows, err := ptm.RunE3(lock, model, ns, k, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Violations != 0 {
+					log.Fatalf("%s: mutual exclusion violated!", lock)
+				}
+				t.Add(r.Lock, r.N, r.TotalRMRs, r.PerAcq, r.NLogN)
+			}
+		}
+		ptm.PrintTable(os.Stdout, &t)
+	}
+
+	fmt.Println("Theorem 7: L(M)'s RMR cost is the TM's cost plus O(1) hand-off per")
+	fmt.Println("acquisition. Measured split:")
+	fmt.Println()
+	for _, model := range ptm.CacheModels() {
+		t := ptm.Table{
+			Title:  "L(M) RMR split, model=" + model,
+			Header: []string{"lock", "n", "tm-rmrs", "handoff-rmrs", "handoff/acq"},
+		}
+		for _, lock := range []string{"lm:irtm", "lm:norec", "lm:sgltm"} {
+			rows, err := ptm.RunE4(lock, model, ns, k, 42)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for _, r := range rows {
+				t.Add(r.Lock, r.N, r.TMRMRs, r.HandoffRMRs, r.HandoffPerAcq)
+			}
+		}
+		ptm.PrintTable(os.Stdout, &t)
+	}
+	fmt.Println(strings.Repeat("-", 60))
+	fmt.Println("Note the hand-off column staying flat as n grows (Theorem 7's O(1)),")
+	fmt.Println("and MCS remaining O(1)/acq under DSM while CLH and the global-spin")
+	fmt.Println("locks degrade — the structure the Ω(n log n) bound lives in.")
+}

@@ -1,0 +1,113 @@
+// Quickstart: concurrent bank transfers with the native stm package.
+//
+// Run with: go run ./examples/quickstart
+//
+// Eight goroutines move money between ten accounts while two auditors
+// repeatedly snapshot the whole bank inside read-only transactions. Opacity
+// guarantees every audit sees a conserved total, and the final state
+// balances to the initial sum.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"repro/stm"
+)
+
+const (
+	accounts = 10
+	initial  = 1_000
+	workers  = 8
+	transfer = 2_000 // transfers per worker
+)
+
+func main() {
+	bank := make([]*stm.Var[int], accounts)
+	for i := range bank {
+		bank[i] = stm.NewVar(initial)
+	}
+
+	audit := func() int {
+		var sum int
+		err := stm.Atomically(func(tx *stm.Tx) error {
+			sum = 0
+			for _, acct := range bank {
+				sum += acct.Get(tx)
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("audit: %v", err)
+		}
+		return sum
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Auditors: read-only transactions must always see a conserved total.
+	audits := 0
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if got := audit(); got != accounts*initial {
+				log.Fatalf("audit saw a torn state: total = %d, want %d", got, accounts*initial)
+			}
+			audits++
+		}
+	}()
+
+	// Workers: random transfers.
+	var tg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		tg.Add(1)
+		go func() {
+			defer tg.Done()
+			rng := uint64(w)*0x9e3779b97f4a7c15 + 1
+			next := func(n int) int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % n
+			}
+			for i := 0; i < transfer; i++ {
+				from, to := next(accounts), next(accounts)
+				if from == to {
+					continue
+				}
+				amount := 1 + next(50)
+				err := stm.Atomically(func(tx *stm.Tx) error {
+					f := bank[from].Get(tx)
+					bank[from].Set(tx, f-amount)
+					bank[to].Set(tx, bank[to].Get(tx)+amount)
+					return nil
+				})
+				if err != nil {
+					log.Fatalf("transfer: %v", err)
+				}
+			}
+		}()
+	}
+	tg.Wait()
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("%d workers × %d transfers done; %d consistent audits\n", workers, transfer, audits)
+	total := 0
+	for i, acct := range bank {
+		v := acct.Load()
+		total += v
+		fmt.Printf("  account %d: %5d\n", i, v)
+	}
+	fmt.Printf("total: %d (expected %d)\n", total, accounts*initial)
+	if total != accounts*initial {
+		log.Fatal("conservation violated")
+	}
+}

@@ -1,0 +1,329 @@
+// Package check verifies recorded TM histories against the paper's
+// correctness and progress definitions (Section 3): opacity, strict
+// serializability, progressiveness, and the single-item case of strong
+// progressiveness. The serializability checkers perform an exhaustive
+// search over serialization orders respecting the real-time order, so they
+// are oracles for small histories (tests keep them under ~10 transactions),
+// not production validators.
+package check
+
+import (
+	"sort"
+
+	"repro/internal/tm"
+)
+
+// Result reports a checker outcome with the witnessing serialization (t-ids
+// in serial order) when the property holds.
+type Result struct {
+	OK    bool
+	Order []int // witness serialization, transaction IDs
+}
+
+// StrictlySerializable reports whether the history's committed transactions
+// have a legal t-complete t-sequential serialization that respects the
+// real-time order. Aborted and live transactions are ignored, per the
+// definition (S is equivalent to cseq of a completion).
+func StrictlySerializable(h *tm.History) Result {
+	return serialize(h, false)
+}
+
+// Opaque reports whether *all* transactions — committed, aborted, and live
+// (completed by aborting) — fit a single legal t-sequential serialization
+// respecting real-time order, where aborted transactions observe consistent
+// reads but their writes take no effect.
+func Opaque(h *tm.History) Result {
+	return serialize(h, true)
+}
+
+func serialize(h *tm.History, includeAborted bool) Result {
+	var txns []*tm.TxnRecord
+	for _, t := range h.Txns {
+		if t.Status == tm.TxnCommitted || includeAborted {
+			txns = append(txns, t)
+		}
+	}
+	n := len(txns)
+	if n == 0 {
+		return Result{OK: true}
+	}
+	// pred[i] = indices that must precede i (real-time order).
+	pred := make([][]int, n)
+	for i, a := range txns {
+		for j, b := range txns {
+			if i != j && h.PrecedesRT(b, a) {
+				pred[i] = append(pred[i], j)
+			}
+		}
+	}
+	placed := make([]bool, n)
+	order := make([]int, 0, n)
+	mem := map[int]tm.Value{}
+
+	var dfs func(k int) bool
+	dfs = func(k int) bool {
+		if k == n {
+			return true
+		}
+	next:
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			for _, j := range pred[i] {
+				if !placed[j] {
+					continue next
+				}
+			}
+			writes, ok := legal(txns[i], mem)
+			if !ok {
+				continue
+			}
+			placed[i] = true
+			order = append(order, txns[i].ID)
+			var saved map[int]tm.Value
+			if txns[i].Status == tm.TxnCommitted && len(writes) > 0 {
+				saved = make(map[int]tm.Value, len(writes))
+				for x, v := range writes {
+					if old, ok := mem[x]; ok {
+						saved[x] = old
+					} else {
+						saved[x] = 0
+					}
+					mem[x] = v
+				}
+			}
+			if dfs(k + 1) {
+				return true
+			}
+			for x, v := range saved {
+				mem[x] = v
+			}
+			placed[i] = false
+			order = order[:k]
+		}
+		return false
+	}
+	if dfs(0) {
+		return Result{OK: true, Order: append([]int(nil), order...)}
+	}
+	return Result{OK: false}
+}
+
+// legal simulates t in isolation against mem (initial values are 0) and
+// reports the transaction's write set values plus whether every successful
+// read returned the latest written value.
+func legal(t *tm.TxnRecord, mem map[int]tm.Value) (map[int]tm.Value, bool) {
+	var pending map[int]tm.Value
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case tm.OpRead:
+			if op.Aborted {
+				continue // a read returning A_k constrains nothing
+			}
+			want, ok := pending[op.Obj]
+			if !ok {
+				want = mem[op.Obj] // zero default matches initial value
+			}
+			if op.Value != want {
+				return nil, false
+			}
+		case tm.OpWrite:
+			if op.Aborted {
+				continue
+			}
+			if pending == nil {
+				pending = make(map[int]tm.Value)
+			}
+			pending[op.Obj] = op.Value
+		}
+	}
+	return pending, true
+}
+
+// ProgressViolation describes an abort that progressiveness forbids: the
+// aborted transaction had no concurrent conflicting transaction.
+type ProgressViolation struct {
+	Txn int // ID of the wrongly aborted transaction
+}
+
+// Progressive verifies the paper's progressiveness condition on a recorded
+// history: every transaction that aborted must have a concurrent
+// transaction conflicting with it on some t-object (both access X, at least
+// one writes X). It returns all violations (empty means the history is
+// consistent with a progressive TM).
+func Progressive(h *tm.History) []ProgressViolation {
+	var out []ProgressViolation
+	for _, t := range h.Txns {
+		if t.Status != tm.TxnAborted {
+			continue
+		}
+		if !hasConcurrentConflict(h, t) {
+			out = append(out, ProgressViolation{Txn: t.ID})
+		}
+	}
+	return out
+}
+
+func hasConcurrentConflict(h *tm.History, t *tm.TxnRecord) bool {
+	for _, u := range h.Txns {
+		if u == t || h.PrecedesRT(t, u) || h.PrecedesRT(u, t) {
+			continue // not concurrent
+		}
+		if conflict(t, u) {
+			return true
+		}
+	}
+	return false
+}
+
+// conflict reports whether a and b conflict: a common data-set t-object
+// that is in the write set of at least one of them. Attempted accesses
+// (including those in aborted operations) count toward the data set, since
+// conflicts are what cause the aborts.
+func conflict(a, b *tm.TxnRecord) bool {
+	dset := func(t *tm.TxnRecord) (reads, writes map[int]bool) {
+		reads, writes = map[int]bool{}, map[int]bool{}
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case tm.OpRead:
+				reads[op.Obj] = true
+			case tm.OpWrite:
+				writes[op.Obj] = true
+			}
+		}
+		return
+	}
+	ra, wa := dset(a)
+	rb, wb := dset(b)
+	for x := range wa {
+		if rb[x] || wb[x] {
+			return true
+		}
+	}
+	for x := range wb {
+		if ra[x] || wa[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// StrongViolation describes a conflict group over at most one t-object in
+// which every transaction aborted, violating strong progressiveness
+// (Definition 1).
+type StrongViolation struct {
+	Txns []int // IDs of the all-aborted group
+	Obj  int   // the single conflict object, or -1 if the group is conflict-free
+}
+
+// StronglyProgressive checks Definition 1 on the history: for every
+// connected component Q of the conflict graph with |CObj(Q)| ≤ 1, some
+// transaction in Q is not aborted. (Connected components are the minimal
+// sets closed under conflict; any CTrans set is a union of components, so
+// checking components suffices.)
+func StronglyProgressive(h *tm.History) []StrongViolation {
+	n := len(h.Txns)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		if parent[i] != i {
+			parent[i] = find(parent[i])
+		}
+		return parent[i]
+	}
+	union := func(i, j int) { parent[find(i)] = find(j) }
+
+	// cobj[i] collects the t-objects on which txn i conflicts with anyone.
+	cobj := make([]map[int]bool, n)
+	for i := range cobj {
+		cobj[i] = map[int]bool{}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			objs := conflictObjs(h.Txns[i], h.Txns[j])
+			if len(objs) > 0 {
+				union(i, j)
+				for _, x := range objs {
+					cobj[i][x] = true
+					cobj[j][x] = true
+				}
+			}
+		}
+	}
+	groups := map[int][]int{}
+	for i := 0; i < n; i++ {
+		groups[find(i)] = append(groups[find(i)], i)
+	}
+	var out []StrongViolation
+	for _, members := range groups {
+		objs := map[int]bool{}
+		allAborted := true
+		for _, i := range members {
+			for x := range cobj[i] {
+				objs[x] = true
+			}
+			if h.Txns[i].Status != tm.TxnAborted {
+				allAborted = false
+			}
+		}
+		if len(objs) <= 1 && allAborted && len(members) > 0 {
+			hasAny := false
+			for _, i := range members {
+				if len(h.Txns[i].Ops) > 0 {
+					hasAny = true
+				}
+			}
+			if !hasAny {
+				continue
+			}
+			v := StrongViolation{Obj: -1}
+			for x := range objs {
+				v.Obj = x
+			}
+			for _, i := range members {
+				v.Txns = append(v.Txns, h.Txns[i].ID)
+			}
+			sort.Ints(v.Txns)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func conflictObjs(a, b *tm.TxnRecord) []int {
+	dset := func(t *tm.TxnRecord) (reads, writes map[int]bool) {
+		reads, writes = map[int]bool{}, map[int]bool{}
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case tm.OpRead:
+				reads[op.Obj] = true
+			case tm.OpWrite:
+				writes[op.Obj] = true
+			}
+		}
+		return
+	}
+	ra, wa := dset(a)
+	rb, wb := dset(b)
+	objs := map[int]bool{}
+	for x := range wa {
+		if rb[x] || wb[x] {
+			objs[x] = true
+		}
+	}
+	for x := range wb {
+		if ra[x] || wa[x] {
+			objs[x] = true
+		}
+	}
+	out := make([]int, 0, len(objs))
+	for x := range objs {
+		out = append(out, x)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,208 @@
+package check
+
+import (
+	"sort"
+
+	"repro/internal/tm"
+)
+
+// This file checks the paper's structural TM definitions — weak
+// disjoint-access parallelism and (weak) invisible reads — against
+// *measured* base-object access logs recorded by tm.Recorder, rather than
+// trusting each algorithm's self-declared Props.
+//
+// Contention is approximated observationally: two transactions contend on
+// a base object if both accessed it, at least one nontrivially, and the
+// transactions were concurrent. (The paper's definition is about being
+// concurrently *poised* to access; any poised pair in a finite execution
+// either performs the accesses — which we see — or never takes them.)
+
+// DAPViolation reports a pair of disjoint-access transactions that
+// nevertheless contended on a base object, contradicting weak DAP.
+type DAPViolation struct {
+	TxnA, TxnB int
+	BaseObj    uint64
+}
+
+// WeakDAP verifies Attiya et al.'s weak disjoint-access parallelism on a
+// recorded history: concurrent transactions may contend on a base object
+// only if their data sets intersect or are connected in the conflict graph
+// G(Ti, Tj, E) spanned by the data sets of transactions concurrent to
+// either. It requires a history recorded with base-access tracking.
+func WeakDAP(h *tm.History) []DAPViolation {
+	n := len(h.Txns)
+	type baseInfo struct{ trivial, nontrivial bool }
+	bases := make([]map[uint64]*baseInfo, n)
+	dsets := make([]map[int]bool, n)
+	for i, t := range h.Txns {
+		bases[i] = map[uint64]*baseInfo{}
+		dsets[i] = map[int]bool{}
+		for _, op := range t.Ops {
+			if op.Kind == tm.OpRead || op.Kind == tm.OpWrite {
+				dsets[i][op.Obj] = true
+			}
+			for _, a := range op.Accesses {
+				bi := bases[i][a.Obj]
+				if bi == nil {
+					bi = &baseInfo{}
+					bases[i][a.Obj] = bi
+				}
+				if a.Nontrivial {
+					bi.nontrivial = true
+				} else {
+					bi.trivial = true
+				}
+			}
+		}
+	}
+	concurrent := func(a, b *tm.TxnRecord) bool {
+		return !h.PrecedesRT(a, b) && !h.PrecedesRT(b, a)
+	}
+	var out []DAPViolation
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ti, tj := h.Txns[i], h.Txns[j]
+			if !concurrent(ti, tj) {
+				continue
+			}
+			if intersects(dsets[i], dsets[j]) {
+				continue // a shared t-object always licenses contention
+			}
+			if !disjointAccess(h, i, j, dsets) {
+				continue // connected through concurrent transactions
+			}
+			// Disjoint-access pair: any contention is a violation.
+			for b, bi := range bases[i] {
+				bj, ok := bases[j][b]
+				if !ok {
+					continue
+				}
+				if bi.nontrivial || bj.nontrivial {
+					out = append(out, DAPViolation{TxnA: ti.ID, TxnB: tj.ID, BaseObj: b})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].TxnA != out[b].TxnA {
+			return out[a].TxnA < out[b].TxnA
+		}
+		if out[a].TxnB != out[b].TxnB {
+			return out[a].TxnB < out[b].TxnB
+		}
+		return out[a].BaseObj < out[b].BaseObj
+	})
+	return out
+}
+
+func intersects(a, b map[int]bool) bool {
+	for x := range a {
+		if b[x] {
+			return true
+		}
+	}
+	return false
+}
+
+// disjointAccess implements the paper's Section 2 definition: Ti and Tj
+// are disjoint-access in E iff there is no path between a t-object in
+// Dset(Ti) and one in Dset(Tj) in the graph whose vertices are the
+// t-objects of transactions concurrent to Ti or Tj and whose edges connect
+// objects sharing a transaction's data set.
+func disjointAccess(h *tm.History, i, j int, dsets []map[int]bool) bool {
+	ti, tj := h.Txns[i], h.Txns[j]
+	inTau := func(t *tm.TxnRecord) bool {
+		if t == ti || t == tj {
+			return true
+		}
+		return (!h.PrecedesRT(t, ti) && !h.PrecedesRT(ti, t)) ||
+			(!h.PrecedesRT(t, tj) && !h.PrecedesRT(tj, t))
+	}
+	// Union-find over t-objects.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		p, ok := parent[x]
+		if !ok {
+			parent[x] = x
+			return x
+		}
+		if p != x {
+			parent[x] = find(p)
+		}
+		return parent[x]
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for k, t := range h.Txns {
+		if !inTau(t) {
+			continue
+		}
+		prev := -1
+		for x := range dsets[k] {
+			if prev >= 0 {
+				union(prev, x)
+			}
+			prev = x
+		}
+	}
+	for x := range dsets[i] {
+		for y := range dsets[j] {
+			if find(x) == find(y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReadVisibility describes an invisible-reads violation: a nontrivial
+// primitive applied within the scope the definition forbids.
+type ReadVisibility struct {
+	Txn   int
+	OpSeq int
+	Kind  tm.OpKind
+}
+
+// InvisibleReads checks the strong definition: for every read-only
+// transaction, no event of the transaction is nontrivial.
+func InvisibleReads(h *tm.History) []ReadVisibility {
+	var out []ReadVisibility
+	for _, t := range h.Txns {
+		if !t.ReadOnly() {
+			continue
+		}
+		for i := range t.Ops {
+			if t.Ops[i].NontrivialEvents() > 0 {
+				out = append(out, ReadVisibility{Txn: t.ID, OpSeq: t.Ops[i].Seq, Kind: t.Ops[i].Kind})
+			}
+		}
+	}
+	return out
+}
+
+// WeakInvisibleReads checks the paper's weak definition: for every
+// transaction with a non-empty read set that is concurrent with no other
+// transaction, its t-*read* operations apply no nontrivial events.
+func WeakInvisibleReads(h *tm.History) []ReadVisibility {
+	var out []ReadVisibility
+	for _, t := range h.Txns {
+		if len(t.ReadSet()) == 0 || hasConcurrent(h, t) {
+			continue
+		}
+		for i := range t.Ops {
+			if t.Ops[i].Kind == tm.OpRead && t.Ops[i].NontrivialEvents() > 0 {
+				out = append(out, ReadVisibility{Txn: t.ID, OpSeq: t.Ops[i].Seq, Kind: tm.OpRead})
+			}
+		}
+	}
+	return out
+}
+
+func hasConcurrent(h *tm.History, t *tm.TxnRecord) bool {
+	for _, u := range h.Txns {
+		if u != t && !h.PrecedesRT(t, u) && !h.PrecedesRT(u, t) {
+			return true
+		}
+	}
+	return false
+}

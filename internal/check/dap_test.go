@@ -1,0 +1,192 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// disjointWorkload runs two processes through concurrent update
+// transactions on disjoint t-objects ({0,1} vs {6,7}) and returns the
+// recorded history with base-access tracking.
+func disjointWorkload(t *testing.T, name string, seed int64) *tm.History {
+	t.Helper()
+	mem := memory.New(2, nil)
+	rec := tm.Record(tmreg.MustNew(name, mem, 8))
+	s := sched.New(mem)
+	for i := 0; i < 2; i++ {
+		i := i
+		lo := i * 6 // proc 0: objects 0,1; proc 1: objects 6,7
+		s.Go(i, func(p *memory.Proc) {
+			for n := 0; n < 3; n++ {
+				tx := rec.Begin(p)
+				ok := true
+				for _, x := range []int{lo, lo + 1} {
+					if _, err := tx.Read(x); err != nil {
+						ok = false
+						break
+					}
+					if tx.Write(x, uint64(n+1)) != nil {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					_ = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(seed)); err != nil {
+		t.Fatal(err)
+	}
+	return rec.History()
+}
+
+// TestWeakDAPMeasured verifies the paper's central classification
+// *empirically*: strict data-partitioned TMs produce no disjoint-access
+// contention, while every global-word TM does — measured from the actual
+// base-object access logs, matching each algorithm's declared Props.
+func TestWeakDAPMeasured(t *testing.T) {
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			claimsDAP := tmreg.MustNew(name, memory.New(1, nil), 1).Props().WeakDAP
+			sawViolation := false
+			for seed := int64(1); seed <= 6; seed++ {
+				h := disjointWorkload(t, name, seed)
+				v := check.WeakDAP(h)
+				if len(v) > 0 {
+					sawViolation = true
+					if claimsDAP {
+						t.Fatalf("seed %d: %s claims weak DAP but contended on base object %d between disjoint txns T%d/T%d",
+							seed, name, v[0].BaseObj, v[0].TxnA, v[0].TxnB)
+					}
+				}
+			}
+			if !claimsDAP && !sawViolation {
+				t.Errorf("%s claims ¬weak-DAP but no disjoint-access contention was measured; the classification is untested", name)
+			}
+		})
+	}
+}
+
+// TestInvisibleReadsMeasured verifies each TM's read-visibility class
+// against the recorded logs: solo read-only transactions must apply no
+// nontrivial event iff the TM claims (weak) invisible reads.
+func TestInvisibleReadsMeasured(t *testing.T) {
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mem := memory.New(1, nil)
+			rec := tm.Record(tmreg.MustNew(name, mem, 4))
+			p := mem.Proc(0)
+			// One solo read-only transaction (in scope for both the strong
+			// and the weak definition).
+			tx := rec.Begin(p)
+			for x := 0; x < 4; x++ {
+				if _, err := tx.Read(x); err != nil {
+					t.Fatalf("solo read aborted: %v", err)
+				}
+			}
+			if err := tx.Commit(); err != nil {
+				t.Fatalf("solo commit aborted: %v", err)
+			}
+			h := rec.History()
+			props := tmreg.MustNew(name, memory.New(1, nil), 1).Props()
+			weakViol := check.WeakInvisibleReads(h)
+			if props.WeakInvisibleReads && len(weakViol) > 0 {
+				t.Errorf("%s claims weak invisible reads; measured %d nontrivial read events (first: %+v)",
+					name, len(weakViol), weakViol[0])
+			}
+			if !props.WeakInvisibleReads && len(weakViol) == 0 {
+				t.Errorf("%s claims visible reads but its solo reads applied no nontrivial event", name)
+			}
+			strongViol := check.InvisibleReads(h)
+			if props.InvisibleReads && len(strongViol) > 0 {
+				t.Errorf("%s claims invisible reads; measured violations %+v", name, strongViol)
+			}
+		})
+	}
+}
+
+// TestInvisibleReadsUnderConcurrency sharpens the strong/weak split: vrtm
+// fails both definitions, while NOrec-style TMs keep even concurrent
+// read-only transactions free of nontrivial events (strong invisibility in
+// the observational sense).
+func TestInvisibleReadsUnderConcurrency(t *testing.T) {
+	for _, name := range []string{"irtm", "norec", "tl2", "mvtm", "dstm", "tml"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mem := memory.New(2, nil)
+			rec := tm.Record(tmreg.MustNew(name, mem, 4))
+			s := sched.New(mem)
+			s.Go(0, func(p *memory.Proc) {
+				for n := 0; n < 3; n++ {
+					tx := rec.Begin(p)
+					ok := true
+					for x := 0; x < 3 && ok; x++ {
+						_, err := tx.Read(x)
+						ok = err == nil
+					}
+					if ok {
+						_ = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+				}
+			})
+			s.Go(1, func(p *memory.Proc) {
+				for n := 0; n < 3; n++ {
+					_ = tm.Atomically(rec, p, func(tx tm.Txn) error {
+						return tx.Write(3, uint64(n))
+					})
+				}
+			})
+			if err := s.Run(sched.NewRandom(11)); err != nil {
+				t.Fatal(err)
+			}
+			// Only inspect the read-only transactions of proc 0.
+			if v := check.InvisibleReads(rec.History()); len(v) > 0 {
+				t.Errorf("%s applied nontrivial events in concurrent read-only txns: %+v", name, v)
+			}
+		})
+	}
+}
+
+// TestDAPCheckerIgnoresConnectedContention verifies the G(Ti,Tj,E) clause:
+// two transactions with disjoint data sets that are *connected* through a
+// third concurrent transaction's data set may legally contend.
+func TestDAPCheckerIgnoresConnectedContention(t *testing.T) {
+	mem := memory.New(3, nil)
+	rec := tm.Record(tmreg.MustNew("irtm", mem, 4))
+	s := sched.New(mem)
+	// T0 on {0}, T1 on {2}, T2 spans {0,2}: the bridge makes T0,T1
+	// non-disjoint-access, so even direct contention would be licensed.
+	s.Go(0, func(p *memory.Proc) {
+		_ = tm.Atomically(rec, p, func(tx tm.Txn) error { return tx.Write(0, 1) })
+	})
+	s.Go(1, func(p *memory.Proc) {
+		_ = tm.Atomically(rec, p, func(tx tm.Txn) error { return tx.Write(2, 1) })
+	})
+	s.Go(2, func(p *memory.Proc) {
+		_ = tm.Atomically(rec, p, func(tx tm.Txn) error {
+			if err := tx.Write(0, 2); err != nil {
+				return err
+			}
+			return tx.Write(2, 2)
+		})
+	})
+	if err := s.Run(sched.NewRandom(5)); err != nil {
+		t.Fatal(err)
+	}
+	if v := check.WeakDAP(rec.History()); len(v) > 0 {
+		t.Fatalf("bridged transactions flagged as DAP violations: %+v", v)
+	}
+}

@@ -1,0 +1,156 @@
+package check_test
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tm/irtm"
+	"repro/internal/tm/lockword"
+)
+
+// brokenTM wraps irtm but skips read validation entirely — the exact bug
+// Theorem 3 says cannot be avoided for free. If the opacity checker is a
+// real oracle, randomized concurrent runs must flag it.
+type brokenTM struct {
+	mem  *memory.Memory
+	meta []*memory.Obj
+	val  []*memory.Obj
+}
+
+func newBroken(mem *memory.Memory, nobj int) *brokenTM {
+	return &brokenTM{
+		mem:  mem,
+		meta: mem.AllocArray("broken.meta", nobj),
+		val:  mem.AllocArray("broken.val", nobj),
+	}
+}
+
+func (t *brokenTM) Name() string    { return "broken" }
+func (t *brokenTM) NumObjects() int { return len(t.meta) }
+func (t *brokenTM) Props() tm.Props { return tm.Props{} }
+
+type brokenTxn struct {
+	t      *brokenTM
+	p      *memory.Proc
+	wvals  map[int]tm.Value
+	worder []int
+	done   bool
+}
+
+func (t *brokenTM) Begin(p *memory.Proc) tm.Txn { return &brokenTxn{t: t, p: p} }
+
+func (tx *brokenTxn) Aborted() bool { return false }
+
+// Read takes an unvalidated snapshot: no version check, no lock check, no
+// revalidation of earlier reads.
+func (tx *brokenTxn) Read(x int) (tm.Value, error) {
+	if v, ok := tx.wvals[x]; ok {
+		return v, nil
+	}
+	return tx.p.Read(tx.t.val[x]), nil
+}
+
+func (tx *brokenTxn) Write(x int, v tm.Value) error {
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit installs writes with no validation whatsoever.
+func (tx *brokenTxn) Commit() error {
+	for _, x := range tx.worder {
+		m := tx.p.Read(tx.t.meta[x])
+		tx.p.Write(tx.t.val[x], tx.wvals[x])
+		tx.p.Write(tx.t.meta[x], lockword.Unlocked(lockword.Version(m)+1))
+	}
+	tx.done = true
+	return nil
+}
+
+func (tx *brokenTxn) Abort() { tx.done = true }
+
+// TestCheckerCatchesBrokenTM plants the no-validation TM in a contended
+// workload and requires the serializability checker to reject at least one
+// seed. If this test fails, the checkers are rubber stamps and every other
+// "history is opaque" assertion in the suite is meaningless.
+func TestCheckerCatchesBrokenTM(t *testing.T) {
+	caught := false
+	for seed := int64(1); seed <= 40 && !caught; seed++ {
+		mem := memory.New(3, nil)
+		rec := tm.Record(newBroken(mem, 2))
+		s := sched.New(mem)
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Go(i, func(p *memory.Proc) {
+				for n := 0; n < 2; n++ {
+					tx := rec.Begin(p)
+					// read-modify-write both objects: torn snapshots and
+					// lost updates become visible to the checker.
+					for x := 0; x < 2; x++ {
+						v, _ := tx.Read(x)
+						_ = tx.Write(x, v+uint64(10*(i+1)))
+					}
+					_ = tx.Commit()
+				}
+			})
+		}
+		if err := s.Run(sched.NewRandom(seed)); err != nil {
+			t.Fatal(err)
+		}
+		if !check.StrictlySerializable(rec.History()).OK {
+			caught = true
+		}
+	}
+	if !caught {
+		t.Fatal("no seed produced a non-serializable history from the validation-free TM; checker is not discriminating")
+	}
+}
+
+// TestCorrectTMNeverCaught is the control: the same workload on irtm must
+// always pass (otherwise the broken-TM test could be flagging the workload
+// shape rather than the bug).
+func TestCorrectTMNeverCaught(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		mem := memory.New(3, nil)
+		rec := tm.Record(irtm.New(mem, 2))
+		s := sched.New(mem)
+		for i := 0; i < 3; i++ {
+			i := i
+			s.Go(i, func(p *memory.Proc) {
+				for n := 0; n < 2; n++ {
+					tx := rec.Begin(p)
+					ok := true
+					for x := 0; x < 2 && ok; x++ {
+						v, err := tx.Read(x)
+						if err != nil {
+							ok = false
+							break
+						}
+						if tx.Write(x, v+uint64(10*(i+1))) != nil {
+							ok = false
+						}
+					}
+					if ok {
+						_ = tx.Commit()
+					} else {
+						tx.Abort()
+					}
+				}
+			})
+		}
+		if err := s.Run(sched.NewRandom(seed)); err != nil {
+			t.Fatal(err)
+		}
+		if !check.StrictlySerializable(rec.History()).OK {
+			t.Fatalf("seed %d: irtm produced a non-serializable history:\n%s", seed, rec.History())
+		}
+	}
+}

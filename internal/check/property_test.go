@@ -1,0 +1,169 @@
+package check_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/check"
+	"repro/internal/tm"
+)
+
+// genHistory builds a random small history from a seed: up to 4
+// transactions over 2 t-objects with random interleaving, random reads
+// (returning arbitrary small values, possibly illegal) and random
+// completion statuses. The generator intentionally produces both legal and
+// illegal histories so the metamorphic properties below are exercised on
+// both sides.
+func genHistory(seed int64) *tm.History {
+	rng := rand.New(rand.NewSource(seed))
+	var b hb
+	ntxn := 2 + rng.Intn(3)
+	live := make([]*txb, 0, ntxn)
+	for i := 0; i < ntxn; i++ {
+		live = append(live, b.txn(i%3))
+	}
+	// Interleave operations randomly.
+	steps := 3 + rng.Intn(8)
+	for s := 0; s < steps && len(live) > 0; s++ {
+		t := live[rng.Intn(len(live))]
+		switch rng.Intn(3) {
+		case 0:
+			t.read(rng.Intn(2), tm.Value(rng.Intn(3)))
+		case 1:
+			t.write(rng.Intn(2), tm.Value(1+rng.Intn(3)))
+		case 2:
+			if rng.Intn(2) == 0 {
+				t.commit()
+			} else {
+				t.abort()
+			}
+			for i, u := range live {
+				if u == t {
+					live = append(live[:i], live[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for _, t := range live {
+		if rand.New(rand.NewSource(seed^0x5f5f)).Intn(2) == 0 {
+			t.commit()
+		} else {
+			t.abort()
+		}
+	}
+	return &b.h
+}
+
+// TestOpacityImpliesStrictSerializability: opacity is the strictly
+// stronger criterion — any history the opacity checker accepts must also
+// pass strict serializability.
+func TestOpacityImpliesStrictSerializability(t *testing.T) {
+	prop := func(seed int64) bool {
+		h := genHistory(seed % 100_000)
+		if check.Opaque(h).OK {
+			return check.StrictlySerializable(h).OK
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbortedTxnsIrrelevantToStrictSer: the strict-serializability verdict
+// depends only on the committed transactions, so deleting aborted ones
+// never changes it.
+func TestAbortedTxnsIrrelevantToStrictSer(t *testing.T) {
+	prop := func(seed int64) bool {
+		h := genHistory(seed % 100_000)
+		got := check.StrictlySerializable(h).OK
+		var pruned tm.History
+		for _, txn := range h.Txns {
+			if txn.Status == tm.TxnCommitted {
+				pruned.Txns = append(pruned.Txns, txn)
+			}
+		}
+		return got == check.StrictlySerializable(&pruned).OK
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWitnessOrderIsLegal: whenever a checker says OK, replaying its
+// witness order sequentially must reproduce every committed read.
+func TestWitnessOrderIsLegal(t *testing.T) {
+	prop := func(seed int64) bool {
+		h := genHistory(seed % 100_000)
+		r := check.StrictlySerializable(h)
+		if !r.OK {
+			return true
+		}
+		byID := map[int]*tm.TxnRecord{}
+		for _, txn := range h.Txns {
+			byID[txn.ID] = txn
+		}
+		mem := map[int]tm.Value{}
+		for _, id := range r.Order {
+			txn := byID[id]
+			pending := map[int]tm.Value{}
+			for _, op := range txn.Ops {
+				switch op.Kind {
+				case tm.OpRead:
+					if op.Aborted {
+						continue
+					}
+					want, ok := pending[op.Obj]
+					if !ok {
+						want = mem[op.Obj]
+					}
+					if op.Value != want {
+						return false // witness does not actually explain the history
+					}
+				case tm.OpWrite:
+					if !op.Aborted {
+						pending[op.Obj] = op.Value
+					}
+				}
+			}
+			if txn.Status == tm.TxnCommitted {
+				for x, v := range pending {
+					mem[x] = v
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRTOrderAntisymmetry: PrecedesRT is a strict partial order on any
+// generated history.
+func TestRTOrderAntisymmetry(t *testing.T) {
+	prop := func(seed int64) bool {
+		h := genHistory(seed % 100_000)
+		for _, a := range h.Txns {
+			if h.PrecedesRT(a, a) {
+				return false
+			}
+			for _, b := range h.Txns {
+				if a != b && h.PrecedesRT(a, b) && h.PrecedesRT(b, a) {
+					return false
+				}
+				for _, c := range h.Txns {
+					if h.PrecedesRT(a, b) && h.PrecedesRT(b, c) && !h.PrecedesRT(a, c) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package core encodes the paper's primary contribution — the lower-bound
+// arguments of Sections 4 and 5 — as executable constructions. The paper's
+// proofs build specific executions (Figure 1: π^{i−1}·ρ^i·α_i and its
+// variants with an extra writer β^ℓ) and argue about what any TM in the
+// hypothesis class must do in them; this package builds exactly those
+// executions against a concrete TM and reports what the TM did, so the
+// tests and experiments can compare measured behaviour with the proofs'
+// predictions.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// NewValue is the value nv written by the proofs' writer transactions
+// (distinct from the initial value 0).
+const NewValue tm.Value = 7777
+
+// Lemma2Result reports what happened in the execution π^{i−1}·ρ^i·α_i of
+// Lemma 2: the reader T_φ performs i−1 step contention-free reads, a writer
+// T_i then writes nv to X_i and commits, and T_φ performs its i-th read.
+type Lemma2Result struct {
+	I          int
+	ReadValue  tm.Value // value returned by read_φ(X_i), if it returned
+	Aborted    bool     // read_φ(X_i) returned A_φ
+	PriorReads []tm.Value
+}
+
+// Lemma2 constructs the Lemma 2 execution for the named TM with read-set
+// prefix length i (1-based: the transaction's i-th read is the measured
+// one). Lemma 2 proves that every strictly serializable weak-DAP TM with
+// sequential TM-progress *has* this execution with read_φ(X_i) → nv; a TM
+// outside the class may abort or return the old value instead, which the
+// result records.
+func Lemma2(name string, i int) (Lemma2Result, error) {
+	if i < 1 {
+		return Lemma2Result{}, fmt.Errorf("core: Lemma2 needs i ≥ 1, got %d", i)
+	}
+	mem := memory.New(2, nil)
+	tmi, err := tmreg.New(name, mem, i)
+	if err != nil {
+		return Lemma2Result{}, err
+	}
+	if !tmi.Props().ICFLiveness {
+		return Lemma2Result{}, fmt.Errorf("core: %s lacks ICF TM-liveness; the Lemma 2 execution does not exist for it", name)
+	}
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	res := Lemma2Result{I: i}
+
+	// π^{i−1}: complete step contention-free execution of T_φ's first i−1
+	// reads, from the initial (quiescent) configuration.
+	tphi := tmi.Begin(reader)
+	for x := 0; x < i-1; x++ {
+		v, err := tphi.Read(x)
+		if err != nil {
+			return res, fmt.Errorf("core: π^{i−1} read_φ(X_%d) aborted; sequential TM-progress violated", x+1)
+		}
+		res.PriorReads = append(res.PriorReads, v)
+	}
+
+	// ρ^i: T_i writes nv to X_i and commits, step contention-free.
+	committed, err := tm.Once(tmi, writer, func(w tm.Txn) error {
+		return w.Write(i-1, NewValue)
+	})
+	if err != nil {
+		return res, err
+	}
+	if !committed {
+		return res, errors.New("core: ρ^i writer aborted; weak invisible reads + sequential progress require it to commit")
+	}
+
+	// α_i: T_φ's i-th read.
+	v, err := tphi.Read(i - 1)
+	if err != nil {
+		res.Aborted = true
+		tphi.Abort()
+		return res, nil
+	}
+	res.ReadValue = v
+	tphi.Abort() // the lemma only concerns the read; complete T_φ
+	return res, nil
+}
+
+// Claim4Outcome classifies the response of read_φ(X_i) in the executions
+// E^i_{jℓ} of Claim 4.
+type Claim4Outcome int
+
+// Claim 4 outcomes: the claim proves the read returns the initial value v
+// or A_φ — never nv.
+const (
+	ReadInitial Claim4Outcome = iota // α^i_1: read_φ(X_i) → v
+	ReadAborted                      // α^i_2: read_φ(X_i) → A_φ
+	ReadNew                          // forbidden by Claim 4
+)
+
+func (o Claim4Outcome) String() string {
+	switch o {
+	case ReadInitial:
+		return "initial-value"
+	case ReadAborted:
+		return "aborted"
+	case ReadNew:
+		return "NEW-VALUE (violates Claim 4)"
+	}
+	return fmt.Sprintf("Claim4Outcome(%d)", int(o))
+}
+
+// Claim4 constructs E^i_{jℓ} = π^{i−1} · β^ℓ · ρ^i · α^i_j for the named
+// TM: T_φ reads X_1..X_{i−1}; T_ℓ writes nv to X_ℓ (one of the objects
+// already read) and commits; T_i writes nv to X_i and commits; then T_φ
+// performs read_φ(X_i). Claim 4 proves the read cannot return nv for X_i:
+// serializing T_φ after T_i would make read_φ(X_ℓ) = v illegal. ℓ is
+// 1-based and must satisfy 1 ≤ ℓ ≤ i−1.
+func Claim4(name string, i, l int) (Claim4Outcome, error) {
+	if i < 2 || l < 1 || l > i-1 {
+		return 0, fmt.Errorf("core: Claim4 needs i ≥ 2 and 1 ≤ ℓ ≤ i−1; got i=%d ℓ=%d", i, l)
+	}
+	mem := memory.New(3, nil)
+	tmi, err := tmreg.New(name, mem, i)
+	if err != nil {
+		return 0, err
+	}
+	if !tmi.Props().ICFLiveness {
+		return 0, fmt.Errorf("core: %s lacks ICF TM-liveness; the Claim 4 executions do not exist for it", name)
+	}
+	reader := mem.Proc(0)
+
+	// π^{i−1}.
+	tphi := tmi.Begin(reader)
+	for x := 0; x < i-1; x++ {
+		if _, err := tphi.Read(x); err != nil {
+			return 0, fmt.Errorf("core: π^{i−1} read_φ(X_%d) aborted", x+1)
+		}
+	}
+	// β^ℓ: T_ℓ writes X_ℓ and commits (weak invisible reads let it run as
+	// if T_φ's reads never happened).
+	if committed, err := tm.Once(tmi, mem.Proc(1), func(w tm.Txn) error {
+		return w.Write(l-1, NewValue)
+	}); err != nil {
+		return 0, err
+	} else if !committed {
+		return 0, fmt.Errorf("core: β^%d writer aborted; weak invisible reads require it to commit", l)
+	}
+	// ρ^i: T_i writes X_i and commits (disjoint from T_ℓ).
+	if committed, err := tm.Once(tmi, mem.Proc(2), func(w tm.Txn) error {
+		return w.Write(i-1, NewValue)
+	}); err != nil {
+		return 0, err
+	} else if !committed {
+		return 0, fmt.Errorf("core: ρ^%d writer aborted; disjoint data sets require it to commit", i)
+	}
+	// α^i_j: the response classifies the execution as E^i_{1ℓ} or E^i_{2ℓ}.
+	v, err := tphi.Read(i - 1)
+	tphi.Abort()
+	if err != nil {
+		return ReadAborted, nil
+	}
+	if v == NewValue {
+		return ReadNew, nil
+	}
+	return ReadInitial, nil
+}
+
+// Theorem3Prediction returns the step lower bound m(m−1)/2 the theorem
+// proves for an opaque weak-DAP weak-invisible-read TM with read sets of
+// size m, and the space bound m−1 of part (2).
+func Theorem3Prediction(m int) (steps uint64, distinctObjs int) {
+	mm := uint64(m)
+	return mm * (mm - 1) / 2, m - 1
+}

@@ -1,0 +1,178 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// E5Row is one cell of the contention-sweep ablation (experiment E5): a
+// fixed randomized workload executed to completion on one TM, reporting
+// how many transaction attempts aborted and how many steps each committed
+// transaction cost. Reading the table across TMs shows the design
+// trade-offs the paper formalizes: invisible-read validation (irtm, dstm)
+// pays steps; global-clock TMs (tl2, tml) pay spurious aborts; visible
+// reads (vrtm) pay writer aborts; blocking (sgltm) pays no aborts but
+// serializes everything; multi-versioning (mvtm) pays space.
+type E5Row struct {
+	TM          string
+	Procs       int
+	WriteRatio  float64
+	Commits     int
+	Aborts      int
+	AbortRatio  float64
+	TotalSteps  uint64
+	StepsPerTxn float64 // steps per committed transaction
+	Space       int     // base objects allocated (multi-version TMs grow)
+}
+
+// E5Config parameterizes the sweep workload.
+type E5Config struct {
+	Procs       int
+	TxnsPerProc int // committed transactions each process must complete
+	Objects     int
+	OpsPerTxn   int
+	WriteRatios []float64
+	Seed        int64
+
+	// Backoff enables exponential randomized backoff between retries: after
+	// the a-th consecutive abort a process spins on a private base object
+	// for up to 2^min(a,8) steps before retrying. This is the classic
+	// contention-management fix for the livelock-prone aggressive policies
+	// (visible in dstm's numbers without it), and the spins are real
+	// accounted steps, so the table shows what the remedy costs.
+	Backoff bool
+}
+
+// DefaultE5Config is the sweep used by benchmarks and tmbench.
+func DefaultE5Config() E5Config {
+	return E5Config{
+		Procs:       8,
+		TxnsPerProc: 20,
+		Objects:     16,
+		OpsPerTxn:   4,
+		WriteRatios: []float64{0.0, 0.2, 0.5, 0.9},
+		Seed:        42,
+	}
+}
+
+// RunE5 runs the sweep for one TM. Every process retries each transaction
+// until it commits (unlike E7, which records single attempts), so Commits
+// is fixed by the config and Aborts measures wasted attempts.
+func RunE5(name string, cfg E5Config) ([]E5Row, error) {
+	var rows []E5Row
+	for _, wr := range cfg.WriteRatios {
+		mem := memory.New(cfg.Procs, nil)
+		tmi, err := tmreg.New(name, mem, cfg.Objects)
+		if err != nil {
+			return nil, err
+		}
+		commits, aborts := 0, 0
+		scratch := make([]*memory.Obj, cfg.Procs)
+		for i := range scratch {
+			scratch[i] = mem.AllocAt(fmt.Sprintf("backoff[%d]", i), i)
+		}
+		s := sched.New(mem)
+		for i := 0; i < cfg.Procs; i++ {
+			i := i
+			rng := newSplitMix(uint64(cfg.Seed)*912367 + uint64(i+1))
+			s.Go(i, func(p *memory.Proc) {
+				for n := 0; n < cfg.TxnsPerProc; n++ {
+					// Pre-draw the operation mix so retries replay the same
+					// transaction (as a real retry loop would).
+					ops := make([]wlOp, cfg.OpsPerTxn)
+					for o := range ops {
+						ops[o] = wlOp{
+							x:     int(rng.next() % uint64(cfg.Objects)),
+							write: float64(rng.next()%1000)/1000 < wr,
+							v:     rng.next() % 1000,
+						}
+					}
+					consecutive := 0
+					for {
+						committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+							for _, op := range ops {
+								if op.write {
+									if err := tx.Write(op.x, op.v); err != nil {
+										return err
+									}
+								} else if _, err := tx.Read(op.x); err != nil {
+									return err
+								}
+							}
+							return nil
+						})
+						if err != nil {
+							panic(err)
+						}
+						if committed {
+							commits++
+							break
+						}
+						aborts++
+						consecutive++
+						if cfg.Backoff {
+							shift := consecutive
+							if shift > 8 {
+								shift = 8
+							}
+							spins := int(rng.next() % (uint64(1) << uint(shift)))
+							for b := 0; b < spins; b++ {
+								p.Read(scratch[i]) // local, accounted backoff step
+							}
+						}
+					}
+				}
+			})
+		}
+		if err := s.Run(sched.NewRandom(cfg.Seed)); err != nil {
+			return nil, fmt.Errorf("exp: e5 %s wr=%.1f: %w", name, wr, err)
+		}
+		row := E5Row{
+			TM: name, Procs: cfg.Procs, WriteRatio: wr,
+			Commits: commits, Aborts: aborts,
+			TotalSteps: mem.TotalSteps(),
+			Space:      mem.NumObjs(),
+		}
+		type versioned interface {
+			LiveVersions() int
+			Versions() int
+		}
+		if mv, ok := tmi.(versioned); ok {
+			// Multi-version TMs report *live* space: allocated arena slots
+			// never shrink, but GC bounds what stays reachable.
+			row.Space = mem.NumObjs() - 3*mv.Versions() + 3*mv.LiveVersions()
+		}
+		if commits+aborts > 0 {
+			row.AbortRatio = float64(aborts) / float64(commits+aborts)
+		}
+		if commits > 0 {
+			row.StepsPerTxn = float64(mem.TotalSteps()) / float64(commits)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+type wlOp struct {
+	x     int
+	write bool
+	v     uint64
+}
+
+// splitMix is the same tiny PRNG used by the conformance suite, duplicated
+// here so exp does not import a test-only package.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,106 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/check"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// E7Row summarizes a randomized concurrent run of one TM against the
+// paper's progress and correctness definitions: how many transactions
+// committed/aborted, and how many violations each checker found. For a TM
+// whose Props claim a property, the corresponding violation count must be
+// zero; ablations are *expected* to show non-zero counts for the properties
+// they give up.
+type E7Row struct {
+	TM                 string
+	Procs              int
+	TxnsPerProc        int
+	Objects            int
+	Seed               int64
+	Committed, Aborted int
+	ProgressViolations int
+	StrongViolations   int
+	OpacityChecked     bool // exhaustive check is run only on small histories
+	Opaque             bool
+	StrictSerializable bool
+}
+
+// E7Config parameterizes the randomized workload.
+type E7Config struct {
+	Procs        int
+	TxnsPerProc  int
+	Objects      int
+	OpsPerTxn    int
+	WriteRatio   float64 // probability an op is a write
+	Seed         int64
+	CheckOpacity bool // run the exhaustive serialization search (small runs only)
+}
+
+// RunE7 executes the randomized workload under seeded random scheduling,
+// records the history, and applies every checker from internal/check.
+func RunE7(name string, cfg E7Config) (E7Row, error) {
+	mem := memory.New(cfg.Procs, nil)
+	base, err := tmreg.New(name, mem, cfg.Objects)
+	if err != nil {
+		return E7Row{}, err
+	}
+	rec := tm.Record(base)
+	s := sched.New(mem)
+	for i := 0; i < cfg.Procs; i++ {
+		i := i
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+		s.Go(i, func(p *memory.Proc) {
+			for t := 0; t < cfg.TxnsPerProc; t++ {
+				tx := rec.Begin(p)
+				dead := false
+				for o := 0; o < cfg.OpsPerTxn; o++ {
+					x := rng.Intn(cfg.Objects)
+					if rng.Float64() < cfg.WriteRatio {
+						if tx.Write(x, uint64(rng.Intn(1000))) != nil {
+							dead = true
+							break
+						}
+					} else if _, err := tx.Read(x); err != nil {
+						dead = true
+						break
+					}
+				}
+				if dead {
+					tx.Abort()
+					continue
+				}
+				_ = tx.Commit() // abort is a legitimate outcome here
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(cfg.Seed)); err != nil {
+		return E7Row{}, fmt.Errorf("exp: e7 %s: %w", name, err)
+	}
+	h := rec.History()
+	row := E7Row{
+		TM: name, Procs: cfg.Procs, TxnsPerProc: cfg.TxnsPerProc,
+		Objects: cfg.Objects, Seed: cfg.Seed,
+	}
+	for _, t := range h.Txns {
+		switch t.Status {
+		case tm.TxnCommitted:
+			row.Committed++
+		case tm.TxnAborted:
+			row.Aborted++
+		}
+	}
+	row.ProgressViolations = len(check.Progressive(h))
+	row.StrongViolations = len(check.StronglyProgressive(h))
+	if cfg.CheckOpacity {
+		row.OpacityChecked = true
+		row.Opaque = check.Opaque(h).OK
+		row.StrictSerializable = check.StrictlySerializable(h).OK
+	}
+	return row, nil
+}

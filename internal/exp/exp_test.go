@@ -1,0 +1,471 @@
+package exp_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+func memNew() *memory.Memory { return memory.New(2, nil) }
+
+var e1Sizes = []int{4, 8, 16, 32}
+
+// TestE1SoloShapes pins the solo (π^m) step complexity of every TM to the
+// shape the paper predicts: quadratic for the invisible-read validating TM,
+// linear for every ablation.
+func TestE1SoloShapes(t *testing.T) {
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rows, err := exp.RunE1(name, e1Sizes, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Attempts != 1 {
+					t.Fatalf("m=%d: solo run took %d attempts, want 1", r.M, r.Attempts)
+				}
+				m := uint64(r.M)
+				quad := m*(m-1)/2 + 3*m
+				switch name {
+				case "irtm":
+					if r.TotalSteps != quad {
+						t.Errorf("m=%d: irtm steps %d, want exactly %d", r.M, r.TotalSteps, quad)
+					}
+				case "dstm":
+					// DSTM validates locator pointer + owner status per
+					// entry: quadratic with a different constant.
+					if r.TotalSteps < m*(m-1) {
+						t.Errorf("m=%d: dstm steps %d below its m(m-1) validation floor", r.M, r.TotalSteps)
+					}
+				default:
+					// Every ablation must be o(m²): allow a generous linear
+					// envelope (the cheapest quadratic term at m=32 is 496).
+					if r.TotalSteps > 8*m+8 {
+						t.Errorf("m=%d: %s steps %d exceed the linear envelope %d", r.M, name, r.TotalSteps, 8*m+8)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestE1AdversaryShapes pins the Lemma-2-adversary behaviour: the
+// weak-DAP invisible-read TMs pay Θ(m²) total reader steps (irtm by
+// validation, norec by revalidation, tl2 by abort-and-restart), while the
+// TMs that violate an assumption stay linear (vrtm via visible reads, mvtm
+// via multi-versioning).
+func TestE1AdversaryShapes(t *testing.T) {
+	for _, name := range []string{"irtm", "tl2", "norec", "vrtm", "mvtm", "dstm", "tml"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rows, err := exp.RunE1(name, e1Sizes, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				m := uint64(r.M)
+				switch name {
+				case "irtm":
+					if r.Attempts != 1 {
+						t.Errorf("m=%d: irtm aborted under a disjoint-object adversary (%d attempts)", r.M, r.Attempts)
+					}
+					if r.TotalSteps < m*(m-1)/2 {
+						t.Errorf("m=%d: irtm steps %d below the Theorem 3 bound %d", r.M, r.TotalSteps, m*(m-1)/2)
+					}
+					if r.FreshReads != r.M {
+						t.Errorf("m=%d: irtm returned %d fresh reads, want %d (Lemma 2)", r.M, r.FreshReads, r.M)
+					}
+				case "norec":
+					if r.TotalSteps < m*(m-1)/2 {
+						t.Errorf("m=%d: norec steps %d below quadratic revalidation %d", r.M, r.TotalSteps, m*(m-1)/2)
+					}
+				case "tl2":
+					if r.Attempts < r.M/2 {
+						t.Errorf("m=%d: tl2 committed in %d attempts; expected ~m abort-restarts", r.M, r.Attempts)
+					}
+					if r.TotalSteps < m*(m-1)/2 {
+						t.Errorf("m=%d: tl2 total steps %d; restarts should still cost Ω(m²)", r.M, r.TotalSteps)
+					}
+				case "vrtm":
+					if r.Attempts != 1 || r.TotalSteps > 8*m {
+						t.Errorf("m=%d: vrtm attempts=%d steps=%d; visible reads must stay linear", r.M, r.Attempts, r.TotalSteps)
+					}
+				case "mvtm":
+					if r.Attempts != 1 || r.TotalSteps > 12*m {
+						t.Errorf("m=%d: mvtm attempts=%d steps=%d; snapshots must stay linear", r.M, r.Attempts, r.TotalSteps)
+					}
+				case "dstm":
+					if r.Attempts != 1 {
+						t.Errorf("m=%d: dstm aborted under a disjoint-object adversary (%d attempts)", r.M, r.Attempts)
+					}
+					if r.TotalSteps < m*(m-1) {
+						t.Errorf("m=%d: dstm steps %d below its validation floor", r.M, r.TotalSteps)
+					}
+					if r.FreshReads != r.M {
+						t.Errorf("m=%d: dstm returned %d fresh reads, want %d (weak DAP)", r.M, r.FreshReads, r.M)
+					}
+				case "tml":
+					if r.Attempts < r.M/2 {
+						t.Errorf("m=%d: tml committed in %d attempts; every adversary commit must abort the reader", r.M, r.Attempts)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestE1RejectsBlockingAdversary ensures the harness refuses to hang on
+// blocking TMs.
+func TestE1RejectsBlockingAdversary(t *testing.T) {
+	if _, err := exp.RunE1("sgltm", []int{4}, true); !errors.Is(err, exp.ErrBlockingTM) {
+		t.Fatalf("err = %v, want ErrBlockingTM", err)
+	}
+	if _, err := exp.RunE2("sgltm", []int{4}, true); !errors.Is(err, exp.ErrBlockingTM) {
+		t.Fatalf("E2 err = %v, want ErrBlockingTM", err)
+	}
+	// Solo runs are fine.
+	if _, err := exp.RunE1("sgltm", []int{4}, false); err != nil {
+		t.Fatalf("solo sgltm: %v", err)
+	}
+}
+
+// TestE2SpaceShapes pins Theorem 3(2): the invisible-read weak-DAP TM
+// touches ≥ m−1 distinct base objects in its last read + tryC, while TL2
+// touches O(1).
+func TestE2SpaceShapes(t *testing.T) {
+	for _, adversary := range []bool{false, true} {
+		rows, err := exp.RunE2("irtm", e1Sizes, adversary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.DistinctObjs < r.Bound {
+				t.Errorf("adversary=%v m=%d: irtm touched %d distinct base objects, below the m-1=%d bound",
+					adversary, r.M, r.DistinctObjs, r.Bound)
+			}
+		}
+	}
+	rows, err := exp.RunE2("tl2", e1Sizes, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.DistinctObjs > 4 {
+			t.Errorf("m=%d: tl2 touched %d distinct objects; expected O(1)", r.M, r.DistinctObjs)
+		}
+	}
+}
+
+// TestE3MutexRMRShapes smoke-tests the RMR experiment: mutual exclusion
+// holds, RMRs are counted, and the local-spin queue lock (MCS) beats the
+// global-spin TAS lock under write-back CC.
+func TestE3MutexRMRShapes(t *testing.T) {
+	ns := []int{2, 4, 8}
+	perAcq := map[string]float64{}
+	for _, lock := range []string{"tas", "mcs", "lm:irtm"} {
+		rows, err := exp.RunE3(lock, "cc-wb", ns, 3, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Violations != 0 {
+				t.Fatalf("%s n=%d: %d mutual-exclusion violations", lock, r.N, r.Violations)
+			}
+			if r.TotalRMRs == 0 {
+				t.Fatalf("%s n=%d: no RMRs recorded", lock, r.N)
+			}
+		}
+		perAcq[lock] = rows[len(rows)-1].PerAcq
+	}
+	if perAcq["mcs"] >= perAcq["tas"] {
+		t.Errorf("MCS per-acquisition RMRs (%.2f) should undercut TAS (%.2f) at n=8 under CC-WB",
+			perAcq["mcs"], perAcq["tas"])
+	}
+}
+
+// TestE3DSMLocalSpin verifies the DSM story: MCS (local-spin qnode) incurs
+// bounded RMRs per acquisition while CLH (spins on the predecessor's
+// remote node) does not stay O(1) as n grows.
+func TestE3DSMLocalSpin(t *testing.T) {
+	mcs, err := exp.RunE3("mcs", "dsm", []int{8}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mcs[0].PerAcq > 16 {
+		t.Errorf("MCS per-acquisition DSM RMRs %.2f; expected O(1) local spin", mcs[0].PerAcq)
+	}
+	clh, err := exp.RunE3("clh", "dsm", []int{8}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clh[0].PerAcq <= mcs[0].PerAcq {
+		t.Errorf("CLH DSM per-acquisition %.2f should exceed MCS %.2f (remote spinning)", clh[0].PerAcq, mcs[0].PerAcq)
+	}
+}
+
+// TestE4HandoffOverheadConstant verifies Theorem 7's measured form: the
+// hand-off RMRs of L(M) per acquisition stay bounded as n grows, in every
+// cache model.
+func TestE4HandoffOverheadConstant(t *testing.T) {
+	for _, model := range []string{"cc-wt", "cc-wb", "dsm"} {
+		rows, err := exp.RunE4("lm:irtm", model, []int{2, 4, 8, 16}, 3, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.HandoffPerAcq > 16 {
+				t.Errorf("%s n=%d: hand-off RMRs per acquisition %.2f; Theorem 7 promises O(1)",
+					model, r.N, r.HandoffPerAcq)
+			}
+		}
+	}
+}
+
+// TestE6Tightness verifies the exact closed form of the matching upper
+// bound.
+func TestE6Tightness(t *testing.T) {
+	rows, err := exp.RunE6([]int{2, 4, 8, 16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Measured != r.Formula {
+			t.Errorf("m=%d: measured %d ≠ formula %d", r.M, r.Measured, r.Formula)
+		}
+	}
+}
+
+// TestE7ProgressChecks runs the randomized progress experiment on every TM
+// and checks each TM's declared properties against the recorded history.
+func TestE7ProgressChecks(t *testing.T) {
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.RunE7(name, exp.E7Config{
+				Procs: 3, TxnsPerProc: 3, Objects: 3, OpsPerTxn: 3,
+				WriteRatio: 0.5, Seed: 99, CheckOpacity: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Committed == 0 {
+				t.Error("no transaction committed")
+			}
+			if !row.StrictSerializable {
+				t.Error("history not strictly serializable")
+			}
+			props := mustProps(t, name)
+			if props.Opaque && !row.Opaque {
+				t.Error("TM claims opacity but the history is not opaque")
+			}
+			if props.Progressive && row.ProgressViolations != 0 {
+				t.Errorf("TM claims progressiveness; %d violations", row.ProgressViolations)
+			}
+			if props.StronglyProgressive && row.StrongViolations != 0 {
+				t.Errorf("TM claims strong progressiveness; %d violations", row.StrongViolations)
+			}
+		})
+	}
+}
+
+func mustProps(t *testing.T, name string) (p struct {
+	Opaque, Progressive, StronglyProgressive bool
+}) {
+	t.Helper()
+	tmi, err := tmreg.New(name, memNew(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := tmi.Props()
+	p.Opaque, p.Progressive, p.StronglyProgressive = pr.Opaque, pr.Progressive, pr.StronglyProgressive
+	return p
+}
+
+// TestTableRendering covers the table printer.
+func TestTableRendering(t *testing.T) {
+	tb := exp.Table{Title: "demo", Header: []string{"a", "long-header"}}
+	tb.Add(1, 2.5)
+	tb.Add("xyz", "w")
+	var sb strings.Builder
+	tb.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "long-header", "2.50", "xyz"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestNewLockUnknown exercises registry error paths.
+func TestNewLockUnknown(t *testing.T) {
+	if _, err := exp.NewLock("nope", memNew()); err == nil {
+		t.Error("unknown lock accepted")
+	}
+	if _, err := exp.NewLock("lm:nope", memNew()); err == nil {
+		t.Error("unknown lm substrate accepted")
+	}
+	if _, err := exp.RunE3("tas", "nope", []int{2}, 1, 1); err == nil {
+		t.Error("unknown cache model accepted")
+	}
+	if _, err := exp.RunE4("tas", "cc-wt", []int{2}, 1, 1); err == nil {
+		t.Error("E4 accepted a non-lm lock")
+	}
+}
+
+// TestE5Sweep verifies the shape of the contention-sweep ablation: every
+// process completes its quota; read-only workloads abort nowhere except
+// under TML-style spurious aborts; the blocking TM aborts never; abort
+// counts grow with the write ratio for optimistic TMs.
+func TestE5Sweep(t *testing.T) {
+	cfg := exp.E5Config{
+		Procs: 4, TxnsPerProc: 5, Objects: 8, OpsPerTxn: 3,
+		WriteRatios: []float64{0.0, 0.5}, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rows, err := exp.RunE5(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Commits != cfg.Procs*cfg.TxnsPerProc {
+					t.Fatalf("wr=%.1f: %d commits, want %d", r.WriteRatio, r.Commits, cfg.Procs*cfg.TxnsPerProc)
+				}
+			}
+			if rows[0].Aborts != 0 {
+				t.Errorf("read-only workload aborted %d times on %s", rows[0].Aborts, name)
+			}
+			if name == "sgltm" && rows[1].Aborts != 0 {
+				t.Errorf("blocking TM aborted %d times", rows[1].Aborts)
+			}
+		})
+	}
+}
+
+// TestE3NewBaselines covers the register-only locks in the RMR experiment:
+// bakery is Θ(n) per acquisition while the tournament tree is Θ(log n) in
+// CC — their ratio must grow with n.
+func TestE3NewBaselines(t *testing.T) {
+	ns := []int{4, 16}
+	get := func(lock string) []float64 {
+		rows, err := exp.RunE3(lock, "cc-wb", ns, 3, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, len(rows))
+		for i, r := range rows {
+			if r.Violations != 0 {
+				t.Fatalf("%s n=%d: mutual exclusion violated", lock, r.N)
+			}
+			out[i] = r.PerAcq
+		}
+		return out
+	}
+	bak := get("bakery")
+	tour := get("tournament")
+	if bak[1] <= tour[1] {
+		t.Errorf("bakery per-acq RMRs (%.2f) should exceed tournament (%.2f) at n=16", bak[1], tour[1])
+	}
+	ratioBak := bak[1] / bak[0]
+	ratioTour := tour[1] / tour[0]
+	if ratioBak <= ratioTour {
+		t.Errorf("bakery should scale worse than tournament: growth %.2f vs %.2f", ratioBak, ratioTour)
+	}
+}
+
+// TestClassifyMatchesDeclaredProps runs the measured-classification probes
+// for every TM and requires agreement with the declared Props on the
+// columns where a measured "false" is a definitive counterexample.
+func TestClassifyMatchesDeclaredProps(t *testing.T) {
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.Classify(name, 6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := row.Declared
+			if d.WeakDAP && !row.WeakDAP {
+				t.Error("declares weak DAP, measured counterexample")
+			}
+			if !d.WeakDAP && row.WeakDAP {
+				t.Error("declares ¬weak-DAP but no counterexample was measured by the probe")
+			}
+			if d.WeakInvisibleReads != row.WeakInvisibleReads {
+				t.Errorf("weak invisible reads: declared %v, measured %v", d.WeakInvisibleReads, row.WeakInvisibleReads)
+			}
+			if d.InvisibleReads && !row.InvisibleReads {
+				t.Error("declares invisible reads, measured counterexample")
+			}
+			if d.Progressive && !row.Progressive {
+				t.Error("declares progressiveness, measured counterexample")
+			}
+			if d.StronglyProgressive && !row.StrongSingleItem {
+				t.Error("declares strong progressiveness, measured counterexample")
+			}
+			if d.Opaque && !row.Opaque {
+				t.Error("declares opacity, measured counterexample")
+			}
+		})
+	}
+}
+
+// TestE5BackoffTamesAggressiveCM verifies the contention-management
+// ablation: exponential backoff collapses dstm's mutual-abort storms (the
+// known livelock-proneness of aggressive obstruction-free policies) by at
+// least an order of magnitude on the contended sweep point.
+func TestE5BackoffTamesAggressiveCM(t *testing.T) {
+	base := exp.E5Config{
+		Procs: 6, TxnsPerProc: 10, Objects: 8, OpsPerTxn: 3,
+		WriteRatios: []float64{0.5}, Seed: 13,
+	}
+	noBackoff, err := exp.RunE5("dstm", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCfg := base
+	withCfg.Backoff = true
+	withBackoff, err := exp.RunE5("dstm", withCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a0, a1 := noBackoff[0].Aborts, withBackoff[0].Aborts
+	if a1*4 > a0 {
+		t.Errorf("backoff reduced dstm aborts only from %d to %d; expected ≥4×", a0, a1)
+	}
+	t.Logf("dstm aborts at wr=0.5: %d without backoff, %d with", a0, a1)
+}
+
+// TestFormatHistory smoke-tests the timeline renderer on a recorded
+// conflict: it must show the operations, the responses, and the
+// nontrivial-access markers.
+func TestFormatHistory(t *testing.T) {
+	mem := memory.New(2, nil)
+	rec := tm.Record(tmreg.MustNew("irtm", mem, 2))
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+	tx := rec.Begin(p0)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tm.Atomically(rec, p1, func(w tm.Txn) error { return w.Write(0, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = tx.Read(1) // aborts: version change invalidates the snapshot
+	tx.Abort()
+
+	var sb strings.Builder
+	exp.FormatHistory(&sb, mem, rec.History())
+	out := sb.String()
+	for _, want := range []string{"tryC -> COMMIT", "read(X0) -> 0", "irtm.meta[0]", ":w", "read(X1) -> ABORT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+	"repro/internal/tmreg"
+)
+
+// LockNames returns the mutex algorithms available to the RMR experiments:
+// the classic baselines plus L(M) over every strongly progressive TM.
+func LockNames() []string {
+	names := []string{"tas", "ttas", "ticket", "anderson", "mcs", "clh", "bakery", "tournament", "llsc"}
+	for _, t := range []string{"irtm", "norec", "sgltm"} {
+		names = append(names, "lm:"+t)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewLock builds the named mutual-exclusion object over mem. Names are
+// those of LockNames; "lm:<tm>" builds Algorithm 1 over the named TM with a
+// single t-object.
+func NewLock(name string, mem *memory.Memory) (mutex.Lock, error) {
+	if tmName, ok := strings.CutPrefix(name, "lm:"); ok {
+		tmi, err := tmreg.New(tmName, mem, 1)
+		if err != nil {
+			return nil, err
+		}
+		return mutex.NewLM(mem, tmi), nil
+	}
+	switch name {
+	case "tas":
+		return mutex.NewTAS(mem), nil
+	case "ttas":
+		return mutex.NewTTAS(mem), nil
+	case "ticket":
+		return mutex.NewTicket(mem), nil
+	case "anderson":
+		return mutex.NewAnderson(mem), nil
+	case "mcs":
+		return mutex.NewMCS(mem), nil
+	case "clh":
+		return mutex.NewCLH(mem), nil
+	case "bakery":
+		return mutex.NewBakery(mem), nil
+	case "tournament":
+		return mutex.NewTournament(mem), nil
+	case "llsc":
+		return mutex.NewLLSC(mem), nil
+	}
+	return nil, fmt.Errorf("exp: unknown lock %q (known: %v)", name, LockNames())
+}
+
+// E3Row is one measurement of experiment E3 (Theorem 9): total RMRs when n
+// processes each acquire the critical section k times, under one cache
+// model. NLogN is the reference series n·log2(n)·k the lower bound is
+// stated against.
+type E3Row struct {
+	Lock       string
+	Model      string
+	N, K       int
+	TotalRMRs  uint64
+	PerAcq     float64
+	TotalSteps uint64
+	NLogN      float64
+	Violations int // mutual-exclusion violations observed (must be 0)
+}
+
+// RunE3 runs the contended-acquisition workload for each n in ns under the
+// named cache model and seeded random scheduling.
+func RunE3(lockName, modelName string, ns []int, k int, seed int64) ([]E3Row, error) {
+	model := memory.ModelByName(modelName)
+	if model == nil {
+		return nil, fmt.Errorf("exp: unknown cache model %q", modelName)
+	}
+	var rows []E3Row
+	for _, n := range ns {
+		res, err := runMutexWorkload(lockName, model, n, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E3Row{
+			Lock: lockName, Model: modelName, N: n, K: k,
+			TotalRMRs:  res.totalRMRs,
+			PerAcq:     float64(res.totalRMRs) / float64(n*k),
+			TotalSteps: res.totalSteps,
+			NLogN:      float64(n*k) * math.Log2(float64(maxInt(n, 2))),
+			Violations: res.violations,
+		})
+	}
+	return rows, nil
+}
+
+// E4Row is one measurement of experiment E4 (Theorem 7): how L(M)'s RMR
+// cost splits between the substrate TM's t-operations and the Entry/Exit
+// hand-off code. The theorem claims the hand-off part is O(1) per
+// acquisition.
+type E4Row struct {
+	Lock          string
+	Model         string
+	N, K          int
+	TMRMRs        uint64  // RMRs inside M
+	HandoffRMRs   uint64  // RMRs outside M (Entry/Exit bookkeeping + spin)
+	HandoffPerAcq float64 // the quantity Theorem 7 bounds by O(1)
+}
+
+// RunE4 measures the TM-vs-hand-off RMR split of an lm:* lock.
+func RunE4(lockName, modelName string, ns []int, k int, seed int64) ([]E4Row, error) {
+	if !strings.HasPrefix(lockName, "lm:") {
+		return nil, fmt.Errorf("exp: E4 applies to lm:* locks, got %q", lockName)
+	}
+	model := memory.ModelByName(modelName)
+	if model == nil {
+		return nil, fmt.Errorf("exp: unknown cache model %q", modelName)
+	}
+	var rows []E4Row
+	for _, n := range ns {
+		res, err := runMutexWorkload(lockName, model, n, k, seed)
+		if err != nil {
+			return nil, err
+		}
+		if res.violations != 0 {
+			return nil, fmt.Errorf("exp: %s violated mutual exclusion %d times", lockName, res.violations)
+		}
+		lm := res.lock.(*mutex.LM)
+		var tmRMRs uint64
+		for i := 0; i < n; i++ {
+			tmRMRs += lm.TMRMRs(i)
+		}
+		rows = append(rows, E4Row{
+			Lock: lockName, Model: modelName, N: n, K: k,
+			TMRMRs:        tmRMRs,
+			HandoffRMRs:   res.totalRMRs - tmRMRs,
+			HandoffPerAcq: float64(res.totalRMRs-tmRMRs) / float64(n*k),
+		})
+	}
+	return rows, nil
+}
+
+type mutexResult struct {
+	lock       mutex.Lock
+	totalRMRs  uint64
+	totalSteps uint64
+	violations int
+}
+
+// runMutexWorkload has every one of n processes acquire and release the
+// lock k times under seeded random scheduling, checking mutual exclusion
+// inside the critical section (the scratch-object accesses inside the CS
+// give the scheduler interleaving points that would expose violations).
+func runMutexWorkload(lockName string, model memory.Model, n, k int, seed int64) (mutexResult, error) {
+	mem := memory.New(n, model)
+	lock, err := NewLock(lockName, mem)
+	if err != nil {
+		return mutexResult{}, err
+	}
+	scratch := mem.Alloc("cs.scratch")
+	inCS := 0
+	violations := 0
+	s := sched.New(mem)
+	for i := 0; i < n; i++ {
+		s.Go(i, func(p *memory.Proc) {
+			for j := 0; j < k; j++ {
+				lock.Enter(p)
+				inCS++
+				if inCS > 1 {
+					violations++
+				}
+				p.Write(scratch, uint64(p.ID())) // interleaving point inside CS
+				if got := p.Read(scratch); got != uint64(p.ID()) {
+					violations++ // another process ran inside our CS
+				}
+				inCS--
+				lock.Exit(p)
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(seed)); err != nil {
+		return mutexResult{}, fmt.Errorf("exp: %s n=%d: %w", lockName, n, err)
+	}
+	return mutexResult{
+		lock:       lock,
+		totalRMRs:  mem.TotalRMRs(),
+		totalSteps: mem.TotalSteps(),
+		violations: violations,
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// FormatHistory renders a recorded history as a step-level timeline: one
+// line per t-operation, with the transaction, the response, and the base
+// objects the TM touched to implement it (resolved to their diagnostic
+// names through mem). It is the microscope behind cmd/tmtrace.
+func FormatHistory(w io.Writer, mem *memory.Memory, h *tm.History) {
+	type line struct {
+		seq  int
+		text string
+	}
+	var lines []line
+	for _, t := range h.Txns {
+		for _, op := range t.Ops {
+			var desc string
+			switch op.Kind {
+			case tm.OpRead:
+				if op.Aborted {
+					desc = fmt.Sprintf("read(X%d) -> ABORT", op.Obj)
+				} else {
+					desc = fmt.Sprintf("read(X%d) -> %d", op.Obj, op.Value)
+				}
+			case tm.OpWrite:
+				if op.Aborted {
+					desc = fmt.Sprintf("write(X%d,%d) -> ABORT", op.Obj, op.Value)
+				} else {
+					desc = fmt.Sprintf("write(X%d,%d) -> ok", op.Obj, op.Value)
+				}
+			case tm.OpTryCommit:
+				if op.Aborted {
+					desc = "tryC -> ABORT"
+				} else {
+					desc = "tryC -> COMMIT"
+				}
+			case tm.OpAbort:
+				desc = "abort"
+			}
+			lines = append(lines, line{
+				seq:  op.Seq,
+				text: fmt.Sprintf("%4d  p%-2d T%-3d %-24s %s", op.Seq, t.Proc, t.ID, desc, formatAccesses(mem, op.Accesses)),
+			})
+		}
+	}
+	// Ops were appended per transaction; emit them in global seq order.
+	for i := 1; i < len(lines); i++ {
+		for j := i; j > 0 && lines[j].seq < lines[j-1].seq; j-- {
+			lines[j], lines[j-1] = lines[j-1], lines[j]
+		}
+	}
+	fmt.Fprintln(w, " seq  proc txn  operation                base-object accesses (:w = nontrivial)")
+	fmt.Fprintln(w, strings.Repeat("-", 100))
+	for _, l := range lines {
+		fmt.Fprintln(w, l.text)
+	}
+}
+
+// formatAccesses compacts an access list: consecutive accesses to the same
+// object collapse with a repeat count; nontrivial accesses are marked :w.
+func formatAccesses(mem *memory.Memory, accs []tm.BaseAccess) string {
+	if len(accs) == 0 {
+		return "(none)"
+	}
+	var parts []string
+	i := 0
+	for i < len(accs) {
+		j := i
+		for j < len(accs) && accs[j].Obj == accs[i].Obj && accs[j].Nontrivial == accs[i].Nontrivial {
+			j++
+		}
+		name := fmt.Sprintf("obj#%d", accs[i].Obj)
+		if o := mem.ObjAt(accs[i].Obj); o != nil {
+			name = o.Name()
+		}
+		suffix := ""
+		if accs[i].Nontrivial {
+			suffix = ":w"
+		}
+		if j-i > 1 {
+			parts = append(parts, fmt.Sprintf("%s%s×%d", name, suffix, j-i))
+		} else {
+			parts = append(parts, name+suffix)
+		}
+		i = j
+	}
+	if len(parts) > 8 {
+		parts = append(parts[:8], fmt.Sprintf("… +%d more", len(parts)-8))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,313 @@
+// Package memory implements the asynchronous shared-memory substrate of the
+// paper: a word-addressed memory of base objects on which processes apply
+// read-modify-write primitives (read, write, compare-and-swap, fetch-and-add,
+// swap). Every primitive application is accounted as one step of the applying
+// process, attributed to the process's current span (a labelled t-operation),
+// and classified as local or as a remote memory reference (RMR) by a
+// pluggable cache model (write-through CC, write-back CC, or DSM).
+//
+// The simulator is single-threaded by construction: either primitives are
+// invoked sequentially (step contention-free fragments, as in the executions
+// of Lemma 2), or a cooperative scheduler grants one process at a time via
+// the per-process yield hook. Memory is therefore sequentially consistent,
+// matching the paper's model.
+package memory
+
+import "fmt"
+
+// MaxProcs bounds the number of processes per Memory. Cache models keep
+// per-object process sets as 64-bit masks.
+const MaxProcs = 64
+
+// Obj is a base object: one word of simulated shared memory.
+type Obj struct {
+	id   uint64 // 1-based arena index; doubles as the object's address
+	name string
+	val  uint64
+
+	// Cache-model state. cached is a bitmask of processes holding a valid
+	// copy (shared mode for write-back); excl is the process holding the
+	// object in exclusive mode, or -1. home is the DSM home process, or -1
+	// for objects in global memory (remote to every process).
+	cached uint64
+	excl   int
+	home   int
+
+	// links is the bitmask of processes holding an intact load-link on
+	// this object; any change to the value breaks all links.
+	links uint64
+}
+
+// Addr returns the object's address: a non-zero word that can itself be
+// stored in memory, enabling pointer-based algorithms (queue locks,
+// locators) on the simulated heap.
+func (o *Obj) Addr() uint64 { return o.id }
+
+// Name returns the diagnostic name given at allocation.
+func (o *Obj) Name() string { return o.name }
+
+// Home returns the DSM home process of the object, or -1 if it lives in
+// global memory.
+func (o *Obj) Home() int { return o.home }
+
+// Memory is an arena of base objects shared by a fixed set of processes.
+type Memory struct {
+	model  Model
+	nprocs int
+	objs   []*Obj
+	procs  []*Proc
+}
+
+// New creates a memory shared by nprocs processes, with RMRs accounted under
+// the given cache model. A nil model disables RMR accounting (steps are
+// still counted).
+func New(nprocs int, model Model) *Memory {
+	if nprocs <= 0 || nprocs > MaxProcs {
+		panic(fmt.Sprintf("memory: nprocs %d out of range [1,%d]", nprocs, MaxProcs))
+	}
+	m := &Memory{model: model, nprocs: nprocs}
+	m.procs = make([]*Proc, nprocs)
+	for i := range m.procs {
+		m.procs[i] = &Proc{m: m, id: i}
+	}
+	return m
+}
+
+// NumProcs returns the number of processes sharing this memory.
+func (m *Memory) NumProcs() int { return m.nprocs }
+
+// Model returns the cache model, or nil if RMR accounting is disabled.
+func (m *Memory) Model() Model { return m.model }
+
+// Proc returns the handle of process i.
+func (m *Memory) Proc(i int) *Proc { return m.procs[i] }
+
+// Alloc allocates a fresh base object in global memory (no DSM home) with
+// initial value 0.
+func (m *Memory) Alloc(name string) *Obj { return m.AllocAt(name, -1) }
+
+// AllocAt allocates a fresh base object whose DSM home is process home
+// (-1 for global memory). Under the CC models the home is irrelevant.
+func (m *Memory) AllocAt(name string, home int) *Obj {
+	if home < -1 || home >= m.nprocs {
+		panic(fmt.Sprintf("memory: AllocAt(%q): bad home %d", name, home))
+	}
+	o := &Obj{id: uint64(len(m.objs) + 1), name: name, excl: -1, home: home}
+	m.objs = append(m.objs, o)
+	return o
+}
+
+// AllocArray allocates n fresh global-memory objects named name[0..n-1].
+func (m *Memory) AllocArray(name string, n int) []*Obj {
+	objs := make([]*Obj, n)
+	for i := range objs {
+		objs[i] = m.AllocAt(fmt.Sprintf("%s[%d]", name, i), -1)
+	}
+	return objs
+}
+
+// ObjAt resolves an address previously obtained from Obj.Addr. It returns
+// nil for the zero address (the simulated nil pointer).
+func (m *Memory) ObjAt(addr uint64) *Obj {
+	if addr == 0 {
+		return nil
+	}
+	if addr > uint64(len(m.objs)) {
+		panic(fmt.Sprintf("memory: dangling address %d", addr))
+	}
+	return m.objs[addr-1]
+}
+
+// NumObjs returns the number of allocated base objects.
+func (m *Memory) NumObjs() int { return len(m.objs) }
+
+// Peek returns the current value of o without accounting a step. It is for
+// test assertions and debugging only; algorithms must use Proc primitives.
+func (m *Memory) Peek(o *Obj) uint64 { return o.val }
+
+// Poke sets the value of o without accounting a step, for test setup only.
+func (m *Memory) Poke(o *Obj, v uint64) { o.val = v }
+
+// ResetCounters zeroes all step and RMR counters and cache state, keeping
+// object values. Used to exclude setup cost from measurements.
+func (m *Memory) ResetCounters() {
+	for _, p := range m.procs {
+		p.steps, p.rmrs = 0, 0
+		p.span = nil
+	}
+	for _, o := range m.objs {
+		o.cached, o.excl = 0, -1
+	}
+}
+
+// TotalSteps returns the sum of steps over all processes.
+func (m *Memory) TotalSteps() uint64 {
+	var s uint64
+	for _, p := range m.procs {
+		s += p.steps
+	}
+	return s
+}
+
+// TotalRMRs returns the sum of RMRs over all processes.
+func (m *Memory) TotalRMRs() uint64 {
+	var s uint64
+	for _, p := range m.procs {
+		s += p.rmrs
+	}
+	return s
+}
+
+// Proc is a process's handle onto the shared memory. All primitives must be
+// invoked through a Proc so that steps and RMRs are attributed correctly.
+type Proc struct {
+	m        *Memory
+	id       int
+	steps    uint64
+	rmrs     uint64
+	span     *Span
+	yield    func()
+	observer func(o *Obj, nontrivial bool)
+}
+
+// ID returns the process identifier in [0, NumProcs).
+func (p *Proc) ID() int { return p.id }
+
+// Memory returns the shared memory this process operates on.
+func (p *Proc) Memory() *Memory { return p.m }
+
+// Steps returns the number of primitive applications by this process.
+func (p *Proc) Steps() uint64 { return p.steps }
+
+// RMRs returns the number of remote memory references incurred by this
+// process under the memory's cache model.
+func (p *Proc) RMRs() uint64 { return p.rmrs }
+
+// SetYield installs a hook invoked before every primitive application; the
+// cooperative scheduler uses it to serialize processes. A nil hook (the
+// default) runs primitives immediately.
+func (p *Proc) SetYield(f func()) { p.yield = f }
+
+// SetObserver installs a hook invoked after every primitive application by
+// this process, with the object accessed and whether the primitive was
+// nontrivial. The history recorder uses it to attribute base-object
+// accesses to t-operations (for the DAP and invisible-reads checkers).
+// Observers must not apply primitives themselves.
+func (p *Proc) SetObserver(f func(o *Obj, nontrivial bool)) { p.observer = f }
+
+// account charges one step (and possibly one RMR) for an access to o.
+func (p *Proc) account(o *Obj, nontrivial, changed bool) {
+	p.steps++
+	if sp := p.span; sp != nil {
+		sp.Steps++
+		if nontrivial {
+			sp.Nontrivial++
+		}
+		sp.touch(o)
+	}
+	if p.m.model != nil {
+		if p.m.model.Access(p.id, o, nontrivial, changed) {
+			p.rmrs++
+			if sp := p.span; sp != nil {
+				sp.RMRs++
+			}
+		}
+	}
+	if p.observer != nil {
+		p.observer(o, nontrivial)
+	}
+}
+
+func (p *Proc) pre() {
+	if p.yield != nil {
+		p.yield()
+	}
+}
+
+// Read applies the trivial read primitive to o and returns its value.
+func (p *Proc) Read(o *Obj) uint64 {
+	p.pre()
+	p.account(o, false, false)
+	return o.val
+}
+
+// Write applies the write primitive, setting o to v.
+func (p *Proc) Write(o *Obj, v uint64) {
+	p.pre()
+	p.account(o, true, o.val != v)
+	if o.val != v {
+		o.links = 0
+	}
+	o.val = v
+}
+
+// CAS applies compare-and-swap: if o holds old it is set to new and CAS
+// reports true. CAS is a nontrivial conditional primitive in the paper's
+// taxonomy.
+func (p *Proc) CAS(o *Obj, old, new uint64) bool {
+	p.pre()
+	ok := o.val == old
+	p.account(o, true, ok && old != new)
+	if ok {
+		if old != new {
+			o.links = 0
+		}
+		o.val = new
+	}
+	return ok
+}
+
+// FetchAdd applies fetch-and-add, returning the previous value. It is a
+// nontrivial, non-conditional primitive.
+func (p *Proc) FetchAdd(o *Obj, delta uint64) uint64 {
+	p.pre()
+	prev := o.val
+	p.account(o, true, delta != 0)
+	if delta != 0 {
+		o.links = 0
+	}
+	o.val = prev + delta
+	return prev
+}
+
+// Swap applies fetch-and-store, returning the previous value.
+func (p *Proc) Swap(o *Obj, v uint64) uint64 {
+	p.pre()
+	prev := o.val
+	p.account(o, true, prev != v)
+	if prev != v {
+		o.links = 0
+	}
+	o.val = v
+	return prev
+}
+
+// LL applies load-linked: a trivial read that additionally links the
+// process to o. The link survives until the object's value changes (by
+// any process's primitive) or the process's own SC.
+func (p *Proc) LL(o *Obj) uint64 {
+	p.pre()
+	p.account(o, false, false)
+	o.links |= uint64(1) << uint(p.id)
+	return o.val
+}
+
+// SC applies store-conditional: it writes v and reports true iff the
+// process's link from its last LL on o is intact. SC consumes the link
+// either way; a successful SC that changes the value breaks all links.
+// LL/SC is the other nontrivial conditional primitive named by the paper
+// alongside compare-and-swap.
+func (p *Proc) SC(o *Obj, v uint64) bool {
+	p.pre()
+	bit := uint64(1) << uint(p.id)
+	ok := o.links&bit != 0
+	p.account(o, true, ok && o.val != v)
+	o.links &^= bit
+	if ok {
+		if o.val != v {
+			o.links = 0
+		}
+		o.val = v
+	}
+	return ok
+}

@@ -1,0 +1,312 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimitivesSemantics(t *testing.T) {
+	m := New(2, nil)
+	p := m.Proc(0)
+	o := m.Alloc("x")
+
+	if v := p.Read(o); v != 0 {
+		t.Fatalf("initial Read = %d, want 0", v)
+	}
+	p.Write(o, 7)
+	if v := p.Read(o); v != 7 {
+		t.Fatalf("Read after Write = %d, want 7", v)
+	}
+	if !p.CAS(o, 7, 9) {
+		t.Fatal("CAS(7→9) failed with value 7")
+	}
+	if p.CAS(o, 7, 11) {
+		t.Fatal("CAS(7→11) succeeded with value 9")
+	}
+	if prev := p.FetchAdd(o, 5); prev != 9 {
+		t.Fatalf("FetchAdd returned %d, want 9", prev)
+	}
+	if prev := p.Swap(o, 100); prev != 14 {
+		t.Fatalf("Swap returned %d, want 14", prev)
+	}
+	if v := p.Read(o); v != 100 {
+		t.Fatalf("final value %d, want 100", v)
+	}
+}
+
+func TestStepAccounting(t *testing.T) {
+	m := New(2, nil)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	o := m.Alloc("x")
+	p0.Read(o)
+	p0.Write(o, 1)
+	p1.CAS(o, 1, 2)
+	if p0.Steps() != 2 || p1.Steps() != 1 {
+		t.Fatalf("steps = %d, %d; want 2, 1", p0.Steps(), p1.Steps())
+	}
+	if m.TotalSteps() != 3 {
+		t.Fatalf("TotalSteps = %d, want 3", m.TotalSteps())
+	}
+}
+
+func TestSpanAttribution(t *testing.T) {
+	m := New(1, nil)
+	p := m.Proc(0)
+	a, b := m.Alloc("a"), m.Alloc("b")
+	sp := p.BeginSpan("op")
+	p.Read(a)
+	p.Read(a)
+	p.Write(b, 1)
+	got := p.EndSpan()
+	if got != sp {
+		t.Fatal("EndSpan returned a different span")
+	}
+	if sp.Steps != 3 || sp.Nontrivial != 1 {
+		t.Fatalf("span steps=%d nontrivial=%d; want 3, 1", sp.Steps, sp.Nontrivial)
+	}
+	if sp.DistinctObjects() != 2 || !sp.Touched(a) || !sp.Touched(b) {
+		t.Fatalf("span distinct=%d touched(a)=%v touched(b)=%v; want 2, true, true",
+			sp.DistinctObjects(), sp.Touched(a), sp.Touched(b))
+	}
+	p.Read(a) // outside any span
+	if sp.Steps != 3 {
+		t.Fatal("accesses after EndSpan leaked into the span")
+	}
+}
+
+func TestWriteThroughRMRs(t *testing.T) {
+	m := New(2, WriteThroughCC{})
+	p0, p1 := m.Proc(0), m.Proc(1)
+	o := m.Alloc("x")
+
+	p0.Read(o) // cold: RMR
+	p0.Read(o) // cached: local
+	if p0.RMRs() != 1 {
+		t.Fatalf("after two reads, RMRs = %d, want 1", p0.RMRs())
+	}
+	p1.Write(o, 1) // RMR, invalidates p0's copy
+	if p1.RMRs() != 1 {
+		t.Fatalf("writer RMRs = %d, want 1", p1.RMRs())
+	}
+	p0.Read(o) // invalidated: RMR again
+	if p0.RMRs() != 2 {
+		t.Fatalf("after invalidation, reader RMRs = %d, want 2", p0.RMRs())
+	}
+	p1.Write(o, 2) // write-through: always RMR, even by the last writer
+	if p1.RMRs() != 2 {
+		t.Fatalf("repeat writer RMRs = %d, want 2", p1.RMRs())
+	}
+}
+
+func TestWriteBackRMRs(t *testing.T) {
+	m := New(3, WriteBackCC{})
+	p0, p1, p2 := m.Proc(0), m.Proc(1), m.Proc(2)
+	o := m.Alloc("x")
+
+	p0.Write(o, 1) // RMR: acquire exclusive
+	p0.Write(o, 2) // local: already exclusive
+	if p0.RMRs() != 1 {
+		t.Fatalf("exclusive writer RMRs = %d, want 1", p0.RMRs())
+	}
+	p1.Read(o) // RMR: demotes p0 to shared
+	p1.Read(o) // local
+	if p1.RMRs() != 1 {
+		t.Fatalf("reader RMRs = %d, want 1", p1.RMRs())
+	}
+	p0.Read(o) // local: p0 still holds a shared copy after demotion
+	if p0.RMRs() != 1 {
+		t.Fatalf("demoted writer read RMRs = %d, want 1", p0.RMRs())
+	}
+	p2.Write(o, 3) // RMR: invalidates both shared copies
+	p0.Read(o)     // RMR
+	p1.Read(o)     // RMR
+	if p0.RMRs() != 2 || p1.RMRs() != 2 {
+		t.Fatalf("post-invalidation RMRs = %d, %d; want 2, 2", p0.RMRs(), p1.RMRs())
+	}
+}
+
+func TestDSMRMRs(t *testing.T) {
+	m := New(2, DSM{})
+	p0, p1 := m.Proc(0), m.Proc(1)
+	local := m.AllocAt("local0", 0)
+	global := m.Alloc("global")
+
+	p0.Read(local)
+	p0.Write(local, 1)
+	if p0.RMRs() != 0 {
+		t.Fatalf("home-process accesses incurred %d RMRs, want 0", p0.RMRs())
+	}
+	p1.Read(local)
+	if p1.RMRs() != 1 {
+		t.Fatalf("remote access RMRs = %d, want 1", p1.RMRs())
+	}
+	p0.Read(global)
+	p0.Read(global) // DSM has no caching: every global access is remote
+	if p0.RMRs() != 2 {
+		t.Fatalf("global-memory RMRs = %d, want 2", p0.RMRs())
+	}
+}
+
+// TestDSMProperty property-checks the DSM definition: an access is an RMR
+// iff the object's home differs from the accessing process.
+func TestDSMProperty(t *testing.T) {
+	prop := func(homeRaw, procRaw uint8, write bool) bool {
+		m := New(4, DSM{})
+		home := int(homeRaw%5) - 1 // -1..3
+		proc := int(procRaw % 4)
+		o := m.AllocAt("o", home)
+		p := m.Proc(proc)
+		before := p.RMRs()
+		if write {
+			p.Write(o, 1)
+		} else {
+			p.Read(o)
+		}
+		gotRMR := p.RMRs()-before == 1
+		return gotRMR == (home != proc)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteThroughReadCachingProperty: under CC-WT, two consecutive reads
+// by the same process with no interleaved foreign write cost exactly one
+// RMR, for arbitrary prior access sequences.
+func TestWriteThroughReadCachingProperty(t *testing.T) {
+	prop := func(ops []uint8) bool {
+		m := New(3, WriteThroughCC{})
+		o := m.Alloc("x")
+		for _, op := range ops {
+			p := m.Proc(int(op % 3))
+			if op&4 == 0 {
+				p.Read(o)
+			} else {
+				p.Write(o, uint64(op))
+			}
+		}
+		p := m.Proc(0)
+		p.Read(o) // may or may not be an RMR
+		before := p.RMRs()
+		p.Read(o) // must be local
+		return p.RMRs() == before
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressing(t *testing.T) {
+	m := New(1, nil)
+	a := m.Alloc("a")
+	b := m.Alloc("b")
+	if m.ObjAt(a.Addr()) != a || m.ObjAt(b.Addr()) != b {
+		t.Fatal("ObjAt(Addr) did not round-trip")
+	}
+	if m.ObjAt(0) != nil {
+		t.Fatal("ObjAt(0) must be the nil pointer")
+	}
+	p := m.Proc(0)
+	p.Write(a, b.Addr()) // store a pointer in memory
+	if m.ObjAt(p.Read(a)) != b {
+		t.Fatal("pointer stored in memory did not resolve")
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	m := New(2, WriteThroughCC{})
+	o := m.Alloc("x")
+	p := m.Proc(0)
+	p.Write(o, 5)
+	m.ResetCounters()
+	if p.Steps() != 0 || p.RMRs() != 0 {
+		t.Fatal("counters not reset")
+	}
+	if m.Peek(o) != 5 {
+		t.Fatal("ResetCounters must preserve values")
+	}
+	p.Read(o)
+	if p.RMRs() != 1 {
+		t.Fatal("cache state must be cold after reset")
+	}
+}
+
+func TestLLSCSemantics(t *testing.T) {
+	m := New(2, nil)
+	p0, p1 := m.Proc(0), m.Proc(1)
+	o := m.Alloc("x")
+
+	// Uninterrupted LL/SC succeeds.
+	if v := p0.LL(o); v != 0 {
+		t.Fatalf("LL = %d, want 0", v)
+	}
+	if !p0.SC(o, 5) {
+		t.Fatal("uninterrupted SC failed")
+	}
+	// SC without a fresh LL fails (the link was consumed).
+	if p0.SC(o, 6) {
+		t.Fatal("SC succeeded without a link")
+	}
+	// An intervening write by another process breaks the link.
+	p0.LL(o)
+	p1.Write(o, 7)
+	if p0.SC(o, 8) {
+		t.Fatal("SC succeeded across an intervening write")
+	}
+	// An intervening *silent* write (same value) preserves the link: the
+	// object's value did not change.
+	p0.LL(o)
+	p1.Write(o, 7)
+	if !p0.SC(o, 9) {
+		t.Fatal("SC failed although the value never changed")
+	}
+	// Two linked processes: a successful SC by one breaks the other's link.
+	p0.LL(o)
+	p1.LL(o)
+	if !p1.SC(o, 10) {
+		t.Fatal("first SC failed")
+	}
+	if p0.SC(o, 11) {
+		t.Fatal("second SC succeeded after a successful competing SC")
+	}
+}
+
+// TestLLSCAtomicIncrementProperty: concurrent LL/SC increment loops lose no
+// updates, for arbitrary interleavings — the defining property of the
+// primitive pair.
+func TestLLSCAtomicIncrementProperty(t *testing.T) {
+	prop := func(schedule []bool) bool {
+		m := New(2, nil)
+		o := m.Alloc("ctr")
+		// Drive two incrementer state machines step by step according to
+		// the schedule bits (true = proc 1).
+		type state struct {
+			p      *Proc
+			linked bool
+			seen   uint64
+			done   int
+		}
+		procs := [2]*state{{p: m.Proc(0)}, {p: m.Proc(1)}}
+		want := 0
+		for _, bit := range schedule {
+			s := procs[0]
+			if bit {
+				s = procs[1]
+			}
+			if !s.linked {
+				s.seen = s.p.LL(o)
+				s.linked = true
+			} else {
+				if s.p.SC(o, s.seen+1) {
+					s.done++
+					want++
+				}
+				s.linked = false
+			}
+		}
+		return m.Peek(o) == uint64(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

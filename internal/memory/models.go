@@ -1,0 +1,104 @@
+package memory
+
+// Model classifies each primitive application as local or as a remote memory
+// reference (RMR), per Section 5 of the paper. Access reports whether the
+// access by process p to object o is an RMR, updating the model's cache
+// bookkeeping stored on the object. nontrivial marks write-like primitives
+// (write, CAS, fetch-and-add, swap); changed reports whether the primitive
+// actually changed the object's value.
+type Model interface {
+	Name() string
+	Access(p int, o *Obj, nontrivial, changed bool) bool
+}
+
+// WriteThroughCC is the write-through cache-coherent model: a read is local
+// iff the process holds a valid cached copy; a write always goes to main
+// memory (RMR) and invalidates all other cached copies, leaving the writer
+// with a valid copy. A nontrivial primitive that does not change the value
+// (e.g. a failed CAS) still performs the memory round-trip but invalidates
+// nothing.
+type WriteThroughCC struct{}
+
+// Name implements Model.
+func (WriteThroughCC) Name() string { return "cc-wt" }
+
+// Access implements Model.
+func (WriteThroughCC) Access(p int, o *Obj, nontrivial, changed bool) bool {
+	bit := uint64(1) << uint(p)
+	if !nontrivial {
+		if o.cached&bit != 0 {
+			return false
+		}
+		o.cached |= bit
+		return true
+	}
+	if changed {
+		o.cached = bit // invalidate every other copy
+	} else {
+		o.cached |= bit
+	}
+	return true
+}
+
+// WriteBackCC is the write-back cache-coherent model: a read is local if the
+// process holds the object in shared or exclusive mode; otherwise it incurs
+// an RMR that demotes any exclusive holder to shared and installs a shared
+// copy. A write (or any nontrivial primitive) is local only in exclusive
+// mode; otherwise it incurs an RMR that invalidates all copies and acquires
+// exclusive mode.
+type WriteBackCC struct{}
+
+// Name implements Model.
+func (WriteBackCC) Name() string { return "cc-wb" }
+
+// Access implements Model.
+func (WriteBackCC) Access(p int, o *Obj, nontrivial, changed bool) bool {
+	bit := uint64(1) << uint(p)
+	if !nontrivial {
+		if o.excl == p || o.cached&bit != 0 {
+			return false
+		}
+		if o.excl >= 0 {
+			o.cached |= uint64(1) << uint(o.excl) // demote to shared
+			o.excl = -1
+		}
+		o.cached |= bit
+		return true
+	}
+	if o.excl == p {
+		return false
+	}
+	o.cached = 0
+	o.excl = p
+	return true
+}
+
+// DSM is the distributed shared memory model: every object is assigned to a
+// single process (its home) at allocation time; any access by another
+// process is an RMR. Objects allocated in global memory (home -1) are
+// remote to every process.
+type DSM struct{}
+
+// Name implements Model.
+func (DSM) Name() string { return "dsm" }
+
+// Access implements Model.
+func (DSM) Access(p int, o *Obj, nontrivial, changed bool) bool {
+	return o.home != p
+}
+
+// Models returns one instance of every cache model, in the order the paper
+// introduces them.
+func Models() []Model {
+	return []Model{WriteThroughCC{}, WriteBackCC{}, DSM{}}
+}
+
+// ModelByName returns the model with the given Name, or nil.
+func ModelByName(name string) Model {
+	for _, m := range Models() {
+		if m.Name() == name {
+			return m
+		}
+	}
+	return nil
+}

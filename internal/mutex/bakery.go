@@ -1,0 +1,70 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Bakery is Lamport's bakery lock: mutual exclusion from reads and writes
+// only (no conditional primitives), with FIFO fairness by ticket. Every
+// acquisition scans all n processes' registers, so it incurs Θ(n) RMRs per
+// acquisition in every model — the classic register-only reference point
+// against which the Ω(n log n) bound for read/write/conditional algorithms
+// is read.
+type Bakery struct {
+	n        int
+	choosing []*memory.Obj // choosing[i], home i
+	number   []*memory.Obj // number[i], home i
+}
+
+// NewBakery allocates a bakery lock for all processes of mem.
+func NewBakery(mem *memory.Memory) *Bakery {
+	n := mem.NumProcs()
+	l := &Bakery{n: n}
+	l.choosing = make([]*memory.Obj, n)
+	l.number = make([]*memory.Obj, n)
+	for i := 0; i < n; i++ {
+		l.choosing[i] = mem.AllocAt(fmt.Sprintf("bakery.choosing[%d]", i), i)
+		l.number[i] = mem.AllocAt(fmt.Sprintf("bakery.number[%d]", i), i)
+	}
+	return l
+}
+
+// Name implements Lock.
+func (*Bakery) Name() string { return "bakery" }
+
+// Enter implements Lock.
+func (l *Bakery) Enter(p *memory.Proc) {
+	i := p.ID()
+	p.Write(l.choosing[i], 1)
+	max := uint64(0)
+	for j := 0; j < l.n; j++ {
+		if v := p.Read(l.number[j]); v > max {
+			max = v
+		}
+	}
+	mine := max + 1
+	p.Write(l.number[i], mine)
+	p.Write(l.choosing[i], 0)
+	for j := 0; j < l.n; j++ {
+		if j == i {
+			continue
+		}
+		for p.Read(l.choosing[j]) == 1 {
+		}
+		for {
+			nj := p.Read(l.number[j])
+			// Proceed when j is not competing or (number, id) orders us
+			// first; ties break by process id.
+			if nj == 0 || nj > mine || (nj == mine && j > i) {
+				break
+			}
+		}
+	}
+}
+
+// Exit implements Lock.
+func (l *Bakery) Exit(p *memory.Proc) {
+	p.Write(l.number[p.ID()], 0)
+}

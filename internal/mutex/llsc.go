@@ -1,0 +1,31 @@
+package mutex
+
+import "repro/internal/memory"
+
+// LLSC is a test-and-set lock built from load-linked/store-conditional —
+// the other conditional primitive the paper's Theorem 9 admits. Its RMR
+// behaviour matches TAS (global spinning); its purpose in the suite is to
+// exercise the LL/SC primitive pair in a full algorithm.
+type LLSC struct {
+	lock *memory.Obj
+}
+
+// NewLLSC allocates an LL/SC-based lock.
+func NewLLSC(mem *memory.Memory) *LLSC {
+	return &LLSC{lock: mem.Alloc("llsc.lock")}
+}
+
+// Name implements Lock.
+func (*LLSC) Name() string { return "llsc" }
+
+// Enter implements Lock.
+func (l *LLSC) Enter(p *memory.Proc) {
+	for {
+		if p.LL(l.lock) == 0 && p.SC(l.lock, uint64(p.ID())+1) {
+			return
+		}
+	}
+}
+
+// Exit implements Lock.
+func (l *LLSC) Exit(p *memory.Proc) { p.Write(l.lock, 0) }

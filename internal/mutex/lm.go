@@ -1,0 +1,177 @@
+package mutex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// LM is the paper's Algorithm 1: a deadlock-free, finite-exit mutual
+// exclusion object built from a strictly serializable, strongly progressive
+// TM M that accesses a single t-object X. Each process alternates between
+// two identities [p_i, face_i]; the TM atomically enqueues the caller on X
+// (read the previous holder, write our identity, commit), and the hand-off
+// uses per-pair spin registers Lock[p_i][p_j] that are local to p_i under
+// DSM, giving O(1) RMRs per acquisition outside M.
+//
+// Note on line 30 of the paper's pseudocode: as printed, p_i spins *while*
+// Lock[p_i][prev] is unlocked — but p_i itself wrote `locked` to that
+// register three lines earlier, so the wait would exit immediately and
+// mutual exclusion would fail. We implement the evident intent (spin until
+// the predecessor writes `unlocked`); the package tests model-check mutual
+// exclusion and deadlock-freedom over many seeded schedules.
+type LM struct {
+	m    tm.TM
+	n    int
+	done [][2]*memory.Obj // Done[p_i][face]
+	succ [][2]*memory.Obj // Succ[p_i][face]: successor pid+1, 0 = ⊥
+	lock [][]*memory.Obj  // Lock[p_i][p_j], local (DSM home) to p_i
+	face []int            // per-process current face (process-local state)
+
+	// tmSteps/tmRMRs accumulate the cost incurred inside M's t-operations,
+	// so experiment E4 can split L(M)'s cost into "TM" and "hand-off"
+	// parts and verify Theorem 7's O(1)-overhead claim.
+	tmSteps, tmRMRs []uint64
+}
+
+// NewLM builds L(M) over mem. M must manage at least one t-object;
+// t-object 0 plays the role of X. NewLM panics if m declares itself
+// non-strongly-progressive or not strictly serializable, since Algorithm 1
+// is only correct for that TM class.
+func NewLM(mem *memory.Memory, m tm.TM) *LM {
+	props := m.Props()
+	if !props.StronglyProgressive || !props.StrictSerializable {
+		panic(fmt.Sprintf("mutex: L(M) requires a strictly serializable, strongly progressive TM; %s is %v", m.Name(), props))
+	}
+	if m.NumObjects() < 1 {
+		panic("mutex: L(M) requires a TM with at least one t-object")
+	}
+	n := mem.NumProcs()
+	l := &LM{
+		m:       m,
+		n:       n,
+		done:    make([][2]*memory.Obj, n),
+		succ:    make([][2]*memory.Obj, n),
+		lock:    make([][]*memory.Obj, n),
+		face:    make([]int, n),
+		tmSteps: make([]uint64, n),
+		tmRMRs:  make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		for f := 0; f < 2; f++ {
+			l.done[i][f] = mem.AllocAt(fmt.Sprintf("lm.done[%d][%d]", i, f), i)
+			l.succ[i][f] = mem.AllocAt(fmt.Sprintf("lm.succ[%d][%d]", i, f), i)
+		}
+		l.lock[i] = make([]*memory.Obj, n)
+		for j := 0; j < n; j++ {
+			if j != i {
+				l.lock[i][j] = mem.AllocAt(fmt.Sprintf("lm.lock[%d][%d]", i, j), i)
+			}
+		}
+	}
+	return l
+}
+
+// Name implements Lock.
+func (l *LM) Name() string { return "lm(" + l.m.Name() + ")" }
+
+// TM returns the underlying transactional memory M.
+func (l *LM) TM() tm.TM { return l.m }
+
+// TMSteps returns the cumulative steps process i spent inside M.
+func (l *LM) TMSteps(i int) uint64 { return l.tmSteps[i] }
+
+// TMRMRs returns the cumulative RMRs process i incurred inside M.
+func (l *LM) TMRMRs(i int) uint64 { return l.tmRMRs[i] }
+
+// identity encodes [p_i, face_i] as a non-⊥ t-object value.
+func identity(pid, face int) tm.Value { return tm.Value(1 + 2*pid + face) }
+
+func decodeIdentity(v tm.Value) (pid, face int) {
+	v--
+	return int(v / 2), int(v % 2)
+}
+
+const (
+	unlocked = 0
+	locked   = 1
+)
+
+// fnc is the paper's func(): atomically read X and overwrite it with our
+// identity, returning the previous value, or reporting failure if the
+// transaction aborted. Strong progressiveness of M guarantees that
+// concurrent callers cannot all fail forever.
+func (l *LM) fnc(p *memory.Proc, id tm.Value) (prev tm.Value, ok bool) {
+	s0, r0 := p.Steps(), p.RMRs()
+	defer func() {
+		l.tmSteps[p.ID()] += p.Steps() - s0
+		l.tmRMRs[p.ID()] += p.RMRs() - r0
+	}()
+	tx := l.m.Begin(p)
+	v, err := tx.Read(0)
+	if err == nil {
+		err = tx.Write(0, id)
+	}
+	if err == nil {
+		err = tx.Commit()
+	}
+	if err != nil {
+		if !errors.Is(err, tm.ErrAborted) {
+			panic("mutex: unexpected TM error: " + err.Error())
+		}
+		tx.Abort()
+		return 0, false
+	}
+	return v, true
+}
+
+// Enter implements Lock (the paper's Entry section).
+func (l *LM) Enter(p *memory.Proc) {
+	i := p.ID()
+	l.face[i] = 1 - l.face[i]
+	f := l.face[i]
+	p.Write(l.done[i][f], 0) // Done[p_i, face_i] := false
+	p.Write(l.succ[i][f], 0) // Succ[p_i, face_i] := ⊥
+
+	var prev tm.Value
+	for {
+		v, ok := l.fnc(p, identity(i, f))
+		if ok {
+			prev = v
+			break
+		}
+	}
+	if prev == 0 {
+		return // read the initial value ⊥: the queue was empty
+	}
+	pj, fj := decodeIdentity(prev)
+	if pj == i {
+		// X still holds our own previous face's identity: since a process
+		// issues operations sequentially, that face completed Exit before
+		// this Enter began (Done[i][fj] is already true), so we own the
+		// critical section immediately. The paper's Lock array has no
+		// [p_i][p_i] register for the same reason.
+		return
+	}
+	p.Write(l.lock[i][pj], locked)
+	p.Write(l.succ[pj][fj], uint64(i)+1)
+	if p.Read(l.done[pj][fj]) == 0 {
+		// Predecessor still active: local spin until it hands off.
+		for p.Read(l.lock[i][pj]) == locked {
+		}
+	}
+}
+
+// Exit implements Lock (the paper's Exit section). It contains no loops:
+// finite exit.
+func (l *LM) Exit(p *memory.Proc) {
+	i := p.ID()
+	f := l.face[i]
+	p.Write(l.done[i][f], 1) // Done[p_i, face_i] := true
+	s := p.Read(l.succ[i][f])
+	if s != 0 {
+		p.Write(l.lock[int(s-1)][i], unlocked)
+	}
+}

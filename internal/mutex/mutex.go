@@ -1,0 +1,245 @@
+// Package mutex implements the mutual-exclusion side of Section 5: the
+// paper's Algorithm 1 — a deadlock-free, finite-exit mutex L(M) built from
+// any strictly serializable, strongly progressive TM M that accesses a
+// single t-object — together with the classic spin locks (test-and-set,
+// test-and-test-and-set, ticket, Anderson array, MCS, CLH) as RMR
+// baselines. All algorithms run on the simulated memory, so their RMR
+// complexity under the CC and DSM models is measured, not modelled.
+package mutex
+
+import (
+	"repro/internal/memory"
+)
+
+// Lock is a mutual-exclusion object for the processes of one Memory.
+// Enter blocks (spins) until the caller holds the critical section; Exit
+// releases it. Each implementation documents its per-process local state.
+type Lock interface {
+	Name() string
+	Enter(p *memory.Proc)
+	Exit(p *memory.Proc)
+}
+
+// TAS is the test-and-set lock: the simplest correct lock and the worst
+// RMR citizen — every spin iteration applies a nontrivial primitive, so
+// contenders generate unbounded RMRs in every model.
+type TAS struct {
+	lock *memory.Obj
+}
+
+// NewTAS allocates a TAS lock.
+func NewTAS(mem *memory.Memory) *TAS {
+	return &TAS{lock: mem.Alloc("tas.lock")}
+}
+
+// Name implements Lock.
+func (*TAS) Name() string { return "tas" }
+
+// Enter implements Lock.
+func (l *TAS) Enter(p *memory.Proc) {
+	for !p.CAS(l.lock, 0, uint64(p.ID())+1) {
+	}
+}
+
+// Exit implements Lock.
+func (l *TAS) Exit(p *memory.Proc) { p.Write(l.lock, 0) }
+
+// TTAS is the test-and-test-and-set lock: contenders spin on a cached read
+// and attempt the CAS only when the lock is observed free. O(1) RMRs per
+// handoff while spinning in CC models, but each release still invalidates
+// every spinner.
+type TTAS struct {
+	lock *memory.Obj
+}
+
+// NewTTAS allocates a TTAS lock.
+func NewTTAS(mem *memory.Memory) *TTAS {
+	return &TTAS{lock: mem.Alloc("ttas.lock")}
+}
+
+// Name implements Lock.
+func (*TTAS) Name() string { return "ttas" }
+
+// Enter implements Lock.
+func (l *TTAS) Enter(p *memory.Proc) {
+	for {
+		if p.Read(l.lock) == 0 && p.CAS(l.lock, 0, uint64(p.ID())+1) {
+			return
+		}
+	}
+}
+
+// Exit implements Lock.
+func (l *TTAS) Exit(p *memory.Proc) { p.Write(l.lock, 0) }
+
+// Ticket is the ticket lock (fetch-and-add based, FIFO). All waiters spin
+// on the single owner word, so every handoff invalidates every waiter's
+// cache: Θ(n) RMRs per handoff under contention in CC.
+type Ticket struct {
+	next  *memory.Obj
+	owner *memory.Obj
+}
+
+// NewTicket allocates a ticket lock.
+func NewTicket(mem *memory.Memory) *Ticket {
+	return &Ticket{next: mem.Alloc("ticket.next"), owner: mem.Alloc("ticket.owner")}
+}
+
+// Name implements Lock.
+func (*Ticket) Name() string { return "ticket" }
+
+// Enter implements Lock.
+func (l *Ticket) Enter(p *memory.Proc) {
+	t := p.FetchAdd(l.next, 1)
+	for p.Read(l.owner) != t {
+	}
+}
+
+// Exit implements Lock.
+func (l *Ticket) Exit(p *memory.Proc) {
+	p.Write(l.owner, p.Read(l.owner)+1)
+}
+
+// Anderson is the Anderson array lock: each waiter spins on its own slot of
+// a circular flag array, giving O(1) RMRs per acquisition in CC models
+// (each handoff invalidates exactly one spinner). Slots are in global
+// memory, so it is not local-spin under DSM.
+type Anderson struct {
+	n     int
+	tail  *memory.Obj
+	flags []*memory.Obj
+	pos   []uint64 // per-process slot of the current acquisition
+}
+
+// NewAnderson allocates an Anderson lock for all processes of mem.
+func NewAnderson(mem *memory.Memory) *Anderson {
+	n := mem.NumProcs()
+	l := &Anderson{
+		n:     n,
+		tail:  mem.Alloc("anderson.tail"),
+		flags: mem.AllocArray("anderson.flag", n),
+		pos:   make([]uint64, n),
+	}
+	mem.Poke(l.flags[0], 1) // the first ticket proceeds immediately
+	return l
+}
+
+// Name implements Lock.
+func (*Anderson) Name() string { return "anderson" }
+
+// Enter implements Lock.
+func (l *Anderson) Enter(p *memory.Proc) {
+	pos := p.FetchAdd(l.tail, 1) % uint64(l.n)
+	l.pos[p.ID()] = pos
+	for p.Read(l.flags[pos]) == 0 {
+	}
+	p.Write(l.flags[pos], 0)
+}
+
+// Exit implements Lock.
+func (l *Anderson) Exit(p *memory.Proc) {
+	p.Write(l.flags[(l.pos[p.ID()]+1)%uint64(l.n)], 1)
+}
+
+// MCS is the Mellor-Crummey–Scott queue lock: each waiter spins on a flag
+// in its own queue node, which is allocated with the waiter as its DSM
+// home, so MCS is O(1) RMR per acquisition in both CC and DSM models.
+type MCS struct {
+	mem  *memory.Obj   // tail pointer
+	lock []*memory.Obj // qnode[i].locked, home i
+	next []*memory.Obj // qnode[i].next, home i
+	m    *memory.Memory
+}
+
+// NewMCS allocates an MCS lock, with each process's queue node homed at
+// that process.
+func NewMCS(mem *memory.Memory) *MCS {
+	n := mem.NumProcs()
+	l := &MCS{mem: mem.Alloc("mcs.tail"), m: mem}
+	l.lock = make([]*memory.Obj, n)
+	l.next = make([]*memory.Obj, n)
+	for i := 0; i < n; i++ {
+		l.lock[i] = mem.AllocAt("mcs.qnode.locked", i)
+		l.next[i] = mem.AllocAt("mcs.qnode.next", i)
+	}
+	return l
+}
+
+// Name implements Lock.
+func (*MCS) Name() string { return "mcs" }
+
+// Enter implements Lock.
+func (l *MCS) Enter(p *memory.Proc) {
+	i := p.ID()
+	p.Write(l.next[i], 0)
+	p.Write(l.lock[i], 1)
+	prev := p.Swap(l.mem, uint64(i)+1)
+	if prev == 0 {
+		return
+	}
+	p.Write(l.next[prev-1], uint64(i)+1)
+	for p.Read(l.lock[i]) == 1 {
+	}
+}
+
+// Exit implements Lock.
+func (l *MCS) Exit(p *memory.Proc) {
+	i := p.ID()
+	if p.Read(l.next[i]) == 0 {
+		if p.CAS(l.mem, uint64(i)+1, 0) {
+			return
+		}
+		// A successor is linking in; wait for the link.
+		for p.Read(l.next[i]) == 0 {
+		}
+	}
+	succ := p.Read(l.next[i])
+	p.Write(l.lock[succ-1], 0)
+}
+
+// CLH is the Craig–Landin–Hagersten queue lock: each waiter spins on its
+// predecessor's node. O(1) RMR per acquisition in CC models; *not*
+// local-spin under DSM (the predecessor's node is remote), which the RMR
+// experiment makes visible.
+type CLH struct {
+	tail     *memory.Obj
+	m        *memory.Memory
+	node     []uint64 // address of each process's next acquisition node
+	exitNode []uint64 // address of the node the current holder must release
+}
+
+// NewCLH allocates a CLH lock. The initial tail node is unlocked.
+func NewCLH(mem *memory.Memory) *CLH {
+	n := mem.NumProcs()
+	l := &CLH{tail: mem.Alloc("clh.tail"), m: mem, node: make([]uint64, n), exitNode: make([]uint64, n)}
+	sentinel := mem.Alloc("clh.sentinel") // value 0 = unlocked
+	mem.Poke(l.tail, sentinel.Addr())
+	for i := 0; i < n; i++ {
+		nd := mem.AllocAt("clh.node", i)
+		l.node[i] = nd.Addr()
+	}
+	return l
+}
+
+// Name implements Lock.
+func (*CLH) Name() string { return "clh" }
+
+// Enter implements Lock.
+func (l *CLH) Enter(p *memory.Proc) {
+	i := p.ID()
+	my := l.m.ObjAt(l.node[i])
+	p.Write(my, 1) // locked
+	prevAddr := p.Swap(l.tail, my.Addr())
+	prev := l.m.ObjAt(prevAddr)
+	for p.Read(prev) == 1 {
+	}
+	// Recycle the predecessor's node for our next acquisition, as in the
+	// standard CLH protocol.
+	l.node[i] = prevAddr
+	l.exitNode[i] = my.Addr()
+}
+
+// Exit implements Lock.
+func (l *CLH) Exit(p *memory.Proc) {
+	p.Write(l.m.ObjAt(l.exitNode[p.ID()]), 0)
+}

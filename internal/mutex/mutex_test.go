@@ -1,0 +1,225 @@
+package mutex_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tm/irtm"
+	"repro/internal/tm/norec"
+	"repro/internal/tm/sgltm"
+)
+
+type lockFactory struct {
+	name string
+	make func(mem *memory.Memory) mutex.Lock
+}
+
+func factories() []lockFactory {
+	return []lockFactory{
+		{"tas", func(m *memory.Memory) mutex.Lock { return mutex.NewTAS(m) }},
+		{"ttas", func(m *memory.Memory) mutex.Lock { return mutex.NewTTAS(m) }},
+		{"ticket", func(m *memory.Memory) mutex.Lock { return mutex.NewTicket(m) }},
+		{"anderson", func(m *memory.Memory) mutex.Lock { return mutex.NewAnderson(m) }},
+		{"mcs", func(m *memory.Memory) mutex.Lock { return mutex.NewMCS(m) }},
+		{"clh", func(m *memory.Memory) mutex.Lock { return mutex.NewCLH(m) }},
+		{"bakery", func(m *memory.Memory) mutex.Lock { return mutex.NewBakery(m) }},
+		{"tournament", func(m *memory.Memory) mutex.Lock { return mutex.NewTournament(m) }},
+		{"llsc", func(m *memory.Memory) mutex.Lock { return mutex.NewLLSC(m) }},
+		{"lm(irtm)", func(m *memory.Memory) mutex.Lock { return mutex.NewLM(m, irtm.New(m, 1)) }},
+		{"lm(norec)", func(m *memory.Memory) mutex.Lock { return mutex.NewLM(m, norec.New(m, 1)) }},
+		{"lm(sgltm)", func(m *memory.Memory) mutex.Lock { return mutex.NewLM(m, sgltm.New(m, 1)) }},
+	}
+}
+
+// TestMutualExclusion model-checks every lock over many seeds and process
+// counts: no two processes may be inside the critical section at once, and
+// every process completes all its acquisitions (deadlock-freedom under the
+// fair random scheduler).
+func TestMutualExclusion(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			for _, n := range []int{2, 3, 5} {
+				for seed := int64(1); seed <= 8; seed++ {
+					testMutex(t, f, n, 5, seed)
+				}
+			}
+		})
+	}
+}
+
+func testMutex(t *testing.T, f lockFactory, n, k int, seed int64) {
+	t.Helper()
+	mem := memory.New(n, nil)
+	lock := f.make(mem)
+	scratch := mem.Alloc("scratch")
+	inCS := 0
+	completed := make([]int, n)
+	s := sched.New(mem)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Go(i, func(p *memory.Proc) {
+			for j := 0; j < k; j++ {
+				lock.Enter(p)
+				inCS++
+				if inCS != 1 {
+					t.Errorf("%s n=%d seed=%d: %d processes in the critical section", f.name, n, seed, inCS)
+				}
+				// Take a few steps inside the CS so the scheduler gets
+				// chances to interleave a violator.
+				p.Write(scratch, uint64(i))
+				p.Read(scratch)
+				p.Read(scratch)
+				inCS--
+				lock.Exit(p)
+				completed[i]++
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(seed)); err != nil {
+		t.Fatalf("%s n=%d seed=%d: %v", f.name, n, seed, err)
+	}
+	for i, c := range completed {
+		if c != k {
+			t.Fatalf("%s n=%d seed=%d: process %d completed %d/%d acquisitions", f.name, n, seed, i, c, k)
+		}
+	}
+}
+
+// TestSoloAcquisition verifies the uncontended fast path of every lock.
+func TestSoloAcquisition(t *testing.T) {
+	for _, f := range factories() {
+		f := f
+		t.Run(f.name, func(t *testing.T) {
+			mem := memory.New(3, nil)
+			lock := f.make(mem)
+			s := sched.New(mem)
+			s.Go(1, func(p *memory.Proc) {
+				for j := 0; j < 10; j++ {
+					lock.Enter(p)
+					lock.Exit(p)
+				}
+			})
+			if err := s.Run(&sched.RoundRobin{}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestFIFOLocksAreFair verifies that queue-based locks grant the CS in
+// arrival order under round-robin scheduling.
+func TestFIFOLocksAreFair(t *testing.T) {
+	for _, name := range []string{"ticket", "anderson", "mcs", "clh"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			var f lockFactory
+			for _, c := range factories() {
+				if c.name == name {
+					f = c
+				}
+			}
+			mem := memory.New(3, nil)
+			lock := f.make(mem)
+			var order []int
+			s := sched.New(mem)
+			for i := 0; i < 3; i++ {
+				i := i
+				s.Go(i, func(p *memory.Proc) {
+					for j := 0; j < 3; j++ {
+						lock.Enter(p)
+						order = append(order, i)
+						lock.Exit(p)
+					}
+				})
+			}
+			if err := s.Run(&sched.RoundRobin{}); err != nil {
+				t.Fatal(err)
+			}
+			// Under round-robin arrival, consecutive CS grants must cycle
+			// through all processes: no process may re-enter while another
+			// is queued. Check that between two grants to the same process
+			// every other process was granted.
+			last := map[int]int{}
+			for pos, who := range order {
+				if prev, ok := last[who]; ok {
+					if pos-prev < 3 {
+						t.Fatalf("%s: process %d re-entered after %d grants (order %v): queue lock must be FIFO", name, who, pos-prev, order)
+					}
+				}
+				last[who] = pos
+			}
+		})
+	}
+}
+
+// TestLMRejectsWeakTM verifies NewLM's precondition: Algorithm 1 demands a
+// strictly serializable, strongly progressive substrate.
+func TestLMRejectsWeakTM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewLM accepted a non-strongly-progressive TM")
+		}
+	}()
+	mem := memory.New(2, nil)
+	mutex.NewLM(mem, weakTM{})
+}
+
+// TestLMFiniteExit verifies the finite-exit property: Exit completes in a
+// bounded number of steps even when no successor exists.
+func TestLMFiniteExit(t *testing.T) {
+	mem := memory.New(2, nil)
+	lock := mutex.NewLM(mem, irtm.New(mem, 1))
+	s := sched.New(mem)
+	s.Go(0, func(p *memory.Proc) {
+		lock.Enter(p)
+		before := p.Steps()
+		lock.Exit(p)
+		if got := p.Steps() - before; got > 4 {
+			t.Errorf("Exit took %d steps, want ≤ 4 (finite exit, no loops)", got)
+		}
+	})
+	if err := s.Run(&sched.RoundRobin{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLMTMAccounting verifies that the TM-vs-hand-off split used by
+// experiment E4 accounts every step to exactly one side.
+func TestLMTMAccounting(t *testing.T) {
+	mem := memory.New(2, nil)
+	lock := mutex.NewLM(mem, irtm.New(mem, 1))
+	s := sched.New(mem)
+	for i := 0; i < 2; i++ {
+		s.Go(i, func(p *memory.Proc) {
+			for j := 0; j < 5; j++ {
+				lock.Enter(p)
+				lock.Exit(p)
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(3)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		p := mem.Proc(i)
+		if lock.TMSteps(i) == 0 {
+			t.Errorf("process %d: no steps attributed to the TM", i)
+		}
+		if lock.TMSteps(i) > p.Steps() {
+			t.Errorf("process %d: TM steps %d exceed total %d", i, lock.TMSteps(i), p.Steps())
+		}
+	}
+}
+
+// weakTM is a stub TM that declares no useful properties; only NewLM's
+// precondition check touches it.
+type weakTM struct{}
+
+func (weakTM) Name() string                { return "weak" }
+func (weakTM) NumObjects() int             { return 1 }
+func (weakTM) Begin(p *memory.Proc) tm.Txn { panic("unused") }
+func (weakTM) Props() tm.Props             { return tm.Props{} }

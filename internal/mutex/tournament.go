@@ -1,0 +1,73 @@
+package mutex
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// Tournament is a Peterson tournament-tree lock: a complete binary tree of
+// two-process Peterson locks; each process climbs its leaf-to-root path,
+// winning one two-way duel per level. Acquisitions cost Θ(log n) RMRs in
+// the CC models — the per-acquisition shape matching the amortized
+// Ω(log n) of the Attiya–Hendler–Woelfel bound that Theorem 9 inherits.
+// It uses reads and writes only.
+type Tournament struct {
+	n2 int // number of leaves: n rounded up to a power of two
+	// Per internal node (heap-indexed 1..n2-1): two flags and a turn word.
+	flag [][2]*memory.Obj
+	turn []*memory.Obj
+}
+
+// NewTournament allocates a tournament lock for all processes of mem.
+func NewTournament(mem *memory.Memory) *Tournament {
+	n2 := 1
+	for n2 < mem.NumProcs() {
+		n2 *= 2
+	}
+	if n2 < 2 {
+		n2 = 2
+	}
+	l := &Tournament{n2: n2}
+	l.flag = make([][2]*memory.Obj, n2)
+	l.turn = make([]*memory.Obj, n2)
+	for node := 1; node < n2; node++ {
+		l.flag[node][0] = mem.Alloc(fmt.Sprintf("tournament.flag[%d][0]", node))
+		l.flag[node][1] = mem.Alloc(fmt.Sprintf("tournament.flag[%d][1]", node))
+		l.turn[node] = mem.Alloc(fmt.Sprintf("tournament.turn[%d]", node))
+	}
+	return l
+}
+
+// Name implements Lock.
+func (*Tournament) Name() string { return "tournament" }
+
+// Enter implements Lock: climb from the leaf slot to the root, acquiring
+// the Peterson lock at each internal node.
+func (l *Tournament) Enter(p *memory.Proc) {
+	pos := l.n2 + p.ID()
+	for pos > 1 {
+		node, side := pos/2, pos%2
+		p.Write(l.flag[node][side], 1)
+		p.Write(l.turn[node], uint64(side))
+		for p.Read(l.flag[node][1-side]) == 1 && p.Read(l.turn[node]) == uint64(side) {
+		}
+		pos = node
+	}
+}
+
+// Exit implements Lock: release the path root-to-leaf (reverse acquisition
+// order).
+func (l *Tournament) Exit(p *memory.Proc) {
+	// Recompute the leaf-to-root path, then walk it top-down.
+	var path []int
+	pos := l.n2 + p.ID()
+	for pos > 1 {
+		path = append(path, pos)
+		pos /= 2
+	}
+	for i := len(path) - 1; i >= 0; i-- {
+		node, side := path[i]/2, path[i]%2
+		p.Write(l.flag[node][side], 0)
+	}
+}

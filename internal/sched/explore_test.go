@@ -1,0 +1,223 @@
+package sched_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+)
+
+// brokenEnter is the classic test-then-set mistake: the read and the write
+// are separate primitives, so two processes can both observe 0 and both
+// enter. The explorer must find the interleaving.
+func brokenEnter(p *memory.Proc, flag *memory.Obj) {
+	for {
+		if p.Read(flag) == 0 {
+			p.Write(flag, 1)
+			return
+		}
+	}
+}
+
+func TestExploreFindsTestThenSetBug(t *testing.T) {
+	build := func() (*sched.Scheduler, func() error) {
+		mem := memory.New(2, nil)
+		flag := mem.Alloc("flag")
+		inCS := 0
+		violated := false
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				brokenEnter(p, flag)
+				inCS++
+				if inCS > 1 {
+					violated = true
+				}
+				p.Read(flag) // an interleaving point inside the CS
+				inCS--
+				p.Write(flag, 0)
+			})
+		}
+		return s, func() error {
+			if violated {
+				return errors.New("two processes in the critical section")
+			}
+			return nil
+		}
+	}
+	// The race needs two preemptions: leave p0 between its read and write,
+	// let p1 read-write and enter the CS, then return to p0 mid-CS.
+	res, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 2, MaxRuns: 20_000})
+	if err == nil {
+		t.Fatalf("explorer missed the test-then-set race after %d runs", res.Runs)
+	}
+	var ee *sched.ErrExplore
+	if !errors.As(err, &ee) {
+		t.Fatalf("error %v is not an ErrExplore", err)
+	}
+	if len(ee.Schedule) == 0 {
+		t.Fatal("counterexample schedule is empty")
+	}
+	t.Logf("found in %d runs, schedule %v", res.Runs, ee.Schedule)
+}
+
+// TestExploreCounterexampleReplays verifies that the schedule returned in
+// the counterexample deterministically reproduces the violation.
+func TestExploreCounterexampleReplays(t *testing.T) {
+	run := func(prefix []int) bool {
+		mem := memory.New(2, nil)
+		flag := mem.Alloc("flag")
+		inCS, violated := 0, false
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				brokenEnter(p, flag)
+				inCS++
+				if inCS > 1 {
+					violated = true
+				}
+				p.Read(flag)
+				inCS--
+				p.Write(flag, 0)
+			})
+		}
+		pol := sched.NewReplay(prefix)
+		if err := s.Run(pol); err != nil {
+			t.Fatal(err)
+		}
+		return violated
+	}
+	// First find the bug.
+	var schedule []int
+	build := func() (*sched.Scheduler, func() error) {
+		mem := memory.New(2, nil)
+		flag := mem.Alloc("flag")
+		inCS, violated := 0, false
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				brokenEnter(p, flag)
+				inCS++
+				if inCS > 1 {
+					violated = true
+				}
+				p.Read(flag)
+				inCS--
+				p.Write(flag, 0)
+			})
+		}
+		return s, func() error {
+			if violated {
+				return errors.New("violation")
+			}
+			return nil
+		}
+	}
+	_, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 2, MaxRuns: 20_000})
+	var ee *sched.ErrExplore
+	if !errors.As(err, &ee) {
+		t.Fatalf("no counterexample: %v", err)
+	}
+	schedule = ee.Schedule
+	if !run(schedule) {
+		t.Fatalf("schedule %v did not reproduce the violation", schedule)
+	}
+}
+
+// TestExploreExhaustsCorrectLock verifies the flip side: a correct CAS
+// lock admits no violating schedule within the bound, and the explorer
+// covers the whole bounded space.
+func TestExploreExhaustsCorrectLock(t *testing.T) {
+	build := func() (*sched.Scheduler, func() error) {
+		mem := memory.New(2, nil)
+		lock := mem.Alloc("lock")
+		inCS, violated := 0, false
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				for !p.CAS(lock, 0, uint64(p.ID())+1) {
+				}
+				inCS++
+				if inCS > 1 {
+					violated = true
+				}
+				p.Read(lock)
+				inCS--
+				p.Write(lock, 0)
+			})
+		}
+		return s, func() error {
+			if violated {
+				return errors.New("two processes in the critical section")
+			}
+			return nil
+		}
+	}
+	res, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 2, MaxRuns: 50_000})
+	if err != nil {
+		t.Fatalf("correct lock flagged: %v", err)
+	}
+	if !res.Exhausted {
+		t.Fatalf("bounded space not exhausted in %d runs", res.Runs)
+	}
+	if res.Runs < 3 {
+		t.Fatalf("suspiciously few runs (%d); exploration is not branching", res.Runs)
+	}
+	t.Logf("exhausted in %d runs", res.Runs)
+}
+
+// TestExploreRespectsPreemptionBound: with a zero budget, only
+// run-to-completion schedules are explored (one per initial task choice
+// modulo completion switches).
+func TestExploreRespectsPreemptionBound(t *testing.T) {
+	var runs int
+	build := func() (*sched.Scheduler, func() error) {
+		runs++
+		mem := memory.New(2, nil)
+		o := mem.Alloc("x")
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				for j := 0; j < 5; j++ {
+					p.FetchAdd(o, 1)
+				}
+			})
+		}
+		return s, func() error { return nil }
+	}
+	res, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 0, MaxRuns: 1_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Fatal("tiny space not exhausted")
+	}
+	if res.Runs > 4 {
+		t.Fatalf("%d runs with zero preemptions; expected at most a handful", res.Runs)
+	}
+}
+
+func ExampleExplore() {
+	build := func() (*sched.Scheduler, func() error) {
+		mem := memory.New(2, nil)
+		o := mem.Alloc("counter")
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			s.Go(i, func(p *memory.Proc) {
+				v := p.Read(o)
+				p.Write(o, v+1)
+			})
+		}
+		return s, func() error {
+			if got := mem.Peek(o); got != 2 {
+				return fmt.Errorf("lost update: counter = %d", got)
+			}
+			return nil
+		}
+	}
+	_, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 1, MaxRuns: 100})
+	fmt.Println(errors.As(err, new(*sched.ErrExplore)))
+	// Output: true
+}

@@ -1,0 +1,293 @@
+// Package sched provides a deterministic cooperative scheduler over the
+// simulated shared memory. Each scheduled process runs in its own goroutine
+// but yields to the scheduler before every primitive application, so exactly
+// one process takes steps at any time and an execution is fully determined
+// by the scheduling policy (and its seed). This is how the concurrent
+// executions of Section 5 — spinning mutex acquirers — are produced and
+// replayed.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/memory"
+)
+
+// ErrStepLimit is returned by Run when the execution exceeds the configured
+// step budget, which in a cooperative system indicates livelock (e.g. a spin
+// loop whose release never gets scheduled under an unfair policy).
+var ErrStepLimit = errors.New("sched: step limit exceeded")
+
+// Policy chooses the next process to take a step. runnable lists the indices
+// of parked, unfinished tasks in spawn order; step is the number of steps
+// granted so far.
+type Policy interface {
+	Name() string
+	Pick(runnable []int, step uint64) int
+}
+
+// RoundRobin cycles fairly through runnable processes, starting from the
+// lowest task index. The zero value is ready to use.
+type RoundRobin struct {
+	last    int
+	started bool
+}
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (rr *RoundRobin) Pick(runnable []int, step uint64) int {
+	if !rr.started {
+		rr.started = true
+		rr.last = -1
+	}
+	// Choose the smallest task index strictly greater than last, wrapping.
+	best, wrap := -1, -1
+	for _, id := range runnable {
+		if id > rr.last && (best == -1 || id < best) {
+			best = id
+		}
+		if wrap == -1 || id < wrap {
+			wrap = id
+		}
+	}
+	if best == -1 {
+		best = wrap
+	}
+	rr.last = best
+	return best
+}
+
+// Random picks uniformly with a fixed seed, so adversarial interleavings
+// found by stress tests are replayable.
+type Random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (*Random) Name() string { return "random" }
+
+// Pick implements Policy.
+func (r *Random) Pick(runnable []int, step uint64) int {
+	return runnable[r.rng.Intn(len(runnable))]
+}
+
+// Burst runs each process for a random-length burst of steps before
+// switching, with a fixed seed. Long bursts approximate step
+// contention-free fragments; short bursts maximize interleaving.
+type Burst struct {
+	rng      *rand.Rand
+	maxBurst int
+	cur      int
+	left     int
+}
+
+// NewBurst returns a seeded burst policy with bursts of 1..maxBurst steps.
+func NewBurst(seed int64, maxBurst int) *Burst {
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	return &Burst{rng: rand.New(rand.NewSource(seed)), maxBurst: maxBurst, cur: -1}
+}
+
+// Name implements Policy.
+func (*Burst) Name() string { return "burst" }
+
+// Pick implements Policy.
+func (b *Burst) Pick(runnable []int, step uint64) int {
+	if b.left > 0 {
+		for _, id := range runnable {
+			if id == b.cur {
+				b.left--
+				return id
+			}
+		}
+	}
+	b.cur = runnable[b.rng.Intn(len(runnable))]
+	b.left = b.rng.Intn(b.maxBurst)
+	return b.cur
+}
+
+// Replay replays an explicit schedule — typically a counterexample from
+// Explore — then defaults to run-to-completion once the trace is
+// exhausted or infeasible.
+type Replay struct {
+	trace []int
+	pos   int
+	last  int
+	begun bool
+}
+
+// NewReplay returns a policy replaying the given task-id trace.
+func NewReplay(trace []int) *Replay {
+	return &Replay{trace: append([]int(nil), trace...)}
+}
+
+// Name implements Policy.
+func (*Replay) Name() string { return "replay" }
+
+// Pick implements Policy.
+func (r *Replay) Pick(runnable []int, step uint64) int {
+	if r.pos < len(r.trace) && contains(runnable, r.trace[r.pos]) {
+		r.last = r.trace[r.pos]
+		r.pos++
+		r.begun = true
+		return r.last
+	}
+	r.pos = len(r.trace)
+	if r.begun && contains(runnable, r.last) {
+		return r.last
+	}
+	r.begun = true
+	r.last = runnable[0]
+	return r.last
+}
+
+type task struct {
+	id     int
+	proc   *memory.Proc
+	fn     func(*memory.Proc)
+	grant  chan struct{}
+	parked chan struct{}
+	done   chan struct{}
+	panicv any
+}
+
+// killSentinel is panicked out of a task's next primitive when the
+// scheduler tears an execution down (step limit, sibling panic). Tasks in
+// unbounded spin loops would otherwise never terminate once unscheduled.
+type killSentinel struct{}
+
+// kill unblocks a parked task and forces it to unwind at its next yield
+// point, then waits for it to finish.
+func kill(t *task) {
+	t.proc.SetYield(func() { panic(killSentinel{}) })
+	close(t.grant)
+	<-t.done
+}
+
+// Scheduler coordinates a set of cooperatively scheduled processes.
+type Scheduler struct {
+	mem       *memory.Memory
+	tasks     []*task
+	StepLimit uint64 // 0 means the default of 50 million granted steps
+}
+
+// New creates a scheduler over mem.
+func New(mem *memory.Memory) *Scheduler {
+	return &Scheduler{mem: mem}
+}
+
+// Go registers fn to run as process proc. Each memory process may be
+// registered at most once per Run.
+func (s *Scheduler) Go(proc int, fn func(*memory.Proc)) {
+	p := s.mem.Proc(proc)
+	s.tasks = append(s.tasks, &task{
+		id:     len(s.tasks),
+		proc:   p,
+		fn:     fn,
+		grant:  make(chan struct{}),
+		parked: make(chan struct{}),
+		done:   make(chan struct{}),
+	})
+}
+
+// Run executes all registered tasks to completion under the policy. It
+// returns ErrStepLimit on livelock and re-panics task panics as errors.
+// After Run returns, the yield hooks are cleared and the task list reset,
+// so the scheduler can be reused.
+func (s *Scheduler) Run(policy Policy) error {
+	tasks := s.tasks
+	s.tasks = nil
+	if len(tasks) == 0 {
+		return nil
+	}
+	limit := s.StepLimit
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	for _, t := range tasks {
+		t := t
+		t.proc.SetYield(func() {
+			t.parked <- struct{}{}
+			<-t.grant
+		})
+		go func() {
+			defer func() {
+				t.panicv = recover()
+				close(t.done)
+			}()
+			// Park once before running so that no user code executes
+			// until the scheduler grants the first step.
+			t.parked <- struct{}{}
+			<-t.grant
+			t.fn(t.proc)
+		}()
+	}
+	defer func() {
+		for _, t := range tasks {
+			t.proc.SetYield(nil)
+		}
+	}()
+
+	finished := 0
+	parked := make([]bool, len(tasks))
+	for _, t := range tasks {
+		<-t.parked
+		parked[t.id] = true
+	}
+	var steps uint64
+	runnable := make([]int, 0, len(tasks))
+	for finished < len(tasks) {
+		if steps >= limit {
+			// Kill every parked task so goroutines do not leak.
+			for _, t := range tasks {
+				if parked[t.id] {
+					kill(t)
+				}
+			}
+			return fmt.Errorf("%w (limit %d, policy %s)", ErrStepLimit, limit, policy.Name())
+		}
+		runnable = runnable[:0]
+		for _, t := range tasks {
+			if parked[t.id] {
+				runnable = append(runnable, t.id)
+			}
+		}
+		if len(runnable) == 0 {
+			return errors.New("sched: no runnable task (internal error)")
+		}
+		pick := policy.Pick(runnable, steps)
+		t := tasks[pick]
+		if !parked[pick] {
+			return fmt.Errorf("sched: policy %s picked non-runnable task %d", policy.Name(), pick)
+		}
+		parked[pick] = false
+		steps++
+		t.grant <- struct{}{}
+		select {
+		case <-t.parked:
+			parked[pick] = true
+		case <-t.done:
+			finished++
+			if t.panicv != nil {
+				// Kill the remaining tasks before reporting.
+				for _, u := range tasks {
+					if u != t && parked[u.id] {
+						kill(u)
+					}
+				}
+				return fmt.Errorf("sched: task %d (proc %d) panicked: %v", t.id, t.proc.ID(), t.panicv)
+			}
+		}
+	}
+	return nil
+}

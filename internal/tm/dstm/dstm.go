@@ -1,0 +1,303 @@
+// Package dstm implements DSTM (Herlihy, Luchangco, Moir, Scherer,
+// PODC'03) — the paper's reference [16] and the system Section 6 names as
+// a matching upper bound for Theorem 3. Each t-object holds a pointer to
+// an immutable *locator* (owner transaction, old value, new value); the
+// current value is a function of the owner's status word. Writers install
+// a fresh locator with a single CAS and become owners; commit is one CAS
+// on the owner's status; conflicting writers abort the current owner
+// (aggressive contention management), making the TM obstruction-free
+// rather than lock-based.
+//
+// Reads are invisible and incrementally validated: every t-read re-checks
+// that each previously read object's locator pointer and owner status are
+// unchanged, so a read-only transaction of m reads performs Θ(m²) steps —
+// DSTM sits squarely inside Theorem 3's hypothesis class (opaque, weak
+// DAP, invisible reads, progressive) and pays exactly the bound.
+//
+// Locators and transaction descriptors are allocated from the simulated
+// arena (three resp. one base objects), so every indirection is accounted.
+package dstm
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// Transaction status values stored in descriptor base objects.
+const (
+	stActive    = 0
+	stCommitted = 1
+	stAborted   = 2
+)
+
+// TM is a DSTM instance. Create with New.
+type TM struct {
+	mem  *memory.Memory
+	ptr  []*memory.Obj // per t-object: address of the current locator
+	locs int           // locator allocation counter (diagnostics)
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// locator is a view over three consecutive arena objects.
+type locator struct {
+	owner, oldv, newv *memory.Obj
+}
+
+// New creates a DSTM instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	t := &TM{mem: mem, ptr: mem.AllocArray("dstm.ptr", nobj)}
+	for x := 0; x < nobj; x++ {
+		loc := t.alloc()
+		// Initial locators have no owner (owner address 0), meaning the
+		// committed value lives in newv (zero). Installed at construction
+		// time, outside any process.
+		mem.Poke(t.ptr[x], loc.owner.Addr())
+	}
+	return t
+}
+
+func (t *TM) alloc() locator {
+	i := t.locs
+	t.locs++
+	return locator{
+		owner: t.mem.Alloc(fmt.Sprintf("dstm.loc%d.owner", i)),
+		oldv:  t.mem.Alloc(fmt.Sprintf("dstm.loc%d.oldv", i)),
+		newv:  t.mem.Alloc(fmt.Sprintf("dstm.loc%d.newv", i)),
+	}
+}
+
+func (t *TM) locatorAt(addr uint64) locator {
+	return locator{
+		owner: t.mem.ObjAt(addr),
+		oldv:  t.mem.ObjAt(addr + 1),
+		newv:  t.mem.ObjAt(addr + 2),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "dstm" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.ptr) }
+
+// Locators returns the number of locators ever allocated.
+func (t *TM) Locators() int { return t.locs }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:              true,
+		StrictSerializable:  true,
+		WeakDAP:             true, // locators and descriptors are per object/txn
+		InvisibleReads:      true,
+		WeakInvisibleReads:  true,
+		Progressive:         true,  // every abort traces to a concurrent conflict
+		StronglyProgressive: false, // duelling writers can mutually abort
+		SequentialProgress:  true,
+		ICFLiveness:         true,
+		// CAS-only synchronization, but obstruction-free rather than
+		// lock-based; still within Theorem 3's hypotheses.
+		UsesOnlyRWConditional: true,
+	}
+}
+
+type rentry struct {
+	x       int
+	locAddr uint64
+	status  uint64 // owner status observed at first read (stCommitted if no owner)
+}
+
+// Txn is a DSTM transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	status  *memory.Obj // this transaction's descriptor (0 = active)
+	rset    []rentry
+	wlocs   map[int]locator
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+// desc lazily allocates the transaction descriptor (initial value 0 =
+// active costs no steps).
+func (tx *Txn) desc() *memory.Obj {
+	if tx.status == nil {
+		tx.status = tx.t.mem.Alloc("dstm.txn")
+	}
+	return tx.status
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	if tx.status != nil {
+		tx.p.CAS(tx.status, stActive, stAborted)
+	}
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+// currentValue resolves the committed value of a locator and the status
+// snapshot that certifies it.
+func (tx *Txn) currentValue(loc locator) (val tm.Value, status uint64) {
+	ownerAddr := tx.p.Read(loc.owner)
+	if ownerAddr == 0 {
+		return tx.p.Read(loc.newv), stCommitted
+	}
+	st := tx.p.Read(tx.t.mem.ObjAt(ownerAddr))
+	if st == stCommitted {
+		return tx.p.Read(loc.newv), st
+	}
+	return tx.p.Read(loc.oldv), st // active or aborted: old value rules
+}
+
+// validate re-checks every read entry: the object's locator pointer and
+// its owner's status must be unchanged since the first read. This is the
+// incremental validation Theorem 3 proves unavoidable.
+func (tx *Txn) validate() bool {
+	for _, e := range tx.rset {
+		if tx.p.Read(tx.t.ptr[e.x]) != e.locAddr {
+			return false
+		}
+		loc := tx.t.locatorAt(e.locAddr)
+		ownerAddr := tx.p.Read(loc.owner)
+		st := uint64(stCommitted)
+		if ownerAddr != 0 {
+			st = tx.p.Read(tx.t.mem.ObjAt(ownerAddr))
+		}
+		if st != e.status {
+			return false
+		}
+	}
+	return true
+}
+
+// Read implements tm.Txn.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.ptr))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	if loc, mine := tx.wlocs[x]; mine {
+		return tx.p.Read(loc.newv), nil // we own x: pending value
+	}
+	locAddr := tx.p.Read(tx.t.ptr[x])
+	loc := tx.t.locatorAt(locAddr)
+	v, st := tx.currentValue(loc)
+	if !tx.validate() {
+		return 0, tx.abort()
+	}
+	for i, e := range tx.rset {
+		if e.x == x {
+			// Re-read: keep the original entry if the certificate matches,
+			// otherwise the snapshot moved and we must abort.
+			if e.locAddr == locAddr && e.status == st {
+				return v, nil
+			}
+			_ = i
+			return 0, tx.abort()
+		}
+	}
+	tx.rset = append(tx.rset, rentry{x: x, locAddr: locAddr, status: st})
+	return v, nil
+}
+
+// Write implements tm.Txn: open the object for writing by installing a
+// fresh locator owned by this transaction (eager acquisition, lazy value).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.ptr))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if loc, mine := tx.wlocs[x]; mine {
+		tx.p.Write(loc.newv, v) // already own x: update in place
+		return nil
+	}
+	locAddr := tx.p.Read(tx.t.ptr[x])
+	loc := tx.t.locatorAt(locAddr)
+	ownerAddr := tx.p.Read(loc.owner)
+	st := uint64(stCommitted)
+	if ownerAddr != 0 {
+		owner := tx.t.mem.ObjAt(ownerAddr)
+		st = tx.p.Read(owner)
+		if st == stActive {
+			// Aggressive contention management: abort the current owner.
+			tx.p.CAS(owner, stActive, stAborted)
+			st = tx.p.Read(owner)
+			if st == stActive {
+				return tx.abort() // unreachable with CAS semantics; defensive
+			}
+		}
+	}
+	var cur tm.Value
+	if st == stCommitted {
+		cur = tx.p.Read(loc.newv)
+	} else {
+		cur = tx.p.Read(loc.oldv)
+	}
+	// If we read x earlier, the value we are about to bury in oldv must
+	// still be the one we read; otherwise our snapshot is stale.
+	if !tx.validate() {
+		return tx.abort()
+	}
+	newLoc := tx.t.alloc()
+	tx.p.Write(newLoc.owner, tx.desc().Addr())
+	tx.p.Write(newLoc.oldv, cur)
+	tx.p.Write(newLoc.newv, v)
+	if !tx.p.CAS(tx.t.ptr[x], locAddr, newLoc.owner.Addr()) {
+		return tx.abort() // a concurrent writer beat us to the install
+	}
+	// Re-certify any read entry for x against our own locator: our status
+	// stays active until tryC, so later validations remain stable.
+	for i, e := range tx.rset {
+		if e.x == x {
+			tx.rset[i] = rentry{x: x, locAddr: newLoc.owner.Addr(), status: stActive}
+		}
+	}
+	if tx.wlocs == nil {
+		tx.wlocs = make(map[int]locator)
+	}
+	tx.wlocs[x] = newLoc
+	return nil
+}
+
+// Commit implements tm.Txn: validate the read set one last time, then
+// atomically flip the descriptor from active to committed. Every owned
+// locator's newv becomes the committed value in that instant.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if !tx.validate() {
+		return tx.abort()
+	}
+	if len(tx.wlocs) == 0 {
+		tx.done = true
+		return nil
+	}
+	if !tx.p.CAS(tx.desc(), stActive, stCommitted) {
+		// A conflicting writer aborted us first.
+		tx.aborted = true
+		tx.done = true
+		return tm.ErrAborted
+	}
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		_ = tx.abort()
+	}
+}

@@ -1,0 +1,272 @@
+package tm
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/memory"
+)
+
+// OpKind enumerates t-operation kinds in a recorded history.
+type OpKind int
+
+// Operation kinds.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpTryCommit
+	OpAbort
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpTryCommit:
+		return "tryC"
+	case OpAbort:
+		return "abort"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// BaseAccess records one base-object access performed while executing a
+// t-operation (captured through the memory observer hook).
+type BaseAccess struct {
+	Obj        uint64 // base-object address
+	Nontrivial bool
+}
+
+// Op is one completed t-operation in a history: a matching
+// invocation/response pair, with Seq giving the position of the response in
+// the global history.
+type Op struct {
+	Seq     int
+	Kind    OpKind
+	Obj     int   // t-object, for OpRead/OpWrite
+	Value   Value // value written (OpWrite) or returned (OpRead)
+	Aborted bool  // the operation returned A_k
+
+	// Accesses lists the base-object accesses the TM performed to execute
+	// this t-operation, in order. The weak-DAP and invisible-reads
+	// checkers consume it; it is empty for histories built by hand.
+	Accesses []BaseAccess
+}
+
+// NontrivialEvents counts the nontrivial primitive applications within the
+// operation.
+func (op *Op) NontrivialEvents() int {
+	n := 0
+	for _, a := range op.Accesses {
+		if a.Nontrivial {
+			n++
+		}
+	}
+	return n
+}
+
+// TxnStatus is the completion status of a transaction in a history.
+type TxnStatus int
+
+// Transaction statuses.
+const (
+	TxnLive TxnStatus = iota
+	TxnCommitted
+	TxnAborted
+)
+
+func (s TxnStatus) String() string {
+	switch s {
+	case TxnLive:
+		return "live"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	}
+	return fmt.Sprintf("TxnStatus(%d)", int(s))
+}
+
+// TxnRecord is the subhistory H|k of one transaction.
+type TxnRecord struct {
+	ID       int
+	Proc     int
+	Ops      []Op
+	Status   TxnStatus
+	StartSeq int // seq of first event
+	EndSeq   int // seq of commit/abort response; -1 while live
+}
+
+// ReadSet returns the t-objects on which the transaction *invoked* reads,
+// in first-invocation order. Per the paper's Section 2, an operation that
+// returned A_k still contributes to the data set.
+func (t *TxnRecord) ReadSet() []int { return t.dset(OpRead) }
+
+// WriteSet returns the t-objects on which the transaction invoked writes
+// (including aborted attempts), in first-invocation order.
+func (t *TxnRecord) WriteSet() []int { return t.dset(OpWrite) }
+
+func (t *TxnRecord) dset(kind OpKind) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, op := range t.Ops {
+		if op.Kind == kind && !seen[op.Obj] {
+			seen[op.Obj] = true
+			out = append(out, op.Obj)
+		}
+	}
+	return out
+}
+
+// ReadOnly reports whether the transaction's write set is empty.
+func (t *TxnRecord) ReadOnly() bool { return len(t.WriteSet()) == 0 }
+
+// History is a recorded TM history: the sequence of t-operation events
+// grouped by transaction, with enough ordering information to recover the
+// real-time order (T_k precedes T_m iff EndSeq(T_k) < StartSeq(T_m)).
+type History struct {
+	Txns []*TxnRecord
+}
+
+// PrecedesRT reports whether a precedes b in the real-time order.
+func (h *History) PrecedesRT(a, b *TxnRecord) bool {
+	return a.EndSeq >= 0 && a.EndSeq < b.StartSeq
+}
+
+// Committed returns the committed transactions of the history.
+func (h *History) Committed() []*TxnRecord {
+	var out []*TxnRecord
+	for _, t := range h.Txns {
+		if t.Status == TxnCommitted {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// String renders the history compactly, one transaction per line.
+func (h *History) String() string {
+	s := ""
+	for _, t := range h.Txns {
+		s += fmt.Sprintf("T%d(p%d,%s):", t.ID, t.Proc, t.Status)
+		for _, op := range t.Ops {
+			switch op.Kind {
+			case OpRead:
+				if op.Aborted {
+					s += fmt.Sprintf(" R(X%d)->A", op.Obj)
+				} else {
+					s += fmt.Sprintf(" R(X%d)->%d", op.Obj, op.Value)
+				}
+			case OpWrite:
+				s += fmt.Sprintf(" W(X%d,%d)", op.Obj, op.Value)
+			case OpTryCommit:
+				if op.Aborted {
+					s += " tryC->A"
+				} else {
+					s += " tryC->C"
+				}
+			case OpAbort:
+				s += " abort"
+			}
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// Recorder wraps a TM and records the history of every transaction begun
+// through it. It is safe under the cooperative scheduler (one process runs
+// at a time) and under plain sequential use; a mutex guards the shared
+// sequence counter regardless.
+type Recorder struct {
+	TM
+	mu   sync.Mutex
+	seq  int
+	hist History
+}
+
+// Record wraps m in a Recorder.
+func Record(m TM) *Recorder { return &Recorder{TM: m} }
+
+// History returns the history recorded so far.
+func (r *Recorder) History() *History { return &r.hist }
+
+// Begin implements TM, recording the new transaction.
+func (r *Recorder) Begin(p *memory.Proc) Txn {
+	inner := r.TM.Begin(p)
+	r.mu.Lock()
+	rec := &TxnRecord{ID: len(r.hist.Txns), Proc: p.ID(), StartSeq: r.seq, EndSeq: -1}
+	r.seq++
+	r.hist.Txns = append(r.hist.Txns, rec)
+	r.mu.Unlock()
+	return &recordedTxn{inner: inner, r: r, rec: rec, p: p}
+}
+
+type recordedTxn struct {
+	inner Txn
+	r     *Recorder
+	rec   *TxnRecord
+	p     *memory.Proc
+}
+
+// observe runs fn with the memory observer capturing this operation's
+// base-object accesses. The cooperative scheduler runs one process at a
+// time, so the temporary observer cannot interleave with another
+// transaction of the same process.
+func (t *recordedTxn) observe(fn func()) []BaseAccess {
+	var accs []BaseAccess
+	t.p.SetObserver(func(o *memory.Obj, nontrivial bool) {
+		accs = append(accs, BaseAccess{Obj: o.Addr(), Nontrivial: nontrivial})
+	})
+	defer t.p.SetObserver(nil)
+	fn()
+	return accs
+}
+
+func (t *recordedTxn) log(kind OpKind, obj int, v Value, aborted bool, accs []BaseAccess) {
+	t.r.mu.Lock()
+	t.rec.Ops = append(t.rec.Ops, Op{Seq: t.r.seq, Kind: kind, Obj: obj, Value: v, Aborted: aborted, Accesses: accs})
+	if aborted || kind == OpTryCommit || kind == OpAbort {
+		t.rec.EndSeq = t.r.seq
+		if aborted || kind == OpAbort {
+			t.rec.Status = TxnAborted
+		} else {
+			t.rec.Status = TxnCommitted
+		}
+	}
+	t.r.seq++
+	t.r.mu.Unlock()
+}
+
+func (t *recordedTxn) Read(x int) (Value, error) {
+	var v Value
+	var err error
+	accs := t.observe(func() { v, err = t.inner.Read(x) })
+	t.log(OpRead, x, v, err != nil, accs)
+	return v, err
+}
+
+func (t *recordedTxn) Write(x int, v Value) error {
+	var err error
+	accs := t.observe(func() { err = t.inner.Write(x, v) })
+	t.log(OpWrite, x, v, err != nil, accs)
+	return err
+}
+
+func (t *recordedTxn) Commit() error {
+	var err error
+	accs := t.observe(func() { err = t.inner.Commit() })
+	t.log(OpTryCommit, -1, 0, err != nil, accs)
+	return err
+}
+
+func (t *recordedTxn) Abort() {
+	accs := t.observe(func() { t.inner.Abort() })
+	if t.rec.Status == TxnLive {
+		t.log(OpAbort, -1, 0, true, accs)
+	}
+}
+
+func (t *recordedTxn) Aborted() bool { return t.inner.Aborted() }

@@ -1,0 +1,209 @@
+package tm_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/irtm"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	mem := memory.New(2, nil)
+	rec := tm.Record(irtm.New(mem, 3))
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+
+	// T0: committed update.
+	tx := rec.Begin(p0)
+	if err := tx.Write(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(1, 6); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// T1: committed read-only.
+	tx = rec.Begin(p1)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// T2: explicit abort.
+	tx = rec.Begin(p0)
+	if _, err := tx.Read(2); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+
+	h := rec.History()
+	if len(h.Txns) != 3 {
+		t.Fatalf("recorded %d transactions, want 3", len(h.Txns))
+	}
+	t0, t1, t2 := h.Txns[0], h.Txns[1], h.Txns[2]
+
+	if t0.Status != tm.TxnCommitted || t1.Status != tm.TxnCommitted || t2.Status != tm.TxnAborted {
+		t.Fatalf("statuses = %v %v %v", t0.Status, t1.Status, t2.Status)
+	}
+	if got := t0.WriteSet(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("T0 write set = %v, want [0 1]", got)
+	}
+	if !t0.ReadOnly() == true && len(t0.ReadSet()) != 0 {
+		t.Fatalf("T0 read set = %v, want empty", t0.ReadSet())
+	}
+	if !t1.ReadOnly() {
+		t.Fatal("T1 must be read-only")
+	}
+	if !h.PrecedesRT(t0, t1) {
+		t.Fatal("T0 must really-time-precede T1")
+	}
+	if h.PrecedesRT(t1, t0) {
+		t.Fatal("RT order inverted")
+	}
+	if got := len(h.Committed()); got != 2 {
+		t.Fatalf("Committed() = %d txns, want 2", got)
+	}
+	s := h.String()
+	for _, want := range []string{"T0", "W(X0,5)", "tryC->C", "R(X0)->5", "abort"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("history string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRecorderTracksAbortedOps(t *testing.T) {
+	mem := memory.New(2, nil)
+	rec := tm.Record(irtm.New(mem, 2))
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+
+	tx := rec.Begin(p0)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// Conflicting committed write forces the next read to abort.
+	if err := tm.Atomically(rec, p1, func(w tm.Txn) error { return w.Write(0, 9) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("expected abort")
+	}
+	h := rec.History()
+	rec0 := h.Txns[0]
+	if rec0.Status != tm.TxnAborted {
+		t.Fatalf("status = %v, want aborted", rec0.Status)
+	}
+	last := rec0.Ops[len(rec0.Ops)-1]
+	if last.Kind != tm.OpRead || !last.Aborted {
+		t.Fatalf("last op = %+v, want aborted read", last)
+	}
+	// Invoked reads join the read set even when they return A_k (the
+	// paper's data-set definition counts invocations).
+	if rs := rec0.ReadSet(); len(rs) != 2 || rs[0] != 0 || rs[1] != 1 {
+		t.Fatalf("read set = %v, want [0 1]", rs)
+	}
+}
+
+func TestOnceAndAtomically(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := irtm.New(mem, 1)
+	p := mem.Proc(0)
+
+	committed, err := tm.Once(tmi, p, func(tx tm.Txn) error { return tx.Write(0, 1) })
+	if err != nil || !committed {
+		t.Fatalf("Once = %v, %v; want true, nil", committed, err)
+	}
+	// Atomically surfaces non-abort user errors without retrying.
+	calls := 0
+	err = tm.Atomically(tmi, p, func(tx tm.Txn) error {
+		calls++
+		return errSentinel
+	})
+	if err != errSentinel || calls != 1 {
+		t.Fatalf("Atomically err=%v calls=%d; want sentinel after 1 call", err, calls)
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestOpKindStrings(t *testing.T) {
+	for kind, want := range map[tm.OpKind]string{
+		tm.OpRead: "read", tm.OpWrite: "write", tm.OpTryCommit: "tryC", tm.OpAbort: "abort",
+	} {
+		if kind.String() != want {
+			t.Errorf("OpKind %d = %q, want %q", int(kind), kind.String(), want)
+		}
+	}
+	for st, want := range map[tm.TxnStatus]string{
+		tm.TxnLive: "live", tm.TxnCommitted: "committed", tm.TxnAborted: "aborted",
+	} {
+		if st.String() != want {
+			t.Errorf("TxnStatus %d = %q, want %q", int(st), st.String(), want)
+		}
+	}
+}
+
+func TestPropsString(t *testing.T) {
+	p := tm.Props{Opaque: true, WeakDAP: true, Progressive: true}
+	s := p.String()
+	for _, want := range []string{"opaque", "weak-dap", "progressive"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Props string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "multi-version") {
+		t.Errorf("Props string %q contains unset property", s)
+	}
+}
+
+func TestCheckObjectIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range index did not panic")
+		}
+	}()
+	tm.CheckObjectIndex(5, 5)
+}
+
+func TestHistoryJSONRoundTrip(t *testing.T) {
+	mem := memory.New(2, nil)
+	rec := tm.Record(irtm.New(mem, 2))
+	p := mem.Proc(0)
+	if err := tm.Atomically(rec, p, func(tx tm.Txn) error {
+		if _, err := tx.Read(0); err != nil {
+			return err
+		}
+		return tx.Write(1, 5)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back tm.History
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Txns) != len(h.Txns) {
+		t.Fatalf("round trip lost transactions: %d vs %d", len(back.Txns), len(h.Txns))
+	}
+	for i := range h.Txns {
+		a, b := h.Txns[i], back.Txns[i]
+		if a.Status != b.Status || a.StartSeq != b.StartSeq || a.EndSeq != b.EndSeq || len(a.Ops) != len(b.Ops) {
+			t.Fatalf("txn %d differs after round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if h.String() != back.String() {
+		t.Fatal("round-tripped history renders differently")
+	}
+}

@@ -1,0 +1,68 @@
+package irtm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tm/irtm"
+)
+
+// TestExhaustiveOpacity model-checks irtm's opacity over *every* schedule
+// with at most two preemptions for a two-process, two-object workload in
+// which both transactions read both objects and write one. Every recorded
+// history — including aborting interleavings — must be opaque and
+// strictly serializable.
+func TestExhaustiveOpacity(t *testing.T) {
+	build := func() (*sched.Scheduler, func() error) {
+		mem := memory.New(2, nil)
+		rec := tm.Record(irtm.New(mem, 2))
+		s := sched.New(mem)
+		for i := 0; i < 2; i++ {
+			i := i
+			s.Go(i, func(p *memory.Proc) {
+				tx := rec.Begin(p)
+				ok := true
+				for x := 0; x < 2 && ok; x++ {
+					_, err := tx.Read(x)
+					ok = err == nil
+				}
+				if ok {
+					ok = tx.Write(i, uint64(i)+10) == nil
+				}
+				if ok {
+					_ = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			})
+		}
+		return s, func() error {
+			h := rec.History()
+			if !check.Opaque(h).OK {
+				return fmt.Errorf("history not opaque:\n%s", h)
+			}
+			if !check.StrictlySerializable(h).OK {
+				return fmt.Errorf("history not strictly serializable:\n%s", h)
+			}
+			if v := check.Progressive(h); len(v) != 0 {
+				return fmt.Errorf("progressiveness violations %v in:\n%s", v, h)
+			}
+			return nil
+		}
+	}
+	res, err := sched.Explore(build, sched.ExploreOpts{MaxPreemptions: 2, MaxRuns: 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Logf("bounded space not exhausted within %d runs", res.Runs)
+	}
+	if res.Runs < 50 {
+		t.Fatalf("only %d runs; exploration did not branch", res.Runs)
+	}
+	t.Logf("%d runs (%d truncated), exhausted=%v", res.Runs, res.Truncated, res.Exhausted)
+}

@@ -1,0 +1,161 @@
+package irtm_test
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/irtm"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return irtm.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestInvisibleReads verifies the strong invisible-reads property: t-reads
+// of a read-only transaction apply no nontrivial primitive, ever.
+func TestInvisibleReads(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := irtm.New(mem, 16)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for x := 0; x < 16; x++ {
+		sp := p.BeginSpan("read")
+		if _, err := tx.Read(x); err != nil {
+			t.Fatalf("read(X%d): %v", x, err)
+		}
+		p.EndSpan()
+		if sp.Nontrivial != 0 {
+			t.Fatalf("read(X%d) applied %d nontrivial primitives; invisible reads forbid any", x, sp.Nontrivial)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestIncrementalValidationSteps verifies the exact per-read step counts of
+// the Section 6 matching upper bound: read #i costs 3 + (i-1) steps solo.
+func TestIncrementalValidationSteps(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := irtm.New(mem, 32)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for i := 1; i <= 32; i++ {
+		sp := p.BeginSpan(fmt.Sprintf("read#%d", i))
+		if _, err := tx.Read(i - 1); err != nil {
+			t.Fatalf("read #%d: %v", i, err)
+		}
+		p.EndSpan()
+		want := uint64(3 + i - 1)
+		if sp.Steps != want {
+			t.Fatalf("read #%d took %d steps, want %d (incremental validation)", i, sp.Steps, want)
+		}
+	}
+}
+
+// TestStrictDataPartitioning verifies the weak-DAP witness: transactions
+// with disjoint data sets touch disjoint base objects (Lemma 1's premise).
+func TestStrictDataPartitioning(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := irtm.New(mem, 8)
+	spans := make([]*memory.Span, 2)
+	for i, objs := range [][]int{{0, 1, 2}, {5, 6, 7}} {
+		p := mem.Proc(i)
+		sp := p.BeginSpan("txn")
+		err := tm.Atomically(tmi, p, func(tx tm.Txn) error {
+			for _, x := range objs {
+				if _, err := tx.Read(x); err != nil {
+					return err
+				}
+				if err := tx.Write(x, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		p.EndSpan()
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		spans[i] = sp
+	}
+	for id := uint64(1); id <= uint64(mem.NumObjs()); id++ {
+		o := mem.ObjAt(id)
+		if spans[0].Touched(o) && spans[1].Touched(o) {
+			t.Errorf("disjoint-access transactions both touched base object %s", o.Name())
+		}
+	}
+}
+
+// TestConflictAbort verifies progressiveness mechanics: a reader aborts iff
+// a concurrent writer actually invalidated or locked what it read.
+func TestConflictAbort(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := irtm.New(mem, 2)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+
+	tx := tmi.Begin(reader)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// A concurrent committed write to an unrelated object must not abort us.
+	if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(1, 9) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := tx.Read(1); err != nil {
+		t.Fatalf("read(X1) after disjoint write: %v (spurious abort)", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+
+	// A concurrent committed write to a read object must abort the next
+	// read (validation catches the version change).
+	tx = tmi.Begin(reader)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(0, 7) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("read(X1) succeeded although X0 changed under us; opacity requires abort")
+	}
+}
+
+// TestWriteConflictProperty property-checks with testing/quick that two
+// sequentially committed writers always leave the last value, for arbitrary
+// object indices and values.
+func TestWriteConflictProperty(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := irtm.New(mem, 8)
+	prop := func(x uint8, a, b uint32) bool {
+		obj := int(x % 8)
+		if err := tm.Atomically(tmi, mem.Proc(0), func(tx tm.Txn) error {
+			return tx.Write(obj, uint64(a))
+		}); err != nil {
+			return false
+		}
+		if err := tm.Atomically(tmi, mem.Proc(1), func(tx tm.Txn) error {
+			return tx.Write(obj, uint64(b))
+		}); err != nil {
+			return false
+		}
+		var got uint64
+		if err := tm.Atomically(tmi, mem.Proc(0), func(tx tm.Txn) error {
+			v, err := tx.Read(obj)
+			got = v
+			return err
+		}); err != nil {
+			return false
+		}
+		return got == uint64(b)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+// Package lockword encodes the versioned write-lock word used by the
+// lock-based TM implementations: bit 63 is the lock flag, bits 0..62 hold a
+// monotonically increasing version number. One word per t-object keeps the
+// algorithms strict data-partitioned, hence weak DAP.
+package lockword
+
+// Bit is the lock flag.
+const Bit = uint64(1) << 63
+
+// VersionMask extracts the version from a lock word.
+const VersionMask = Bit - 1
+
+// Locked reports whether the word's lock flag is set.
+func Locked(w uint64) bool { return w&Bit != 0 }
+
+// Version returns the version stored in the word.
+func Version(w uint64) uint64 { return w & VersionMask }
+
+// Lock returns the word with the lock flag set over version v.
+func Lock(v uint64) uint64 { return v | Bit }
+
+// Unlocked returns the word with the lock flag clear over version v.
+func Unlocked(v uint64) uint64 { return v & VersionMask }

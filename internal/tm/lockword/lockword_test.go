@@ -1,0 +1,38 @@
+package lockword_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tm/lockword"
+)
+
+func TestEncoding(t *testing.T) {
+	if lockword.Locked(lockword.Unlocked(5)) {
+		t.Error("Unlocked(5) reports locked")
+	}
+	if !lockword.Locked(lockword.Lock(5)) {
+		t.Error("Lock(5) reports unlocked")
+	}
+	if v := lockword.Version(lockword.Lock(5)); v != 5 {
+		t.Errorf("Version(Lock(5)) = %d, want 5", v)
+	}
+	if v := lockword.Version(lockword.Unlocked(5)); v != 5 {
+		t.Errorf("Version(Unlocked(5)) = %d, want 5", v)
+	}
+}
+
+// TestRoundTripProperty: the lock bit and version are independent for every
+// version value in the 63-bit domain.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw uint64) bool {
+		v := raw & lockword.VersionMask
+		return lockword.Version(lockword.Lock(v)) == v &&
+			lockword.Version(lockword.Unlocked(v)) == v &&
+			lockword.Locked(lockword.Lock(v)) &&
+			!lockword.Locked(lockword.Unlocked(v))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

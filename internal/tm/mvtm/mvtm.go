@@ -1,0 +1,372 @@
+// Package mvtm implements a multi-version TM in the spirit of Perelman,
+// Fan and Keidar (PODC'10), the paper's reference [22]: committed writes
+// append immutable version nodes, and a read-only transaction reads the
+// snapshot at its start timestamp by walking each object's version chain.
+// Read-only transactions therefore never validate and never abort —
+// mv-permissiveness — at the cost of a global version clock (not weak DAP)
+// and unbounded space.
+//
+// mvtm is the "maintaining multiple versions" escape hatch discussed in
+// the paper's related work: it sidesteps the Ω(m²) validation bound by
+// giving up weak DAP, and its space consumption makes the time/space
+// trade-off of Section 4 concrete (measured in E1/E2 alongside the
+// single-version TMs).
+//
+// Version nodes are allocated from the simulated memory as triples of base
+// objects (ver, val, next), so chain walks are accounted like any other
+// steps.
+package mvtm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// TM is a multi-version TM instance. Create with New (unbounded versions)
+// or NewWithGC (bounded by the oldest active snapshot, at the price of
+// visible readers).
+type TM struct {
+	mem   *memory.Memory
+	clock *memory.Obj
+	lock  []*memory.Obj // per-object writer lock: 0 free, 1+proc holder
+	head  []*memory.Obj // address of newest version node
+	nodes int           // allocation counter for diagnostics
+
+	// gc enables version garbage collection: every transaction registers
+	// its snapshot timestamp in active[pid] (rv+1; 0 = inactive), and
+	// committing writers truncate each written object's chain below the
+	// oldest registered snapshot. Registration is a nontrivial primitive
+	// inside the first t-operation, so the GC variant gives up (weak)
+	// invisible reads — the paper's time/space trade-off surfacing a third
+	// time: bounded multi-version space requires visible readers.
+	gc     bool
+	active []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// node field offsets relative to the node's first base object.
+type node struct {
+	ver, val, next *memory.Obj
+}
+
+// New creates an mvtm instance over nobj t-objects, each with an initial
+// version-0 node holding value 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	t := &TM{
+		mem:   mem,
+		clock: mem.Alloc("mvtm.clock"),
+		lock:  mem.AllocArray("mvtm.lock", nobj),
+		head:  mem.AllocArray("mvtm.head", nobj),
+	}
+	for x := 0; x < nobj; x++ {
+		n := t.alloc()
+		// Initial versions are installed at construction time, outside any
+		// process, so set them directly.
+		mem.Poke(t.head[x], n.ver.Addr())
+	}
+	return t
+}
+
+// NewWithGC creates the garbage-collecting variant: live version chains
+// stay bounded by the oldest active snapshot, and transactions register
+// their snapshots visibly (see the gc field comment).
+func NewWithGC(mem *memory.Memory, nobj int) *TM {
+	t := New(mem, nobj)
+	t.gc = true
+	t.active = make([]*memory.Obj, mem.NumProcs())
+	for i := range t.active {
+		t.active[i] = mem.AllocAt(fmt.Sprintf("mvtm.active[%d]", i), i)
+	}
+	return t
+}
+
+// LiveVersions counts the version nodes still reachable from the object
+// heads (walked without charging steps; diagnostic only). Without GC this
+// equals Versions(); with GC it stays bounded by the active snapshots.
+func (t *TM) LiveVersions() int {
+	live := 0
+	for _, h := range t.head {
+		addr := t.mem.Peek(h)
+		for addr != 0 {
+			live++
+			addr = t.mem.Peek(t.nodeAt(addr).next)
+		}
+	}
+	return live
+}
+
+func (t *TM) alloc() node {
+	i := t.nodes
+	t.nodes++
+	return node{
+		ver:  t.mem.Alloc(fmt.Sprintf("mvtm.node%d.ver", i)),
+		val:  t.mem.Alloc(fmt.Sprintf("mvtm.node%d.val", i)),
+		next: t.mem.Alloc(fmt.Sprintf("mvtm.node%d.next", i)),
+	}
+}
+
+// nodeAt reinterprets the address of a node's first base object. Nodes are
+// allocated as three consecutive arena slots, so the val and next words are
+// the two following objects.
+func (t *TM) nodeAt(addr uint64) node {
+	ver := t.mem.ObjAt(addr)
+	return node{ver: ver, val: t.mem.ObjAt(addr + 1), next: t.mem.ObjAt(addr + 2)}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string {
+	if t.gc {
+		return "mvtm-gc"
+	}
+	return "mvtm"
+}
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.head) }
+
+// Versions returns the total number of version nodes ever allocated — the
+// space cost that buys O(m) read-only transactions.
+func (t *TM) Versions() int { return t.nodes }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:             true,
+		StrictSerializable: true,
+		WeakDAP:            false, // global clock
+		// The GC variant registers snapshots with a nontrivial write inside
+		// the first t-operation: its reads are visible.
+		InvisibleReads:        !t.gc,
+		WeakInvisibleReads:    !t.gc,
+		Progressive:           true,
+		StronglyProgressive:   false, // two writers may mutually abort across items
+		SequentialProgress:    true,
+		ICFLiveness:           true,
+		MultiVersion:          true,
+		UsesOnlyRWConditional: true,
+	}
+}
+
+// Txn is an mvtm transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	rv      uint64
+	started bool
+	rset    []int
+	wvals   map[int]tm.Value
+	worder  []int
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+// Active-slot encoding for the GC variant: 0 = inactive, 1 = joining (rv
+// not yet known; sweepers must be fully conservative), rv+2 = registered.
+const (
+	slotInactive = 0
+	slotJoining  = 1
+)
+
+func (tx *Txn) start() {
+	if !tx.started {
+		if tx.t.gc {
+			// Announce the join *before* sampling the clock: a sweeper
+			// that misses the final registration either sees the joining
+			// sentinel (and keeps everything) or ran entirely before it,
+			// in which case our snapshot is at least as new as the
+			// sweeper's freshly installed versions.
+			tx.p.Write(tx.t.active[tx.p.ID()], slotJoining)
+		}
+		tx.rv = tx.p.Read(tx.t.clock)
+		if tx.t.gc {
+			tx.p.Write(tx.t.active[tx.p.ID()], tx.rv+2)
+		}
+		tx.started = true
+	}
+}
+
+// retire deregisters the transaction's snapshot on every completion path.
+func (tx *Txn) retire() {
+	if tx.t.gc && tx.started {
+		tx.p.Write(tx.t.active[tx.p.ID()], slotInactive)
+	}
+}
+
+// sweep truncates each written object's version chain below the oldest
+// active snapshot: the newest node with ver ≤ minRV stays (it is some
+// reader's floor), everything older becomes unreachable. Runs while the
+// object locks are still held, so readers (who sample heads only when the
+// lock is free) never race a truncation of their own floor.
+func (tx *Txn) sweep(order []int) {
+	minRV := tx.rv // we are registered, so the minimum is at most our rv
+	for j := range tx.t.active {
+		s := tx.p.Read(tx.t.active[j])
+		switch s {
+		case slotInactive:
+		case slotJoining:
+			return // someone is mid-join: be fully conservative, skip GC
+		default:
+			if rv := s - 2; rv < minRV {
+				minRV = rv
+			}
+		}
+	}
+	for _, x := range order {
+		addr := tx.p.Read(tx.t.head[x])
+		for addr != 0 {
+			n := tx.t.nodeAt(addr)
+			if tx.p.Read(n.ver) <= minRV {
+				if tx.p.Read(n.next) != 0 {
+					tx.p.Write(n.next, 0)
+				}
+				break
+			}
+			addr = tx.p.Read(n.next)
+		}
+	}
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	tx.retire()
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+// Read implements tm.Txn: walk x's version chain to the newest version with
+// ver ≤ rv. No validation, no aborts for read-only transactions.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.head))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	tx.start()
+	if tx.wvals != nil {
+		if v, ok := tx.wvals[x]; ok {
+			return v, nil
+		}
+	}
+	// Wait out any in-flight writer on x. A writer fetches its write
+	// version and installs nodes while holding lock[x]; sampling head only
+	// when the lock is free guarantees that either all of a committed
+	// writer's nodes are visible or its write version exceeds rv, keeping
+	// snapshots consistent. Writers never block, so the wait is finite.
+	for tx.p.Read(tx.t.lock[x]) != 0 {
+	}
+	addr := tx.p.Read(tx.t.head[x])
+	for addr != 0 {
+		n := tx.t.nodeAt(addr)
+		if tx.p.Read(n.ver) <= tx.rv {
+			v := tx.p.Read(n.val)
+			tx.rset = append(tx.rset, x)
+			return v, nil
+		}
+		addr = tx.p.Read(n.next)
+	}
+	panic("mvtm: version chain exhausted (initial version missing)")
+}
+
+// Write implements tm.Txn (lazy write buffering).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.head))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	tx.start()
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit implements tm.Txn. Read-only transactions commit unconditionally;
+// update transactions lock their write sets, validate that their read
+// snapshots are still current, and append new versions at a fresh
+// timestamp.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if len(tx.worder) == 0 {
+		tx.retire()
+		tx.done = true
+		return nil
+	}
+	me := uint64(tx.p.ID()) + 1
+	order := append([]int(nil), tx.worder...)
+	sort.Ints(order)
+	locked := 0
+	release := func() {
+		for _, x := range order[:locked] {
+			tx.p.Write(tx.t.lock[x], 0)
+		}
+	}
+	for _, x := range order {
+		if !tx.p.CAS(tx.t.lock[x], 0, me) {
+			release()
+			return tx.abort()
+		}
+		locked++
+	}
+	// Fetch the write version *before* validating (as TL2 does): any writer
+	// serialized after us then fails our ver≤rv check or is caught by the
+	// lock check, so no third transaction can observe our write set without
+	// our read set's versions, ruling out serialization cycles.
+	wv := tx.p.FetchAdd(tx.t.clock, 1) + 1
+	// Validate: each read object's newest version must still be ≤ rv,
+	// otherwise a concurrent conflicting writer committed since we read.
+	// A foreign lock on a read object is equally fatal: that writer has
+	// already validated and will install a newer version, so letting both
+	// of us commit would admit write skew between our read and its write.
+	for _, x := range tx.rset {
+		if l := tx.p.Read(tx.t.lock[x]); l != 0 && l != me {
+			release()
+			return tx.abort()
+		}
+		n := tx.t.nodeAt(tx.p.Read(tx.t.head[x]))
+		if tx.p.Read(n.ver) > tx.rv {
+			release()
+			return tx.abort()
+		}
+	}
+	for _, x := range order {
+		n := tx.t.alloc()
+		old := tx.p.Read(tx.t.head[x])
+		tx.p.Write(n.ver, wv)
+		tx.p.Write(n.val, tx.wvals[x])
+		tx.p.Write(n.next, old)
+		tx.p.Write(tx.t.head[x], n.ver.Addr())
+	}
+	if tx.t.gc {
+		tx.sweep(order)
+	}
+	release()
+	tx.retire()
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.retire()
+		tx.aborted = true
+		tx.done = true
+	}
+}

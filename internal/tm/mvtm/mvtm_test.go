@@ -1,0 +1,235 @@
+package mvtm_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/mvtm"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return mvtm.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestReadOnlyNeverAborts verifies mv-permissiveness: a read-only
+// transaction commits even when every object it reads is overwritten
+// mid-transaction.
+func TestReadOnlyNeverAborts(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := mvtm.New(mem, 8)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	// Populate with known values at version 1.
+	for x := 0; x < 8; x++ {
+		x := x
+		if err := tm.Atomically(tmi, writer, func(tx tm.Txn) error { return tx.Write(x, uint64(x+1)) }); err != nil {
+			t.Fatalf("setup: %v", err)
+		}
+	}
+	tx := tmi.Begin(reader)
+	for x := 0; x < 8; x++ {
+		// Overwrite X_x (and everything read before it) just before the read.
+		if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(x, 999) }); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		v, err := tx.Read(x)
+		if err != nil {
+			t.Fatalf("read-only transaction aborted at X%d: %v (mv-permissiveness violated)", x, err)
+		}
+		if x > 0 && v != uint64(x+1) {
+			t.Fatalf("read(X%d) = %d, want snapshot value %d", x, v, x+1)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+}
+
+// TestSnapshotConsistency verifies that a reader never observes half of a
+// committed multi-object update.
+func TestSnapshotConsistency(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := mvtm.New(mem, 2)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	// Invariant: X0 == X1 after every committed writer transaction.
+	for i := 1; i <= 5; i++ {
+		i := i
+		rtx := tmi.Begin(reader)
+		v0, err := rtx.Read(0)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if err := tm.Atomically(tmi, writer, func(w tm.Txn) error {
+			if err := w.Write(0, uint64(i)); err != nil {
+				return err
+			}
+			return w.Write(1, uint64(i))
+		}); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+		v1, err := rtx.Read(1)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		if v0 != v1 {
+			t.Fatalf("iteration %d: snapshot tore the invariant X0==X1: read %d and %d", i, v0, v1)
+		}
+		if err := rtx.Commit(); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+}
+
+// TestUpdateValidation verifies that update transactions still validate:
+// reading then writing across a conflicting commit must abort.
+func TestUpdateValidation(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := mvtm.New(mem, 2)
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(p0)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := tx.Write(1, 7); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tm.Atomically(tmi, p1, func(w tm.Txn) error { return w.Write(0, 5) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("update transaction committed over an invalidated read; must abort")
+	}
+}
+
+// TestVersionAccumulation verifies the space cost that buys O(m) reads:
+// every committed write allocates a version node.
+func TestVersionAccumulation(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := mvtm.New(mem, 1)
+	p := mem.Proc(0)
+	before := tmi.Versions()
+	const writes = 10
+	for i := 0; i < writes; i++ {
+		if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(0, uint64(i)) }); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if got := tmi.Versions() - before; got != writes {
+		t.Fatalf("allocated %d version nodes for %d writes, want %d", got, writes, writes)
+	}
+}
+
+func gcFactory(mem *memory.Memory, nobj int) tm.TM { return mvtm.NewWithGC(mem, nobj) }
+
+func TestConformanceGC(t *testing.T) { tmtest.Run(t, gcFactory) }
+
+// TestGCBoundsLiveVersions verifies the point of the GC variant: with no
+// long-lived readers, repeated writes keep the live chain length bounded,
+// while the plain variant grows without bound.
+func TestGCBoundsLiveVersions(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := mvtm.NewWithGC(mem, 1)
+	p := mem.Proc(0)
+	const writes = 50
+	for i := 0; i < writes; i++ {
+		if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(0, uint64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tmi.Versions(); got < writes {
+		t.Fatalf("allocated %d versions, want ≥ %d", got, writes)
+	}
+	if live := tmi.LiveVersions(); live > 3 {
+		t.Fatalf("live chain holds %d versions after GC, want ≤ 3", live)
+	}
+	// Control: the plain variant keeps everything.
+	mem2 := memory.New(1, nil)
+	plain := mvtm.New(mem2, 1)
+	p2 := mem2.Proc(0)
+	for i := 0; i < writes; i++ {
+		if err := tm.Atomically(plain, p2, func(tx tm.Txn) error { return tx.Write(0, uint64(i)) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := plain.LiveVersions(); live != writes+1 {
+		t.Fatalf("plain variant live versions = %d, want %d", live, writes+1)
+	}
+}
+
+// TestGCPreservesActiveSnapshots: a long-running reader pins its snapshot;
+// concurrent writers and their sweeps must never truncate the version the
+// reader is entitled to.
+func TestGCPreservesActiveSnapshots(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := mvtm.NewWithGC(mem, 2)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	// Install known values at version 1.
+	if err := tm.Atomically(tmi, writer, func(tx tm.Txn) error {
+		if err := tx.Write(0, 100); err != nil {
+			return err
+		}
+		return tx.Write(1, 200)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rtx := tmi.Begin(reader)
+	if v, err := rtx.Read(0); err != nil || v != 100 {
+		t.Fatalf("read(X0) = %d, %v; want 100", v, err)
+	}
+	// Many committed writes (each triggering a sweep) while the reader is
+	// registered.
+	for i := 0; i < 20; i++ {
+		if err := tm.Atomically(tmi, writer, func(tx tm.Txn) error {
+			if err := tx.Write(0, uint64(1000+i)); err != nil {
+				return err
+			}
+			return tx.Write(1, uint64(2000+i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The reader's snapshot must still be intact.
+	if v, err := rtx.Read(1); err != nil || v != 200 {
+		t.Fatalf("pinned snapshot read(X1) = %d, %v; want 200", v, err)
+	}
+	if err := rtx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+	// Once the reader retires, subsequent writes can collapse the chains.
+	for i := 0; i < 3; i++ {
+		if err := tm.Atomically(tmi, writer, func(tx tm.Txn) error {
+			if err := tx.Write(0, uint64(i)); err != nil {
+				return err
+			}
+			return tx.Write(1, uint64(i))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if live := tmi.LiveVersions(); live > 6 {
+		t.Fatalf("chains hold %d versions after the reader retired, want ≤ 6", live)
+	}
+}
+
+// TestGCReadsAreVisible documents the cost: the GC variant's first
+// t-operation applies nontrivial registration writes, so it loses (weak)
+// invisible reads — the space bound is bought with visibility, the paper's
+// trade yet again.
+func TestGCReadsAreVisible(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := mvtm.NewWithGC(mem, 2)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	sp := p.BeginSpan("first-read")
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	p.EndSpan()
+	if sp.Nontrivial == 0 {
+		t.Fatal("GC variant's first read applied no nontrivial primitive; registration missing")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package norec implements NOrec (Dalessandro, Spear, Scott, PPoPP'10) on
+// the simulated memory: a single global sequence lock and value-based
+// validation, with no per-object metadata ("no ownership records").
+//
+// NOrec's role in the reproduction is twofold. First, it is strongly
+// progressive and strictly serializable while accessing a single t-object
+// with read/write/CAS only, so it is a valid substrate M for the mutex
+// construction L(M) of Section 5. Second, it is the other ablation shape
+// for Theorem 3: solo (step-contention-free) read-only transactions pay
+// O(1) per read — NOrec has *weak* invisible reads but is maximally
+// non-DAP, every commit contending on the global seqlock — while under the
+// Lemma-2 adversary each concurrent writer forces a full value-based
+// revalidation, reproducing the quadratic blow-up.
+package norec
+
+import (
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// TM is a NOrec instance. Create with New.
+type TM struct {
+	mem *memory.Memory
+	seq *memory.Obj // even: unlocked; odd: write commit in flight
+	val []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates a NOrec instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{
+		mem: mem,
+		seq: mem.Alloc("norec.seq"),
+		val: mem.AllocArray("norec.val", nobj),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "norec" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.val) }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               false, // single global seqlock
+		InvisibleReads:        true,  // t-reads apply only trivial primitives
+		WeakInvisibleReads:    true,
+		Progressive:           true, // value-based validation fails only on real change
+		StronglyProgressive:   true, // the seqlock CAS has a winner
+		SequentialProgress:    true,
+		ICFLiveness:           true,
+		UsesOnlyRWConditional: true,
+	}
+}
+
+// Txn is a NOrec transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	snap    uint64
+	started bool
+	rset    []int
+	rvals   []tm.Value
+	wvals   map[int]tm.Value
+	worder  []int
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+func (tx *Txn) start() error {
+	if tx.started {
+		return nil
+	}
+	// Wait for an even (unlocked) sequence number. A writer holds the
+	// sequence lock only for the finite duration of its write-back, so the
+	// wait terminates; aborting here instead would not be progressive (the
+	// in-flight writer need not conflict with our data set).
+	for {
+		s := tx.p.Read(tx.t.seq)
+		if s&1 == 0 {
+			tx.snap = s
+			break
+		}
+	}
+	tx.started = true
+	return nil
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+// validate re-reads the whole read set by value after the global sequence
+// number moved, re-sampling until a stable even sequence is observed. This
+// is NOrec's quadratic path: each concurrent commit costs O(|rset|).
+func (tx *Txn) validate() error {
+	for {
+		s := tx.p.Read(tx.t.seq)
+		if s&1 == 1 {
+			continue // writer mid-commit: wait for it to finish
+		}
+		ok := true
+		for i, x := range tx.rset {
+			if tx.p.Read(tx.t.val[x]) != tx.rvals[i] {
+				ok = false
+				break
+			}
+		}
+		if tx.p.Read(tx.t.seq) != s {
+			continue // concurrent commit: the scan may be torn, redo it
+		}
+		if !ok {
+			return tx.abort() // stable snapshot with a changed value: conflict
+		}
+		tx.snap = s
+		return nil
+	}
+}
+
+// Read implements tm.Txn.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	if err := tx.start(); err != nil {
+		return 0, err
+	}
+	if tx.wvals != nil {
+		if v, ok := tx.wvals[x]; ok {
+			return v, nil
+		}
+	}
+	v := tx.p.Read(tx.t.val[x])
+	for tx.p.Read(tx.t.seq) != tx.snap {
+		if err := tx.validate(); err != nil {
+			return 0, err
+		}
+		v = tx.p.Read(tx.t.val[x])
+	}
+	tx.rset = append(tx.rset, x)
+	tx.rvals = append(tx.rvals, v)
+	return v, nil
+}
+
+// Write implements tm.Txn (lazy write buffering).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if err := tx.start(); err != nil {
+		return err
+	}
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit implements tm.Txn.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if !tx.started || len(tx.worder) == 0 {
+		tx.done = true
+		return nil
+	}
+	for !tx.p.CAS(tx.t.seq, tx.snap, tx.snap+1) {
+		// The clock moved: revalidate (value-based), then retry the CAS
+		// with the refreshed snapshot. Aborts only when a value actually
+		// changed, so at least one of any set of single-item contenders
+		// commits (strong progressiveness).
+		if err := tx.validate(); err != nil {
+			return err
+		}
+	}
+	for _, x := range tx.worder {
+		tx.p.Write(tx.t.val[x], tx.wvals[x])
+	}
+	tx.p.Write(tx.t.seq, tx.snap+2)
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.aborted = true
+		tx.done = true
+	}
+}

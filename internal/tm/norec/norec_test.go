@@ -1,0 +1,136 @@
+package norec_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/norec"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return norec.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestWeakInvisibleReads verifies NOrec's weak invisible reads: a
+// transaction not concurrent with any other applies no nontrivial
+// primitive in its t-reads.
+func TestWeakInvisibleReads(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := norec.New(mem, 16)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	sp := p.BeginSpan("reads")
+	for x := 0; x < 16; x++ {
+		if _, err := tx.Read(x); err != nil {
+			t.Fatalf("read(X%d): %v", x, err)
+		}
+	}
+	p.EndSpan()
+	if sp.Nontrivial != 0 {
+		t.Fatalf("solo reads applied %d nontrivial primitives, want 0 (weak invisible reads)", sp.Nontrivial)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestSoloConstantReads verifies that step-contention-free NOrec reads cost
+// O(1) steps (one value read plus the seqlock check; +1 on the first read
+// for the snapshot).
+func TestSoloConstantReads(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := norec.New(mem, 32)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for i := 0; i < 32; i++ {
+		sp := p.BeginSpan("read")
+		if _, err := tx.Read(i); err != nil {
+			t.Fatalf("read #%d: %v", i, err)
+		}
+		p.EndSpan()
+		want := uint64(2)
+		if i == 0 {
+			want = 3 // + the snapshot sample
+		}
+		if sp.Steps != want {
+			t.Fatalf("solo read #%d took %d steps, want %d", i+1, sp.Steps, want)
+		}
+	}
+}
+
+// TestRevalidationCost verifies the quadratic path: after a concurrent
+// commit, the next read revalidates the whole read set by value — the
+// measured step count must grow with |rset|.
+func TestRevalidationCost(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := norec.New(mem, 64)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(reader)
+	for i := 0; i < 32; i++ {
+		if _, err := tx.Read(i); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	// Commit a disjoint write: bumps the sequence number but changes no
+	// value the reader saw.
+	if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(40, 1) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	sp := reader.BeginSpan("read-with-revalidation")
+	if _, err := tx.Read(33); err != nil {
+		t.Fatalf("read after disjoint commit aborted: %v (value validation must pass)", err)
+	}
+	reader.EndSpan()
+	if sp.Steps < 32 {
+		t.Fatalf("post-commit read took %d steps; expected ≥ 32 (full read-set revalidation)", sp.Steps)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestValueBasedValidationSurvivesABA verifies NOrec's signature behaviour:
+// a write that restores the previously read value does not abort the
+// reader (value-based, not version-based, validation).
+func TestValueBasedValidationSurvivesABA(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := norec.New(mem, 2)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(reader)
+	v0, err := tx.Read(0)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	// Writer changes X0 and then changes it back.
+	for _, v := range []uint64{77, v0} {
+		if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(0, v) }); err != nil {
+			t.Fatalf("writer: %v", err)
+		}
+	}
+	if _, err := tx.Read(1); err != nil {
+		t.Fatalf("read after ABA aborted: %v (value validation must tolerate ABA)", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit after ABA: %v", err)
+	}
+}
+
+// TestChangedValueAborts is the complement: a lasting change to a read
+// value aborts the reader at its next validation point.
+func TestChangedValueAborts(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := norec.New(mem, 2)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(reader)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(0, 123) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("read succeeded although a read value changed; NOrec must abort")
+	}
+}

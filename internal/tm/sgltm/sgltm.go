@@ -1,0 +1,156 @@
+// Package sgltm implements the single-global-lock TM: every transaction
+// acquires one test-and-test-and-set lock at its first t-operation and
+// holds it until commit or abort. No transaction ever aborts on conflict
+// (transactions block instead), so the TM is trivially progressive and
+// strongly progressive, and it is the everything-costs-O(1) baseline:
+// reads take one step, commits take one step.
+//
+// Its position in the theorem's hypothesis space: sgltm is *blocking* (it
+// does not provide interval-contention-free TM-liveness — an operation of
+// one transaction cannot complete while another holds the lock) and its
+// first t-read applies a nontrivial CAS even when running solo, violating
+// weak invisible reads. Both escape hatches are exactly what Theorem 3
+// predicts must be present in any TM that dodges the quadratic bound.
+package sgltm
+
+import (
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// TM is a single-global-lock TM. Create with New.
+type TM struct {
+	mem  *memory.Memory
+	lock *memory.Obj // 0 free, else 1+procID of the holder
+	val  []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates an sgltm instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{
+		mem:  mem,
+		lock: mem.Alloc("sgl.lock"),
+		val:  mem.AllocArray("sgl.val", nobj),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "sgltm" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.val) }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               false,
+		InvisibleReads:        false,
+		WeakInvisibleReads:    false, // the lock CAS is a nontrivial event in a t-read
+		Progressive:           true,  // vacuously: no aborts
+		StronglyProgressive:   true,
+		SequentialProgress:    true,
+		UsesOnlyRWConditional: true,
+	}
+}
+
+type undo struct {
+	x   int
+	old tm.Value
+}
+
+// Txn is an sgltm transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	holding bool
+	undoLog []undo
+	written map[int]bool
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM. The lock is acquired lazily at the first
+// t-operation.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) acquire() {
+	if tx.holding {
+		return
+	}
+	me := uint64(tx.p.ID()) + 1
+	for {
+		// Test-and-test-and-set: spin on the trivial read, CAS on free.
+		if tx.p.Read(tx.t.lock) == 0 && tx.p.CAS(tx.t.lock, 0, me) {
+			tx.holding = true
+			return
+		}
+	}
+}
+
+func (tx *Txn) releaseLock() {
+	if tx.holding {
+		tx.p.Write(tx.t.lock, 0)
+		tx.holding = false
+	}
+}
+
+// Read implements tm.Txn. It never aborts.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	tx.acquire()
+	return tx.p.Read(tx.t.val[x]), nil
+}
+
+// Write implements tm.Txn: in-place write under the global lock, with an
+// undo log so explicit Abort can roll back.
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	tx.acquire()
+	if !tx.written[x] {
+		if tx.written == nil {
+			tx.written = make(map[int]bool)
+		}
+		tx.written[x] = true
+		tx.undoLog = append(tx.undoLog, undo{x: x, old: tx.p.Read(tx.t.val[x])})
+	}
+	tx.p.Write(tx.t.val[x], v)
+	return nil
+}
+
+// Commit implements tm.Txn. It always succeeds.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	tx.releaseLock()
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn, rolling back in-place writes.
+func (tx *Txn) Abort() {
+	if tx.done {
+		return
+	}
+	for i := len(tx.undoLog) - 1; i >= 0; i-- {
+		tx.p.Write(tx.t.val[tx.undoLog[i].x], tx.undoLog[i].old)
+	}
+	tx.releaseLock()
+	tx.aborted = true
+	tx.done = true
+}

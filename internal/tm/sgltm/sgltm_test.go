@@ -1,0 +1,122 @@
+package sgltm_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/sgltm"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return sgltm.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestNeverAborts verifies sgltm's defining property: transactions block on
+// conflict instead of aborting, so sequential workloads never observe A_k.
+func TestNeverAborts(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := sgltm.New(mem, 4)
+	p := mem.Proc(0)
+	for i := 0; i < 100; i++ {
+		committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+			if _, err := tx.Read(i % 4); err != nil {
+				return err
+			}
+			return tx.Write((i+1)%4, uint64(i))
+		})
+		if err != nil || !committed {
+			t.Fatalf("txn %d: committed=%v err=%v; sgltm must never abort", i, committed, err)
+		}
+	}
+}
+
+// TestConstantCostOperations verifies the O(1)-everything baseline shape:
+// reads and commits take constant steps regardless of data-set size.
+func TestConstantCostOperations(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := sgltm.New(mem, 64)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for i := 0; i < 64; i++ {
+		sp := p.BeginSpan("read")
+		if _, err := tx.Read(i); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		p.EndSpan()
+		want := uint64(1)
+		if i == 0 {
+			want = 3 // lock acquisition: test, CAS, then the read
+		}
+		if sp.Steps != want {
+			t.Fatalf("read #%d took %d steps, want %d", i+1, sp.Steps, want)
+		}
+	}
+	sp := p.BeginSpan("tryC")
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	p.EndSpan()
+	if sp.Steps != 1 {
+		t.Fatalf("tryC took %d steps, want 1 (release)", sp.Steps)
+	}
+}
+
+// TestUndoRollback verifies in-place writes are rolled back on Abort, in
+// reverse order (later writes must not clobber restored earlier values).
+func TestUndoRollback(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := sgltm.New(mem, 2)
+	p := mem.Proc(0)
+	if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(0, 10) }); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	tx := tmi.Begin(p)
+	for _, v := range []uint64{20, 30, 40} {
+		if err := tx.Write(0, v); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+	}
+	if err := tx.Write(1, 50); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tx.Abort()
+	if err := tm.Atomically(tmi, p, func(tx tm.Txn) error {
+		v0, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		v1, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		if v0 != 10 || v1 != 0 {
+			t.Errorf("after rollback: X0=%d X1=%d, want 10, 0", v0, v1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("check txn: %v", err)
+	}
+}
+
+// TestVisibleFirstRead documents why sgltm escapes Theorem 3: its first
+// t-read applies a nontrivial primitive (the global lock CAS) even solo,
+// violating weak invisible reads.
+func TestVisibleFirstRead(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := sgltm.New(mem, 2)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	sp := p.BeginSpan("first-read")
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	p.EndSpan()
+	if sp.Nontrivial == 0 {
+		t.Fatal("first read applied no nontrivial primitive; expected the global-lock CAS")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package tl2 implements Transactional Locking II (Dice, Shalev, Shavit,
+// DISC'06) on the simulated memory: a global version clock plus per-object
+// versioned write locks. Reads are invisible and cost O(1) steps each — no
+// incremental revalidation — because the global clock certifies snapshots.
+//
+// TL2 is the key ablation for Theorem 3: it escapes the Ω(m²) bound by
+// violating weak DAP (every update transaction performs a nontrivial
+// primitive on the single global clock, so transactions with disjoint data
+// sets contend on a base object). It also trades progressiveness away: a
+// transaction may abort upon reading an object whose version exceeds its
+// read timestamp even when the writer is not concurrent.
+package tl2
+
+import (
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/lockword"
+)
+
+// TM is a TL2 instance. Create with New.
+type TM struct {
+	mem   *memory.Memory
+	clock *memory.Obj
+	meta  []*memory.Obj
+	val   []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates a TL2 instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{
+		mem:   mem,
+		clock: mem.Alloc("tl2.clock"),
+		meta:  mem.AllocArray("tl2.meta", nobj),
+		val:   mem.AllocArray("tl2.val", nobj),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "tl2" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.meta) }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               false, // the global clock is shared by all
+		InvisibleReads:        true,
+		WeakInvisibleReads:    true,
+		Progressive:           false, // stale read timestamps abort without concurrency
+		StronglyProgressive:   false,
+		SequentialProgress:    true,
+		ICFLiveness:           true,
+		UsesOnlyRWConditional: true,
+	}
+}
+
+// Txn is a TL2 transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	rv      uint64 // read timestamp
+	started bool
+	rset    []int
+	rvers   []uint64
+	wvals   map[int]tm.Value
+	worder  []int
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM. The read timestamp is sampled lazily at the first
+// t-operation so that Begin itself takes no steps (matching the model,
+// where transactions consist only of t-operations).
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+func (tx *Txn) start() {
+	if !tx.started {
+		tx.rv = tx.p.Read(tx.t.clock)
+		tx.started = true
+	}
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+// Read implements tm.Txn.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.meta))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	tx.start()
+	if tx.wvals != nil {
+		if v, ok := tx.wvals[x]; ok {
+			return v, nil
+		}
+	}
+	m1 := tx.p.Read(tx.t.meta[x])
+	if lockword.Locked(m1) || lockword.Version(m1) > tx.rv {
+		return 0, tx.abort()
+	}
+	v := tx.p.Read(tx.t.val[x])
+	m2 := tx.p.Read(tx.t.meta[x])
+	if m1 != m2 {
+		return 0, tx.abort()
+	}
+	tx.rset = append(tx.rset, x)
+	tx.rvers = append(tx.rvers, lockword.Version(m1))
+	return v, nil
+}
+
+// Write implements tm.Txn (lazy write buffering).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.meta))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	tx.start()
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit implements tm.Txn.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if len(tx.worder) == 0 {
+		tx.done = true // read-only TL2 transactions commit without steps
+		return nil
+	}
+	order := append([]int(nil), tx.worder...)
+	sort.Ints(order)
+	acquired := make([]uint64, 0, len(order))
+	release := func() {
+		for i, x := range order[:len(acquired)] {
+			tx.p.Write(tx.t.meta[x], lockword.Unlocked(acquired[i]))
+		}
+	}
+	for _, x := range order {
+		m := tx.p.Read(tx.t.meta[x])
+		if lockword.Locked(m) || lockword.Version(m) > tx.rv {
+			release()
+			return tx.abort()
+		}
+		if !tx.p.CAS(tx.t.meta[x], m, lockword.Lock(m)) {
+			release()
+			return tx.abort()
+		}
+		acquired = append(acquired, lockword.Version(m))
+	}
+	wv := tx.p.FetchAdd(tx.t.clock, 1) + 1
+	if wv != tx.rv+1 {
+		// Someone else advanced the clock: validate the read set.
+		for i, x := range tx.rset {
+			if _, mine := tx.wvals[x]; mine {
+				continue
+			}
+			m := tx.p.Read(tx.t.meta[x])
+			if lockword.Locked(m) || lockword.Version(m) != tx.rvers[i] {
+				release()
+				return tx.abort()
+			}
+		}
+	}
+	for _, x := range order {
+		tx.p.Write(tx.t.val[x], tx.wvals[x])
+		tx.p.Write(tx.t.meta[x], lockword.Unlocked(wv))
+	}
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.aborted = true
+		tx.done = true
+	}
+}

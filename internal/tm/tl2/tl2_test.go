@@ -1,0 +1,111 @@
+package tl2_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/tl2"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return tl2.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestConstantStepReads verifies TL2's escape from Theorem 3: solo reads
+// cost O(1) steps each regardless of read-set size (3 steps after the
+// first, which also samples the clock).
+func TestConstantStepReads(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := tl2.New(mem, 64)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for i := 0; i < 64; i++ {
+		sp := p.BeginSpan(fmt.Sprintf("read#%d", i+1))
+		if _, err := tx.Read(i); err != nil {
+			t.Fatalf("read #%d: %v", i+1, err)
+		}
+		p.EndSpan()
+		want := uint64(3)
+		if i == 0 {
+			want = 4 // + the lazy clock sample
+		}
+		if sp.Steps != want {
+			t.Fatalf("read #%d took %d steps, want %d: TL2 reads must not validate incrementally", i+1, sp.Steps, want)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestGlobalClockContention demonstrates why TL2 is not weak DAP: two
+// update transactions with disjoint data sets both apply primitives to the
+// global clock base object.
+func TestGlobalClockContention(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tl2.New(mem, 4)
+	spans := make([]*memory.Span, 2)
+	for i, x := range []int{0, 3} {
+		p := mem.Proc(i)
+		sp := p.BeginSpan("txn")
+		if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(x, 1) }); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		p.EndSpan()
+		spans[i] = sp
+	}
+	shared := 0
+	for id := uint64(1); id <= uint64(mem.NumObjs()); id++ {
+		o := mem.ObjAt(id)
+		if spans[0].Touched(o) && spans[1].Touched(o) {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("disjoint-access TL2 writers shared no base object; expected clock contention (¬weak DAP)")
+	}
+}
+
+// TestStaleTimestampAbort shows TL2's progressiveness gap: a transaction
+// may abort upon reading an object that was updated *before* any of its
+// reads ever conflicted, merely because its clock sample is stale.
+func TestStaleTimestampAbort(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tl2.New(mem, 2)
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(p0)
+	if _, err := tx.Read(0); err != nil { // samples rv
+		t.Fatalf("read(X0): %v", err)
+	}
+	if err := tm.Atomically(tmi, p1, func(w tm.Txn) error { return w.Write(1, 5) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("read(X1) succeeded; TL2 must abort on version > rv")
+	}
+}
+
+// TestReadOnlyCommitFree verifies that read-only TL2 transactions commit
+// with zero steps in tryC (the clock certifies the snapshot).
+func TestReadOnlyCommitFree(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := tl2.New(mem, 8)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for x := 0; x < 8; x++ {
+		if _, err := tx.Read(x); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	sp := p.BeginSpan("tryC")
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	p.EndSpan()
+	if sp.Steps != 0 {
+		t.Fatalf("read-only tryC took %d steps, want 0", sp.Steps)
+	}
+}

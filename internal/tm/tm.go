@@ -1,0 +1,152 @@
+// Package tm defines the transactional-memory interface of the paper's
+// model — t-objects, t-operations read_k(X), write_k(X,v) and tryC_k — along
+// with the vocabulary the theorems are stated in: histories, real-time
+// order, conflicts, and the TM property lattice (opacity, strict
+// serializability, DAP, invisible reads, progressiveness).
+//
+// Concrete TM algorithms live in subpackages (irtm, tl2, norec, vrtm,
+// sgltm, mvtm); all of them implement their t-operations purely by applying
+// primitives to base objects of a *memory.Memory, so every theorem-relevant
+// quantity (steps, distinct base objects, RMRs) is measured, not estimated.
+package tm
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/memory"
+)
+
+// ErrAborted is returned by t-operations of an aborted transaction (the
+// paper's special response A_k). A transaction that has observed ErrAborted
+// is dead: all further operations return ErrAborted.
+var ErrAborted = errors.New("tm: transaction aborted")
+
+// Value is the domain V of t-object values.
+type Value = uint64
+
+// TM is a transactional memory implementation over a fixed set of t-objects
+// indexed 0..NumObjects()-1.
+type TM interface {
+	// Name identifies the algorithm (e.g. "irtm", "tl2").
+	Name() string
+	// NumObjects returns the number of t-objects.
+	NumObjects() int
+	// Begin starts a new transaction executed by process p. Processes
+	// issue transactions sequentially: a process must not Begin a new
+	// transaction before the previous one committed or aborted.
+	Begin(p *memory.Proc) Txn
+	// Props declares which TM classes of the paper the algorithm belongs
+	// to; experiments use it to interpret measurements.
+	Props() Props
+}
+
+// Txn is a live transaction. All methods except Aborted must be called from
+// the owning process only.
+type Txn interface {
+	// Read performs read_k(X) for t-object x, returning its value or
+	// ErrAborted.
+	Read(x int) (Value, error)
+	// Write performs write_k(X, v), returning nil or ErrAborted.
+	Write(x int, v Value) error
+	// Commit performs tryC_k. It returns nil if the transaction committed
+	// (C_k) and ErrAborted if it aborted (A_k).
+	Commit() error
+	// Abort aborts the transaction explicitly, releasing any resources.
+	// It is idempotent and legal after ErrAborted.
+	Abort()
+	// Aborted reports whether the transaction has aborted.
+	Aborted() bool
+}
+
+// Props records membership in the paper's TM classes (Sections 2–3).
+type Props struct {
+	Opaque                bool // every transaction sees a consistent view
+	StrictSerializable    bool // committed transactions are
+	WeakDAP               bool // disjoint-access transactions do not contend
+	InvisibleReads        bool // t-reads never apply nontrivial primitives
+	WeakInvisibleReads    bool // ... at least when not concurrent with others
+	Progressive           bool // aborts only on concurrent conflict
+	StronglyProgressive   bool // and single-item conflict groups have a winner
+	SequentialProgress    bool // solo transactions from quiescence commit
+	MultiVersion          bool // read-only transactions read snapshots
+	UsesOnlyRWConditional bool // read, write and conditional primitives only
+	ICFLiveness           bool // interval-contention-free TM-liveness: an
+	// operation invoked after a quiescent configuration completes in a
+	// step contention-free extension (blocking TMs like sgltm lack this)
+}
+
+// String summarizes the set bits, for experiment table headers.
+func (pr Props) String() string {
+	s := ""
+	add := func(b bool, tag string) {
+		if b {
+			if s != "" {
+				s += ","
+			}
+			s += tag
+		}
+	}
+	add(pr.Opaque, "opaque")
+	add(pr.StrictSerializable, "strict-ser")
+	add(pr.WeakDAP, "weak-dap")
+	add(pr.InvisibleReads, "inv-reads")
+	add(pr.WeakInvisibleReads, "weak-inv-reads")
+	add(pr.Progressive, "progressive")
+	add(pr.StronglyProgressive, "strongly-progressive")
+	add(pr.MultiVersion, "multi-version")
+	return s
+}
+
+// Atomically runs body inside transactions of m on process p, retrying on
+// abort until a transaction commits. body may return ErrAborted (or call
+// any t-operation that does) to trigger a retry; any other error aborts the
+// transaction and is returned to the caller.
+func Atomically(m TM, p *memory.Proc, body func(Txn) error) error {
+	for {
+		tx := m.Begin(p)
+		err := body(tx)
+		if err == nil {
+			err = tx.Commit()
+		}
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, ErrAborted):
+			tx.Abort()
+			continue
+		default:
+			tx.Abort()
+			return err
+		}
+	}
+}
+
+// Once runs body in a single transaction attempt and reports whether it
+// committed. It is the building block for experiments that must observe
+// aborts rather than hide them.
+func Once(m TM, p *memory.Proc, body func(Txn) error) (committed bool, err error) {
+	tx := m.Begin(p)
+	if err := body(tx); err != nil {
+		tx.Abort()
+		if errors.Is(err, ErrAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	if err := tx.Commit(); err != nil {
+		if errors.Is(err, ErrAborted) {
+			return false, nil
+		}
+		return false, err
+	}
+	return true, nil
+}
+
+// CheckObjectIndex panics if x is out of range for a TM with n t-objects.
+// TM implementations share it so misuse fails identically everywhere.
+func CheckObjectIndex(x, n int) {
+	if x < 0 || x >= n {
+		panic(fmt.Sprintf("tm: t-object index %d out of range [0,%d)", x, n))
+	}
+}

@@ -1,0 +1,178 @@
+// Package tml implements TML — the Transactional Mutex Lock of
+// Dalessandro, Dice, Scott, Shavit and Spear (and the degenerate endpoint
+// of the NOrec lineage): one global sequence lock, in-place writes, and
+// readers that abort on *any* concurrent commit, with no validation state
+// at all.
+//
+// TML is the cheapest possible invisible-read TM: a solo t-read costs two
+// steps (value + seqlock check) and an update transaction writes in place
+// after one CAS. Its position in the paper's map: weak invisible reads and
+// O(1) reads, bought by giving up progressiveness entirely — a reader
+// aborts when a *disjoint* writer commits, which is exactly the spurious
+// abort progressiveness forbids. It therefore bounds from below what any
+// TM outside Theorem 3's class can pay.
+package tml
+
+import (
+	"repro/internal/memory"
+	"repro/internal/tm"
+)
+
+// TM is a TML instance. Create with New.
+type TM struct {
+	mem *memory.Memory
+	glb *memory.Obj // global sequence lock: odd = writer active
+	val []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates a TML instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{mem: mem, glb: mem.Alloc("tml.glb"), val: mem.AllocArray("tml.val", nobj)}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "tml" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.val) }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               false, // one global word
+		InvisibleReads:        true,
+		WeakInvisibleReads:    true,
+		Progressive:           false, // readers abort on disjoint commits
+		StronglyProgressive:   false,
+		SequentialProgress:    true,
+		ICFLiveness:           true,
+		UsesOnlyRWConditional: true,
+	}
+}
+
+// Txn is a TML transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	loc     uint64 // sequence observed at start (even)
+	started bool
+	writer  bool // we hold the sequence lock (loc is now odd)
+	undo    []undoEntry
+	aborted bool
+	done    bool
+}
+
+type undoEntry struct {
+	x   int
+	old tm.Value
+}
+
+// Begin implements tm.TM.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+func (tx *Txn) start() {
+	if tx.started {
+		return
+	}
+	for {
+		s := tx.p.Read(tx.t.glb)
+		if s&1 == 0 {
+			tx.loc = s
+			break
+		}
+		// A writer is in flight; wait for it (writers never block).
+	}
+	tx.started = true
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	tx.rollback()
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+func (tx *Txn) rollback() {
+	if !tx.writer {
+		return
+	}
+	for i := len(tx.undo) - 1; i >= 0; i-- {
+		tx.p.Write(tx.t.val[tx.undo[i].x], tx.undo[i].old)
+	}
+	tx.p.Write(tx.t.glb, tx.loc) // release: sequence back to even
+	tx.writer = false
+}
+
+// Read implements tm.Txn: one value read plus one seqlock check; abort on
+// any intervening commit (even a disjoint one — TML has no read set to
+// validate against).
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	tx.start()
+	v := tx.p.Read(tx.t.val[x])
+	if tx.writer {
+		return v, nil // we hold the lock: in-place state is ours
+	}
+	if tx.p.Read(tx.t.glb) != tx.loc {
+		return 0, tx.abort()
+	}
+	return v, nil
+}
+
+// Write implements tm.Txn: the first write acquires the global sequence
+// lock; subsequent writes go straight to memory (with an undo log for
+// explicit aborts).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	tx.start()
+	if !tx.writer {
+		if !tx.p.CAS(tx.t.glb, tx.loc, tx.loc+1) {
+			return tx.abort() // someone committed since we started
+		}
+		tx.writer = true
+	}
+	tx.undo = append(tx.undo, undoEntry{x: x, old: tx.p.Read(tx.t.val[x])})
+	tx.p.Write(tx.t.val[x], v)
+	return nil
+}
+
+// Commit implements tm.Txn: writers bump the sequence to the next even
+// value; readers are already certified by their last seqlock check.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if tx.writer {
+		tx.p.Write(tx.t.glb, tx.loc+2)
+		tx.writer = false
+	}
+	// Read-only transactions commit for free: every read was certified
+	// against the same sequence value, so the snapshot serializes at the
+	// moment the sequence was observed.
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn, rolling back in-place writes.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.rollback()
+		tx.aborted = true
+		tx.done = true
+	}
+}

@@ -1,0 +1,134 @@
+package tml_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/tml"
+	"repro/internal/tm/tmtest"
+)
+
+func factory(mem *memory.Memory, nobj int) tm.TM { return tml.New(mem, nobj) }
+
+func TestConformance(t *testing.T) { tmtest.Run(t, factory) }
+
+// TestTwoStepReads verifies TML's defining cheapness: every solo read
+// costs exactly 2 steps (value + seqlock check), independent of read-set
+// size — no validation state at all.
+func TestTwoStepReads(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := tml.New(mem, 64)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	for i := 0; i < 64; i++ {
+		sp := p.BeginSpan("read")
+		if _, err := tx.Read(i); err != nil {
+			t.Fatalf("read #%d: %v", i, err)
+		}
+		p.EndSpan()
+		want := uint64(2)
+		if i == 0 {
+			want = 3 // + the initial sequence sample
+		}
+		if sp.Steps != want {
+			t.Fatalf("read #%d took %d steps, want %d", i+1, sp.Steps, want)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+}
+
+// TestSpuriousAbortOnDisjointCommit documents why TML is not progressive:
+// a reader aborts when a completely disjoint writer commits.
+func TestSpuriousAbortOnDisjointCommit(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tml.New(mem, 4)
+	reader, writer := mem.Proc(0), mem.Proc(1)
+	tx := tmi.Begin(reader)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if err := tm.Atomically(tmi, writer, func(w tm.Txn) error { return w.Write(3, 1) }); err != nil {
+		t.Fatalf("writer: %v", err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("TML read survived a concurrent (disjoint) commit; it has no read set to validate with")
+	}
+}
+
+// TestWriterCASLoser verifies the write-acquisition race: a transaction
+// that sampled the sequence before another writer committed loses the CAS
+// and aborts (it cannot become the writer with a stale snapshot).
+func TestWriterCASLoser(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tml.New(mem, 2)
+	p0, p1 := mem.Proc(0), mem.Proc(1)
+	loser := tmi.Begin(p0)
+	if _, err := loser.Read(0); err != nil { // samples the sequence
+		t.Fatalf("loser read: %v", err)
+	}
+	if err := tm.Atomically(tmi, p1, func(w tm.Txn) error { return w.Write(1, 2) }); err != nil {
+		t.Fatalf("winner: %v", err)
+	}
+	if err := loser.Write(0, 1); err == nil {
+		t.Fatal("stale writer acquired the sequence lock; CAS must fail")
+	}
+	// The winner's value persists and the loser wrote nothing.
+	if err := tm.Atomically(tmi, p0, func(tx tm.Txn) error {
+		v0, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		v1, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		if v0 != 0 || v1 != 2 {
+			t.Errorf("X0=%d X1=%d, want 0, 2", v0, v1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUndoRollback verifies in-place writes are undone on explicit Abort.
+func TestUndoRollback(t *testing.T) {
+	mem := memory.New(1, nil)
+	tmi := tml.New(mem, 2)
+	p := mem.Proc(0)
+	if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(0, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	tx := tmi.Begin(p)
+	if err := tx.Write(0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write(1, 200); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if err := tm.Atomically(tmi, p, func(tx tm.Txn) error {
+		v0, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		v1, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		if v0 != 7 || v1 != 0 {
+			t.Errorf("after rollback X0=%d X1=%d, want 7, 0", v0, v1)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The sequence lock must have been released (an even value), or every
+	// later transaction would spin forever.
+	if err := tm.Atomically(tmi, p, func(tx tm.Txn) error { return tx.Write(0, 8) }); err != nil {
+		t.Fatalf("lock leaked after abort: %v", err)
+	}
+}

@@ -1,0 +1,363 @@
+// Package tmtest is a reusable conformance suite run by every TM
+// implementation's tests. It checks the paper's definitions — sequential
+// semantics and TM-progress, opacity / strict serializability on recorded
+// concurrent histories, progressiveness, and the single-item case of strong
+// progressiveness — against the properties each TM declares in Props.
+package tmtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+)
+
+// Factory builds a fresh TM over nobj t-objects on mem.
+type Factory func(mem *memory.Memory, nobj int) tm.TM
+
+// Run executes the whole conformance suite against the factory.
+func Run(t *testing.T, f Factory) {
+	t.Run("SequentialSemantics", func(t *testing.T) { sequentialSemantics(t, f) })
+	t.Run("ReadYourWrites", func(t *testing.T) { readYourWrites(t, f) })
+	t.Run("AbortDiscardsWrites", func(t *testing.T) { abortDiscards(t, f) })
+	t.Run("SequentialProgress", func(t *testing.T) { sequentialProgress(t, f) })
+	t.Run("DeadTxnStaysDead", func(t *testing.T) { deadTxn(t, f) })
+	t.Run("RepeatedReadStability", func(t *testing.T) { repeatedReads(t, f) })
+	t.Run("WriteOnlyTransactions", func(t *testing.T) { writeOnly(t, f) })
+	t.Run("ConcurrentSerializability", func(t *testing.T) { concurrentCorrectness(t, f) })
+	t.Run("Progressiveness", func(t *testing.T) { progressiveness(t, f) })
+	t.Run("StrongProgressivenessSingleItem", func(t *testing.T) { strongSingleItem(t, f) })
+}
+
+func mustCommit(t *testing.T, tmi tm.TM, p *memory.Proc, body func(tm.Txn) error) {
+	t.Helper()
+	if err := tm.Atomically(tmi, p, body); err != nil {
+		t.Fatalf("transaction failed: %v", err)
+	}
+}
+
+// sequentialSemantics: committed writes persist and are read back across
+// transactions; distinct objects are independent.
+func sequentialSemantics(t *testing.T, f Factory) {
+	mem := memory.New(2, nil)
+	tmi := f(mem, 8)
+	p := mem.Proc(0)
+	for x := 0; x < 8; x++ {
+		x := x
+		mustCommit(t, tmi, p, func(tx tm.Txn) error { return tx.Write(x, uint64(100+x)) })
+	}
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		for x := 0; x < 8; x++ {
+			v, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			if v != uint64(100+x) {
+				t.Errorf("read(X%d) = %d, want %d", x, v, 100+x)
+			}
+		}
+		return nil
+	})
+	// A second process must observe the same committed state.
+	mustCommit(t, tmi, mem.Proc(1), func(tx tm.Txn) error {
+		v, err := tx.Read(3)
+		if err != nil {
+			return err
+		}
+		if v != 103 {
+			t.Errorf("proc 1 read(X3) = %d, want 103", v)
+		}
+		return nil
+	})
+}
+
+// readYourWrites: a transaction observes its own pending writes, and
+// read-write-read on the same object is consistent.
+func readYourWrites(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 4)
+	p := mem.Proc(0)
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		if v, err := tx.Read(0); err != nil || v != 0 {
+			return fmt.Errorf("initial read = %d, %v; want 0, nil", v, err)
+		}
+		if err := tx.Write(0, 7); err != nil {
+			return err
+		}
+		if v, err := tx.Read(0); err != nil || v != 7 {
+			return fmt.Errorf("read-own-write = %d, %v; want 7, nil", v, err)
+		}
+		if err := tx.Write(0, 9); err != nil {
+			return err
+		}
+		if v, err := tx.Read(0); err != nil || v != 9 {
+			return fmt.Errorf("second read-own-write = %d, %v; want 9, nil", v, err)
+		}
+		return nil
+	})
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		v, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v != 9 {
+			t.Errorf("committed value = %d, want 9", v)
+		}
+		return nil
+	})
+}
+
+// abortDiscards: an explicitly aborted transaction's writes are invisible.
+func abortDiscards(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 2)
+	p := mem.Proc(0)
+	mustCommit(t, tmi, p, func(tx tm.Txn) error { return tx.Write(0, 5) })
+	tx := tmi.Begin(p)
+	if err := tx.Write(0, 99); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tx.Write(1, 99); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tx.Abort()
+	if !tx.Aborted() {
+		t.Error("Aborted() = false after Abort")
+	}
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		v0, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		v1, err := tx.Read(1)
+		if err != nil {
+			return err
+		}
+		if v0 != 5 || v1 != 0 {
+			t.Errorf("after abort: X0=%d X1=%d, want 5, 0", v0, v1)
+		}
+		return nil
+	})
+}
+
+// repeatedReads: two uninterrupted reads of the same t-object inside one
+// transaction return the same value (a consequence of opacity: the
+// transaction's view is a single serialization point).
+func repeatedReads(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 2)
+	p := mem.Proc(0)
+	mustCommit(t, tmi, p, func(tx tm.Txn) error { return tx.Write(0, 31) })
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		v1, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		v2, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v1 != v2 {
+			t.Errorf("repeated reads returned %d then %d", v1, v2)
+		}
+		// Interleave a read of another object and re-read again.
+		if _, err := tx.Read(1); err != nil {
+			return err
+		}
+		v3, err := tx.Read(0)
+		if err != nil {
+			return err
+		}
+		if v3 != v1 {
+			t.Errorf("read after unrelated read returned %d, want %d", v3, v1)
+		}
+		return nil
+	})
+}
+
+// writeOnly: transactions with empty read sets commit solo and install all
+// their writes atomically.
+func writeOnly(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 4)
+	p := mem.Proc(0)
+	committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+		for x := 0; x < 4; x++ {
+			if err := tx.Write(x, uint64(50+x)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil || !committed {
+		t.Fatalf("solo write-only txn: committed=%v err=%v", committed, err)
+	}
+	mustCommit(t, tmi, p, func(tx tm.Txn) error {
+		for x := 0; x < 4; x++ {
+			v, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			if v != uint64(50+x) {
+				t.Errorf("X%d = %d, want %d", x, v, 50+x)
+			}
+		}
+		return nil
+	})
+}
+
+// sequentialProgress (minimal progressiveness): every transaction running
+// step contention-free from a t-quiescent configuration commits.
+func sequentialProgress(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 4)
+	p := mem.Proc(0)
+	for i := 0; i < 50; i++ {
+		committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+			if _, err := tx.Read(i % 4); err != nil {
+				return err
+			}
+			return tx.Write((i+1)%4, uint64(i))
+		})
+		if err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+		if !committed {
+			t.Fatalf("solo transaction %d aborted: sequential TM-progress violated", i)
+		}
+	}
+}
+
+// deadTxn: after an abort, every t-operation returns ErrAborted.
+func deadTxn(t *testing.T, f Factory) {
+	mem := memory.New(1, nil)
+	tmi := f(mem, 2)
+	p := mem.Proc(0)
+	tx := tmi.Begin(p)
+	if err := tx.Write(0, 1); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	tx.Abort()
+	if _, err := tx.Read(0); !errors.Is(err, tm.ErrAborted) {
+		t.Errorf("Read after abort: err = %v, want ErrAborted", err)
+	}
+	if err := tx.Write(1, 2); !errors.Is(err, tm.ErrAborted) {
+		t.Errorf("Write after abort: err = %v, want ErrAborted", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, tm.ErrAborted) {
+		t.Errorf("Commit after abort: err = %v, want ErrAborted", err)
+	}
+}
+
+// concurrentCorrectness: randomized concurrent executions recorded and
+// verified against opacity (if declared) and strict serializability.
+func concurrentCorrectness(t *testing.T, f Factory) {
+	for seed := int64(1); seed <= 12; seed++ {
+		mem := memory.New(3, nil)
+		tmi := f(mem, 4)
+		rec := tm.Record(tmi)
+		runRandomWorkload(t, mem, rec, workloadCfg{txnsPerProc: 2, opsPerTxn: 3, writeRatio: 0.5, seed: seed})
+		h := rec.History()
+		if !check.StrictlySerializable(h).OK {
+			t.Fatalf("seed %d: history not strictly serializable:\n%s", seed, h)
+		}
+		if tmi.Props().Opaque && !check.Opaque(h).OK {
+			t.Fatalf("seed %d: history not opaque:\n%s", seed, h)
+		}
+	}
+}
+
+// progressiveness: if the TM declares itself progressive, no recorded abort
+// may lack a concurrent conflicting transaction.
+func progressiveness(t *testing.T, f Factory) {
+	probe := f(memory.New(1, nil), 1)
+	if !probe.Props().Progressive {
+		t.Skip("TM does not claim progressiveness")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		mem := memory.New(4, nil)
+		rec := tm.Record(f(mem, 3))
+		runRandomWorkload(t, mem, rec, workloadCfg{txnsPerProc: 4, opsPerTxn: 3, writeRatio: 0.6, seed: seed})
+		if v := check.Progressive(rec.History()); len(v) != 0 {
+			t.Fatalf("seed %d: progressiveness violations %v in history:\n%s", seed, v, rec.History())
+		}
+	}
+}
+
+// strongSingleItem: all processes hammer the single t-object; in every
+// all-conflicting group some transaction must commit if the TM claims
+// strong progressiveness (Definition 1).
+func strongSingleItem(t *testing.T, f Factory) {
+	probe := f(memory.New(1, nil), 1)
+	if !probe.Props().StronglyProgressive {
+		t.Skip("TM does not claim strong progressiveness")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		mem := memory.New(4, nil)
+		rec := tm.Record(f(mem, 1))
+		runRandomWorkload(t, mem, rec, workloadCfg{txnsPerProc: 4, opsPerTxn: 2, writeRatio: 0.7, seed: seed})
+		if v := check.StronglyProgressive(rec.History()); len(v) != 0 {
+			t.Fatalf("seed %d: strong progressiveness violations %+v in history:\n%s", seed, v, rec.History())
+		}
+	}
+}
+
+type workloadCfg struct {
+	txnsPerProc int
+	opsPerTxn   int
+	writeRatio  float64
+	seed        int64
+}
+
+// runRandomWorkload drives every process of mem through single-attempt
+// random transactions (aborts are recorded, not retried) under seeded
+// random scheduling.
+func runRandomWorkload(t *testing.T, mem *memory.Memory, rec *tm.Recorder, cfg workloadCfg) {
+	t.Helper()
+	nobj := rec.NumObjects()
+	s := sched.New(mem)
+	for i := 0; i < mem.NumProcs(); i++ {
+		rng := newSplitMix(uint64(cfg.seed)*1315423911 + uint64(i+1))
+		s.Go(i, func(p *memory.Proc) {
+			for n := 0; n < cfg.txnsPerProc; n++ {
+				tx := rec.Begin(p)
+				alive := true
+				for o := 0; o < cfg.opsPerTxn && alive; o++ {
+					x := int(rng.next() % uint64(nobj))
+					if float64(rng.next()%1000)/1000 < cfg.writeRatio {
+						alive = tx.Write(x, rng.next()%100) == nil
+					} else {
+						_, err := tx.Read(x)
+						alive = err == nil
+					}
+				}
+				if alive {
+					_ = tx.Commit()
+				} else {
+					tx.Abort()
+				}
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(cfg.seed)); err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+}
+
+// splitMix is a tiny deterministic PRNG so the workload does not depend on
+// math/rand internals across Go versions.
+type splitMix struct{ state uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{state: seed} }
+
+func (s *splitMix) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,212 @@
+// Package vrtm implements a progressive TM with *visible* reads: every
+// t-read registers the reader in a per-object reader mask (a nontrivial
+// fetch-and-add), and writers abort when they detect registered readers.
+// Because a registered read can never be invalidated — any conflicting
+// writer aborts instead — reads require no validation at all: a read-only
+// transaction of m reads performs Θ(m) steps.
+//
+// vrtm is the invisible-reads ablation for Theorem 3: it is strict
+// data-partitioned (weak DAP) and progressive, yet escapes the Ω(m²) step
+// bound and the m−1 space bound precisely because it violates the
+// weak-invisible-reads hypothesis (its t-reads apply nontrivial primitives
+// even when running solo). The price the paper predicts is paid elsewhere:
+// reader registration serializes readers on the reader mask, destroying
+// read parallelism (measured in E1/E8), and strong progressiveness is lost
+// (a reader and a writer racing on one item can both abort).
+package vrtm
+
+import (
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/lockword"
+)
+
+// TM is a visible-reads progressive TM. Create with New.
+type TM struct {
+	mem   *memory.Memory
+	rmask []*memory.Obj // bitmask of registered reader processes
+	meta  []*memory.Obj // versioned write-lock word
+	val   []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates a vrtm instance over nobj t-objects initialized to 0.
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{
+		mem:   mem,
+		rmask: mem.AllocArray("vrtm.rmask", nobj),
+		meta:  mem.AllocArray("vrtm.meta", nobj),
+		val:   mem.AllocArray("vrtm.val", nobj),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "vrtm" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.val) }
+
+// Props implements tm.TM.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               true,
+		InvisibleReads:        false,
+		WeakInvisibleReads:    false, // reads are visible even when solo
+		Progressive:           true,
+		StronglyProgressive:   false, // reader/writer races can mutually abort
+		SequentialProgress:    true,
+		ICFLiveness:           true,
+		UsesOnlyRWConditional: false, // fetch-and-add is not conditional
+	}
+}
+
+// Txn is a vrtm transaction.
+type Txn struct {
+	t       *TM
+	p       *memory.Proc
+	rset    []int
+	wvals   map[int]tm.Value
+	worder  []int
+	aborted bool
+	done    bool
+}
+
+// Begin implements tm.TM.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p}
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) bit() uint64 { return uint64(1) << uint(tx.p.ID()) }
+
+// deregister removes the transaction's reader bits. It runs on every
+// completion path (commit, abort, explicit Abort).
+func (tx *Txn) deregister() {
+	for _, x := range tx.rset {
+		tx.p.FetchAdd(tx.t.rmask[x], ^tx.bit()+1) // two's-complement subtract
+	}
+	tx.rset = nil
+}
+
+func (tx *Txn) abort() error {
+	tx.deregister()
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+func (tx *Txn) inRset(x int) bool {
+	for _, y := range tx.rset {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements tm.Txn. The fetch-and-add registration makes the read
+// visible; no validation ever follows.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	if tx.wvals != nil {
+		if v, ok := tx.wvals[x]; ok {
+			return v, nil
+		}
+	}
+	if tx.inRset(x) {
+		// Still registered, so the value cannot have changed.
+		return tx.p.Read(tx.t.val[x]), nil
+	}
+	tx.p.FetchAdd(tx.t.rmask[x], tx.bit())
+	m := tx.p.Read(tx.t.meta[x])
+	if lockword.Locked(m) {
+		// Undo this object's registration (x is not yet in rset), then
+		// abort, which deregisters the rest.
+		tx.p.FetchAdd(tx.t.rmask[x], ^tx.bit()+1)
+		return 0, tx.abort()
+	}
+	v := tx.p.Read(tx.t.val[x])
+	tx.rset = append(tx.rset, x)
+	return v, nil
+}
+
+// Write implements tm.Txn (lazy write buffering).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.val))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit implements tm.Txn.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if len(tx.worder) == 0 {
+		// Read-only: registered reads are stable by construction.
+		tx.deregister()
+		tx.done = true
+		return nil
+	}
+	order := append([]int(nil), tx.worder...)
+	sort.Ints(order)
+	acquired := make([]uint64, 0, len(order))
+	release := func() {
+		for i, x := range order[:len(acquired)] {
+			tx.p.Write(tx.t.meta[x], lockword.Unlocked(acquired[i]))
+		}
+	}
+	for _, x := range order {
+		m := tx.p.Read(tx.t.meta[x])
+		if lockword.Locked(m) {
+			release()
+			return tx.abort()
+		}
+		if !tx.p.CAS(tx.t.meta[x], m, lockword.Lock(m)) {
+			release()
+			return tx.abort()
+		}
+		acquired = append(acquired, lockword.Version(m))
+		// A registered foreign reader is a concurrent conflicting
+		// transaction: progressive TMs may (and we do) abort.
+		if tx.p.Read(tx.t.rmask[x])&^tx.bit() != 0 {
+			release()
+			return tx.abort()
+		}
+	}
+	for i, x := range order {
+		tx.p.Write(tx.t.val[x], tx.wvals[x])
+		tx.p.Write(tx.t.meta[x], lockword.Unlocked(acquired[i]+1))
+	}
+	tx.deregister()
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.deregister()
+		tx.aborted = true
+		tx.done = true
+	}
+}

@@ -1,0 +1,62 @@
+// Package tmreg is the registry of TM algorithm constructors, shared by the
+// experiment harness, the CLI tools, and the public facade.
+package tmreg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/dstm"
+	"repro/internal/tm/irtm"
+	"repro/internal/tm/mvtm"
+	"repro/internal/tm/norec"
+	"repro/internal/tm/sgltm"
+	"repro/internal/tm/tl2"
+	"repro/internal/tm/tml"
+	"repro/internal/tm/vrtm"
+)
+
+// Constructor builds a TM instance over nobj t-objects on mem.
+type Constructor func(mem *memory.Memory, nobj int) tm.TM
+
+var registry = map[string]Constructor{
+	"irtm":    func(m *memory.Memory, n int) tm.TM { return irtm.New(m, n) },
+	"tl2":     func(m *memory.Memory, n int) tm.TM { return tl2.New(m, n) },
+	"norec":   func(m *memory.Memory, n int) tm.TM { return norec.New(m, n) },
+	"vrtm":    func(m *memory.Memory, n int) tm.TM { return vrtm.New(m, n) },
+	"sgltm":   func(m *memory.Memory, n int) tm.TM { return sgltm.New(m, n) },
+	"mvtm":    func(m *memory.Memory, n int) tm.TM { return mvtm.New(m, n) },
+	"mvtm-gc": func(m *memory.Memory, n int) tm.TM { return mvtm.NewWithGC(m, n) },
+	"dstm":    func(m *memory.Memory, n int) tm.TM { return dstm.New(m, n) },
+	"tml":     func(m *memory.Memory, n int) tm.TM { return tml.New(m, n) },
+}
+
+// Names returns the registered algorithm names in stable order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// New builds the named TM over nobj t-objects.
+func New(name string, mem *memory.Memory, nobj int) (tm.TM, error) {
+	c, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("tmreg: unknown TM %q (known: %v)", name, Names())
+	}
+	return c(mem, nobj), nil
+}
+
+// MustNew is New, panicking on unknown names; for tests and examples.
+func MustNew(name string, mem *memory.Memory, nobj int) tm.TM {
+	t, err := New(name, mem, nobj)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

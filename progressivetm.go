@@ -1,0 +1,198 @@
+// Package progressivetm is the public face of the reproduction of
+// Kuznetsov & Ravi, "Progressive Transactional Memory in Time and Space"
+// (PACT 2015). It re-exports the building blocks a user needs to
+//
+//   - run TM algorithms (irtm, tl2, norec, vrtm, sgltm, mvtm) on the
+//     instrumented shared-memory simulator and measure steps, distinct base
+//     objects and RMRs (internal/memory, internal/tm/*),
+//   - construct the paper's executions (Lemma 2, Claim 4) and check
+//     histories against opacity, strict serializability and the progress
+//     conditions (internal/core, internal/check),
+//   - build mutual exclusion from a strongly progressive TM (Algorithm 1)
+//     and compare its RMR complexity with classic spin locks
+//     (internal/mutex), and
+//   - regenerate every experiment in DESIGN.md's per-experiment index
+//     (internal/exp).
+//
+// For writing concurrent Go programs with transactions (the adoptable
+// library rather than the research instrument), see the sibling package
+// repro/stm.
+package progressivetm
+
+import (
+	"io"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/memory"
+	"repro/internal/mutex"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// Core model types, re-exported for users of the simulated framework.
+type (
+	// Memory is the simulated shared memory (see internal/memory).
+	Memory = memory.Memory
+	// Proc is a process handle applying primitives to a Memory.
+	Proc = memory.Proc
+	// Span attributes steps/RMRs/objects to a labelled code region.
+	Span = memory.Span
+	// CacheModel classifies accesses as local or RMR.
+	CacheModel = memory.Model
+	// TM is the transactional memory interface of the paper's model.
+	TM = tm.TM
+	// Txn is a live transaction.
+	Txn = tm.Txn
+	// Props is the TM property lattice (opacity, DAP, progressiveness...).
+	Props = tm.Props
+	// History is a recorded TM history.
+	History = tm.History
+	// Recorder wraps a TM and records its history.
+	Recorder = tm.Recorder
+	// Lock is a mutual exclusion object over simulated memory.
+	Lock = mutex.Lock
+	// Scheduler deterministically interleaves processes.
+	Scheduler = sched.Scheduler
+	// Table renders experiment rows.
+	Table = exp.Table
+)
+
+// ErrAborted is the A_k response: the transaction aborted.
+var ErrAborted = tm.ErrAborted
+
+// NewMemory creates a simulated shared memory for nprocs processes under
+// the named cache model ("cc-wt", "cc-wb", "dsm"), or without RMR
+// accounting when model is "".
+func NewMemory(nprocs int, model string) *Memory {
+	if model == "" {
+		return memory.New(nprocs, nil)
+	}
+	m := memory.ModelByName(model)
+	if m == nil {
+		return nil
+	}
+	return memory.New(nprocs, m)
+}
+
+// CacheModels lists the cache model names ("cc-wt", "cc-wb", "dsm").
+func CacheModels() []string {
+	names := make([]string, 0, 3)
+	for _, m := range memory.Models() {
+		names = append(names, m.Name())
+	}
+	return names
+}
+
+// Algorithms lists the available TM algorithm names.
+func Algorithms() []string { return tmreg.Names() }
+
+// NewTM builds the named TM algorithm over nobj t-objects on mem.
+func NewTM(name string, mem *Memory, nobj int) (TM, error) {
+	return tmreg.New(name, mem, nobj)
+}
+
+// Record wraps a TM so its history can be checked afterwards.
+func Record(t TM) *Recorder { return tm.Record(t) }
+
+// Atomically retries body until a transaction of t commits.
+func Atomically(t TM, p *Proc, body func(Txn) error) error {
+	return tm.Atomically(t, p, body)
+}
+
+// NewScheduler creates a deterministic cooperative scheduler over mem.
+func NewScheduler(mem *Memory) *Scheduler { return sched.New(mem) }
+
+// RandomPolicy returns a seeded random scheduling policy.
+func RandomPolicy(seed int64) sched.Policy { return sched.NewRandom(seed) }
+
+// RoundRobinPolicy returns a fair rotating scheduling policy.
+func RoundRobinPolicy() sched.Policy { return &sched.RoundRobin{} }
+
+// ReplayPolicy replays an explicit schedule (e.g. an Explore
+// counterexample).
+func ReplayPolicy(trace []int) sched.Policy { return sched.NewReplay(trace) }
+
+// ExploreOpts bounds a systematic schedule exploration.
+type ExploreOpts = sched.ExploreOpts
+
+// ExploreResult summarizes a systematic schedule exploration.
+type ExploreResult = sched.ExploreResult
+
+// Explore model-checks a program over every schedule within a preemption
+// bound; see sched.Explore. build must construct a fresh system under test
+// and return its scheduler plus a post-run property check.
+func Explore(build func() (*Scheduler, func() error), opts ExploreOpts) (ExploreResult, error) {
+	return sched.Explore(build, opts)
+}
+
+// Locks lists the mutual-exclusion algorithms, including "lm:<tm>" for
+// Algorithm 1 over each strongly progressive TM.
+func Locks() []string { return exp.LockNames() }
+
+// NewLock builds the named lock over mem.
+func NewLock(name string, mem *Memory) (Lock, error) { return exp.NewLock(name, mem) }
+
+// NewLM builds the paper's Algorithm 1 mutex from a strictly serializable,
+// strongly progressive TM that accesses a single t-object.
+func NewLM(mem *Memory, t TM) *mutex.LM { return mutex.NewLM(mem, t) }
+
+// History checkers (internal/check).
+
+// IsStrictlySerializable reports whether the committed transactions of h
+// admit a legal serialization respecting real-time order.
+func IsStrictlySerializable(h *History) bool { return check.StrictlySerializable(h).OK }
+
+// IsOpaque reports whether all transactions of h (including aborted ones)
+// admit a single legal serialization respecting real-time order.
+func IsOpaque(h *History) bool { return check.Opaque(h).OK }
+
+// ProgressivenessViolations lists aborts that had no concurrent conflict.
+func ProgressivenessViolations(h *History) []check.ProgressViolation {
+	return check.Progressive(h)
+}
+
+// Paper constructions (internal/core).
+
+// Lemma2 builds the execution π^{i−1}·ρ^i·α_i of Figure 1 for the named TM.
+func Lemma2(tmName string, i int) (core.Lemma2Result, error) { return core.Lemma2(tmName, i) }
+
+// Claim4 builds the execution π^{i−1}·β^ℓ·ρ^i·α^i_j for the named TM.
+func Claim4(tmName string, i, l int) (core.Claim4Outcome, error) { return core.Claim4(tmName, i, l) }
+
+// Experiment runners (internal/exp); see DESIGN.md's per-experiment index.
+
+// RunE1 measures read-only step complexity (Theorem 3(1)).
+func RunE1(tmName string, ms []int, adversary bool) ([]exp.E1Row, error) {
+	return exp.RunE1(tmName, ms, adversary)
+}
+
+// RunE2 measures distinct base objects in the last read + tryC
+// (Theorem 3(2)).
+func RunE2(tmName string, ms []int, adversary bool) ([]exp.E2Row, error) {
+	return exp.RunE2(tmName, ms, adversary)
+}
+
+// RunE3 measures total RMRs of contended mutual exclusion (Theorem 9).
+func RunE3(lock, model string, ns []int, k int, seed int64) ([]exp.E3Row, error) {
+	return exp.RunE3(lock, model, ns, k, seed)
+}
+
+// RunE4 splits L(M)'s RMRs into TM and hand-off parts (Theorem 7).
+func RunE4(lock, model string, ns []int, k int, seed int64) ([]exp.E4Row, error) {
+	return exp.RunE4(lock, model, ns, k, seed)
+}
+
+// RunE5 runs the contention-sweep ablation (abort ratio, steps/commit).
+func RunE5(tmName string, cfg exp.E5Config) ([]exp.E5Row, error) { return exp.RunE5(tmName, cfg) }
+
+// RunE6 checks the exact tightness formula of Section 6.
+func RunE6(ms []int) ([]exp.E6Row, error) { return exp.RunE6(ms) }
+
+// RunE7 runs the randomized progress/correctness experiment.
+func RunE7(tmName string, cfg exp.E7Config) (exp.E7Row, error) { return exp.RunE7(tmName, cfg) }
+
+// PrintTable renders rows produced by the Run* helpers.
+func PrintTable(w io.Writer, t *Table) { t.Print(w) }

@@ -1,0 +1,100 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"repro/stm"
+)
+
+// BenchmarkVarReadOnly measures invisible-read scaling of the native TL2
+// engine: read-only transactions over a shared read-mostly working set.
+func BenchmarkVarReadOnly(b *testing.B) {
+	const n = 32
+	vars := make([]*stm.Var[int], n)
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				s := 0
+				for _, v := range vars {
+					s += v.Get(tx)
+				}
+				_ = s
+				return nil
+			})
+		}
+	})
+}
+
+// BenchmarkVarUncontended measures the single-threaded transaction
+// round-trip (begin, read, write, commit).
+func BenchmarkVarUncontended(b *testing.B) {
+	v := stm.NewVar(0)
+	for i := 0; i < b.N; i++ {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		})
+	}
+	if v.Load() != b.N {
+		b.Fatal("lost updates")
+	}
+}
+
+// BenchmarkMapMixed measures the transactional map under a parallel
+// 90/10 read/write mix across many buckets.
+func BenchmarkMapMixed(b *testing.B) {
+	m := stm.NewMap[int](64)
+	for i := 0; i < 256; i++ {
+		k := fmt.Sprintf("key%d", i)
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			m.Put(tx, k, i)
+			return nil
+		})
+	}
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			k := fmt.Sprintf("key%d", (i*2654435761)%256)
+			if i%10 == 0 {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, int(i))
+					return nil
+				})
+			} else {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					_, _ = m.Get(tx, k)
+					return nil
+				})
+			}
+		}
+	})
+}
+
+// BenchmarkQueueHandoff measures producer/consumer pairs over the blocking
+// bounded queue.
+func BenchmarkQueueHandoff(b *testing.B) {
+	q := stm.NewQueue[int](64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < b.N; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				q.Take(tx)
+				return nil
+			})
+		}
+	}()
+	for i := 0; i < b.N; i++ {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			q.Put(tx, i)
+			return nil
+		})
+	}
+	<-done
+}

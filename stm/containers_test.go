@@ -1,0 +1,276 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/stm"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := stm.NewMap[int](8)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		if _, ok := m.Get(tx, "a"); ok {
+			t.Error("empty map returned a value")
+		}
+		m.Put(tx, "a", 1)
+		m.Put(tx, "b", 2)
+		m.Put(tx, "a", 3) // replace
+		if v, ok := m.Get(tx, "a"); !ok || v != 3 {
+			t.Errorf("Get(a) = %d, %v; want 3, true", v, ok)
+		}
+		if m.Len(tx) != 2 {
+			t.Errorf("Len = %d, want 2", m.Len(tx))
+		}
+		if !m.Delete(tx, "b") || m.Delete(tx, "b") {
+			t.Error("Delete semantics wrong")
+		}
+		if m.Len(tx) != 1 {
+			t.Errorf("Len after delete = %d, want 1", m.Len(tx))
+		}
+		return nil
+	}))
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		keys := m.Keys(tx)
+		if len(keys) != 1 || keys[0] != "a" {
+			t.Errorf("Keys = %v, want [a]", keys)
+		}
+		return nil
+	}))
+}
+
+// TestMapAtomicRename moves a value between keys atomically under
+// concurrent observers that must never see both or neither.
+func TestMapAtomicRename(t *testing.T) {
+	m := stm.NewMap[int](16)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		m.Put(tx, "old", 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var both, neither bool
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				_, hasOld := m.Get(tx, "old")
+				_, hasNew := m.Get(tx, "new")
+				both = hasOld && hasNew
+				neither = !hasOld && !hasNew
+				return nil
+			})
+			if both || neither {
+				t.Errorf("rename torn: both=%v neither=%v", both, neither)
+				return
+			}
+		}
+	}()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		v, ok := m.Get(tx, "old")
+		if !ok {
+			t.Error("old key missing")
+		}
+		m.Delete(tx, "old")
+		m.Put(tx, "new", v)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestMapSizeInvariantProperty: Len always equals the number of distinct
+// present keys, for arbitrary operation sequences.
+func TestMapSizeInvariantProperty(t *testing.T) {
+	prop := func(ops []uint16) bool {
+		m := stm.NewMap[int](4)
+		model := map[string]int{}
+		for i, op := range ops {
+			key := fmt.Sprintf("k%d", op%13)
+			switch op % 3 {
+			case 0, 1:
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, key, i)
+					return nil
+				}); err != nil {
+					return false
+				}
+				model[key] = i
+			case 2:
+				var deleted bool
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					deleted = m.Delete(tx, key)
+					return nil
+				}); err != nil {
+					return false
+				}
+				_, inModel := model[key]
+				if deleted != inModel {
+					return false
+				}
+				delete(model, key)
+			}
+		}
+		ok := true
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			if m.Len(tx) != len(model) {
+				ok = false
+				return nil
+			}
+			for k, v := range model {
+				got, present := m.Get(tx, k)
+				if !present || got != v {
+					ok = false
+					return nil
+				}
+			}
+			return nil
+		}); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := stm.NewQueue[int](4)
+	if q.Cap() != 4 {
+		t.Fatalf("Cap = %d, want 4", q.Cap())
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 1; i <= 4; i++ {
+			q.Put(tx, i)
+		}
+		if q.TryPut(tx, 5) {
+			t.Error("TryPut succeeded on a full queue")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 1; i <= 4; i++ {
+			if v := q.Take(tx); v != i {
+				t.Errorf("Take = %d, want %d (FIFO)", v, i)
+			}
+		}
+		if _, ok := q.TryTake(tx); ok {
+			t.Error("TryTake succeeded on an empty queue")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueueProducersConsumers runs a full producer/consumer pipeline over
+// the blocking Put/Take path: every produced item is consumed exactly once.
+func TestQueueProducersConsumers(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 100
+	)
+	q := stm.NewQueue[int](5)
+	var wg sync.WaitGroup
+	results := make(chan int, producers*perProd)
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < producers*perProd/consumers; i++ {
+				var v int
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					v = q.Take(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				results <- v
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				item := p*perProd + i
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					q.Put(tx, item)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(results)
+	seen := map[int]bool{}
+	for v := range results {
+		if seen[v] {
+			t.Fatalf("item %d consumed twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("consumed %d items, want %d", len(seen), producers*perProd)
+	}
+}
+
+// TestQueueComposesWithMap moves an item from a queue into a map in one
+// transaction: either both effects happen or neither (compositionality,
+// the paper's selling point for TM).
+func TestQueueComposesWithMap(t *testing.T) {
+	q := stm.NewQueue[string](2)
+	m := stm.NewMap[bool](4)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q.Put(tx, "job1")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		job := q.Take(tx)
+		m.Put(tx, job, true)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		if q.Len(tx) != 0 {
+			t.Error("queue not drained")
+		}
+		if done, ok := m.Get(tx, "job1"); !ok || !done {
+			t.Error("map not updated")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,111 @@
+package stm
+
+import "hash/fnv"
+
+// Map is a transactional string-keyed hash map: a fixed array of buckets,
+// each a Var holding an immutable association list. Operations on
+// different buckets never conflict, so the map scales the way the paper's
+// disjoint-access-parallelism story says data structures should: disjoint
+// keys (usually) commute.
+//
+// All methods taking a *Tx must run inside Atomically; they compose with
+// any other transactional operations.
+type Map[V any] struct {
+	buckets []*Var[[]mapEntry[V]]
+	size    *Var[int]
+}
+
+type mapEntry[V any] struct {
+	key string
+	val V
+}
+
+// NewMap creates a transactional map with the given number of buckets
+// (rounded up to at least 1). More buckets mean fewer false conflicts.
+func NewMap[V any](buckets int) *Map[V] {
+	if buckets < 1 {
+		buckets = 1
+	}
+	m := &Map[V]{
+		buckets: make([]*Var[[]mapEntry[V]], buckets),
+		size:    NewVar(0),
+	}
+	for i := range m.buckets {
+		m.buckets[i] = NewVar[[]mapEntry[V]](nil)
+	}
+	return m
+}
+
+func (m *Map[V]) bucket(key string) *Var[[]mapEntry[V]] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return m.buckets[h.Sum32()%uint32(len(m.buckets))]
+}
+
+// Get returns the value for key and whether it is present.
+func (m *Map[V]) Get(tx *Tx, key string) (V, bool) {
+	for _, e := range m.bucket(key).Get(tx) {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key.
+func (m *Map[V]) Put(tx *Tx, key string, val V) {
+	b := m.bucket(key)
+	old := b.Get(tx)
+	entries := make([]mapEntry[V], 0, len(old)+1)
+	replaced := false
+	for _, e := range old {
+		if e.key == key {
+			entries = append(entries, mapEntry[V]{key: key, val: val})
+			replaced = true
+		} else {
+			entries = append(entries, e)
+		}
+	}
+	if !replaced {
+		entries = append(entries, mapEntry[V]{key: key, val: val})
+		m.size.Set(tx, m.size.Get(tx)+1)
+	}
+	b.Set(tx, entries)
+}
+
+// Delete removes key, reporting whether it was present.
+func (m *Map[V]) Delete(tx *Tx, key string) bool {
+	b := m.bucket(key)
+	old := b.Get(tx)
+	entries := make([]mapEntry[V], 0, len(old))
+	found := false
+	for _, e := range old {
+		if e.key == key {
+			found = true
+			continue
+		}
+		entries = append(entries, e)
+	}
+	if found {
+		b.Set(tx, entries)
+		m.size.Set(tx, m.size.Get(tx)-1)
+	}
+	return found
+}
+
+// Len returns the number of entries. Reading it inside a transaction
+// serializes against every size-changing update; use sparingly in hot
+// paths.
+func (m *Map[V]) Len(tx *Tx) int { return m.size.Get(tx) }
+
+// Keys returns all keys in unspecified order, as one consistent snapshot.
+func (m *Map[V]) Keys(tx *Tx) []string {
+	var out []string
+	for _, b := range m.buckets {
+		for _, e := range b.Get(tx) {
+			out = append(out, e.key)
+		}
+	}
+	return out
+}

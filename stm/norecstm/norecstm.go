@@ -1,0 +1,237 @@
+// Package norecstm is a native NOrec software transactional memory — the
+// ownership-record-free counterpart of the TL2-based repro/stm package,
+// mirroring its API (Var[T], Atomically, Retry). One global sequence lock
+// orders all commits; reads are invisible and validated by value (snapshot
+// identity) whenever the global sequence moves.
+//
+// It exists as the native-code half of the paper's ablation story: NOrec
+// trades TL2's global *clock* for a global *lock*, removing per-variable
+// version metadata entirely. Read-only transactions still scale (invisible
+// reads), but writers serialize on a single word, and after every commit
+// each live reader revalidates its whole read set — the Θ(m)-per-conflict
+// cost that becomes Theorem 3's Ω(m²) under the Lemma-2 adversary. The
+// sibling benchmarks compare the two engines on identical workloads.
+//
+// Vars from this package must not be mixed with repro/stm Vars inside one
+// transaction; each engine has its own types, so the compiler enforces
+// this.
+package norecstm
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// seq is the global sequence lock: even = quiescent, odd = a writer is
+// committing.
+var seq atomic.Uint64
+
+// box is an immutable value snapshot; pointer identity doubles as the
+// "value" compared by NOrec's validation (boxes are never mutated).
+type box struct{ val any }
+
+type varBase interface {
+	loadBox() *box
+	storeBox(*box)
+}
+
+// Var is a transactional variable holding a value of type T. Create with
+// NewVar.
+type Var[T any] struct {
+	state atomic.Pointer[box]
+}
+
+// NewVar creates a transactional variable with the given initial value.
+func NewVar[T any](initial T) *Var[T] {
+	v := &Var[T]{}
+	v.state.Store(&box{val: initial})
+	return v
+}
+
+func (v *Var[T]) loadBox() *box {
+	b := v.state.Load()
+	if b == nil {
+		panic("norecstm: Var used before NewVar (the zero Var is not initialized)")
+	}
+	return b
+}
+func (v *Var[T]) storeBox(b *box) { v.state.Store(b) }
+
+// Get reads the variable inside a transaction.
+func (v *Var[T]) Get(tx *Tx) T { return tx.read(v).(T) }
+
+// Set buffers a write inside a transaction.
+func (v *Var[T]) Set(tx *Tx, val T) { tx.write(v, val) }
+
+// Load reads the variable outside any transaction.
+func (v *Var[T]) Load() T { return v.state.Load().val.(T) }
+
+type retrySignal struct{}
+type waitSignal struct{}
+
+// Tx is a NOrec transaction descriptor; valid only inside Atomically.
+type Tx struct {
+	snap   uint64
+	reads  []readEntry
+	writes map[varBase]any
+	order  []varBase
+}
+
+type readEntry struct {
+	v varBase
+	b *box
+}
+
+func (tx *Tx) begin() {
+	for {
+		s := seq.Load()
+		if s&1 == 0 {
+			tx.snap = s
+			return
+		}
+		runtime.Gosched()
+	}
+}
+
+// validate re-reads the whole read set by snapshot identity until the
+// sequence is stable; it aborts the attempt if any read value changed.
+func (tx *Tx) validate() {
+	for {
+		s := seq.Load()
+		if s&1 == 1 {
+			runtime.Gosched()
+			continue
+		}
+		ok := true
+		for _, r := range tx.reads {
+			if r.v.loadBox() != r.b {
+				ok = false
+				break
+			}
+		}
+		if seq.Load() != s {
+			continue // a commit raced the scan; redo it
+		}
+		if !ok {
+			panic(retrySignal{})
+		}
+		tx.snap = s
+		return
+	}
+}
+
+func (tx *Tx) read(v varBase) any {
+	if tx.writes != nil {
+		if val, ok := tx.writes[v]; ok {
+			return val
+		}
+	}
+	b := v.loadBox()
+	for seq.Load() != tx.snap {
+		tx.validate()
+		b = v.loadBox()
+	}
+	tx.reads = append(tx.reads, readEntry{v: v, b: b})
+	return b.val
+}
+
+func (tx *Tx) write(v varBase, val any) {
+	if tx.writes == nil {
+		tx.writes = make(map[varBase]any)
+	}
+	if _, ok := tx.writes[v]; !ok {
+		tx.order = append(tx.order, v)
+	}
+	tx.writes[v] = val
+}
+
+// Retry blocks the transaction until a variable it read changes.
+func (tx *Tx) Retry() {
+	if len(tx.reads) == 0 {
+		panic("norecstm: Retry with an empty read set would sleep forever")
+	}
+	panic(waitSignal{})
+}
+
+func (tx *Tx) commit() (ok bool) {
+	if len(tx.order) == 0 {
+		return true // read-only: the last validation certified the snapshot
+	}
+	// validate() reports an invalidated read set by panicking the retry
+	// signal; translate that into a failed commit so Atomically re-runs.
+	defer func() {
+		if r := recover(); r != nil {
+			if _, isRetry := r.(retrySignal); isRetry {
+				ok = false
+				return
+			}
+			panic(r)
+		}
+	}()
+	for !seq.CompareAndSwap(tx.snap, tx.snap+1) {
+		// The sequence moved: revalidate, then retry from the refreshed
+		// snapshot.
+		tx.validate()
+	}
+	for _, v := range tx.order {
+		v.storeBox(&box{val: tx.writes[v]})
+	}
+	seq.Store(tx.snap + 2)
+	return true
+}
+
+// Atomically runs fn inside a transaction, retrying on conflict until it
+// commits; a non-nil error aborts without retrying.
+func Atomically(fn func(tx *Tx) error) error {
+	for {
+		tx := &Tx{}
+		tx.begin()
+		err, ctl := attempt(tx, fn)
+		switch ctl {
+		case ctlOK:
+			if err != nil {
+				return err
+			}
+			if tx.commit() {
+				return nil
+			}
+		case ctlRetryNow:
+		case ctlRetryWait:
+			waitForChange(tx)
+		}
+	}
+}
+
+type ctlKind int
+
+const (
+	ctlOK ctlKind = iota
+	ctlRetryNow
+	ctlRetryWait
+)
+
+func attempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
+	defer func() {
+		switch r := recover(); r.(type) {
+		case nil:
+		case retrySignal:
+			ctl = ctlRetryNow
+		case waitSignal:
+			ctl = ctlRetryWait
+		default:
+			panic(r)
+		}
+	}()
+	return fn(tx), ctlOK
+}
+
+func waitForChange(tx *Tx) {
+	for {
+		for _, r := range tx.reads {
+			if r.v.loadBox() != r.b {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+}

@@ -1,0 +1,231 @@
+package norecstm_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/stm/norecstm"
+)
+
+func TestBasicReadWrite(t *testing.T) {
+	v := norecstm.NewVar(10)
+	err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		if got := v.Get(tx); got != 10 {
+			t.Errorf("Get = %d, want 10", got)
+		}
+		v.Set(tx, 20)
+		if got := v.Get(tx); got != 20 {
+			t.Errorf("read-own-write = %d, want 20", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 20 {
+		t.Fatalf("Load = %d, want 20", got)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	v := norecstm.NewVar(1)
+	sentinel := errors.New("nope")
+	err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		v.Set(tx, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if v.Load() != 1 {
+		t.Fatal("aborted write visible")
+	}
+}
+
+// TestConcurrentCounter: the lost-update test that caught the TL2 engine's
+// validation bug; NOrec must pass it too.
+func TestConcurrentCounter(t *testing.T) {
+	ctr := norecstm.NewVar(0)
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+					ctr.Set(tx, ctr.Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Load(); got != workers*rounds {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*rounds)
+	}
+}
+
+// TestBankInvariant: transfers conserve the total under concurrent audits.
+func TestBankInvariant(t *testing.T) {
+	const accounts, initial = 6, 500
+	bank := make([]*norecstm.Var[int], accounts)
+	for i := range bank {
+		bank[i] = norecstm.NewVar(initial)
+	}
+	var auditors, transfers sync.WaitGroup
+	stop := make(chan struct{})
+	for a := 0; a < 2; a++ {
+		auditors.Add(1)
+		go func() {
+			defer auditors.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum := 0
+				if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+					sum = 0
+					for _, v := range bank {
+						sum += v.Get(tx)
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != accounts*initial {
+					t.Errorf("torn audit: %d", sum)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		w := w
+		transfers.Add(1)
+		go func() {
+			defer transfers.Done()
+			rng := uint64(w)*2654435761 + 1
+			next := func() int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % accounts
+			}
+			for i := 0; i < 300; i++ {
+				from, to := next(), next()
+				if from == to {
+					continue
+				}
+				if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+					bank[from].Set(tx, bank[from].Get(tx)-1)
+					bank[to].Set(tx, bank[to].Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	transfers.Wait()
+	close(stop)
+	auditors.Wait()
+	total := 0
+	for _, v := range bank {
+		total += v.Load()
+	}
+	if total != accounts*initial {
+		t.Fatalf("total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestRetryBlocksUntilChange exercises the Retry combinator.
+func TestRetryBlocksUntilChange(t *testing.T) {
+	ready := norecstm.NewVar(false)
+	payload := norecstm.NewVar(0)
+	got := make(chan int, 1)
+	go func() {
+		var v int
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			if !ready.Get(tx) {
+				tx.Retry()
+			}
+			v = payload.Get(tx)
+			return nil
+		})
+		got <- v
+	}()
+	_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+		payload.Set(tx, 42)
+		ready.Set(tx, true)
+		return nil
+	})
+	if v := <-got; v != 42 {
+		t.Fatalf("consumer got %d, want 42", v)
+	}
+}
+
+// TestValueValidationToleratesSnapshotEquality: NOrec validates by
+// snapshot identity, so a transaction survives commits that do not touch
+// anything it read.
+func TestValueValidationToleratesSnapshotEquality(t *testing.T) {
+	a := norecstm.NewVar(1)
+	b := norecstm.NewVar(2)
+	done := make(chan struct{})
+	started := make(chan struct{})
+	doneWriting := make(chan struct{})
+	var startOnce sync.Once
+	go func() {
+		defer close(done)
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			v := a.Get(tx)
+			startOnce.Do(func() { close(started) })
+			// A disjoint writer commits here (b), bumping the sequence;
+			// our next read must revalidate against a's unchanged snapshot
+			// and pass.
+			<-doneWriting
+			_ = b.Get(tx)
+			_ = v
+			return nil
+		})
+	}()
+	<-started
+	_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+		b.Set(tx, 9)
+		return nil
+	})
+	close(doneWriting)
+	<-done
+}
+
+// TestAtomicSwapProperty mirrors the TL2 engine's property test.
+func TestAtomicSwapProperty(t *testing.T) {
+	prop := func(a, b int32, swaps uint8) bool {
+		x, y := norecstm.NewVar(int64(a)), norecstm.NewVar(int64(b))
+		for i := 0; i < int(swaps%16); i++ {
+			if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+				vx, vy := x.Get(tx), y.Get(tx)
+				x.Set(tx, vy)
+				y.Set(tx, vx)
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		gx, gy := x.Load(), y.Load()
+		if swaps%16%2 == 0 {
+			return gx == int64(a) && gy == int64(b)
+		}
+		return gx == int64(b) && gy == int64(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,171 @@
+package stm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/stm"
+)
+
+func TestOrElseFirstBranchWins(t *testing.T) {
+	v := stm.NewVar(1)
+	out := stm.NewVar("")
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		return tx.OrElse(
+			func(tx *stm.Tx) error {
+				if v.Get(tx) == 0 {
+					tx.Retry()
+				}
+				out.Set(tx, "first")
+				return nil
+			},
+			func(tx *stm.Tx) error {
+				out.Set(tx, "second")
+				return nil
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Load(); got != "first" {
+		t.Fatalf("out = %q, want first", got)
+	}
+}
+
+func TestOrElseFallsThroughOnRetry(t *testing.T) {
+	empty := stm.NewVar(0) // "queue" with nothing in it
+	out := stm.NewVar("")
+	scratch := stm.NewVar(0)
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		return tx.OrElse(
+			func(tx *stm.Tx) error {
+				scratch.Set(tx, 99) // must be rolled back
+				if empty.Get(tx) == 0 {
+					tx.Retry()
+				}
+				out.Set(tx, "first")
+				return nil
+			},
+			func(tx *stm.Tx) error {
+				out.Set(tx, "second")
+				return nil
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Load(); got != "second" {
+		t.Fatalf("out = %q, want second", got)
+	}
+	if got := scratch.Load(); got != 0 {
+		t.Fatalf("scratch = %d; the blocked branch's write leaked", got)
+	}
+}
+
+func TestOrElseErrorDoesNotFallThrough(t *testing.T) {
+	sentinel := errors.New("boom")
+	ran2 := false
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		return tx.OrElse(
+			func(tx *stm.Tx) error { return sentinel },
+			func(tx *stm.Tx) error { ran2 = true; return nil },
+		)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if ran2 {
+		t.Fatal("second branch ran after a user error")
+	}
+}
+
+// TestOrElseBothRetryBlocks: when both branches block, the transaction
+// waits on the union of their read sets; a write to either side wakes it.
+func TestOrElseBothRetryBlocks(t *testing.T) {
+	left := stm.NewVar(0)
+	right := stm.NewVar(0)
+	got := make(chan string, 1)
+	go func() {
+		var which string
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			return tx.OrElse(
+				func(tx *stm.Tx) error {
+					if left.Get(tx) == 0 {
+						tx.Retry()
+					}
+					which = "left"
+					return nil
+				},
+				func(tx *stm.Tx) error {
+					if right.Get(tx) == 0 {
+						tx.Retry()
+					}
+					which = "right"
+					return nil
+				},
+			)
+		})
+		got <- which
+	}()
+	// Waking via the *second* branch's variable proves the read set union
+	// includes both branches.
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		right.Set(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if which := <-got; which != "right" {
+		t.Fatalf("woke via %q, want right", which)
+	}
+}
+
+// TestOrElseTakeFromEitherQueue is the canonical use: take from whichever
+// queue has data, preferring the first.
+func TestOrElseTakeFromEitherQueue(t *testing.T) {
+	q1 := stm.NewQueue[int](2)
+	q2 := stm.NewQueue[int](2)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q2.Put(tx, 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		return tx.OrElse(
+			func(tx *stm.Tx) error { got = q1.Take(tx); return nil },
+			func(tx *stm.Tx) error { got = q2.Take(tx); return nil },
+		)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("got %d, want 42", got)
+	}
+	// Nested OrElse composes too.
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q1.Put(tx, 7)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		return tx.OrElse(
+			func(tx *stm.Tx) error {
+				return tx.OrElse(
+					func(tx *stm.Tx) error { got = q2.Take(tx); return nil }, // empty now
+					func(tx *stm.Tx) error { got = q1.Take(tx); return nil },
+				)
+			},
+			func(tx *stm.Tx) error { got = -1; return nil },
+		)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("nested OrElse got %d, want 7", got)
+	}
+}

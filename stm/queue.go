@@ -1,0 +1,86 @@
+package stm
+
+// Queue is a bounded transactional FIFO queue. Put blocks (via Retry) while
+// the queue is full, Take while it is empty — the composable blocking that
+// conventional mutex-and-condvar code cannot express atomically alongside
+// other state changes, and one of the paper's motivations for the TM
+// programming model.
+type Queue[T any] struct {
+	buf   []*Var[T]
+	head  *Var[int] // index of the oldest element
+	count *Var[int]
+}
+
+// NewQueue creates a bounded queue with the given capacity (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue[T]{
+		buf:   make([]*Var[T], capacity),
+		head:  NewVar(0),
+		count: NewVar(0),
+	}
+	var zero T
+	for i := range q.buf {
+		q.buf[i] = NewVar(zero)
+	}
+	return q
+}
+
+// Cap returns the queue's fixed capacity.
+func (q *Queue[T]) Cap() int { return len(q.buf) }
+
+// Len returns the current number of elements.
+func (q *Queue[T]) Len(tx *Tx) int { return q.count.Get(tx) }
+
+// Put appends v, blocking (transactionally) while the queue is full.
+func (q *Queue[T]) Put(tx *Tx, v T) {
+	n := q.count.Get(tx)
+	if n == len(q.buf) {
+		tx.Retry()
+	}
+	tail := (q.head.Get(tx) + n) % len(q.buf)
+	q.buf[tail].Set(tx, v)
+	q.count.Set(tx, n+1)
+}
+
+// TryPut appends v if there is room, reporting success. It never blocks.
+func (q *Queue[T]) TryPut(tx *Tx, v T) bool {
+	n := q.count.Get(tx)
+	if n == len(q.buf) {
+		return false
+	}
+	tail := (q.head.Get(tx) + n) % len(q.buf)
+	q.buf[tail].Set(tx, v)
+	q.count.Set(tx, n+1)
+	return true
+}
+
+// Take removes and returns the oldest element, blocking (transactionally)
+// while the queue is empty.
+func (q *Queue[T]) Take(tx *Tx) T {
+	n := q.count.Get(tx)
+	if n == 0 {
+		tx.Retry()
+	}
+	h := q.head.Get(tx)
+	v := q.buf[h].Get(tx)
+	q.head.Set(tx, (h+1)%len(q.buf))
+	q.count.Set(tx, n-1)
+	return v
+}
+
+// TryTake removes the oldest element if any, reporting success.
+func (q *Queue[T]) TryTake(tx *Tx) (T, bool) {
+	n := q.count.Get(tx)
+	if n == 0 {
+		var zero T
+		return zero, false
+	}
+	h := q.head.Get(tx)
+	v := q.buf[h].Get(tx)
+	q.head.Set(tx, (h+1)%len(q.buf))
+	q.count.Set(tx, n-1)
+	return v, true
+}

@@ -1,0 +1,291 @@
+// Package stm is a native (sync/atomic-based) software transactional memory
+// for Go programs: the adoptable counterpart of the instrumented algorithms
+// in internal/tm. It implements the TL2 protocol — a global version clock,
+// per-variable versioned locks, invisible reads, lazy write buffering and
+// commit-time locking — the same algorithm measured as the "tl2" series in
+// the experiments, so its costs are exactly the ones the paper's Theorem 3
+// trades against: O(1) steps per read, at the price of weak DAP (a global
+// clock word shared by all update transactions).
+//
+// Usage:
+//
+//	acct := stm.NewVar(100)
+//	err := stm.Atomically(func(tx *stm.Tx) error {
+//	    v := acct.Get(tx)
+//	    acct.Set(tx, v-10)
+//	    return nil
+//	})
+//
+// Transactions retry automatically on conflict. Get and Set abort the
+// enclosing transaction by panicking with an internal signal that
+// Atomically recovers; user code must not recover() across t-operations.
+// Values stored in a Var must be treated as immutable once written.
+package stm
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+)
+
+// clock is the global version clock shared by all Vars (TL2's GV).
+var clock atomic.Uint64
+
+// varIDs allocates the total order used to acquire commit locks
+// deadlock-free.
+var varIDs atomic.Uint64
+
+// box is an immutable (value, version) snapshot of a Var.
+type box struct {
+	val any
+	ver uint64
+}
+
+// varBase is the type-erased interface Tx uses to manage heterogeneous
+// Vars in one transaction.
+type varBase interface {
+	id() uint64
+	loadBox() *box
+	casBox(old, new *box) bool
+	tryLock() bool
+	unlock()
+	lockedByOther() bool
+}
+
+// Var is a transactional variable holding a value of type T.
+// The zero Var is not ready for use; create Vars with NewVar.
+type Var[T any] struct {
+	vid   uint64
+	state atomic.Pointer[box]
+	lock  atomic.Bool
+}
+
+// NewVar creates a transactional variable with the given initial value.
+func NewVar[T any](initial T) *Var[T] {
+	v := &Var[T]{vid: varIDs.Add(1)}
+	v.state.Store(&box{val: initial, ver: 0})
+	return v
+}
+
+func (v *Var[T]) id() uint64 { return v.vid }
+
+func (v *Var[T]) loadBox() *box {
+	b := v.state.Load()
+	if b == nil {
+		panic("stm: Var used before NewVar (the zero Var is not initialized)")
+	}
+	return b
+}
+func (v *Var[T]) casBox(o, n *box) bool { return v.state.CompareAndSwap(o, n) }
+func (v *Var[T]) tryLock() bool         { return v.lock.CompareAndSwap(false, true) }
+func (v *Var[T]) unlock()               { v.lock.Store(false) }
+func (v *Var[T]) lockedByOther() bool   { return v.lock.Load() }
+
+// Get reads the variable inside a transaction. On conflict it aborts the
+// transaction (Atomically retries automatically).
+func (v *Var[T]) Get(tx *Tx) T {
+	return tx.read(v).(T)
+}
+
+// Set buffers a write to the variable inside a transaction; it becomes
+// visible atomically at commit.
+func (v *Var[T]) Set(tx *Tx, val T) {
+	tx.write(v, val)
+}
+
+// Load reads the variable outside any transaction: a consistent single-
+// variable snapshot (equivalent to a one-read transaction).
+func (v *Var[T]) Load() T {
+	return v.state.Load().val.(T)
+}
+
+// retrySignal aborts the current attempt; Atomically catches it.
+type retrySignal struct{}
+
+// waitSignal is panicked by Retry: the transaction re-runs only after one
+// of the variables it read has changed.
+type waitSignal struct{}
+
+// Tx is a transaction descriptor. It is valid only inside the function
+// passed to Atomically and must not escape or be shared between goroutines.
+type Tx struct {
+	rv     uint64
+	reads  []readEntry
+	writes map[varBase]any
+	order  []varBase
+}
+
+type readEntry struct {
+	v   varBase
+	ver uint64
+}
+
+func (tx *Tx) abort() {
+	panic(retrySignal{})
+}
+
+func (tx *Tx) read(v varBase) any {
+	if tx.writes != nil {
+		if val, ok := tx.writes[v]; ok {
+			return val
+		}
+	}
+	if v.lockedByOther() {
+		tx.abort()
+	}
+	b := v.loadBox()
+	if b.ver > tx.rv {
+		tx.abort()
+	}
+	tx.reads = append(tx.reads, readEntry{v: v, ver: b.ver})
+	return b.val
+}
+
+func (tx *Tx) write(v varBase, val any) {
+	if tx.writes == nil {
+		tx.writes = make(map[varBase]any)
+	}
+	if _, ok := tx.writes[v]; !ok {
+		tx.order = append(tx.order, v)
+	}
+	tx.writes[v] = val
+}
+
+// Retry aborts the transaction and blocks the retry until at least one
+// variable read so far changes (the classic STM retry combinator). Calling
+// Retry with an empty read set panics, since no write could ever wake the
+// transaction.
+func (tx *Tx) Retry() {
+	if len(tx.reads) == 0 {
+		panic("stm: Retry with an empty read set would sleep forever")
+	}
+	panic(waitSignal{})
+}
+
+// commit attempts to make the transaction's writes visible atomically.
+func (tx *Tx) commit() bool {
+	if len(tx.order) == 0 {
+		return true // invisible reads: read-only transactions commit for free
+	}
+	locked := make([]varBase, 0, len(tx.order))
+	release := func() {
+		for _, v := range locked {
+			v.unlock()
+		}
+	}
+	vs := append([]varBase(nil), tx.order...)
+	sort.Slice(vs, func(i, j int) bool { return vs[i].id() < vs[j].id() })
+	for _, v := range vs {
+		if !v.tryLock() {
+			release()
+			return false
+		}
+		locked = append(locked, v)
+	}
+	wv := clock.Add(1)
+	if wv != tx.rv+1 {
+		// Validate every read entry — including variables we also write:
+		// our lock was taken only now, so a foreign commit may have slipped
+		// in between our read and our lock, and skipping "own" variables
+		// here would silently lose that update.
+		for _, r := range tx.reads {
+			if r.v.lockedByOther() && !containsVar(locked, r.v) {
+				release()
+				return false
+			}
+			if r.v.loadBox().ver != r.ver {
+				release()
+				return false
+			}
+		}
+	}
+	for _, v := range vs {
+		old := v.loadBox()
+		v.casBox(old, &box{val: tx.writes[v], ver: wv})
+	}
+	release()
+	return true
+}
+
+func containsVar(vs []varBase, v varBase) bool {
+	for _, u := range vs {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Atomically runs fn inside a transaction, retrying until it commits.
+// Returning a non-nil error aborts the transaction (its writes are
+// discarded) and returns that error to the caller without retrying.
+func Atomically(fn func(tx *Tx) error) error {
+	for attempt := 0; ; attempt++ {
+		tx := &Tx{rv: clock.Load()}
+		err, ctl := runAttempt(tx, fn)
+		switch ctl {
+		case ctlOK:
+			if err != nil {
+				return err // user error: abort without retry
+			}
+			if tx.commit() {
+				return nil
+			}
+		case ctlRetryNow:
+			// fall through to retry
+		case ctlRetryWait:
+			waitForChange(tx)
+		}
+		if attempt > 0 && attempt%64 == 0 {
+			runtime.Gosched() // be polite under heavy contention
+		}
+	}
+}
+
+type ctlKind int
+
+const (
+	ctlOK ctlKind = iota
+	ctlRetryNow
+	ctlRetryWait
+)
+
+// runAttempt executes one attempt of fn, translating the panic-based abort
+// signals into control flow. Unknown panics propagate.
+func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
+	defer func() {
+		switch r := recover(); r.(type) {
+		case nil:
+		case retrySignal:
+			ctl = ctlRetryNow
+		case waitSignal:
+			ctl = ctlRetryWait
+		default:
+			panic(r)
+		}
+	}()
+	return fn(tx), ctlOK
+}
+
+// waitForChange blocks (politely spinning) until some variable in the
+// transaction's read set has a version newer than the one read.
+func waitForChange(tx *Tx) {
+	for {
+		for _, r := range tx.reads {
+			if r.v.loadBox().ver != r.ver || r.v.lockedByOther() {
+				return
+			}
+		}
+		runtime.Gosched()
+	}
+}
+
+// Sanity check that Var implements varBase.
+var _ varBase = (*Var[int])(nil)
+
+// String implements fmt.Stringer for diagnostics.
+func (v *Var[T]) String() string {
+	b := v.state.Load()
+	return fmt.Sprintf("Var(%v@v%d)", b.val, b.ver)
+}

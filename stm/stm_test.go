@@ -1,0 +1,262 @@
+package stm_test
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/stm"
+)
+
+func TestBasicReadWrite(t *testing.T) {
+	v := stm.NewVar(10)
+	if got := v.Load(); got != 10 {
+		t.Fatalf("initial Load = %d, want 10", got)
+	}
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		if got := v.Get(tx); got != 10 {
+			t.Errorf("Get = %d, want 10", got)
+		}
+		v.Set(tx, 20)
+		if got := v.Get(tx); got != 20 {
+			t.Errorf("read-own-write = %d, want 20", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 20 {
+		t.Fatalf("after commit Load = %d, want 20", got)
+	}
+}
+
+func TestUserErrorAborts(t *testing.T) {
+	v := stm.NewVar(1)
+	sentinel := errors.New("nope")
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		v.Set(tx, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if got := v.Load(); got != 1 {
+		t.Fatalf("aborted write visible: %d", got)
+	}
+}
+
+// TestBankInvariant is the classic STM demo: concurrent random transfers
+// conserve the total balance, and no intermediate state is ever observable.
+func TestBankInvariant(t *testing.T) {
+	const accounts = 8
+	const initial = 1000
+	vars := make([]*stm.Var[int], accounts)
+	for i := range vars {
+		vars[i] = stm.NewVar(initial)
+	}
+	var auditors, transfers sync.WaitGroup
+	stop := make(chan struct{})
+	// Auditors continuously verify conservation inside transactions.
+	for a := 0; a < 2; a++ {
+		auditors.Add(1)
+		go func() {
+			defer auditors.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum int
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					sum = 0
+					for _, v := range vars {
+						sum += v.Get(tx)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("auditor: %v", err)
+					return
+				}
+				if sum != accounts*initial {
+					t.Errorf("conservation violated: sum = %d", sum)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		w := w
+		transfers.Add(1)
+		go func() {
+			defer transfers.Done()
+			rng := uint64(w)*2654435761 + 1
+			next := func() int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % accounts
+			}
+			for i := 0; i < 500; i++ {
+				from, to := next(), next()
+				if from == to {
+					continue
+				}
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					amt := 1 + i%7
+					f := vars[from].Get(tx)
+					vars[from].Set(tx, f-amt)
+					vars[to].Set(tx, vars[to].Get(tx)+amt)
+					return nil
+				}); err != nil {
+					t.Errorf("transfer: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	transfers.Wait()
+	close(stop)
+	auditors.Wait()
+
+	var total int
+	for _, v := range vars {
+		total += v.Load()
+	}
+	if total != accounts*initial {
+		t.Fatalf("final total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestConcurrentCounter verifies no increment is lost under contention.
+func TestConcurrentCounter(t *testing.T) {
+	ctr := stm.NewVar(0)
+	const workers, rounds = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					ctr.Set(tx, ctr.Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Load(); got != workers*rounds {
+		t.Fatalf("counter = %d, want %d (lost updates)", got, workers*rounds)
+	}
+}
+
+// TestRetryBlocksUntilChange exercises the Retry combinator as a condition
+// variable: a consumer waits for a producer's write.
+func TestRetryBlocksUntilChange(t *testing.T) {
+	ready := stm.NewVar(false)
+	payload := stm.NewVar(0)
+	got := make(chan int, 1)
+	go func() {
+		var v int
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			if !ready.Get(tx) {
+				tx.Retry()
+			}
+			v = payload.Get(tx)
+			return nil
+		})
+		got <- v
+	}()
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		payload.Set(tx, 42)
+		ready.Set(tx, true)
+		return nil
+	})
+	if v := <-got; v != 42 {
+		t.Fatalf("consumer got %d, want 42", v)
+	}
+}
+
+// TestRetryEmptyReadSetPanics pins the misuse guard.
+func TestRetryEmptyReadSetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retry with empty read set did not panic")
+		}
+	}()
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		tx.Retry()
+		return nil
+	})
+}
+
+// TestMultiTypeTransaction verifies heterogeneous Vars compose in one
+// transaction.
+func TestMultiTypeTransaction(t *testing.T) {
+	name := stm.NewVar("alice")
+	age := stm.NewVar(30)
+	tags := stm.NewVar([]string{"a"})
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		name.Set(tx, name.Get(tx)+"!")
+		age.Set(tx, age.Get(tx)+1)
+		tags.Set(tx, append(append([]string(nil), tags.Get(tx)...), "b"))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name.Load() != "alice!" || age.Load() != 31 || len(tags.Load()) != 2 {
+		t.Fatalf("got %q %d %v", name.Load(), age.Load(), tags.Load())
+	}
+}
+
+// TestAtomicSwapProperty property-checks two-variable atomicity: swapping
+// pairs repeatedly preserves the multiset of values.
+func TestAtomicSwapProperty(t *testing.T) {
+	prop := func(a, b int32, swaps uint8) bool {
+		x, y := stm.NewVar(int64(a)), stm.NewVar(int64(b))
+		for i := 0; i < int(swaps%16); i++ {
+			if err := stm.Atomically(func(tx *stm.Tx) error {
+				vx, vy := x.Get(tx), y.Get(tx)
+				x.Set(tx, vy)
+				y.Set(tx, vx)
+				return nil
+			}); err != nil {
+				return false
+			}
+		}
+		gx, gy := x.Load(), y.Load()
+		if swaps%16%2 == 0 {
+			return gx == int64(a) && gy == int64(b)
+		}
+		return gx == int64(b) && gy == int64(a)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZeroVarPanicsUsefully pins the misuse guard: a zero Var (not created
+// with NewVar) fails fast with a descriptive message instead of a nil
+// dereference.
+func TestZeroVarPanicsUsefully(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("zero Var did not panic")
+		}
+		if s, ok := r.(string); !ok || !strings.Contains(s, "NewVar") {
+			t.Fatalf("panic %v does not mention NewVar", r)
+		}
+	}()
+	var v stm.Var[int]
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		_ = v.Get(tx)
+		return nil
+	})
+}
