@@ -183,6 +183,7 @@ func BenchmarkE7Progress(b *testing.B) {
 // Theorem 3 bounds).
 func BenchmarkE8NativeCounter(b *testing.B) {
 	ctr := stm.NewVar(0)
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			_ = stm.Atomically(func(tx *stm.Tx) error {
@@ -203,6 +204,7 @@ func BenchmarkE8NativeReadOnly(b *testing.B) {
 	}
 	for _, m := range []int{4, 16, 64} {
 		b.Run(fmt.Sprintf("readset=%d", m), func(b *testing.B) {
+			b.ReportAllocs()
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					_ = stm.Atomically(func(tx *stm.Tx) error {
@@ -228,6 +230,7 @@ func BenchmarkE8NativeBank(b *testing.B) {
 		vs[i] = stm.NewVar(1000)
 	}
 	var seq atomic.Uint64
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := seq.Add(1)
@@ -257,6 +260,7 @@ func BenchmarkE8EngineCompare(b *testing.B) {
 		for i := range vars {
 			vars[i] = stm.NewVar(i)
 		}
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				_ = stm.Atomically(func(tx *stm.Tx) error {
@@ -275,6 +279,7 @@ func BenchmarkE8EngineCompare(b *testing.B) {
 		for i := range vars {
 			vars[i] = norecstm.NewVar(i)
 		}
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
@@ -294,6 +299,7 @@ func BenchmarkE8EngineCompare(b *testing.B) {
 			vars[i] = stm.NewVar(0)
 		}
 		var seq atomic.Uint64
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				v := vars[seq.Add(1)%64]
@@ -310,6 +316,7 @@ func BenchmarkE8EngineCompare(b *testing.B) {
 			vars[i] = norecstm.NewVar(0)
 		}
 		var seq atomic.Uint64
+		b.ReportAllocs()
 		b.RunParallel(func(pb *testing.PB) {
 			for pb.Next() {
 				v := vars[seq.Add(1)%64]

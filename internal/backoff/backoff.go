@@ -1,0 +1,33 @@
+// Package backoff provides the capped exponential backoff shared by the
+// native STM engines' retry loops (repro/stm and repro/stm/norecstm): the
+// contention-management schedule is engine policy, kept in one place so
+// the engines cannot silently diverge.
+package backoff
+
+import (
+	"runtime"
+	"time"
+)
+
+// Cap bounds the sleep between conflicting attempts.
+const Cap = 64 * time.Microsecond
+
+// Attempt applies the schedule for the given zero-based retry attempt:
+// the first couple of retries spin (most conflicts are transient), the
+// next few yield the processor, and beyond that each attempt sleeps 1µs
+// doubled per attempt up to Cap, settling contended commits into a
+// livelock-free cadence instead of hammering the same words.
+func Attempt(n int) {
+	switch {
+	case n < 2:
+		// retry immediately
+	case n < 8:
+		runtime.Gosched()
+	default:
+		d := time.Microsecond << uint(min(n-8, 20))
+		if d > Cap {
+			d = Cap
+		}
+		time.Sleep(d)
+	}
+}

@@ -2,6 +2,7 @@ package stm_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -10,12 +11,14 @@ import (
 
 // BenchmarkVarReadOnly measures invisible-read scaling of the native TL2
 // engine: read-only transactions over a shared read-mostly working set.
+// With pooled descriptors this must report zero allocs/op in steady state.
 func BenchmarkVarReadOnly(b *testing.B) {
 	const n = 32
 	vars := make([]*stm.Var[int], n)
 	for i := range vars {
 		vars[i] = stm.NewVar(i)
 	}
+	b.ReportAllocs()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			_ = stm.Atomically(func(tx *stm.Tx) error {
@@ -34,6 +37,7 @@ func BenchmarkVarReadOnly(b *testing.B) {
 // round-trip (begin, read, write, commit).
 func BenchmarkVarUncontended(b *testing.B) {
 	v := stm.NewVar(0)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_ = stm.Atomically(func(tx *stm.Tx) error {
 			v.Set(tx, v.Get(tx)+1)
@@ -42,6 +46,83 @@ func BenchmarkVarUncontended(b *testing.B) {
 	}
 	if v.Load() != b.N {
 		b.Fatal("lost updates")
+	}
+}
+
+// BenchmarkContentionSweep sweeps goroutine counts over a 90/10 read/write
+// mix on a shared working set: the contention-scaling trajectory of the
+// commit path (versioned-lock CAS, validation, backoff) at each level of
+// parallelism.
+func BenchmarkContentionSweep(b *testing.B) {
+	const nvars = 64
+	const readsPerTxn = 8
+	for _, workers := range []int{1, 2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("goroutines=%d", workers), func(b *testing.B) {
+			vars := make([]*stm.Var[int], nvars)
+			for i := range vars {
+				vars[i] = stm.NewVar(0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var next atomic.Uint64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						i := next.Add(1)
+						if i > uint64(b.N) {
+							return
+						}
+						base := (i * 2654435761) % nvars
+						if i%10 == 0 {
+							// Read-modify-write transaction.
+							_ = stm.Atomically(func(tx *stm.Tx) error {
+								v := vars[base]
+								v.Set(tx, v.Get(tx)+1)
+								return nil
+							})
+						} else {
+							// Read-only transaction over a sliding window.
+							_ = stm.Atomically(func(tx *stm.Tx) error {
+								s := 0
+								for j := uint64(0); j < readsPerTxn; j++ {
+									s += vars[(base+j)%nvars].Get(tx)
+								}
+								_ = s
+								return nil
+							})
+						}
+					}
+				}()
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkLargeWriteSet measures commits whose write sets cross the
+// slice→map promotion threshold: per-op cost of the map index, the one
+// commit-time sort, and the bulk lock/publish/unlock sweep.
+func BenchmarkLargeWriteSet(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("writes=%d", n), func(b *testing.B) {
+			vars := make([]*stm.Var[int], n)
+			for i := range vars {
+				vars[i] = stm.NewVar(0)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					for _, v := range vars {
+						v.Set(tx, i)
+					}
+					return nil
+				})
+			}
+		})
 	}
 }
 
@@ -56,11 +137,17 @@ func BenchmarkMapMixed(b *testing.B) {
 			return nil
 		})
 	}
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%d", i)
+	}
 	var seq atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			i := seq.Add(1)
-			k := fmt.Sprintf("key%d", (i*2654435761)%256)
+			k := keys[(i*2654435761)%256]
 			if i%10 == 0 {
 				_ = stm.Atomically(func(tx *stm.Tx) error {
 					m.Put(tx, k, int(i))
@@ -80,6 +167,7 @@ func BenchmarkMapMixed(b *testing.B) {
 // bounded queue.
 func BenchmarkQueueHandoff(b *testing.B) {
 	q := stm.NewQueue[int](64)
+	b.ReportAllocs()
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

@@ -1,7 +1,5 @@
 package stm
 
-import "hash/fnv"
-
 // Map is a transactional string-keyed hash map: a fixed array of buckets,
 // each a Var holding an immutable association list. Operations on
 // different buckets never conflict, so the map scales the way the paper's
@@ -37,9 +35,15 @@ func NewMap[V any](buckets int) *Map[V] {
 }
 
 func (m *Map[V]) bucket(key string) *Var[[]mapEntry[V]] {
-	h := fnv.New32a()
-	h.Write([]byte(key))
-	return m.buckets[h.Sum32()%uint32(len(m.buckets))]
+	// Inline FNV-1a over the string: hashing a key must not allocate (the
+	// hash/fnv Hash32 interface and the []byte(key) conversion both would),
+	// or bucket selection alone would break the engine's zero-alloc reads.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * prime32
+	}
+	return m.buckets[h%uint32(len(m.buckets))]
 }
 
 // Get returns the value for key and whether it is present.

@@ -19,7 +19,10 @@ package norecstm
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
+
+	"repro/internal/backoff"
 )
 
 // seq is the global sequence lock: even = quiescent, odd = a writer is
@@ -69,17 +72,69 @@ func (v *Var[T]) Load() T { return v.state.Load().val.(T) }
 type retrySignal struct{}
 type waitSignal struct{}
 
+// writeSetMapThreshold is the write-set size beyond which Tx adds a map
+// index for read-own-write lookup; below it a linear scan of the slice is
+// faster than hashing and allocates nothing.
+const writeSetMapThreshold = 24
+
 // Tx is a NOrec transaction descriptor; valid only inside Atomically.
+// Descriptors are pooled and their read/write sets recycled across
+// attempts and calls, mirroring the TL2 engine: NOrec's point is exactly
+// how lean per-transaction metadata can get.
 type Tx struct {
 	snap   uint64
 	reads  []readEntry
-	writes map[varBase]any
-	order  []varBase
+	writes []writeEntry
+	wmap   map[varBase]int // index into writes; non-nil past the threshold
 }
 
 type readEntry struct {
 	v varBase
 	b *box
+}
+
+type writeEntry struct {
+	v   varBase
+	val any
+}
+
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// reset clears the read and write sets in place, keeping their backing
+// arrays, and zeroes dropped entries so a pooled Tx pins no user data.
+func (tx *Tx) reset() {
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	tx.writes = tx.writes[:0]
+	tx.wmap = nil
+}
+
+// release returns the descriptor to the pool, dropping oversized backing
+// arrays so one large transaction does not pin memory forever.
+func (tx *Tx) release() {
+	tx.reset()
+	if cap(tx.reads) > 4096 {
+		tx.reads = nil
+	}
+	if cap(tx.writes) > 4096 {
+		tx.writes = nil
+	}
+	txPool.Put(tx)
+}
+
+// findWrite locates v in the write set (read-own-write lookup).
+func (tx *Tx) findWrite(v varBase) (int, bool) {
+	if tx.wmap != nil {
+		i, ok := tx.wmap[v]
+		return i, ok
+	}
+	for i := range tx.writes {
+		if tx.writes[i].v == v {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 func (tx *Tx) begin() {
@@ -121,10 +176,8 @@ func (tx *Tx) validate() {
 }
 
 func (tx *Tx) read(v varBase) any {
-	if tx.writes != nil {
-		if val, ok := tx.writes[v]; ok {
-			return val
-		}
+	if i, ok := tx.findWrite(v); ok {
+		return tx.writes[i].val
 	}
 	b := v.loadBox()
 	for seq.Load() != tx.snap {
@@ -136,13 +189,20 @@ func (tx *Tx) read(v varBase) any {
 }
 
 func (tx *Tx) write(v varBase, val any) {
-	if tx.writes == nil {
-		tx.writes = make(map[varBase]any)
+	if i, ok := tx.findWrite(v); ok {
+		tx.writes[i].val = val
+		return
 	}
-	if _, ok := tx.writes[v]; !ok {
-		tx.order = append(tx.order, v)
+	if tx.wmap == nil && len(tx.writes) >= writeSetMapThreshold {
+		tx.wmap = make(map[varBase]int, 2*writeSetMapThreshold)
+		for j := range tx.writes {
+			tx.wmap[tx.writes[j].v] = j
+		}
 	}
-	tx.writes[v] = val
+	if tx.wmap != nil {
+		tx.wmap[v] = len(tx.writes)
+	}
+	tx.writes = append(tx.writes, writeEntry{v: v, val: val})
 }
 
 // Retry blocks the transaction until a variable it read changes.
@@ -154,7 +214,7 @@ func (tx *Tx) Retry() {
 }
 
 func (tx *Tx) commit() (ok bool) {
-	if len(tx.order) == 0 {
+	if len(tx.writes) == 0 {
 		return true // read-only: the last validation certified the snapshot
 	}
 	// validate() reports an invalidated read set by panicking the retry
@@ -173,8 +233,8 @@ func (tx *Tx) commit() (ok bool) {
 		// snapshot.
 		tx.validate()
 	}
-	for _, v := range tx.order {
-		v.storeBox(&box{val: tx.writes[v]})
+	for i := range tx.writes {
+		tx.writes[i].v.storeBox(&box{val: tx.writes[i].val})
 	}
 	seq.Store(tx.snap + 2)
 	return true
@@ -183,22 +243,27 @@ func (tx *Tx) commit() (ok bool) {
 // Atomically runs fn inside a transaction, retrying on conflict until it
 // commits; a non-nil error aborts without retrying.
 func Atomically(fn func(tx *Tx) error) error {
-	for {
-		tx := &Tx{}
+	tx := txPool.Get().(*Tx)
+	for attempt := 0; ; attempt++ {
+		tx.reset()
 		tx.begin()
-		err, ctl := attempt(tx, fn)
+		err, ctl := runAttempt(tx, fn)
 		switch ctl {
 		case ctlOK:
 			if err != nil {
+				tx.release()
 				return err
 			}
 			if tx.commit() {
+				tx.release()
 				return nil
 			}
 		case ctlRetryNow:
 		case ctlRetryWait:
 			waitForChange(tx)
+			continue // the wait already yielded; retry immediately
 		}
+		backoff.Attempt(attempt)
 	}
 }
 
@@ -210,7 +275,7 @@ const (
 	ctlRetryWait
 )
 
-func attempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
+func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 	defer func() {
 		switch r := recover(); r.(type) {
 		case nil:

@@ -11,21 +11,18 @@ package stm
 // immediately (with f's writes still buffered, exactly as if f's body had
 // been inlined).
 func (tx *Tx) OrElse(f, g func(*Tx) error) error {
-	savedWrites := make(map[varBase]any, len(tx.writes))
-	for k, v := range tx.writes {
-		savedWrites[k] = v
-	}
-	savedOrder := append([]varBase(nil), tx.order...)
+	savedWrites, savedMap := tx.snapshotWrites()
 
 	err, retried := tx.attemptBranch(f)
 	if !retried {
 		return err
 	}
-	// f blocked: discard its writes (its reads stay in the read set, both
-	// for commit-time validation and so a wake-up on anything f read
-	// re-runs the transaction, as Retry semantics require).
-	tx.writes = savedWrites
-	tx.order = savedOrder
+	// f blocked: discard its writes — including overwrites of entries that
+	// were already buffered before the branch, which the snapshot preserves
+	// by value. (f's reads stay in the read set, both for commit-time
+	// validation and so a wake-up on anything f read re-runs the
+	// transaction, as Retry semantics require.)
+	tx.restoreWrites(savedWrites, savedMap)
 	return g(tx)
 }
 

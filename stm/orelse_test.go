@@ -169,3 +169,80 @@ func TestOrElseTakeFromEitherQueue(t *testing.T) {
 		t.Fatalf("nested OrElse got %d, want 7", got)
 	}
 }
+
+// TestOrElseRestoresOverwrittenBufferedWrite pins the rollback of a
+// blocked branch that *overwrote* a write buffered before the branch: the
+// pre-branch value, not the branch's, must survive and commit.
+func TestOrElseRestoresOverwrittenBufferedWrite(t *testing.T) {
+	v := stm.NewVar(0)
+	gate := stm.NewVar(0)
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		v.Set(tx, 1) // buffered before the branch
+		return tx.OrElse(
+			func(tx *stm.Tx) error {
+				v.Set(tx, 99) // overwrites the buffered entry in place
+				if gate.Get(tx) == 0 {
+					tx.Retry()
+				}
+				return nil
+			},
+			func(tx *stm.Tx) error {
+				if got := v.Get(tx); got != 1 {
+					t.Errorf("second branch sees %d, want pre-branch 1", got)
+				}
+				return nil
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 1 {
+		t.Fatalf("committed %d, want the restored pre-branch write 1", got)
+	}
+}
+
+// TestOrElseOverPromotedWriteSet exercises the branch rollback after the
+// write set has outgrown the sorted slice into the map index: the restore
+// must bring back every buffered value, including overwritten ones.
+func TestOrElseOverPromotedWriteSet(t *testing.T) {
+	const n = 80 // comfortably past the slice→map promotion threshold
+	vars := make([]*stm.Var[int], n)
+	for i := range vars {
+		vars[i] = stm.NewVar(0)
+	}
+	gate := stm.NewVar(0)
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		for i, v := range vars {
+			v.Set(tx, i+1)
+		}
+		return tx.OrElse(
+			func(tx *stm.Tx) error {
+				for _, v := range vars {
+					v.Set(tx, -1) // clobber everything, then block
+				}
+				if gate.Get(tx) == 0 {
+					tx.Retry()
+				}
+				return nil
+			},
+			func(tx *stm.Tx) error {
+				for i, v := range vars {
+					if got := v.Get(tx); got != i+1 {
+						t.Errorf("vars[%d] = %d after rollback, want %d", i, got, i+1)
+						break
+					}
+				}
+				return nil
+			},
+		)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vars {
+		if got := v.Load(); got != i+1 {
+			t.Fatalf("committed vars[%d] = %d, want %d", i, got, i+1)
+		}
+	}
+}

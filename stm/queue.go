@@ -31,6 +31,15 @@ func NewQueue[T any](capacity int) *Queue[T] {
 // Cap returns the queue's fixed capacity.
 func (q *Queue[T]) Cap() int { return len(q.buf) }
 
+// wrap reduces an index in [0, 2*cap) into [0, cap) without the integer
+// division a '%' would cost on the hot path.
+func (q *Queue[T]) wrap(i int) int {
+	if i >= len(q.buf) {
+		return i - len(q.buf)
+	}
+	return i
+}
+
 // Len returns the current number of elements.
 func (q *Queue[T]) Len(tx *Tx) int { return q.count.Get(tx) }
 
@@ -40,7 +49,7 @@ func (q *Queue[T]) Put(tx *Tx, v T) {
 	if n == len(q.buf) {
 		tx.Retry()
 	}
-	tail := (q.head.Get(tx) + n) % len(q.buf)
+	tail := q.wrap(q.head.Get(tx) + n)
 	q.buf[tail].Set(tx, v)
 	q.count.Set(tx, n+1)
 }
@@ -51,7 +60,7 @@ func (q *Queue[T]) TryPut(tx *Tx, v T) bool {
 	if n == len(q.buf) {
 		return false
 	}
-	tail := (q.head.Get(tx) + n) % len(q.buf)
+	tail := q.wrap(q.head.Get(tx) + n)
 	q.buf[tail].Set(tx, v)
 	q.count.Set(tx, n+1)
 	return true
@@ -66,7 +75,7 @@ func (q *Queue[T]) Take(tx *Tx) T {
 	}
 	h := q.head.Get(tx)
 	v := q.buf[h].Get(tx)
-	q.head.Set(tx, (h+1)%len(q.buf))
+	q.head.Set(tx, q.wrap(h+1))
 	q.count.Set(tx, n-1)
 	return v
 }
@@ -80,7 +89,7 @@ func (q *Queue[T]) TryTake(tx *Tx) (T, bool) {
 	}
 	h := q.head.Get(tx)
 	v := q.buf[h].Get(tx)
-	q.head.Set(tx, (h+1)%len(q.buf))
+	q.head.Set(tx, q.wrap(h+1))
 	q.count.Set(tx, n-1)
 	return v, true
 }

@@ -7,6 +7,23 @@
 // trades against: O(1) steps per read, at the price of weak DAP (a global
 // clock word shared by all update transactions).
 //
+// # Versioned lock word
+//
+// Each Var carries a single versioned write-lock word (one atomic.Uint64,
+// the encoding shared with internal/tm/lockword): bit 63 is the lock flag,
+// bits 0..62 hold the version of the last committed write. A transactional
+// read is one load of the word (must be unlocked and no newer than the
+// transaction's read version), one load of the value snapshot, and one
+// re-load of the word to certify the pair — no separate lock flag, no
+// version chased through the value pointer. Commit CASes the lock bit into
+// the word (preserving the version), publishes the new snapshots, and
+// releases each word with a single store of the new version with the lock
+// bit clear, so lock release and version publication are one atomic write.
+//
+// The hot path is allocation-free in steady state: transaction descriptors
+// are pooled and their read/write sets are recycled across attempts and
+// calls, so a read-only transaction performs zero heap allocations.
+//
 // Usage:
 //
 //	acct := stm.NewVar(100)
@@ -25,8 +42,13 @@ package stm
 import (
 	"fmt"
 	"runtime"
-	"sort"
+	"slices"
+	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/tm/lockword"
 )
 
 // clock is the global version clock shared by all Vars (TL2's GV).
@@ -36,39 +58,57 @@ var clock atomic.Uint64
 // deadlock-free.
 var varIDs atomic.Uint64
 
-// box is an immutable (value, version) snapshot of a Var.
+// box is an immutable value snapshot of a Var. The version lives in the
+// Var's lock word, not here, so a read needs no pointer chase to find it.
 type box struct {
 	val any
-	ver uint64
 }
 
 // varBase is the type-erased interface Tx uses to manage heterogeneous
 // Vars in one transaction.
 type varBase interface {
 	id() uint64
+	lockWord() uint64
+	tryLock() (prev uint64, ok bool)
+	unlock(ver uint64)
 	loadBox() *box
-	casBox(old, new *box) bool
-	tryLock() bool
-	unlock()
-	lockedByOther() bool
+	storeBox(*box)
 }
 
 // Var is a transactional variable holding a value of type T.
 // The zero Var is not ready for use; create Vars with NewVar.
 type Var[T any] struct {
 	vid   uint64
+	lw    atomic.Uint64 // versioned lock word (see package comment)
 	state atomic.Pointer[box]
-	lock  atomic.Bool
 }
 
 // NewVar creates a transactional variable with the given initial value.
 func NewVar[T any](initial T) *Var[T] {
 	v := &Var[T]{vid: varIDs.Add(1)}
-	v.state.Store(&box{val: initial, ver: 0})
+	v.state.Store(&box{val: initial})
 	return v
 }
 
-func (v *Var[T]) id() uint64 { return v.vid }
+func (v *Var[T]) id() uint64       { return v.vid }
+func (v *Var[T]) lockWord() uint64 { return v.lw.Load() }
+
+// tryLock sets the lock bit, preserving the version, and returns the
+// pre-lock version so a failed commit can restore the word exactly.
+func (v *Var[T]) tryLock() (uint64, bool) {
+	w := v.lw.Load()
+	if lockword.Locked(w) {
+		return 0, false
+	}
+	if !v.lw.CompareAndSwap(w, lockword.Lock(w)) {
+		return 0, false
+	}
+	return lockword.Version(w), true
+}
+
+// unlock releases the word, publishing ver (the old version after a failed
+// commit, the new write version after a successful one) in the same store.
+func (v *Var[T]) unlock(ver uint64) { v.lw.Store(lockword.Unlocked(ver)) }
 
 func (v *Var[T]) loadBox() *box {
 	b := v.state.Load()
@@ -77,10 +117,7 @@ func (v *Var[T]) loadBox() *box {
 	}
 	return b
 }
-func (v *Var[T]) casBox(o, n *box) bool { return v.state.CompareAndSwap(o, n) }
-func (v *Var[T]) tryLock() bool         { return v.lock.CompareAndSwap(false, true) }
-func (v *Var[T]) unlock()               { v.lock.Store(false) }
-func (v *Var[T]) lockedByOther() bool   { return v.lock.Load() }
+func (v *Var[T]) storeBox(b *box) { v.state.Store(b) }
 
 // Get reads the variable inside a transaction. On conflict it aborts the
 // transaction (Atomically retries automatically).
@@ -97,7 +134,7 @@ func (v *Var[T]) Set(tx *Tx, val T) {
 // Load reads the variable outside any transaction: a consistent single-
 // variable snapshot (equivalent to a one-read transaction).
 func (v *Var[T]) Load() T {
-	return v.state.Load().val.(T)
+	return v.loadBox().val.(T)
 }
 
 // retrySignal aborts the current attempt; Atomically catches it.
@@ -107,13 +144,29 @@ type retrySignal struct{}
 // of the variables it read has changed.
 type waitSignal struct{}
 
+// writeSetMapThreshold is the write-set size beyond which Tx switches from
+// a sorted-insert slice (cache-friendly, allocation-free once warm) to an
+// auxiliary map index (O(1) read-own-write lookup for large transactions).
+const writeSetMapThreshold = 24
+
+// readDedupWindow bounds the backwards scan that suppresses duplicate
+// read-set entries: re-reads of a recently read Var (the common loop shape)
+// are skipped without paying O(read set) per Get.
+const readDedupWindow = 8
+
 // Tx is a transaction descriptor. It is valid only inside the function
 // passed to Atomically and must not escape or be shared between goroutines.
+// Descriptors are pooled: Atomically recycles the read and write sets
+// across attempts and across calls, so steady-state transactions do not
+// allocate.
 type Tx struct {
 	rv     uint64
 	reads  []readEntry
-	writes map[varBase]any
-	order  []varBase
+	writes []writeEntry
+	// wmap indexes writes by Var once the write set outgrows
+	// writeSetMapThreshold; below that, writes is kept sorted by Var id and
+	// searched by binary search. Nil while the slice is authoritative.
+	wmap map[varBase]int
 }
 
 type readEntry struct {
@@ -121,35 +174,146 @@ type readEntry struct {
 	ver uint64
 }
 
+type writeEntry struct {
+	v    varBase
+	val  any
+	prev uint64 // pre-lock version, recorded while the commit holds the lock
+}
+
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// reset clears the read and write sets in place, keeping their backing
+// arrays, and zeroes the dropped entries so a pooled Tx pins no user data.
+func (tx *Tx) reset() {
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	tx.writes = tx.writes[:0]
+	tx.wmap = nil // the slice is authoritative again below the threshold
+}
+
+// release returns the descriptor to the pool. Oversized backing arrays are
+// dropped so one large transaction does not pin memory forever.
+func (tx *Tx) release() {
+	tx.reset()
+	if cap(tx.reads) > 4096 {
+		tx.reads = nil
+	}
+	if cap(tx.writes) > 4096 {
+		tx.writes = nil
+	}
+	txPool.Put(tx)
+}
+
 func (tx *Tx) abort() {
 	panic(retrySignal{})
 }
 
-func (tx *Tx) read(v varBase) any {
-	if tx.writes != nil {
-		if val, ok := tx.writes[v]; ok {
-			return val
+// searchWrite binary-searches the sorted write set for v, returning the
+// insertion position and whether v is present.
+func (tx *Tx) searchWrite(v varBase) (int, bool) {
+	vid := v.id()
+	lo, hi := 0, len(tx.writes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tx.writes[mid].v.id() < vid {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	if v.lockedByOther() {
+	return lo, lo < len(tx.writes) && tx.writes[lo].v == v
+}
+
+// findWrite locates v in the write set (read-own-write lookup).
+func (tx *Tx) findWrite(v varBase) (int, bool) {
+	if len(tx.writes) == 0 {
+		return 0, false
+	}
+	if tx.wmap != nil {
+		i, ok := tx.wmap[v]
+		return i, ok
+	}
+	return tx.searchWrite(v)
+}
+
+func (tx *Tx) read(v varBase) any {
+	if i, ok := tx.findWrite(v); ok {
+		return tx.writes[i].val
+	}
+	w := v.lockWord()
+	if lockword.Locked(w) || lockword.Version(w) > tx.rv {
 		tx.abort()
 	}
 	b := v.loadBox()
-	if b.ver > tx.rv {
-		tx.abort()
+	if v.lockWord() != w {
+		tx.abort() // a commit raced between the word load and the value load
 	}
-	tx.reads = append(tx.reads, readEntry{v: v, ver: b.ver})
+	// Skip duplicate read-set entries for recently read Vars. Soundness: a
+	// version installed after this transaction's rv-read is necessarily
+	// > rv, so a re-read of an already-recorded Var either sees the same
+	// version or aborts above — the recorded entry stays accurate.
+	for i, n := len(tx.reads)-1, len(tx.reads)-readDedupWindow; i >= 0 && i >= n; i-- {
+		if tx.reads[i].v == v {
+			return b.val
+		}
+	}
+	tx.reads = append(tx.reads, readEntry{v: v, ver: lockword.Version(w)})
 	return b.val
 }
 
 func (tx *Tx) write(v varBase, val any) {
-	if tx.writes == nil {
-		tx.writes = make(map[varBase]any)
+	if tx.wmap != nil {
+		if i, ok := tx.wmap[v]; ok {
+			tx.writes[i].val = val
+			return
+		}
+		tx.wmap[v] = len(tx.writes)
+		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
+		return
 	}
-	if _, ok := tx.writes[v]; !ok {
-		tx.order = append(tx.order, v)
+	i, found := tx.searchWrite(v)
+	if found {
+		tx.writes[i].val = val
+		return
 	}
-	tx.writes[v] = val
+	if len(tx.writes) >= writeSetMapThreshold {
+		// Promote: index the existing entries, then append unsorted (the
+		// commit re-establishes the lock order with one sort).
+		tx.wmap = make(map[varBase]int, 2*writeSetMapThreshold)
+		for j := range tx.writes {
+			tx.wmap[tx.writes[j].v] = j
+		}
+		tx.wmap[v] = len(tx.writes)
+		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
+		return
+	}
+	// Sorted insert keeps the slice in Var-id order, so commit locks in the
+	// deadlock-free total order with no per-commit sort at all.
+	tx.writes = append(tx.writes, writeEntry{})
+	copy(tx.writes[i+1:], tx.writes[i:])
+	tx.writes[i] = writeEntry{v: v, val: val}
+}
+
+// snapshotWrites captures the write set (values included) so OrElse can
+// roll a blocked branch back, including overwrites of pre-branch writes.
+func (tx *Tx) snapshotWrites() ([]writeEntry, map[varBase]int) {
+	snap := append([]writeEntry(nil), tx.writes...)
+	var msnap map[varBase]int
+	if tx.wmap != nil {
+		msnap = make(map[varBase]int, len(tx.wmap))
+		for k, i := range tx.wmap {
+			msnap[k] = i
+		}
+	}
+	return snap, msnap
+}
+
+// restoreWrites reinstates a snapshot taken by snapshotWrites.
+func (tx *Tx) restoreWrites(snap []writeEntry, msnap map[varBase]int) {
+	clear(tx.writes)
+	tx.writes = append(tx.writes[:0], snap...)
+	tx.wmap = msnap
 }
 
 // Retry aborts the transaction and blocks the retry until at least one
@@ -163,83 +327,102 @@ func (tx *Tx) Retry() {
 	panic(waitSignal{})
 }
 
+// ownsLock reports whether v is one of the variables this commit locked
+// (the write set is sorted by id when this runs).
+func (tx *Tx) ownsLock(v varBase) bool {
+	_, ok := tx.searchWrite(v)
+	return ok
+}
+
 // commit attempts to make the transaction's writes visible atomically.
 func (tx *Tx) commit() bool {
-	if len(tx.order) == 0 {
+	if len(tx.writes) == 0 {
 		return true // invisible reads: read-only transactions commit for free
 	}
-	locked := make([]varBase, 0, len(tx.order))
-	release := func() {
-		for _, v := range locked {
-			v.unlock()
+	if tx.wmap != nil {
+		// Large write sets append unsorted past the promotion point; one
+		// sort here re-establishes the deadlock-free lock order. (Small
+		// write sets are maintained sorted and skip this entirely.)
+		slices.SortFunc(tx.writes, func(a, b writeEntry) int {
+			switch ai, bi := a.v.id(), b.v.id(); {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			default:
+				return 0
+			}
+		})
+		tx.wmap = nil // indices are stale now; the attempt is over either way
+	}
+	locked := 0
+	for i := range tx.writes {
+		prev, ok := tx.writes[i].v.tryLock()
+		if !ok {
+			break
+		}
+		tx.writes[i].prev = prev
+		locked++
+	}
+	releaseLocked := func(n int) {
+		for i := 0; i < n; i++ {
+			tx.writes[i].v.unlock(tx.writes[i].prev)
 		}
 	}
-	vs := append([]varBase(nil), tx.order...)
-	sort.Slice(vs, func(i, j int) bool { return vs[i].id() < vs[j].id() })
-	for _, v := range vs {
-		if !v.tryLock() {
-			release()
-			return false
-		}
-		locked = append(locked, v)
+	if locked != len(tx.writes) {
+		releaseLocked(locked)
+		return false
 	}
 	wv := clock.Add(1)
 	if wv != tx.rv+1 {
 		// Validate every read entry — including variables we also write:
 		// our lock was taken only now, so a foreign commit may have slipped
-		// in between our read and our lock, and skipping "own" variables
-		// here would silently lose that update.
-		for _, r := range tx.reads {
-			if r.v.lockedByOther() && !containsVar(locked, r.v) {
-				release()
-				return false
-			}
-			if r.v.loadBox().ver != r.ver {
-				release()
+		// in between our read and our lock. The lock word preserves the
+		// version under our own lock bit, so the version check covers that
+		// window for own-locked variables too.
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			w := r.v.lockWord()
+			if lockword.Version(w) != r.ver || (lockword.Locked(w) && !tx.ownsLock(r.v)) {
+				releaseLocked(locked)
 				return false
 			}
 		}
 	}
-	for _, v := range vs {
-		old := v.loadBox()
-		v.casBox(old, &box{val: tx.writes[v], ver: wv})
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		e.v.storeBox(&box{val: e.val})
+		e.v.unlock(wv) // lock release and version publication in one store
 	}
-	release()
 	return true
-}
-
-func containsVar(vs []varBase, v varBase) bool {
-	for _, u := range vs {
-		if u == v {
-			return true
-		}
-	}
-	return false
 }
 
 // Atomically runs fn inside a transaction, retrying until it commits.
 // Returning a non-nil error aborts the transaction (its writes are
 // discarded) and returns that error to the caller without retrying.
 func Atomically(fn func(tx *Tx) error) error {
+	tx := txPool.Get().(*Tx)
 	for attempt := 0; ; attempt++ {
-		tx := &Tx{rv: clock.Load()}
+		tx.reset()
+		tx.rv = clock.Load()
 		err, ctl := runAttempt(tx, fn)
 		switch ctl {
 		case ctlOK:
 			if err != nil {
+				tx.release()
 				return err // user error: abort without retry
 			}
 			if tx.commit() {
+				tx.release()
 				return nil
 			}
 		case ctlRetryNow:
 			// fall through to retry
 		case ctlRetryWait:
 			waitForChange(tx)
+			continue // the wait already yielded; retry immediately
 		}
-		if attempt > 0 && attempt%64 == 0 {
-			runtime.Gosched() // be polite under heavy contention
-		}
+		backoff.Attempt(attempt)
 	}
 }
 
@@ -268,24 +451,44 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 	return fn(tx), ctlOK
 }
 
-// waitForChange blocks (politely spinning) until some variable in the
-// transaction's read set has a version newer than the one read.
+// waitForChange blocks until some variable in the transaction's read set
+// has a version newer than the one read. Each probe is a single atomic
+// load of the lock word (no pointer chase through the value snapshot), and
+// the poll interval backs off exponentially so long waits cost almost
+// nothing.
 func waitForChange(tx *Tx) {
-	for {
-		for _, r := range tx.reads {
-			if r.v.loadBox().ver != r.ver || r.v.lockedByOther() {
+	for spins := 0; ; spins++ {
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			if lockword.Version(r.v.lockWord()) != r.ver {
 				return
 			}
 		}
-		runtime.Gosched()
+		if spins < 4 {
+			runtime.Gosched()
+		} else {
+			d := time.Microsecond << uint(min(spins-4, 10))
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
 	}
 }
 
 // Sanity check that Var implements varBase.
 var _ varBase = (*Var[int])(nil)
 
-// String implements fmt.Stringer for diagnostics.
+// String implements fmt.Stringer for diagnostics. It certifies the
+// value/version pair the same way a transactional read does, so it never
+// prints a combination that did not exist.
 func (v *Var[T]) String() string {
-	b := v.state.Load()
-	return fmt.Sprintf("Var(%v@v%d)", b.val, b.ver)
+	for {
+		w := v.lw.Load()
+		b := v.loadBox()
+		if !lockword.Locked(w) && v.lw.Load() == w {
+			return fmt.Sprintf("Var(%v@v%d)", b.val, lockword.Version(w))
+		}
+		runtime.Gosched()
+	}
 }

@@ -1,0 +1,150 @@
+package stm_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestStressOverlappingTransfers hammers the commit path from many
+// goroutines with overlapping read/write sets — narrow two-account
+// transfers, wide all-accounts sweeps that cross the write-set promotion
+// threshold, and read-only audits — while checking the conservation
+// invariant throughout. Run with -race, it exercises the versioned-lock
+// word protocol (CAS lock, validation, single-store release) and the
+// pooled-descriptor recycling under real interleavings.
+func TestStressOverlappingTransfers(t *testing.T) {
+	const (
+		accounts = 32
+		initial  = 1000
+		workers  = 8
+		rounds   = 300
+	)
+	vars := make([]*stm.Var[int], accounts)
+	for i := range vars {
+		vars[i] = stm.NewVar(initial)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Auditors: read-only transactions over the full set must always see a
+	// conserved total (opacity: no intermediate state observable).
+	for a := 0; a < 2; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var sum int
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					sum = 0
+					for _, v := range vars {
+						sum += v.Get(tx)
+					}
+					return nil
+				}); err != nil {
+					t.Errorf("auditor: %v", err)
+					return
+				}
+				if sum != accounts*initial {
+					t.Errorf("conservation violated: sum = %d", sum)
+					return
+				}
+			}
+		}()
+	}
+
+	var transfers sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		transfers.Add(1)
+		go func() {
+			defer transfers.Done()
+			rng := uint64(w)*2654435761 + 1
+			next := func() int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % accounts
+			}
+			for i := 0; i < rounds; i++ {
+				switch {
+				case i%97 == 0:
+					// Wide rebalance: reads and writes every account, so the
+					// write set promotes from the sorted slice to the map
+					// index mid-transaction — under full contention.
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						total := 0
+						for _, v := range vars {
+							total += v.Get(tx)
+						}
+						share := total / accounts
+						rem := total - share*accounts
+						for j, v := range vars {
+							amt := share
+							if j < rem {
+								amt++
+							}
+							v.Set(tx, amt)
+						}
+						return nil
+					}); err != nil {
+						t.Errorf("rebalance: %v", err)
+						return
+					}
+				case i%13 == 0:
+					// Overlapping window transfer: read a 4-account window,
+					// move one unit along it (read set ⊃ write set).
+					base := next()
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						sum := 0
+						for j := 0; j < 4; j++ {
+							sum += vars[(base+j)%accounts].Get(tx)
+						}
+						_ = sum
+						a, b := vars[base%accounts], vars[(base+3)%accounts]
+						if a == b {
+							return nil
+						}
+						a.Set(tx, a.Get(tx)-1)
+						b.Set(tx, b.Get(tx)+1)
+						return nil
+					}); err != nil {
+						t.Errorf("window transfer: %v", err)
+						return
+					}
+				default:
+					from, to := next(), next()
+					if from == to {
+						continue
+					}
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						amt := 1 + i%7
+						f := vars[from].Get(tx)
+						vars[from].Set(tx, f-amt)
+						vars[to].Set(tx, vars[to].Get(tx)+amt)
+						return nil
+					}); err != nil {
+						t.Errorf("transfer: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	transfers.Wait()
+	close(stop)
+	wg.Wait()
+
+	var total int
+	for _, v := range vars {
+		total += v.Load()
+	}
+	if total != accounts*initial {
+		t.Fatalf("final total = %d, want %d", total, accounts*initial)
+	}
+}

@@ -1,0 +1,165 @@
+package stm
+
+import (
+	"sort"
+	"testing"
+)
+
+// White-box tests for the write-set representation: the sorted-insert
+// slice below writeSetMapThreshold, the map promotion above it, and the
+// read-set duplicate suppression.
+
+func TestWriteSetSortedInsertBelowThreshold(t *testing.T) {
+	n := writeSetMapThreshold - 2
+	vars := make([]*Var[int], n)
+	for i := range vars {
+		vars[i] = NewVar(0)
+	}
+	// Write in a scrambled order; the slice must stay sorted by Var id with
+	// no map allocated.
+	err := Atomically(func(tx *Tx) error {
+		for i := range vars {
+			vars[(i*7+3)%n].Set(tx, (i*7+3)%n)
+		}
+		if tx.wmap != nil {
+			t.Errorf("map index allocated for %d writes (threshold %d)", n, writeSetMapThreshold)
+		}
+		if len(tx.writes) != n {
+			t.Errorf("write set has %d entries, want %d", len(tx.writes), n)
+		}
+		if !sort.SliceIsSorted(tx.writes, func(i, j int) bool {
+			return tx.writes[i].v.id() < tx.writes[j].v.id()
+		}) {
+			t.Error("write set is not sorted by Var id")
+		}
+		// Read-own-write through the binary search.
+		for i, v := range vars {
+			if got := v.Get(tx); got != i {
+				t.Errorf("read-own-write vars[%d] = %d, want %d", i, got, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vars {
+		if got := v.Load(); got != i {
+			t.Errorf("committed vars[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestWriteSetOverwriteInPlace(t *testing.T) {
+	v := NewVar(0)
+	w := NewVar(0)
+	err := Atomically(func(tx *Tx) error {
+		v.Set(tx, 1)
+		w.Set(tx, 10)
+		v.Set(tx, 2) // overwrite must not grow the write set
+		if len(tx.writes) != 2 {
+			t.Errorf("write set has %d entries after overwrite, want 2", len(tx.writes))
+		}
+		if got := v.Get(tx); got != 2 {
+			t.Errorf("read-own-write after overwrite = %d, want 2", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Load(); got != 2 {
+		t.Fatalf("committed %d, want 2", got)
+	}
+}
+
+func TestWriteSetPromotionToMap(t *testing.T) {
+	n := writeSetMapThreshold * 3
+	vars := make([]*Var[int], n)
+	for i := range vars {
+		vars[i] = NewVar(-1)
+	}
+	err := Atomically(func(tx *Tx) error {
+		for i, v := range vars {
+			v.Set(tx, i)
+			mapExpected := i+1 > writeSetMapThreshold
+			if gotMap := tx.wmap != nil; gotMap != mapExpected {
+				t.Errorf("after %d writes: map index present = %v, want %v", i+1, gotMap, mapExpected)
+			}
+		}
+		// Read-own-write through the map, and overwrites update in place.
+		for i, v := range vars {
+			if got := v.Get(tx); got != i {
+				t.Errorf("read-own-write vars[%d] = %d, want %d", i, got, i)
+			}
+		}
+		vars[0].Set(tx, 12345)
+		if len(tx.writes) != n {
+			t.Errorf("write set has %d entries after post-promotion overwrite, want %d", len(tx.writes), n)
+		}
+		if got := vars[0].Get(tx); got != 12345 {
+			t.Errorf("post-promotion overwrite read = %d, want 12345", got)
+		}
+		vars[0].Set(tx, 0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The commit sorts the promoted (unsorted-tail) write set and must
+	// publish every value exactly once.
+	for i, v := range vars {
+		if got := v.Load(); got != i {
+			t.Errorf("committed vars[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestReadSetSkipsRecentDuplicates(t *testing.T) {
+	v := NewVar(7)
+	err := Atomically(func(tx *Tx) error {
+		for i := 0; i < 10; i++ {
+			if got := v.Get(tx); got != 7 {
+				t.Errorf("Get = %d, want 7", got)
+			}
+		}
+		if len(tx.reads) != 1 {
+			t.Errorf("read set has %d entries after 10 reads of one Var, want 1", len(tx.reads))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPooledTxIsCleanAcrossCalls(t *testing.T) {
+	// A transaction that errors out (aborted writes) must not leak its
+	// buffered writes into a later transaction that reuses the descriptor.
+	v := NewVar(1)
+	sentinel := Atomically(func(tx *Tx) error {
+		v.Set(tx, 99)
+		return errSentinel
+	})
+	if sentinel != errSentinel {
+		t.Fatalf("err = %v, want sentinel", sentinel)
+	}
+	err := Atomically(func(tx *Tx) error {
+		if len(tx.writes) != 0 || len(tx.reads) != 0 {
+			t.Errorf("recycled Tx not clean: %d writes, %d reads", len(tx.writes), len(tx.reads))
+		}
+		if got := v.Get(tx); got != 1 {
+			t.Errorf("Get = %d, want 1 (aborted write leaked)", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type sentinelErr struct{}
+
+func (sentinelErr) Error() string { return "sentinel" }
+
+var errSentinel = sentinelErr{}
