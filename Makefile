@@ -1,0 +1,39 @@
+# Build/test/benchmark entry points. The E8 set is the native-engine
+# benchmark suite of DESIGN.md's per-experiment index: commit-pipeline
+# ablation (clock strategies × timestamp extension), contention sweeps,
+# and the transactional-container regressions.
+
+GO ?= go
+
+# -cpu 4 pins the GOMAXPROCS≥4 regime the contention benchmarks target;
+# -count 5 gives benchdiff/benchstat enough runs; 0.2s per benchmark keeps
+# the full -count 5 sweep around a minute.
+E8_BENCH = BenchmarkE8|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed
+E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 5 -cpu 4 -timeout 30m
+
+.PHONY: test race bench-e8 bench-baseline bench-diff
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-e8 runs the E8 suite once and leaves the raw output in
+# bench_e8.txt (also the input format benchdiff accepts as -new).
+bench-e8:
+	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
+
+# bench-baseline records the committed perf baseline for this PR line:
+# re-runs the E8 suite and regenerates BENCH_PR2.json. Commit the result
+# so later PRs have a trajectory to compare against.
+bench-baseline:
+	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
+	$(GO) run ./cmd/benchjson -in bench_e8.txt -label PR2 \
+	  -command "go test $(E8_FLAGS) . ./stm" -out BENCH_PR2.json
+
+# bench-diff compares a fresh E8 run against the committed baseline;
+# report-only (never fails on a regression).
+bench-diff:
+	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR2.json -new bench_new.txt

@@ -249,6 +249,96 @@ func BenchmarkE8NativeBank(b *testing.B) {
 	})
 }
 
+// BenchmarkE8ClockStrategies is the commit-pipeline ablation: identical
+// contended workloads under each clock strategy × timestamp-extension
+// configuration. strategy=gv1/ext=off is the PR 1 pipeline (unconditional
+// clock.Add, abort on stale read version); strategy=gv4/ext=on is the
+// current default. Custom metrics report the abort ratio and extensions
+// per committed transaction from the engine's striped counters.
+func BenchmarkE8ClockStrategies(b *testing.B) {
+	type variant struct {
+		name  string
+		strat stm.ClockStrategy
+		ext   bool
+	}
+	variants := []variant{
+		{"strategy=gv1/ext=off", stm.GV1, false},
+		{"strategy=gv1/ext=on", stm.GV1, true},
+		{"strategy=gv4/ext=on", stm.GV4, true},
+		{"strategy=gv6/ext=on", stm.GV6, true},
+	}
+	defer stm.SetClockStrategy(stm.GV4)
+	defer stm.SetTimestampExtension(true)
+	for _, v := range variants {
+		b.Run(v.name+"/workload=counter", func(b *testing.B) {
+			stm.SetClockStrategy(v.strat)
+			stm.SetTimestampExtension(v.ext)
+			ctr := stm.NewVar(0)
+			before := stm.ReadStats()
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						ctr.Set(tx, ctr.Get(tx)+1)
+						return nil
+					})
+				}
+			})
+			d := stm.ReadStats().Sub(before)
+			b.ReportMetric(d.AbortRatio(), "abort-ratio")
+			if d.Commits > 0 {
+				b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+			}
+		})
+		b.Run(v.name+"/workload=bank", func(b *testing.B) {
+			stm.SetClockStrategy(v.strat)
+			stm.SetTimestampExtension(v.ext)
+			const accounts = 256
+			vs := make([]*stm.Var[int], accounts)
+			for i := range vs {
+				vs[i] = stm.NewVar(1000)
+			}
+			var seq atomic.Uint64
+			before := stm.ReadStats()
+			b.ReportAllocs()
+			b.SetParallelism(4)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					from := vs[(i*2654435761)%accounts]
+					to := vs[(i*40503+17)%accounts]
+					if from == to {
+						continue
+					}
+					if i%10 == 0 {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							s := 0
+							for j := uint64(0); j < 8; j++ {
+								s += vs[(i+j)%accounts].Get(tx)
+							}
+							_ = s
+							return nil
+						})
+					} else {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							f := from.Get(tx)
+							from.Set(tx, f-1)
+							to.Set(tx, to.Get(tx)+1)
+							return nil
+						})
+					}
+				}
+			})
+			d := stm.ReadStats().Sub(before)
+			b.ReportMetric(d.AbortRatio(), "abort-ratio")
+			if d.Commits > 0 {
+				b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+			}
+		})
+	}
+}
+
 // BenchmarkE8EngineCompare runs identical workloads on the two native
 // engines (TL2 in repro/stm, NOrec in repro/stm/norecstm) — the ablation of
 // DESIGN.md's E8 row carried into native code: same invisible-read scaling

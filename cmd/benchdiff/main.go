@@ -1,0 +1,116 @@
+// Command benchdiff compares the current E8 benchmark numbers against a
+// committed baseline (BENCH_PRn.json) and prints a markdown report — the
+// report-only perf-trajectory check CI appends to the job summary. It is
+// advisory by design: it never exits non-zero on a regression, only on
+// unusable input.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_PR2.json -new bench_new.txt
+//	go test -bench ... ./... | benchdiff -baseline BENCH_PR2.json
+//
+// The -new input may be raw `go test -bench` text or a benchjson file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR2.json", "committed baseline JSON")
+	newPath := flag.String("new", "", "new bench output: raw `go test -bench` text or benchjson JSON (default stdin)")
+	units := flag.String("units", "ns/op,abort-ratio", "comma-separated metric units to compare (empty = all)")
+	threshold := flag.Float64("threshold", 0.05, "relative change below which a row is reported as a wash")
+	flag.Parse()
+
+	oldData, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	oldB, err := benchfmt.Load(oldData)
+	if err != nil {
+		fatal(fmt.Errorf("baseline %s: %w", *baselinePath, err))
+	}
+	var newData []byte
+	if *newPath == "" {
+		newData, err = io.ReadAll(os.Stdin)
+	} else {
+		newData, err = os.ReadFile(*newPath)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	newB, err := benchfmt.Load(newData)
+	if err != nil {
+		fatal(fmt.Errorf("new results: %w", err))
+	}
+
+	var unitList []string
+	for _, u := range strings.Split(*units, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			unitList = append(unitList, u)
+		}
+	}
+	rows := benchfmt.Diff(oldB, newB, unitList)
+	if len(rows) == 0 {
+		fmt.Println("benchdiff: no overlapping benchmarks between baseline and new results")
+		return
+	}
+
+	fmt.Printf("### Benchmark delta vs %s baseline\n\n", labelOr(oldB.Label, *baselinePath))
+	fmt.Printf("Baseline: %s, %s/%s", oldB.Go, oldB.GOOS, oldB.GOARCH)
+	if oldB.CPU != "" {
+		fmt.Printf(", %s", oldB.CPU)
+	}
+	fmt.Printf(" · advisory, not a gate · |Δ| < %.0f%% reported as ~\n\n", *threshold*100)
+	fmt.Println("| benchmark | unit | baseline | current | Δ |")
+	fmt.Println("|---|---|---:|---:|---:|")
+	for _, r := range rows {
+		name := strings.TrimPrefix(strings.TrimPrefix(r.Name, "repro/"), "repro.")
+		fmt.Printf("| %s | %s | %s | %s | %s |\n",
+			name, r.Unit, num(r.Old), num(r.New), delta(r.Delta, *threshold))
+	}
+}
+
+func labelOr(label, fallback string) string {
+	if label != "" {
+		return label
+	}
+	return fallback
+}
+
+func num(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+func delta(d, threshold float64) string {
+	switch {
+	case math.IsNaN(d) || math.IsInf(d, 0):
+		return "n/a"
+	case math.Abs(d) < threshold:
+		return "~"
+	default:
+		return fmt.Sprintf("%+.1f%%", d*100)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

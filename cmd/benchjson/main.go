@@ -1,0 +1,70 @@
+// Command benchjson converts `go test -bench` text output into the
+// committed benchmark-baseline JSON (BENCH_PRn.json): one record per
+// benchmark aggregating the -count runs into mean/min/max per metric.
+// Standard library only, so the bench-baseline make target and the CI
+// delta job work in a hermetic container.
+//
+// Usage:
+//
+//	go test -bench ... -count 5 ./... | benchjson -label PR2 -out BENCH_PR2.json
+//	benchjson -in bench_e8.txt -label PR2 -out BENCH_PR2.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "", "output JSON file (default stdout)")
+	label := flag.String("label", "", "baseline label recorded in the file (e.g. PR2)")
+	command := flag.String("command", "", "the benchmark command recorded for reproducibility")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	base, err := benchfmt.Parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	base.Label = *label
+	base.Command = *command
+	base.Go = runtime.Version()
+	if base.GOOS == "" {
+		base.GOOS = runtime.GOOS
+	}
+	if base.GOARCH == "" {
+		base.GOARCH = runtime.GOARCH
+	}
+	enc, err := json.MarshalIndent(base, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

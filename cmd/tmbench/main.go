@@ -9,6 +9,7 @@
 //	tmbench -exp e4 [-locks lm:irtm] [-models cc-wb] [-ns 2,8,32] [-k 4]
 //	tmbench -exp e6 [-ms 4,8,16,32]
 //	tmbench -exp e7 [-tms irtm] [-seed 42]
+//	tmbench -exp e8 [-workers 8] [-dur 100ms]
 //	tmbench -exp all        # every table with default parameters
 package main
 
@@ -18,14 +19,20 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
+	"time"
 
 	ptm "repro"
 	"repro/internal/exp"
+	"repro/stm"
+	"repro/stm/norecstm"
 )
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e6, e7, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, or all")
+		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
+		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
 		locks     = flag.String("locks", strings.Join(ptm.Locks(), ","), "comma-separated lock algorithms")
 		models    = flag.String("models", strings.Join(ptm.CacheModels(), ","), "comma-separated cache models")
@@ -38,14 +45,16 @@ func main() {
 	flag.Parse()
 
 	cfg := config{
-		tms:    split(*tms),
-		locks:  split(*locks),
-		models: split(*models),
-		ms:     ints(*ms),
-		ns:     ints(*ns),
-		k:      *k,
-		seed:   *seed,
-		adv:    *adversary,
+		tms:     split(*tms),
+		locks:   split(*locks),
+		models:  split(*models),
+		ms:      ints(*ms),
+		ns:      ints(*ns),
+		k:       *k,
+		seed:    *seed,
+		adv:     *adversary,
+		workers: *workers,
+		dur:     *dur,
 	}
 	var err error
 	switch *expName {
@@ -63,6 +72,8 @@ func main() {
 		err = runE6(cfg)
 	case "e7":
 		err = runE7(cfg)
+	case "e8":
+		err = runE8(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -81,6 +92,7 @@ func main() {
 			func() error { return runE5(cfg) },
 			func() error { return runE6(cfg) },
 			func() error { return runE7(cfg) },
+			func() error { return runE8(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -102,6 +114,8 @@ type config struct {
 	k                  int
 	seed               int64
 	adv                bool
+	workers            int
+	dur                time.Duration
 }
 
 func split(s string) []string {
@@ -319,9 +333,177 @@ func runE5(c config) error {
 				t.Add(r.TM+"+backoff", r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
 			}
 		}
+		if name == "tl2" {
+			// The clock-strategy axis: the same sweep across the GV4/GV6 /
+			// timestamp-extension variants of TL2.
+			for _, variant := range ptm.ClockVariants() {
+				if variant == "tl2" {
+					continue // the base row above
+				}
+				rows, err := exp.RunE5(variant, cfg)
+				if err != nil {
+					return err
+				}
+				for _, r := range rows {
+					t.Add(r.TM, r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
+				}
+			}
+		}
 	}
 	ptm.PrintTable(os.Stdout, &t)
 	return nil
+}
+
+// runE8 measures the native engines for wall-clock throughput: the
+// commit-pipeline ablation across clock strategies and timestamp
+// extension, against NOrec, on a contended-counter and a bank-transfer
+// workload. The gv1 row with extension off is the PR 1 pipeline.
+func runE8(c config) error {
+	t := ptm.Table{
+		Title: fmt.Sprintf("E8 — native commit pipeline: clock strategy × extension (%d goroutines, %v/cell; ext-or-revalidations in last column)",
+			c.workers, c.dur),
+		Header: []string{"engine", "workload", "txns/sec", "commits", "aborts", "abort-ratio", "ext/revals"},
+	}
+	type variant struct {
+		label string
+		strat stm.ClockStrategy
+		ext   bool
+	}
+	variants := []variant{
+		{"tl2/gv1", stm.GV1, false},
+		{"tl2/gv1+ext", stm.GV1, true},
+		{"tl2/gv4+ext", stm.GV4, true},
+		{"tl2/gv6+ext", stm.GV6, true},
+	}
+	defer stm.SetClockStrategy(stm.GV4)
+	defer stm.SetTimestampExtension(true)
+	for _, v := range variants {
+		stm.SetClockStrategy(v.strat)
+		stm.SetTimestampExtension(v.ext)
+		for _, wl := range []string{"counter", "bank"} {
+			before := stm.ReadStats()
+			elapsed := e8DriveTL2(wl, c.workers, c.dur)
+			d := stm.ReadStats().Sub(before)
+			t.Add(v.label, wl, float64(d.Commits)/elapsed.Seconds(),
+				d.Commits, d.Aborts, d.AbortRatio(), d.Extensions)
+		}
+	}
+	for _, wl := range []string{"counter", "bank"} {
+		before := norecstm.ReadStats()
+		elapsed := e8DriveNorec(wl, c.workers, c.dur)
+		d := norecstm.ReadStats().Sub(before)
+		t.Add("norec", wl, float64(d.Commits)/elapsed.Seconds(),
+			d.Commits, d.Aborts, d.AbortRatio(), d.Revalidations)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// e8DriveTL2 runs the named workload on the repro/stm engine for roughly
+// the given duration and returns the exact elapsed wall time.
+func e8DriveTL2(workload string, workers int, d time.Duration) time.Duration {
+	const accounts = 256
+	vars := make([]*stm.Var[int], accounts)
+	for i := range vars {
+		vars[i] = stm.NewVar(1000)
+	}
+	ctr := stm.NewVar(0)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(g)*2654435761 + 1
+			for n := 0; time.Now().Before(deadline); n++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				switch workload {
+				case "counter":
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						ctr.Set(tx, ctr.Get(tx)+1)
+						return nil
+					})
+				default: // bank: 90% two-account transfers, 10% 8-account audits
+					from := int(rng>>33) % accounts
+					to := (from + 1 + int(rng>>13)%(accounts-1)) % accounts
+					if n%10 == 0 {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							s := 0
+							for j := 0; j < 8; j++ {
+								s += vars[(from+j)%accounts].Get(tx)
+							}
+							_ = s
+							return nil
+						})
+					} else {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							f := vars[from].Get(tx)
+							vars[from].Set(tx, f-1)
+							vars[to].Set(tx, vars[to].Get(tx)+1)
+							return nil
+						})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
+}
+
+// e8DriveNorec is e8DriveTL2 for the repro/stm/norecstm engine.
+func e8DriveNorec(workload string, workers int, d time.Duration) time.Duration {
+	const accounts = 256
+	vars := make([]*norecstm.Var[int], accounts)
+	for i := range vars {
+		vars[i] = norecstm.NewVar(1000)
+	}
+	ctr := norecstm.NewVar(0)
+	start := time.Now()
+	deadline := start.Add(d)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(g)*2654435761 + 1
+			for n := 0; time.Now().Before(deadline); n++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				switch workload {
+				case "counter":
+					_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+						ctr.Set(tx, ctr.Get(tx)+1)
+						return nil
+					})
+				default:
+					from := int(rng>>33) % accounts
+					to := (from + 1 + int(rng>>13)%(accounts-1)) % accounts
+					if n%10 == 0 {
+						_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+							s := 0
+							for j := 0; j < 8; j++ {
+								s += vars[(from+j)%accounts].Get(tx)
+							}
+							_ = s
+							return nil
+						})
+					} else {
+						_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+							f := vars[from].Get(tx)
+							vars[from].Set(tx, f-1)
+							vars[to].Set(tx, vars[to].Get(tx)+1)
+							return nil
+						})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return time.Since(start)
 }
 
 func runE6(c config) error {

@@ -1,0 +1,102 @@
+package benchfmt_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+const benchOut = `goos: linux
+goarch: amd64
+pkg: repro/stm
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkVarContended/pipeline=gv4-ext-4   300000   1000 ns/op   0.0020 abort-ratio   3 B/op   0 allocs/op
+BenchmarkVarContended/pipeline=gv4-ext-4   310000   1100 ns/op   0.0040 abort-ratio   3 B/op   0 allocs/op
+PASS
+pkg: repro
+BenchmarkE8NativeCounter-4   500000   200 ns/op   23 B/op   1 allocs/op
+ok   repro 1.0s
+`
+
+func TestParseAggregates(t *testing.T) {
+	b, err := benchfmt.Parse(strings.NewReader(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.GOOS != "linux" || b.GOARCH != "amd64" || !strings.Contains(b.CPU, "Xeon") {
+		t.Errorf("meta not captured: %+v", b)
+	}
+	v, ok := b.Benchmarks["repro/stm.BenchmarkVarContended/pipeline=gv4-ext-4"]
+	if !ok {
+		t.Fatalf("missing aggregated benchmark; have %v", keys(b))
+	}
+	if v.Runs != 2 || v.Iters != 610000 {
+		t.Errorf("runs=%d iters=%d, want 2 and 610000", v.Runs, v.Iters)
+	}
+	ns := v.Metrics["ns/op"]
+	if ns.Mean != 1050 || ns.Min != 1000 || ns.Max != 1100 {
+		t.Errorf("ns/op aggregate = %+v", ns)
+	}
+	if ar := v.Metrics["abort-ratio"]; ar.Mean != 0.003 {
+		t.Errorf("abort-ratio mean = %v, want 0.003", ar.Mean)
+	}
+	if _, ok := b.Benchmarks["repro.BenchmarkE8NativeCounter-4"]; !ok {
+		t.Errorf("second package's benchmark missing; have %v", keys(b))
+	}
+}
+
+func TestLoadAcceptsBothForms(t *testing.T) {
+	raw, err := benchfmt.Load([]byte(benchOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := `{"label":"PR2","benchmarks":{"x":{"runs":1,"iters_total":10,"metrics":{"ns/op":{"mean":5,"min":5,"max":5}}}}}`
+	fromJSON, err := benchfmt.Load([]byte(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromJSON.Label != "PR2" || len(raw.Benchmarks) != 2 {
+		t.Errorf("Load mismatch: json label %q, raw benchmarks %d", fromJSON.Label, len(raw.Benchmarks))
+	}
+	if _, err := benchfmt.Load([]byte("{}")); err == nil {
+		t.Error("empty JSON accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	oldB, _ := benchfmt.Load([]byte(benchOut))
+	newOut := strings.ReplaceAll(benchOut, "1000 ns/op", "900 ns/op")
+	newOut = strings.ReplaceAll(newOut, "1100 ns/op", "900 ns/op")
+	newB, _ := benchfmt.Load([]byte(newOut))
+	rows := benchfmt.Diff(oldB, newB, []string{"ns/op"})
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one per benchmark, ns/op only)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Unit != "ns/op" {
+			t.Errorf("unit filter leaked: %+v", r)
+		}
+	}
+	// The contended benchmark improved 1050 → 900.
+	var found bool
+	for _, r := range rows {
+		if strings.Contains(r.Name, "VarContended") {
+			found = true
+			if r.Delta > -0.1 || r.Delta < -0.2 {
+				t.Errorf("delta = %v, want ≈ -0.142", r.Delta)
+			}
+		}
+	}
+	if !found {
+		t.Error("VarContended row missing")
+	}
+}
+
+func keys(b *benchfmt.Baseline) []string {
+	var out []string
+	for k := range b.Benchmarks {
+		out = append(out, k)
+	}
+	return out
+}

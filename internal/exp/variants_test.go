@@ -1,0 +1,62 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE1ExtensionConvertsAbortsToValidation pins the tentpole trade-off on
+// the Lemma-2 adversary: plain TL2 abort-and-restarts ~m times (stale
+// clock), while TL2 with timestamp extension commits in ONE attempt — the
+// stale-clock aborts become incremental revalidations, and the reader pays
+// exactly the Theorem-3 shape (Ω(m²) total steps) that the paper proves
+// unavoidable for invisible-read TMs that keep this progress.
+func TestE1ExtensionConvertsAbortsToValidation(t *testing.T) {
+	sizes := []int{4, 8, 16, 32}
+	rows, err := exp.RunE1("tl2:ext", sizes, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		m := uint64(r.M)
+		if r.Attempts != 1 {
+			t.Errorf("m=%d: tl2:ext took %d attempts under the adversary, want 1 (extension, not abort)", r.M, r.Attempts)
+		}
+		if r.FreshReads != r.M {
+			t.Errorf("m=%d: %d fresh reads, want %d (Lemma 2 forces the new values)", r.M, r.FreshReads, r.M)
+		}
+		if r.TotalSteps < m*(m-1)/2 {
+			t.Errorf("m=%d: tl2:ext steps %d below the Theorem-3 revalidation floor %d", r.M, r.TotalSteps, m*(m-1)/2)
+		}
+	}
+}
+
+// TestE5ClockVariants runs the abort-ratio sweep over the clock-strategy
+// axis: every variant completes the quota, and on the read-only column no
+// variant aborts at all (extension or not, there is nothing to conflict
+// with).
+func TestE5ClockVariants(t *testing.T) {
+	cfg := exp.E5Config{
+		Procs: 4, TxnsPerProc: 5, Objects: 8, OpsPerTxn: 3,
+		WriteRatios: []float64{0.0, 0.5}, Seed: 7,
+	}
+	for _, name := range tmreg.ClockVariants() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rows, err := exp.RunE5(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rows {
+				if r.Commits != cfg.Procs*cfg.TxnsPerProc {
+					t.Fatalf("wr=%.1f: %d commits, want %d", r.WriteRatio, r.Commits, cfg.Procs*cfg.TxnsPerProc)
+				}
+			}
+			if rows[0].Aborts != 0 {
+				t.Errorf("read-only workload aborted %d times on %s", rows[0].Aborts, name)
+			}
+		})
+	}
+}

@@ -12,12 +12,80 @@
 package tl2
 
 import (
+	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/memory"
 	"repro/internal/tm"
 	"repro/internal/tm/lockword"
 )
+
+// ClockStrategy selects how update commits advance the global version
+// clock — the same ablation axis as the native repro/stm engine, so the
+// simulated abort-ratio sweeps (E5) and the native throughput benchmarks
+// (E8) measure one design space.
+type ClockStrategy int
+
+const (
+	// GV1 is TL2's unconditional fetch-and-increment.
+	GV1 ClockStrategy = iota
+	// GV4 is pass-on-failure: a losing increment CAS adopts the winner's
+	// clock value as its write version instead of retrying.
+	GV4
+	// GV6 samples increments: one commit in GV6SamplePeriod publishes an
+	// increment; the rest use clock+1 without publishing, and readers that
+	// meet a version ahead of the clock bump the clock forward themselves.
+	GV6
+)
+
+func (s ClockStrategy) String() string {
+	switch s {
+	case GV1:
+		return "gv1"
+	case GV4:
+		return "gv4"
+	case GV6:
+		return "gv6"
+	}
+	return "unknown"
+}
+
+// Options configures a TL2 variant.
+type Options struct {
+	// Clock selects the commit-time clock-advance rule (default GV1, the
+	// behaviour of plain "tl2").
+	Clock ClockStrategy
+	// Extension enables read-timestamp extension: a read that observes a
+	// version newer than the transaction's read timestamp revalidates the
+	// read set and extends the timestamp instead of aborting, so only
+	// genuinely invalidated reads abort.
+	Extension bool
+	// GV6SamplePeriod is the number of commits per published increment
+	// under GV6 (default 4; the simulator's workloads are small).
+	GV6SamplePeriod int
+}
+
+// ParseVariant parses a "+"-separated option spec — e.g. "gv4", "ext",
+// "gv6+ext" — as used in the registry's "tl2:<spec>" names.
+func ParseVariant(spec string) (Options, error) {
+	var o Options
+	for _, part := range strings.Split(spec, "+") {
+		switch part {
+		case "gv1":
+			o.Clock = GV1
+		case "gv4":
+			o.Clock = GV4
+		case "gv6":
+			o.Clock = GV6
+		case "ext":
+			o.Extension = true
+		default:
+			return o, fmt.Errorf("tl2: unknown variant option %q in %q (want gv1, gv4, gv6, ext)", part, spec)
+		}
+	}
+	return o, nil
+}
 
 // TM is a TL2 instance. Create with New.
 type TM struct {
@@ -25,22 +93,57 @@ type TM struct {
 	clock *memory.Obj
 	meta  []*memory.Obj
 	val   []*memory.Obj
+	opts  Options
+	// commitSeq drives GV6's deterministic increment sampling (the
+	// simulator's scheduler serializes all steps, so plain increment is
+	// race-free).
+	commitSeq int
 }
 
 var _ tm.TM = (*TM)(nil)
 
 // New creates a TL2 instance over nobj t-objects initialized to 0.
 func New(mem *memory.Memory, nobj int) *TM {
+	return NewWithOptions(mem, nobj, Options{})
+}
+
+// NewWithOptions creates a TL2 variant over nobj t-objects initialized
+// to 0.
+func NewWithOptions(mem *memory.Memory, nobj int, opts Options) *TM {
+	if opts.GV6SamplePeriod <= 0 {
+		opts.GV6SamplePeriod = 4
+	}
+	if opts.Clock == GV6 {
+		// GV6 requires extension: unpublished increments leave committed
+		// versions ahead of the clock, so without extension even a solo
+		// transaction from quiescence can abort on a stale timestamp —
+		// sequential progress would be lost, not just performance.
+		opts.Extension = true
+	}
 	return &TM{
 		mem:   mem,
 		clock: mem.Alloc("tl2.clock"),
 		meta:  mem.AllocArray("tl2.meta", nobj),
 		val:   mem.AllocArray("tl2.val", nobj),
+		opts:  opts,
 	}
 }
 
-// Name implements tm.TM.
-func (t *TM) Name() string { return "tl2" }
+// Name implements tm.TM; variants name themselves "tl2:gv4+ext"-style so
+// experiment tables distinguish them.
+func (t *TM) Name() string {
+	var parts []string
+	if t.opts.Clock != GV1 {
+		parts = append(parts, t.opts.Clock.String())
+	}
+	if t.opts.Extension {
+		parts = append(parts, "ext")
+	}
+	if len(parts) == 0 {
+		return "tl2"
+	}
+	return "tl2:" + strings.Join(parts, "+")
+}
 
 // NumObjects implements tm.TM.
 func (t *TM) NumObjects() int { return len(t.meta) }
@@ -48,12 +151,18 @@ func (t *TM) NumObjects() int { return len(t.meta) }
 // Props implements tm.TM.
 func (t *TM) Props() tm.Props {
 	return tm.Props{
-		Opaque:                true,
-		StrictSerializable:    true,
-		WeakDAP:               false, // the global clock is shared by all
-		InvisibleReads:        true,
-		WeakInvisibleReads:    true,
-		Progressive:           false, // stale read timestamps abort without concurrency
+		Opaque:             true,
+		StrictSerializable: true,
+		WeakDAP:            false, // the global clock is shared by all
+		InvisibleReads:     true,
+		WeakInvisibleReads: true,
+		// Declared conservatively for all variants: plain TL2 aborts on a
+		// stale read timestamp without concurrency. With Extension those
+		// aborts become revalidations and only overwritten reads (real
+		// conflicts with concurrent writers) abort, but the claim is left
+		// unasserted here; the experiments measure it (E1 adversary:
+		// tl2:ext commits in one attempt at Theorem-3 validation cost).
+		Progressive:           false,
 		StronglyProgressive:   false,
 		SequentialProgress:    true,
 		ICFLiveness:           true,
@@ -111,8 +220,17 @@ func (tx *Txn) Read(x int) (tm.Value, error) {
 		}
 	}
 	m1 := tx.p.Read(tx.t.meta[x])
-	if lockword.Locked(m1) || lockword.Version(m1) > tx.rv {
-		return 0, tx.abort()
+	for attempt := 0; lockword.Locked(m1) || lockword.Version(m1) > tx.rv; attempt++ {
+		if !lockword.Locked(m1) {
+			// Keep the retry loop live under GV6: a version may run ahead
+			// of the clock, so the clock must be bumped to cover it even
+			// when this attempt aborts.
+			tx.helpClock(lockword.Version(m1))
+		}
+		if lockword.Locked(m1) || attempt >= 2 || !tx.t.opts.Extension || !tx.extend(nil) {
+			return 0, tx.abort()
+		}
+		m1 = tx.p.Read(tx.t.meta[x])
 	}
 	v := tx.p.Read(tx.t.val[x])
 	m2 := tx.p.Read(tx.t.meta[x])
@@ -122,6 +240,44 @@ func (tx *Txn) Read(x int) (tm.Value, error) {
 	tx.rset = append(tx.rset, x)
 	tx.rvers = append(tx.rvers, lockword.Version(m1))
 	return v, nil
+}
+
+// helpClock advances the global clock to at least ver (needed under GV6,
+// where commits may publish versions ahead of the clock).
+func (tx *Txn) helpClock(ver uint64) {
+	for {
+		c := tx.p.Read(tx.t.clock)
+		if c >= ver {
+			return
+		}
+		if tx.p.CAS(tx.t.clock, c, ver) {
+			return
+		}
+	}
+}
+
+// extend attempts a read-timestamp extension: sample the clock, revalidate
+// every read entry at its recorded version, and on success advance rv to
+// the sample — converting a stale-clock abort into an O(|read set|)
+// revalidation, the same trade Theorem 3 prices for the invisible-read
+// progressive TM. owned names the objects whose write locks THIS
+// transaction has already acquired (commit-time extension runs while
+// locking); only those locks are excused — the lock word preserves the
+// version under the lock bit, so the exact-version comparison still
+// covers them. Any other lock, including a foreign lock on an object this
+// transaction merely intends to write, is a conflict: excusing it would
+// let rv extend past a concurrent writer's publication and commit a lost
+// update.
+func (tx *Txn) extend(owned map[int]bool) bool {
+	newRv := tx.p.Read(tx.t.clock)
+	for i, x := range tx.rset {
+		m := tx.p.Read(tx.t.meta[x])
+		if (lockword.Locked(m) && !owned[x]) || lockword.Version(m) != tx.rvers[i] {
+			return false
+		}
+	}
+	tx.rv = newRv
+	return true
 }
 
 // Write implements tm.Txn (lazy write buffering).
@@ -153,6 +309,7 @@ func (tx *Txn) Commit() error {
 	order := append([]int(nil), tx.worder...)
 	sort.Ints(order)
 	acquired := make([]uint64, 0, len(order))
+	owned := make(map[int]bool, len(order))
 	release := func() {
 		for i, x := range order[:len(acquired)] {
 			tx.p.Write(tx.t.meta[x], lockword.Unlocked(acquired[i]))
@@ -160,6 +317,15 @@ func (tx *Txn) Commit() error {
 	}
 	for _, x := range order {
 		m := tx.p.Read(tx.t.meta[x])
+		if lockword.Version(m) > tx.rv && !lockword.Locked(m) && tx.t.opts.Extension {
+			// One extension attempt before declaring failure: a write-set
+			// variable whose version merely outran the read timestamp is
+			// not a conflict if every read is still intact.
+			tx.helpClock(lockword.Version(m))
+			if tx.extend(owned) {
+				m = tx.p.Read(tx.t.meta[x])
+			}
+		}
 		if lockword.Locked(m) || lockword.Version(m) > tx.rv {
 			release()
 			return tx.abort()
@@ -169,10 +335,13 @@ func (tx *Txn) Commit() error {
 			return tx.abort()
 		}
 		acquired = append(acquired, lockword.Version(m))
+		owned[x] = true
 	}
-	wv := tx.p.FetchAdd(tx.t.clock, 1) + 1
-	if wv != tx.rv+1 {
-		// Someone else advanced the clock: validate the read set.
+	wv, quiescent := tx.advanceClock()
+	if !quiescent {
+		// The clock cannot prove quiescence: validate the read set against
+		// the recorded versions (exact match — the commit-time form of
+		// extension, indifferent to how far the clock has moved).
 		for i, x := range tx.rset {
 			if _, mine := tx.wvals[x]; mine {
 				continue
@@ -190,6 +359,36 @@ func (tx *Txn) Commit() error {
 	}
 	tx.done = true
 	return nil
+}
+
+// advanceClock produces the commit's write version under the configured
+// strategy. quiescent reports that the clock proves no foreign commit
+// overlapped the transaction's read window, so read-set validation may be
+// skipped (GV1: the increment returned rv+1; GV4: the CAS won from exactly
+// rv; GV6: never — commits may leave the clock untouched, so an unchanged
+// clock proves nothing).
+func (tx *Txn) advanceClock() (wv uint64, quiescent bool) {
+	switch tx.t.opts.Clock {
+	case GV4:
+		c := tx.p.Read(tx.t.clock)
+		if tx.p.CAS(tx.t.clock, c, c+1) {
+			return c + 1, c == tx.rv
+		}
+		return tx.p.Read(tx.t.clock), false // pass on failure: adopt the winner's tick
+	case GV6:
+		tx.t.commitSeq++
+		if tx.t.commitSeq%tx.t.opts.GV6SamplePeriod == 0 {
+			c := tx.p.Read(tx.t.clock)
+			if tx.p.CAS(tx.t.clock, c, c+1) {
+				return c + 1, false
+			}
+			return tx.p.Read(tx.t.clock), false
+		}
+		return tx.p.Read(tx.t.clock) + 1, false // unpublished increment
+	default:
+		wv = tx.p.FetchAdd(tx.t.clock, 1) + 1
+		return wv, wv == tx.rv+1
+	}
 }
 
 // Abort implements tm.Txn.

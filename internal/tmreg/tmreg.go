@@ -5,6 +5,7 @@ package tmreg
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/memory"
 	"repro/internal/tm"
@@ -43,13 +44,31 @@ func Names() []string {
 	return out
 }
 
-// New builds the named TM over nobj t-objects.
+// New builds the named TM over nobj t-objects. Beyond the registered
+// names, "tl2:<spec>" builds a TL2 variant with the given clock strategy
+// and/or timestamp extension — e.g. "tl2:gv4", "tl2:ext", "tl2:gv6+ext"
+// (see tl2.ParseVariant). Variants are not listed by Names(): they are the
+// ablation axis of the clock-strategy experiments, not separate
+// algorithms.
 func New(name string, mem *memory.Memory, nobj int) (tm.TM, error) {
+	if spec, ok := strings.CutPrefix(name, "tl2:"); ok {
+		opts, err := tl2.ParseVariant(spec)
+		if err != nil {
+			return nil, fmt.Errorf("tmreg: %w", err)
+		}
+		return tl2.NewWithOptions(mem, nobj, opts), nil
+	}
 	c, ok := registry[name]
 	if !ok {
 		return nil, fmt.Errorf("tmreg: unknown TM %q (known: %v)", name, Names())
 	}
 	return c(mem, nobj), nil
+}
+
+// ClockVariants lists the TL2 clock-strategy/extension variant names used
+// by the E5 ablation axis, in sweep order.
+func ClockVariants() []string {
+	return []string{"tl2", "tl2:gv4", "tl2:ext", "tl2:gv4+ext", "tl2:gv6+ext"}
 }
 
 // MustNew is New, panicking on unknown names; for tests and examples.

@@ -89,6 +89,11 @@ func CacheModels() []string {
 // Algorithms lists the available TM algorithm names.
 func Algorithms() []string { return tmreg.Names() }
 
+// ClockVariants lists the TL2 clock-strategy/extension variant names
+// ("tl2:gv4", "tl2:ext", …) accepted by NewTM and swept by the E5
+// clock-strategy axis.
+func ClockVariants() []string { return tmreg.ClockVariants() }
+
 // NewTM builds the named TM algorithm over nobj t-objects on mem.
 func NewTM(name string, mem *Memory, nobj int) (TM, error) {
 	return tmreg.New(name, mem, nobj)

@@ -2,6 +2,7 @@ package stm_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -102,6 +103,66 @@ func BenchmarkContentionSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkVarContended is the stale-clock stress: transactions read a
+// window of Vars with a scheduler yield after each read (modeling real
+// in-transaction work, and forcing commit interleavings even on few
+// cores), while a fraction of transactions write. Under the PR 1 pipeline
+// (gv1, no extension) every commit that lands inside a reader's window
+// aborts the reader if it touches any Var the reader will still read;
+// with timestamp extension only invalidated reads abort. The sub-benchmark
+// labels pin both configurations so the abort-ratio and throughput delta
+// is recorded per run.
+func BenchmarkVarContended(b *testing.B) {
+	const (
+		nvars      = 64
+		readsPerTx = 8
+	)
+	run := func(b *testing.B, strat stm.ClockStrategy, ext bool) {
+		stm.SetClockStrategy(strat)
+		stm.SetTimestampExtension(ext)
+		defer stm.SetClockStrategy(stm.GV4)
+		defer stm.SetTimestampExtension(true)
+		vars := make([]*stm.Var[int], nvars)
+		for i := range vars {
+			vars[i] = stm.NewVar(0)
+		}
+		var seq atomic.Uint64
+		before := stm.ReadStats()
+		b.ReportAllocs()
+		b.SetParallelism(4)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := seq.Add(1)
+				base := (i * 2654435761) % nvars
+				if i%8 == 0 {
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						v := vars[base]
+						v.Set(tx, v.Get(tx)+1)
+						return nil
+					})
+				} else {
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						s := 0
+						for j := uint64(0); j < readsPerTx; j++ {
+							s += vars[(base+j*7)%nvars].Get(tx)
+							runtime.Gosched() // in-transaction work: commits land mid-window
+						}
+						_ = s
+						return nil
+					})
+				}
+			}
+		})
+		d := stm.ReadStats().Sub(before)
+		b.ReportMetric(d.AbortRatio(), "abort-ratio")
+		if d.Commits > 0 {
+			b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+		}
+	}
+	b.Run("pipeline=pr1-gv1-noext", func(b *testing.B) { run(b, stm.GV1, false) })
+	b.Run("pipeline=gv4-ext", func(b *testing.B) { run(b, stm.GV4, true) })
+}
+
 // BenchmarkLargeWriteSet measures commits whose write sets cross the
 // slice→map promotion threshold: per-op cost of the map index, the one
 // commit-time sort, and the bulk lock/publish/unlock sweep.
@@ -161,6 +222,44 @@ func BenchmarkMapMixed(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMapDisjointPut is the regression benchmark for the striped size
+// counter: parallel writers alternate insert/delete over fully disjoint
+// key sets — every operation changes the map's size, so every operation
+// goes through a size stripe — landing on distinct buckets and distinct
+// stripes, so throughput must scale with GOMAXPROCS instead of
+// serializing every size change on one shared size Var (the pre-striping
+// behaviour made every concurrent Put/Delete pair conflict). The
+// abort-ratio metric makes the serialization visible when it returns.
+func BenchmarkMapDisjointPut(b *testing.B) {
+	m := stm.NewMap[int](1024)
+	var worker atomic.Uint64
+	before := stm.ReadStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		keys := make([]string, 512)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("w%d-%d", w, i)
+		}
+		for i := 0; pb.Next(); i++ {
+			k := keys[(i/2)%len(keys)]
+			if i%2 == 0 {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, i) // insert: the key is absent, so size changes
+					return nil
+				})
+			} else {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					m.Delete(tx, k)
+					return nil
+				})
+			}
+		}
+	})
+	d := stm.ReadStats().Sub(before)
+	b.ReportMetric(d.AbortRatio(), "abort-ratio")
 }
 
 // BenchmarkQueueHandoff measures producer/consumer pairs over the blocking

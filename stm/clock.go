@@ -1,0 +1,176 @@
+package stm
+
+import "sync/atomic"
+
+// ClockStrategy selects how update commits advance the global version
+// clock. TL2's clock is the one word every update transaction touches — the
+// deliberate weak-DAP violation the paper trades for O(1)-step reads — so
+// how it is advanced decides how commits scale with core count.
+//
+// All strategies preserve the invariant the engine's opacity argument
+// rests on: a Var's write version wv is computed from a clock value loaded
+// *after* the committer acquired all its write locks, and wv is strictly
+// greater than that loaded value. The clock therefore first reaches wv
+// only after the committer holds its locks, so any transaction whose read
+// version rv satisfies rv ≥ wv began after the locks were taken and can
+// observe the committer's Vars only as locked (abort) or fully published —
+// never a pre-write value it would wrongly certify.
+type ClockStrategy int32
+
+const (
+	// GV1 is the original TL2 rule: every update commit performs an
+	// unconditional fetch-and-increment. Simple, but at high commit rates
+	// every committer serializes on the one cache line.
+	GV1 ClockStrategy = iota
+
+	// GV4 is pass-on-failure: a committer CASes clock → clock+1 and, when
+	// the CAS loses, adopts the winner's (current) clock value as its own
+	// write version instead of retrying. Two commits may share a tick;
+	// that is sound because both hold their write locks while the shared
+	// value is current, so each is validated against the other's locks
+	// (see the invariant above, and DESIGN.md for the full argument). The
+	// losing committer performs no second RMW on the clock, so the clock
+	// line stops being a retry hot spot.
+	GV4
+
+	// GV6 is the sampled variant: only one in gv6SamplePeriod commits
+	// increments the clock (GV4-style); the rest use clock+1 *without*
+	// publishing the increment. Commits become nearly clock-silent, at
+	// the price of extra revalidations: a version ahead of the clock is
+	// unreadable until the clock catches up, so readers bump the clock
+	// forward themselves (helpClock) and rely on timestamp extension.
+	// Commits under GV6 always validate their read set — with unpublished
+	// increments, an unchanged clock no longer proves quiescence.
+	GV6
+)
+
+// gv6SamplePeriod is the mean number of commits per published clock
+// increment under GV6.
+const gv6SamplePeriod = 8
+
+// clockStrategy is the engine-wide knob; see SetClockStrategy.
+var clockStrategy atomic.Int32
+
+// extensionEnabled gates timestamp extension (see Tx.extend). On by
+// default; the knob exists so benchmarks can ablate extension against the
+// abort-on-stale behaviour of plain TL2.
+var extensionEnabled atomic.Bool
+
+func init() {
+	clockStrategy.Store(int32(GV4))
+	extensionEnabled.Store(true)
+}
+
+// SetClockStrategy selects the global-clock advance rule for all
+// subsequent commits. The default is GV4. Strategies may be switched at
+// runtime: every rule maintains the clock invariant above, and the
+// published increment below closes the one cross-strategy hole — GV1/GV4
+// skip validation when the clock proves their window quiescent, a proof
+// that assumes every commit advances the clock, which in-flight GV6
+// commits do not. Bumping the clock before the new strategy becomes
+// visible forces any commit that could have raced the switch out of every
+// later quiescence window (the commit's unpublished write version is at
+// most old-clock+1, which the bump publishes). The intended use is still
+// one choice at program start, or per benchmark ablation.
+func SetClockStrategy(s ClockStrategy) {
+	switch s {
+	case GV1, GV4, GV6:
+		if ClockStrategy(clockStrategy.Load()) != s {
+			clock.Add(1)
+		}
+		clockStrategy.Store(int32(s))
+	default:
+		panic("stm: unknown ClockStrategy")
+	}
+}
+
+// CurrentClockStrategy returns the strategy in effect.
+func CurrentClockStrategy() ClockStrategy { return ClockStrategy(clockStrategy.Load()) }
+
+// SetTimestampExtension toggles read-timestamp extension (default on).
+// With extension off, a read that observes a version newer than the
+// transaction's read version aborts even when no read has actually been
+// invalidated — plain TL2's stale-clock abort class.
+func SetTimestampExtension(on bool) { extensionEnabled.Store(on) }
+
+// TimestampExtensionEnabled reports whether extension is in effect.
+func TimestampExtensionEnabled() bool { return extensionEnabled.Load() }
+
+// String implements fmt.Stringer for benchmark labels.
+func (s ClockStrategy) String() string {
+	switch s {
+	case GV1:
+		return "gv1"
+	case GV4:
+		return "gv4"
+	case GV6:
+		return "gv6"
+	}
+	return "unknown"
+}
+
+// advanceClock produces the commit's write version under the current
+// strategy. quiescent reports that the clock proves no foreign commit
+// overlapped the window between the transaction's read-version sample and
+// its lock acquisition, so read-set validation may be skipped: under GV1
+// that is wv == rv+1; under GV4, winning the CAS from exactly rv. Under
+// GV6 the proof is unavailable (commits may leave the clock untouched),
+// so quiescent is always false.
+func (tx *Tx) advanceClock() (wv uint64, quiescent bool) {
+	switch ClockStrategy(clockStrategy.Load()) {
+	case GV4:
+		old := clock.Load()
+		if clock.CompareAndSwap(old, old+1) {
+			tx.stat().clockIncrements.Add(1)
+			return old + 1, old == tx.rv
+		}
+		// Pass on failure: adopt the winner's value. The re-load is ≥ old+1
+		// and still > the post-lock load, preserving the clock invariant.
+		tx.stat().clockAdoptions.Add(1)
+		return clock.Load(), false
+	case GV6:
+		tx.rng = splitmix64(tx.rng)
+		if tx.rng%gv6SamplePeriod == 0 {
+			old := clock.Load()
+			if clock.CompareAndSwap(old, old+1) {
+				tx.stat().clockIncrements.Add(1)
+				return old + 1, false
+			}
+			tx.stat().clockAdoptions.Add(1)
+			return clock.Load(), false
+		}
+		// GV5-style: use clock+1 without publishing the increment. The
+		// version runs ahead of the clock until a reader helps it forward.
+		return clock.Load() + 1, false
+	default: // GV1
+		wv = clock.Add(1)
+		tx.stat().clockIncrements.Add(1)
+		return wv, wv == tx.rv+1
+	}
+}
+
+// helpClock advances the clock to at least ver. Under GV6 a committed
+// version may run ahead of the clock (unpublished increments); a reader
+// that encounters one bumps the clock forward so its extension — and every
+// later transaction's read version — can cover the version. Under GV1/GV4
+// versions never exceed the clock and the CAS never fires.
+func helpClock(ver uint64) {
+	for {
+		c := clock.Load()
+		if c >= ver {
+			return
+		}
+		if clock.CompareAndSwap(c, ver) {
+			return
+		}
+	}
+}
+
+// splitmix64 is the cheap per-descriptor PRNG used for GV6 sampling.
+func splitmix64(s uint64) uint64 {
+	s += 0x9e3779b97f4a7c15
+	z := s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,146 @@
+package stm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/tm/lockword"
+)
+
+// TestVersionHistoriesMonotone races concurrent committers through the
+// clock CAS under each strategy and asserts the property GV4's soundness
+// argument needs: per-Var version words never decrease, even when two
+// commits share a tick (GV4 adoption) or run ahead of the clock (GV6).
+// Watcher goroutines poll the raw lock words concurrently with the
+// commits; the final counter values prove no update was lost.
+func TestVersionHistoriesMonotone(t *testing.T) {
+	for _, strat := range []ClockStrategy{GV4, GV6} {
+		t.Run(fmt.Sprintf("strategy=%s", strat), func(t *testing.T) {
+			SetClockStrategy(strat)
+			t.Cleanup(func() { SetClockStrategy(GV4) })
+			const (
+				nvars   = 4
+				workers = 8
+				perW    = 300
+			)
+			vars := make([]*Var[int], nvars)
+			for i := range vars {
+				vars[i] = NewVar(0)
+			}
+			stop := make(chan struct{})
+			var watchers sync.WaitGroup
+			for w := 0; w < 2; w++ {
+				watchers.Add(1)
+				go func() {
+					defer watchers.Done()
+					last := make([]uint64, nvars)
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						for i, v := range vars {
+							ver := lockword.Version(v.lw.Load())
+							if ver < last[i] {
+								t.Errorf("version of var %d decreased: %d → %d", i, last[i], ver)
+								return
+							}
+							last[i] = ver
+						}
+					}
+				}()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < perW; i++ {
+						v := vars[(w+i)%nvars]
+						if err := Atomically(func(tx *Tx) error {
+							v.Set(tx, v.Get(tx)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			watchers.Wait()
+			total := 0
+			for _, v := range vars {
+				total += v.Load()
+			}
+			if total != workers*perW {
+				t.Fatalf("lost updates under %s: total=%d, want %d", strat, total, workers*perW)
+			}
+			// Under GV1/GV4 no published version may exceed the clock; GV6
+			// may run ahead transiently, but helpClock must have kept the
+			// final state covered (the last commit's reader-visible version
+			// is readable only once the clock reaches it).
+			if strat != GV6 {
+				c := clock.Load()
+				for i, v := range vars {
+					if ver := lockword.Version(v.lw.Load()); ver > c {
+						t.Errorf("var %d version %d exceeds clock %d under %s", i, ver, c, strat)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAdvanceClockQuiescence unit-checks the validation-skip contract of
+// each strategy: GV1/GV4 may report quiescence only when the commit's
+// write version proves no foreign commit intervened; GV6 never may.
+func TestAdvanceClockQuiescence(t *testing.T) {
+	tx := txPool.Get().(*Tx)
+	defer tx.release()
+
+	SetClockStrategy(GV1)
+	t.Cleanup(func() { SetClockStrategy(GV4) })
+	tx.rv = clock.Load()
+	wv, q := tx.advanceClock()
+	if wv != tx.rv+1 || !q {
+		t.Errorf("GV1 solo: wv=%d q=%v, want rv+1=%d and quiescent", wv, q, tx.rv+1)
+	}
+
+	SetClockStrategy(GV4)
+	tx.rv = clock.Load()
+	wv, q = tx.advanceClock()
+	if wv != tx.rv+1 || !q {
+		t.Errorf("GV4 solo: wv=%d q=%v, want rv+1=%d and quiescent", wv, q, tx.rv+1)
+	}
+	// A stale rv must not report quiescence even when the CAS wins.
+	tx.rv = clock.Load() - 1
+	if _, q = tx.advanceClock(); q {
+		t.Error("GV4 with stale rv reported quiescence; validation would be skipped unsoundly")
+	}
+
+	SetClockStrategy(GV6)
+	for i := 0; i < 32; i++ {
+		tx.rv = clock.Load()
+		if _, q = tx.advanceClock(); q {
+			t.Fatal("GV6 reported quiescence; unpublished increments make that proof unavailable")
+		}
+	}
+}
+
+// TestHelpClock checks the reader-side clock bump used by GV6.
+func TestHelpClock(t *testing.T) {
+	target := clock.Load() + 5
+	helpClock(target)
+	if c := clock.Load(); c < target {
+		t.Fatalf("clock %d below helped target %d", c, target)
+	}
+	helpClock(target - 3) // never moves backwards
+	if c := clock.Load(); c < target {
+		t.Fatalf("clock moved backwards to %d", c)
+	}
+}

@@ -1,0 +1,220 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestExtensionConvertsStaleClockAbort pins the tentpole's central
+// conversion: a transaction whose read version is merely stale — a
+// concurrent commit bumped the clock and wrote a variable the transaction
+// has NOT yet read — extends its timestamp and commits on the first
+// attempt, where plain TL2 would abort and re-run.
+func TestExtensionConvertsStaleClockAbort(t *testing.T) {
+	x := stm.NewVar(10)
+	y := stm.NewVar(20)
+	before := stm.ReadStats()
+	attempts := 0
+	var once sync.Once
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempts++
+		gotX := x.Get(tx)
+		once.Do(func() {
+			// A disjoint committer writes y mid-transaction: the clock
+			// moves and y's version outruns our read version.
+			if err := stm.Atomically(func(tx2 *stm.Tx) error {
+				y.Set(tx2, 21)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+		gotY := y.Get(tx)
+		if gotX != 10 || gotY != 21 {
+			t.Errorf("read x=%d y=%d; want 10 and the committed 21", gotX, gotY)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 1 {
+		t.Errorf("took %d attempts; extension should commit on the first", attempts)
+	}
+	if d := stm.ReadStats().Sub(before); d.Extensions == 0 {
+		t.Error("no extension recorded; the stale read did not take the extension path")
+	}
+}
+
+// TestExtensionRefusesMixedSnapshot is the opacity half of the contract:
+// when the concurrent commit also overwrites a variable the transaction
+// HAS read, the extension's revalidation must fail and the attempt must
+// abort — the transaction never observes the old x with the new y.
+func TestExtensionRefusesMixedSnapshot(t *testing.T) {
+	const total = 100
+	x := stm.NewVar(60)
+	y := stm.NewVar(40)
+	attempts := 0
+	var once sync.Once
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempts++
+		gotX := x.Get(tx)
+		once.Do(func() {
+			// Transfer 5 from x to y: overwrites the x we just read.
+			if err := stm.Atomically(func(tx2 *stm.Tx) error {
+				v := x.Get(tx2)
+				x.Set(tx2, v-5)
+				y.Set(tx2, y.Get(tx2)+5)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+		gotY := y.Get(tx)
+		if gotX+gotY != total {
+			t.Errorf("mixed snapshot observed: x=%d y=%d (sum %d, want %d)", gotX, gotY, gotX+gotY, total)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("took %d attempts; want exactly 2 (first aborts on the invalidated read, second sees the new state)", attempts)
+	}
+}
+
+// TestExtensionKnob verifies SetTimestampExtension: with extension off the
+// same stale-clock history aborts and re-runs (plain TL2 behaviour).
+func TestExtensionKnob(t *testing.T) {
+	stm.SetTimestampExtension(false)
+	t.Cleanup(func() { stm.SetTimestampExtension(true) })
+	x := stm.NewVar(1)
+	y := stm.NewVar(2)
+	attempts := 0
+	var once sync.Once
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempts++
+		_ = x.Get(tx)
+		once.Do(func() {
+			if err := stm.Atomically(func(tx2 *stm.Tx) error {
+				y.Set(tx2, 3)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+		_ = y.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Errorf("took %d attempts with extension disabled; want 2 (stale-clock abort, then retry)", attempts)
+	}
+}
+
+// TestOpacityUnderClockStrategies runs the conservation stress under every
+// clock strategy, with a dedicated clock-churn goroutine committing
+// disjoint writes so readers constantly face versions newer than their
+// read timestamps (the regime where extension must either revalidate
+// consistently or abort — run under -race). The auditors' invariant check
+// would catch any mixed snapshot.
+func TestOpacityUnderClockStrategies(t *testing.T) {
+	for _, strat := range []stm.ClockStrategy{stm.GV1, stm.GV4, stm.GV6} {
+		t.Run(fmt.Sprintf("strategy=%s", strat), func(t *testing.T) {
+			stm.SetClockStrategy(strat)
+			t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+			const (
+				accounts = 16
+				initial  = 100
+				workers  = 4
+				rounds   = 200
+			)
+			vars := make([]*stm.Var[int], accounts)
+			for i := range vars {
+				vars[i] = stm.NewVar(initial)
+			}
+			churn := make([]*stm.Var[int], 8)
+			for i := range churn {
+				churn[i] = stm.NewVar(0)
+			}
+			stop := make(chan struct{})
+			var churner sync.WaitGroup
+			churner.Add(1)
+			go func() {
+				defer churner.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						v := churn[i%len(churn)]
+						v.Set(tx, v.Get(tx)+1)
+						return nil
+					})
+				}
+			}()
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := uint64(w)*2654435761 + 11
+					next := func() int {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						return int(rng>>33) % accounts
+					}
+					for i := 0; i < rounds; i++ {
+						if i%5 == 0 {
+							// Auditor: full-sweep read-only transaction.
+							var sum int
+							if err := stm.Atomically(func(tx *stm.Tx) error {
+								sum = 0
+								for _, v := range vars {
+									sum += v.Get(tx)
+								}
+								return nil
+							}); err != nil {
+								t.Error(err)
+								return
+							}
+							if sum != accounts*initial {
+								t.Errorf("conservation violated under %s: sum=%d", strat, sum)
+								return
+							}
+							continue
+						}
+						from, to := next(), next()
+						if from == to {
+							continue
+						}
+						if err := stm.Atomically(func(tx *stm.Tx) error {
+							f := vars[from].Get(tx)
+							vars[from].Set(tx, f-1)
+							vars[to].Set(tx, vars[to].Get(tx)+1)
+							return nil
+						}); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			close(stop)
+			churner.Wait()
+			total := 0
+			for _, v := range vars {
+				total += v.Load()
+			}
+			if total != accounts*initial {
+				t.Fatalf("final total under %s = %d, want %d", strat, total, accounts*initial)
+			}
+		})
+	}
+}

@@ -6,11 +6,20 @@ package stm
 // disjoint-access-parallelism story says data structures should: disjoint
 // keys (usually) commute.
 //
+// The element count is striped across several Vars (indexed by bucket), so
+// inserts and deletes of disjoint keys do not collide on a shared counter
+// either — a single size Var would serialize every size-changing update
+// and silently undo the buckets' DAP. Len sums the stripes inside the
+// transaction; SnapshotLen sums them outside any transaction.
+//
 // All methods taking a *Tx must run inside Atomically; they compose with
-// any other transactional operations.
+// any other transactional operations. The Snapshot* methods take no
+// transaction and never abort.
 type Map[V any] struct {
 	buckets []*Var[[]mapEntry[V]]
-	size    *Var[int]
+	// sizes[i] counts the entries of the buckets with index ≡ i (mod
+	// len(sizes)).
+	sizes []*Var[int]
 }
 
 type mapEntry[V any] struct {
@@ -18,32 +27,53 @@ type mapEntry[V any] struct {
 	val V
 }
 
+// mapSizeStripes is the default number of size-counter stripes (capped at
+// the bucket count: more stripes than buckets cannot reduce conflicts).
+const mapSizeStripes = 16
+
 // NewMap creates a transactional map with the given number of buckets
 // (rounded up to at least 1). More buckets mean fewer false conflicts.
 func NewMap[V any](buckets int) *Map[V] {
 	if buckets < 1 {
 		buckets = 1
 	}
+	stripes := mapSizeStripes
+	if buckets < stripes {
+		stripes = buckets
+	}
 	m := &Map[V]{
 		buckets: make([]*Var[[]mapEntry[V]], buckets),
-		size:    NewVar(0),
+		sizes:   make([]*Var[int], stripes),
 	}
 	for i := range m.buckets {
 		m.buckets[i] = NewVar[[]mapEntry[V]](nil)
 	}
+	for i := range m.sizes {
+		m.sizes[i] = NewVar(0)
+	}
 	return m
 }
 
-func (m *Map[V]) bucket(key string) *Var[[]mapEntry[V]] {
-	// Inline FNV-1a over the string: hashing a key must not allocate (the
-	// hash/fnv Hash32 interface and the []byte(key) conversion both would),
-	// or bucket selection alone would break the engine's zero-alloc reads.
+// bucketIndex hashes key to a bucket index. Inline FNV-1a over the string:
+// hashing a key must not allocate (the hash/fnv Hash32 interface and the
+// []byte(key) conversion both would), or bucket selection alone would
+// break the engine's zero-alloc reads.
+func (m *Map[V]) bucketIndex(key string) uint32 {
 	const offset32, prime32 = 2166136261, 16777619
 	h := uint32(offset32)
 	for i := 0; i < len(key); i++ {
 		h = (h ^ uint32(key[i])) * prime32
 	}
-	return m.buckets[h%uint32(len(m.buckets))]
+	return h % uint32(len(m.buckets))
+}
+
+func (m *Map[V]) bucket(key string) *Var[[]mapEntry[V]] {
+	return m.buckets[m.bucketIndex(key)]
+}
+
+// sizeStripe returns the size counter covering the given bucket.
+func (m *Map[V]) sizeStripe(bucket uint32) *Var[int] {
+	return m.sizes[bucket%uint32(len(m.sizes))]
 }
 
 // Get returns the value for key and whether it is present.
@@ -59,7 +89,8 @@ func (m *Map[V]) Get(tx *Tx, key string) (V, bool) {
 
 // Put inserts or replaces the value for key.
 func (m *Map[V]) Put(tx *Tx, key string, val V) {
-	b := m.bucket(key)
+	idx := m.bucketIndex(key)
+	b := m.buckets[idx]
 	old := b.Get(tx)
 	entries := make([]mapEntry[V], 0, len(old)+1)
 	replaced := false
@@ -73,14 +104,16 @@ func (m *Map[V]) Put(tx *Tx, key string, val V) {
 	}
 	if !replaced {
 		entries = append(entries, mapEntry[V]{key: key, val: val})
-		m.size.Set(tx, m.size.Get(tx)+1)
+		s := m.sizeStripe(idx)
+		s.Set(tx, s.Get(tx)+1)
 	}
 	b.Set(tx, entries)
 }
 
 // Delete removes key, reporting whether it was present.
 func (m *Map[V]) Delete(tx *Tx, key string) bool {
-	b := m.bucket(key)
+	idx := m.bucketIndex(key)
+	b := m.buckets[idx]
 	old := b.Get(tx)
 	entries := make([]mapEntry[V], 0, len(old))
 	found := false
@@ -93,15 +126,66 @@ func (m *Map[V]) Delete(tx *Tx, key string) bool {
 	}
 	if found {
 		b.Set(tx, entries)
-		m.size.Set(tx, m.size.Get(tx)-1)
+		s := m.sizeStripe(idx)
+		s.Set(tx, s.Get(tx)-1)
 	}
 	return found
 }
 
-// Len returns the number of entries. Reading it inside a transaction
-// serializes against every size-changing update; use sparingly in hot
-// paths.
-func (m *Map[V]) Len(tx *Tx) int { return m.size.Get(tx) }
+// Len returns the number of entries, as one consistent snapshot: the sum
+// of the size stripes. A transactional Len still reads every stripe, so it
+// conflicts with concurrent inserts and deletes (though no longer with all
+// of them at once); prefer SnapshotLen in hot read-mostly paths that can
+// tolerate a non-transactional answer.
+func (m *Map[V]) Len(tx *Tx) int {
+	n := 0
+	for _, s := range m.sizes {
+		n += s.Get(tx)
+	}
+	return n
+}
+
+// SnapshotLen returns the entry count without running a transaction: one
+// atomic load per stripe. Each stripe is individually consistent but the
+// sum is not a single atomic cut — concurrent updates may be partially
+// included. It never aborts, blocks, or conflicts with writers; intended
+// for monitoring, sizing decisions and read-mostly fast paths.
+func (m *Map[V]) SnapshotLen() int {
+	n := 0
+	for _, s := range m.sizes {
+		n += s.Load()
+	}
+	return n
+}
+
+// SnapshotGet returns the value for key without running a transaction: a
+// single consistent load of the key's bucket. It is linearizable per key
+// (equivalent to a one-read transaction) and never conflicts with writers.
+func (m *Map[V]) SnapshotGet(key string) (V, bool) {
+	for _, e := range m.bucket(key).Load() {
+		if e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// SnapshotRange calls f for each entry without running a transaction,
+// stopping early if f returns false. Each bucket is read as one consistent
+// snapshot, but the iteration as a whole is not atomic: entries moved by
+// concurrent updates may be seen twice or not at all (the usual contract
+// of concurrent map iteration, sync.Map included). Use Keys inside a
+// transaction when a fully consistent view is required.
+func (m *Map[V]) SnapshotRange(f func(key string, val V) bool) {
+	for _, b := range m.buckets {
+		for _, e := range b.Load() {
+			if !f(e.key, e.val) {
+				return
+			}
+		}
+	}
+}
 
 // Keys returns all keys in unspecified order, as one consistent snapshot.
 func (m *Map[V]) Keys(tx *Tx) []string {

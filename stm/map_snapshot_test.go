@@ -1,0 +1,159 @@
+package stm_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/stm"
+	"repro/stm/norecstm"
+)
+
+// TestMapSnapshotPaths covers the non-transactional fast paths: SnapshotGet
+// and SnapshotRange see committed state, SnapshotLen agrees with the
+// transactional Len at quiescence.
+func TestMapSnapshotPaths(t *testing.T) {
+	m := stm.NewMap[int](8)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 0; i < 20; i++ {
+			m.Put(tx, fmt.Sprintf("k%d", i), i)
+		}
+		m.Delete(tx, "k7")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SnapshotLen(); got != 19 {
+		t.Errorf("SnapshotLen = %d, want 19", got)
+	}
+	var txLen int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		txLen = m.Len(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if txLen != 19 {
+		t.Errorf("Len = %d, want 19", txLen)
+	}
+	if v, ok := m.SnapshotGet("k3"); !ok || v != 3 {
+		t.Errorf("SnapshotGet(k3) = %d, %v; want 3, true", v, ok)
+	}
+	if _, ok := m.SnapshotGet("k7"); ok {
+		t.Error("SnapshotGet(k7) found a deleted key")
+	}
+	seen := map[string]int{}
+	m.SnapshotRange(func(k string, v int) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != 19 || seen["k3"] != 3 {
+		t.Errorf("SnapshotRange saw %d entries (k3=%d), want 19 (k3=3)", len(seen), seen["k3"])
+	}
+	calls := 0
+	m.SnapshotRange(func(string, int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("SnapshotRange ignored early stop: %d calls", calls)
+	}
+}
+
+// TestMapDisjointPutsScale is the regression test for the single-size-Var
+// serialization: concurrent writers inserting fully disjoint key sets land
+// on distinct buckets AND distinct size stripes, so the striped counter
+// must stay exact and the workload must not degrade into one conflict per
+// insert (checked loosely via the engine's abort counter — the old shared
+// counter made essentially every concurrent insert pair conflict).
+func TestMapDisjointPutsScale(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 200
+	)
+	m := stm.NewMap[int](256)
+	before := stm.ReadStats()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, key, i)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d := stm.ReadStats().Sub(before)
+	var n int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		n = m.Len(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*perW {
+		t.Fatalf("Len = %d, want %d", n, workers*perW)
+	}
+	if sn := m.SnapshotLen(); sn != workers*perW {
+		t.Fatalf("SnapshotLen = %d, want %d", sn, workers*perW)
+	}
+	// Loose ceiling: with striping + extension, disjoint inserts conflict
+	// only on stripe collisions (16 stripes, 8 workers), not on every
+	// insert. The pre-striping behaviour aborted on the same order as the
+	// insert count; allow a quarter of that before calling it a regression.
+	if limit := uint64(workers * perW / 4); d.Aborts > limit {
+		t.Errorf("disjoint-key inserts aborted %d times (limit %d): size counter serialization is back", d.Aborts, limit)
+	}
+	t.Logf("disjoint puts: %d commits, %d aborts, %d extensions", d.Commits, d.Aborts, d.Extensions)
+}
+
+// TestNorecStats smoke-tests the NOrec engine counters: commits count,
+// revalidations appear when the sequence moves under a live transaction.
+func TestNorecStats(t *testing.T) {
+	before := norecstm.ReadStats()
+	v := norecstm.NewVar(0)
+	w := norecstm.NewVar(0)
+	for i := 0; i < 10; i++ {
+		if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var once sync.Once
+	if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		_ = v.Get(tx)
+		once.Do(func() {
+			if err := norecstm.Atomically(func(tx2 *norecstm.Tx) error {
+				w.Set(tx2, 1)
+				return nil
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+		_ = w.Get(tx) // sequence moved: forces a revalidation scan
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := norecstm.ReadStats().Sub(before)
+	if d.Commits < 12 {
+		t.Errorf("commits delta = %d, want ≥ 12", d.Commits)
+	}
+	if d.Revalidations == 0 {
+		t.Error("no revalidation recorded despite a mid-transaction commit")
+	}
+	if got := d.AbortRatio(); got < 0 || got > 1 {
+		t.Errorf("abort ratio %f out of range", got)
+	}
+}

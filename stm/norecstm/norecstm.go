@@ -86,6 +86,7 @@ type Tx struct {
 	reads  []readEntry
 	writes []writeEntry
 	wmap   map[varBase]int // index into writes; non-nil past the threshold
+	shard  uint32          // stats stripe; assigned once, survives reset
 }
 
 type readEntry struct {
@@ -98,7 +99,9 @@ type writeEntry struct {
 	val any
 }
 
-var txPool = sync.Pool{New: func() any { return new(Tx) }}
+var txPool = sync.Pool{New: func() any {
+	return &Tx{shard: uint32(statSeq.Add(1))}
+}}
 
 // reset clears the read and write sets in place, keeping their backing
 // arrays, and zeroes dropped entries so a pooled Tx pins no user data.
@@ -150,6 +153,11 @@ func (tx *Tx) begin() {
 
 // validate re-reads the whole read set by snapshot identity until the
 // sequence is stable; it aborts the attempt if any read value changed.
+// This is NOrec's native form of timestamp extension: the snapshot moves
+// forward to the stable sequence whenever every read value is unchanged,
+// and only a genuinely overwritten read aborts. Each completed scan is
+// counted so the Θ(m)-per-conflict revalidation cost the paper's Theorem 3
+// builds on is observable (ReadStats).
 func (tx *Tx) validate() {
 	for {
 		s := seq.Load()
@@ -167,6 +175,7 @@ func (tx *Tx) validate() {
 		if seq.Load() != s {
 			continue // a commit raced the scan; redo it
 		}
+		tx.stat().revalidations.Add(1)
 		if !ok {
 			panic(retrySignal{})
 		}
@@ -255,10 +264,13 @@ func Atomically(fn func(tx *Tx) error) error {
 				return err
 			}
 			if tx.commit() {
+				tx.stat().commits.Add(1)
 				tx.release()
 				return nil
 			}
+			tx.stat().aborts.Add(1)
 		case ctlRetryNow:
+			tx.stat().aborts.Add(1)
 		case ctlRetryWait:
 			waitForChange(tx)
 			continue // the wait already yielded; retry immediately

@@ -1,0 +1,66 @@
+package norecstm
+
+import "sync/atomic"
+
+// Stats is a snapshot of the engine-wide transaction counters, mirroring
+// repro/stm's Stats so the E8 harness can report both engines uniformly.
+// Counters live on padded per-descriptor stripes so keeping them adds no
+// shared contended word next to the sequence lock they help measure.
+type Stats struct {
+	// Commits counts committed transactions; Aborts counts failed
+	// attempts, so the abort ratio is Aborts / (Commits + Aborts).
+	Commits uint64
+	Aborts  uint64
+	// Revalidations counts completed read-set value-revalidation scans —
+	// NOrec's extension analogue, triggered whenever the global sequence
+	// moves under a live transaction. Each scan is Θ(|read set|).
+	Revalidations uint64
+}
+
+// AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
+// snapshot.
+func (s Stats) AbortRatio() float64 {
+	if s.Commits+s.Aborts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits+s.Aborts)
+}
+
+// Sub returns the counter deltas s - t; use snapshots around a workload to
+// measure just that workload.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Commits:       s.Commits - t.Commits,
+		Aborts:        s.Aborts - t.Aborts,
+		Revalidations: s.Revalidations - t.Revalidations,
+	}
+}
+
+const statStripes = 16
+
+type statShard struct {
+	commits       atomic.Uint64
+	aborts        atomic.Uint64
+	revalidations atomic.Uint64
+	_             [128 - 3*8]byte
+}
+
+var statShards [statStripes]statShard
+
+// statSeq hands out stripe indices to new descriptors.
+var statSeq atomic.Uint64
+
+func (tx *Tx) stat() *statShard { return &statShards[tx.shard&(statStripes-1)] }
+
+// ReadStats sums the stripes into one snapshot; safe to call concurrently
+// with transactions (per-counter atomic, not a cross-counter cut).
+func ReadStats() Stats {
+	var s Stats
+	for i := range statShards {
+		sh := &statShards[i]
+		s.Commits += sh.commits.Load()
+		s.Aborts += sh.aborts.Load()
+		s.Revalidations += sh.revalidations.Load()
+	}
+	return s
+}

@@ -1,0 +1,92 @@
+package stm
+
+import "sync/atomic"
+
+// Stats is a snapshot of the engine-wide transaction counters. Counters
+// are maintained on padded per-descriptor stripes, so keeping them does
+// not add a shared contended word to the commit path (which would defeat
+// the point of the clock-strategy work they exist to measure).
+type Stats struct {
+	// Commits counts transactions that committed (including read-only).
+	Commits uint64
+	// Aborts counts failed attempts: conflict aborts, stale-read aborts
+	// and failed commits. Commits+Aborts is the total attempt count, so
+	// the abort ratio is Aborts / (Commits + Aborts).
+	Aborts uint64
+	// Extensions counts successful read-timestamp extensions: stale-clock
+	// aborts converted into O(|read set|) revalidations.
+	Extensions uint64
+	// ExtensionFailures counts extension attempts that found an
+	// invalidated read entry — genuine conflicts, which abort.
+	ExtensionFailures uint64
+	// ClockIncrements counts published global-clock increments;
+	// ClockAdoptions counts GV4/GV6 commits that lost the increment race
+	// and adopted the winner's tick instead of retrying. Their sum is at
+	// most the number of update commits; the gap to that number (under
+	// GV6) is commits that left the clock untouched entirely.
+	ClockIncrements uint64
+	ClockAdoptions  uint64
+}
+
+// AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
+// snapshot.
+func (s Stats) AbortRatio() float64 {
+	if s.Commits+s.Aborts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits+s.Aborts)
+}
+
+// Sub returns the counter deltas s - t; use snapshots around a workload to
+// measure just that workload.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Commits:           s.Commits - t.Commits,
+		Aborts:            s.Aborts - t.Aborts,
+		Extensions:        s.Extensions - t.Extensions,
+		ExtensionFailures: s.ExtensionFailures - t.ExtensionFailures,
+		ClockIncrements:   s.ClockIncrements - t.ClockIncrements,
+		ClockAdoptions:    s.ClockAdoptions - t.ClockAdoptions,
+	}
+}
+
+// statStripes is the number of counter stripes; a power of two so stripe
+// selection is a mask.
+const statStripes = 16
+
+// statShard is one stripe of counters, padded out to its own cache lines
+// so stripes do not false-share.
+type statShard struct {
+	commits           atomic.Uint64
+	aborts            atomic.Uint64
+	extensions        atomic.Uint64
+	extensionFailures atomic.Uint64
+	clockIncrements   atomic.Uint64
+	clockAdoptions    atomic.Uint64
+	_                 [128 - 6*8]byte
+}
+
+var statShards [statStripes]statShard
+
+// statSeq hands out stripe indices (and GV6 PRNG seeds) to new descriptors.
+var statSeq atomic.Uint64
+
+// stat returns the descriptor's counter stripe.
+func (tx *Tx) stat() *statShard { return &statShards[tx.shard&(statStripes-1)] }
+
+// ReadStats sums the stripes into one snapshot. It is safe to call
+// concurrently with transactions; the snapshot is per-counter atomic (not
+// a cross-counter consistent cut), which is what a monitoring read wants.
+func ReadStats() Stats {
+	var s Stats
+	for i := range statShards {
+		sh := &statShards[i]
+		s.Commits += sh.commits.Load()
+		s.Aborts += sh.aborts.Load()
+		s.Extensions += sh.extensions.Load()
+		s.ExtensionFailures += sh.extensionFailures.Load()
+		s.ClockIncrements += sh.clockIncrements.Load()
+		s.ClockAdoptions += sh.clockAdoptions.Load()
+	}
+	return s
+}

@@ -24,6 +24,19 @@
 // are pooled and their read/write sets are recycled across attempts and
 // calls, so a read-only transaction performs zero heap allocations.
 //
+// # Clock strategies and timestamp extension
+//
+// How commits advance the global clock is selectable (SetClockStrategy):
+// GV1 is TL2's unconditional fetch-and-increment, GV4 (the default) lets a
+// losing increment adopt the winner's tick instead of retrying, and GV6
+// samples increments so most commits leave the clock untouched. A read
+// that observes a version newer than the transaction's read timestamp does
+// not abort outright: it revalidates the read set and extends the
+// timestamp to the current clock (timestamp extension), so only genuinely
+// invalidated reads — real conflicts — abort. See DESIGN.md for the
+// soundness arguments and ReadStats for the commit/abort/extension
+// counters.
+//
 // Usage:
 //
 //	acct := stm.NewVar(100)
@@ -154,6 +167,12 @@ const writeSetMapThreshold = 24
 // are skipped without paying O(read set) per Get.
 const readDedupWindow = 8
 
+// maxExtendAttempts bounds how many times one Get will extend its read
+// timestamp before giving up and aborting: under a sustained commit storm
+// on the same Var, re-running the transaction (with backoff) beats
+// revalidating the read set forever.
+const maxExtendAttempts = 3
+
 // Tx is a transaction descriptor. It is valid only inside the function
 // passed to Atomically and must not escape or be shared between goroutines.
 // Descriptors are pooled: Atomically recycles the read and write sets
@@ -167,6 +186,11 @@ type Tx struct {
 	// writeSetMapThreshold; below that, writes is kept sorted by Var id and
 	// searched by binary search. Nil while the slice is authoritative.
 	wmap map[varBase]int
+	// shard picks the descriptor's stats stripe; rng drives GV6 commit
+	// sampling. Both are assigned once per descriptor and survive reset,
+	// so pooled reuse keeps stripes and sampling phases spread out.
+	shard uint32
+	rng   uint64
 }
 
 type readEntry struct {
@@ -180,7 +204,10 @@ type writeEntry struct {
 	prev uint64 // pre-lock version, recorded while the commit holds the lock
 }
 
-var txPool = sync.Pool{New: func() any { return new(Tx) }}
+var txPool = sync.Pool{New: func() any {
+	s := statSeq.Add(1)
+	return &Tx{shard: uint32(s), rng: splitmix64(s)}
+}}
 
 // reset clears the read and write sets in place, keeping their backing
 // arrays, and zeroes the dropped entries so a pooled Tx pins no user data.
@@ -241,25 +268,71 @@ func (tx *Tx) read(v varBase) any {
 	if i, ok := tx.findWrite(v); ok {
 		return tx.writes[i].val
 	}
-	w := v.lockWord()
-	if lockword.Locked(w) || lockword.Version(w) > tx.rv {
-		tx.abort()
-	}
-	b := v.loadBox()
-	if v.lockWord() != w {
-		tx.abort() // a commit raced between the word load and the value load
-	}
-	// Skip duplicate read-set entries for recently read Vars. Soundness: a
-	// version installed after this transaction's rv-read is necessarily
-	// > rv, so a re-read of an already-recorded Var either sees the same
-	// version or aborts above — the recorded entry stays accurate.
-	for i, n := len(tx.reads)-1, len(tx.reads)-readDedupWindow; i >= 0 && i >= n; i-- {
-		if tx.reads[i].v == v {
+	for attempt := 0; ; attempt++ {
+		w := v.lockWord()
+		if !lockword.Locked(w) && lockword.Version(w) <= tx.rv {
+			b := v.loadBox()
+			if v.lockWord() != w {
+				// A commit raced between the word load and the value load;
+				// re-read (the new word is handled like any other state).
+				if attempt >= maxExtendAttempts {
+					tx.abort()
+				}
+				continue
+			}
+			// Skip duplicate read-set entries for recently read Vars.
+			// Soundness: a re-read of an already-recorded Var either sees
+			// the recorded version (≤ rv by the check above, and extension
+			// never lowers rv) or a newer one, which extension admits only
+			// after revalidating the recorded entry — so the recorded entry
+			// stays accurate.
+			for i, n := len(tx.reads)-1, len(tx.reads)-readDedupWindow; i >= 0 && i >= n; i-- {
+				if tx.reads[i].v == v {
+					return b.val
+				}
+			}
+			tx.reads = append(tx.reads, readEntry{v: v, ver: lockword.Version(w)})
 			return b.val
 		}
+		if lockword.Locked(w) || attempt >= maxExtendAttempts {
+			tx.abort() // mid-commit elsewhere; extension cannot see past a lock
+		}
+		// The Var committed past our read version — the stale-clock case
+		// that plain TL2 aborts on. If no read has actually been
+		// invalidated, extending the read timestamp is sufficient: help the
+		// clock cover the version first (GV6 lets versions run ahead of the
+		// clock), then revalidate and advance rv.
+		helpClock(lockword.Version(w))
+		if !tx.extend() {
+			tx.abort()
+		}
 	}
-	tx.reads = append(tx.reads, readEntry{v: v, ver: lockword.Version(w)})
-	return b.val
+}
+
+// extend attempts a read-timestamp extension: sample the clock, then
+// revalidate every read entry at its recorded version (unlocked, version
+// unchanged). On success the entire read set is known consistent at the
+// sampled instant, so rv advances to it — the transaction behaves exactly
+// as if it had started then and re-executed every read. This converts the
+// stale-clock abort class (dominant under high commit rates) into an
+// O(|read set|) revalidation; a failure means some read was genuinely
+// overwritten, which no protocol could survive.
+func (tx *Tx) extend() bool {
+	if !extensionEnabled.Load() {
+		return false
+	}
+	newRv := clock.Load()
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		w := r.v.lockWord()
+		if lockword.Locked(w) || lockword.Version(w) != r.ver {
+			tx.stat().extensionFailures.Add(1)
+			return false
+		}
+	}
+	tx.rv = newRv
+	tx.stat().extensions.Add(1)
+	return true
 }
 
 func (tx *Tx) write(v varBase, val any) {
@@ -334,6 +407,43 @@ func (tx *Tx) ownsLock(v varBase) bool {
 	return ok
 }
 
+// validateCommit revalidates the read set while the commit holds its write
+// locks — the commit-time form of timestamp extension: each entry is
+// checked against its *recorded* version, never against the (possibly
+// stale) read timestamp, so a commit whose reads are all still intact
+// passes no matter how far the clock has moved. Every read entry is
+// checked, including variables this commit also writes: our lock was taken
+// only at commit, so a foreign commit may have slipped in between our read
+// and our lock, and the lock word preserves the version under our own lock
+// bit, so the version check covers that window for own-locked variables
+// too. One bounded retry absorbs the transient case where a foreign
+// committer holds a lock it is about to release with the version unchanged
+// (its own commit failed); a version mismatch is a real conflict and fails
+// immediately.
+func (tx *Tx) validateCommit() bool {
+	for attempt := 0; ; attempt++ {
+		foreignLocked := false
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			w := r.v.lockWord()
+			if lockword.Version(w) != r.ver {
+				return false
+			}
+			if lockword.Locked(w) && !tx.ownsLock(r.v) {
+				foreignLocked = true
+				break
+			}
+		}
+		if !foreignLocked {
+			return true
+		}
+		if attempt >= 1 {
+			return false
+		}
+		runtime.Gosched()
+	}
+}
+
 // commit attempts to make the transaction's writes visible atomically.
 func (tx *Tx) commit() bool {
 	if len(tx.writes) == 0 {
@@ -373,21 +483,10 @@ func (tx *Tx) commit() bool {
 		releaseLocked(locked)
 		return false
 	}
-	wv := clock.Add(1)
-	if wv != tx.rv+1 {
-		// Validate every read entry — including variables we also write:
-		// our lock was taken only now, so a foreign commit may have slipped
-		// in between our read and our lock. The lock word preserves the
-		// version under our own lock bit, so the version check covers that
-		// window for own-locked variables too.
-		for i := range tx.reads {
-			r := &tx.reads[i]
-			w := r.v.lockWord()
-			if lockword.Version(w) != r.ver || (lockword.Locked(w) && !tx.ownsLock(r.v)) {
-				releaseLocked(locked)
-				return false
-			}
-		}
+	wv, quiescent := tx.advanceClock()
+	if !quiescent && !tx.validateCommit() {
+		releaseLocked(locked)
+		return false
 	}
 	for i := range tx.writes {
 		e := &tx.writes[i]
@@ -413,11 +512,13 @@ func Atomically(fn func(tx *Tx) error) error {
 				return err // user error: abort without retry
 			}
 			if tx.commit() {
+				tx.stat().commits.Add(1)
 				tx.release()
 				return nil
 			}
+			tx.stat().aborts.Add(1)
 		case ctlRetryNow:
-			// fall through to retry
+			tx.stat().aborts.Add(1)
 		case ctlRetryWait:
 			waitForChange(tx)
 			continue // the wait already yielded; retry immediately
