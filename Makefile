@@ -7,11 +7,13 @@ GO ?= go
 
 # -cpu 4 pins the GOMAXPROCS≥4 regime the contention benchmarks target;
 # -count 5 gives benchdiff/benchstat enough runs; 0.2s per benchmark keeps
-# the full -count 5 sweep around a minute.
-E8_BENCH = BenchmarkE8|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed
+# the full -count 5 sweep around a minute. The set covers E8 (commit
+# pipeline, containers) and the native E9 scenarios (ordered-index scans,
+# reservations); benchdiff ignores names absent from an older baseline.
+E8_BENCH = BenchmarkE8|BenchmarkE9Native|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed|BenchmarkOrderedMap
 E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 5 -cpu 4 -timeout 30m
 
-.PHONY: test race bench-e8 bench-baseline bench-diff
+.PHONY: test race bench-e8 bench-baseline bench-diff docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -37,3 +39,12 @@ bench-baseline:
 bench-diff:
 	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
 	$(GO) run ./cmd/benchdiff -baseline BENCH_PR2.json -new bench_new.txt
+
+# docs-check keeps the documentation executable: formatting, vet, and
+# every Example function in the repository (the README quickstart mirrors
+# ExampleAtomically, so a rotted example fails CI here).
+docs-check:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+	  echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -run Example ./...

@@ -178,6 +178,171 @@ func BenchmarkE7Progress(b *testing.B) {
 	}
 }
 
+// BenchmarkE9Scenarios regenerates experiment E9 (the STAMP-style scenario
+// suite) on the simulator: ordered-index scans racing point updates, and
+// two-table reservations, per TM, reporting the paper's quantities as
+// custom metrics.
+func BenchmarkE9Scenarios(b *testing.B) {
+	for _, name := range append(append([]string{}, tmNames...), "tl2:ext", "tl2:gv6+ext") {
+		name := name
+		b.Run("tm="+name, func(b *testing.B) {
+			var last []exp.E9Row
+			for i := 0; i < b.N; i++ {
+				rows, err := exp.RunE9(name, exp.DefaultE9Config())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = rows
+			}
+			for _, r := range last {
+				b.ReportMetric(r.AbortRatio, "abort-ratio-"+r.Scenario)
+				b.ReportMetric(r.StepsPerTxn, "steps/txn-"+r.Scenario)
+			}
+		})
+	}
+}
+
+// BenchmarkE9NativeIndexScan is the native half of the E9 ordered-index
+// scenario: transactional range scans over an stm.OrderedMap racing point
+// updates, the first long-read-set pointer workload the native engine's
+// clock-strategy and extension knobs see. Compare the abort-ratio metric
+// across the two pipeline sub-benchmarks: on BenchmarkVarContended the
+// delta is visible, here it is structural.
+func BenchmarkE9NativeIndexScan(b *testing.B) {
+	const (
+		nkeys   = 512
+		scanLen = 32
+	)
+	run := func(b *testing.B, strat stm.ClockStrategy, ext bool) {
+		stm.SetClockStrategy(strat)
+		stm.SetTimestampExtension(ext)
+		defer stm.SetTimestampExtension(true)
+		defer stm.SetClockStrategy(stm.GV4)
+		m := stm.NewOrderedMap[int]()
+		keys := make([]string, nkeys)
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key%04d", i)
+				m.Put(tx, keys[i], i)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		var seq atomic.Uint64
+		before := stm.ReadStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := seq.Add(1)
+				base := (i * 2654435761) % nkeys
+				if i%8 == 0 {
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						v, _ := m.Get(tx, keys[base])
+						m.Put(tx, keys[base], v+1)
+						return nil
+					})
+				} else {
+					from := keys[base]
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						n, s := 0, 0
+						m.Range(tx, from, "", func(_ string, v int) bool {
+							s += v
+							n++
+							return n < scanLen
+						})
+						_ = s
+						return nil
+					})
+				}
+			}
+		})
+		d := stm.ReadStats().Sub(before)
+		b.ReportMetric(d.AbortRatio(), "abort-ratio")
+		if d.Commits > 0 {
+			b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+		}
+	}
+	b.Run("pipeline=pr1-gv1-noext", func(b *testing.B) { run(b, stm.GV1, false) })
+	b.Run("pipeline=gv4-ext", func(b *testing.B) { run(b, stm.GV4, true) })
+}
+
+// BenchmarkE9NativeReservation is the native half of the E9 reservation
+// scenario: multi-key read-modify-write across two transactional maps
+// (customers and resources) in one atomic step, plus occasional two-table
+// audits — the composability workload (STAMP vacation's shape) running on
+// the adoptable containers.
+func BenchmarkE9NativeReservation(b *testing.B) {
+	const (
+		customers = 128
+		resources = 128
+		probes    = 4
+	)
+	cust := stm.NewMap[int](64)
+	res := stm.NewOrderedMap[int]()
+	ckeys := make([]string, customers)
+	rkeys := make([]string, resources)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := range ckeys {
+			ckeys[i] = fmt.Sprintf("cust%03d", i)
+			cust.Put(tx, ckeys[i], 0)
+		}
+		for i := range rkeys {
+			rkeys[i] = fmt.Sprintf("res%03d", i)
+			res.Put(tx, rkeys[i], 0)
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Uint64
+	before := stm.ReadStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)
+			c := ckeys[(i*2654435761)%customers]
+			base := (i * 40503) % resources
+			if i%16 == 0 {
+				// Audit: ordered scan of a resource window plus the customer.
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					_, _ = cust.Get(tx, c)
+					n := 0
+					res.Range(tx, rkeys[base], "", func(string, int) bool {
+						n++
+						return n < 16
+					})
+					return nil
+				})
+				continue
+			}
+			// Reservation: probe an ordered run of resources, book the
+			// least-loaded one, charge the customer — atomically.
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				best, bestLoad := "", int(^uint(0)>>1)
+				for j := 0; j < probes; j++ {
+					k := rkeys[(base+uint64(j))%resources]
+					v, _ := res.Get(tx, k)
+					if v < bestLoad {
+						best, bestLoad = k, v
+					}
+				}
+				res.Put(tx, best, bestLoad+1)
+				bal, _ := cust.Get(tx, c)
+				cust.Put(tx, c, bal+1)
+				return nil
+			})
+		}
+	})
+	d := stm.ReadStats().Sub(before)
+	b.ReportMetric(d.AbortRatio(), "abort-ratio")
+	if d.Commits > 0 {
+		b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+	}
+}
+
 // BenchmarkE8NativeCounter measures the native stm package: contended
 // read-modify-write transactions (the workload whose validation cost
 // Theorem 3 bounds).

@@ -10,6 +10,7 @@
 //	tmbench -exp e6 [-ms 4,8,16,32]
 //	tmbench -exp e7 [-tms irtm] [-seed 42]
 //	tmbench -exp e8 [-workers 8] [-dur 100ms]
+//	tmbench -exp e9 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
 package main
 
@@ -30,7 +31,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
@@ -74,6 +75,8 @@ func main() {
 		err = runE7(cfg)
 	case "e8":
 		err = runE8(cfg)
+	case "e9":
+		err = runE9(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -93,6 +96,7 @@ func main() {
 			func() error { return runE6(cfg) },
 			func() error { return runE7(cfg) },
 			func() error { return runE8(cfg) },
+			func() error { return runE9(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -504,6 +508,45 @@ func e8DriveNorec(workload string, workers int, d time.Duration) time.Duration {
 	}
 	wg.Wait()
 	return time.Since(start)
+}
+
+// runE9 prints the STAMP-style scenario suite (index-scan, reservation)
+// for every requested TM, with the TL2 clock-strategy variants swept after
+// the base tl2 row, as in E5.
+func runE9(c config) error {
+	t := ptm.Table{
+		Title:  "E9 — scenario suite: ordered-index scans and two-table reservations",
+		Header: []string{"tm", "scenario", "commits", "aborts", "abort-ratio", "steps/txn"},
+	}
+	cfg := exp.DefaultE9Config()
+	cfg.Seed = c.seed
+	add := func(name string) error {
+		rows, err := ptm.RunE9(name, cfg)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			t.Add(r.TM, r.Scenario, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn)
+		}
+		return nil
+	}
+	for _, name := range c.tms {
+		if err := add(name); err != nil {
+			return err
+		}
+		if name == "tl2" {
+			for _, variant := range ptm.ClockVariants() {
+				if variant == "tl2" {
+					continue // the base row above
+				}
+				if err := add(variant); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
 }
 
 func runE6(c config) error {

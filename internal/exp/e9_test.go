@@ -1,0 +1,73 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE9Scenarios runs the scenario suite on every registered TM: every
+// process completes its quota in both scenarios, the blocking TM never
+// aborts, and the long-read-set scans cost more steps per transaction than
+// E5's flat four-op mix would predict (the workload exists to stress
+// validation, so it must actually read more).
+func TestE9Scenarios(t *testing.T) {
+	cfg := exp.E9Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, ScanLen: 8, Probes: 3,
+		WriteRatio: 0.3, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rows, err := exp.RunE9(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != len(exp.E9Scenarios()) {
+				t.Fatalf("got %d rows, want one per scenario (%d)", len(rows), len(exp.E9Scenarios()))
+			}
+			for _, r := range rows {
+				if r.Commits != cfg.Procs*cfg.TxnsPerProc {
+					t.Errorf("%s: %d commits, want %d", r.Scenario, r.Commits, cfg.Procs*cfg.TxnsPerProc)
+				}
+				if r.StepsPerTxn <= 0 {
+					t.Errorf("%s: no steps recorded", r.Scenario)
+				}
+				if name == "sgltm" && r.Aborts != 0 {
+					t.Errorf("%s: blocking TM aborted %d times", r.Scenario, r.Aborts)
+				}
+			}
+		})
+	}
+}
+
+// TestE9ClockVariants runs the suite over the TL2 clock-strategy/extension
+// variants — the registry names the E9 table sweeps alongside the plain
+// TMs. Extension variants must complete the same quota; on the scan-heavy
+// scenario the extension variant must not abort more than plain TL2 (the
+// stale-clock abort class is converted into revalidation, never added to).
+func TestE9ClockVariants(t *testing.T) {
+	cfg := exp.E9Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, ScanLen: 8, Probes: 3,
+		WriteRatio: 0.3, Seed: 11,
+	}
+	aborts := map[string]int{}
+	for _, name := range tmreg.ClockVariants() {
+		rows, err := exp.RunE9(name, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range rows {
+			if r.Commits != cfg.Procs*cfg.TxnsPerProc {
+				t.Errorf("%s/%s: %d commits, want %d", name, r.Scenario, r.Commits, cfg.Procs*cfg.TxnsPerProc)
+			}
+			if r.Scenario == "index-scan" {
+				aborts[name] = r.Aborts
+			}
+		}
+	}
+	if aborts["tl2:ext"] > aborts["tl2"] {
+		t.Errorf("extension increased index-scan aborts: tl2=%d tl2:ext=%d", aborts["tl2"], aborts["tl2:ext"])
+	}
+}

@@ -1,5 +1,13 @@
-// Package tmreg is the registry of TM algorithm constructors, shared by the
-// experiment harness, the CLI tools, and the public facade.
+// Package tmreg is the registry of TM algorithm constructors, shared by
+// the experiment harness (internal/exp), the CLI tools (cmd/tmbench and
+// friends) and the public facade (the root progressivetm package).
+//
+// Plain names ("irtm", "tl2", "norec", …) build the algorithms as the
+// paper defines them; the "tl2:<spec>" form builds TL2 ablation variants
+// with a chosen clock strategy and/or timestamp extension (see New and
+// ClockVariants) — the axis the E5/E9 tables sweep. Registering an
+// algorithm here is all it takes to appear in every experiment, the
+// taxonomy table, and the conformance suite.
 package tmreg
 
 import (

@@ -16,7 +16,9 @@
 //
 // For writing concurrent Go programs with transactions (the adoptable
 // library rather than the research instrument), see the sibling package
-// repro/stm.
+// repro/stm and its containers (Map, OrderedMap, Queue). README.md is the
+// guided tour; DESIGN.md holds the per-experiment index (E1–E9) and the
+// engine's soundness arguments.
 package progressivetm
 
 import (
@@ -198,6 +200,10 @@ func RunE6(ms []int) ([]exp.E6Row, error) { return exp.RunE6(ms) }
 
 // RunE7 runs the randomized progress/correctness experiment.
 func RunE7(tmName string, cfg exp.E7Config) (exp.E7Row, error) { return exp.RunE7(tmName, cfg) }
+
+// RunE9 runs the STAMP-style scenario suite (ordered-index scans racing
+// point updates; two-table reservations).
+func RunE9(tmName string, cfg exp.E9Config) ([]exp.E9Row, error) { return exp.RunE9(tmName, cfg) }
 
 // PrintTable renders rows produced by the Run* helpers.
 func PrintTable(w io.Writer, t *Table) { t.Print(w) }

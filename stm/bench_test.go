@@ -262,6 +262,136 @@ func BenchmarkMapDisjointPut(b *testing.B) {
 	b.ReportMetric(d.AbortRatio(), "abort-ratio")
 }
 
+// BenchmarkOrderedMapMixed is the native E9 ordered-index workload on the
+// container itself: lookups and ordered range scans racing point updates
+// on a transactional skiplist. Range scans build long read sets over
+// pointer structure — the regime where timestamp extension pays — so the
+// abort-ratio and extensions/txn metrics here move far more than on the
+// flat-counter benchmarks.
+func BenchmarkOrderedMapMixed(b *testing.B) {
+	const nkeys = 512
+	for _, scan := range []int{8, 64} {
+		b.Run(fmt.Sprintf("scan=%d", scan), func(b *testing.B) {
+			m := stm.NewOrderedMap[int]()
+			keys := make([]string, nkeys)
+			if err := stm.Atomically(func(tx *stm.Tx) error {
+				for i := range keys {
+					keys[i] = fmt.Sprintf("key%04d", i)
+					m.Put(tx, keys[i], i)
+				}
+				return nil
+			}); err != nil {
+				b.Fatal(err)
+			}
+			var seq atomic.Uint64
+			before := stm.ReadStats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					base := (i * 2654435761) % nkeys
+					switch {
+					case i%10 == 0: // point update racing the scans
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							v, _ := m.Get(tx, keys[base])
+							m.Put(tx, keys[base], v+1)
+							return nil
+						})
+					case i%10 < 4: // ordered range scan: the long read set
+						from := keys[base]
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							n, s := 0, 0
+							m.Range(tx, from, "", func(_ string, v int) bool {
+								s += v
+								n++
+								return n < scan
+							})
+							_ = s
+							return nil
+						})
+					default: // point lookup
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							_, _ = m.Get(tx, keys[base])
+							return nil
+						})
+					}
+				}
+			})
+			d := stm.ReadStats().Sub(before)
+			b.ReportMetric(d.AbortRatio(), "abort-ratio")
+			if d.Commits > 0 {
+				b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkOrderedMapDisjointPut mirrors BenchmarkMapDisjointPut on the
+// skiplist: parallel writers alternate insert/delete over disjoint key
+// ranges. Unlike the hash map's independent buckets, neighbouring skiplist
+// keys share links, so this also measures structural-conflict pressure.
+func BenchmarkOrderedMapDisjointPut(b *testing.B) {
+	m := stm.NewOrderedMap[int]()
+	var worker atomic.Uint64
+	before := stm.ReadStats()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		w := worker.Add(1)
+		keys := make([]string, 256)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("w%02d-%04d", w, i)
+		}
+		for i := 0; pb.Next(); i++ {
+			k := keys[(i/2)%len(keys)]
+			if i%2 == 0 {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, i)
+					return nil
+				})
+			} else {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					m.Delete(tx, k)
+					return nil
+				})
+			}
+		}
+	})
+	d := stm.ReadStats().Sub(before)
+	b.ReportMetric(d.AbortRatio(), "abort-ratio")
+}
+
+// BenchmarkOrderedMapSnapshotRange measures the non-transactional ordered
+// scan against the transactional one: the snapshot path never enters the
+// engine, so it must be allocation-free and abort-free no matter how hot
+// the writers are.
+func BenchmarkOrderedMapSnapshotRange(b *testing.B) {
+	const nkeys = 1024
+	m := stm.NewOrderedMap[int]()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 0; i < nkeys; i++ {
+			m.Put(tx, fmt.Sprintf("key%05d", i), i)
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			n := 0
+			m.SnapshotRange("key00256", "key00512", func(string, int) bool {
+				n++
+				return true
+			})
+			if n != 256 {
+				b.Fatalf("scan saw %d entries, want 256", n)
+			}
+		}
+	})
+}
+
 // BenchmarkQueueHandoff measures producer/consumer pairs over the blocking
 // bounded queue.
 func BenchmarkQueueHandoff(b *testing.B) {

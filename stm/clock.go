@@ -1,6 +1,9 @@
 package stm
 
-import "sync/atomic"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // ClockStrategy selects how update commits advance the global version
 // clock. TL2's clock is the one word every update transaction touches — the
@@ -51,6 +54,13 @@ const gv6SamplePeriod = 8
 // clockStrategy is the engine-wide knob; see SetClockStrategy.
 var clockStrategy atomic.Int32
 
+// knobMu serializes the two configuration setters so the cross-knob guard
+// (GV6 requires extension) is atomic: without it, two concurrent setters
+// could each pass its check and together activate the combination the
+// panics exist to reject. The hot path never takes it — commits and reads
+// load the individual atomics.
+var knobMu sync.Mutex
+
 // extensionEnabled gates timestamp extension (see Tx.extend). On by
 // default; the knob exists so benchmarks can ablate extension against the
 // abort-on-stale behaviour of plain TL2.
@@ -62,19 +72,38 @@ func init() {
 }
 
 // SetClockStrategy selects the global-clock advance rule for all
-// subsequent commits. The default is GV4. Strategies may be switched at
-// runtime: every rule maintains the clock invariant above, and the
-// published increment below closes the one cross-strategy hole — GV1/GV4
-// skip validation when the clock proves their window quiescent, a proof
-// that assumes every commit advances the clock, which in-flight GV6
-// commits do not. Bumping the clock before the new strategy becomes
-// visible forces any commit that could have raced the switch out of every
-// later quiescence window (the commit's unpublished write version is at
-// most old-clock+1, which the bump publishes). The intended use is still
-// one choice at program start, or per benchmark ablation.
+// subsequent commits. The default is GV4.
+//
+// Concurrency caveats. The knob is engine-wide, and the intended use is
+// one call at program start (or between benchmark phases), before the
+// engine is used concurrently. Switching with transactions in flight is
+// safe — every rule maintains the clock invariant above, and the published
+// increment below closes the one cross-strategy hole: GV1/GV4 skip
+// validation when the clock proves their window quiescent, a proof that
+// assumes every commit advances the clock, which in-flight GV6 commits do
+// not; bumping the clock before the new strategy becomes visible forces
+// any commit that could have raced the switch out of every later
+// quiescence window (the commit's unpublished write version is at most
+// old-clock+1, which the bump publishes) — but a mid-run switch makes any
+// concurrent measurement (ReadStats deltas, abort ratios) span two
+// regimes, so treat runtime switching as a correctness guarantee, not a
+// supported operating mode.
+//
+// GV6 requires timestamp extension: under GV6, versions run ahead of the
+// clock, so without extension even a solo transaction from a quiescent
+// state can abort — sequential progress would be lost, turning a
+// performance knob into a semantic one. SetClockStrategy(GV6) therefore
+// panics if SetTimestampExtension(false) is in effect, and
+// SetTimestampExtension(false) panics while GV6 is selected.
 func SetClockStrategy(s ClockStrategy) {
+	knobMu.Lock()
+	defer knobMu.Unlock()
 	switch s {
 	case GV1, GV4, GV6:
+		if s == GV6 && !extensionEnabled.Load() {
+			panic("stm: GV6 requires timestamp extension (call SetTimestampExtension(true) first): " +
+				"without it a solo transaction from quiescence can abort on a version ahead of the clock")
+		}
 		if ClockStrategy(clockStrategy.Load()) != s {
 			clock.Add(1)
 		}
@@ -91,7 +120,20 @@ func CurrentClockStrategy() ClockStrategy { return ClockStrategy(clockStrategy.L
 // With extension off, a read that observes a version newer than the
 // transaction's read version aborts even when no read has actually been
 // invalidated — plain TL2's stale-clock abort class.
-func SetTimestampExtension(on bool) { extensionEnabled.Store(on) }
+//
+// Like SetClockStrategy, the knob is engine-wide and meant to be set
+// before concurrent use (its raison d'être is the benchmark ablation
+// against plain TL2). Disabling extension under GV6 would forfeit
+// sequential progress (see SetClockStrategy), so that combination panics.
+func SetTimestampExtension(on bool) {
+	knobMu.Lock()
+	defer knobMu.Unlock()
+	if !on && ClockStrategy(clockStrategy.Load()) == GV6 {
+		panic("stm: cannot disable timestamp extension while the GV6 clock strategy is selected: " +
+			"GV6 relies on extension for sequential progress (select GV1/GV4 first)")
+	}
+	extensionEnabled.Store(on)
+}
 
 // TimestampExtensionEnabled reports whether extension is in effect.
 func TimestampExtensionEnabled() bool { return extensionEnabled.Load() }

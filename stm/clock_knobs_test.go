@@ -1,0 +1,83 @@
+package stm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/stm"
+)
+
+// mustPanic runs f and returns the recovered panic message, failing the
+// test if f returns normally.
+func mustPanic(t *testing.T, what string, f func()) (msg string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+		msg, _ = r.(string)
+	}()
+	f()
+	return
+}
+
+// TestGV6RequiresExtension pins the fail-fast contract of the knob pair:
+// GV6 without timestamp extension loses sequential progress, so both
+// orders of reaching that combination must panic immediately — at
+// configuration time, not as a mysterious solo-transaction abort later —
+// and must leave the engine's configuration unchanged.
+func TestGV6RequiresExtension(t *testing.T) {
+	// Engine default: GV4 + extension. Restore no matter what.
+	t.Cleanup(func() {
+		stm.SetClockStrategy(stm.GV4)
+		stm.SetTimestampExtension(true)
+	})
+
+	// Order 1: disable extension first, then ask for GV6.
+	stm.SetTimestampExtension(false)
+	msg := mustPanic(t, "SetClockStrategy(GV6) with extension off", func() {
+		stm.SetClockStrategy(stm.GV6)
+	})
+	if msg != "" && !strings.Contains(msg, "extension") {
+		t.Errorf("panic message %q does not name the missing extension", msg)
+	}
+	if got := stm.CurrentClockStrategy(); got != stm.GV4 {
+		t.Errorf("failed SetClockStrategy changed the strategy to %v", got)
+	}
+	if stm.TimestampExtensionEnabled() {
+		t.Error("failed SetClockStrategy re-enabled extension")
+	}
+
+	// Order 2: select GV6 (legal with extension on), then try to disable
+	// extension underneath it.
+	stm.SetTimestampExtension(true)
+	stm.SetClockStrategy(stm.GV6)
+	msg = mustPanic(t, "SetTimestampExtension(false) under GV6", func() {
+		stm.SetTimestampExtension(false)
+	})
+	if msg != "" && !strings.Contains(msg, "GV6") {
+		t.Errorf("panic message %q does not name GV6", msg)
+	}
+	if !stm.TimestampExtensionEnabled() {
+		t.Error("failed SetTimestampExtension disabled extension anyway")
+	}
+	if got := stm.CurrentClockStrategy(); got != stm.GV6 {
+		t.Errorf("strategy changed to %v during the failed toggle", got)
+	}
+
+	// The legal combinations still work, including leaving GV6.
+	stm.SetClockStrategy(stm.GV4)
+	stm.SetTimestampExtension(false)
+	stm.SetTimestampExtension(true)
+}
+
+// TestSetClockStrategyUnknown pins the existing misuse panic.
+func TestSetClockStrategyUnknown(t *testing.T) {
+	mustPanic(t, "SetClockStrategy(42)", func() {
+		stm.SetClockStrategy(stm.ClockStrategy(42))
+	})
+	if got := stm.CurrentClockStrategy(); got != stm.GV4 {
+		t.Errorf("failed SetClockStrategy changed the strategy to %v", got)
+	}
+}

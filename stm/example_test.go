@@ -1,0 +1,90 @@
+package stm_test
+
+import (
+	"fmt"
+
+	"repro/stm"
+)
+
+// ExampleAtomically is the quickstart: composable atomic transfers with
+// automatic retry on conflict.
+func ExampleAtomically() {
+	alice := stm.NewVar(100)
+	bob := stm.NewVar(0)
+
+	// Move 30 from alice to bob. Either both writes land or neither;
+	// conflicting transactions retry automatically.
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		a := alice.Get(tx)
+		if a < 30 {
+			return fmt.Errorf("insufficient funds: %d", a)
+		}
+		alice.Set(tx, a-30)
+		bob.Set(tx, bob.Get(tx)+30)
+		return nil
+	})
+
+	fmt.Println(err, alice.Load(), bob.Load())
+	// Output: <nil> 70 30
+}
+
+// ExampleMap shows the transactional hash map: operations compose with any
+// other transactional state, and the Snapshot* methods serve read-mostly
+// paths without entering the engine.
+func ExampleMap() {
+	m := stm.NewMap[int](64)
+
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		m.Put(tx, "apples", 3)
+		m.Put(tx, "pears", 5)
+		m.Delete(tx, "apples")
+		return nil
+	})
+
+	v, ok := m.SnapshotGet("pears") // non-transactional fast path
+	fmt.Println(v, ok, m.SnapshotLen())
+	// Output: 5 true 1
+}
+
+// ExampleOrderedMap_Range shows the ordered map's consistent range scan:
+// keys arrive in lexicographic order, and the whole scan is one atomic
+// snapshot.
+func ExampleOrderedMap_Range() {
+	m := stm.NewOrderedMap[int]()
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		m.Put(tx, "cherry", 3)
+		m.Put(tx, "apple", 1)
+		m.Put(tx, "banana", 2)
+		m.Put(tx, "date", 4)
+		return nil
+	})
+
+	// Scan the half-open interval [banana, date) transactionally.
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		m.Range(tx, "banana", "date", func(k string, v int) bool {
+			fmt.Println(k, v)
+			return true
+		})
+		return nil
+	})
+	// Output:
+	// banana 2
+	// cherry 3
+}
+
+// ExampleSetClockStrategy shows the commit-pipeline knobs. Configure them
+// once at program start, before using the engine concurrently; GV6
+// requires timestamp extension (on by default), and the engine panics on
+// the unsound combination rather than losing sequential progress at
+// runtime.
+func ExampleSetClockStrategy() {
+	fmt.Println("default:", stm.CurrentClockStrategy(), stm.TimestampExtensionEnabled())
+
+	stm.SetClockStrategy(stm.GV6) // legal: extension is on
+	fmt.Println("selected:", stm.CurrentClockStrategy())
+
+	stm.SetClockStrategy(stm.GV4) // restore the default
+	// Output:
+	// default: gv4 true
+	// selected: gv6
+}

@@ -1,0 +1,38 @@
+package stm
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTowerHeightDeterministic pins the no-math/rand contract of the
+// skiplist: heights are a pure function of the key, within [1, omMaxLevel],
+// and geometrically distributed enough that a real key population builds a
+// usable skiplist (most keys at level 1, a vanishing tail of tall towers).
+func TestTowerHeightDeterministic(t *testing.T) {
+	counts := make([]int, omMaxLevel+1)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		h1 := towerHeight(omHash(key))
+		h2 := towerHeight(omHash(key))
+		if h1 != h2 {
+			t.Fatalf("height of %q not deterministic: %d vs %d", key, h1, h2)
+		}
+		if h1 < 1 || h1 > omMaxLevel {
+			t.Fatalf("height of %q = %d outside [1,%d]", key, h1, omMaxLevel)
+		}
+		counts[h1]++
+	}
+	// p=1/2 geometric: about half the keys at height 1, a quarter at 2.
+	if counts[1] < n/3 || counts[1] > 2*n/3 {
+		t.Errorf("height-1 fraction %d/%d far from 1/2: hash mixing is broken", counts[1], n)
+	}
+	tall := 0
+	for h := 6; h <= omMaxLevel; h++ {
+		tall += counts[h]
+	}
+	if tall > n/8 {
+		t.Errorf("%d/%d keys taller than 5 levels: hash mixing is broken", tall, n)
+	}
+}

@@ -1,0 +1,464 @@
+package stm_test
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+func TestOrderedMapBasics(t *testing.T) {
+	m := stm.NewOrderedMap[int]()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(stm.Atomically(func(tx *stm.Tx) error {
+		if _, ok := m.Get(tx, "a"); ok {
+			t.Error("empty map returned a value")
+		}
+		if _, _, ok := m.Min(tx); ok {
+			t.Error("Min on empty map reported a key")
+		}
+		if _, _, ok := m.Max(tx); ok {
+			t.Error("Max on empty map reported a key")
+		}
+		m.Put(tx, "banana", 2)
+		m.Put(tx, "apple", 1)
+		m.Put(tx, "cherry", 3)
+		m.Put(tx, "banana", 20) // replace
+		if v, ok := m.Get(tx, "banana"); !ok || v != 20 {
+			t.Errorf("Get(banana) = %d, %v; want 20, true", v, ok)
+		}
+		if !m.Contains(tx, "apple") || m.Contains(tx, "durian") {
+			t.Error("Contains semantics wrong")
+		}
+		if n := m.Len(tx); n != 3 {
+			t.Errorf("Len = %d, want 3", n)
+		}
+		if k, v, ok := m.Min(tx); !ok || k != "apple" || v != 1 {
+			t.Errorf("Min = %q,%d,%v; want apple,1,true", k, v, ok)
+		}
+		if k, v, ok := m.Max(tx); !ok || k != "cherry" || v != 3 {
+			t.Errorf("Max = %q,%d,%v; want cherry,3,true", k, v, ok)
+		}
+		if !m.Delete(tx, "banana") || m.Delete(tx, "banana") {
+			t.Error("Delete semantics wrong")
+		}
+		if n := m.Len(tx); n != 2 {
+			t.Errorf("Len after delete = %d, want 2", n)
+		}
+		keys := m.Keys(tx)
+		if len(keys) != 2 || keys[0] != "apple" || keys[1] != "cherry" {
+			t.Errorf("Keys = %v, want [apple cherry]", keys)
+		}
+		return nil
+	}))
+}
+
+// TestOrderedMapOrdering inserts keys in adversarial order and checks both
+// the transactional and the snapshot iteration deliver them sorted.
+func TestOrderedMapOrdering(t *testing.T) {
+	m := stm.NewOrderedMap[int]()
+	const n = 200
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k%03d", (i*137)%n) // permuted insert order
+	}
+	for i, k := range keys {
+		k := k
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			m.Put(tx, k, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sorted := append([]string(nil), keys...)
+	sort.Strings(sorted)
+	var got []string
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		got = m.Keys(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("Keys returned %d entries, want %d", len(got), n)
+	}
+	for i := range got {
+		if got[i] != sorted[i] {
+			t.Fatalf("Keys[%d] = %q, want %q", i, got[i], sorted[i])
+		}
+	}
+	var snap []string
+	m.SnapshotRange("", "", func(k string, _ int) bool {
+		snap = append(snap, k)
+		return true
+	})
+	if len(snap) != n || snap[0] != sorted[0] || snap[n-1] != sorted[n-1] {
+		t.Fatalf("SnapshotRange returned %d entries [%q..%q], want %d [%q..%q]",
+			len(snap), snap[0], snap[len(snap)-1], n, sorted[0], sorted[n-1])
+	}
+}
+
+func TestOrderedMapRangeBounds(t *testing.T) {
+	m := stm.NewOrderedMap[int]()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for _, k := range []string{"a", "b", "c", "d", "e"} {
+			m.Put(tx, k, int(k[0]))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	collect := func(from, to string) []string {
+		var out []string
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			out = out[:0]
+			m.Range(tx, from, to, func(k string, _ int) bool {
+				out = append(out, k)
+				return true
+			})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cases := []struct {
+		from, to string
+		want     string
+	}{
+		{"b", "d", "bc"},   // half-open: d excluded
+		{"", "c", "ab"},    // from the start
+		{"c", "", "cde"},   // empty to = unbounded
+		{"", "", "abcde"},  // full scan
+		{"bb", "dd", "cd"}, // bounds between keys
+		{"f", "", ""},      // beyond the end
+		{"d", "b", ""},     // inverted range is empty
+	}
+	for _, c := range cases {
+		got := ""
+		for _, k := range collect(c.from, c.to) {
+			got += k
+		}
+		if got != c.want {
+			t.Errorf("Range(%q,%q) = %q, want %q", c.from, c.to, got, c.want)
+		}
+	}
+	// Early stop.
+	count := 0
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		count = 0
+		m.Range(tx, "", "", func(string, int) bool {
+			count++
+			return count < 2
+		})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Errorf("Range ignored early stop: %d calls", count)
+	}
+}
+
+// TestOrderedMapSnapshotPaths covers the non-transactional fast paths at
+// quiescence: SnapshotGet/SnapshotLen/SnapshotRange agree with the
+// transactional view.
+func TestOrderedMapSnapshotPaths(t *testing.T) {
+	m := stm.NewOrderedMap[int]()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 0; i < 20; i++ {
+			m.Put(tx, fmt.Sprintf("k%02d", i), i)
+		}
+		m.Delete(tx, "k07")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SnapshotLen(); got != 19 {
+		t.Errorf("SnapshotLen = %d, want 19", got)
+	}
+	if v, ok := m.SnapshotGet("k03"); !ok || v != 3 {
+		t.Errorf("SnapshotGet(k03) = %d, %v; want 3, true", v, ok)
+	}
+	if _, ok := m.SnapshotGet("k07"); ok {
+		t.Error("SnapshotGet(k07) found a deleted key")
+	}
+	var seen []string
+	m.SnapshotRange("k05", "k10", func(k string, _ int) bool {
+		seen = append(seen, k)
+		return true
+	})
+	want := []string{"k05", "k06", "k08", "k09"}
+	if len(seen) != len(want) {
+		t.Fatalf("SnapshotRange(k05,k10) = %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("SnapshotRange(k05,k10) = %v, want %v", seen, want)
+		}
+	}
+	calls := 0
+	m.SnapshotRange("", "", func(string, int) bool {
+		calls++
+		return false
+	})
+	if calls != 1 {
+		t.Errorf("SnapshotRange ignored early stop: %d calls", calls)
+	}
+}
+
+// TestOrderedMapReinsert exercises the deterministic-tower path: deleting
+// and re-inserting the same keys many times must leave the structure fully
+// functional and the size exact (the tower for a key is always rebuilt
+// identically, so the shape is history-independent).
+func TestOrderedMapReinsert(t *testing.T) {
+	m := stm.NewOrderedMap[int]()
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	for round := 0; round < 5; round++ {
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			for i, k := range keys {
+				m.Put(tx, k, round*100+i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			for _, k := range keys[:16] {
+				if !m.Delete(tx, k) {
+					t.Errorf("round %d: Delete(%s) missed", round, k)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.SnapshotLen(); got != 16 {
+			t.Fatalf("round %d: SnapshotLen = %d, want 16", round, got)
+		}
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			if k, _, ok := m.Min(tx); !ok || k != "key16" {
+				t.Errorf("round %d: Min = %q, want key16", round, k)
+			}
+			// Re-insert the deleted half so every round starts identically.
+			for i, k := range keys[:16] {
+				m.Put(tx, k, i)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.SnapshotLen(); got != 32 {
+			t.Fatalf("round %d: SnapshotLen after reinsert = %d, want 32", round, got)
+		}
+	}
+}
+
+// TestOrderedMapConservationStress is the -race stress of the acceptance
+// criteria: workers transfer balance between ordered-map entries while
+// auditors Range-sum the whole map transactionally — the sum must never
+// drift — and snapshot readers check the ordered-iteration consistency
+// contract (strictly increasing keys, committed values only).
+func TestOrderedMapConservationStress(t *testing.T) {
+	const (
+		accounts = 24
+		initial  = 100
+		workers  = 4
+		rounds   = 150
+	)
+	m := stm.NewOrderedMap[int]()
+	keys := make([]string, accounts)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("acct%02d", i)
+			m.Put(tx, keys[i], initial)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var snapReaders sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		snapReaders.Add(1)
+		go func() {
+			defer snapReaders.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				last := ""
+				m.SnapshotRange("", "", func(k string, v int) bool {
+					if last != "" && k <= last {
+						t.Errorf("snapshot iteration out of order: %q after %q", k, last)
+						return false
+					}
+					last = k
+					if v < 0 || v > accounts*initial {
+						t.Errorf("snapshot read impossible balance %d at %q", v, k)
+						return false
+					}
+					return true
+				})
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 17
+			next := func() int {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				return int(rng>>33) % accounts
+			}
+			for i := 0; i < rounds; i++ {
+				if i%5 == 0 {
+					// Auditor: transactional ordered full scan.
+					sum, n, last := 0, 0, ""
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						sum, n, last = 0, 0, ""
+						m.Range(tx, "", "", func(k string, v int) bool {
+							if last != "" && k <= last {
+								t.Errorf("transactional iteration out of order: %q after %q", k, last)
+							}
+							last = k
+							sum += v
+							n++
+							return true
+						})
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					if sum != accounts*initial || n != accounts {
+						t.Errorf("conservation violated: sum=%d over %d entries", sum, n)
+						return
+					}
+					continue
+				}
+				from, to := next(), next()
+				if from == to {
+					continue
+				}
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					f, _ := m.Get(tx, keys[from])
+					g, _ := m.Get(tx, keys[to])
+					m.Put(tx, keys[from], f-1)
+					m.Put(tx, keys[to], g+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	snapReaders.Wait()
+	total := 0
+	m.SnapshotRange("", "", func(_ string, v int) bool {
+		total += v
+		return true
+	})
+	if total != accounts*initial {
+		t.Fatalf("final total = %d, want %d", total, accounts*initial)
+	}
+}
+
+// TestOrderedMapStructuralChurn races inserts and deletes of interleaved
+// key ranges against transactional range scans: scans must always see a
+// sorted, duplicate-free window, the striped size must stay exact, and
+// disjoint-key structural updates must commit (no livelock).
+func TestOrderedMapStructuralChurn(t *testing.T) {
+	const (
+		workers = 4
+		perW    = 120
+	)
+	m := stm.NewOrderedMap[int]()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := fmt.Sprintf("w%d-%04d", w, i)
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, key, i)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%3 == 2 {
+					// Delete a key inserted two steps ago: constant
+					// structural churn at every level.
+					old := fmt.Sprintf("w%d-%04d", w, i-2)
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						m.Delete(tx, old)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if i%10 == 5 {
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						last, n := "", 0
+						m.Range(tx, fmt.Sprintf("w%d-", w), fmt.Sprintf("w%d.", w), func(k string, _ int) bool {
+							if last != "" && k <= last {
+								t.Errorf("scan out of order: %q after %q", k, last)
+							}
+							last = k
+							n++
+							return n < 50
+						})
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wantLen := workers * (perW - perW/3)
+	var gotLen int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		gotLen = m.Len(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-check the striped counter against an actual walk.
+	walked := 0
+	m.SnapshotRange("", "", func(string, int) bool {
+		walked++
+		return true
+	})
+	if gotLen != walked {
+		t.Fatalf("striped Len = %d but the list holds %d entries", gotLen, walked)
+	}
+	if gotLen != wantLen {
+		t.Fatalf("Len = %d, want %d", gotLen, wantLen)
+	}
+}

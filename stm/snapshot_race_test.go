@@ -1,0 +1,334 @@
+package stm_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestMapSnapshotRangeBucketConsistency pins the Snapshot* contract under
+// concurrency (run with -race): each bucket is read as one consistent
+// snapshot. With a single bucket the whole SnapshotRange is therefore one
+// atomic cut — while writers transfer value between keys transactionally,
+// a concurrent snapshot sum must never see money in flight.
+func TestMapSnapshotRangeBucketConsistency(t *testing.T) {
+	const (
+		nkeys   = 8
+		initial = 100
+		writers = 2
+		rounds  = 400
+	)
+	m := stm.NewMap[int](1) // one bucket: SnapshotRange is a single load
+	keys := make([]string, nkeys)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("k%d", i)
+			m.Put(tx, keys[i], initial)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				sum, n := 0, 0
+				m.SnapshotRange(func(_ string, v int) bool {
+					sum += v
+					n++
+					return true
+				})
+				if sum != nkeys*initial || n != nkeys {
+					t.Errorf("mixed snapshot: sum=%d over %d keys, want %d over %d",
+						sum, n, nkeys*initial, nkeys)
+					return
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 3
+			for i := 0; i < rounds; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := int(rng>>33) % nkeys
+				to := (from + 1 + int(rng>>13)%(nkeys-1)) % nkeys
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					f, _ := m.Get(tx, keys[from])
+					g, _ := m.Get(tx, keys[to])
+					m.Put(tx, keys[from], f-1)
+					m.Put(tx, keys[to], g+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// TestMapSnapshotRangeUnderChurn races SnapshotRange against transactional
+// Put/Delete across many buckets (run with -race). Cross-bucket atomicity
+// is explicitly not promised, but the per-bucket contract still pins a
+// lot: a key appears at most once per scan, deleted-state and value always
+// come from some committed transaction (writers only ever commit value
+// 2i, so an odd value would be a torn read), and SnapshotLen/SnapshotGet
+// stay safe to call throughout.
+func TestMapSnapshotRangeUnderChurn(t *testing.T) {
+	const (
+		nkeys   = 64
+		writers = 4
+		rounds  = 300
+	)
+	m := stm.NewMap[int](16)
+	keys := make([]string, nkeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key%02d", i)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			seen := make(map[string]bool, nkeys)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				clear(seen)
+				m.SnapshotRange(func(k string, v int) bool {
+					if seen[k] {
+						t.Errorf("key %q appeared twice in one snapshot scan", k)
+						return false
+					}
+					seen[k] = true
+					if v%2 != 0 {
+						t.Errorf("snapshot read uncommitted value %d at %q", v, k)
+						return false
+					}
+					return true
+				})
+				_ = m.SnapshotLen()
+				if v, ok := m.SnapshotGet(keys[0]); ok && v%2 != 0 {
+					t.Errorf("SnapshotGet read uncommitted value %d", v)
+					return
+				}
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				k := keys[(w*rounds+i*7)%nkeys]
+				if i%3 == 2 {
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						m.Delete(tx, k)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					continue
+				}
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, 2*i)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// TestQueueTryOpsConcurrent covers the non-blocking queue paths under
+// concurrency (run with -race): producers spin on TryPut, consumers on
+// TryTake, every item is delivered exactly once, the occupancy never
+// exceeds the capacity, and the per-producer FIFO order survives — each
+// consumer's stream must contain every producer's items in increasing
+// sequence order, because takes are totally ordered by the queue head.
+func TestQueueTryOpsConcurrent(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		perProd   = 150
+		capacity  = 4
+	)
+	q := stm.NewQueue[[2]int](capacity) // {producer, seq}
+	var wg sync.WaitGroup
+	streams := make([][][2]int, consumers)
+	var taken sync.WaitGroup
+	taken.Add(producers * perProd)
+	done := make(chan struct{})
+	for c := 0; c < consumers; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				var item [2]int
+				var ok bool
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					if n := q.Len(tx); n < 0 || n > capacity {
+						t.Errorf("queue Len %d outside [0,%d]", n, capacity)
+					}
+					item, ok = q.TryTake(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if ok {
+					streams[c] = append(streams[c], item)
+					taken.Done()
+					continue
+				}
+				select {
+				case <-done:
+					return
+				default:
+					runtime.Gosched() // empty queue: let the producers run
+				}
+			}
+		}()
+	}
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				for {
+					var ok bool
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						ok = q.TryPut(tx, [2]int{p, i})
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					if ok {
+						break
+					}
+					runtime.Gosched() // full queue: let the consumers drain
+
+				}
+			}
+		}()
+	}
+	taken.Wait()
+	close(done)
+	wg.Wait()
+	seen := make(map[[2]int]bool)
+	for c, stream := range streams {
+		last := make([]int, producers)
+		for i := range last {
+			last[i] = -1
+		}
+		for _, item := range stream {
+			if seen[item] {
+				t.Fatalf("item %v delivered twice", item)
+			}
+			seen[item] = true
+			if item[1] <= last[item[0]] {
+				t.Fatalf("consumer %d saw producer %d out of order: %d after %d",
+					c, item[0], item[1], last[item[0]])
+			}
+			last[item[0]] = item[1]
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("delivered %d items, want %d", len(seen), producers*perProd)
+	}
+}
+
+// TestQueueBlockingWakeup covers Retry's wait path end to end (run with
+// -race): a consumer blocks on an empty queue and is woken by a producer,
+// and a producer blocks on a full queue and is woken by a consumer.
+func TestQueueBlockingWakeup(t *testing.T) {
+	q := stm.NewQueue[int](1)
+	got := make(chan int, 1)
+	go func() {
+		var v int
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			v = q.Take(tx) // blocks: queue is empty
+			return nil
+		})
+		got <- v
+	}()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q.Put(tx, 42)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v := <-got; v != 42 {
+		t.Fatalf("blocked Take woke with %d, want 42", v)
+	}
+
+	// Fill the queue, then block a Put behind it.
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q.Put(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	putDone := make(chan struct{})
+	go func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			q.Put(tx, 2) // blocks: queue is full
+			return nil
+		})
+		close(putDone)
+	}()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		if v := q.Take(tx); v != 1 {
+			t.Errorf("Take = %d, want 1", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-putDone
+	var final int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		final = q.Take(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if final != 2 {
+		t.Fatalf("drained %d, want the unblocked 2", final)
+	}
+}

@@ -35,7 +35,18 @@
 // timestamp to the current clock (timestamp extension), so only genuinely
 // invalidated reads — real conflicts — abort. See DESIGN.md for the
 // soundness arguments and ReadStats for the commit/abort/extension
-// counters.
+// counters. Both knobs are engine-wide and meant to be set once, before
+// concurrent use; GV6 requires extension, and the engine panics rather
+// than accept the combination that would lose sequential progress (see
+// SetClockStrategy).
+//
+// # Containers
+//
+// Transactional data structures compose with any other transactional
+// state: Map (hash map, striped size counter), OrderedMap (skiplist with
+// ordered Range scans — the long-read-set workload), and Queue (bounded
+// blocking FIFO via Retry). Each also exposes non-transactional Snapshot*
+// fast paths that never abort or conflict with writers.
 //
 // Usage:
 //
