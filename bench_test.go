@@ -7,6 +7,9 @@ package progressivetm
 
 import (
 	"fmt"
+	"math"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -341,6 +344,152 @@ func BenchmarkE9NativeReservation(b *testing.B) {
 	if d.Commits > 0 {
 		b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
 	}
+}
+
+// BenchmarkE10Scenarios regenerates experiment E10 (read-mostly serving)
+// on the simulator: Zipf hot-key gets and ordered scans racing a small
+// writer pool, per TM, with the TL2 read-only mode ablated (declared vs
+// undeclared read transactions).
+func BenchmarkE10Scenarios(b *testing.B) {
+	for _, name := range append(append([]string{}, tmNames...), "tl2:ext", "tl2:gv6+ext") {
+		name := name
+		for _, declare := range []bool{false, true} {
+			declare := declare
+			if declare && name != "tl2" && !strings.HasPrefix(name, "tl2:") {
+				continue // only the TL2 family implements the RO hint; ro=true elsewhere would re-measure ro=false
+			}
+			b.Run(fmt.Sprintf("tm=%s/ro=%v", name, declare), func(b *testing.B) {
+				cfg := exp.DefaultE10Config()
+				cfg.DeclareRO = declare
+				var last exp.E10Row
+				for i := 0; i < b.N; i++ {
+					row, err := exp.RunE10(name, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = row
+				}
+				b.ReportMetric(last.AbortRatio, "abort-ratio")
+				b.ReportMetric(last.StepsPerTxn, "steps/txn")
+			})
+		}
+	}
+}
+
+// BenchmarkE10NativeServing is the native read-mostly serving scenario —
+// the workload the read-only fast path exists for: Zipf hot-key gets over
+// an stm.Map and ordered scans over an stm.OrderedMap, racing a small
+// writer pool that churns the same hot keys. The path=ro sub-benchmark
+// runs every read transaction through AtomicallyRO (no read-set logging,
+// no commit validation); path=default runs the identical workload through
+// Atomically. Compare ns/op, allocs/op and the abort-ratio metric between
+// the two, and the ro-commit-fraction metric for how much of the workload
+// actually rode the fast path.
+func BenchmarkE10NativeServing(b *testing.B) {
+	const (
+		mkeys   = 1024 // hash-map serving table
+		okeys   = 512  // ordered index
+		scanLen = 16
+		tabBits = 13 // 8192-entry precomputed Zipf index table
+	)
+	// Inverse-transform Zipf (s = 1.07) sampled into a lookup table with a
+	// deterministic LCG, so the hot loop costs one mask and one load.
+	cdf := make([]float64, mkeys)
+	total := 0.0
+	for i := range cdf {
+		total += 1 / math.Pow(float64(i+1), 1.07)
+		cdf[i] = total
+	}
+	zipf := make([]uint32, 1<<tabBits)
+	rng := uint64(1)
+	for i := range zipf {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		u := float64(rng>>11) / (1 << 53) * total
+		zipf[i] = uint32(sort.SearchFloat64s(cdf, u))
+	}
+	run := func(b *testing.B, readTx func(func(tx *stm.Tx) error) error) {
+		m := stm.NewMap[int](256)
+		om := stm.NewOrderedMap[int]()
+		mk := make([]string, mkeys)
+		ok := make([]string, okeys)
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			for i := range mk {
+				mk[i] = fmt.Sprintf("key%04d", i)
+				m.Put(tx, mk[i], i)
+			}
+			for i := range ok {
+				ok[i] = fmt.Sprintf("okey%03d", i)
+				om.Put(tx, ok[i], i)
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		var seq atomic.Uint64
+		before := stm.ReadStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				i := seq.Add(1)
+				hot := int(zipf[(i*2654435761)&(1<<tabBits-1)])
+				switch {
+				case i%16 == 0:
+					// Writer pool (~6%): point RMW on a hot key, alternating
+					// between the serving map and the ordered index.
+					if i%32 == 0 {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							v, _ := m.Get(tx, mk[hot])
+							m.Put(tx, mk[hot], v+1)
+							return nil
+						})
+					} else {
+						k := ok[hot%okeys]
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							v, _ := om.Get(tx, k)
+							om.Put(tx, k, v+1)
+							return nil
+						})
+					}
+				case i%4 == 1:
+					// Ordered scan (~23% of traffic): a consistent window over
+					// the index, the long-read-set serving query.
+					from := ok[hot%okeys]
+					_ = readTx(func(tx *stm.Tx) error {
+						n, s := 0, 0
+						om.Range(tx, from, "", func(_ string, v int) bool {
+							s += v
+							n++
+							return n < scanLen
+						})
+						_ = s
+						return nil
+					})
+				default:
+					// Hot-key multi-get (~70%): the dominant serving lookup.
+					k1, k2, k3 := mk[hot], mk[int(zipf[(i*40503+1)&(1<<tabBits-1)])], mk[(hot+1)%mkeys]
+					_ = readTx(func(tx *stm.Tx) error {
+						s := 0
+						for _, k := range [...]string{k1, k2, k3} {
+							if v, present := m.Get(tx, k); present {
+								s += v
+							}
+						}
+						_ = s
+						return nil
+					})
+				}
+			}
+		})
+		d := stm.ReadStats().Sub(before)
+		b.ReportMetric(d.AbortRatio(), "abort-ratio")
+		if d.Commits > 0 {
+			b.ReportMetric(float64(d.ROCommits)/float64(d.Commits), "ro-commit-fraction")
+			b.ReportMetric(float64(d.Extensions)/float64(d.Commits), "extensions/txn")
+		}
+	}
+	b.Run("path=default", func(b *testing.B) { run(b, stm.Atomically) })
+	b.Run("path=ro", func(b *testing.B) { run(b, stm.AtomicallyRO) })
 }
 
 // BenchmarkE8NativeCounter measures the native stm package: contended

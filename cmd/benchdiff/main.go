@@ -1,13 +1,22 @@
 // Command benchdiff compares the current E8 benchmark numbers against a
 // committed baseline (BENCH_PRn.json) and prints a markdown report — the
-// report-only perf-trajectory check CI appends to the job summary. It is
-// advisory by design: it never exits non-zero on a regression, only on
-// unusable input.
+// report-only perf-trajectory check CI appends to the job summary. By
+// default it is advisory: it never exits non-zero on a regression, only
+// on unusable input.
+//
+// Passing -threshold turns it into a gate: any ns/op row whose regression
+// exceeds the threshold (e.g. -threshold 0.15 for 15%) makes benchdiff
+// exit non-zero after printing the report, listing the offending rows.
+// The CI job deliberately does not pass -threshold — wall-clock deltas on
+// shared runners are noise, and the committed baseline was recorded on
+// different hardware — so the gate is for local runs on comparable
+// hardware (`make bench-gate`).
 //
 // Usage:
 //
-//	benchdiff -baseline BENCH_PR2.json -new bench_new.txt
-//	go test -bench ... ./... | benchdiff -baseline BENCH_PR2.json
+//	benchdiff -baseline BENCH_PR4.json -new bench_new.txt
+//	benchdiff -baseline BENCH_PR4.json -new bench_new.txt -threshold 0.15
+//	go test -bench ... ./... | benchdiff -baseline BENCH_PR4.json
 //
 // The -new input may be raw `go test -bench` text or a benchjson file.
 package main
@@ -18,17 +27,32 @@ import (
 	"io"
 	"math"
 	"os"
+	"slices"
 	"strings"
 
 	"repro/internal/benchfmt"
 )
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_PR2.json", "committed baseline JSON")
+	baselinePath := flag.String("baseline", "BENCH_PR4.json", "committed baseline JSON")
 	newPath := flag.String("new", "", "new bench output: raw `go test -bench` text or benchjson JSON (default stdin)")
 	units := flag.String("units", "ns/op,abort-ratio", "comma-separated metric units to compare (empty = all)")
-	threshold := flag.Float64("threshold", 0.05, "relative change below which a row is reported as a wash")
+	threshold := flag.Float64("threshold", 0.05, "relative change below which a row is reported as a wash; when passed explicitly, also the gate: ns/op regressions above it exit non-zero")
 	flag.Parse()
+	gate := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "threshold" {
+			gate = true
+		}
+	})
+	// The display wash band never widens past the default when gating:
+	// a sub-gate regression (say 12% under a 15% gate) must still print
+	// as an explicit delta, not disappear into "~" exactly when someone
+	// is looking for regressions.
+	wash := *threshold
+	if gate && wash > 0.05 {
+		wash = 0.05
+	}
 
 	oldData, err := os.ReadFile(*baselinePath)
 	if err != nil {
@@ -58,6 +82,11 @@ func main() {
 			unitList = append(unitList, u)
 		}
 	}
+	if gate && len(unitList) > 0 && !slices.Contains(unitList, "ns/op") {
+		// The gate inspects ns/op rows; silently gating a report that
+		// filtered them out would be a no-op the user believes is armed.
+		fatal(fmt.Errorf("-threshold gates ns/op regressions, but -units %q excludes ns/op", *units))
+	}
 	rows := benchfmt.Diff(oldB, newB, unitList)
 	if len(rows) == 0 {
 		fmt.Println("benchdiff: no overlapping benchmarks between baseline and new results")
@@ -69,13 +98,29 @@ func main() {
 	if oldB.CPU != "" {
 		fmt.Printf(", %s", oldB.CPU)
 	}
-	fmt.Printf(" · advisory, not a gate · |Δ| < %.0f%% reported as ~\n\n", *threshold*100)
+	if gate {
+		fmt.Printf(" · gating: ns/op regressions > %.0f%% fail · |Δ| < %.0f%% reported as ~\n\n", *threshold*100, wash*100)
+	} else {
+		fmt.Printf(" · advisory, not a gate · |Δ| < %.0f%% reported as ~\n\n", wash*100)
+	}
 	fmt.Println("| benchmark | unit | baseline | current | Δ |")
 	fmt.Println("|---|---|---:|---:|---:|")
+	var regressions []string
 	for _, r := range rows {
 		name := strings.TrimPrefix(strings.TrimPrefix(r.Name, "repro/"), "repro.")
 		fmt.Printf("| %s | %s | %s | %s | %s |\n",
-			name, r.Unit, num(r.Old), num(r.New), delta(r.Delta, *threshold))
+			name, r.Unit, num(r.Old), num(r.New), delta(r.Delta, wash))
+		if gate && r.Unit == "ns/op" && !math.IsNaN(r.Delta) && !math.IsInf(r.Delta, 0) && r.Delta > *threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s → %s (%+.1f%%)", name, num(r.Old), num(r.New), r.Delta*100))
+		}
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d ns/op regression(s) exceed the %.0f%% threshold:\n", len(regressions), *threshold*100)
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  ", r)
+		}
+		os.Exit(1)
 	}
 }
 

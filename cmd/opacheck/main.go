@@ -3,6 +3,13 @@
 // opacity, progressiveness and the single-item case of strong
 // progressiveness.
 //
+// Histories come from two recorders that share the format: the simulator's
+// tm.Record wrapper, and the native stm engine's test-only trace hook
+// (stm/trace.go), which records every Atomically/AtomicallyRO attempt —
+// read-only fast path included — as the same internal/tm.History, so
+// native traces dumped as JSON (see TestTraceHistoryJSONRoundTrip) are
+// checked with exactly this tool.
+//
 // Usage:
 //
 //	opacheck [-file history.json]        # default: stdin

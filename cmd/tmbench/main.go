@@ -11,6 +11,7 @@
 //	tmbench -exp e7 [-tms irtm] [-seed 42]
 //	tmbench -exp e8 [-workers 8] [-dur 100ms]
 //	tmbench -exp e9 [-tms irtm,tl2] [-seed 42]
+//	tmbench -exp e10 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
 package main
 
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
@@ -77,6 +78,8 @@ func main() {
 		err = runE8(cfg)
 	case "e9":
 		err = runE9(cfg)
+	case "e10":
+		err = runE10(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -97,6 +100,7 @@ func main() {
 			func() error { return runE7(cfg) },
 			func() error { return runE8(cfg) },
 			func() error { return runE9(cfg) },
+			func() error { return runE10(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -150,6 +154,31 @@ func modeLabel(adv bool) string {
 		return "adversary"
 	}
 	return "solo"
+}
+
+// expandTL2 expands a requested TM list for the clock-ablation tables:
+// "tl2" pulls in the full clock-variant sweep at its position, and
+// duplicates (e.g. a variant requested explicitly alongside "tl2")
+// collapse. Shared by the E5/E9/E10 sweeps so the variant axis cannot
+// drift between tables.
+func expandTL2(tms []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, name := range tms {
+		add(name)
+		if name == "tl2" {
+			for _, variant := range ptm.ClockVariants() {
+				add(variant)
+			}
+		}
+	}
+	return out
 }
 
 func runE1(c config) error {
@@ -316,7 +345,9 @@ func runE5(c config) error {
 	}
 	cfg := exp.DefaultE5Config()
 	cfg.Seed = c.seed
-	for _, name := range c.tms {
+	// expandTL2 inserts the clock-strategy axis (the GV4/GV6 / timestamp-
+	// extension variants) right after the base tl2 row.
+	for _, name := range expandTL2(c.tms) {
 		rows, err := exp.RunE5(name, cfg)
 		if err != nil {
 			return err
@@ -335,22 +366,6 @@ func runE5(c config) error {
 			}
 			for _, r := range rows {
 				t.Add(r.TM+"+backoff", r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
-			}
-		}
-		if name == "tl2" {
-			// The clock-strategy axis: the same sweep across the GV4/GV6 /
-			// timestamp-extension variants of TL2.
-			for _, variant := range ptm.ClockVariants() {
-				if variant == "tl2" {
-					continue // the base row above
-				}
-				rows, err := exp.RunE5(variant, cfg)
-				if err != nil {
-					return err
-				}
-				for _, r := range rows {
-					t.Add(r.TM, r.WriteRatio, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn, r.Space)
-				}
 			}
 		}
 	}
@@ -520,7 +535,7 @@ func runE9(c config) error {
 	}
 	cfg := exp.DefaultE9Config()
 	cfg.Seed = c.seed
-	add := func(name string) error {
+	for _, name := range expandTL2(c.tms) {
 		rows, err := ptm.RunE9(name, cfg)
 		if err != nil {
 			return err
@@ -528,20 +543,42 @@ func runE9(c config) error {
 		for _, r := range rows {
 			t.Add(r.TM, r.Scenario, r.Commits, r.Aborts, r.AbortRatio, r.StepsPerTxn)
 		}
-		return nil
 	}
-	for _, name := range c.tms {
-		if err := add(name); err != nil {
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE10 prints the read-mostly serving scenario (Zipf hot-key gets and
+// ordered scans racing a small writer pool) for every requested TM. The
+// TL2 family is swept twice — with and without the read-only declaration —
+// so the table shows what the zero-validation RO mode trades: extension
+// revalidations for abort/replay.
+func runE10(c config) error {
+	t := ptm.Table{
+		Title:  "E10 — read-mostly serving: Zipf hot-key gets + ordered scans vs a writer pool",
+		Header: []string{"tm", "ro", "commits", "aborts", "abort-ratio", "steps/txn"},
+	}
+	cfg := exp.DefaultE10Config()
+	cfg.Seed = c.seed
+	add := func(name string, declare bool) error {
+		rcfg := cfg
+		rcfg.DeclareRO = declare
+		row, err := ptm.RunE10(name, rcfg)
+		if err != nil {
 			return err
 		}
-		if name == "tl2" {
-			for _, variant := range ptm.ClockVariants() {
-				if variant == "tl2" {
-					continue // the base row above
-				}
-				if err := add(variant); err != nil {
-					return err
-				}
+		t.Add(row.TM, row.ROHint, row.Commits, row.Aborts, row.AbortRatio, row.StepsPerTxn)
+		return nil
+	}
+	// Every TL2-family name is swept both undeclared and declared —
+	// including explicitly requested variants like "-tms tl2:gv6+ext".
+	for _, name := range expandTL2(c.tms) {
+		if err := add(name, false); err != nil {
+			return err
+		}
+		if name == "tl2" || strings.HasPrefix(name, "tl2:") {
+			if err := add(name, true); err != nil {
+				return err
 			}
 		}
 	}

@@ -1,0 +1,215 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// E10 is the read-mostly serving scenario: the workload shape of a
+// production read-path (a cache/index tier answering point lookups and
+// small ordered scans) with a small writer pool churning underneath. It is
+// the experiment the read-only fast path exists for — the paper's
+// progressive-TM cost bounds are dominated by what readers pay, and a
+// serving tier is almost all readers:
+//
+//   - Hot-key gets: most transactions read a handful of Zipf-distributed
+//     keys (a few hot keys absorb most traffic, the classic serving skew).
+//   - Ordered scans: a minority of read transactions scan a contiguous
+//     window of ScanLen t-objects (the simulator's stand-in for an ordered
+//     Range over stm.OrderedMap).
+//   - Writers: a WriteRatio fraction do a Zipf-keyed point
+//     read-modify-write, so the hot keys the readers love are exactly the
+//     ones that move.
+//
+// With DeclareRO set, read transactions are declared read-only via
+// tm.ReadOnlyHinter, so TMs with a zero-validation RO mode (TL2 and its
+// clock variants) run them with no read-set logging and extension
+// restricted to the empty-read-set re-begin. The ablation against the
+// undeclared rows isolates what the RO mode trades: under tl2:ext a
+// mid-scan commit costs an O(|read set|) revalidation, under RO mode it
+// costs an abort and a replay. The native counterparts (BenchmarkE10* at
+// the repository root, BenchmarkROFastPath in stm) measure the same shape
+// for wall-clock time and allocations, where the RO path's missing
+// read-set bookkeeping actually shows up.
+type E10Row struct {
+	TM          string
+	ROHint      bool // read transactions were declared read-only (and the TM applied it)
+	Procs       int
+	Commits     int
+	Aborts      int
+	AbortRatio  float64
+	TotalSteps  uint64
+	StepsPerTxn float64
+}
+
+// E10Config parameterizes the read-mostly serving scenario.
+type E10Config struct {
+	Procs       int
+	TxnsPerProc int     // committed transactions each process must complete
+	Objects     int     // t-objects (keys)
+	GetKeys     int     // keys read by a hot-key get transaction
+	ScanLen     int     // contiguous objects per ordered scan
+	ZipfS       float64 // Zipf skew of the hot-key distribution (> 1)
+	WriteRatio  float64 // fraction of transactions that are point RMWs
+	ScanRatio   float64 // fraction of *read* transactions that are scans
+	DeclareRO   bool    // declare read transactions via tm.ReadOnlyHinter
+	Seed        int64
+}
+
+// DefaultE10Config is the configuration used by benchmarks and tmbench.
+func DefaultE10Config() E10Config {
+	return E10Config{
+		Procs:       8,
+		TxnsPerProc: 12,
+		Objects:     32,
+		GetKeys:     3,
+		ScanLen:     8,
+		ZipfS:       1.1,
+		WriteRatio:  0.1,
+		ScanRatio:   0.25,
+		DeclareRO:   true,
+		Seed:        42,
+	}
+}
+
+// zipfTable is a precomputed Zipf CDF over [0, n) for inverse-transform
+// sampling with the harness's deterministic splitMix rng.
+type zipfTable []float64
+
+func newZipfTable(n int, s float64) zipfTable {
+	cdf := make(zipfTable, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return cdf
+}
+
+// sample draws a Zipf-distributed index from rng by inverse transform.
+func (z zipfTable) sample(rng *splitMix) int {
+	u := float64(rng.next()>>11) / (1 << 53)
+	return min(sort.SearchFloat64s(z, u), len(z)-1)
+}
+
+// RunE10 runs the read-mostly serving scenario for one TM. As in E5/E9,
+// every process retries each transaction until it commits, so Commits is
+// fixed by the config and Aborts measures wasted attempts. The returned
+// row's ROHint reports whether the read-only declaration was both
+// requested and actually applied by the TM.
+func RunE10(name string, cfg E10Config) (E10Row, error) {
+	mem := memory.New(cfg.Procs, nil)
+	tmi, err := tmreg.New(name, mem, cfg.Objects)
+	if err != nil {
+		return E10Row{}, err
+	}
+	zipf := newZipfTable(cfg.Objects, cfg.ZipfS)
+	commits, aborts := 0, 0
+	hintApplied := false
+	s := sched.New(mem)
+	for i := 0; i < cfg.Procs; i++ {
+		i := i
+		rng := newSplitMix(uint64(cfg.Seed)*69621 + uint64(i+1))
+		s.Go(i, func(p *memory.Proc) {
+			for n := 0; n < cfg.TxnsPerProc; n++ {
+				// Pre-draw the transaction so retries replay it exactly.
+				body, readOnly := drawE10Txn(cfg, rng, zipf)
+				for {
+					committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+						if readOnly && cfg.DeclareRO && tm.DeclareReadOnly(tx) {
+							hintApplied = true
+						}
+						return body(tx)
+					})
+					if err != nil {
+						panic(err)
+					}
+					if committed {
+						commits++
+						break
+					}
+					aborts++
+				}
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(cfg.Seed)); err != nil {
+		return E10Row{}, fmt.Errorf("exp: e10 %s: %w", name, err)
+	}
+	row := E10Row{
+		TM: name, ROHint: hintApplied, Procs: cfg.Procs,
+		Commits: commits, Aborts: aborts,
+		TotalSteps: mem.TotalSteps(),
+	}
+	if commits+aborts > 0 {
+		row.AbortRatio = float64(aborts) / float64(commits+aborts)
+	}
+	if commits > 0 {
+		row.StepsPerTxn = float64(mem.TotalSteps()) / float64(commits)
+	}
+	return row, nil
+}
+
+// drawE10Txn draws one serving transaction from rng: a Zipf point RMW
+// (writer pool), an ordered scan, or a hot-key multi-get. The returned
+// closure touches only pre-drawn indices, so re-running it after an abort
+// replays the same transaction.
+func drawE10Txn(cfg E10Config, rng *splitMix, zipf zipfTable) (body func(tm.Txn) error, readOnly bool) {
+	roll := float64(rng.next()%1000) / 1000
+	switch {
+	case roll < cfg.WriteRatio:
+		// Writer pool: point RMW on a hot key.
+		x := zipf.sample(rng)
+		delta := rng.next() % 100
+		return func(tx tm.Txn) error {
+			v, err := tx.Read(x)
+			if err != nil {
+				return err
+			}
+			return tx.Write(x, v+delta)
+		}, false
+	case roll < cfg.WriteRatio+(1-cfg.WriteRatio)*cfg.ScanRatio:
+		// Ordered scan of a contiguous window starting at a hot key.
+		start := zipf.sample(rng)
+		length := cfg.ScanLen
+		return func(tx tm.Txn) error {
+			var sum uint64
+			for j := 0; j < length; j++ {
+				v, err := tx.Read((start + j) % cfg.Objects)
+				if err != nil {
+					return err
+				}
+				sum += v
+			}
+			_ = sum
+			return nil
+		}, true
+	default:
+		// Hot-key multi-get: the dominant serving transaction.
+		keys := make([]int, cfg.GetKeys)
+		for j := range keys {
+			keys[j] = zipf.sample(rng)
+		}
+		return func(tx tm.Txn) error {
+			var sum uint64
+			for _, x := range keys {
+				v, err := tx.Read(x)
+				if err != nil {
+					return err
+				}
+				sum += v
+			}
+			_ = sum
+			return nil
+		}, true
+	}
+}

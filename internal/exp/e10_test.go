@@ -1,0 +1,67 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE10AllTMs runs the read-mostly serving scenario on every registered
+// TM: every process completes its quota, and the RO hint is reported
+// applied exactly for the TL2 family (the only TMs with a zero-validation
+// read-only mode).
+func TestE10AllTMs(t *testing.T) {
+	cfg := exp.E10Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, GetKeys: 3, ScanLen: 6,
+		ZipfS: 1.1, WriteRatio: 0.25, ScanRatio: 0.25, DeclareRO: true, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.RunE10(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Commits != cfg.Procs*cfg.TxnsPerProc {
+				t.Errorf("%d commits, want %d", row.Commits, cfg.Procs*cfg.TxnsPerProc)
+			}
+			if row.StepsPerTxn <= 0 {
+				t.Error("no steps recorded")
+			}
+			if wantRO := name == "tl2"; row.ROHint != wantRO {
+				t.Errorf("ROHint = %v, want %v", row.ROHint, wantRO)
+			}
+			if name == "sgltm" && row.Aborts != 0 {
+				t.Errorf("blocking TM aborted %d times", row.Aborts)
+			}
+		})
+	}
+}
+
+// TestE10ROAblation sweeps the TL2 clock variants with and without the
+// read-only declaration. Both configurations must complete the quota —
+// including under GV6, where the RO mode's only extension is the
+// empty-read-set re-begin and sequential progress rides on helpClock.
+func TestE10ROAblation(t *testing.T) {
+	cfg := exp.E10Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, GetKeys: 3, ScanLen: 6,
+		ZipfS: 1.1, WriteRatio: 0.25, ScanRatio: 0.25, Seed: 11,
+	}
+	for _, name := range tmreg.ClockVariants() {
+		for _, declare := range []bool{false, true} {
+			c := cfg
+			c.DeclareRO = declare
+			row, err := exp.RunE10(name, c)
+			if err != nil {
+				t.Fatalf("%s ro=%v: %v", name, declare, err)
+			}
+			if row.Commits != cfg.Procs*cfg.TxnsPerProc {
+				t.Errorf("%s ro=%v: %d commits, want %d", name, declare, row.Commits, cfg.Procs*cfg.TxnsPerProc)
+			}
+			if row.ROHint != declare {
+				t.Errorf("%s: ROHint = %v, want %v", name, row.ROHint, declare)
+			}
+		}
+	}
+}

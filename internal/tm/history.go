@@ -193,7 +193,11 @@ func Record(m TM) *Recorder { return &Recorder{TM: m} }
 // History returns the history recorded so far.
 func (r *Recorder) History() *History { return &r.hist }
 
-// Begin implements TM, recording the new transaction.
+// Begin implements TM, recording the new transaction. When the inner
+// transaction supports the read-only hint, the recorded wrapper does too
+// (and forwards it), so DeclareReadOnly's "was the hint applied" contract
+// survives recording; wrapping a TM without a fast path yields a wrapper
+// without the interface.
 func (r *Recorder) Begin(p *memory.Proc) Txn {
 	inner := r.TM.Begin(p)
 	r.mu.Lock()
@@ -201,7 +205,11 @@ func (r *Recorder) Begin(p *memory.Proc) Txn {
 	r.seq++
 	r.hist.Txns = append(r.hist.Txns, rec)
 	r.mu.Unlock()
-	return &recordedTxn{inner: inner, r: r, rec: rec, p: p}
+	rt := &recordedTxn{inner: inner, r: r, rec: rec, p: p}
+	if _, ok := inner.(ReadOnlyHinter); ok {
+		return &recordedROTxn{rt}
+	}
+	return rt
 }
 
 type recordedTxn struct {
@@ -270,3 +278,11 @@ func (t *recordedTxn) Abort() {
 }
 
 func (t *recordedTxn) Aborted() bool { return t.inner.Aborted() }
+
+// recordedROTxn is the recorded wrapper for transactions whose TM
+// supports the read-only hint: it forwards SetReadOnly so recorded
+// histories cover RO-mode executions. The declaration itself is not an
+// event in the paper's model, so it is not logged.
+type recordedROTxn struct{ *recordedTxn }
+
+func (t *recordedROTxn) SetReadOnly() { t.inner.(ReadOnlyHinter).SetReadOnly() }

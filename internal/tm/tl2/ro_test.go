@@ -1,0 +1,147 @@
+package tl2_test
+
+import (
+	"testing"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/sgltm"
+	"repro/internal/tm/tl2"
+)
+
+// TestReadOnlyModeBasics: a declared read-only transaction reads committed
+// state and commits without validation; the hint is only legal before the
+// first t-operation, and writes inside it panic.
+func TestReadOnlyModeBasics(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tl2.New(mem, 4)
+	w := mem.Proc(0)
+	if err := tm.Atomically(tmi, w, func(tx tm.Txn) error { return tx.Write(1, 42) }); err != nil {
+		t.Fatal(err)
+	}
+	r := mem.Proc(1)
+	tx := tmi.Begin(r)
+	if !tm.DeclareReadOnly(tx) {
+		t.Fatal("tl2 transactions must support the read-only hint")
+	}
+	if v, err := tx.Read(1); err != nil || v != 42 {
+		t.Fatalf("RO read = %d, %v; want 42, nil", v, err)
+	}
+	if v, err := tx.Read(0); err != nil || v != 0 {
+		t.Fatalf("RO read = %d, %v; want 0, nil", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("RO commit: %v", err)
+	}
+
+	tx = tmi.Begin(r)
+	tm.DeclareReadOnly(tx)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Write inside a declared read-only transaction did not panic")
+			}
+		}()
+		_ = tx.Write(0, 1)
+	}()
+
+	tx = tmi.Begin(r)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SetReadOnly after the first t-operation did not panic")
+			}
+		}()
+		tm.DeclareReadOnly(tx)
+	}()
+	tx.Abort()
+}
+
+// TestReadOnlyModeGV6SoloExtension: under GV6 a committed version may run
+// ahead of the clock, so a solo RO transaction's first read needs the
+// empty-read-set extension (a re-begin) to commit — the sequential-
+// progress case the RO mode must not lose.
+func TestReadOnlyModeGV6SoloExtension(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tl2.NewWithOptions(mem, 4, tl2.Options{Clock: tl2.GV6, GV6SamplePeriod: 1 << 30})
+	w := mem.Proc(0)
+	// The huge sample period makes every commit leave the clock untouched:
+	// object 2's version is now ahead of the clock.
+	if err := tm.Atomically(tmi, w, func(tx tm.Txn) error { return tx.Write(2, 7) }); err != nil {
+		t.Fatal(err)
+	}
+	r := mem.Proc(1)
+	tx := tmi.Begin(r)
+	tm.DeclareReadOnly(tx)
+	if v, err := tx.Read(2); err != nil || v != 7 {
+		t.Fatalf("solo RO read under GV6 = %d, %v; want 7, nil (empty-read-set extension)", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("RO commit: %v", err)
+	}
+}
+
+// TestReadOnlyModeStaleAbortsAfterFirstRead: once an RO transaction has
+// certified a read, a later stale read must abort (there is no read set to
+// revalidate), and the retry with a fresh timestamp succeeds.
+func TestReadOnlyModeStaleAbortsAfterFirstRead(t *testing.T) {
+	mem := memory.New(2, nil)
+	tmi := tl2.NewWithOptions(mem, 4, tl2.Options{Extension: true})
+	r, w := mem.Proc(0), mem.Proc(1)
+
+	tx := tmi.Begin(r)
+	tm.DeclareReadOnly(tx)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign commit moves object 1 past the reader's timestamp.
+	if err := tm.Atomically(tmi, w, func(tx tm.Txn) error { return tx.Write(1, 5) }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Read(1); err == nil {
+		t.Fatal("stale RO read after a certified read must abort, not extend")
+	}
+	tx.Abort()
+
+	tx = tmi.Begin(r)
+	tm.DeclareReadOnly(tx)
+	if v, err := tx.Read(1); err != nil || v != 5 {
+		t.Fatalf("retry read = %d, %v; want 5, nil", v, err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecorderForwardsReadOnlyHint: histories recorded through tm.Record
+// still reach the RO fast path, and the recorded history is well-formed.
+func TestRecorderForwardsReadOnlyHint(t *testing.T) {
+	mem := memory.New(1, nil)
+	rec := tm.Record(tl2.New(mem, 2))
+	p := mem.Proc(0)
+	tx := rec.Begin(p)
+	tm.DeclareReadOnly(tx)
+	if _, err := tx.Read(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	h := rec.History()
+	if len(h.Txns) != 1 || h.Txns[0].Status != tm.TxnCommitted || !h.Txns[0].ReadOnly() {
+		t.Fatalf("recorded history malformed: %s", h)
+	}
+
+	// The contract survives recording in the negative direction too: a
+	// recorded TM without an RO fast path must not report the hint applied.
+	mem2 := memory.New(1, nil)
+	recPlain := tm.Record(sgltm.New(mem2, 2))
+	txPlain := recPlain.Begin(mem2.Proc(0))
+	if tm.DeclareReadOnly(txPlain) {
+		t.Fatal("DeclareReadOnly reported true for a recorded TM with no RO fast path")
+	}
+	txPlain.Abort()
+}

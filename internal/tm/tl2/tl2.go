@@ -182,6 +182,25 @@ type Txn struct {
 	worder  []int
 	aborted bool
 	done    bool
+	// ro marks TL2's zero-validation read-only mode (tm.ReadOnlyHinter):
+	// reads are certified against rv but never logged, so there is no
+	// read set to revalidate — timestamp extension degenerates to the
+	// empty-read-set re-begin, sound only while roReads is zero. Writes
+	// inside a declared read-only transaction panic.
+	ro      bool
+	roReads int
+}
+
+var _ tm.ReadOnlyHinter = (*Txn)(nil)
+
+// SetReadOnly implements tm.ReadOnlyHinter: the transaction runs on the
+// zero-logging read-only fast path. Must be called before the first
+// t-operation.
+func (tx *Txn) SetReadOnly() {
+	if tx.started {
+		panic("tl2: SetReadOnly after the first t-operation")
+	}
+	tx.ro = true
 }
 
 // Begin implements tm.TM. The read timestamp is sampled lazily at the first
@@ -227,7 +246,12 @@ func (tx *Txn) Read(x int) (tm.Value, error) {
 			// when this attempt aborts.
 			tx.helpClock(lockword.Version(m1))
 		}
-		if lockword.Locked(m1) || attempt >= 2 || !tx.t.opts.Extension || !tx.extend(nil) {
+		// In read-only mode there is no read set to revalidate, so
+		// extension is sound only before the first certified read (it is
+		// then a re-begin at the current clock); later stale reads abort,
+		// and the retry's fresh timestamp covers the helped clock.
+		if lockword.Locked(m1) || attempt >= 2 || !tx.t.opts.Extension ||
+			(tx.ro && tx.roReads > 0) || !tx.extend(nil) {
 			return 0, tx.abort()
 		}
 		m1 = tx.p.Read(tx.t.meta[x])
@@ -236,6 +260,12 @@ func (tx *Txn) Read(x int) (tm.Value, error) {
 	m2 := tx.p.Read(tx.t.meta[x])
 	if m1 != m2 {
 		return 0, tx.abort()
+	}
+	if tx.ro {
+		// Zero-validation read-only mode: the read is certified, nothing
+		// is logged, and the (empty-write-set) commit validates nothing.
+		tx.roReads++
+		return v, nil
 	}
 	tx.rset = append(tx.rset, x)
 	tx.rvers = append(tx.rvers, lockword.Version(m1))
@@ -283,6 +313,9 @@ func (tx *Txn) extend(owned map[int]bool) bool {
 // Write implements tm.Txn (lazy write buffering).
 func (tx *Txn) Write(x int, v tm.Value) error {
 	tm.CheckObjectIndex(x, len(tx.t.meta))
+	if tx.ro {
+		panic("tl2: write inside a transaction declared read-only (SetReadOnly)")
+	}
 	if tx.done {
 		return tm.ErrAborted
 	}

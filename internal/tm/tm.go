@@ -59,6 +59,29 @@ type Txn interface {
 	Aborted() bool
 }
 
+// ReadOnlyHinter is an optional Txn extension: a transaction declared
+// read-only before its first t-operation may run on a TM's zero-logging
+// read-only fast path (for TL2: no read-set recording, and timestamp
+// extension restricted to the empty-read-set re-begin). Writing inside a
+// declared read-only transaction is a usage error and panics. TMs without
+// a fast path simply do not implement the interface; use DeclareReadOnly
+// to apply the hint opportunistically.
+type ReadOnlyHinter interface {
+	// SetReadOnly declares the transaction read-only. Must be called
+	// before the first t-operation.
+	SetReadOnly()
+}
+
+// DeclareReadOnly declares tx read-only when its TM supports the hint and
+// reports whether the hint was applied. Call it immediately after Begin.
+func DeclareReadOnly(tx Txn) bool {
+	if h, ok := tx.(ReadOnlyHinter); ok {
+		h.SetReadOnly()
+		return true
+	}
+	return false
+}
+
 // Props records membership in the paper's TM classes (Sections 2–3).
 type Props struct {
 	Opaque                bool // every transaction sees a consistent view

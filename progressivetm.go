@@ -205,5 +205,10 @@ func RunE7(tmName string, cfg exp.E7Config) (exp.E7Row, error) { return exp.RunE
 // point updates; two-table reservations).
 func RunE9(tmName string, cfg exp.E9Config) ([]exp.E9Row, error) { return exp.RunE9(tmName, cfg) }
 
+// RunE10 runs the read-mostly serving scenario (Zipf hot-key gets and
+// ordered scans racing a small writer pool), optionally declaring read
+// transactions read-only via the tm.ReadOnlyHinter fast path.
+func RunE10(tmName string, cfg exp.E10Config) (exp.E10Row, error) { return exp.RunE10(tmName, cfg) }
+
 // PrintTable renders rows produced by the Run* helpers.
 func PrintTable(w io.Writer, t *Table) { t.Print(w) }

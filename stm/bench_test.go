@@ -34,6 +34,43 @@ func BenchmarkVarReadOnly(b *testing.B) {
 	})
 }
 
+// BenchmarkROFastPath is the acceptance benchmark for the read-only fast
+// path: the identical read-only workload (a 32-Var scan) on the default
+// pipeline and on AtomicallyRO. Both must report 0 allocs/op; the RO path
+// must be faster — it skips the write-set probe, the duplicate-suppression
+// scan and the read-set append on every read, and certifies instead of
+// validating at commit.
+func BenchmarkROFastPath(b *testing.B) {
+	const n = 32
+	vars := make([]*stm.Var[int], n)
+	for i := range vars {
+		vars[i] = stm.NewVar(i)
+	}
+	scan := func(tx *stm.Tx) error {
+		s := 0
+		for _, v := range vars {
+			s += v.Get(tx)
+		}
+		_ = s
+		return nil
+	}
+	run := func(b *testing.B, atomically func(func(tx *stm.Tx) error) error) {
+		before := stm.ReadStats()
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				_ = atomically(scan)
+			}
+		})
+		d := stm.ReadStats().Sub(before)
+		if d.Commits > 0 {
+			b.ReportMetric(float64(d.ROCommits)/float64(d.Commits), "ro-commit-fraction")
+		}
+	}
+	b.Run("path=default", func(b *testing.B) { run(b, stm.Atomically) })
+	b.Run("path=ro", func(b *testing.B) { run(b, stm.AtomicallyRO) })
+}
+
 // BenchmarkVarUncontended measures the single-threaded transaction
 // round-trip (begin, read, write, commit).
 func BenchmarkVarUncontended(b *testing.B) {

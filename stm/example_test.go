@@ -28,6 +28,27 @@ func ExampleAtomically() {
 	// Output: <nil> 70 30
 }
 
+// ExampleAtomicallyRO shows the read-only fast path: a transaction that is
+// read-only by construction runs with no read-set logging and no commit
+// validation — a consistent multi-variable snapshot at exactly the cost of
+// its reads. Writing (or calling Retry) inside AtomicallyRO panics; use
+// Atomically for transactions that may write.
+func ExampleAtomicallyRO() {
+	price := stm.NewVar(25)
+	quantity := stm.NewVar(4)
+
+	var total int
+	_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+		// Both reads come from one atomic snapshot: no concurrent update
+		// can land between them.
+		total = price.Get(tx) * quantity.Get(tx)
+		return nil
+	})
+
+	fmt.Println(total)
+	// Output: 100
+}
+
 // ExampleMap shows the transactional hash map: operations compose with any
 // other transactional state, and the Snapshot* methods serve read-mostly
 // paths without entering the engine.

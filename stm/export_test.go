@@ -1,0 +1,35 @@
+package stm
+
+import "repro/internal/tm"
+
+// Test-only exports: the native history trace hook (see trace.go) and a
+// few descriptor internals the RO fast-path tests assert on.
+
+// StartTrace enables history tracing. Call with no transactions in
+// flight, before spawning workload goroutines.
+func StartTrace() { startTrace() }
+
+// StopTrace disables tracing and returns the recorded history. Call after
+// joining every workload goroutine.
+func StopTrace() *tm.History { return stopTrace() }
+
+// ReadSetLen reports how many read-set entries the descriptor has logged;
+// the RO fast path must keep it at zero.
+func ReadSetLen(tx *Tx) int { return len(tx.reads) }
+
+// ROCertifiedReads reports how many reads the current attempt certified on
+// the read-only fast path.
+func ROCertifiedReads(tx *Tx) int { return tx.roReads }
+
+// IsRO reports whether the descriptor is running on the read-only fast
+// path (AtomicallyRO, or promoted by Atomically).
+func IsRO(tx *Tx) bool { return tx.ro }
+
+// IsPromoted reports whether the descriptor was promoted to the RO path by
+// Atomically's empty-write-set guess (as opposed to AtomicallyRO).
+func IsPromoted(tx *Tx) bool { return tx.promoted }
+
+// KeyTowerHeight exposes the OrderedMap's deterministic tower height so
+// the fuzz seeds can target tower-height edge cases (tallest/shortest
+// keys of the fuzz keyspace).
+func KeyTowerHeight(key string) int { return towerHeight(omHash(key)) }

@@ -1,0 +1,360 @@
+package stm_test
+
+// Differential fuzzing of the transactional containers: a fuzzed op
+// sequence is applied both to the container (through real transactions,
+// including batched multi-write transactions that cross the write-set
+// slice→map promotion threshold, and AtomicallyRO readbacks) and to a
+// plain map model, sequentially. Any divergence — values, presence, size,
+// ordering — fails. The seed corpora cover the structural edges: bucket
+// collision chains (few buckets), write-set promotion (>24 writes in one
+// transaction), delete/reinsert of every key (the OrderedMap rebuilds
+// deterministic towers), and the tallest/shortest towers of the keyspace.
+//
+// CI runs these as a smoke job (`go test -fuzz=Fuzz<Target>
+// -fuzztime=10s`, see make fuzz-smoke); a plain `go test` replays just
+// the seeds.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/stm"
+)
+
+// fuzzKeys is the shared fuzz keyspace: small enough that collisions,
+// re-insertions and neighbouring skiplist towers happen constantly.
+const fuzzKeyCount = 48
+
+func fuzzKey(b byte) string { return fmt.Sprintf("k%02d", int(b)%fuzzKeyCount) }
+
+// fuzzSeeds builds the shared seed corpus. Format: ops of 3 bytes each
+// (kind, key, value).
+func fuzzSeeds() [][]byte {
+	var seeds [][]byte
+	// Insert every key, then delete every key: full churn, every tower
+	// height in the keyspace built and torn down.
+	var churn []byte
+	for i := 0; i < fuzzKeyCount; i++ {
+		churn = append(churn, 0, byte(i), byte(i))
+	}
+	for i := 0; i < fuzzKeyCount; i++ {
+		churn = append(churn, 3, byte(i), 0)
+	}
+	seeds = append(seeds, churn)
+	// One batched transaction of 32 puts: crosses the write-set promotion
+	// threshold (24) inside a single commit, then point-reads everything.
+	batch := []byte{6, 0, 32}
+	for i := 0; i < fuzzKeyCount; i++ {
+		batch = append(batch, 4, byte(i), 0)
+	}
+	seeds = append(seeds, batch)
+	// Tallest- and shortest-tower keys of the keyspace: insert, delete,
+	// re-insert (deterministic towers must rebuild identically), with
+	// neighbours present.
+	tallest, shortest := 0, 0
+	for i := 1; i < fuzzKeyCount; i++ {
+		if stm.KeyTowerHeight(fuzzKey(byte(i))) > stm.KeyTowerHeight(fuzzKey(byte(tallest))) {
+			tallest = i
+		}
+		if stm.KeyTowerHeight(fuzzKey(byte(i))) < stm.KeyTowerHeight(fuzzKey(byte(shortest))) {
+			shortest = i
+		}
+	}
+	towers := []byte{6, 0, 48} // everything present
+	for _, k := range []int{tallest, shortest} {
+		towers = append(towers,
+			3, byte(k), 0, // delete
+			2, byte(k), 9, // contains/get while absent
+			0, byte(k), 7, // re-insert
+			5, 0, 0, // ordered window scan
+		)
+	}
+	seeds = append(seeds, towers)
+	// Mixed point ops with interleaved verification.
+	seeds = append(seeds, []byte{
+		0, 1, 10, 0, 2, 20, 4, 1, 0, 3, 1, 0, 4, 1, 0, 0, 1, 30,
+		5, 0, 0, 3, 2, 0, 7, 0, 0, 6, 5, 30, 5, 2, 0,
+	})
+	return seeds
+}
+
+// FuzzMap drives a fuzzed op sequence against stm.Map and a plain map
+// model. The 4-bucket map makes every bucket a long collision chain, so
+// association-list edits (replace middle, delete head/tail) are constantly
+// exercised.
+func FuzzMap(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := stm.NewMap[int](4)
+		model := map[string]int{}
+		for i := 0; i+2 < len(ops); i += 3 {
+			kind, kb, val := ops[i]%8, ops[i+1], int(ops[i+2])
+			k := fuzzKey(kb)
+			switch kind {
+			case 0, 1: // put
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, val)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = val
+			case 2: // transactional get
+				var got int
+				var present bool
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					got, present = m.Get(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				want, wantPresent := model[k]
+				if present != wantPresent || (present && got != want) {
+					t.Fatalf("Get(%s) = %d,%v; model %d,%v", k, got, present, want, wantPresent)
+				}
+			case 3: // delete
+				var deleted bool
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					deleted = m.Delete(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, wantPresent := model[k]; deleted != wantPresent {
+					t.Fatalf("Delete(%s) = %v; model presence %v", k, deleted, wantPresent)
+				}
+				delete(model, k)
+			case 4: // read-only get (the zero-validation fast path)
+				var got int
+				var present bool
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					got, present = m.Get(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				want, wantPresent := model[k]
+				if present != wantPresent || (present && got != want) {
+					t.Fatalf("RO Get(%s) = %d,%v; model %d,%v", k, got, present, want, wantPresent)
+				}
+			case 5: // size checks, transactional and snapshot
+				var n int
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					n = m.Len(tx)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if n != len(model) || m.SnapshotLen() != len(model) {
+					t.Fatalf("Len = %d, SnapshotLen = %d; model %d", n, m.SnapshotLen(), len(model))
+				}
+			case 6: // batched puts in ONE transaction (write-set promotion)
+				count := val%33 + 1
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					for j := 0; j < count; j++ {
+						m.Put(tx, fuzzKey(kb+byte(j)), val+j)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < count; j++ {
+					model[fuzzKey(kb+byte(j))] = val + j
+				}
+			case 7: // snapshot get
+				got, present := m.SnapshotGet(k)
+				want, wantPresent := model[k]
+				if present != wantPresent || (present && got != want) {
+					t.Fatalf("SnapshotGet(%s) = %d,%v; model %d,%v", k, got, present, want, wantPresent)
+				}
+			}
+		}
+		// Final full readback in one RO transaction.
+		var keys []string
+		if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+			keys = nil
+			for k := range model {
+				if got, present := m.Get(tx, k); !present || got != model[k] {
+					return fmt.Errorf("final readback of %s: got %d,%v want %d", k, got, present, model[k])
+				}
+				keys = append(keys, k)
+			}
+			if n := m.Len(tx); n != len(model) {
+				return fmt.Errorf("final Len = %d, model %d", n, len(model))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		_ = keys
+	})
+}
+
+// FuzzOrderedMap drives a fuzzed op sequence against stm.OrderedMap and a
+// plain map model with sorted-key comparison: the skiplist must agree with
+// the model not just on membership but on order — Min, Max, Keys and every
+// Range window.
+func FuzzOrderedMap(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		m := stm.NewOrderedMap[int]()
+		model := map[string]int{}
+		sortedKeys := func() []string {
+			out := make([]string, 0, len(model))
+			for k := range model {
+				out = append(out, k)
+			}
+			sort.Strings(out)
+			return out
+		}
+		for i := 0; i+2 < len(ops); i += 3 {
+			kind, kb, val := ops[i]%8, ops[i+1], int(ops[i+2])
+			k := fuzzKey(kb)
+			switch kind {
+			case 0, 1: // put
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					m.Put(tx, k, val)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				model[k] = val
+			case 2: // get + contains
+				var got int
+				var present, contains bool
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					got, present = m.Get(tx, k)
+					contains = m.Contains(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				want, wantPresent := model[k]
+				if present != wantPresent || contains != wantPresent || (present && got != want) {
+					t.Fatalf("Get(%s) = %d,%v contains=%v; model %d,%v", k, got, present, contains, want, wantPresent)
+				}
+			case 3: // delete
+				var deleted bool
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					deleted = m.Delete(tx, k)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if _, wantPresent := model[k]; deleted != wantPresent {
+					t.Fatalf("Delete(%s) = %v; model presence %v", k, deleted, wantPresent)
+				}
+				delete(model, k)
+			case 4: // min/max
+				var minK, maxK string
+				var minOK, maxOK bool
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					minK, _, minOK = m.Min(tx)
+					maxK, _, maxOK = m.Max(tx)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				keys := sortedKeys()
+				if minOK != (len(keys) > 0) || maxOK != (len(keys) > 0) {
+					t.Fatalf("Min/Max ok = %v/%v with %d model keys", minOK, maxOK, len(keys))
+				}
+				if len(keys) > 0 && (minK != keys[0] || maxK != keys[len(keys)-1]) {
+					t.Fatalf("Min/Max = %s/%s; model %s/%s", minK, maxK, keys[0], keys[len(keys)-1])
+				}
+			case 5: // ordered range window vs the model
+				from, to := fuzzKey(kb), fuzzKey(kb+byte(val)%16)
+				if to < from {
+					from, to = to, from
+				}
+				var got []string
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					got = nil
+					m.Range(tx, from, to, func(k string, v int) bool {
+						if v != model[k] {
+							t.Errorf("Range value for %s = %d, model %d", k, v, model[k])
+						}
+						got = append(got, k)
+						return true
+					})
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				var want []string
+				for _, k := range sortedKeys() {
+					if k >= from && k < to {
+						want = append(want, k)
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("Range[%s,%s) saw %v, model %v", from, to, got, want)
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("Range[%s,%s) saw %v, model %v", from, to, got, want)
+					}
+				}
+			case 6: // batched puts in one transaction (write-set promotion)
+				count := val%33 + 1
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					for j := 0; j < count; j++ {
+						m.Put(tx, fuzzKey(kb+byte(j)), val+j)
+					}
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				for j := 0; j < count; j++ {
+					model[fuzzKey(kb+byte(j))] = val + j
+				}
+			case 7: // snapshot paths
+				got, present := m.SnapshotGet(k)
+				want, wantPresent := model[k]
+				if present != wantPresent || (present && got != want) {
+					t.Fatalf("SnapshotGet(%s) = %d,%v; model %d,%v", k, got, present, want, wantPresent)
+				}
+				if m.SnapshotLen() != len(model) {
+					t.Fatalf("SnapshotLen = %d, model %d", m.SnapshotLen(), len(model))
+				}
+			}
+		}
+		// Final: full ordered readback must equal the sorted model exactly.
+		var got []string
+		if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+			got = nil
+			prev := ""
+			m.Range(tx, "", "", func(k string, v int) bool {
+				if prev != "" && k <= prev {
+					t.Errorf("Range delivered %q after %q: not strictly increasing", k, prev)
+				}
+				prev = k
+				if v != model[k] {
+					t.Errorf("final value for %s = %d, model %d", k, v, model[k])
+				}
+				got = append(got, k)
+				return true
+			})
+			if n := m.Len(tx); n != len(model) {
+				t.Errorf("final Len = %d, model %d", n, len(model))
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := sortedKeys()
+		if len(got) != len(want) {
+			t.Fatalf("final keys %v, model %v", got, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("final keys %v, model %v", got, want)
+			}
+		}
+	})
+}

@@ -11,6 +11,10 @@
 // each live reader revalidates its whole read set — the Θ(m)-per-conflict
 // cost that becomes Theorem 3's Ω(m²) under the Lemma-2 adversary. The
 // sibling benchmarks compare the two engines on identical workloads.
+// AtomicallyRO is the value-validation-free read-only fast path: reads
+// certify an unmoved global sequence and log nothing, so a read-only
+// transaction pays no revalidation scans at all (a moved sequence simply
+// re-begins or retries the attempt).
 //
 // Vars from this package must not be mixed with repro/stm Vars inside one
 // transaction; each engine has its own types, so the compiler enforces
@@ -87,6 +91,13 @@ type Tx struct {
 	writes []writeEntry
 	wmap   map[varBase]int // index into writes; non-nil past the threshold
 	shard  uint32          // stats stripe; assigned once, survives reset
+	// ro marks the read-only fast path (AtomicallyRO): reads are certified
+	// against the sequence snapshot but never logged, so a moved sequence
+	// cannot be revalidated by value — the attempt re-begins if it has
+	// certified no read yet (roReads == 0) and aborts otherwise. Writes
+	// inside an RO transaction panic.
+	ro      bool
+	roReads int
 }
 
 type readEntry struct {
@@ -111,6 +122,7 @@ func (tx *Tx) reset() {
 	clear(tx.writes)
 	tx.writes = tx.writes[:0]
 	tx.wmap = nil
+	tx.roReads = 0
 }
 
 // release returns the descriptor to the pool, dropping oversized backing
@@ -185,6 +197,9 @@ func (tx *Tx) validate() {
 }
 
 func (tx *Tx) read(v varBase) any {
+	if tx.ro {
+		return tx.readRO(v)
+	}
 	if i, ok := tx.findWrite(v); ok {
 		return tx.writes[i].val
 	}
@@ -197,7 +212,36 @@ func (tx *Tx) read(v varBase) any {
 	return b.val
 }
 
+// readRO is the value-validation-free read of the read-only fast path:
+// load the snapshot, certify that the global sequence has not moved since
+// the transaction's begin, and record nothing. A moved sequence cannot be
+// revalidated (no read set), so the attempt re-begins from the newer
+// stable sequence while it has certified no read yet — merely a later
+// begin — and aborts otherwise (Atomically's retry replays it against the
+// fresh sequence).
+func (tx *Tx) readRO(v varBase) any {
+	for {
+		b := v.loadBox()
+		s := seq.Load()
+		if s == tx.snap {
+			tx.roReads++
+			return b.val
+		}
+		if tx.roReads > 0 {
+			panic(retrySignal{})
+		}
+		if s&1 == 1 {
+			runtime.Gosched() // a writer is mid-commit; wait for a stable sequence
+			continue
+		}
+		tx.snap = s // no reads certified yet: adopt the newer snapshot
+	}
+}
+
 func (tx *Tx) write(v varBase, val any) {
+	if tx.ro {
+		panic("norecstm: Set inside a read-only transaction (AtomicallyRO cannot write)")
+	}
 	if i, ok := tx.findWrite(v); ok {
 		tx.writes[i].val = val
 		return
@@ -214,8 +258,13 @@ func (tx *Tx) write(v varBase, val any) {
 	tx.writes = append(tx.writes, writeEntry{v: v, val: val})
 }
 
-// Retry blocks the transaction until a variable it read changes.
+// Retry blocks the transaction until a variable it read changes. The
+// read-only fast path records no read set to wait on, so Retry inside
+// AtomicallyRO panics.
 func (tx *Tx) Retry() {
+	if tx.ro {
+		panic("norecstm: Retry inside AtomicallyRO would sleep forever (the read-only fast path records no read set to wait on)")
+	}
 	if len(tx.reads) == 0 {
 		panic("norecstm: Retry with an empty read set would sleep forever")
 	}
@@ -253,6 +302,7 @@ func (tx *Tx) commit() (ok bool) {
 // commits; a non-nil error aborts without retrying.
 func Atomically(fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
+	tx.ro = false
 	for attempt := 0; ; attempt++ {
 		tx.reset()
 		tx.begin()
@@ -275,6 +325,38 @@ func Atomically(fn func(tx *Tx) error) error {
 			waitForChange(tx)
 			continue // the wait already yielded; retry immediately
 		}
+		backoff.Attempt(attempt)
+	}
+}
+
+// AtomicallyRO runs fn as a read-only transaction, retrying until it
+// commits; a non-nil error aborts without retrying, as with Atomically.
+// It is NOrec's value-validation-free fast path: each read certifies only
+// that the global sequence has not moved since begin, nothing is logged,
+// and commit is a no-op — no read set, no revalidation scans. fn must not
+// write (Set panics) and must not call Retry (there is no recorded read
+// set to wait on).
+func AtomicallyRO(fn func(tx *Tx) error) error {
+	tx := txPool.Get().(*Tx)
+	tx.ro = true
+	for attempt := 0; ; attempt++ {
+		tx.reset()
+		tx.begin()
+		err, ctl := runAttempt(tx, fn)
+		if ctl == ctlOK {
+			// Nothing to commit: every read was certified against the
+			// unmoved sequence when it was performed.
+			if err != nil {
+				tx.release()
+				return err
+			}
+			tx.stat().commits.Add(1)
+			tx.stat().roCommits.Add(1)
+			tx.release()
+			return nil
+		}
+		// ctlRetryWait is impossible here (Retry panics on the RO path).
+		tx.stat().aborts.Add(1)
 		backoff.Attempt(attempt)
 	}
 }

@@ -1,0 +1,125 @@
+package norecstm_test
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/stm/norecstm"
+)
+
+// TestROBasic: AtomicallyRO sees committed state and counts an RO commit.
+func TestROBasic(t *testing.T) {
+	a := norecstm.NewVar(3)
+	b := norecstm.NewVar(4)
+	before := norecstm.ReadStats()
+	sum := 0
+	if err := norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+		sum = a.Get(tx) + b.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 7 {
+		t.Fatalf("sum = %d, want 7", sum)
+	}
+	d := norecstm.ReadStats().Sub(before)
+	if d.ROCommits != 1 || d.Commits != 1 {
+		t.Fatalf("stats delta = %+v, want 1 commit on the RO path", d)
+	}
+}
+
+// TestROUserError: a non-nil error from fn aborts without retrying.
+func TestROUserError(t *testing.T) {
+	v := norecstm.NewVar(1)
+	sentinel := errors.New("nope")
+	if err := norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+		_ = v.Get(tx)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+// TestROWritePanics: Set inside AtomicallyRO is a usage error.
+func TestROWritePanics(t *testing.T) {
+	v := norecstm.NewVar(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set inside AtomicallyRO did not panic")
+		}
+	}()
+	_ = norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+		v.Set(tx, 2)
+		return nil
+	})
+}
+
+// TestRORetryPanics: Retry inside AtomicallyRO is a usage error (no read
+// set to wait on).
+func TestRORetryPanics(t *testing.T) {
+	v := norecstm.NewVar(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retry inside AtomicallyRO did not panic")
+		}
+	}()
+	_ = norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+		_ = v.Get(tx)
+		tx.Retry()
+		return nil
+	})
+}
+
+// TestROSnapshotUnderWriters: concurrent RO transactions must observe
+// write-atomic snapshots (the conserved-sum invariant) while writers move
+// value between two Vars — and must pay zero revalidation scans doing so.
+func TestROSnapshotUnderWriters(t *testing.T) {
+	const total = 1000
+	a := norecstm.NewVar(total)
+	b := norecstm.NewVar(0)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+				x := a.Get(tx)
+				a.Set(tx, x-1)
+				b.Set(tx, b.Get(tx)+1)
+				return nil
+			})
+			if i%100 == 99 {
+				_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+					a.Set(tx, total)
+					b.Set(tx, 0)
+					return nil
+				})
+			}
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				var sum int
+				if err := norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+					sum = a.Get(tx) + b.Get(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != total {
+					t.Errorf("RO snapshot sum = %d, want %d", sum, total)
+					return
+				}
+			}
+			stop.Store(true)
+		}()
+	}
+	wg.Wait()
+}

@@ -11,6 +11,9 @@ type Stats struct {
 	// attempts, so the abort ratio is Aborts / (Commits + Aborts).
 	Commits uint64
 	Aborts  uint64
+	// ROCommits counts the subset of Commits that committed on the
+	// read-only fast path (AtomicallyRO): no read log, no revalidation.
+	ROCommits uint64
 	// Revalidations counts completed read-set value-revalidation scans —
 	// NOrec's extension analogue, triggered whenever the global sequence
 	// moves under a live transaction. Each scan is Θ(|read set|).
@@ -32,6 +35,7 @@ func (s Stats) Sub(t Stats) Stats {
 	return Stats{
 		Commits:       s.Commits - t.Commits,
 		Aborts:        s.Aborts - t.Aborts,
+		ROCommits:     s.ROCommits - t.ROCommits,
 		Revalidations: s.Revalidations - t.Revalidations,
 	}
 }
@@ -41,8 +45,9 @@ const statStripes = 16
 type statShard struct {
 	commits       atomic.Uint64
 	aborts        atomic.Uint64
+	roCommits     atomic.Uint64
 	revalidations atomic.Uint64
-	_             [128 - 3*8]byte
+	_             [128 - 4*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -60,6 +65,7 @@ func ReadStats() Stats {
 		sh := &statShards[i]
 		s.Commits += sh.commits.Load()
 		s.Aborts += sh.aborts.Load()
+		s.ROCommits += sh.roCommits.Load()
 		s.Revalidations += sh.revalidations.Load()
 	}
 	return s

@@ -1,0 +1,218 @@
+package stm_test
+
+// Race-detector stress for the read-only fast path: concurrent
+// AtomicallyRO scans must observe write-atomic snapshots while writers
+// churn the containers. The Makefile's race target and CI's race job run
+// these under -race; the GV6 sub-tests exercise the fast path with
+// committed versions running ahead of the clock (the regime where the RO
+// path's only extension is the empty-read-set re-begin plus helpClock).
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/stm"
+)
+
+// runROMapStress: writers transfer units between Zipf-ish key pairs of an
+// stm.Map (the total is conserved); RO readers sum every key in one
+// AtomicallyRO transaction and must always see the exact total.
+func runROMapStress(t *testing.T) {
+	const (
+		nkeys   = 32
+		perKey  = 100
+		readers = 4
+		writers = 2
+		roScans = 300
+	)
+	m := stm.NewMap[int](16)
+	keys := make([]string, nkeys)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("acct%02d", i)
+			m.Put(tx, keys[i], perKey)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	before := stm.ReadStats()
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w)*2654435761 + 1
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				from := keys[(rng>>20)%nkeys]
+				to := keys[(rng>>40)%nkeys]
+				if from == to {
+					continue
+				}
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					f, _ := m.Get(tx, from)
+					g, _ := m.Get(tx, to)
+					m.Put(tx, from, f-1)
+					m.Put(tx, to, g+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer stop.Store(true)
+			for i := 0; i < roScans; i++ {
+				sum := 0
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					sum = 0
+					for _, k := range keys {
+						v, present := m.Get(tx, k)
+						if !present {
+							return fmt.Errorf("key %s missing", k)
+						}
+						sum += v
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if sum != nkeys*perKey {
+					t.Errorf("RO snapshot sum = %d, want %d", sum, nkeys*perKey)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d := stm.ReadStats().Sub(before); d.ROCommits == 0 {
+		t.Fatalf("stats delta = %+v, want RO commits (the fast path must have run)", d)
+	}
+}
+
+// runROOrderedMapStress: writers insert and delete paired keys ("a…"/"b…")
+// of an stm.OrderedMap atomically; RO ordered scans must always see keys
+// in strictly increasing order with the pairing intact — never half of an
+// insert or delete.
+func runROOrderedMapStress(t *testing.T) {
+	const (
+		npairs  = 24
+		readers = 4
+		writers = 2
+		roScans = 300
+	)
+	m := stm.NewOrderedMap[int]()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		for i := 0; i < npairs; i += 2 {
+			m.Put(tx, fmt.Sprintf("a%02d", i), i)
+			m.Put(tx, fmt.Sprintf("b%02d", i), i)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := uint64(w)*48271 + 7
+			for !stop.Load() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				i := int((rng >> 33) % npairs)
+				ka, kb := fmt.Sprintf("a%02d", i), fmt.Sprintf("b%02d", i)
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					if m.Contains(tx, ka) {
+						m.Delete(tx, ka)
+						m.Delete(tx, kb)
+					} else {
+						m.Put(tx, ka, i)
+						m.Put(tx, kb, i)
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer stop.Store(true)
+			for i := 0; i < roScans; i++ {
+				var as, bs int
+				prev := ""
+				ok := true
+				if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+					as, bs, prev, ok = 0, 0, "", true
+					m.Range(tx, "", "", func(k string, _ int) bool {
+						if prev != "" && k <= prev {
+							ok = false
+							return false
+						}
+						prev = k
+						if strings.HasPrefix(k, "a") {
+							as++
+						} else {
+							bs++
+						}
+						return true
+					})
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				if !ok {
+					t.Error("RO scan delivered keys out of order")
+					return
+				}
+				if as != bs {
+					t.Errorf("RO scan saw %d a-keys but %d b-keys: a torn pair insert/delete", as, bs)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestROStressMap and TestROStressOrderedMap run the stress under the
+// default GV4+extension pipeline and under GV6 (versions ahead of the
+// clock), the two regimes the RO path must survive.
+func TestROStressMap(t *testing.T) {
+	for _, strat := range []stm.ClockStrategy{stm.GV4, stm.GV6} {
+		t.Run(strat.String(), func(t *testing.T) {
+			stm.SetClockStrategy(strat)
+			defer stm.SetClockStrategy(stm.GV4)
+			runROMapStress(t)
+		})
+	}
+}
+
+func TestROStressOrderedMap(t *testing.T) {
+	for _, strat := range []stm.ClockStrategy{stm.GV4, stm.GV6} {
+		t.Run(strat.String(), func(t *testing.T) {
+			stm.SetClockStrategy(strat)
+			defer stm.SetClockStrategy(stm.GV4)
+			runROOrderedMapStress(t)
+		})
+	}
+}

@@ -1,0 +1,278 @@
+package stm_test
+
+import (
+	"errors"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestAtomicallyROBasic: the RO fast path returns committed values, logs
+// no read set, and counts its commit on the RO counter.
+func TestAtomicallyROBasic(t *testing.T) {
+	a := stm.NewVar(3)
+	b := stm.NewVar(4)
+	before := stm.ReadStats()
+	sum := 0
+	if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+		if !stm.IsRO(tx) || stm.IsPromoted(tx) {
+			t.Error("AtomicallyRO descriptor not in explicit RO mode")
+		}
+		sum = a.Get(tx) + b.Get(tx)
+		if stm.ReadSetLen(tx) != 0 {
+			t.Errorf("RO path logged %d read-set entries, want 0", stm.ReadSetLen(tx))
+		}
+		if stm.ROCertifiedReads(tx) != 2 {
+			t.Errorf("RO path certified %d reads, want 2", stm.ROCertifiedReads(tx))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum != 7 {
+		t.Fatalf("sum = %d, want 7", sum)
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.Commits != 1 || d.ROCommits != 1 {
+		t.Fatalf("stats delta = %+v, want exactly one RO commit", d)
+	}
+}
+
+// TestAtomicallyROUserError: a non-nil error aborts without retrying.
+func TestAtomicallyROUserError(t *testing.T) {
+	v := stm.NewVar(1)
+	sentinel := errors.New("nope")
+	calls := 0
+	if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+		calls++
+		_ = v.Get(tx)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (user errors must not retry)", calls)
+	}
+}
+
+// TestAtomicallyROWritePanics: Set inside AtomicallyRO is a usage error.
+func TestAtomicallyROWritePanics(t *testing.T) {
+	v := stm.NewVar(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set inside AtomicallyRO did not panic")
+		}
+	}()
+	_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+		v.Set(tx, 2)
+		return nil
+	})
+}
+
+// TestAtomicallyRORetryPanics: Retry inside AtomicallyRO is a usage error
+// (the RO path records no read set to wait on).
+func TestAtomicallyRORetryPanics(t *testing.T) {
+	v := stm.NewVar(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Retry inside AtomicallyRO did not panic")
+		}
+	}()
+	_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+		_ = v.Get(tx)
+		tx.Retry()
+		return nil
+	})
+}
+
+// conflictAbort forces the current attempt of a transaction that has read
+// v to abort: a foreign commit overwrites v, so the attempt's re-read
+// fails extension (the recorded entry is genuinely invalidated).
+func conflictAbort[T any](tx *stm.Tx, v *stm.Var[T], newVal T) {
+	if err := stm.Atomically(func(wtx *stm.Tx) error {
+		v.Set(wtx, newVal)
+		return nil
+	}); err != nil {
+		panic(err)
+	}
+	_ = v.Get(tx) // stale: extension revalidation fails, attempt aborts
+}
+
+// TestROPromotion: an Atomically attempt that aborts with an empty write
+// set is retried on the RO fast path and commits there.
+func TestROPromotion(t *testing.T) {
+	a := stm.NewVar(0)
+	b := stm.NewVar(10)
+	before := stm.ReadStats()
+	attempt := 0
+	got := 0
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempt++
+		if attempt == 1 {
+			if stm.IsRO(tx) {
+				t.Error("first attempt must run the full pipeline")
+			}
+			_ = a.Get(tx)
+			conflictAbort(tx, a, 1)
+			t.Error("unreachable: conflictAbort must abort the attempt")
+		}
+		if !stm.IsRO(tx) || !stm.IsPromoted(tx) {
+			t.Error("retry of a read-only attempt was not promoted")
+		}
+		got = a.Get(tx) + b.Get(tx)
+		if stm.ReadSetLen(tx) != 0 {
+			t.Errorf("promoted attempt logged %d read-set entries, want 0", stm.ReadSetLen(tx))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 2 || got != 11 {
+		t.Fatalf("attempts = %d, got = %d; want 2 attempts and 11", attempt, got)
+	}
+	if d := stm.ReadStats().Sub(before); d.ROCommits == 0 {
+		t.Fatalf("stats delta = %+v, want the promoted commit counted as RO", d)
+	}
+}
+
+// TestRODemotionInPlace: a promoted attempt that writes before certifying
+// any read demotes in place — no extra abort — and commits on the full
+// pipeline.
+func TestRODemotionInPlace(t *testing.T) {
+	a := stm.NewVar(0)
+	b := stm.NewVar(0)
+	attempt := 0
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempt++
+		if attempt == 1 {
+			_ = a.Get(tx)
+			conflictAbort(tx, a, 1)
+		}
+		if !stm.IsRO(tx) {
+			t.Error("second attempt was not promoted")
+		}
+		b.Set(tx, 42) // no RO reads yet: demotes in place
+		if stm.IsRO(tx) {
+			t.Error("Set did not demote the promoted descriptor")
+		}
+		_ = a.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2 (in-place demotion must not abort)", attempt)
+	}
+	if b.Load() != 42 {
+		t.Fatalf("b = %d, want 42", b.Load())
+	}
+}
+
+// TestRODemotionRestart: a promoted attempt that writes after certifying
+// reads must restart the attempt on the full pipeline (its RO reads were
+// never logged and cannot be validated), and must not be promoted again.
+func TestRODemotionRestart(t *testing.T) {
+	a := stm.NewVar(0)
+	b := stm.NewVar(0)
+	attempt := 0
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempt++
+		switch attempt {
+		case 1:
+			_ = a.Get(tx)
+			conflictAbort(tx, a, 1)
+		case 2:
+			if !stm.IsRO(tx) {
+				t.Error("second attempt was not promoted")
+			}
+			_ = a.Get(tx) // certified on the RO path, unlogged
+			b.Set(tx, 7)  // must abort: the read above cannot be validated
+			t.Error("unreachable: Set after an RO read must restart the attempt")
+		default:
+			if stm.IsRO(tx) {
+				t.Error("demoted descriptor was promoted again")
+			}
+			b.Set(tx, a.Get(tx)+7)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 3 {
+		t.Fatalf("attempts = %d, want 3", attempt)
+	}
+	if b.Load() != 8 {
+		t.Fatalf("b = %d, want 8 (a was 1 after the conflicting write)", b.Load())
+	}
+}
+
+// TestROSnapshotConsistency: an RO transaction that straddles a foreign
+// multi-Var commit must abort and replay rather than return a mixed
+// snapshot.
+func TestROSnapshotConsistency(t *testing.T) {
+	a := stm.NewVar(0)
+	b := stm.NewVar(0)
+	attempt := 0
+	var gotA, gotB int
+	if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+		attempt++
+		gotA = a.Get(tx)
+		if attempt == 1 {
+			// A foreign commit moves both Vars after our first read.
+			if err := stm.Atomically(func(wtx *stm.Tx) error {
+				a.Set(wtx, 1)
+				b.Set(wtx, 1)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		gotB = b.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2 (the straddled attempt must abort)", attempt)
+	}
+	if gotA != 1 || gotB != 1 {
+		t.Fatalf("snapshot = (%d,%d), want the post-commit (1,1)", gotA, gotB)
+	}
+}
+
+// TestROUnderGV6: the RO path must preserve sequential progress under GV6,
+// where committed versions run ahead of the clock: the first read's
+// empty-read-set extension (after helpClock) absorbs the stale timestamp.
+func TestROUnderGV6(t *testing.T) {
+	stm.SetClockStrategy(stm.GV6)
+	defer stm.SetClockStrategy(stm.GV4)
+	vars := make([]*stm.Var[int], 8)
+	for i := range vars {
+		vars[i] = stm.NewVar(0)
+	}
+	// Sequential writer transactions: under GV6 most leave the clock
+	// untouched, so some versions are ahead of it.
+	for round := 1; round <= 20; round++ {
+		for _, v := range vars {
+			if err := stm.Atomically(func(tx *stm.Tx) error {
+				v.Set(tx, round)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sum := 0
+		if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+			sum = 0
+			for _, v := range vars {
+				sum += v.Get(tx)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if sum != round*len(vars) {
+			t.Fatalf("round %d: RO sum = %d, want %d", round, sum, round*len(vars))
+		}
+	}
+}

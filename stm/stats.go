@@ -9,6 +9,11 @@ import "sync/atomic"
 type Stats struct {
 	// Commits counts transactions that committed (including read-only).
 	Commits uint64
+	// ROCommits counts the subset of Commits that committed on the
+	// read-only fast path: AtomicallyRO calls plus descriptors Atomically
+	// promoted after an abort with an empty write set. These commits did
+	// no read-set logging, no locking and no validation.
+	ROCommits uint64
 	// Aborts counts failed attempts: conflict aborts, stale-read aborts
 	// and failed commits. Commits+Aborts is the total attempt count, so
 	// the abort ratio is Aborts / (Commits + Aborts).
@@ -42,6 +47,7 @@ func (s Stats) AbortRatio() float64 {
 func (s Stats) Sub(t Stats) Stats {
 	return Stats{
 		Commits:           s.Commits - t.Commits,
+		ROCommits:         s.ROCommits - t.ROCommits,
 		Aborts:            s.Aborts - t.Aborts,
 		Extensions:        s.Extensions - t.Extensions,
 		ExtensionFailures: s.ExtensionFailures - t.ExtensionFailures,
@@ -58,12 +64,13 @@ const statStripes = 16
 // so stripes do not false-share.
 type statShard struct {
 	commits           atomic.Uint64
+	roCommits         atomic.Uint64
 	aborts            atomic.Uint64
 	extensions        atomic.Uint64
 	extensionFailures atomic.Uint64
 	clockIncrements   atomic.Uint64
 	clockAdoptions    atomic.Uint64
-	_                 [128 - 6*8]byte
+	_                 [128 - 7*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -82,6 +89,7 @@ func ReadStats() Stats {
 	for i := range statShards {
 		sh := &statShards[i]
 		s.Commits += sh.commits.Load()
+		s.ROCommits += sh.roCommits.Load()
 		s.Aborts += sh.aborts.Load()
 		s.Extensions += sh.extensions.Load()
 		s.ExtensionFailures += sh.extensionFailures.Load()

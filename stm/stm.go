@@ -24,6 +24,18 @@
 // are pooled and their read/write sets are recycled across attempts and
 // calls, so a read-only transaction performs zero heap allocations.
 //
+// # Read-only fast path
+//
+// AtomicallyRO runs a transaction that is read-only by construction on
+// TL2's zero-validation mode: reads are certified against the read
+// timestamp but never logged, and commit is a no-op — no read set, no
+// locking, no validation, so the transaction costs exactly its reads.
+// Atomically also promotes a descriptor to the same fast path when a
+// retried attempt aborted without buffering a write (and demotes it again
+// if the guess was wrong). The trade is a weaker extension rule: with no
+// read set to revalidate, a stale read aborts the attempt unless it is the
+// first read (see readRO and DESIGN.md's opacity argument).
+//
 // # Clock strategies and timestamp extension
 //
 // How commits advance the global clock is selectable (SetClockStrategy):
@@ -202,6 +214,21 @@ type Tx struct {
 	// so pooled reuse keeps stripes and sampling phases spread out.
 	shard uint32
 	rng   uint64
+	// ro marks the zero-validation read-only fast path (see AtomicallyRO):
+	// reads are certified against rv but never logged, writes are either a
+	// usage error (explicit AtomicallyRO) or demote the descriptor back to
+	// the full pipeline (promoted == true). roReads counts the reads the
+	// current RO attempt has certified — timestamp extension is sound on
+	// the RO path only while it is zero, since there is no read set to
+	// revalidate. demoted records that a promotion guess was wrong, so the
+	// retry loop does not guess again within the same call.
+	ro       bool
+	promoted bool
+	demoted  bool
+	roReads  int
+	// trec is the test-only trace record of the current attempt (nil
+	// outside tracing tests; see trace.go).
+	trec *traceTxn
 }
 
 type readEntry struct {
@@ -228,6 +255,8 @@ func (tx *Tx) reset() {
 	clear(tx.writes)
 	tx.writes = tx.writes[:0]
 	tx.wmap = nil // the slice is authoritative again below the threshold
+	tx.roReads = 0
+	tx.trec = nil
 }
 
 // release returns the descriptor to the pool. Oversized backing arrays are
@@ -276,7 +305,13 @@ func (tx *Tx) findWrite(v varBase) (int, bool) {
 }
 
 func (tx *Tx) read(v varBase) any {
+	if tx.ro {
+		return tx.readRO(v)
+	}
 	if i, ok := tx.findWrite(v); ok {
+		if tx.trec != nil {
+			tx.traceRead(v, tx.writes[i].val)
+		}
 		return tx.writes[i].val
 	}
 	for attempt := 0; ; attempt++ {
@@ -290,6 +325,9 @@ func (tx *Tx) read(v varBase) any {
 					tx.abort()
 				}
 				continue
+			}
+			if tx.trec != nil {
+				tx.traceRead(v, b.val)
 			}
 			// Skip duplicate read-set entries for recently read Vars.
 			// Soundness: a re-read of an already-recorded Var either sees
@@ -320,6 +358,49 @@ func (tx *Tx) read(v varBase) any {
 	}
 }
 
+// readRO is the zero-validation read of the read-only fast path: one load
+// of the lock word (must be unlocked, version ≤ rv), one load of the value
+// snapshot, one re-load of the word to certify the pair — and nothing else.
+// No read-set entry is recorded, so there is no duplicate-suppression scan,
+// no append, and nothing for commit to validate. The price is a weaker
+// extension rule: with no read set to revalidate, extending rv is sound
+// only while the attempt has certified no read yet (it is then merely a
+// re-begin at the current clock); after the first certified read a stale
+// version aborts the attempt, and the retry — whose fresh rv covers the
+// version thanks to helpClock below — replays it.
+func (tx *Tx) readRO(v varBase) any {
+	for attempt := 0; ; attempt++ {
+		w := v.lockWord()
+		if !lockword.Locked(w) && lockword.Version(w) <= tx.rv {
+			b := v.loadBox()
+			if v.lockWord() != w {
+				if attempt >= maxExtendAttempts {
+					tx.abort()
+				}
+				continue
+			}
+			tx.roReads++
+			if tx.trec != nil {
+				tx.traceRead(v, b.val)
+			}
+			return b.val
+		}
+		if lockword.Locked(w) || attempt >= maxExtendAttempts {
+			tx.abort() // mid-commit elsewhere; the RO path never waits it out
+		}
+		// Stale read version. Help the clock cover it first (under GV6
+		// versions run ahead of the clock), so that even if this attempt
+		// aborts, the retry's fresh rv can cover the version — the RO
+		// path's sequential-progress obligation under GV6.
+		helpClock(lockword.Version(w))
+		if tx.roReads > 0 || !extensionEnabled.Load() {
+			tx.abort()
+		}
+		tx.rv = clock.Load()
+		tx.stat().extensions.Add(1)
+	}
+}
+
 // extend attempts a read-timestamp extension: sample the clock, then
 // revalidate every read entry at its recorded version (unlocked, version
 // unchanged). On success the entire read set is known consistent at the
@@ -347,6 +428,23 @@ func (tx *Tx) extend() bool {
 }
 
 func (tx *Tx) write(v varBase, val any) {
+	if tx.ro {
+		if !tx.promoted {
+			panic("stm: Set inside a read-only transaction (AtomicallyRO cannot write)")
+		}
+		// The promotion guess was wrong: this descriptor does write. Demote
+		// back to the full pipeline for the rest of this call. Reads
+		// certified on the RO path were never logged, so if any happened
+		// the attempt cannot be validated at commit and must restart; with
+		// none, demotion is free and the attempt continues in place.
+		tx.ro, tx.promoted, tx.demoted = false, false, true
+		if tx.roReads > 0 {
+			tx.abort()
+		}
+	}
+	if tx.trec != nil {
+		tx.traceWrite(v, val)
+	}
 	if tx.wmap != nil {
 		if i, ok := tx.wmap[v]; ok {
 			tx.writes[i].val = val
@@ -403,8 +501,17 @@ func (tx *Tx) restoreWrites(snap []writeEntry, msnap map[varBase]int) {
 // Retry aborts the transaction and blocks the retry until at least one
 // variable read so far changes (the classic STM retry combinator). Calling
 // Retry with an empty read set panics, since no write could ever wake the
-// transaction.
+// transaction. The read-only fast path records no read set to wait on:
+// inside AtomicallyRO, Retry panics; a promoted descriptor demotes itself
+// and restarts the attempt on the full pipeline, where Retry can block.
 func (tx *Tx) Retry() {
+	if tx.ro {
+		if tx.promoted {
+			tx.ro, tx.promoted, tx.demoted = false, false, true
+			tx.abort()
+		}
+		panic("stm: Retry inside AtomicallyRO would sleep forever (the read-only fast path records no read set to wait on)")
+	}
 	if len(tx.reads) == 0 {
 		panic("stm: Retry with an empty read set would sleep forever")
 	}
@@ -510,30 +617,99 @@ func (tx *Tx) commit() bool {
 // Atomically runs fn inside a transaction, retrying until it commits.
 // Returning a non-nil error aborts the transaction (its writes are
 // discarded) and returns that error to the caller without retrying.
+//
+// A retried attempt that aborted without buffering a write is promoted to
+// the read-only fast path (see AtomicallyRO): the retry runs with no
+// read-set logging and commits with no validation. If the guess turns out
+// wrong — the promoted attempt calls Set — the descriptor demotes itself
+// back to the full pipeline for the rest of the call (restarting the
+// attempt only if it had already certified reads that were never logged).
+// Transactions that are read-only by construction should call AtomicallyRO
+// directly and skip both the first full-pipeline attempt and the guess.
 func Atomically(fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
+	tx.ro, tx.promoted, tx.demoted = false, false, false
 	for attempt := 0; ; attempt++ {
 		tx.reset()
 		tx.rv = clock.Load()
+		if traceOn {
+			tx.traceBegin()
+		}
 		err, ctl := runAttempt(tx, fn)
 		switch ctl {
 		case ctlOK:
 			if err != nil {
+				tx.traceEnd(false)
 				tx.release()
 				return err // user error: abort without retry
 			}
 			if tx.commit() {
 				tx.stat().commits.Add(1)
+				if tx.ro {
+					tx.stat().roCommits.Add(1)
+				}
+				tx.traceEnd(true)
 				tx.release()
 				return nil
 			}
 			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
 		case ctlRetryNow:
 			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
 		case ctlRetryWait:
+			tx.traceEnd(false)
 			waitForChange(tx)
 			continue // the wait already yielded; retry immediately
 		}
+		if !tx.ro && !tx.demoted && len(tx.writes) == 0 && len(tx.reads) > 0 {
+			// The aborted attempt looked read-only; guess that the retry is
+			// too and run it on the fast path.
+			tx.ro, tx.promoted = true, true
+		}
+		backoff.Attempt(attempt)
+	}
+}
+
+// AtomicallyRO runs fn as a read-only transaction, retrying until it
+// commits; returning a non-nil error aborts and returns it, as with
+// Atomically. The read-only fast path is TL2's zero-validation mode: each
+// read is certified against the attempt's read timestamp (one lock-word
+// load, one value load, one certifying re-load) and nothing is logged —
+// no read set, no commit-time locking, no validation — so an RO
+// transaction's cost is exactly its reads, allocation-free in steady
+// state. See DESIGN.md for the opacity argument.
+//
+// fn must not write: Set panics, and Retry panics since there is no
+// recorded read set to wait on. Use Atomically for transactions that may
+// write or need Retry.
+func AtomicallyRO(fn func(tx *Tx) error) error {
+	tx := txPool.Get().(*Tx)
+	tx.ro, tx.promoted, tx.demoted = true, false, false
+	for attempt := 0; ; attempt++ {
+		tx.reset()
+		tx.rv = clock.Load()
+		if traceOn {
+			tx.traceBegin()
+		}
+		err, ctl := runAttempt(tx, fn)
+		if ctl == ctlOK {
+			// Nothing to commit: every read was certified against rv when it
+			// was performed, so the attempt is already a consistent snapshot.
+			if err != nil {
+				tx.traceEnd(false)
+				tx.release()
+				return err // user error: abort without retry
+			}
+			tx.stat().commits.Add(1)
+			tx.stat().roCommits.Add(1)
+			tx.traceEnd(true)
+			tx.release()
+			return nil
+		}
+		// ctlRetryWait is impossible here (Retry panics on the RO path).
+		tx.stat().aborts.Add(1)
+		tx.traceEnd(false)
 		backoff.Attempt(attempt)
 	}
 }

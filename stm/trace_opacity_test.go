@@ -1,0 +1,238 @@
+package stm_test
+
+// Native-history opacity tests: the test-only trace hook (stm/trace.go)
+// records every transaction attempt of the native engine as an
+// internal/tm.History — the same structure the simulator's tm.Record
+// produces — and the internal/check oracles verify opacity and strict
+// serializability on it. The serialization oracles do exhaustive search,
+// so workloads here are deliberately bounded (a handful of transactions;
+// aborted attempts count too). cmd/opacheck accepts the same histories as
+// JSON.
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/tm"
+	"repro/stm"
+)
+
+// verifyHistory asserts the two oracle properties on a recorded native
+// history.
+func verifyHistory(t *testing.T, h *tm.History) {
+	t.Helper()
+	if len(h.Txns) == 0 {
+		t.Fatal("trace recorded no transactions")
+	}
+	if res := check.Opaque(h); !res.OK {
+		t.Errorf("history is not opaque:\n%s", h)
+	}
+	if res := check.StrictlySerializable(h); !res.OK {
+		t.Errorf("history is not strictly serializable:\n%s", h)
+	}
+}
+
+// TestTraceOpacityConcurrentMixed: a bounded concurrent workload — one
+// writer doing read-modify-writes, one Atomically reader (promotion
+// candidate), one AtomicallyRO reader — must produce an opaque, strictly
+// serializable history, aborted attempts included.
+func TestTraceOpacityConcurrentMixed(t *testing.T) {
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	stm.StartTrace()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				x.Set(tx, x.Get(tx)+1)
+				y.Set(tx, y.Get(tx)+1)
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				if x.Get(tx) > y.Get(tx) {
+					t.Error("reader saw x > y inside one snapshot")
+				}
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+				if x.Get(tx) != y.Get(tx) {
+					t.Error("RO reader saw x != y inside one snapshot")
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	h := stm.StopTrace()
+	verifyHistory(t, h)
+}
+
+// TestTraceOpacityExtensionInterleaving orchestrates the timestamp-
+// extension interleaving deterministically: a reader samples its
+// timestamp and reads x, a writer then commits to y, and the reader's
+// subsequent read of y is stale — extension revalidates x and admits the
+// new value. The recorded history must serialize (writer before reader).
+func TestTraceOpacityExtensionInterleaving(t *testing.T) {
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	stm.StartTrace()
+	before := stm.ReadStats()
+	attempt := 0
+	var gotY int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempt++
+		_ = x.Get(tx)
+		if attempt == 1 {
+			if err := stm.Atomically(func(wtx *stm.Tx) error {
+				y.Set(wtx, 7)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		gotY = y.Get(tx) // stale on attempt 1: must extend, not abort
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := stm.StopTrace()
+	if attempt != 1 {
+		t.Fatalf("attempts = %d, want 1 (extension must absorb the stale read)", attempt)
+	}
+	if gotY != 7 {
+		t.Fatalf("read y = %d, want 7", gotY)
+	}
+	if d := stm.ReadStats().Sub(before); d.Extensions == 0 {
+		t.Fatalf("stats delta = %+v, want at least one extension", d)
+	}
+	verifyHistory(t, h)
+}
+
+// TestTraceOpacityROInterleaving orchestrates the RO fast path's
+// abort/replay: the RO reader certifies x, a writer commits x and y
+// together, and the reader's read of y is stale — with a certified read
+// and no read set, the attempt must abort (an extension would certify a
+// mixed snapshot) and the replay sees the new pair. The history — aborted
+// attempt included — must be opaque. Run under GV4 and GV6.
+func TestTraceOpacityROInterleaving(t *testing.T) {
+	for _, strat := range []stm.ClockStrategy{stm.GV4, stm.GV6} {
+		t.Run(strat.String(), func(t *testing.T) {
+			stm.SetClockStrategy(strat)
+			defer stm.SetClockStrategy(stm.GV4)
+			x := stm.NewVar(0)
+			y := stm.NewVar(0)
+			stm.StartTrace()
+			attempt := 0
+			var gotX, gotY int
+			if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+				attempt++
+				gotX = x.Get(tx)
+				if attempt == 1 {
+					if err := stm.Atomically(func(wtx *stm.Tx) error {
+						x.Set(wtx, 1)
+						y.Set(wtx, 1)
+						return nil
+					}); err != nil {
+						return err
+					}
+				}
+				gotY = y.Get(tx)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			h := stm.StopTrace()
+			if attempt != 2 {
+				t.Fatalf("attempts = %d, want 2 (the straddled RO attempt must abort)", attempt)
+			}
+			if gotX != 1 || gotY != 1 {
+				t.Fatalf("snapshot = (%d,%d), want (1,1)", gotX, gotY)
+			}
+			verifyHistory(t, h)
+			// The aborted attempt must appear in the history as a read-only
+			// aborted transaction — that is what the opacity check bites on.
+			aborted := 0
+			for _, rec := range h.Txns {
+				if rec.Status == tm.TxnAborted && rec.ReadOnly() {
+					aborted++
+				}
+			}
+			if aborted != 1 {
+				t.Fatalf("history has %d aborted RO attempts, want 1:\n%s", aborted, h)
+			}
+		})
+	}
+}
+
+// TestTraceOpacityPromotedDescriptor: the promotion path (full-pipeline
+// attempt aborts, RO retry commits) yields an opaque history whose
+// committed transaction is read-only.
+func TestTraceOpacityPromotedDescriptor(t *testing.T) {
+	x := stm.NewVar(0)
+	stm.StartTrace()
+	attempt := 0
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		attempt++
+		v := x.Get(tx)
+		if attempt == 1 {
+			if err := stm.Atomically(func(wtx *stm.Tx) error {
+				x.Set(wtx, v+1)
+				return nil
+			}); err != nil {
+				return err
+			}
+			_ = x.Get(tx) // invalidated: aborts the attempt, promoting the retry
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h := stm.StopTrace()
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2", attempt)
+	}
+	verifyHistory(t, h)
+}
+
+// TestTraceHistoryJSONRoundTrip: the recorded native history marshals to
+// the JSON encoding cmd/opacheck consumes and survives the round trip —
+// the native trace and the simulator's recorder speak one format.
+func TestTraceHistoryJSONRoundTrip(t *testing.T) {
+	x := stm.NewVar(0)
+	stm.StartTrace()
+	_ = stm.Atomically(func(tx *stm.Tx) error {
+		x.Set(tx, x.Get(tx)+1)
+		return nil
+	})
+	_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+		_ = x.Get(tx)
+		return nil
+	})
+	h := stm.StopTrace()
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back tm.History
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != h.String() {
+		t.Fatalf("round trip changed the history:\n%s\nvs\n%s", h, &back)
+	}
+	verifyHistory(t, &back)
+}
