@@ -10,11 +10,13 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/exp"
 	"repro/stm"
+	"repro/stm/mvstm"
 	"repro/stm/norecstm"
 )
 
@@ -490,6 +492,167 @@ func BenchmarkE10NativeServing(b *testing.B) {
 	}
 	b.Run("path=default", func(b *testing.B) { run(b, stm.Atomically) })
 	b.Run("path=ro", func(b *testing.B) { run(b, stm.AtomicallyRO) })
+}
+
+// BenchmarkE11Scenarios regenerates experiment E11 (the long-scan/HTAP
+// scenario) on the simulator: long ordered scans and multi-key aggregates
+// racing a writer pool, per TM, reporting read-side aborts, scan steps
+// and live space as custom metrics — the time/space trade in one table.
+func BenchmarkE11Scenarios(b *testing.B) {
+	for _, name := range append(append([]string{}, tmNames...), "tl2:ext", "tl2:gv6+ext") {
+		name := name
+		b.Run("tm="+name, func(b *testing.B) {
+			var last exp.E11Row
+			for i := 0; i < b.N; i++ {
+				row, err := exp.RunE11(name, exp.DefaultE11Config())
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = row
+			}
+			b.ReportMetric(last.AbortRatio, "abort-ratio")
+			b.ReportMetric(float64(last.ReadAborts), "read-aborts")
+			b.ReportMetric(last.ScanSteps, "scan-steps/txn")
+			b.ReportMetric(float64(last.Space), "space")
+		})
+	}
+}
+
+// BenchmarkE11NativeScan is the native half of E11 and the acceptance
+// benchmark of the mvstm engine: long scans over a shared table racing a
+// pool of background point writers, identical across three pipelines —
+// stm Atomically (full read-set logging + commit validation), stm
+// AtomicallyRO (zero-validation certified reads, abort/replay on churn),
+// and mvstm AtomicallyRO (pinned-snapshot chain reads: no certification,
+// no aborts, structurally). The read-aborts/op metric counts scan
+// attempts beyond the first — exactly 0 for mvstm — and the mvstm cells
+// also report the GC evidence: versions reclaimed per scan, and
+// chain-hwm-peak, the engine-lifetime chain-length high-water mark
+// (mvstm.Stats.ChainHWM is a monotone process-wide maximum, so the value
+// is the peak up to and including the cell, not a per-cell reading; its
+// bound — a small multiple of the retention plus whatever growth pinned
+// scans force — is the acceptance signal).
+func BenchmarkE11NativeScan(b *testing.B) {
+	const nkeys = 512
+	runSTM := func(b *testing.B, scanLen, writers int, scanTx func(func(*stm.Tx) error) error) {
+		vars := make([]*stm.Var[int], nkeys)
+		for i := range vars {
+			vars[i] = stm.NewVar(i)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := uint64(w)*2654435761 + 1
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rng = rng*6364136223846793005 + 1442695040888963407
+					v := vars[rng%nkeys]
+					_ = stm.Atomically(func(tx *stm.Tx) error {
+						v.Set(tx, v.Get(tx)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		var attempts, scans atomic.Uint64
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var n uint64
+			for pb.Next() {
+				n++
+				start := int((n * 2654435761) % nkeys)
+				_ = scanTx(func(tx *stm.Tx) error {
+					attempts.Add(1)
+					s := 0
+					for j := 0; j < scanLen; j++ {
+						s += vars[(start+j)%nkeys].Get(tx)
+					}
+					_ = s
+					return nil
+				})
+			}
+			scans.Add(n)
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		b.ReportMetric(float64(attempts.Load()-scans.Load())/float64(scans.Load()), "read-aborts/op")
+	}
+	runMVStm := func(b *testing.B, scanLen, writers int) {
+		vars := make([]*mvstm.Var[int], nkeys)
+		for i := range vars {
+			vars[i] = mvstm.NewVar(i)
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := uint64(w)*2654435761 + 1
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					rng = rng*6364136223846793005 + 1442695040888963407
+					v := vars[rng%nkeys]
+					_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+						v.Set(tx, v.Get(tx)+1)
+						return nil
+					})
+				}
+			}()
+		}
+		var attempts, scans atomic.Uint64
+		before := mvstm.ReadStats()
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var n uint64
+			for pb.Next() {
+				n++
+				start := int((n * 2654435761) % nkeys)
+				_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+					attempts.Add(1)
+					s := 0
+					for j := 0; j < scanLen; j++ {
+						s += vars[(start+j)%nkeys].Get(tx)
+					}
+					_ = s
+					return nil
+				})
+			}
+			scans.Add(n)
+		})
+		b.StopTimer()
+		close(stop)
+		wg.Wait()
+		d := mvstm.ReadStats().Sub(before)
+		b.ReportMetric(float64(attempts.Load()-scans.Load())/float64(scans.Load()), "read-aborts/op")
+		b.ReportMetric(float64(d.VersionsReclaimed)/float64(scans.Load()), "reclaimed/op")
+		b.ReportMetric(float64(d.ChainHWM), "chain-hwm-peak")
+		b.ReportMetric(d.MeanChainWalk(), "chain-walk/read")
+	}
+	for _, scanLen := range []int{64, 256} {
+		for _, writers := range []int{1, 4} {
+			prefix := fmt.Sprintf("scan=%d/writers=%d/", scanLen, writers)
+			b.Run(prefix+"engine=stm/path=default", func(b *testing.B) { runSTM(b, scanLen, writers, stm.Atomically) })
+			b.Run(prefix+"engine=stm/path=ro", func(b *testing.B) { runSTM(b, scanLen, writers, stm.AtomicallyRO) })
+			b.Run(prefix+"engine=mvstm/path=snapshot", func(b *testing.B) { runMVStm(b, scanLen, writers) })
+		}
+	}
 }
 
 // BenchmarkE8NativeCounter measures the native stm package: contended

@@ -12,7 +12,10 @@
 //	tmbench -exp e8 [-workers 8] [-dur 100ms]
 //	tmbench -exp e9 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e10 [-tms irtm,tl2] [-seed 42]
+//	tmbench -exp e11 [-tms irtm,tl2,mvtm,mvtm-gc] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
+//
+// An unknown -exp value exits non-zero and lists the valid experiments.
 package main
 
 import (
@@ -32,7 +35,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
@@ -80,6 +83,8 @@ func main() {
 		err = runE9(cfg)
 	case "e10":
 		err = runE10(cfg)
+	case "e11":
+		err = runE11(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -101,6 +106,7 @@ func main() {
 			func() error { return runE8(cfg) },
 			func() error { return runE9(cfg) },
 			func() error { return runE10(cfg) },
+			func() error { return runE11(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -108,12 +114,21 @@ func main() {
 			}
 		}
 	default:
-		err = fmt.Errorf("unknown experiment %q", *expName)
+		// Exit non-zero with the valid list: a fat-fingered -exp must not
+		// look like a successful (empty) run.
+		err = fmt.Errorf("unknown experiment %q (valid: %s)", *expName, strings.Join(validExperiments, ", "))
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tmbench:", err)
 		os.Exit(1)
 	}
+}
+
+// validExperiments lists every -exp value main dispatches on, for the
+// unknown-experiment error.
+var validExperiments = []string{
+	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+	"class", "mc", "all",
 }
 
 type config struct {
@@ -581,6 +596,31 @@ func runE10(c config) error {
 				return err
 			}
 		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE11 prints the long-scan/HTAP scenario (long ordered scans and
+// multi-key aggregates racing a writer pool) for every requested TM — the
+// table where the multi-version rows (mvtm, mvtm-gc) show zero read-side
+// aborts while the single-version TMs pay validation steps or
+// abort/replay, and the space column shows what that costs. The TL2
+// clock variants are swept after the base tl2 row, as in E5/E9/E10.
+func runE11(c config) error {
+	t := ptm.Table{
+		Title:  "E11 — HTAP long scans: ordered scans + multi-key aggregates vs a writer pool",
+		Header: []string{"tm", "ro", "commits", "aborts", "read-aborts", "abort-ratio", "steps/txn", "scan-steps", "space"},
+	}
+	cfg := exp.DefaultE11Config()
+	cfg.Seed = c.seed
+	for _, name := range expandTL2(c.tms) {
+		row, err := ptm.RunE11(name, cfg)
+		if err != nil {
+			return err
+		}
+		t.Add(row.TM, row.ROHint, row.Commits, row.Aborts, row.ReadAborts,
+			row.AbortRatio, row.StepsPerTxn, row.ScanSteps, row.Space)
 	}
 	ptm.PrintTable(os.Stdout, &t)
 	return nil

@@ -1,0 +1,99 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE11AllTMs runs the long-scan/HTAP scenario on every registered TM:
+// every process completes its quota, and the multi-version TMs complete
+// it with zero read-side aborts — the property the scenario exists to
+// demonstrate (the blocking sgltm trivially shares it).
+func TestE11AllTMs(t *testing.T) {
+	cfg := exp.E11Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, ScanLen: 8, AggKeys: 3,
+		WriteRatio: 0.3, ScanRatio: 0.5, DeclareRO: true, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.RunE11(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row.Commits != cfg.Procs*cfg.TxnsPerProc {
+				t.Errorf("%d commits, want %d", row.Commits, cfg.Procs*cfg.TxnsPerProc)
+			}
+			if row.StepsPerTxn <= 0 || row.ScanSteps <= 0 {
+				t.Errorf("steps not recorded: %+v", row)
+			}
+			switch name {
+			case "mvtm", "mvtm-gc":
+				if row.ReadAborts != 0 {
+					t.Errorf("multi-version TM aborted %d read transactions", row.ReadAborts)
+				}
+			case "sgltm":
+				if row.Aborts != 0 {
+					t.Errorf("blocking TM aborted %d times", row.Aborts)
+				}
+			}
+			if row.ReadAborts > row.Aborts {
+				t.Errorf("ReadAborts %d > Aborts %d", row.ReadAborts, row.Aborts)
+			}
+		})
+	}
+}
+
+// TestE11GCBoundsSpace: on the same workload, the GC'd multi-version TM
+// must finish with no more live space than the unbounded one — the chain
+// growth the epoch GC exists to reclaim.
+func TestE11GCBoundsSpace(t *testing.T) {
+	// Version-heavy variant: enough writer commits that the unbounded
+	// chains clearly outgrow the GC'd ones (the GC variant also pays one
+	// registration object per process, which a tiny workload would not
+	// amortize).
+	cfg := exp.DefaultE11Config()
+	cfg.TxnsPerProc, cfg.WriteRatio = 24, 0.6
+	nogc, err := exp.RunE11("mvtm", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, err := exp.RunE11("mvtm-gc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Space > nogc.Space {
+		t.Errorf("mvtm-gc live space %d > mvtm %d", gc.Space, nogc.Space)
+	}
+	if nogc.ReadAborts != 0 || gc.ReadAborts != 0 {
+		t.Errorf("multi-version read aborts: nogc=%d gc=%d", nogc.ReadAborts, gc.ReadAborts)
+	}
+}
+
+// TestE11ROAblation: the TL2 clock variants complete the quota with and
+// without the read-only declaration — the single-version baselines the
+// E11 table compares the multi-version rows against.
+func TestE11ROAblation(t *testing.T) {
+	cfg := exp.E11Config{
+		Procs: 4, TxnsPerProc: 4, Objects: 16, ScanLen: 8, AggKeys: 3,
+		WriteRatio: 0.3, ScanRatio: 0.5, Seed: 11,
+	}
+	for _, name := range tmreg.ClockVariants() {
+		for _, declare := range []bool{false, true} {
+			c := cfg
+			c.DeclareRO = declare
+			row, err := exp.RunE11(name, c)
+			if err != nil {
+				t.Fatalf("%s ro=%v: %v", name, declare, err)
+			}
+			if row.Commits != cfg.Procs*cfg.TxnsPerProc {
+				t.Errorf("%s ro=%v: %d commits, want %d", name, declare, row.Commits, cfg.Procs*cfg.TxnsPerProc)
+			}
+			if declare && !row.ROHint {
+				t.Errorf("%s: RO declaration not applied", name)
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
 // Package exp is the experiment harness: it drives the workloads of the
-// per-experiment index in DESIGN.md (E1..E10), producing the rows that
+// per-experiment index in DESIGN.md (E1..E11), producing the rows that
 // the benchmarks, the tmbench CLI and EXPERIMENTS.md report. Each
 // experiment reproduces one artifact of the paper — see the function
 // comments.

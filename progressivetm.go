@@ -17,7 +17,7 @@
 // For writing concurrent Go programs with transactions (the adoptable
 // library rather than the research instrument), see the sibling package
 // repro/stm and its containers (Map, OrderedMap, Queue). README.md is the
-// guided tour; DESIGN.md holds the per-experiment index (E1–E9) and the
+// guided tour; DESIGN.md holds the per-experiment index (E1–E11) and the
 // engine's soundness arguments.
 package progressivetm
 
@@ -209,6 +209,13 @@ func RunE9(tmName string, cfg exp.E9Config) ([]exp.E9Row, error) { return exp.Ru
 // ordered scans racing a small writer pool), optionally declaring read
 // transactions read-only via the tm.ReadOnlyHinter fast path.
 func RunE10(tmName string, cfg exp.E10Config) (exp.E10Row, error) { return exp.RunE10(tmName, cfg) }
+
+// RunE11 runs the long-scan/HTAP scenario (long ordered scans and
+// multi-key aggregates racing a writer pool): the table where the
+// multi-version TMs' zero read-side aborts meet their space bill. The
+// native counterpart is BenchmarkE11NativeScan (repro/stm vs
+// repro/stm/mvstm).
+func RunE11(tmName string, cfg exp.E11Config) (exp.E11Row, error) { return exp.RunE11(tmName, cfg) }
 
 // PrintTable renders rows produced by the Run* helpers.
 func PrintTable(w io.Writer, t *Table) { t.Print(w) }

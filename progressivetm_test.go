@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	ptm "repro"
+	"repro/internal/exp"
 )
 
 // TestFacadeEndToEnd drives the whole public surface once: build a memory,
@@ -50,6 +51,23 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if mem.TotalRMRs() == 0 {
 		t.Error("no RMRs recorded under cc-wb")
+	}
+}
+
+// TestFacadeRunE11 smoke-tests the E11 facade runner: the multi-version
+// row must complete its quota with zero read-side aborts.
+func TestFacadeRunE11(t *testing.T) {
+	cfg := exp.DefaultE11Config()
+	cfg.Procs, cfg.TxnsPerProc = 4, 4
+	row, err := ptm.RunE11("mvtm-gc", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Commits != cfg.Procs*cfg.TxnsPerProc {
+		t.Fatalf("commits = %d, want %d", row.Commits, cfg.Procs*cfg.TxnsPerProc)
+	}
+	if row.ReadAborts != 0 {
+		t.Fatalf("multi-version read aborts = %d, want 0", row.ReadAborts)
 	}
 }
 

@@ -1,0 +1,39 @@
+package mvstm
+
+import "repro/internal/tm"
+
+// Test-only exports: the native history trace hook (see trace.go) and the
+// chain internals the GC and fuzz tests assert on.
+
+// StartTrace enables history tracing. Call with no transactions in
+// flight, before spawning workload goroutines.
+func StartTrace() { startTrace() }
+
+// StopTrace disables tracing and returns the recorded history. Call after
+// joining every workload goroutine.
+func StopTrace() *tm.History { return stopTrace() }
+
+// ChainLen reports the number of versions currently published on v's
+// chain.
+func ChainLen[T any](v *Var[T]) int { return v.loadChain().len() }
+
+// ChainVersions reports the version timestamps on v's chain,
+// newest-first (for asserting truncation boundaries).
+func ChainVersions[T any](v *Var[T]) []uint64 {
+	c := v.loadChain()
+	out := make([]uint64, c.len())
+	for i := range out {
+		out[i] = c.index(i).ver
+	}
+	return out
+}
+
+// ReadSetLen reports how many read-set entries the descriptor has logged;
+// the snapshot path must keep it at zero.
+func ReadSetLen(tx *Tx) int { return len(tx.reads) }
+
+// IsRO reports whether the descriptor is running on the snapshot path.
+func IsRO(tx *Tx) bool { return tx.ro }
+
+// PinnedRV reports the descriptor's pinned read timestamp.
+func PinnedRV(tx *Tx) uint64 { return tx.rv }

@@ -1,0 +1,151 @@
+package mvstm
+
+// Epoch-based version garbage collection. Every transaction registers its
+// pinned read timestamp in a striped table of padded slots (one slot per
+// pooled descriptor, handed out once and reused for the descriptor's
+// lifetime); committers compute the minimum registered timestamp and
+// truncate each written chain below it, keeping at least the configured
+// retention of recent versions. The registration protocol is the
+// simulated mvtm's, translated to native atomics:
+//
+//   - a transaction publishes the joining sentinel, then samples the
+//     clock, then publishes rv+slotBias — so a sweep either observes the
+//     sentinel (and skips truncation for that commit, conservatively) or
+//     scanned the slot before the sentinel store, in which case the
+//     joiner's clock sample happens after the sweeper sampled its own
+//     read timestamp and the joiner's rv is at least the sweep's floor;
+//   - the minimum over registered timestamps is monotone: registrations
+//     only leave (raising the minimum) or join at the current clock,
+//     which is at least every version ever committed — so a chain always
+//     retains a version at or below any future sweep's floor.
+//
+// The slot registry only grows to the peak number of live descriptors:
+// each pooled descriptor owns one slot for its lifetime, a descriptor
+// collected after pool eviction returns its slot to a free list (via a
+// runtime cleanup), and committers scan the registry without locks via
+// an immutable slice snapshot.
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Slot encoding: 0 = inactive, 1 = joining (rv not yet published; sweeps
+// must be fully conservative), rv+slotBias = registered.
+const (
+	slotInactive = 0
+	slotJoining  = 1
+	slotBias     = 2
+)
+
+// epochSlot is one registration slot, padded to its own cache lines so
+// pin/unpin traffic from different descriptors does not false-share.
+type epochSlot struct {
+	ts atomic.Uint64
+	_  [120]byte
+}
+
+var (
+	slotMu sync.Mutex
+	// slotList is the immutable snapshot of all allocated slots; committers
+	// load it once per sweep and scan without synchronization.
+	slotList atomic.Pointer[[]*epochSlot]
+	// slotFree holds slots whose descriptors were collected (sync.Pool
+	// drops descriptors on GC cycles); reusing them keeps slotList bounded
+	// by the peak number of live descriptors instead of growing with every
+	// pool eviction over a long-lived process. Guarded by slotMu.
+	slotFree []*epochSlot
+)
+
+// newEpochSlot hands out a slot for a new descriptor (off the hot path):
+// a freed one if a previous descriptor was collected, else a fresh slot
+// appended to the registry. The caller attaches freeEpochSlot as the
+// descriptor's cleanup.
+func newEpochSlot() *epochSlot {
+	slotMu.Lock()
+	defer slotMu.Unlock()
+	if n := len(slotFree); n > 0 {
+		s := slotFree[n-1]
+		slotFree = slotFree[:n-1]
+		return s
+	}
+	s := &epochSlot{}
+	var ns []*epochSlot
+	if old := slotList.Load(); old != nil {
+		ns = append(ns, *old...)
+	}
+	ns = append(ns, s)
+	slotList.Store(&ns)
+	return s
+}
+
+// freeEpochSlot returns a collected descriptor's slot to the free list.
+// The descriptor is only unreachable between calls, when its slot is
+// deregistered, so the slot is inactive here.
+func freeEpochSlot(s *epochSlot) {
+	slotMu.Lock()
+	slotFree = append(slotFree, s)
+	slotMu.Unlock()
+}
+
+// minActiveRV returns the minimum registered read timestamp (at most rv,
+// the calling committer's own registration), or ok=false if some
+// transaction is mid-registration and the sweep must be skipped.
+func minActiveRV(rv uint64) (minRV uint64, ok bool) {
+	minRV = rv
+	sl := slotList.Load()
+	if sl == nil {
+		return minRV, true
+	}
+	for _, s := range *sl {
+		switch v := s.ts.Load(); v {
+		case slotInactive:
+		case slotJoining:
+			return 0, false
+		default:
+			if r := v - slotBias; r < minRV {
+				minRV = r
+			}
+		}
+	}
+	return minRV, true
+}
+
+// DefaultRetention is the number of recent versions each chain keeps
+// regardless of reader activity (the SetRetention default).
+const DefaultRetention = 8
+
+// gcSlackFactor is the sweep-hysteresis multiplier: a committer truncates
+// a chain only once it has grown to gcSlackFactor×retention versions, and
+// then cuts it back to the retention. Chains therefore oscillate between
+// retention and gcSlackFactor×retention (absent pinned old readers), and
+// the sweep's chain copy amortizes over the growth instead of running on
+// every commit.
+const gcSlackFactor = 2
+
+// retention is the engine-wide knob; see SetRetention.
+var retention atomic.Int64
+
+func init() {
+	retention.Store(DefaultRetention)
+}
+
+// SetRetention sets how many recent versions every chain retains even
+// when no reader needs them (default DefaultRetention). Larger values
+// trade space for fewer sweeps and friendlier late-pinning readers;
+// chains additionally keep every version a registered snapshot may still
+// read, however old, so a long-running reader grows chains past the
+// retention until it finishes, and the sweep hysteresis lets chains
+// oscillate up to gcSlackFactor times the retention between truncations.
+// n must be at least 1 (the newest version is the Var's value). Like the
+// stm clock knobs, this is engine-wide and meant to be set once before
+// concurrent use; it exists so E11 can ablate chain growth against GC.
+func SetRetention(n int) {
+	if n < 1 {
+		panic("mvstm: retention must keep at least 1 version")
+	}
+	retention.Store(int64(n))
+}
+
+// Retention reports the retention in effect.
+func Retention() int { return int(retention.Load()) }

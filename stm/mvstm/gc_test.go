@@ -1,0 +1,313 @@
+package mvstm_test
+
+// GC and stat-accounting coverage: chains stay bounded by the retention
+// under churn, the counters account versions appended/reclaimed and the
+// chain-length high-water mark, and — the regression the epoch protocol
+// exists for — a pinned old reader blocks truncation below its snapshot
+// floor until it finishes, with no snapshot-too-old panic under the
+// default retention.
+
+import (
+	"testing"
+
+	"repro/stm/mvstm"
+)
+
+// pinnedReader opens an AtomicallyRO transaction on a dedicated goroutine
+// and keeps it pinned until Close; Read serves snapshot reads inside the
+// open transaction, synchronously.
+type pinnedReader struct {
+	req   chan *mvstm.Var[int]
+	resp  chan int
+	done  chan struct{}
+	ready chan struct{}
+}
+
+func openPinnedReader() *pinnedReader {
+	r := &pinnedReader{
+		req:   make(chan *mvstm.Var[int]),
+		resp:  make(chan int),
+		done:  make(chan struct{}),
+		ready: make(chan struct{}),
+	}
+	go func() {
+		_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			close(r.ready)
+			for v := range r.req {
+				r.resp <- v.Get(tx)
+			}
+			return nil
+		})
+		close(r.done)
+	}()
+	<-r.ready
+	return r
+}
+
+func (r *pinnedReader) Read(v *mvstm.Var[int]) int {
+	r.req <- v
+	return <-r.resp
+}
+
+func (r *pinnedReader) Close() {
+	close(r.req)
+	<-r.done
+}
+
+// TestChainBoundedByRetention: with no pinned readers, a churned Var's
+// chain stays inside the hysteresis band (retention up to twice the
+// retention), and the counters show the reclaimed versions.
+func TestChainBoundedByRetention(t *testing.T) {
+	const writes = 100
+	v := mvstm.NewVar(0)
+	before := mvstm.ReadStats()
+	for i := 0; i < writes; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, r := mvstm.ChainLen(v), mvstm.Retention(); got < r || got > 2*r {
+		t.Fatalf("chain length = %d, want within the hysteresis band [%d,%d]", got, r, 2*r)
+	}
+	d := mvstm.ReadStats().Sub(before)
+	if d.VersionsAppended < writes {
+		t.Errorf("VersionsAppended = %d, want ≥ %d", d.VersionsAppended, writes)
+	}
+	if d.VersionsReclaimed == 0 || d.GCSweeps == 0 {
+		t.Errorf("no GC activity recorded: %+v", d)
+	}
+	// Appended − reclaimed must cover what is still live on this chain.
+	if live := d.VersionsAppended - d.VersionsReclaimed; live < uint64(mvstm.Retention()-1) {
+		t.Errorf("reclaimed more than it appended: %+v", d)
+	}
+	if d.ChainHWM < uint64(mvstm.Retention()) {
+		t.Errorf("ChainHWM = %d, want ≥ retention %d", d.ChainHWM, mvstm.Retention())
+	}
+	if v.Load() != writes {
+		t.Fatalf("newest value = %d, want %d", v.Load(), writes)
+	}
+}
+
+// TestPinnedReaderBlocksTruncation is the regression test of the epoch
+// protocol: a reader pinned before a burst of writes keeps its floor
+// version alive — the chain grows past the retention while it runs, the
+// reader still reads its snapshot value (no snapshot-too-old panic), and
+// the first commit after the reader retires reclaims the backlog.
+func TestPinnedReaderBlocksTruncation(t *testing.T) {
+	const writes = 50
+	v := mvstm.NewVar(0)
+	r := openPinnedReader()
+	for i := 0; i < writes; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := mvstm.ChainLen(v); got < writes {
+		t.Fatalf("chain length = %d while a reader is pinned, want ≥ %d (truncation must be blocked)", got, writes)
+	}
+	// The pinned snapshot predates every write: it must read the initial
+	// value from the bottom of the grown chain.
+	if got := r.Read(v); got != 0 {
+		t.Fatalf("pinned reader saw %d, want the pre-pin snapshot value 0", got)
+	}
+	r.Close()
+	before := mvstm.ReadStats()
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, -1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mvstm.ChainLen(v), mvstm.Retention(); got != want {
+		t.Fatalf("chain length = %d after the reader retired, want retention %d", got, want)
+	}
+	if d := mvstm.ReadStats().Sub(before); d.VersionsReclaimed < writes-uint64(2*mvstm.Retention()) {
+		t.Fatalf("reclaimed %d versions after the reader retired, want ≥ %d", d.VersionsReclaimed, writes-uint64(2*mvstm.Retention()))
+	}
+}
+
+// TestChainHWMTracksPinnedGrowth: the high-water mark records the growth a
+// pinned reader forces, which is the E11 ablation's space signal.
+func TestChainHWMTracksPinnedGrowth(t *testing.T) {
+	const writes = 60
+	v := mvstm.NewVar(0)
+	r := openPinnedReader()
+	for i := 0; i < writes; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Close()
+	if hwm := mvstm.ReadStats().ChainHWM; hwm < writes {
+		t.Fatalf("ChainHWM = %d, want ≥ %d (pinned growth must be visible)", hwm, writes)
+	}
+}
+
+// TestTruncationKeepsReaderFloor pins a reader mid-history: versions
+// older than the reader's floor are still reclaimed while it runs, the
+// floor itself and everything newer stay, and the reader's snapshot is
+// intact throughout.
+func TestTruncationKeepsReaderFloor(t *testing.T) {
+	v := mvstm.NewVar(0)
+	for i := 1; i <= 5; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := openPinnedReader()
+	defer r.Close()
+	if got := r.Read(v); got != 5 {
+		t.Fatalf("pinned reader sees %d, want 5", got)
+	}
+	for i := 6; i <= 40; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The chain may truncate below the retention boundary but never below
+	// the reader's floor (the version holding 5).
+	if got := r.Read(v); got != 5 {
+		t.Fatalf("pinned reader's snapshot moved: got %d, want 5", got)
+	}
+	vers := mvstm.ChainVersions(v)
+	if len(vers) > 40 {
+		t.Fatalf("chain grew unboundedly above the floor: %d versions", len(vers))
+	}
+}
+
+// TestSnapshotReadStats: the per-call batched read counters land in the
+// stripes — reads served, walk steps, and the mean walk derived from them.
+func TestSnapshotReadStats(t *testing.T) {
+	v := mvstm.NewVar(0)
+	before := mvstm.ReadStats()
+	if err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		for i := 0; i < 10; i++ {
+			_ = v.Get(tx)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	d := mvstm.ReadStats().Sub(before)
+	if d.SnapshotReads < 10 {
+		t.Errorf("SnapshotReads = %d, want ≥ 10", d.SnapshotReads)
+	}
+	if d.WalkSteps < d.SnapshotReads {
+		t.Errorf("WalkSteps = %d < SnapshotReads = %d", d.WalkSteps, d.SnapshotReads)
+	}
+	if d.ROCommits != 1 || d.Commits != 1 {
+		t.Errorf("commit counters: %+v", d)
+	}
+	if d.MeanChainWalk() < 1 {
+		t.Errorf("MeanChainWalk = %v, want ≥ 1", d.MeanChainWalk())
+	}
+}
+
+// TestPanickedTransactionReleasesEpoch: a panic escaping a transaction
+// (here the Set-inside-RO usage error) abandons the descriptor, but its
+// epoch registration must be released — a leaked registration would
+// silently pin the GC floor at that snapshot forever.
+func TestPanickedTransactionReleasesEpoch(t *testing.T) {
+	v := mvstm.NewVar(0)
+	func() {
+		defer func() { _ = recover() }()
+		_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			v.Set(tx, 1) // usage error: panics out of the call
+			return nil
+		})
+	}()
+	func() {
+		defer func() { _ = recover() }()
+		_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+			panic("user bug")
+		})
+	}()
+	for i := 0; i < 3*mvstm.Retention(); i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, r := mvstm.ChainLen(v), mvstm.Retention(); got > 2*r {
+		t.Fatalf("chain length = %d after panicked transactions, want ≤ %d (epoch registration leaked?)", got, 2*r)
+	}
+}
+
+// TestSetRetentionValidation: the knob rejects values that could not keep
+// the newest version.
+func TestSetRetentionValidation(t *testing.T) {
+	for _, n := range []int{0, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetRetention(%d) did not panic", n)
+				}
+			}()
+			mvstm.SetRetention(n)
+		}()
+	}
+	mvstm.SetRetention(5)
+	if got := mvstm.Retention(); got != 5 {
+		t.Fatalf("Retention() = %d, want 5", got)
+	}
+	mvstm.SetRetention(mvstm.DefaultRetention)
+}
+
+// TestRetentionBoundary exercises truncation exactly at the hysteresis
+// edge: a chain one version short of the sweep trigger (twice the
+// retention) is left alone, and the commit that reaches the trigger
+// truncates back down to the retention.
+func TestRetentionBoundary(t *testing.T) {
+	mvstm.SetRetention(3)
+	defer mvstm.SetRetention(mvstm.DefaultRetention)
+	v := mvstm.NewVar(0)
+	before := mvstm.ReadStats()
+	for i := 1; i <= 5; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Five versions plus the initial one: exactly at the trigger (2×3),
+	// reached by the push of the fifth write, so no sweep has fired yet.
+	if got := mvstm.ChainLen(v); got != 6 {
+		t.Fatalf("chain length = %d one short of the trigger, want 6", got)
+	}
+	if d := mvstm.ReadStats().Sub(before); d.VersionsReclaimed != 0 {
+		t.Fatalf("reclaimed %d versions below the trigger, want 0", d.VersionsReclaimed)
+	}
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, 6)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mvstm.ChainLen(v), mvstm.Retention(); got != want {
+		t.Fatalf("chain length = %d after the trigger commit, want retention %d", got, want)
+	}
+	if d := mvstm.ReadStats().Sub(before); d.VersionsReclaimed != 4 {
+		t.Fatalf("trigger commit reclaimed %d versions, want 4", d.VersionsReclaimed)
+	}
+	if v.Load() != 6 {
+		t.Fatalf("newest value = %d, want 6", v.Load())
+	}
+}

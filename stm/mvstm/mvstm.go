@@ -1,0 +1,912 @@
+// Package mvstm is a native multi-version software transactional memory:
+// the third engine of the repository's triangle (TL2 in repro/stm, NOrec
+// in repro/stm/norecstm), and the native counterpart of the simulated
+// internal/tm/mvtm. Where the single-version engines buy O(1)-step reads
+// with a global clock and still pay certification (and, for long read
+// sets, abort/replay under write churn), mvstm spends *space* instead:
+// each Var keeps a small chain of committed versions, and a read-only
+// transaction reads the snapshot at its start timestamp by walking each
+// chain to the newest version no newer than that timestamp. Read-only
+// transactions therefore never abort, never log a read set, and never
+// revalidate — the paper's Theorem 3 trade-off (time vs. space) made
+// concrete in wall-clock terms. The HTAP-shaped workload this engine
+// exists for — long analytical scans racing a writer pool — is measured
+// as experiment E11 (see DESIGN.md).
+//
+// # Version chains
+//
+// Each Var holds an immutable chain snapshot published through one atomic
+// pointer: the newest few versions live in an inline array head (no
+// pointer chase for the common newest-version read), older ones in an
+// overflow slice. Writers commit exactly as in the TL2 engine — lock the
+// write set in Var-id order, fetch a write version from the GV4
+// pass-on-failure global clock, validate the read set — and then *append*
+// a version instead of overwriting, publishing a new chain snapshot
+// before releasing each Var's versioned lock word.
+//
+// A snapshot read needs no certifying re-load: the transaction pins its
+// read timestamp rv once, and any version committed after the pin carries
+// a write version strictly greater than rv (the write version is drawn
+// from the clock after the committer acquired its locks, and the clock
+// reaches it only afterwards — the same invariant the stm engine's
+// opacity argument rests on). The only writer a read must wait out is one
+// that acquired its locks before the pin and has not yet published — and
+// the lock word says which that is: locking embeds the clock value at
+// acquisition time, so a reader classifies a held lock with one load
+// (embedded clock ≥ rv: the pending version is invisible, proceed;
+// below rv: wait, with sleeps that hand the CPU to a preempted holder).
+// Everything else is one lock-word load, one chain-pointer load, and a
+// walk.
+//
+// # Epoch-based garbage collection
+//
+// Unbounded chains would make the space half of the trade infinite, so
+// transactions register their read timestamps in a striped epoch table
+// (one padded slot per pooled descriptor) and committers truncate each
+// written chain below the oldest registered snapshot, keeping at least
+// SetRetention's worth of recent versions. Registration publishes a
+// joining sentinel *before* sampling the clock; a sweep that observes the
+// sentinel skips truncation for that commit (counted in Stats.GCSkips),
+// which closes the race where a reader pins a timestamp the sweep did not
+// see. A pinned old reader therefore blocks truncation below its floor
+// until it finishes — chains grow while it runs and are reclaimed by the
+// next commit after it retires — and a snapshot read can never find its
+// floor version truncated.
+//
+// Usage mirrors repro/stm:
+//
+//	acct := mvstm.NewVar(100)
+//	err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+//	    acct.Set(tx, acct.Get(tx)-10)
+//	    return nil
+//	})
+//	_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+//	    _ = acct.Get(tx) // snapshot read: never aborts, logs, or revalidates
+//	    return nil
+//	})
+//
+// Transactions retry automatically on conflict (update transactions
+// only — AtomicallyRO runs exactly once). Get and Set abort the enclosing
+// transaction by panicking with an internal signal that Atomically
+// recovers; user code must not recover() across t-operations. Values
+// stored in a Var must be treated as immutable once written.
+package mvstm
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/tm/lockword"
+)
+
+// clock is the global version clock shared by all Vars (advanced with the
+// GV4 pass-on-failure rule; see advanceClock).
+var clock atomic.Uint64
+
+// varIDs allocates the total order used to acquire commit locks
+// deadlock-free.
+var varIDs atomic.Uint64
+
+// chainInline is the number of newest versions kept in the chain's inline
+// array head; older versions overflow into a slice. Recent readers — the
+// common case — find their version without touching the overflow.
+const chainInline = 3
+
+// version is one committed value with its commit timestamp.
+type version struct {
+	val any
+	ver uint64
+}
+
+// chain is an immutable snapshot of a Var's version history: head holds
+// the newest n versions (newest-first), tail the older ones oldest-first.
+// Every array is written only at construction — pushes below a full head
+// share the tail slice read-only, and a full head spills into a freshly
+// allocated tail — so chains may be built optimistically outside the Var
+// lock and walked by readers without any synchronization.
+type chain struct {
+	head [chainInline]version
+	n    int
+	tail []version
+}
+
+// len returns the number of versions in the chain.
+func (c *chain) len() int { return c.n + len(c.tail) }
+
+// at returns the newest version with ver ≤ rv and the number of versions
+// examined, or ok=false if the chain holds no such version (possible only
+// if truncation removed a registered reader's floor — an engine bug).
+func (c *chain) at(rv uint64) (val any, walked int, ok bool) {
+	for i := 0; i < c.n; i++ {
+		walked++
+		if c.head[i].ver <= rv {
+			return c.head[i].val, walked, true
+		}
+	}
+	for i := len(c.tail) - 1; i >= 0; i-- {
+		walked++
+		if c.tail[i].ver <= rv {
+			return c.tail[i].val, walked, true
+		}
+	}
+	return nil, walked, false
+}
+
+// index returns the i-th version in newest-first logical order.
+func (c *chain) index(i int) version {
+	if i < c.n {
+		return c.head[i]
+	}
+	return c.tail[len(c.tail)-1-(i-c.n)]
+}
+
+// push returns a new chain with (val, ver) prepended. While the inline
+// head has room, the tail slice is shared read-only with the base chain;
+// a full head spills every inline version into a freshly allocated tail
+// (one copy amortized over chainInline pushes), so no array reachable
+// from a published chain is ever written — push is safe to run
+// concurrently with other optimistic builders from the same base.
+func (c *chain) push(val any, ver uint64) *chain {
+	nc := &chain{}
+	nc.head[0] = version{val: val, ver: ver}
+	if c.n < chainInline {
+		copy(nc.head[1:], c.head[:c.n])
+		nc.n = c.n + 1
+		nc.tail = c.tail
+		return nc
+	}
+	nc.n = 1
+	nc.tail = make([]version, len(c.tail)+chainInline)
+	copy(nc.tail, c.tail)
+	for i := 0; i < chainInline; i++ {
+		// The tail is oldest-first: the head spills in reverse order.
+		nc.tail[len(c.tail)+i] = c.head[chainInline-1-i]
+	}
+	return nc
+}
+
+// pushTruncate builds the pushed chain with truncation applied in the
+// same allocation: the new version plus the newest survivors of c, where
+// the kept prefix preserves both the minRV floor (the newest version
+// ≤ minRV — some registered reader's snapshot may need it) and at least
+// retain recent versions. The survivors are copied into fresh storage so
+// the dropped versions' memory is actually reclaimable.
+func (c *chain) pushTruncate(val any, ver uint64, minRV uint64, retain int) (*chain, int) {
+	l := c.len()
+	floor := -1
+	for i := 0; i < l; i++ {
+		if c.index(i).ver <= minRV {
+			floor = i
+			break
+		}
+	}
+	if floor < 0 {
+		// No version ≤ minRV: unreachable while every Var is born at
+		// version 0 and minRV is monotone, but never truncate on it.
+		return c.push(val, ver), 0
+	}
+	// keep counts survivors of c; the new version rides on top (its ver
+	// exceeds minRV — it exceeds the committer's own registered rv).
+	keep := max(floor+1, retain-1)
+	if keep >= l {
+		return c.push(val, ver), 0
+	}
+	nc := &chain{n: min(keep+1, chainInline)}
+	nc.head[0] = version{val: val, ver: ver}
+	for i := 1; i < nc.n; i++ {
+		nc.head[i] = c.index(i - 1)
+	}
+	if keep+1 > chainInline {
+		nc.tail = make([]version, keep+1-chainInline)
+		for i := chainInline; i < keep+1; i++ {
+			nc.tail[keep-i] = c.index(i - 1)
+		}
+	}
+	return nc, l - keep
+}
+
+// varBase is the type-erased interface Tx uses to manage heterogeneous
+// Vars in one transaction.
+type varBase interface {
+	id() uint64
+	lockWord() uint64
+	tryLock() (prev uint64, ok bool)
+	unlock(ver uint64)
+	loadChain() *chain
+	storeChain(*chain)
+}
+
+// Var is a transactional variable holding a value of type T and a chain
+// of its committed versions. The zero Var is not ready for use; create
+// Vars with NewVar.
+type Var[T any] struct {
+	vid uint64
+	lw  atomic.Uint64 // versioned lock word (bit 63 lock, bits 0..62 newest version)
+	ch  atomic.Pointer[chain]
+}
+
+// NewVar creates a transactional variable with the given initial value.
+// The initial version carries timestamp 0, so it is visible to every
+// snapshot (a Var shared with a transaction that pinned its timestamp
+// before the Var existed reads the initial value).
+func NewVar[T any](initial T) *Var[T] {
+	v := &Var[T]{vid: varIDs.Add(1)}
+	c := &chain{n: 1}
+	c.head[0] = version{val: initial, ver: 0}
+	v.ch.Store(c)
+	return v
+}
+
+func (v *Var[T]) id() uint64       { return v.vid }
+func (v *Var[T]) lockWord() uint64 { return v.lw.Load() }
+
+// tryLock sets the lock bit with the *current clock value* in the version
+// bits — not the pre-lock version, which is returned for the failed-commit
+// restore and for commit validation instead. Embedding the clock lets
+// snapshot readers classify a held lock without waiting: the holder's
+// write version will exceed the embedded clock (it is drawn from the
+// clock after all locks are held), so a reader whose read timestamp is at
+// most the embedded value knows the pending version is invisible to it
+// and reads the published chain immediately. Only a lock taken before the
+// reader pinned — embedded clock below rv — can publish a version the
+// snapshot needs, and only that case waits.
+func (v *Var[T]) tryLock() (uint64, bool) {
+	w := v.lw.Load()
+	if lockword.Locked(w) {
+		return 0, false
+	}
+	if !v.lw.CompareAndSwap(w, lockword.Lock(lockword.Unlocked(clock.Load()))) {
+		return 0, false
+	}
+	return lockword.Version(w), true
+}
+
+// unlock releases the word, publishing ver (the old version after a failed
+// commit, the new write version after a successful one) in the same store.
+func (v *Var[T]) unlock(ver uint64) { v.lw.Store(lockword.Unlocked(ver)) }
+
+func (v *Var[T]) loadChain() *chain {
+	c := v.ch.Load()
+	if c == nil {
+		panic("mvstm: Var used before NewVar (the zero Var is not initialized)")
+	}
+	return c
+}
+func (v *Var[T]) storeChain(c *chain) { v.ch.Store(c) }
+
+// Get reads the variable inside a transaction: the snapshot value at the
+// transaction's read timestamp. Inside Atomically the read is also logged
+// for commit-time validation; inside AtomicallyRO it is not logged at all
+// and can never abort.
+func (v *Var[T]) Get(tx *Tx) T {
+	return tx.read(v).(T)
+}
+
+// Set buffers a write to the variable inside a transaction; it becomes
+// visible atomically at commit as a new version. Set panics inside
+// AtomicallyRO.
+func (v *Var[T]) Set(tx *Tx, val T) {
+	tx.write(v, val)
+}
+
+// Load reads the variable outside any transaction: the newest published
+// version, wait-free (one atomic load of the chain pointer).
+func (v *Var[T]) Load() T {
+	return v.loadChain().head[0].val.(T)
+}
+
+// waitSignal is panicked by Retry: the transaction re-runs only after one
+// of the variables it read has changed. It is the engine's only control
+// signal — snapshot reads cannot fail mid-transaction, so conflicts
+// surface solely as a failed commit, never as a mid-attempt abort.
+type waitSignal struct{}
+
+// writeSetMapThreshold is the write-set size beyond which Tx switches from
+// a sorted-insert slice to an auxiliary map index, as in the stm engine.
+const writeSetMapThreshold = 24
+
+// readDedupWindow bounds the backwards scan that suppresses duplicate
+// read-set entries for recently re-read Vars.
+const readDedupWindow = 8
+
+// Tx is a transaction descriptor. It is valid only inside the function
+// passed to Atomically/AtomicallyRO and must not escape or be shared
+// between goroutines. Descriptors are pooled: read and write sets are
+// recycled across attempts and calls, and each descriptor owns one padded
+// epoch slot in the GC registry for its lifetime.
+type Tx struct {
+	rv     uint64
+	reads  []readEntry
+	writes []writeEntry
+	// wmap indexes writes by Var past writeSetMapThreshold entries; below
+	// that, writes is kept sorted by Var id and binary-searched.
+	wmap map[varBase]int
+	// shard picks the descriptor's stats stripe, assigned once so pooled
+	// reuse keeps stripes spread out.
+	shard uint32
+	// slot is the descriptor's registration in the epoch table; pin/unpin
+	// publish and clear the active read timestamp committers sweep against.
+	slot *epochSlot
+	// ro marks the snapshot (read-only) path: reads are served from the
+	// chains at rv with no logging, Set and Retry are usage errors, and
+	// the transaction can never abort.
+	ro bool
+	// pendingReads/pendingWalk accumulate snapshot-read stats locally and
+	// are flushed to the stripe once per call (the snapshot path must not
+	// pay an atomic add per read).
+	pendingReads uint64
+	pendingWalk  uint64
+	// minRV/minState cache the sweep floor for one commit's chain builds:
+	// 0 not computed, 1 usable, 2 sweep skipped (a joiner was observed).
+	minRV    uint64
+	minState int
+	// trec is the test-only trace record of the current attempt (nil
+	// outside tracing tests; see trace.go).
+	trec *traceTxn
+}
+
+type readEntry struct {
+	v   varBase
+	ver uint64 // newest committed version at read time (waitForChange polls it)
+}
+
+type writeEntry struct {
+	v    varBase
+	val  any
+	prev uint64 // pre-lock version, recorded while the commit holds the lock
+	// base and nc are the optimistic chain build: the chain observed
+	// before locking and the new chain derived from it (write version
+	// stamped in under the lock). Building — and allocating — outside the
+	// lock window keeps the window to a handful of atomics, so a writer
+	// preempted mid-commit almost never strands a pre-pin reader.
+	base      *chain
+	nc        *chain
+	reclaimed int
+}
+
+var txPool = sync.Pool{New: func() any {
+	tx := &Tx{shard: uint32(statSeq.Add(1)), slot: newEpochSlot()}
+	// sync.Pool drops descriptors on GC cycles; the cleanup recycles the
+	// dropped descriptor's epoch slot so the slot registry stays bounded
+	// by peak descriptor concurrency, not by pool-eviction history.
+	runtime.AddCleanup(tx, freeEpochSlot, tx.slot)
+	return tx
+}}
+
+// reset clears the read and write sets in place, keeping their backing
+// arrays, and zeroes the dropped entries so a pooled Tx pins no user data.
+func (tx *Tx) reset() {
+	clear(tx.reads)
+	tx.reads = tx.reads[:0]
+	clear(tx.writes)
+	tx.writes = tx.writes[:0]
+	tx.wmap = nil
+	tx.trec = nil
+}
+
+// pin registers the attempt's read timestamp in the epoch table and
+// samples it. The joining sentinel is published before the clock is read:
+// a sweeping committer that scans the slot either sees the sentinel (and
+// skips truncation) or scanned before it, in which case this pin's clock
+// load happens after the sweeper sampled its own (older) read timestamp,
+// so rv is at least the sweep's floor and the snapshot is safe.
+func (tx *Tx) pin() {
+	tx.slot.ts.Store(slotJoining)
+	tx.rv = clock.Load()
+	tx.slot.ts.Store(tx.rv + slotBias)
+}
+
+// unpin deregisters the snapshot so committers may truncate past it.
+func (tx *Tx) unpin() { tx.slot.ts.Store(slotInactive) }
+
+// finish flushes the locally accumulated stats, deregisters the snapshot
+// and returns the descriptor to the pool. Oversized backing arrays are
+// dropped so one large transaction does not pin memory forever.
+func (tx *Tx) finish() {
+	if tx.pendingReads != 0 {
+		st := tx.stat()
+		st.snapshotReads.Add(tx.pendingReads)
+		st.walkSteps.Add(tx.pendingWalk)
+		tx.pendingReads, tx.pendingWalk = 0, 0
+	}
+	tx.unpin()
+	tx.reset()
+	if cap(tx.reads) > 4096 {
+		tx.reads = nil
+	}
+	if cap(tx.writes) > 4096 {
+		tx.writes = nil
+	}
+	txPool.Put(tx)
+}
+
+// searchWrite binary-searches the sorted write set for v, returning the
+// insertion position and whether v is present.
+func (tx *Tx) searchWrite(v varBase) (int, bool) {
+	vid := v.id()
+	lo, hi := 0, len(tx.writes)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if tx.writes[mid].v.id() < vid {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(tx.writes) && tx.writes[lo].v == v
+}
+
+// findWrite locates v in the write set (read-own-write lookup).
+func (tx *Tx) findWrite(v varBase) (int, bool) {
+	if len(tx.writes) == 0 {
+		return 0, false
+	}
+	if tx.wmap != nil {
+		i, ok := tx.wmap[v]
+		return i, ok
+	}
+	return tx.searchWrite(v)
+}
+
+func (tx *Tx) read(v varBase) any {
+	if !tx.ro {
+		if i, ok := tx.findWrite(v); ok {
+			if tx.trec != nil {
+				tx.traceRead(v, tx.writes[i].val)
+			}
+			return tx.writes[i].val
+		}
+	}
+	val, newest := tx.readSnapshot(v)
+	if tx.ro {
+		return val
+	}
+	// Update transactions log the read for commit-time validation
+	// (first-committer-wins: the snapshot value must still be the newest
+	// at commit). Duplicate entries for recently re-read Vars are skipped;
+	// the snapshot is stable within the transaction, so a re-read returns
+	// the same version the recorded entry certifies.
+	for i, n := len(tx.reads)-1, len(tx.reads)-readDedupWindow; i >= 0 && i >= n; i-- {
+		if tx.reads[i].v == v {
+			return val
+		}
+	}
+	tx.reads = append(tx.reads, readEntry{v: v, ver: newest})
+	return val
+}
+
+// readSnapshot serves a read from v's version chain at the pinned read
+// timestamp. A held lock is waited out only when it was acquired before
+// this transaction pinned (embedded clock < rv, see tryLock) — that
+// holder may publish a version ≤ rv the snapshot needs. A lock acquired
+// at clock ≥ rv will publish a version > rv, invisible to this snapshot,
+// so the reader proceeds immediately: a writer preempted mid-commit can
+// only stall scans that pinned before it locked, which keeps long scans
+// effectively wait-free against the writer pool in steady state.
+// Once the word is classified, one chain-pointer load suffices — all
+// versions ≤ rv were published before the observed lock state (per-Var
+// commits serialize on the lock), any version committed afterwards
+// exceeds rv, and truncation never removes the registered floor — so
+// there is no certifying re-load and no abort path.
+func (tx *Tx) readSnapshot(v varBase) (any, uint64) {
+	var w uint64
+	for spins := 0; ; spins++ {
+		w = v.lockWord()
+		if !lockword.Locked(w) || lockword.Version(w) >= tx.rv {
+			break
+		}
+		// A pre-pin lock holder: publication is imminent unless the holder
+		// was preempted, so yield and then back off to real sleeps.
+		if spins < 8 {
+			runtime.Gosched()
+		} else {
+			d := time.Microsecond << uint(min(spins-8, 6))
+			time.Sleep(d)
+		}
+	}
+	val, walked, ok := v.loadChain().at(tx.rv)
+	if !ok {
+		panic("mvstm: snapshot too old (version chain truncated past a pinned read timestamp — this is an engine bug)")
+	}
+	tx.pendingReads++
+	tx.pendingWalk += uint64(walked)
+	if tx.trec != nil {
+		tx.traceRead(v, val)
+	}
+	return val, lockword.Version(w)
+}
+
+func (tx *Tx) write(v varBase, val any) {
+	if tx.ro {
+		panic("mvstm: Set inside a read-only transaction (AtomicallyRO cannot write)")
+	}
+	if tx.trec != nil {
+		tx.traceWrite(v, val)
+	}
+	if tx.wmap != nil {
+		if i, ok := tx.wmap[v]; ok {
+			tx.writes[i].val = val
+			return
+		}
+		tx.wmap[v] = len(tx.writes)
+		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
+		return
+	}
+	i, found := tx.searchWrite(v)
+	if found {
+		tx.writes[i].val = val
+		return
+	}
+	if len(tx.writes) >= writeSetMapThreshold {
+		tx.wmap = make(map[varBase]int, 2*writeSetMapThreshold)
+		for j := range tx.writes {
+			tx.wmap[tx.writes[j].v] = j
+		}
+		tx.wmap[v] = len(tx.writes)
+		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
+		return
+	}
+	// Sorted insert keeps the slice in Var-id order, so commit locks in the
+	// deadlock-free total order with no per-commit sort at all.
+	tx.writes = append(tx.writes, writeEntry{})
+	copy(tx.writes[i+1:], tx.writes[i:])
+	tx.writes[i] = writeEntry{v: v, val: val}
+}
+
+// snapshotWrites captures the write set (values included) so OrElse can
+// roll a blocked branch back, including overwrites of pre-branch writes.
+func (tx *Tx) snapshotWrites() ([]writeEntry, map[varBase]int) {
+	snap := append([]writeEntry(nil), tx.writes...)
+	var msnap map[varBase]int
+	if tx.wmap != nil {
+		msnap = make(map[varBase]int, len(tx.wmap))
+		for k, i := range tx.wmap {
+			msnap[k] = i
+		}
+	}
+	return snap, msnap
+}
+
+// restoreWrites reinstates a snapshot taken by snapshotWrites.
+func (tx *Tx) restoreWrites(snap []writeEntry, msnap map[varBase]int) {
+	clear(tx.writes)
+	tx.writes = append(tx.writes[:0], snap...)
+	tx.wmap = msnap
+}
+
+// Retry aborts the transaction and blocks the retry until at least one
+// variable read so far changes. Calling Retry with an empty read set
+// panics, since no write could ever wake the transaction; inside
+// AtomicallyRO it panics too — the snapshot path records no read set to
+// wait on (use Atomically for transactions that need Retry).
+func (tx *Tx) Retry() {
+	if tx.ro {
+		panic("mvstm: Retry inside AtomicallyRO would sleep forever (the snapshot path records no read set to wait on)")
+	}
+	if len(tx.reads) == 0 {
+		panic("mvstm: Retry with an empty read set would sleep forever")
+	}
+	panic(waitSignal{})
+}
+
+// validateCommit checks, while the commit holds its write locks, that
+// every read still returns its snapshot value: the Var's newest committed
+// version must not exceed rv (any post-snapshot commit carries a greater
+// one), and a foreign lock on a read Var is equally fatal — that writer
+// has validated and will install a newer version, so letting both commits
+// stand would admit write skew. An own-locked Var's word holds the
+// embedded lock-time clock (see tryLock), not the committed version, so
+// its check uses the pre-lock version saved in the write entry.
+func (tx *Tx) validateCommit() bool {
+	for i := range tx.reads {
+		r := &tx.reads[i]
+		w := r.v.lockWord()
+		if !lockword.Locked(w) {
+			if lockword.Version(w) > tx.rv {
+				return false
+			}
+			continue
+		}
+		j, own := tx.searchWrite(r.v)
+		if !own {
+			return false
+		}
+		if tx.writes[j].prev > tx.rv {
+			return false
+		}
+	}
+	return true
+}
+
+// advanceClock produces the commit's write version with the GV4
+// pass-on-failure rule: CAS clock → clock+1, and on failure adopt the
+// winner's (re-loaded) value. Either way the write version exceeds a
+// clock value loaded after the commit acquired its locks, so the clock
+// first reaches it while the locks are held — the invariant snapshot
+// reads rely on (see the package comment).
+func advanceClock() uint64 {
+	old := clock.Load()
+	if clock.CompareAndSwap(old, old+1) {
+		return old + 1
+	}
+	return clock.Load()
+}
+
+// commit attempts to append the transaction's writes as new versions
+// atomically, truncating chains past the GC floor as it goes.
+func (tx *Tx) commit() bool {
+	if len(tx.writes) == 0 {
+		return true // snapshot reads validate nothing: read-only commits are free
+	}
+	if tx.wmap != nil {
+		// Large write sets append unsorted past the promotion point; one
+		// sort re-establishes the deadlock-free lock order.
+		slices.SortFunc(tx.writes, func(a, b writeEntry) int {
+			switch ai, bi := a.v.id(), b.v.id(); {
+			case ai < bi:
+				return -1
+			case ai > bi:
+				return 1
+			default:
+				return 0
+			}
+		})
+		tx.wmap = nil
+	}
+	st := tx.stat()
+	// Build every new chain optimistically before taking any lock: the
+	// allocations, the sweep's survivor copy and the minActiveRV scan all
+	// happen outside the lock window, which shrinks to lock → clock →
+	// validate → stamp-and-publish. The write version is not known yet, so
+	// the new head is stamped with it under the lock (the chain is private
+	// until published); a chain that moved since the optimistic load is
+	// rebuilt under the lock, which only happens under real per-Var write
+	// contention.
+	tx.buildChains(st)
+	locked := 0
+	for i := range tx.writes {
+		prev, ok := tx.writes[i].v.tryLock()
+		if !ok {
+			break
+		}
+		tx.writes[i].prev = prev
+		locked++
+	}
+	releaseLocked := func(n int) {
+		for i := 0; i < n; i++ {
+			tx.writes[i].v.unlock(tx.writes[i].prev)
+		}
+	}
+	if locked != len(tx.writes) {
+		releaseLocked(locked)
+		return false
+	}
+	// The write version is fetched before validating (as in TL2 and the
+	// simulated mvtm): any writer serialized after this point either fails
+	// the ≤ rv check or is caught holding a lock.
+	wv := advanceClock()
+	if !tx.validateCommit() {
+		releaseLocked(locked)
+		return false
+	}
+	hwm := 0
+	for i := range tx.writes {
+		e := &tx.writes[i]
+		if e.v.loadChain() != e.base {
+			// A foreign commit landed between the optimistic build and our
+			// lock; rebuild from the current chain (rare).
+			tx.buildChain(e, st)
+		}
+		e.nc.head[0].ver = wv // stamp before the publishing store below
+		if e.reclaimed > 0 {
+			st.gcSweeps.Add(1)
+			st.reclaimed.Add(uint64(e.reclaimed))
+		}
+		if n := e.nc.len(); n > hwm {
+			hwm = n
+		}
+		e.v.storeChain(e.nc) // publish before the unlock's release store
+		e.v.unlock(wv)
+	}
+	st.appended.Add(uint64(len(tx.writes)))
+	st.maxChain(uint64(hwm))
+	return true
+}
+
+// buildChains prepares each write's new chain from the currently
+// published one (see commit). Sweep hysteresis: chains are left to grow
+// to gcSlackFactor×retention and then truncated back down in the same
+// allocation as the push, so the sweep's survivor copy and the
+// minActiveRV scan amortize over ~retention commits instead of taxing
+// every one.
+func (tx *Tx) buildChains(st *statShard) {
+	tx.minState = 0
+	for i := range tx.writes {
+		tx.buildChain(&tx.writes[i], st)
+	}
+}
+
+// buildChain prepares one write entry's chain. The new head version is a
+// placeholder until commit stamps the write version in under the Var's
+// lock. minRV computed here and used after the locks are taken is still
+// sound: the registered minimum is monotone, so an early sample is merely
+// more conservative.
+func (tx *Tx) buildChain(e *writeEntry, st *statShard) {
+	c := e.v.loadChain()
+	e.base, e.reclaimed = c, 0
+	if c.len() >= gcSlackFactor*int(retention.Load()) {
+		if tx.minState == 0 {
+			if m, ok := minActiveRV(tx.rv); ok {
+				tx.minRV, tx.minState = m, 1
+			} else {
+				tx.minState = 2
+				st.gcSkips.Add(1)
+			}
+		}
+		if tx.minState == 1 {
+			e.nc, e.reclaimed = c.pushTruncate(e.val, 0, tx.minRV, int(retention.Load()))
+			return
+		}
+	}
+	e.nc = c.push(e.val, 0)
+}
+
+// Atomically runs fn inside an update transaction, retrying until it
+// commits. Reads observe the snapshot at the transaction's pinned read
+// timestamp; commit validates that every read is still current
+// (first-committer-wins) and appends new versions. Returning a non-nil
+// error aborts the transaction (its writes are discarded) and returns
+// that error to the caller without retrying.
+//
+// Transactions that are read-only by construction should call
+// AtomicallyRO instead: the snapshot path skips read-set logging and
+// commit validation entirely and can never abort.
+func Atomically(fn func(tx *Tx) error) error {
+	tx := txPool.Get().(*Tx)
+	tx.ro = false
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaping fn abandons the descriptor, but its epoch
+			// registration must not pin the GC floor forever.
+			tx.unpin()
+			panic(r)
+		}
+	}()
+	for attempt := 0; ; attempt++ {
+		tx.reset()
+		tx.pin()
+		if traceOn {
+			tx.traceBegin()
+		}
+		err, ctl := runAttempt(tx, fn)
+		if ctl == ctlRetryWait {
+			tx.traceEnd(false)
+			// Deregister the snapshot before blocking: a transaction asleep
+			// in Retry must not hold the GC floor down.
+			tx.unpin()
+			waitForChange(tx)
+			continue // the wait already yielded; retry immediately
+		}
+		if err != nil {
+			tx.traceEnd(false)
+			tx.finish()
+			return err // user error: abort without retry
+		}
+		if tx.commit() {
+			tx.stat().commits.Add(1)
+			tx.traceEnd(true)
+			tx.finish()
+			return nil
+		}
+		// The only abort source: commit validation or lock acquisition
+		// failed (snapshot reads cannot fail mid-attempt).
+		tx.stat().aborts.Add(1)
+		tx.traceEnd(false)
+		backoff.Attempt(attempt)
+	}
+}
+
+// AtomicallyRO runs fn as a snapshot (read-only) transaction: every read
+// is served from the version chains at the transaction's pinned read
+// timestamp, with no read-set logging, no validation, and no abort path —
+// the transaction runs exactly once, which is the whole point of keeping
+// versions (mv-permissiveness, the simulated mvtm's guarantee, at native
+// speed). Returning a non-nil error returns it to the caller, as with
+// Atomically.
+//
+// fn must not write: Set panics, and Retry panics since there is no
+// recorded read set to wait on. Use Atomically for transactions that may
+// write or need Retry.
+func AtomicallyRO(fn func(tx *Tx) error) error {
+	tx := txPool.Get().(*Tx)
+	tx.ro = true
+	defer func() {
+		if r := recover(); r != nil {
+			// As in Atomically: a panic (including the Set/Retry usage
+			// errors) must release the epoch registration.
+			tx.unpin()
+			panic(r)
+		}
+	}()
+	tx.reset()
+	tx.pin()
+	if traceOn {
+		tx.traceBegin()
+	}
+	err, ctl := runAttempt(tx, fn)
+	if ctl != ctlOK {
+		// The snapshot path raises no engine signals: reads cannot abort,
+		// and Set/Retry panic with usage errors before signalling.
+		panic("mvstm: internal: snapshot transaction raised an abort signal")
+	}
+	if err == nil {
+		st := tx.stat()
+		st.commits.Add(1)
+		st.roCommits.Add(1)
+	}
+	tx.traceEnd(err == nil)
+	tx.finish()
+	return err
+}
+
+type ctlKind int
+
+const (
+	ctlOK ctlKind = iota
+	ctlRetryWait
+)
+
+// runAttempt executes one attempt of fn, translating the Retry signal —
+// the engine's only control signal — into control flow. Unknown panics
+// propagate.
+func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
+	defer func() {
+		switch r := recover(); r.(type) {
+		case nil:
+		case waitSignal:
+			ctl = ctlRetryWait
+		default:
+			panic(r)
+		}
+	}()
+	return fn(tx), ctlOK
+}
+
+// waitForChange blocks until some variable in the transaction's read set
+// has a version newer than the one read. Each probe is a single atomic
+// load of the lock word, and the poll interval backs off exponentially so
+// long waits cost almost nothing.
+func waitForChange(tx *Tx) {
+	for spins := 0; ; spins++ {
+		for i := range tx.reads {
+			r := &tx.reads[i]
+			if lockword.Version(r.v.lockWord()) != r.ver {
+				return
+			}
+		}
+		if spins < 4 {
+			runtime.Gosched()
+		} else {
+			d := time.Microsecond << uint(min(spins-4, 10))
+			if d > time.Millisecond {
+				d = time.Millisecond
+			}
+			time.Sleep(d)
+		}
+	}
+}
+
+// Sanity check that Var implements varBase.
+var _ varBase = (*Var[int])(nil)
+
+// String implements fmt.Stringer for diagnostics: the newest published
+// version and the chain length.
+func (v *Var[T]) String() string {
+	c := v.loadChain()
+	return fmt.Sprintf("Var(%v@v%d,chain=%d)", c.head[0].val, c.head[0].ver, c.len())
+}

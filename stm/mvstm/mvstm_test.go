@@ -1,0 +1,431 @@
+package mvstm_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/stm/mvstm"
+)
+
+func TestBasicTransfer(t *testing.T) {
+	alice := mvstm.NewVar(100)
+	bob := mvstm.NewVar(0)
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		a := alice.Get(tx)
+		alice.Set(tx, a-30)
+		bob.Set(tx, bob.Get(tx)+30)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if a, b := alice.Load(), bob.Load(); a != 70 || b != 30 {
+		t.Fatalf("after transfer: alice=%d bob=%d", a, b)
+	}
+}
+
+func TestReadOwnWrite(t *testing.T) {
+	v := mvstm.NewVar(1)
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, 5)
+		if got := v.Get(tx); got != 5 {
+			t.Fatalf("read-own-write = %d, want 5", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUserErrorAbortsWithoutRetry(t *testing.T) {
+	v := mvstm.NewVar(0)
+	sentinel := errors.New("nope")
+	attempts := 0
+	err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		attempts++
+		v.Set(tx, 99)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	if v.Load() != 0 {
+		t.Fatalf("aborted write leaked: %d", v.Load())
+	}
+}
+
+// TestFirstCommitterWins orchestrates the update-path conflict: a
+// transaction reads x's snapshot, a nested writer bumps x, and the
+// transaction's commit (which writes y from the now-stale read) must fail
+// validation and retry.
+func TestFirstCommitterWins(t *testing.T) {
+	x := mvstm.NewVar(0)
+	y := mvstm.NewVar(0)
+	attempts := 0
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		attempts++
+		v := x.Get(tx)
+		if attempts == 1 {
+			if err := mvstm.Atomically(func(wtx *mvstm.Tx) error {
+				x.Set(wtx, 10)
+				return nil
+			}); err != nil {
+				return err
+			}
+		}
+		y.Set(tx, v+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (stale snapshot must fail commit validation)", attempts)
+	}
+	if got := y.Load(); got != 11 {
+		t.Fatalf("y = %d, want 11 (retry must see the committed x)", got)
+	}
+}
+
+// TestSnapshotRunsExactlyOnce is the engine's headline property: a
+// snapshot transaction never aborts and never re-runs, no matter how hard
+// writers churn the variables it reads.
+func TestSnapshotRunsExactlyOnce(t *testing.T) {
+	const vars = 16
+	vs := make([]*mvstm.Var[int], vars)
+	for i := range vs {
+		vs[i] = mvstm.NewVar(0)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Bump every Var in one transaction: any consistent snapshot
+				// sees all sixteen equal.
+				_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+					for _, v := range vs {
+						v.Set(tx, v.Get(tx)+1)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		invocations := 0
+		if err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			invocations++
+			if n := mvstm.ReadSetLen(tx); n != 0 {
+				t.Fatalf("snapshot path logged %d reads", n)
+			}
+			first := vs[0].Get(tx)
+			for j := range vs {
+				if got := vs[j].Get(tx); got != first {
+					t.Fatalf("torn snapshot: vs[%d]=%d, vs[0]=%d", j, got, first)
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if invocations != 1 {
+			t.Fatalf("snapshot transaction ran %d times, want exactly 1", invocations)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestSnapshotConsistencyUnderRace keeps the x+y invariant under real
+// parallelism (run with -race): writers move value between two Vars,
+// snapshot readers must always see the conserved sum.
+func TestSnapshotConsistencyUnderRace(t *testing.T) {
+	const total = 1000
+	x := mvstm.NewVar(total)
+	y := mvstm.NewVar(0)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+					v := x.Get(tx)
+					x.Set(tx, v-1)
+					y.Set(tx, y.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+					if s := x.Get(tx) + y.Get(tx); s != total {
+						t.Errorf("snapshot sum = %d, want %d", s, total)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+			if s := x.Get(tx) + y.Get(tx); s != total {
+				t.Errorf("update-path snapshot sum = %d, want %d", s, total)
+			}
+			return nil
+		})
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestConcurrentCounter: the classic contended counter must not lose
+// updates (commit validation + per-Var locks).
+func TestConcurrentCounter(t *testing.T) {
+	ctr := mvstm.NewVar(0)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+					ctr.Set(tx, ctr.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Load(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestLargeWriteSetPromotion crosses the slice→map write-set threshold in
+// one transaction and reads everything back.
+func TestLargeWriteSetPromotion(t *testing.T) {
+	const n = 40
+	vs := make([]*mvstm.Var[int], n)
+	for i := range vs {
+		vs[i] = mvstm.NewVar(0)
+	}
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		for i, v := range vs {
+			v.Set(tx, i)
+		}
+		for i, v := range vs {
+			if got := v.Get(tx); got != i {
+				t.Fatalf("read-own-write after promotion: vs[%d]=%d", i, got)
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vs {
+		if got := v.Load(); got != i {
+			t.Fatalf("vs[%d] = %d after commit", i, got)
+		}
+	}
+}
+
+func TestRetryWakesOnWrite(t *testing.T) {
+	v := mvstm.NewVar(0)
+	done := make(chan int)
+	go func() {
+		var got int
+		_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+			got = v.Get(tx)
+			if got == 0 {
+				tx.Retry()
+			}
+			return nil
+		})
+		done <- got
+	}()
+	_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, 7)
+		return nil
+	})
+	if got := <-done; got != 7 {
+		t.Fatalf("woken transaction read %d, want 7", got)
+	}
+}
+
+func TestOrElseFallsThrough(t *testing.T) {
+	empty := mvstm.NewVar(0)
+	fallback := mvstm.NewVar(0)
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		return tx.OrElse(
+			func(tx *mvstm.Tx) error {
+				if empty.Get(tx) == 0 {
+					tx.Retry()
+				}
+				empty.Set(tx, -1) // must be rolled back
+				return nil
+			},
+			func(tx *mvstm.Tx) error {
+				fallback.Set(tx, 1)
+				return nil
+			},
+		)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if empty.Load() != 0 || fallback.Load() != 1 {
+		t.Fatalf("OrElse state: empty=%d fallback=%d", empty.Load(), fallback.Load())
+	}
+}
+
+func TestROPanicsOnSet(t *testing.T) {
+	v := mvstm.NewVar(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Set inside AtomicallyRO did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "read-only") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		v.Set(tx, 1)
+		return nil
+	})
+}
+
+func TestROPanicsOnRetry(t *testing.T) {
+	v := mvstm.NewVar(0)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Retry inside AtomicallyRO did not panic")
+		}
+		if !strings.Contains(fmt.Sprint(r), "sleep forever") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		_ = v.Get(tx)
+		tx.Retry()
+		return nil
+	})
+}
+
+func TestZeroVarPanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "NewVar") {
+			t.Fatalf("zero Var panic = %v", r)
+		}
+	}()
+	var v mvstm.Var[int]
+	_ = v.Load()
+}
+
+func TestROReturnsUserError(t *testing.T) {
+	v := mvstm.NewVar(1)
+	sentinel := errors.New("ro-err")
+	before := mvstm.ReadStats()
+	if err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		_ = v.Get(tx)
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if d := mvstm.ReadStats().Sub(before); d.ROCommits != 0 {
+		t.Fatalf("errored snapshot counted as commit: %+v", d)
+	}
+}
+
+func TestVarString(t *testing.T) {
+	v := mvstm.NewVar(42)
+	if s := v.String(); !strings.Contains(s, "42") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// TestMixedStress is the -race workhorse: writers, blocking consumers and
+// snapshot auditors over shared state, with a conserved total.
+func TestMixedStress(t *testing.T) {
+	const accounts = 32
+	const total = accounts * 100
+	vs := make([]*mvstm.Var[int], accounts)
+	for i := range vs {
+		vs[i] = mvstm.NewVar(100)
+	}
+	var wg sync.WaitGroup
+	var seq atomic.Uint64
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				n := seq.Add(1)
+				from := vs[(n*2654435761)%accounts]
+				to := vs[(n*40503+17)%accounts]
+				if from == to {
+					continue
+				}
+				_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+					f := from.Get(tx)
+					from.Set(tx, f-1)
+					to.Set(tx, to.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+					s := 0
+					for _, v := range vs {
+						s += v.Get(tx)
+					}
+					if s != total {
+						t.Errorf("audit sum = %d, want %d", s, total)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	s := 0
+	for _, v := range vs {
+		s += v.Load()
+	}
+	if s != total {
+		t.Fatalf("final sum = %d, want %d", s, total)
+	}
+}

@@ -1,0 +1,43 @@
+package mvstm
+
+// OrElse composes two transactional alternatives: it runs f, and if f
+// blocks via Retry, rolls back f's writes and runs g instead. If g also
+// blocks, the whole transaction waits (on the union of both branches'
+// read sets) and re-runs — the same combinator as stm.Tx.OrElse. Inside
+// AtomicallyRO the branches cannot block (Retry panics there), so OrElse
+// degenerates to running f.
+//
+// Only Retry falls through to g: a conflict abort restarts the entire
+// enclosing transaction, and an error returned by f is returned
+// immediately (with f's writes still buffered, exactly as if f's body had
+// been inlined).
+func (tx *Tx) OrElse(f, g func(*Tx) error) error {
+	savedWrites, savedMap := tx.snapshotWrites()
+
+	err, retried := tx.attemptBranch(f)
+	if !retried {
+		return err
+	}
+	// f blocked: discard its writes — including overwrites of entries that
+	// were already buffered before the branch, which the snapshot preserves
+	// by value. (f's reads stay in the read set, both for commit-time
+	// validation and so a wake-up on anything f read re-runs the
+	// transaction, as Retry semantics require.)
+	tx.restoreWrites(savedWrites, savedMap)
+	return g(tx)
+}
+
+// attemptBranch runs f, translating only the Retry signal into control
+// flow; conflict aborts and foreign panics propagate.
+func (tx *Tx) attemptBranch(f func(*Tx) error) (err error, retried bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(waitSignal); ok {
+				retried = true
+				return
+			}
+			panic(r)
+		}
+	}()
+	return f(tx), false
+}

@@ -1,0 +1,139 @@
+package mvstm
+
+import "sync/atomic"
+
+// Stats is a snapshot of the engine-wide transaction counters. Counters
+// are maintained on padded per-descriptor stripes, as in the stm engine;
+// snapshot reads additionally batch their counts per call so the
+// abort-free read path pays no atomic add per read.
+type Stats struct {
+	// Commits counts transactions that committed (including snapshot
+	// transactions); ROCommits counts the AtomicallyRO subset, which by
+	// construction equals the number of AtomicallyRO calls that returned
+	// nil — snapshot transactions never abort.
+	Commits   uint64
+	ROCommits uint64
+	// Aborts counts failed update attempts (lock conflicts and failed
+	// commit validations). Commits+Aborts is the total attempt count.
+	Aborts uint64
+	// SnapshotReads counts reads served from version chains (both paths);
+	// WalkSteps counts the versions examined serving them, so
+	// WalkSteps/SnapshotReads is the mean chain walk — the time half of
+	// the space-for-time trade.
+	SnapshotReads uint64
+	WalkSteps     uint64
+	// VersionsAppended counts versions committed; VersionsReclaimed counts
+	// versions truncated by the epoch GC. Their difference bounds the live
+	// version count (up to the initial versions).
+	VersionsAppended  uint64
+	VersionsReclaimed uint64
+	// GCSweeps counts chain truncations — one per chain swept, so a
+	// commit whose write set truncates k chains adds k (compare against
+	// VersionsReclaimed, not Commits). GCSkips counts commits whose sweep
+	// was abandoned conservatively because a transaction was observed
+	// mid-registration.
+	GCSweeps uint64
+	GCSkips  uint64
+	// ChainHWM is the high-water mark of any published chain's length — an
+	// absolute engine-lifetime maximum, not a delta (Sub carries the newer
+	// snapshot's value through). Bounded chains under churn are the GC's
+	// acceptance signal; a pinned long reader shows up here as growth.
+	ChainHWM uint64
+}
+
+// AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
+// snapshot.
+func (s Stats) AbortRatio() float64 {
+	if s.Commits+s.Aborts == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(s.Commits+s.Aborts)
+}
+
+// MeanChainWalk returns WalkSteps / SnapshotReads, or 0 for an empty
+// snapshot.
+func (s Stats) MeanChainWalk() float64 {
+	if s.SnapshotReads == 0 {
+		return 0
+	}
+	return float64(s.WalkSteps) / float64(s.SnapshotReads)
+}
+
+// Sub returns the counter deltas s - t (ChainHWM, an absolute high-water
+// mark, is carried from s); use snapshots around a workload to measure
+// just that workload.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Commits:           s.Commits - t.Commits,
+		ROCommits:         s.ROCommits - t.ROCommits,
+		Aborts:            s.Aborts - t.Aborts,
+		SnapshotReads:     s.SnapshotReads - t.SnapshotReads,
+		WalkSteps:         s.WalkSteps - t.WalkSteps,
+		VersionsAppended:  s.VersionsAppended - t.VersionsAppended,
+		VersionsReclaimed: s.VersionsReclaimed - t.VersionsReclaimed,
+		GCSweeps:          s.GCSweeps - t.GCSweeps,
+		GCSkips:           s.GCSkips - t.GCSkips,
+		ChainHWM:          s.ChainHWM,
+	}
+}
+
+// statStripes is the number of counter stripes; a power of two so stripe
+// selection is a mask.
+const statStripes = 16
+
+// statShard is one stripe of counters, padded out to its own cache lines
+// so stripes do not false-share.
+type statShard struct {
+	commits       atomic.Uint64
+	roCommits     atomic.Uint64
+	aborts        atomic.Uint64
+	snapshotReads atomic.Uint64
+	walkSteps     atomic.Uint64
+	appended      atomic.Uint64
+	reclaimed     atomic.Uint64
+	gcSweeps      atomic.Uint64
+	gcSkips       atomic.Uint64
+	chainHWM      atomic.Uint64
+	_             [128 - 10*8]byte
+}
+
+var statShards [statStripes]statShard
+
+// statSeq hands out stripe indices to new descriptors.
+var statSeq atomic.Uint64
+
+// stat returns the descriptor's counter stripe.
+func (tx *Tx) stat() *statShard { return &statShards[tx.shard&(statStripes-1)] }
+
+// maxChain raises the stripe's chain-length high-water mark to n.
+func (sh *statShard) maxChain(n uint64) {
+	for {
+		cur := sh.chainHWM.Load()
+		if n <= cur || sh.chainHWM.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// ReadStats sums the stripes into one snapshot (ChainHWM takes the
+// maximum). It is safe to call concurrently with transactions; the
+// snapshot is per-counter atomic, not a cross-counter consistent cut.
+func ReadStats() Stats {
+	var s Stats
+	for i := range statShards {
+		sh := &statShards[i]
+		s.Commits += sh.commits.Load()
+		s.ROCommits += sh.roCommits.Load()
+		s.Aborts += sh.aborts.Load()
+		s.SnapshotReads += sh.snapshotReads.Load()
+		s.WalkSteps += sh.walkSteps.Load()
+		s.VersionsAppended += sh.appended.Load()
+		s.VersionsReclaimed += sh.reclaimed.Load()
+		s.GCSweeps += sh.gcSweeps.Load()
+		s.GCSkips += sh.gcSkips.Load()
+		if h := sh.chainHWM.Load(); h > s.ChainHWM {
+			s.ChainHWM = h
+		}
+	}
+	return s
+}

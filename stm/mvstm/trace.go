@@ -1,0 +1,153 @@
+package mvstm
+
+// Test-only history tracing: the mvstm half of the native trace oracle
+// introduced for the stm engine (see stm/trace.go, whose design this
+// follows exactly). When enabled, every attempt of an Atomically /
+// AtomicallyRO call is recorded as one internal/tm.TxnRecord — snapshot
+// reads (which the engine itself never logs), buffered writes, and the
+// commit/abort outcome — so a bounded concurrent workload yields an
+// internal/tm.History the internal/check oracles (Opaque,
+// StrictlySerializable) can verify and cmd/opacheck can consume as JSON.
+// This is what the GC-truncation and pinned-snapshot opacity tests are
+// built on: a long-pinned snapshot transaction reads values other
+// transactions have long since overwritten, and the checkers confirm the
+// history still serializes with the snapshot ordered at its pin point.
+//
+// The hook is wired into the hot paths behind a plain bool (traceOn) plus
+// a per-descriptor nil check (tx.trec), both false/nil outside tests; the
+// enabling functions are exported only to the package's own test binary
+// via export_test.go. Enable/disable must happen with no transactions in
+// flight. Sequencing matches stm/trace.go: StartSeq is drawn after the
+// attempt pins its read timestamp, per-operation Seqs at each read/write,
+// EndSeq after the commit published (or the abort unwound), so the seq
+// order is a legal linearization and the derived real-time edges all
+// happened. Traced values must be int or uint64; OrElse is unsupported.
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/tm"
+)
+
+// traceOn gates the per-attempt trace hooks; toggled only by the
+// test-only startTrace/stopTrace, with no transactions in flight.
+var traceOn bool
+
+// traceCur is the active collector (nil when tracing is off).
+var traceCur *traceCollector
+
+// traceCollector accumulates one tm.History across all traced
+// transactions; a single mutex orders the shared sequence counter and the
+// per-record appends (tracing is test-only, contention is irrelevant).
+type traceCollector struct {
+	mu   sync.Mutex
+	seq  int
+	objs map[varBase]int
+	hist tm.History
+}
+
+// traceTxn is the per-attempt trace state hung off Tx.trec.
+type traceTxn struct {
+	c   *traceCollector
+	rec *tm.TxnRecord
+}
+
+// startTrace installs a fresh collector; test-only, via export_test.go.
+func startTrace() {
+	traceCur = &traceCollector{objs: make(map[varBase]int)}
+	traceOn = true
+}
+
+// stopTrace disables tracing and returns the recorded history; test-only.
+func stopTrace() *tm.History {
+	traceOn = false
+	c := traceCur
+	traceCur = nil
+	if c == nil {
+		return &tm.History{}
+	}
+	return &c.hist
+}
+
+// objID maps a Var to a dense t-object index, assigned on first sight (c.mu held).
+func (c *traceCollector) objID(v varBase) int {
+	id, ok := c.objs[v]
+	if !ok {
+		id = len(c.objs)
+		c.objs[v] = id
+	}
+	return id
+}
+
+// traceValue narrows a traced value to tm.Value. The trace oracle covers
+// plain scalar workloads; anything else is a test-authoring error.
+func traceValue(val any) tm.Value {
+	switch x := val.(type) {
+	case int:
+		return tm.Value(x)
+	case uint64:
+		return x
+	default:
+		panic(fmt.Sprintf("mvstm: trace mode supports int and uint64 Var values only, got %T", val))
+	}
+}
+
+// traceBegin opens a TxnRecord for the current attempt. Called (behind
+// traceOn) right after the attempt pins its read timestamp.
+func (tx *Tx) traceBegin() {
+	c := traceCur
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	rec := &tm.TxnRecord{ID: len(c.hist.Txns), Proc: int(tx.shard), StartSeq: c.seq, EndSeq: -1}
+	c.seq++
+	c.hist.Txns = append(c.hist.Txns, rec)
+	c.mu.Unlock()
+	tx.trec = &traceTxn{c: c, rec: rec}
+}
+
+// traceRead records a snapshot read (called on both paths, including
+// read-own-write hits on the update path).
+func (tx *Tx) traceRead(v varBase, val any) {
+	t := tx.trec
+	t.c.mu.Lock()
+	t.rec.Ops = append(t.rec.Ops, tm.Op{Seq: t.c.seq, Kind: tm.OpRead, Obj: t.c.objID(v), Value: traceValue(val)})
+	t.c.seq++
+	t.c.mu.Unlock()
+}
+
+// traceWrite records a buffered write at invocation time (lazy buffering:
+// the write takes effect only if the attempt commits, which the record's
+// final status captures).
+func (tx *Tx) traceWrite(v varBase, val any) {
+	t := tx.trec
+	t.c.mu.Lock()
+	t.rec.Ops = append(t.rec.Ops, tm.Op{Seq: t.c.seq, Kind: tm.OpWrite, Obj: t.c.objID(v), Value: traceValue(val)})
+	t.c.seq++
+	t.c.mu.Unlock()
+}
+
+// traceEnd closes the attempt's record: committed attempts get a tryC
+// response, everything else an abort. Called after the commit published
+// its versions (or the abort unwound), so EndSeq is inside the commit's
+// real-time window.
+func (tx *Tx) traceEnd(committed bool) {
+	t := tx.trec
+	if t == nil {
+		return
+	}
+	tx.trec = nil
+	t.c.mu.Lock()
+	t.rec.EndSeq = t.c.seq
+	if committed {
+		t.rec.Status = tm.TxnCommitted
+		t.rec.Ops = append(t.rec.Ops, tm.Op{Seq: t.c.seq, Kind: tm.OpTryCommit, Obj: -1})
+	} else {
+		t.rec.Status = tm.TxnAborted
+		t.rec.Ops = append(t.rec.Ops, tm.Op{Seq: t.c.seq, Kind: tm.OpAbort, Obj: -1, Aborted: true})
+	}
+	t.c.seq++
+	t.c.mu.Unlock()
+}
