@@ -10,10 +10,11 @@ GO ?= go
 # the full -count 5 sweep around a minute. The set covers E8 (commit
 # pipeline, containers), the native E9 scenarios (ordered-index scans,
 # reservations), the native E10 read-mostly serving scenario plus the
-# read-only fast-path acceptance pair (BenchmarkROFastPath), and the
-# native E11 long-scan/HTAP scenario (stm vs stm/mvstm); benchdiff
+# read-only fast-path acceptance pair (BenchmarkROFastPath), the native
+# E11 long-scan/HTAP scenario (stm vs stm/mvstm), and the native E12
+# hostile-tenant scenario (baseline/unmetered/metered cells); benchdiff
 # ignores names absent from an older baseline.
-E8_BENCH = BenchmarkE8|BenchmarkE9Native|BenchmarkE10Native|BenchmarkE11Native|BenchmarkROFastPath|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed|BenchmarkOrderedMap
+E8_BENCH = BenchmarkE8|BenchmarkE9Native|BenchmarkE10Native|BenchmarkE11Native|BenchmarkE12Hostile|BenchmarkROFastPath|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed|BenchmarkOrderedMap
 E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 5 -cpu 4 -timeout 30m
 
 .PHONY: test race bench-e8 bench-baseline bench-diff bench-gate fuzz-smoke docs-check
@@ -30,18 +31,18 @@ bench-e8:
 	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
 
 # bench-baseline records the committed perf baseline for this PR line:
-# re-runs the E8 suite and regenerates BENCH_PR5.json. Commit the result
+# re-runs the E8 suite and regenerates BENCH_PR6.json. Commit the result
 # so later PRs have a trajectory to compare against.
 bench-baseline:
 	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
-	$(GO) run ./cmd/benchjson -in bench_e8.txt -label PR5 \
-	  -command "go test $(E8_FLAGS) . ./stm" -out BENCH_PR5.json
+	$(GO) run ./cmd/benchjson -in bench_e8.txt -label PR6 \
+	  -command "go test $(E8_FLAGS) . ./stm" -out BENCH_PR6.json
 
 # bench-diff compares a fresh E8 run against the committed baseline;
 # report-only (never fails on a regression).
 bench-diff:
 	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_PR5.json -new bench_new.txt
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -new bench_new.txt
 
 # bench-gate is the enforcing variant: passing -threshold makes benchdiff
 # exit non-zero when any ns/op regression exceeds it (15% here). Run it on
@@ -49,16 +50,18 @@ bench-diff:
 # stays report-only because shared runners make wall-clock deltas noise.
 bench-gate:
 	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_PR5.json -new bench_new.txt -threshold 0.15
+	$(GO) run ./cmd/benchdiff -baseline BENCH_PR6.json -new bench_new.txt -threshold 0.15
 
 # fuzz-smoke runs each fuzz target briefly against the differential models
 # (the same invocations as the CI fuzz job): the containers against plain
-# maps, and the mvstm engine against a model map with a pinned-snapshot
-# reader racing writers and the GC.
+# maps, the mvstm engine against a model map with a pinned-snapshot
+# reader racing writers and the GC, and the metering layer against the
+# unmetered engine (a refusal must change nothing, a commit everything).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzMap$$' -fuzztime 10s ./stm
 	$(GO) test -run '^$$' -fuzz '^FuzzOrderedMap$$' -fuzztime 10s ./stm
 	$(GO) test -run '^$$' -fuzz '^FuzzMVStm$$' -fuzztime 10s ./stm/mvstm
+	$(GO) test -run '^$$' -fuzz '^FuzzBudget$$' -fuzztime 10s ./stm
 
 # docs-check keeps the documentation executable: formatting, vet, and
 # every Example function in the repository (the README quickstart mirrors

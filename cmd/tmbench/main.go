@@ -13,6 +13,7 @@
 //	tmbench -exp e9 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e10 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e11 [-tms irtm,tl2,mvtm,mvtm-gc] [-seed 42]
+//	tmbench -exp e12 [-tms irtm,tl2,mvtm-gc] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
 //
 // An unknown -exp value exits non-zero and lists the valid experiments.
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
@@ -85,6 +86,8 @@ func main() {
 		err = runE10(cfg)
 	case "e11":
 		err = runE11(cfg)
+	case "e12":
+		err = runE12(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -107,6 +110,7 @@ func main() {
 			func() error { return runE9(cfg) },
 			func() error { return runE10(cfg) },
 			func() error { return runE11(cfg) },
+			func() error { return runE12(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -127,7 +131,7 @@ func main() {
 // validExperiments lists every -exp value main dispatches on, for the
 // unknown-experiment error.
 var validExperiments = []string{
-	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11",
+	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
 	"class", "mc", "all",
 }
 
@@ -621,6 +625,39 @@ func runE11(c config) error {
 		}
 		t.Add(row.TM, row.ROHint, row.Commits, row.Aborts, row.ReadAborts,
 			row.AbortRatio, row.StepsPerTxn, row.ScanSteps, row.Space)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE12 prints the hostile-tenant scenario twice per TM: one unmetered
+// row (hostile full-table scans retried to completion) and one metered
+// row (each scan charged per step against a grant of half a scan, so
+// every hostile attempt is refused). Reading a row pair left to right:
+// the victim columns show what the tenants cost the writer pool, the
+// hostile columns show the tenants' own outcome flipping from "commits
+// everything" to "refused everywhere", and hostile-steps shows the load
+// the budget sheds. The TL2 clock variants are swept after the base tl2
+// row, as in E5/E9–E11.
+func runE12(c config) error {
+	t := ptm.Table{
+		Title: "E12 — hostile tenants: unbounded scans vs point writers, unmetered then metered",
+		Header: []string{"tm", "metered", "victim-commits", "victim-aborts", "victim-steps/txn",
+			"hostile-commits", "hostile-refused", "hostile-steps", "space"},
+	}
+	cfg := exp.DefaultE12Config()
+	cfg.Seed = c.seed
+	for _, name := range expandTL2(c.tms) {
+		for _, budget := range []uint64{0, cfg.StepBudget} {
+			run := cfg
+			run.StepBudget = budget
+			row, err := ptm.RunE12(name, run)
+			if err != nil {
+				return err
+			}
+			t.Add(row.TM, row.Metered, row.VictimCommits, row.VictimAborts, row.VictimStepsPerTxn,
+				row.HostileCommits, row.HostileBudgetAborts, row.HostileSteps, row.Space)
+		}
 	}
 	ptm.PrintTable(os.Stdout, &t)
 	return nil

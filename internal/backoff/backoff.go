@@ -6,17 +6,39 @@ package backoff
 
 import (
 	"runtime"
+	"sync/atomic"
 	"time"
 )
 
 // Cap bounds the sleep between conflicting attempts.
 const Cap = 64 * time.Microsecond
 
+// rngState drives the jitter PRNG: a shared splitmix64 counter, stepped
+// with one atomic add per sleep, so concurrent retriers draw decorrelated
+// values without any per-goroutine state.
+var rngState atomic.Uint64
+
+// SetSeed resets the jitter PRNG to a deterministic seed. The schedule is
+// always jittered; the knob exists so tests that depend on a reproducible
+// sleep sequence can pin it. Call it only from quiescent test setup.
+func SetSeed(seed uint64) { rngState.Store(seed) }
+
+// nextRand returns the next jitter draw (splitmix64 over a shared
+// counter: the add hands every caller a distinct stream position).
+func nextRand() uint64 {
+	z := rngState.Add(0x9e3779b97f4a7c15)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Attempt applies the schedule for the given zero-based retry attempt:
 // the first couple of retries spin (most conflicts are transient), the
-// next few yield the processor, and beyond that each attempt sleeps 1µs
-// doubled per attempt up to Cap, settling contended commits into a
-// livelock-free cadence instead of hammering the same words.
+// next few yield the processor, and beyond that each attempt sleeps a
+// jittered duration drawn uniformly from [d/2, d], where d is 1µs doubled
+// per attempt up to Cap. The jitter breaks synchronized retry herds: a
+// batch of transactions aborted by the same commit would otherwise wake
+// on the same schedule and collide again, attempt after attempt.
 func Attempt(n int) {
 	switch {
 	case n < 2:
@@ -28,6 +50,7 @@ func Attempt(n int) {
 		if d > Cap {
 			d = Cap
 		}
-		time.Sleep(d)
+		half := d / 2
+		time.Sleep(half + time.Duration(nextRand()%uint64(half+1)))
 	}
 }

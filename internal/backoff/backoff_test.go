@@ -1,0 +1,62 @@
+package backoff
+
+import "testing"
+
+// TestJitterBounds: the jittered draw never leaves [d/2, d] for the
+// capped sleep, so the schedule keeps its exponential envelope.
+func TestJitterBounds(t *testing.T) {
+	SetSeed(1)
+	for i := 0; i < 10000; i++ {
+		d := Cap
+		half := d / 2
+		j := uint64(half) + (nextRand() % uint64(half+1))
+		if j < uint64(half) || j > uint64(d) {
+			t.Fatalf("jittered sleep %d outside [%d, %d]", j, half, d)
+		}
+	}
+}
+
+// TestJitterDeterministicSeed: the same seed replays the same draw
+// sequence, and the draws are not constant (there is actual jitter).
+func TestJitterDeterministicSeed(t *testing.T) {
+	draw := func(seed uint64, n int) []uint64 {
+		SetSeed(seed)
+		out := make([]uint64, n)
+		for i := range out {
+			out[i] = nextRand()
+		}
+		return out
+	}
+	a, b := draw(42, 64), draw(42, 64)
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs under the same seed: %d vs %d", i, a[i], b[i])
+		}
+		if i > 0 && a[i] != a[i-1] {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter draws are constant")
+	}
+	c := draw(43, 64)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical draw sequences")
+	}
+}
+
+// TestAttemptSpinAndYieldPhases: the early phases must not sleep (they
+// are the common transient-conflict path); this just exercises them.
+func TestAttemptSpinAndYieldPhases(t *testing.T) {
+	SetSeed(7)
+	for n := 0; n < 12; n++ {
+		Attempt(n)
+	}
+}

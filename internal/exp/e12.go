@@ -1,0 +1,196 @@
+package exp
+
+// E12 is the hostile-tenant scenario: a pool of well-behaved point
+// writers (the victims) shares a TM with tenants that issue unbounded
+// full-table scans. Without metering, a hostile scan is free to occupy
+// the TM for as many steps as the table is long — and on a blocking TM
+// it does so while holding the global lock, starving every victim.
+// Metering models the library's work budgets at the harness level: a
+// hostile attempt is charged per simulated step and refused
+// (budget-aborted, not retried) once it exceeds its grant, which is
+// exactly the contract repro/stm's BudgetPolicy enforces natively
+// (ErrOutOfBudget). The interesting columns are the victims' cost per
+// committed transaction and the hostiles' outcome split: with a budget
+// below the scan length, every hostile scan is refused and the victims'
+// step bill collapses back toward the no-scanner baseline. The native
+// counterpart is BenchmarkE12HostileTenant (repro/stm and
+// repro/stm/mvstm under a real BudgetPolicy and admission controller).
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+	"repro/stm/budget"
+)
+
+// E12Row is one TM's hostile-tenant measurement.
+type E12Row struct {
+	TM       string
+	Metered  bool // a step budget was enforced on hostile tenants
+	Procs    int
+	Hostiles int
+	// Victim columns: commits is fixed by the config (every victim retries
+	// until it commits); aborts and steps/txn measure what the hostile
+	// tenants cost them.
+	VictimCommits     int
+	VictimAborts      int
+	VictimStepsPerTxn float64
+	// Hostile columns: unmetered hostiles retry scans to completion;
+	// metered hostiles get one attempt per scan and are refused
+	// (BudgetAborts) when the grant runs out mid-scan.
+	HostileCommits      int
+	HostileAborts       int
+	HostileBudgetAborts int
+	HostileSteps        uint64
+	Space               int
+}
+
+// E12Config parameterizes the hostile-tenant scenario.
+type E12Config struct {
+	Procs       int // total processes; the first Hostiles of them are hostile
+	Hostiles    int
+	TxnsPerProc int    // committed point RMWs each victim must complete
+	HostileTxns int    // scans each hostile tenant issues
+	Objects     int    // table size; a hostile scan reads all of it
+	StepBudget  uint64 // per-attempt step grant for hostile scans; 0 = unmetered
+	Seed        int64
+}
+
+// DefaultE12Config is the configuration used by tmbench and the tests:
+// the budget is set to half a scan's unavoidable step count, so under
+// metering every hostile scan is refused partway — the hostile tenants
+// are priced out while the victims run to completion.
+func DefaultE12Config() E12Config {
+	return E12Config{
+		Procs:       8,
+		Hostiles:    2,
+		TxnsPerProc: 16,
+		HostileTxns: 8,
+		Objects:     32,
+		StepBudget:  16,
+		Seed:        42,
+	}
+}
+
+// RunE12 runs the hostile-tenant scenario for one TM. Victims retry each
+// point RMW until it commits, so VictimCommits is fixed by the config.
+// Hostile behavior depends on metering: with StepBudget == 0 each scan
+// retries until it commits (the tenant gets everything it asks for);
+// with StepBudget > 0 each scan gets a single attempt charged per
+// simulated step, is aborted the moment the grant is exceeded, and is
+// not retried — the admission-control half of the native design, where a
+// refused tenant's retry would be throttled rather than replayed for
+// free.
+func RunE12(name string, cfg E12Config) (E12Row, error) {
+	if cfg.Hostiles > cfg.Procs {
+		return E12Row{}, fmt.Errorf("exp: e12: Hostiles %d > Procs %d", cfg.Hostiles, cfg.Procs)
+	}
+	mem := memory.New(cfg.Procs, nil)
+	tmi, err := tmreg.New(name, mem, cfg.Objects)
+	if err != nil {
+		return E12Row{}, err
+	}
+	var (
+		victimCommits, victimAborts               int
+		hostileCommits, hostileAborts, hostileRef int
+		victimSteps                               uint64
+	)
+	s := sched.New(mem)
+	for i := 0; i < cfg.Procs; i++ {
+		i := i
+		hostile := i < cfg.Hostiles
+		rng := newSplitMix(uint64(cfg.Seed)*69621 + uint64(i+1))
+		s.Go(i, func(p *memory.Proc) {
+			if hostile {
+				for n := 0; n < cfg.HostileTxns; n++ {
+					start := int(rng.next() % uint64(cfg.Objects))
+					scan := func(tx tm.Txn) error {
+						begun := p.Steps()
+						var sum uint64
+						for j := 0; j < cfg.Objects; j++ {
+							v, err := tx.Read((start + j) % cfg.Objects)
+							if err != nil {
+								return err
+							}
+							sum += v
+							if cfg.StepBudget > 0 && p.Steps()-begun > cfg.StepBudget {
+								return budget.ErrOutOfBudget
+							}
+						}
+						_ = sum
+						return nil
+					}
+					for {
+						committed, err := tm.Once(tmi, p, scan)
+						if err == budget.ErrOutOfBudget {
+							hostileRef++ // refused: charged out, not retried
+							break
+						}
+						if err != nil {
+							panic(err)
+						}
+						if committed {
+							hostileCommits++
+							break
+						}
+						hostileAborts++
+					}
+				}
+				return
+			}
+			for n := 0; n < cfg.TxnsPerProc; n++ {
+				x := int(rng.next() % uint64(cfg.Objects))
+				delta := rng.next() % 100
+				for {
+					committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+						v, err := tx.Read(x)
+						if err != nil {
+							return err
+						}
+						return tx.Write(x, v+delta)
+					})
+					if err != nil {
+						panic(err)
+					}
+					if committed {
+						victimCommits++
+						break
+					}
+					victimAborts++
+				}
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(cfg.Seed)); err != nil {
+		return E12Row{}, fmt.Errorf("exp: e12 %s: %w", name, err)
+	}
+	var hostileSteps uint64
+	for i := 0; i < cfg.Procs; i++ {
+		if i < cfg.Hostiles {
+			hostileSteps += mem.Proc(i).Steps()
+		} else {
+			victimSteps += mem.Proc(i).Steps()
+		}
+	}
+	row := E12Row{
+		TM: name, Metered: cfg.StepBudget > 0,
+		Procs: cfg.Procs, Hostiles: cfg.Hostiles,
+		VictimCommits: victimCommits, VictimAborts: victimAborts,
+		HostileCommits: hostileCommits, HostileAborts: hostileAborts,
+		HostileBudgetAborts: hostileRef, HostileSteps: hostileSteps,
+		Space: mem.NumObjs(),
+	}
+	if mv, ok := tmi.(interface {
+		LiveVersions() int
+		Versions() int
+	}); ok {
+		row.Space = mem.NumObjs() - 3*mv.Versions() + 3*mv.LiveVersions()
+	}
+	if victimCommits > 0 {
+		row.VictimStepsPerTxn = float64(victimSteps) / float64(victimCommits)
+	}
+	return row, nil
+}

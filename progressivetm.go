@@ -217,5 +217,13 @@ func RunE10(tmName string, cfg exp.E10Config) (exp.E10Row, error) { return exp.R
 // repro/stm/mvstm).
 func RunE11(tmName string, cfg exp.E11Config) (exp.E11Row, error) { return exp.RunE11(tmName, cfg) }
 
+// RunE12 runs the hostile-tenant scenario (unbounded full-table scans
+// sharing a TM with a pool of point writers), optionally enforcing a
+// per-attempt step budget on the hostile tenants — the harness-level
+// model of repro/stm's work budgets and ErrOutOfBudget. The native
+// counterpart is BenchmarkE12HostileTenant (repro/stm and
+// repro/stm/mvstm under a real BudgetPolicy).
+func RunE12(tmName string, cfg exp.E12Config) (exp.E12Row, error) { return exp.RunE12(tmName, cfg) }
+
 // PrintTable renders rows produced by the Run* helpers.
 func PrintTable(w io.Writer, t *Table) { t.Print(w) }

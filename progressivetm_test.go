@@ -71,6 +71,28 @@ func TestFacadeRunE11(t *testing.T) {
 	}
 }
 
+// TestFacadeRunE12 smoke-tests the E12 facade runner: with a step grant
+// below the scan length every hostile scan is refused, and the victims
+// still complete their quota.
+func TestFacadeRunE12(t *testing.T) {
+	cfg := exp.DefaultE12Config()
+	cfg.Procs, cfg.TxnsPerProc, cfg.HostileTxns = 4, 4, 4
+	row, err := ptm.RunE12("tl2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victims := (cfg.Procs - cfg.Hostiles) * cfg.TxnsPerProc
+	if row.VictimCommits != victims {
+		t.Fatalf("victim commits = %d, want %d", row.VictimCommits, victims)
+	}
+	if row.HostileBudgetAborts != cfg.Hostiles*cfg.HostileTxns {
+		t.Fatalf("hostile refusals = %d, want %d", row.HostileBudgetAborts, cfg.Hostiles*cfg.HostileTxns)
+	}
+	if row.HostileCommits != 0 {
+		t.Fatalf("hostile commits = %d under an insufficient grant", row.HostileCommits)
+	}
+}
+
 func TestFacadeRegistries(t *testing.T) {
 	algos := ptm.Algorithms()
 	if len(algos) < 8 {

@@ -1,0 +1,123 @@
+package stm
+
+import (
+	"sync/atomic"
+
+	"repro/stm/budget"
+)
+
+// ErrOutOfBudget is returned by Atomically/AtomicallyRO when the
+// transaction exhausts the work budget granted by the configured
+// BudgetPolicy (see SetBudgetPolicy). The abort is clean: no locks are
+// held, buffered writes are discarded, the pooled descriptor is recycled,
+// and the attempt is counted in Stats.Aborts and Stats.BudgetAborts. It
+// aliases budget.ErrOutOfBudget, so errors.Is matches metering aborts
+// from any engine.
+var ErrOutOfBudget = budget.ErrOutOfBudget
+
+// policyBox and admitBox wrap the configured interfaces so they can be
+// published with one atomic pointer: the unmetered hot path pays a single
+// pointer load per Atomically call and nothing per operation.
+type policyBox struct{ p budget.Policy }
+type admitBox struct{ a budget.Admitter }
+
+var (
+	budgetPolicy atomic.Pointer[policyBox]
+	admission    atomic.Pointer[admitBox]
+)
+
+// SetBudgetPolicy installs the engine-wide metering policy; nil disables
+// metering (the default). The policy's Grant is sampled once per
+// Atomically/AtomicallyRO call — retries spend the same grant — and the
+// engine charges it per operation (Costs.Step), per read/write-set entry
+// (Costs.Read, Costs.Write), per revalidated entry during timestamp
+// extension and commit validation (Costs.Step each), and per aborted
+// attempt before the re-run (Costs.Retry). Exhaustion aborts the
+// transaction with ErrOutOfBudget. Like the other engine-wide knobs, it
+// is meant to be set before concurrent use; in-flight transactions keep
+// the grant they started with.
+func SetBudgetPolicy(p budget.Policy) {
+	if p == nil {
+		budgetPolicy.Store(nil)
+		return
+	}
+	budgetPolicy.Store(&policyBox{p: p})
+}
+
+// SetAdmission installs the engine-wide admission gate; nil disables it
+// (the default). Admit is called once per update-transaction call, before
+// the first attempt — read-only transactions are never gated, since they
+// are not the load that collapses under contention. Pair it with
+// budget.NewController fed by this engine's ReadStats for abort-ratio-
+// driven throttling.
+func SetAdmission(a budget.Admitter) {
+	if a == nil {
+		admission.Store(nil)
+		return
+	}
+	admission.Store(&admitBox{a: a})
+}
+
+// admitted applies the configured admission gate (see SetAdmission).
+func admitted() {
+	if b := admission.Load(); b != nil {
+		b.a.Admit()
+	}
+}
+
+// budgetSignal aborts the current attempt when a hard charge exhausts the
+// budget; the attempt loop translates it into ErrOutOfBudget. It is
+// panicked only where the engine holds no locks (reads, writes,
+// extension), mirroring retrySignal's discipline.
+type budgetSignal struct{}
+
+// beginBudget samples the configured policy into the descriptor, once per
+// call: the per-charge fast path is then two branch-predictable tests on
+// descriptor-local fields, with no atomics.
+func (tx *Tx) beginBudget() {
+	if b := budgetPolicy.Load(); b != nil {
+		tx.metered = true
+		tx.budgetLeft, tx.costs = b.p.Grant()
+	} else {
+		tx.metered = false
+	}
+	tx.budgetExceeded = false
+}
+
+// charge debits n work units, aborting the attempt via budgetSignal when
+// the grant is exhausted. Callers must hold no engine locks.
+func (tx *Tx) charge(n uint64) {
+	if !tx.metered || n == 0 {
+		return
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		panic(budgetSignal{})
+	}
+	tx.budgetLeft -= n
+}
+
+// chargeSoft debits n work units, reporting exhaustion instead of
+// panicking — for the commit path (which must release its locks through
+// normal control flow) and the retry charge (which runs outside
+// runAttempt's recover).
+func (tx *Tx) chargeSoft(n uint64) bool {
+	if !tx.metered || n == 0 {
+		return true
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		return false
+	}
+	tx.budgetLeft -= n
+	return true
+}
+
+// budgetAbort finalizes a metering abort. The failed attempt itself has
+// already been counted in aborts by the caller; this counts the budget
+// subset, recycles the descriptor and returns the sentinel error.
+func (tx *Tx) budgetAbort() error {
+	tx.stat().budgetAborts.Add(1)
+	tx.release()
+	return ErrOutOfBudget
+}

@@ -1,0 +1,174 @@
+package budget
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Admitter gates transaction admission. Engines call Admit once per
+// update-transaction call (before the first attempt); implementations may
+// block the caller to shed load. Admit must be safe for concurrent use.
+type Admitter interface {
+	Admit()
+}
+
+// Controller is an abort-ratio-driven admission controller: an AIMD token
+// bucket that stays out of the way while the engine is healthy and
+// throttles admission when the abort ratio spikes.
+//
+// It samples a cumulative (commits, aborts) counter pair — typically an
+// engine's ReadStats, or a tenant-local pair — at most once per
+// SamplePeriod and computes the abort ratio over the window since the
+// previous sample. While the ratio stays at or below HighWater the
+// controller is disengaged and Admit is a single atomic load. When the
+// ratio exceeds HighWater the controller engages and halves its admission
+// rate (multiplicative decrease, floored at MinRate); each healthy window
+// at or below LowWater then adds MaxRate/10 back (additive increase), and
+// reaching MaxRate disengages the bucket entirely.
+//
+// The zero Controller is not ready for use; create one with NewController.
+type Controller struct {
+	// HighWater engages throttling when the windowed abort ratio exceeds
+	// it; LowWater lets the rate recover when the ratio falls back under.
+	// The gap between them is deliberate hysteresis.
+	HighWater float64
+	LowWater  float64
+	// MinRate and MaxRate bound the admission rate in transactions per
+	// second while engaged.
+	MinRate float64
+	MaxRate float64
+	// SamplePeriod rate-limits the stats sampling; MinSampleTotal is the
+	// fewest attempts (commits+aborts) in a window worth reacting to —
+	// smaller windows accumulate into the next sample instead.
+	SamplePeriod   time.Duration
+	MinSampleTotal uint64
+
+	sample func() (commits, aborts uint64)
+
+	engaged atomic.Bool
+	calls   atomic.Uint64 // disengaged Admit counter: sample every 256th call
+	mu      sync.Mutex
+	rate    float64 // admissions per second while engaged
+	tokens  float64 // may go negative: queued admission debt
+	last    time.Time
+	lastS   time.Time
+	prevC   uint64
+	prevA   uint64
+}
+
+// NewController returns a Controller with default thresholds, fed by
+// sample, which must return cumulative (commits, aborts) counts — e.g.
+//
+//	budget.NewController(func() (uint64, uint64) {
+//	    s := stm.ReadStats()
+//	    return s.Commits, s.Aborts
+//	})
+func NewController(sample func() (commits, aborts uint64)) *Controller {
+	return &Controller{
+		HighWater:      0.5,
+		LowWater:       0.2,
+		MinRate:        500,
+		MaxRate:        2e6,
+		SamplePeriod:   time.Millisecond,
+		MinSampleTotal: 32,
+		sample:         sample,
+		rate:           2e6,
+	}
+}
+
+// Admit implements Admitter: it returns immediately while the controller
+// is disengaged and otherwise takes one token from the bucket, sleeping
+// off any debt. The disengaged fast path costs two uncontended atomics —
+// no clock read, no lock: only every 256th call (still rate-limited by
+// SamplePeriod) pays for a stats sample, so a healthy engine admitting
+// millions of transactions a second re-checks its abort ratio within a
+// few microseconds of load while the other calls sail through. With
+// SamplePeriod == 0 (test mode) every call samples, so the admission
+// tests can control the window exactly.
+func (c *Controller) Admit() {
+	if !c.engaged.Load() {
+		if c.SamplePeriod > 0 && c.calls.Add(1)&255 != 0 {
+			return
+		}
+		c.mu.Lock()
+		c.sampleLocked(time.Now())
+		engaged := c.engaged.Load()
+		c.mu.Unlock()
+		if !engaged {
+			return
+		}
+	}
+	c.take()
+}
+
+// Engaged reports whether the controller is currently throttling.
+func (c *Controller) Engaged() bool { return c.engaged.Load() }
+
+// Rate returns the current admission rate (meaningful while engaged).
+func (c *Controller) Rate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rate
+}
+
+// sampleLocked re-reads the counters at most once per SamplePeriod and
+// applies the AIMD rule. Callers hold c.mu.
+func (c *Controller) sampleLocked(now time.Time) {
+	if now.Sub(c.lastS) < c.SamplePeriod {
+		return
+	}
+	commits, aborts := c.sample()
+	dc, da := commits-c.prevC, aborts-c.prevA
+	if dc+da < c.MinSampleTotal {
+		// Too little traffic to judge; leave prev in place so the window
+		// keeps accumulating, but do not resample before the next period.
+		c.lastS = now
+		return
+	}
+	c.prevC, c.prevA, c.lastS = commits, aborts, now
+	ratio := float64(da) / float64(dc+da)
+	switch {
+	case ratio > c.HighWater:
+		if !c.engaged.Load() {
+			c.rate = c.MaxRate
+			c.tokens = 0
+			c.last = now
+			c.engaged.Store(true)
+		}
+		c.rate = max(c.MinRate, c.rate/2)
+	case c.engaged.Load() && ratio <= c.LowWater:
+		c.rate += c.MaxRate / 10
+		if c.rate >= c.MaxRate {
+			c.rate = c.MaxRate
+			c.engaged.Store(false)
+		}
+	}
+}
+
+// take removes one token, refilling by elapsed time first, and sleeps off
+// the debt when the bucket is dry. Debt is reserved under the lock and
+// slept off outside it, so concurrent waiters queue fairly instead of
+// stampeding the refill.
+func (c *Controller) take() {
+	c.mu.Lock()
+	now := time.Now()
+	c.sampleLocked(now)
+	if !c.engaged.Load() {
+		c.mu.Unlock()
+		return
+	}
+	elapsed := now.Sub(c.last).Seconds()
+	c.last = now
+	burst := max(1, c.rate/100) // at most ~10ms of stored admissions
+	c.tokens = min(burst, c.tokens+elapsed*c.rate)
+	c.tokens--
+	var wait time.Duration
+	if c.tokens < 0 {
+		wait = time.Duration(-c.tokens / c.rate * float64(time.Second))
+	}
+	c.mu.Unlock()
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+}

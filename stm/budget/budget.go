@@ -1,0 +1,88 @@
+// Package budget defines the work-metering vocabulary shared by the
+// native STM engines (repro/stm, repro/stm/norecstm, repro/stm/mvstm):
+// a Policy grants each transaction a budget of abstract work units, the
+// engines charge the budget as the transaction consumes the resources the
+// paper's complexity results bound — steps, read/write-set entries,
+// retries, and (for the multi-version engine) retained version space —
+// and a transaction that exhausts its grant aborts cleanly with
+// ErrOutOfBudget instead of starving every other client.
+//
+// The design is the STM analogue of a VM gas meter: the engine is the
+// interpreter, the transaction is the program, and the budget is its gas.
+// On top of the meter, Controller implements abort-ratio-driven admission
+// control: an AIMD token bucket that throttles transaction admission when
+// the engine-wide abort ratio spikes, turning the contention cliff into a
+// flat graceful-degradation curve.
+//
+// The package is deliberately dependency-free (engines import it, never
+// the reverse) so all three engines share one error value and one cost
+// vocabulary: errors.Is(err, budget.ErrOutOfBudget) identifies a metering
+// abort from any engine.
+package budget
+
+import "errors"
+
+// ErrOutOfBudget is returned by an engine's Atomically/AtomicallyRO when
+// the transaction exhausts the budget its Policy granted. The abort is
+// clean: locks released, buffered writes discarded, pooled descriptors
+// recycled, epoch registrations dropped, and the attempt counted in the
+// engine's abort statistics (Stats.BudgetAborts ⊆ Stats.Aborts).
+//
+// Each engine re-exports this value (e.g. stm.ErrOutOfBudget) so callers
+// need not import this package; all aliases compare equal.
+var ErrOutOfBudget = errors.New("stm: transaction exceeded its work budget")
+
+// Costs prices each metered resource in abstract work units. A zero cost
+// makes the resource free; the zero Costs value meters nothing (use
+// UnitCosts for the natural uniform pricing).
+type Costs struct {
+	// Read is charged per read-set entry (per certified read on the
+	// read-only paths, which log no entries).
+	Read uint64
+	// Write is charged per write-set entry.
+	Write uint64
+	// Step is charged per transactional operation and per unit of hidden
+	// engine work on the transaction's behalf: each Get/Set, each entry
+	// revalidated by a timestamp extension or value-validation scan, each
+	// version walked by a multi-version snapshot read.
+	Step uint64
+	// Retry is charged per aborted attempt before the re-run, so a
+	// transaction caught in a pathological conflict loop runs out of
+	// budget instead of retrying forever.
+	Retry uint64
+	// Version is charged by the multi-version engine per version retained
+	// in the chains a commit is about to publish — the space half of the
+	// paper's time/space trade. Single-version engines ignore it.
+	Version uint64
+}
+
+// UnitCosts prices every resource at one work unit: the budget limit then
+// reads as "total operations + retained versions".
+func UnitCosts() Costs {
+	return Costs{Read: 1, Write: 1, Step: 1, Retry: 1, Version: 1}
+}
+
+// Policy grants budgets to transactions. Grant is called once per
+// Atomically/AtomicallyRO call (not per attempt: retries spend the same
+// grant, which is what makes the retry charge meaningful) and must be
+// safe for concurrent use.
+type Policy interface {
+	Grant() (limit uint64, costs Costs)
+}
+
+// Fixed is the simplest Policy: every transaction gets the same limit at
+// the same prices. A zero Costs field defaults to UnitCosts, so
+// Fixed{Limit: 1000} is the common "at most 1000 operations" meter.
+type Fixed struct {
+	Limit uint64
+	Costs Costs
+}
+
+// Grant implements Policy.
+func (f Fixed) Grant() (uint64, Costs) {
+	c := f.Costs
+	if c == (Costs{}) {
+		c = UnitCosts()
+	}
+	return f.Limit, c
+}

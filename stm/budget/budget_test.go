@@ -1,0 +1,100 @@
+package budget
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFixedGrantDefaultsToUnitCosts(t *testing.T) {
+	limit, costs := Fixed{Limit: 42}.Grant()
+	if limit != 42 {
+		t.Fatalf("limit = %d, want 42", limit)
+	}
+	if costs != UnitCosts() {
+		t.Fatalf("costs = %+v, want unit costs", costs)
+	}
+	custom := Costs{Read: 2, Step: 1}
+	_, costs = Fixed{Limit: 7, Costs: custom}.Grant()
+	if costs != custom {
+		t.Fatalf("costs = %+v, want %+v", costs, custom)
+	}
+}
+
+func TestControllerDisengagedIsFree(t *testing.T) {
+	var commits atomic.Uint64
+	c := NewController(func() (uint64, uint64) { return commits.Load(), 0 })
+	c.MinSampleTotal = 1
+	for i := 0; i < 1000; i++ {
+		commits.Add(1)
+		c.Admit()
+	}
+	if c.Engaged() {
+		t.Fatal("controller engaged on an abort-free workload")
+	}
+}
+
+func TestControllerEngagesOnAbortSpike(t *testing.T) {
+	var commits, aborts atomic.Uint64
+	c := NewController(func() (uint64, uint64) { return commits.Load(), aborts.Load() })
+	c.SamplePeriod = 0 // sample every Admit: the test controls the window
+	c.MinSampleTotal = 1
+	c.MinRate = 100
+
+	// A window that is almost all aborts must engage the bucket.
+	commits.Add(10)
+	aborts.Add(90)
+	c.Admit()
+	if !c.Engaged() {
+		t.Fatal("controller did not engage at 90% abort ratio")
+	}
+
+	// While engaged, admissions are rate-limited: after draining the
+	// burst, each Admit costs ~1/rate seconds. Halving pressure repeatedly
+	// drives the rate to MinRate.
+	for i := 0; i < 20; i++ {
+		commits.Add(10)
+		aborts.Add(90)
+		c.Admit()
+	}
+	if got := c.Rate(); got != c.MinRate {
+		t.Fatalf("rate = %v after sustained abort storm, want MinRate %v", got, c.MinRate)
+	}
+
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		commits.Add(10)
+		aborts.Add(90)
+		c.Admit()
+	}
+	// 5 admissions at 100/s with at most 1 token of stored burst should
+	// take roughly 40ms; allow wide slack but reject "no throttling".
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("5 admissions at MinRate took only %v: bucket is not throttling", elapsed)
+	}
+}
+
+func TestControllerRecoversAndDisengages(t *testing.T) {
+	var commits, aborts atomic.Uint64
+	c := NewController(func() (uint64, uint64) { return commits.Load(), aborts.Load() })
+	c.SamplePeriod = 0
+	c.MinSampleTotal = 1
+	c.MinRate = 1000
+
+	commits.Add(10)
+	aborts.Add(90)
+	c.Admit()
+	if !c.Engaged() {
+		t.Fatal("controller did not engage")
+	}
+	// Healthy windows: additive increase climbs back to MaxRate and
+	// disengages (MaxRate/10 per window → at most 10 windows plus the
+	// climb from wherever decrease left the rate).
+	for i := 0; i < 30 && c.Engaged(); i++ {
+		commits.Add(100)
+		c.Admit()
+	}
+	if c.Engaged() {
+		t.Fatal("controller never disengaged on an abort-free recovery")
+	}
+}

@@ -1,0 +1,207 @@
+package stm_test
+
+// Budget-exhaustion coverage for the TL2 engine: every charge point —
+// mid-read, at the commit charge (no locks may leak), on the retry
+// charge — aborts with ErrOutOfBudget, releases everything, and lands in
+// the abort accounting exactly once. The test idioms mirror a VM gas
+// meter's out-of-gas suite, including the recover-based panic-path
+// variant.
+
+import (
+	"errors"
+	"testing"
+
+	"repro/stm"
+	"repro/stm/budget"
+)
+
+// withPolicy installs a metering policy for the duration of the test.
+func withPolicy(t *testing.T, p budget.Policy) {
+	t.Helper()
+	stm.SetBudgetPolicy(p)
+	t.Cleanup(func() { stm.SetBudgetPolicy(nil) })
+}
+
+func TestBudgetExhaustionMidRead(t *testing.T) {
+	v1, v2 := stm.NewVar(1), stm.NewVar(2)
+	// Unit costs: each fresh Get charges Step+Read = 2. A limit of 3
+	// admits the first read and runs dry on the second's Read charge.
+	withPolicy(t, budget.Fixed{Limit: 3})
+	before := stm.ReadStats()
+	reached := false
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		reached = true
+		return nil
+	})
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if reached {
+		t.Fatal("attempt continued past the exhausted charge")
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Aborts != 1 || d.Commits != 0 {
+		t.Fatalf("stats delta = %+v, want exactly one (budget) abort and no commit", d)
+	}
+}
+
+func TestBudgetExhaustionAtCommitReleasesLocks(t *testing.T) {
+	v1, v2 := stm.NewVar(1), stm.NewVar(2)
+	w1, w2 := stm.NewVar(0), stm.NewVar(0)
+	// Unit costs: 2 reads (4) + 2 writes (4) = 8 hard units; the commit
+	// charge prices validation at Step×|reads| = 2 more. A limit of 9
+	// survives the attempt body and runs dry at the commit charge point.
+	withPolicy(t, budget.Fixed{Limit: 9})
+	before := stm.ReadStats()
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		w1.Set(tx, 10)
+		w2.Set(tx, 20)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	for i, v := range []*stm.Var[int]{v1, v2, w1, w2} {
+		if stm.VarLocked(v) {
+			t.Fatalf("var %d left locked after budget abort in commit", i)
+		}
+	}
+	if w1.Load() != 0 || w2.Load() != 0 {
+		t.Fatalf("buffered writes leaked: w1=%d w2=%d", w1.Load(), w2.Load())
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Aborts != 1 || d.Commits != 0 {
+		t.Fatalf("stats delta = %+v, want exactly one (budget) abort and no commit", d)
+	}
+	// The same transaction commits once the meter is off.
+	stm.SetBudgetPolicy(nil)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		w1.Set(tx, 10)
+		w2.Set(tx, 20)
+		return nil
+	}); err != nil {
+		t.Fatalf("unmetered re-run failed: %v", err)
+	}
+	if w1.Load() != 10 || w2.Load() != 20 {
+		t.Fatal("unmetered re-run did not commit")
+	}
+}
+
+func TestBudgetRetryChargeStopsConflictLoop(t *testing.T) {
+	v := stm.NewVar(0)
+	sink := stm.NewVar(0)
+	// Only retries cost: 3 units admit attempts 1..4 and refuse to fund a
+	// fifth, deterministically (each attempt's read of v is invalidated by
+	// the nested commit below, so commit validation always fails).
+	withPolicy(t, budget.Fixed{Limit: 3, Costs: budget.Costs{Retry: 1}})
+	before := stm.ReadStats()
+	attempts := 0
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		attempts++
+		cur := v.Get(tx)
+		// A nested (independent) transaction commits a conflicting write,
+		// invalidating the read above before this attempt can validate.
+		if err := stm.Atomically(func(in *stm.Tx) error {
+			v.Set(in, v.Get(in)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("nested commit failed: %v", err)
+		}
+		sink.Set(tx, cur)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (limit 3 funds exactly 3 re-runs)", attempts)
+	}
+	if stm.VarLocked(v) || stm.VarLocked(sink) {
+		t.Fatal("lock leaked by the aborting conflict loop")
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 {
+		t.Fatalf("BudgetAborts = %d, want 1", d.BudgetAborts)
+	}
+	if d.BudgetAborts > d.Aborts {
+		t.Fatalf("accounting: BudgetAborts %d > Aborts %d", d.BudgetAborts, d.Aborts)
+	}
+}
+
+func TestBudgetExhaustionROPath(t *testing.T) {
+	v1, v2 := stm.NewVar(1), stm.NewVar(2)
+	withPolicy(t, budget.Fixed{Limit: 3})
+	before := stm.ReadStats()
+	err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Aborts != 1 || d.Commits != 0 {
+		t.Fatalf("stats delta = %+v, want exactly one (budget) abort", d)
+	}
+}
+
+// TestBudgetSignalSurvivesUserRecover is the recover-based panic-path
+// variant: user code that recovers and re-panics foreign values (the
+// only recover discipline allowed across t-operations) must not swallow
+// the exhaustion signal — Atomically still reports ErrOutOfBudget.
+func TestBudgetSignalSurvivesUserRecover(t *testing.T) {
+	v1, v2 := stm.NewVar(1), stm.NewVar(2)
+	withPolicy(t, budget.Fixed{Limit: 3})
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(r) // user cleanup: re-panic what it cannot handle
+			}
+		}()
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		return nil
+	})
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget through the user recover", err)
+	}
+}
+
+// TestBudgetAliasMatchesSharedSentinel: the engine alias and the shared
+// budget package sentinel are one value, so cross-engine error handling
+// can match either spelling.
+func TestBudgetAliasMatchesSharedSentinel(t *testing.T) {
+	if !errors.Is(stm.ErrOutOfBudget, budget.ErrOutOfBudget) {
+		t.Fatal("stm.ErrOutOfBudget does not alias budget.ErrOutOfBudget")
+	}
+}
+
+// TestBudgetGenerousGrantCommits: metering on, but a grant that covers
+// the transaction: it must commit normally and count no budget abort.
+func TestBudgetGenerousGrantCommits(t *testing.T) {
+	v := stm.NewVar(0)
+	withPolicy(t, budget.Fixed{Limit: 1 << 20})
+	before := stm.ReadStats()
+	for i := 0; i < 10; i++ {
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("metered commit %d failed: %v", i, err)
+		}
+	}
+	if got := v.Load(); got != 10 {
+		t.Fatalf("v = %d, want 10", got)
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.BudgetAborts != 0 {
+		t.Fatalf("BudgetAborts = %d on a generous grant", d.BudgetAborts)
+	}
+}

@@ -1,0 +1,107 @@
+package stm_test
+
+// Differential fuzzing of the metering layer: a fuzzed op sequence runs
+// once under a fuzzed budget and once unmetered, against a plain-array
+// model. Metering must never change semantics — only refuse: a metered
+// commit must produce exactly the unmetered result, a refusal must leave
+// every var untouched and unlocked and count exactly one BudgetAborts,
+// and a grant provably larger than the sequence's worst-case cost must
+// never be refused (no spurious ErrOutOfBudget).
+
+import (
+	"errors"
+	"testing"
+
+	"repro/stm"
+	"repro/stm/budget"
+)
+
+func FuzzBudget(f *testing.F) {
+	// Seeds: immediate refusal (zero grant), a grant that dies mid-read,
+	// one that dies at the commit charge, and a generous one.
+	f.Add([]byte{0, 1, 0x81, 2, 0x83, 4})
+	f.Add([]byte{3, 0x80, 0x81, 0x82, 0x83, 0x84, 0x85})
+	f.Add([]byte{9, 0x80, 0x81, 1, 2, 0x80, 3})
+	f.Add([]byte{255, 0, 1, 2, 3, 4, 5, 6, 7, 0x80, 0x81, 0x82})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		limit, ops := uint64(data[0]), data[1:]
+		const nvars = 8
+		vars := make([]*stm.Var[int], nvars)
+		for i := range vars {
+			vars[i] = stm.NewVar(0)
+		}
+		// The model result: op byte b targets var b%8; the high bit selects
+		// read (sunk) vs write (a running counter, so every write is
+		// distinguishable).
+		var model [nvars]int
+		for n, b := range ops {
+			if b&0x80 == 0 {
+				model[b%nvars] = n + 1
+			}
+		}
+		run := func(tx *stm.Tx) error {
+			for n, b := range ops {
+				if b&0x80 == 0 {
+					vars[b%nvars].Set(tx, n+1)
+				} else {
+					_ = vars[b%nvars].Get(tx)
+				}
+			}
+			return nil
+		}
+
+		stm.SetBudgetPolicy(budget.Fixed{Limit: limit})
+		before := stm.ReadStats()
+		err := stm.Atomically(run)
+		d := stm.ReadStats().Sub(before)
+		stm.SetBudgetPolicy(nil)
+
+		switch {
+		case err == nil:
+			if d.BudgetAborts != 0 {
+				t.Fatalf("committed run counted %d budget aborts", d.BudgetAborts)
+			}
+			for i, v := range vars {
+				if got := v.Load(); got != model[i] {
+					t.Fatalf("metered commit diverged at var %d: %d, model %d", i, got, model[i])
+				}
+			}
+		case errors.Is(err, stm.ErrOutOfBudget):
+			if d.BudgetAborts != 1 || d.Commits != 0 {
+				t.Fatalf("refusal stats = %+v, want exactly one budget abort", d)
+			}
+			for i, v := range vars {
+				if got := v.Load(); got != 0 {
+					t.Fatalf("refused run leaked a write: var %d = %d", i, got)
+				}
+				if stm.VarLocked(v) {
+					t.Fatalf("refused run leaked the lock on var %d", i)
+				}
+			}
+			// Solo, every charge is at most Step+Read or Step+Write (2 units)
+			// per op plus the commit charge of Step×|reads| ≤ |ops|: a grant
+			// of 3×|ops|+1 cannot legitimately run dry.
+			if limit >= 3*uint64(len(ops))+1 {
+				t.Fatalf("spurious refusal: limit %d vs %d ops", limit, len(ops))
+			}
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+
+		// The unmetered replay on fresh vars must match the model exactly.
+		for i := range vars {
+			vars[i] = stm.NewVar(0)
+		}
+		if err := stm.Atomically(run); err != nil {
+			t.Fatalf("unmetered run failed: %v", err)
+		}
+		for i, v := range vars {
+			if got := v.Load(); got != model[i] {
+				t.Fatalf("unmetered run diverged at var %d: %d, model %d", i, got, model[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package stm_test
+
+// Context-aware entry points and panic-safety regression coverage for the
+// TL2 engine: AtomicallyCtx must observe cancellation before running user
+// code, between attempts, and while parked in Retry; a panic out of user
+// code must release every lock, discard buffered writes, recycle the
+// pooled descriptor, and leave the engine fully usable.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/stm"
+)
+
+func TestAtomicallyCtxNilLikeBackground(t *testing.T) {
+	v := stm.NewVar(0)
+	if err := stm.AtomicallyCtx(context.Background(), func(tx *stm.Tx) error {
+		v.Set(tx, 7)
+		return nil
+	}); err != nil {
+		t.Fatalf("AtomicallyCtx(Background) = %v", err)
+	}
+	if got := v.Load(); got != 7 {
+		t.Fatalf("v = %d, want 7", got)
+	}
+}
+
+func TestAtomicallyCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("user function ran under a pre-canceled context")
+	}
+
+	err = stm.AtomicallyROCtx(ctx, func(tx *stm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RO err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("RO user function ran under a pre-canceled context")
+	}
+}
+
+func TestAtomicallyCtxCancelUnblocksRetry(t *testing.T) {
+	v := stm.NewVar(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
+			if v.Get(tx) == 0 {
+				tx.Retry() // no writer ever satisfies this: only cancel can
+			}
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not unblock a parked Retry")
+	}
+	if stm.VarLocked(v) {
+		t.Fatal("lock leaked by the canceled transaction")
+	}
+}
+
+func TestAtomicallyCtxDeadlineDuringConflicts(t *testing.T) {
+	v := stm.NewVar(0)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	err := stm.AtomicallyCtx(ctx, func(tx *stm.Tx) error {
+		cur := v.Get(tx)
+		// Force a conflict every attempt so the transaction can never
+		// commit; only the deadline ends it.
+		if err := stm.Atomically(func(in *stm.Tx) error {
+			v.Set(in, v.Get(in)+1)
+			return nil
+		}); err != nil {
+			return err
+		}
+		v.Set(tx, cur+100)
+		return nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if stm.VarLocked(v) {
+		t.Fatal("lock leaked by the deadline-aborted transaction")
+	}
+}
+
+func TestUserPanicReleasesEverything(t *testing.T) {
+	v, w := stm.NewVar(0), stm.NewVar(0)
+	// Iterate enough times to cycle the descriptor pool: a leaked (never
+	// recycled) descriptor would surface as unbounded growth, a
+	// double-recycled one as corrupt read/write sets on reuse.
+	for i := 0; i < 64; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != "user boom" {
+					t.Fatalf("recover() = %v, want the user panic value", r)
+				}
+			}()
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				_ = v.Get(tx)
+				w.Set(tx, 42)
+				panic("user boom")
+			})
+		}()
+		if stm.VarLocked(v) || stm.VarLocked(w) {
+			t.Fatalf("iteration %d: lock leaked across a user panic", i)
+		}
+		if got := w.Load(); got != 0 {
+			t.Fatalf("iteration %d: buffered write leaked: w = %d", i, got)
+		}
+	}
+	// The engine stays fully usable on the same vars.
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		v.Set(tx, v.Get(tx)+1)
+		w.Set(tx, 9)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-panic transaction failed: %v", err)
+	}
+	if v.Load() != 1 || w.Load() != 9 {
+		t.Fatalf("post-panic commit wrong: v=%d w=%d", v.Load(), w.Load())
+	}
+}
+
+func TestUserPanicOnROPath(t *testing.T) {
+	v := stm.NewVar(3)
+	func() {
+		defer func() {
+			if r := recover(); r != "ro boom" {
+				t.Fatalf("recover() = %v, want the user panic value", r)
+			}
+		}()
+		_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+			_ = v.Get(tx)
+			panic("ro boom")
+		})
+	}()
+	if err := stm.AtomicallyRO(func(tx *stm.Tx) error {
+		if v.Get(tx) != 3 {
+			t.Error("v changed under an RO panic")
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("post-panic RO transaction failed: %v", err)
+	}
+}

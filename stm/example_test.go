@@ -1,9 +1,11 @@
 package stm_test
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/stm"
+	"repro/stm/budget"
 )
 
 // ExampleAtomically is the quickstart: composable atomic transfers with
@@ -91,6 +93,44 @@ func ExampleOrderedMap_Range() {
 	// Output:
 	// banana 2
 	// cherry 3
+}
+
+// ExampleSetBudgetPolicy shows transaction metering: a BudgetPolicy
+// grants every Atomically/AtomicallyRO call a budget of work units
+// charged per read, write, step and retry, and a call whose grant runs
+// dry is refused with ErrOutOfBudget — cleanly: no locks held, no
+// writes published, the refusal counted in ReadStats().BudgetAborts.
+// (budget.Controller and SetAdmission add abort-ratio-driven admission
+// control on top; see the package docs.)
+func ExampleSetBudgetPolicy() {
+	table := make([]*stm.Var[int], 8)
+	for i := range table {
+		table[i] = stm.NewVar(i)
+	}
+	scan := func(out *int) func(*stm.Tx) error {
+		return func(tx *stm.Tx) error {
+			*out = 0
+			for _, v := range table {
+				*out += v.Get(tx)
+			}
+			return nil
+		}
+	}
+
+	// A grant far below the cost of a full scan: the scan is refused,
+	// not retried — the tenant pays for its own appetite.
+	stm.SetBudgetPolicy(budget.Fixed{Limit: 4})
+	var sum int
+	err := stm.Atomically(scan(&sum))
+	fmt.Println("refused:", errors.Is(err, stm.ErrOutOfBudget))
+
+	// Metering off (the default): the same scan commits.
+	stm.SetBudgetPolicy(nil)
+	_ = stm.Atomically(scan(&sum))
+	fmt.Println("sum:", sum)
+	// Output:
+	// refused: true
+	// sum: 28
 }
 
 // ExampleSetClockStrategy shows the commit-pipeline knobs. Configure them

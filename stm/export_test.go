@@ -1,6 +1,9 @@
 package stm
 
-import "repro/internal/tm"
+import (
+	"repro/internal/tm"
+	"repro/internal/tm/lockword"
+)
 
 // Test-only exports: the native history trace hook (see trace.go) and a
 // few descriptor internals the RO fast-path tests assert on.
@@ -33,3 +36,12 @@ func IsPromoted(tx *Tx) bool { return tx.promoted }
 // the fuzz seeds can target tower-height edge cases (tallest/shortest
 // keys of the fuzz keyspace).
 func KeyTowerHeight(key string) int { return towerHeight(omHash(key)) }
+
+// VarLocked reports whether v's versioned lock word currently has the
+// lock bit set; the budget and panic-safety tests assert every abort path
+// leaves it clear.
+func VarLocked[T any](v *Var[T]) bool { return lockword.Locked(v.lw.Load()) }
+
+// BudgetLeft reports the descriptor's remaining work-budget grant, for
+// pinning down exactly where a charge lands.
+func BudgetLeft(tx *Tx) uint64 { return tx.budgetLeft }

@@ -1,0 +1,113 @@
+package mvstm
+
+import (
+	"sync/atomic"
+
+	"repro/stm/budget"
+)
+
+// ErrOutOfBudget is returned by Atomically/AtomicallyRO when the
+// transaction exhausts the work budget granted by the configured
+// BudgetPolicy (see SetBudgetPolicy). The abort is clean: no locks are
+// held, the epoch registration is dropped (the GC floor moves on), and
+// the pooled descriptor is recycled. It aliases budget.ErrOutOfBudget, so
+// errors.Is matches metering aborts from any engine.
+var ErrOutOfBudget = budget.ErrOutOfBudget
+
+type policyBox struct{ p budget.Policy }
+type admitBox struct{ a budget.Admitter }
+
+var (
+	budgetPolicy atomic.Pointer[policyBox]
+	admission    atomic.Pointer[admitBox]
+)
+
+// SetBudgetPolicy installs the engine-wide metering policy; nil disables
+// metering (the default). Grant is sampled once per call (retries spend
+// the same grant); the engine charges Costs.Step per operation and per
+// version walked by a snapshot read, Costs.Read/Costs.Write per
+// read-/write-set entry, Costs.Retry per aborted attempt, and —
+// distinctive to this engine — Costs.Version per version retained in the
+// chains a commit is about to publish, so the space half of the paper's
+// time/space trade is metered too: a transaction pinning an old snapshot
+// pays for the chain growth it forces on every writer, and a giant write
+// set pays for the versions it appends. Exhaustion aborts with
+// ErrOutOfBudget; AtomicallyRO, whose snapshot reads otherwise never
+// abort, is the one path a budget can abort.
+func SetBudgetPolicy(p budget.Policy) {
+	if p == nil {
+		budgetPolicy.Store(nil)
+		return
+	}
+	budgetPolicy.Store(&policyBox{p: p})
+}
+
+// SetAdmission installs the engine-wide admission gate; nil disables it
+// (the default). Admit is called once per update-transaction call, before
+// the first attempt; snapshot (read-only) transactions are never gated.
+func SetAdmission(a budget.Admitter) {
+	if a == nil {
+		admission.Store(nil)
+		return
+	}
+	admission.Store(&admitBox{a: a})
+}
+
+func admitted() {
+	if b := admission.Load(); b != nil {
+		b.a.Admit()
+	}
+}
+
+// budgetSignal aborts the current attempt when a hard charge exhausts the
+// budget; it is panicked only from the read/write paths, where no locks
+// are held (the commit path uses the soft charge instead).
+type budgetSignal struct{}
+
+// beginBudget samples the configured policy into the descriptor, once per
+// call.
+func (tx *Tx) beginBudget() {
+	if b := budgetPolicy.Load(); b != nil {
+		tx.metered = true
+		tx.budgetLeft, tx.costs = b.p.Grant()
+	} else {
+		tx.metered = false
+	}
+	tx.budgetExceeded = false
+}
+
+// charge debits n work units, aborting the attempt via budgetSignal when
+// the grant is exhausted.
+func (tx *Tx) charge(n uint64) {
+	if !tx.metered || n == 0 {
+		return
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		panic(budgetSignal{})
+	}
+	tx.budgetLeft -= n
+}
+
+// chargeSoft debits n work units, reporting exhaustion instead of
+// panicking (for the commit path and the retry charge).
+func (tx *Tx) chargeSoft(n uint64) bool {
+	if !tx.metered || n == 0 {
+		return true
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		return false
+	}
+	tx.budgetLeft -= n
+	return true
+}
+
+// budgetAbort finalizes a metering abort: the failed attempt is already
+// counted in aborts by the caller; finish flushes the batched snapshot
+// stats, drops the epoch registration and recycles the descriptor.
+func (tx *Tx) budgetAbort() error {
+	tx.stat().budgetAborts.Add(1)
+	tx.finish()
+	return ErrOutOfBudget
+}

@@ -1,6 +1,9 @@
 package mvstm
 
-import "repro/internal/tm"
+import (
+	"repro/internal/tm"
+	"repro/internal/tm/lockword"
+)
 
 // Test-only exports: the native history trace hook (see trace.go) and the
 // chain internals the GC and fuzz tests assert on.
@@ -37,3 +40,22 @@ func IsRO(tx *Tx) bool { return tx.ro }
 
 // PinnedRV reports the descriptor's pinned read timestamp.
 func PinnedRV(tx *Tx) uint64 { return tx.rv }
+
+// VarLocked reports whether v's versioned lock word currently has the
+// lock bit set; the budget tests assert every abort path leaves it clear.
+func VarLocked[T any](v *Var[T]) bool { return lockword.Locked(v.lw.Load()) }
+
+// ActivePins counts epoch slots currently holding a registration (joining
+// or pinned): with no transactions in flight it must be zero, or a
+// dropped registration would hold the GC floor down forever.
+func ActivePins() int {
+	n := 0
+	if sl := slotList.Load(); sl != nil {
+		for _, s := range *sl {
+			if s.ts.Load() != slotInactive {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -73,6 +73,7 @@
 package mvstm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -82,6 +83,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/tm/lockword"
+	"repro/stm/budget"
 )
 
 // clock is the global version clock shared by all Vars (advanced with the
@@ -345,6 +347,14 @@ type Tx struct {
 	// 0 not computed, 1 usable, 2 sweep skipped (a joiner was observed).
 	minRV    uint64
 	minState int
+	// metered/budgetLeft/costs are the call's work-budget grant, sampled
+	// once per call from the engine policy (see SetBudgetPolicy);
+	// budgetExceeded records exhaustion on the non-panicking paths. The
+	// grant survives reset: retries spend the same budget.
+	metered        bool
+	budgetExceeded bool
+	budgetLeft     uint64
+	costs          budget.Costs
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
@@ -515,6 +525,13 @@ func (tx *Tx) readSnapshot(v varBase) (any, uint64) {
 	}
 	tx.pendingReads++
 	tx.pendingWalk += uint64(walked)
+	// The chain walk is the time half of the space-for-time trade: one
+	// step per version examined, plus the read itself. This is the charge
+	// that stops an unbounded scanner — the one transaction shape the
+	// abort-free snapshot path would otherwise let run forever.
+	if tx.metered {
+		tx.charge(tx.costs.Read + tx.costs.Step*uint64(walked))
+	}
 	if tx.trec != nil {
 		tx.traceRead(v, val)
 	}
@@ -525,6 +542,9 @@ func (tx *Tx) write(v varBase, val any) {
 	if tx.ro {
 		panic("mvstm: Set inside a read-only transaction (AtomicallyRO cannot write)")
 	}
+	if tx.metered {
+		tx.charge(tx.costs.Step)
+	}
 	if tx.trec != nil {
 		tx.traceWrite(v, val)
 	}
@@ -532,6 +552,9 @@ func (tx *Tx) write(v varBase, val any) {
 		if i, ok := tx.wmap[v]; ok {
 			tx.writes[i].val = val
 			return
+		}
+		if tx.metered {
+			tx.charge(tx.costs.Write)
 		}
 		tx.wmap[v] = len(tx.writes)
 		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
@@ -541,6 +564,9 @@ func (tx *Tx) write(v varBase, val any) {
 	if found {
 		tx.writes[i].val = val
 		return
+	}
+	if tx.metered {
+		tx.charge(tx.costs.Write)
 	}
 	if len(tx.writes) >= writeSetMapThreshold {
 		tx.wmap = make(map[varBase]int, 2*writeSetMapThreshold)
@@ -668,6 +694,25 @@ func (tx *Tx) commit() bool {
 	// rebuilt under the lock, which only happens under real per-Var write
 	// contention.
 	tx.buildChains(st)
+	// Price the commit before any lock is taken: the validation scan (one
+	// step per read entry) and — the space half of the trade — every
+	// version retained in the chains about to be published. A transaction
+	// whose writes land on chains held long by a pinned reader pays for
+	// that retention and runs dry instead of growing them forever. The
+	// charge must not panic once locks are held, so it is soft and
+	// exhaustion surfaces as a failed commit; the attempt loop translates
+	// budgetExceeded into ErrOutOfBudget. (The rare rebuild-under-lock
+	// path below is not re-charged: the pre-lock estimate already priced
+	// this commit's retention within one version per contended chain.)
+	if tx.metered {
+		retained := uint64(0)
+		for i := range tx.writes {
+			retained += uint64(tx.writes[i].nc.len())
+		}
+		if !tx.chargeSoft(tx.costs.Version*retained + tx.costs.Step*uint64(len(tx.reads))) {
+			return false
+		}
+	}
 	locked := 0
 	for i := range tx.writes {
 		prev, ok := tx.writes[i].v.tryLock()
@@ -767,17 +812,44 @@ func (tx *Tx) buildChain(e *writeEntry, st *statShard) {
 // AtomicallyRO instead: the snapshot path skips read-set logging and
 // commit validation entirely and can never abort.
 func Atomically(fn func(tx *Tx) error) error {
+	return atomically(nil, fn)
+}
+
+// AtomicallyCtx is Atomically with a cancellation point: the context is
+// checked before every attempt and while blocked in Retry, and a done
+// context surfaces as a clean abort — buffered writes discarded, the
+// epoch registration dropped, the pooled descriptor recycled — returning
+// ctx.Err(). An attempt already past its check runs to completion, so a
+// commit racing the cancellation may still land.
+func AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomically(ctx, fn)
+}
+
+// atomically is the shared retry loop behind Atomically and
+// AtomicallyCtx; a nil ctx costs one predictable branch per attempt.
+func atomically(ctx context.Context, fn func(tx *Tx) error) error {
+	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro = false
+	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
-			// A panic escaping fn abandons the descriptor, but its epoch
-			// registration must not pin the GC floor forever.
-			tx.unpin()
+			// A panic escaping fn must not strand the descriptor: finish
+			// drops the epoch registration (the GC floor must not stay
+			// pinned forever) and recycles the descriptor into the pool. No
+			// engine locks can be held here — commit runs no user code and
+			// never panics while holding its write locks.
+			tx.finish()
 			panic(r)
 		}
 	}()
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				tx.finish()
+				return err
+			}
+		}
 		tx.reset()
 		tx.pin()
 		if traceOn {
@@ -789,8 +861,13 @@ func Atomically(fn func(tx *Tx) error) error {
 			// Deregister the snapshot before blocking: a transaction asleep
 			// in Retry must not hold the GC floor down.
 			tx.unpin()
-			waitForChange(tx)
+			waitForChange(tx, ctx)
 			continue // the wait already yielded; retry immediately
+		}
+		if ctl == ctlBudget {
+			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
+			return tx.budgetAbort()
 		}
 		if err != nil {
 			tx.traceEnd(false)
@@ -803,10 +880,16 @@ func Atomically(fn func(tx *Tx) error) error {
 			tx.finish()
 			return nil
 		}
-		// The only abort source: commit validation or lock acquisition
-		// failed (snapshot reads cannot fail mid-attempt).
+		// The only conflict-abort source: commit validation or lock
+		// acquisition failed (snapshot reads cannot fail mid-attempt).
 		tx.stat().aborts.Add(1)
 		tx.traceEnd(false)
+		if tx.budgetExceeded {
+			return tx.budgetAbort()
+		}
+		if !tx.chargeSoft(tx.costs.Retry) {
+			return tx.budgetAbort()
+		}
 		backoff.Attempt(attempt)
 	}
 }
@@ -823,13 +906,35 @@ func Atomically(fn func(tx *Tx) error) error {
 // recorded read set to wait on. Use Atomically for transactions that may
 // write or need Retry.
 func AtomicallyRO(fn func(tx *Tx) error) error {
+	return atomicallyRO(nil, fn)
+}
+
+// AtomicallyROCtx is AtomicallyRO with a cancellation point: a context
+// already done when the call starts returns ctx.Err() without running fn.
+// The transaction itself still runs exactly once — snapshot reads never
+// block on writers that started after the pin, so there is no retry loop
+// to interrupt.
+func AtomicallyROCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomicallyRO(ctx, fn)
+}
+
+// atomicallyRO is the shared single-run body behind AtomicallyRO and
+// AtomicallyROCtx.
+func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	tx := txPool.Get().(*Tx)
 	tx.ro = true
+	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
-			// As in Atomically: a panic (including the Set/Retry usage
-			// errors) must release the epoch registration.
-			tx.unpin()
+			// As in atomically: a panic (including the Set/Retry usage
+			// errors) must release the epoch registration and recycle the
+			// descriptor.
+			tx.finish()
 			panic(r)
 		}
 	}()
@@ -839,9 +944,18 @@ func AtomicallyRO(fn func(tx *Tx) error) error {
 		tx.traceBegin()
 	}
 	err, ctl := runAttempt(tx, fn)
+	if ctl == ctlBudget {
+		// The one abort the snapshot path has: the budget ran dry walking
+		// chains. There is no retry — the grant is per call, and a re-run
+		// would just run dry again.
+		tx.stat().aborts.Add(1)
+		tx.traceEnd(false)
+		return tx.budgetAbort()
+	}
 	if ctl != ctlOK {
-		// The snapshot path raises no engine signals: reads cannot abort,
-		// and Set/Retry panic with usage errors before signalling.
+		// The snapshot path raises no other engine signals: reads cannot
+		// conflict, and Set/Retry panic with usage errors before
+		// signalling.
 		panic("mvstm: internal: snapshot transaction raised an abort signal")
 	}
 	if err == nil {
@@ -859,17 +973,19 @@ type ctlKind int
 const (
 	ctlOK ctlKind = iota
 	ctlRetryWait
+	ctlBudget
 )
 
-// runAttempt executes one attempt of fn, translating the Retry signal —
-// the engine's only control signal — into control flow. Unknown panics
-// propagate.
+// runAttempt executes one attempt of fn, translating the Retry and
+// budget signals into control flow. Unknown panics propagate.
 func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 	defer func() {
 		switch r := recover(); r.(type) {
 		case nil:
 		case waitSignal:
 			ctl = ctlRetryWait
+		case budgetSignal:
+			ctl = ctlBudget
 		default:
 			panic(r)
 		}
@@ -878,16 +994,20 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 }
 
 // waitForChange blocks until some variable in the transaction's read set
-// has a version newer than the one read. Each probe is a single atomic
-// load of the lock word, and the poll interval backs off exponentially so
-// long waits cost almost nothing.
-func waitForChange(tx *Tx) {
+// has a version newer than the one read, or until ctx (if any) is done —
+// the caller's loop turns that into a clean cancellation abort. Each
+// probe is a single atomic load of the lock word, and the poll interval
+// backs off exponentially so long waits cost almost nothing.
+func waitForChange(tx *Tx, ctx context.Context) {
 	for spins := 0; ; spins++ {
 		for i := range tx.reads {
 			r := &tx.reads[i]
 			if lockword.Version(r.v.lockWord()) != r.ver {
 				return
 			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return
 		}
 		if spins < 4 {
 			runtime.Gosched()

@@ -1,0 +1,283 @@
+package mvstm_test
+
+// Robustness coverage for the multi-version engine: budget exhaustion at
+// the mv-specific charge points (per-version chain-walk steps on the
+// abort-free snapshot path — the only way that path can abort — and the
+// retained-version space charge at commit), context-aware entry points,
+// and panic safety. Every abort path must drop its epoch registration
+// (ActivePins must return to zero) or the GC floor would be pinned down
+// forever — the mv analogue of a leaked lock.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/stm/budget"
+	"repro/stm/mvstm"
+)
+
+func withPolicy(t *testing.T, p budget.Policy) {
+	t.Helper()
+	mvstm.SetBudgetPolicy(p)
+	t.Cleanup(func() { mvstm.SetBudgetPolicy(nil) })
+}
+
+func TestBudgetExhaustionMidScan(t *testing.T) {
+	v1, v2 := mvstm.NewVar(1), mvstm.NewVar(2)
+	// Unit costs: a fresh single-version read charges Read + Step×1 = 2.
+	// Limit 3 admits the first read and runs dry on the second.
+	withPolicy(t, budget.Fixed{Limit: 3})
+	before := mvstm.ReadStats()
+	reached := false
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		reached = true
+		return nil
+	})
+	if !errors.Is(err, mvstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if reached {
+		t.Fatal("snapshot attempt continued past the exhausted charge")
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after budget abort, want 0 (leaked epoch registration)", n)
+	}
+	d := mvstm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Commits != 0 || d.ROCommits != 0 {
+		t.Fatalf("stats delta = %+v, want exactly one budget abort and no commit", d)
+	}
+}
+
+// TestBudgetChainWalkCharge prices the walk itself: a pinned snapshot
+// that must step over versions committed after it pinned pays Step per
+// version examined, so a scanner stepping through write-hot vars runs
+// dry in proportion to the history it touches — the exact mechanism that
+// bounds a hostile unbounded scanner.
+func TestBudgetChainWalkCharge(t *testing.T) {
+	v := mvstm.NewVar(0)
+	// Step-only costs: the charge for one read is Step×walked.
+	withPolicy(t, budget.Fixed{Limit: 4, Costs: budget.Costs{Step: 1}})
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		// Commit 4 newer versions after this snapshot pinned; its read
+		// must now walk past all of them (4 + the visible one = 5 > 4).
+		for i := 0; i < 4; i++ {
+			if err := mvstm.Atomically(func(in *mvstm.Tx) error {
+				v.Set(in, v.Get(in)+1)
+				return nil
+			}); err != nil {
+				t.Fatalf("nested commit failed: %v", err)
+			}
+		}
+		_ = v.Get(tx)
+		return nil
+	})
+	if !errors.Is(err, mvstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after walk-charge abort, want 0", n)
+	}
+}
+
+// TestBudgetVersionChargeAtCommit prices the space half of the trade:
+// committing onto a long chain retains every version on it, and a
+// Version cost makes the writer pay for that retention before it takes
+// any lock — exhaustion must leave the var unlocked and the chain
+// untouched.
+func TestBudgetVersionChargeAtCommit(t *testing.T) {
+	v := mvstm.NewVar(0)
+	for i := 0; i < 5; i++ { // grow the chain to 6 versions, unmetered
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, v.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("setup commit %d failed: %v", i, err)
+		}
+	}
+	if got := mvstm.ChainLen(v); got != 6 {
+		t.Fatalf("setup chain length = %d, want 6", got)
+	}
+	// Version-only costs: the commit would retain 7 versions; limit 6
+	// runs dry at the pre-lock commit charge.
+	withPolicy(t, budget.Fixed{Limit: 6, Costs: budget.Costs{Version: 1}})
+	before := mvstm.ReadStats()
+	err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, 100)
+		return nil
+	})
+	if !errors.Is(err, mvstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if mvstm.VarLocked(v) {
+		t.Fatal("var left locked after budget abort in commit")
+	}
+	if got := mvstm.ChainLen(v); got != 6 {
+		t.Fatalf("chain length = %d after aborted commit, want 6 (no version published)", got)
+	}
+	if got := v.Load(); got != 5 {
+		t.Fatalf("v = %d after aborted commit, want 5", got)
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d, want 0", n)
+	}
+	d := mvstm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Commits != 0 {
+		t.Fatalf("stats delta = %+v, want one budget abort and no commit", d)
+	}
+	// A raised limit funds the same commit: 7 retained versions cost 7.
+	mvstm.SetBudgetPolicy(budget.Fixed{Limit: 7, Costs: budget.Costs{Version: 1}})
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, 100)
+		return nil
+	}); err != nil {
+		t.Fatalf("funded commit failed: %v", err)
+	}
+	if got := v.Load(); got != 100 {
+		t.Fatalf("v = %d, want 100", got)
+	}
+}
+
+func TestBudgetRetryChargeStopsConflictLoop(t *testing.T) {
+	v := mvstm.NewVar(0)
+	sink := mvstm.NewVar(0)
+	// Only retries cost: first-committer-wins validation fails every
+	// attempt (the nested commit outruns it), so limit 3 funds attempts
+	// 1..4 deterministically and refuses a fifth.
+	withPolicy(t, budget.Fixed{Limit: 3, Costs: budget.Costs{Retry: 1}})
+	attempts := 0
+	err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		attempts++
+		cur := v.Get(tx)
+		if err := mvstm.Atomically(func(in *mvstm.Tx) error {
+			v.Set(in, v.Get(in)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("nested commit failed: %v", err)
+		}
+		sink.Set(tx, cur)
+		return nil
+	})
+	if !errors.Is(err, mvstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (limit 3 funds exactly 3 re-runs)", attempts)
+	}
+	if mvstm.VarLocked(v) || mvstm.VarLocked(sink) {
+		t.Fatal("lock leaked by the aborting conflict loop")
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d, want 0", n)
+	}
+}
+
+func TestAtomicallyCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := mvstm.AtomicallyCtx(ctx, func(tx *mvstm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// AtomicallyROCtx runs its body exactly once, so cancellation is
+	// checked before pinning: the body must not run at all.
+	err = mvstm.AtomicallyROCtx(ctx, func(tx *mvstm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RO err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("user function ran under a pre-canceled context")
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d, want 0", n)
+	}
+}
+
+func TestAtomicallyCtxCancelUnblocksRetry(t *testing.T) {
+	v := mvstm.NewVar(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- mvstm.AtomicallyCtx(ctx, func(tx *mvstm.Tx) error {
+			if v.Get(tx) == 0 {
+				tx.Retry() // only cancellation can end this wait
+			}
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not unblock a parked Retry")
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after canceled Retry wait, want 0", n)
+	}
+}
+
+func TestUserPanicDropsEpochRegistration(t *testing.T) {
+	v, w := mvstm.NewVar(0), mvstm.NewVar(0)
+	for i := 0; i < 64; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != "user boom" {
+					t.Fatalf("recover() = %v, want the user panic value", r)
+				}
+			}()
+			_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+				_ = v.Get(tx)
+				w.Set(tx, 42)
+				panic("user boom")
+			})
+		}()
+		if n := mvstm.ActivePins(); n != 0 {
+			t.Fatalf("iteration %d: ActivePins = %d across a user panic, want 0", i, n)
+		}
+		if mvstm.VarLocked(v) || mvstm.VarLocked(w) {
+			t.Fatalf("iteration %d: lock leaked across a user panic", i)
+		}
+		if got := w.Load(); got != 0 {
+			t.Fatalf("iteration %d: buffered write leaked: w = %d", i, got)
+		}
+	}
+	// Panic on the snapshot path must unpin too.
+	func() {
+		defer func() {
+			if r := recover(); r != "ro boom" {
+				t.Fatalf("recover() = %v, want the user panic value", r)
+			}
+		}()
+		_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			_ = v.Get(tx)
+			panic("ro boom")
+		})
+	}()
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after RO panic, want 0", n)
+	}
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		v.Set(tx, v.Get(tx)+1)
+		w.Set(tx, 9)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-panic transaction failed: %v", err)
+	}
+	if v.Load() != 1 || w.Load() != 9 {
+		t.Fatalf("post-panic commit wrong: v=%d w=%d", v.Load(), w.Load())
+	}
+}

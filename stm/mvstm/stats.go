@@ -14,8 +14,14 @@ type Stats struct {
 	Commits   uint64
 	ROCommits uint64
 	// Aborts counts failed update attempts (lock conflicts and failed
-	// commit validations). Commits+Aborts is the total attempt count.
+	// commit validations) plus budget aborts. Commits+Aborts is the total
+	// attempt count.
 	Aborts uint64
+	// BudgetAborts counts transactions aborted with ErrOutOfBudget by the
+	// configured BudgetPolicy — a subset of Aborts (each exhausted call
+	// contributes exactly one). Unlike conflict aborts it can include
+	// snapshot (AtomicallyRO) transactions, whose chain walks are metered.
+	BudgetAborts uint64
 	// SnapshotReads counts reads served from version chains (both paths);
 	// WalkSteps counts the versions examined serving them, so
 	// WalkSteps/SnapshotReads is the mean chain walk — the time half of
@@ -67,6 +73,7 @@ func (s Stats) Sub(t Stats) Stats {
 		Commits:           s.Commits - t.Commits,
 		ROCommits:         s.ROCommits - t.ROCommits,
 		Aborts:            s.Aborts - t.Aborts,
+		BudgetAborts:      s.BudgetAborts - t.BudgetAborts,
 		SnapshotReads:     s.SnapshotReads - t.SnapshotReads,
 		WalkSteps:         s.WalkSteps - t.WalkSteps,
 		VersionsAppended:  s.VersionsAppended - t.VersionsAppended,
@@ -87,6 +94,7 @@ type statShard struct {
 	commits       atomic.Uint64
 	roCommits     atomic.Uint64
 	aborts        atomic.Uint64
+	budgetAborts  atomic.Uint64
 	snapshotReads atomic.Uint64
 	walkSteps     atomic.Uint64
 	appended      atomic.Uint64
@@ -94,7 +102,7 @@ type statShard struct {
 	gcSweeps      atomic.Uint64
 	gcSkips       atomic.Uint64
 	chainHWM      atomic.Uint64
-	_             [128 - 10*8]byte
+	_             [128 - 11*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -125,6 +133,7 @@ func ReadStats() Stats {
 		s.Commits += sh.commits.Load()
 		s.ROCommits += sh.roCommits.Load()
 		s.Aborts += sh.aborts.Load()
+		s.BudgetAborts += sh.budgetAborts.Load()
 		s.SnapshotReads += sh.snapshotReads.Load()
 		s.WalkSteps += sh.walkSteps.Load()
 		s.VersionsAppended += sh.appended.Load()

@@ -10,11 +10,13 @@ package mvstm_test
 
 import (
 	"encoding/json"
+	"errors"
 	"sync"
 	"testing"
 
 	"repro/internal/check"
 	"repro/internal/tm"
+	"repro/stm/budget"
 	"repro/stm/mvstm"
 )
 
@@ -178,6 +180,68 @@ func TestTraceOpacityGCTruncation(t *testing.T) {
 		t.Fatalf("chain length = %d, want truncation below the full history", got)
 	}
 	verifyHistory(t, h)
+}
+
+// TestTraceOpacityBudgetAbort pins the metering soundness claim on the
+// multi-version engine: refusing a snapshot scan mid-walk (the one abort
+// the otherwise abort-free RO path has) must leave a history the opacity
+// checker cannot tell from a validation abort — the refused attempt read
+// only committed state and published nothing. The refusal lands between
+// two invariant-preserving writer commits.
+func TestTraceOpacityBudgetAbort(t *testing.T) {
+	x := mvstm.NewVar(0)
+	y := mvstm.NewVar(0)
+	mvstm.StartTrace()
+	writeBoth := func(v int) {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			x.Set(tx, v)
+			y.Set(tx, v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeBoth(1)
+	// Unit costs: a head-hit snapshot read charges Read + Step×1 = 2, so
+	// the first Get leaves 1 and the second refuses.
+	mvstm.SetBudgetPolicy(budget.Fixed{Limit: 3})
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		_ = x.Get(tx)
+		_ = y.Get(tx)
+		t.Error("snapshot attempt survived an exhausted grant")
+		return nil
+	})
+	mvstm.SetBudgetPolicy(nil)
+	if !errors.Is(err, mvstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after the traced refusal, want 0", n)
+	}
+	writeBoth(2)
+	h := mvstm.StopTrace()
+	verifyHistory(t, h)
+	aborted := 0
+	for _, rec := range h.Txns {
+		if rec.Status != tm.TxnAborted {
+			continue
+		}
+		aborted++
+		reads := 0
+		for _, op := range rec.Ops {
+			if op.Kind == tm.OpRead {
+				reads++
+			}
+		}
+		// The read that fit the grant is in the record; the refused one
+		// never completed its walk and must not be.
+		if reads != 1 {
+			t.Errorf("budget-aborted attempt recorded %d reads, want 1:\n%s", reads, h)
+		}
+	}
+	if aborted != 1 {
+		t.Fatalf("history has %d aborted attempts, want exactly the refusal:\n%s", aborted, h)
+	}
 }
 
 // TestTraceHistoryJSONRoundTrip: the recorded mvstm history marshals to

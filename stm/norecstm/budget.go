@@ -1,0 +1,106 @@
+package norecstm
+
+import (
+	"sync/atomic"
+
+	"repro/stm/budget"
+)
+
+// ErrOutOfBudget is returned by Atomically/AtomicallyRO when the
+// transaction exhausts the work budget granted by the configured
+// BudgetPolicy (see SetBudgetPolicy). It aliases budget.ErrOutOfBudget,
+// so errors.Is matches metering aborts from any engine.
+var ErrOutOfBudget = budget.ErrOutOfBudget
+
+type policyBox struct{ p budget.Policy }
+type admitBox struct{ a budget.Admitter }
+
+var (
+	budgetPolicy atomic.Pointer[policyBox]
+	admission    atomic.Pointer[admitBox]
+)
+
+// SetBudgetPolicy installs the engine-wide metering policy; nil disables
+// metering (the default). Grant is sampled once per call (retries spend
+// the same grant); the engine charges Costs.Step per operation and per
+// entry rescanned by a value-revalidation pass — NOrec's Θ(|read set|)
+// conflict cost, which is exactly the resource a hostile long reader
+// burns — Costs.Read/Costs.Write per read-/write-set entry, and
+// Costs.Retry per aborted attempt. Exhaustion aborts with ErrOutOfBudget.
+func SetBudgetPolicy(p budget.Policy) {
+	if p == nil {
+		budgetPolicy.Store(nil)
+		return
+	}
+	budgetPolicy.Store(&policyBox{p: p})
+}
+
+// SetAdmission installs the engine-wide admission gate; nil disables it
+// (the default). Admit is called once per update-transaction call, before
+// the first attempt; read-only transactions are never gated.
+func SetAdmission(a budget.Admitter) {
+	if a == nil {
+		admission.Store(nil)
+		return
+	}
+	admission.Store(&admitBox{a: a})
+}
+
+func admitted() {
+	if b := admission.Load(); b != nil {
+		b.a.Admit()
+	}
+}
+
+// budgetSignal aborts the current attempt when a hard charge exhausts the
+// budget. It can surface inside commit (validate runs in the sequence-CAS
+// loop), where commit's recover translates it into a failed commit — the
+// engine holds no lock there, since validate only runs after a failed CAS.
+type budgetSignal struct{}
+
+// beginBudget samples the configured policy into the descriptor, once per
+// call.
+func (tx *Tx) beginBudget() {
+	if b := budgetPolicy.Load(); b != nil {
+		tx.metered = true
+		tx.budgetLeft, tx.costs = b.p.Grant()
+	} else {
+		tx.metered = false
+	}
+	tx.budgetExceeded = false
+}
+
+// charge debits n work units, aborting the attempt via budgetSignal when
+// the grant is exhausted.
+func (tx *Tx) charge(n uint64) {
+	if !tx.metered || n == 0 {
+		return
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		panic(budgetSignal{})
+	}
+	tx.budgetLeft -= n
+}
+
+// chargeSoft debits n work units, reporting exhaustion instead of
+// panicking (the retry charge runs outside runAttempt's recover).
+func (tx *Tx) chargeSoft(n uint64) bool {
+	if !tx.metered || n == 0 {
+		return true
+	}
+	if tx.budgetLeft < n {
+		tx.budgetExceeded = true
+		return false
+	}
+	tx.budgetLeft -= n
+	return true
+}
+
+// budgetAbort finalizes a metering abort (the failed attempt is already
+// counted in aborts by the caller).
+func (tx *Tx) budgetAbort() error {
+	tx.stat().budgetAborts.Add(1)
+	tx.release()
+	return ErrOutOfBudget
+}

@@ -1,0 +1,10 @@
+package norecstm
+
+// Test-only exports for the budget and panic-safety tests.
+
+// SeqQuiescent reports whether the global sequence lock is released (even
+// value): every abort path must leave it so, or the engine deadlocks.
+func SeqQuiescent() bool { return seq.Load()&1 == 0 }
+
+// BudgetLeft reports the descriptor's remaining work-budget grant.
+func BudgetLeft(tx *Tx) uint64 { return tx.budgetLeft }

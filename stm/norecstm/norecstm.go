@@ -22,11 +22,13 @@
 package norecstm
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/stm/budget"
 )
 
 // seq is the global sequence lock: even = quiescent, odd = a writer is
@@ -98,6 +100,14 @@ type Tx struct {
 	// inside an RO transaction panic.
 	ro      bool
 	roReads int
+	// metered/budgetLeft/costs are the call's work-budget grant, sampled
+	// once per call from the engine policy (see SetBudgetPolicy);
+	// budgetExceeded records exhaustion on the non-panicking paths. The
+	// grant survives reset: retries spend the same budget.
+	metered        bool
+	budgetExceeded bool
+	budgetLeft     uint64
+	costs          budget.Costs
 }
 
 type readEntry struct {
@@ -171,6 +181,11 @@ func (tx *Tx) begin() {
 // counted so the Θ(m)-per-conflict revalidation cost the paper's Theorem 3
 // builds on is observable (ReadStats).
 func (tx *Tx) validate() {
+	// The revalidation scan is engine work on the transaction's behalf:
+	// one step per read entry, charged per completed pass. The charge may
+	// panic budgetSignal — safe from the read path, and translated into a
+	// failed commit by commit's recover (no lock is held there either).
+	tx.charge(tx.costs.Step * uint64(len(tx.reads)))
 	for {
 		s := seq.Load()
 		if s&1 == 1 {
@@ -200,6 +215,9 @@ func (tx *Tx) read(v varBase) any {
 	if tx.ro {
 		return tx.readRO(v)
 	}
+	if tx.metered {
+		tx.charge(tx.costs.Step)
+	}
 	if i, ok := tx.findWrite(v); ok {
 		return tx.writes[i].val
 	}
@@ -207,6 +225,9 @@ func (tx *Tx) read(v varBase) any {
 	for seq.Load() != tx.snap {
 		tx.validate()
 		b = v.loadBox()
+	}
+	if tx.metered {
+		tx.charge(tx.costs.Read)
 	}
 	tx.reads = append(tx.reads, readEntry{v: v, b: b})
 	return b.val
@@ -220,6 +241,9 @@ func (tx *Tx) read(v varBase) any {
 // begin — and aborts otherwise (Atomically's retry replays it against the
 // fresh sequence).
 func (tx *Tx) readRO(v varBase) any {
+	if tx.metered {
+		tx.charge(tx.costs.Step + tx.costs.Read)
+	}
 	for {
 		b := v.loadBox()
 		s := seq.Load()
@@ -242,9 +266,15 @@ func (tx *Tx) write(v varBase, val any) {
 	if tx.ro {
 		panic("norecstm: Set inside a read-only transaction (AtomicallyRO cannot write)")
 	}
+	if tx.metered {
+		tx.charge(tx.costs.Step)
+	}
 	if i, ok := tx.findWrite(v); ok {
 		tx.writes[i].val = val
 		return
+	}
+	if tx.metered {
+		tx.charge(tx.costs.Write)
 	}
 	if tx.wmap == nil && len(tx.writes) >= writeSetMapThreshold {
 		tx.wmap = make(map[varBase]int, 2*writeSetMapThreshold)
@@ -277,9 +307,13 @@ func (tx *Tx) commit() (ok bool) {
 	}
 	// validate() reports an invalidated read set by panicking the retry
 	// signal; translate that into a failed commit so Atomically re-runs.
+	// Its budget charge can likewise panic budgetSignal mid-commit (only
+	// after a failed CAS, so no lock is held): same translation, and the
+	// attempt loop turns the budgetExceeded flag into ErrOutOfBudget.
 	defer func() {
 		if r := recover(); r != nil {
-			if _, isRetry := r.(retrySignal); isRetry {
+			switch r.(type) {
+			case retrySignal, budgetSignal:
 				ok = false
 				return
 			}
@@ -301,9 +335,43 @@ func (tx *Tx) commit() (ok bool) {
 // Atomically runs fn inside a transaction, retrying on conflict until it
 // commits; a non-nil error aborts without retrying.
 func Atomically(fn func(tx *Tx) error) error {
+	return atomically(nil, fn)
+}
+
+// AtomicallyCtx is Atomically with a cancellation point: the context is
+// checked before every attempt and while blocked in Retry, and a done
+// context surfaces as a clean abort (buffered writes discarded, pooled
+// descriptor recycled) returning ctx.Err(). An attempt already past its
+// check runs to completion, so a commit racing the cancellation may still
+// land.
+func AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomically(ctx, fn)
+}
+
+// atomically is the shared retry loop behind Atomically and
+// AtomicallyCtx; a nil ctx costs one predictable branch per attempt.
+func atomically(ctx context.Context, fn func(tx *Tx) error) error {
+	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro = false
+	tx.beginBudget()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaping fn must not strand the pooled descriptor. No
+			// engine lock can be held here: the sequence lock is taken only
+			// inside commit, which runs no user code and never panics while
+			// holding it.
+			tx.release()
+			panic(r)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				tx.release()
+				return err
+			}
+		}
 		tx.reset()
 		tx.begin()
 		err, ctl := runAttempt(tx, fn)
@@ -319,11 +387,20 @@ func Atomically(fn func(tx *Tx) error) error {
 				return nil
 			}
 			tx.stat().aborts.Add(1)
+			if tx.budgetExceeded {
+				return tx.budgetAbort()
+			}
 		case ctlRetryNow:
 			tx.stat().aborts.Add(1)
+		case ctlBudget:
+			tx.stat().aborts.Add(1)
+			return tx.budgetAbort()
 		case ctlRetryWait:
-			waitForChange(tx)
+			waitForChange(tx, ctx)
 			continue // the wait already yielded; retry immediately
+		}
+		if !tx.chargeSoft(tx.costs.Retry) {
+			return tx.budgetAbort()
 		}
 		backoff.Attempt(attempt)
 	}
@@ -337,9 +414,35 @@ func Atomically(fn func(tx *Tx) error) error {
 // write (Set panics) and must not call Retry (there is no recorded read
 // set to wait on).
 func AtomicallyRO(fn func(tx *Tx) error) error {
+	return atomicallyRO(nil, fn)
+}
+
+// AtomicallyROCtx is AtomicallyRO with a cancellation point, with the
+// same semantics as AtomicallyCtx.
+func AtomicallyROCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomicallyRO(ctx, fn)
+}
+
+// atomicallyRO is the shared retry loop behind AtomicallyRO and
+// AtomicallyROCtx.
+func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro = true
+	tx.beginBudget()
+	defer func() {
+		if r := recover(); r != nil {
+			// As in atomically: recycle the descriptor under a user panic.
+			tx.release()
+			panic(r)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				tx.release()
+				return err
+			}
+		}
 		tx.reset()
 		tx.begin()
 		err, ctl := runAttempt(tx, fn)
@@ -357,6 +460,12 @@ func AtomicallyRO(fn func(tx *Tx) error) error {
 		}
 		// ctlRetryWait is impossible here (Retry panics on the RO path).
 		tx.stat().aborts.Add(1)
+		if ctl == ctlBudget {
+			return tx.budgetAbort()
+		}
+		if !tx.chargeSoft(tx.costs.Retry) {
+			return tx.budgetAbort()
+		}
 		backoff.Attempt(attempt)
 	}
 }
@@ -367,6 +476,7 @@ const (
 	ctlOK ctlKind = iota
 	ctlRetryNow
 	ctlRetryWait
+	ctlBudget
 )
 
 func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
@@ -377,6 +487,8 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 			ctl = ctlRetryNow
 		case waitSignal:
 			ctl = ctlRetryWait
+		case budgetSignal:
+			ctl = ctlBudget
 		default:
 			panic(r)
 		}
@@ -384,12 +496,20 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 	return fn(tx), ctlOK
 }
 
-func waitForChange(tx *Tx) {
-	for {
+// waitForChange blocks until a variable in the read set changes by
+// snapshot identity, or until ctx (if any) is done — the caller's loop
+// turns that into a clean cancellation abort. The ctx poll is sampled
+// every few spins so the common wake-by-write path stays a pure
+// pointer-compare loop.
+func waitForChange(tx *Tx, ctx context.Context) {
+	for spins := 0; ; spins++ {
 		for _, r := range tx.reads {
 			if r.v.loadBox() != r.b {
 				return
 			}
+		}
+		if ctx != nil && spins&63 == 0 && ctx.Err() != nil {
+			return
 		}
 		runtime.Gosched()
 	}

@@ -1,0 +1,228 @@
+package norecstm_test
+
+// Robustness coverage for the NOrec engine: budget exhaustion at each
+// charge point (mid-read, inside commit's value-revalidation — the one
+// NOrec-specific site, reached from the commit CAS loop — and on the
+// retry charge), context-aware entry points, and panic-safety. Every
+// abort path must leave the global sequence lock quiescent or the whole
+// engine deadlocks, so each test asserts SeqQuiescent.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/stm/budget"
+	"repro/stm/norecstm"
+)
+
+func withPolicy(t *testing.T, p budget.Policy) {
+	t.Helper()
+	norecstm.SetBudgetPolicy(p)
+	t.Cleanup(func() { norecstm.SetBudgetPolicy(nil) })
+}
+
+func TestBudgetExhaustionMidRead(t *testing.T) {
+	v1, v2 := norecstm.NewVar(1), norecstm.NewVar(2)
+	// Unit costs: each fresh Get charges Step+Read = 2; limit 3 admits the
+	// first and runs dry on the second's Read charge.
+	withPolicy(t, budget.Fixed{Limit: 3})
+	before := norecstm.ReadStats()
+	reached := false
+	err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		reached = true
+		return nil
+	})
+	if !errors.Is(err, norecstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if reached {
+		t.Fatal("attempt continued past the exhausted charge")
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after budget abort")
+	}
+	d := norecstm.ReadStats().Sub(before)
+	if d.BudgetAborts != 1 || d.Aborts != 1 || d.Commits != 0 {
+		t.Fatalf("stats delta = %+v, want exactly one (budget) abort", d)
+	}
+}
+
+// TestBudgetExhaustionInCommitRevalidation drives the meter dry inside
+// commit's value-revalidation scan: a concurrent commit moves the global
+// sequence between this transaction's read and its commit, so the commit
+// CAS fails and revalidation runs — and its Step×|reads| charge is the
+// last straw. The exhaustion signal crosses the commit boundary via the
+// same translator that carries NOrec's retry signal.
+func TestBudgetExhaustionInCommitRevalidation(t *testing.T) {
+	v := norecstm.NewVar(1)
+	u := norecstm.NewVar(0) // disjoint: moves seq without invalidating v
+	w := norecstm.NewVar(0)
+	// Step-only costs: Get = 1, Set = 1, revalidation = Step×|reads| = 1.
+	// Limit 2 funds the attempt body exactly and dies in revalidation.
+	withPolicy(t, budget.Fixed{Limit: 2, Costs: budget.Costs{Step: 1}})
+	before := norecstm.ReadStats()
+	err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		_ = v.Get(tx)
+		if err := norecstm.Atomically(func(in *norecstm.Tx) error {
+			u.Set(in, u.Get(in)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("nested commit failed: %v", err)
+		}
+		w.Set(tx, 5)
+		return nil
+	})
+	if !errors.Is(err, norecstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after budget abort in commit")
+	}
+	if got := w.Load(); got != 0 {
+		t.Fatalf("buffered write leaked: w = %d", got)
+	}
+	d := norecstm.ReadStats().Sub(before)
+	// The nested transaction contributes 1 commit; the metered outer one
+	// must contribute exactly one budget abort and no commit.
+	if d.BudgetAborts != 1 || d.Aborts != 1 || d.Commits != 1 {
+		t.Fatalf("stats delta = %+v, want one budget abort and only the nested commit", d)
+	}
+}
+
+func TestBudgetRetryChargeStopsConflictLoop(t *testing.T) {
+	v := norecstm.NewVar(0)
+	sink := norecstm.NewVar(0)
+	// Only retries cost: each attempt's read of v is invalidated by the
+	// nested commit (NOrec revalidates by value), so limit 3 funds attempts
+	// 1..4 deterministically and refuses a fifth.
+	withPolicy(t, budget.Fixed{Limit: 3, Costs: budget.Costs{Retry: 1}})
+	attempts := 0
+	err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		attempts++
+		cur := v.Get(tx)
+		if err := norecstm.Atomically(func(in *norecstm.Tx) error {
+			v.Set(in, v.Get(in)+1)
+			return nil
+		}); err != nil {
+			t.Fatalf("nested commit failed: %v", err)
+		}
+		sink.Set(tx, cur)
+		return nil
+	})
+	if !errors.Is(err, norecstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if attempts != 4 {
+		t.Fatalf("attempts = %d, want 4 (limit 3 funds exactly 3 re-runs)", attempts)
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after retry-charge exhaustion")
+	}
+}
+
+func TestBudgetExhaustionROPath(t *testing.T) {
+	v1, v2 := norecstm.NewVar(1), norecstm.NewVar(2)
+	withPolicy(t, budget.Fixed{Limit: 3})
+	err := norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+		_ = v1.Get(tx)
+		_ = v2.Get(tx)
+		return nil
+	})
+	if !errors.Is(err, norecstm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after RO budget abort")
+	}
+}
+
+func TestAtomicallyCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := norecstm.AtomicallyCtx(ctx, func(tx *norecstm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("user function ran under a pre-canceled context")
+	}
+	err = norecstm.AtomicallyROCtx(ctx, func(tx *norecstm.Tx) error {
+		ran = true
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RO err = %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("RO user function ran under a pre-canceled context")
+	}
+}
+
+func TestAtomicallyCtxCancelUnblocksRetry(t *testing.T) {
+	v := norecstm.NewVar(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- norecstm.AtomicallyCtx(ctx, func(tx *norecstm.Tx) error {
+			if v.Get(tx) == 0 {
+				tx.Retry() // only cancellation can end this wait
+			}
+			return nil
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not unblock a parked Retry")
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after ctx cancellation")
+	}
+}
+
+func TestUserPanicReleasesEverything(t *testing.T) {
+	v, w := norecstm.NewVar(0), norecstm.NewVar(0)
+	for i := 0; i < 64; i++ {
+		func() {
+			defer func() {
+				if r := recover(); r != "user boom" {
+					t.Fatalf("recover() = %v, want the user panic value", r)
+				}
+			}()
+			_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+				_ = v.Get(tx)
+				w.Set(tx, 42)
+				panic("user boom")
+			})
+		}()
+		if !norecstm.SeqQuiescent() {
+			t.Fatalf("iteration %d: sequence lock left held across a user panic", i)
+		}
+		if got := w.Load(); got != 0 {
+			t.Fatalf("iteration %d: buffered write leaked: w = %d", i, got)
+		}
+	}
+	if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+		v.Set(tx, v.Get(tx)+1)
+		w.Set(tx, 9)
+		return nil
+	}); err != nil {
+		t.Fatalf("post-panic transaction failed: %v", err)
+	}
+	if v.Load() != 1 || w.Load() != 9 {
+		t.Fatalf("post-panic commit wrong: v=%d w=%d", v.Load(), w.Load())
+	}
+}

@@ -11,6 +11,10 @@ type Stats struct {
 	// attempts, so the abort ratio is Aborts / (Commits + Aborts).
 	Commits uint64
 	Aborts  uint64
+	// BudgetAborts counts transactions aborted with ErrOutOfBudget by the
+	// configured BudgetPolicy — a subset of Aborts (each exhausted call
+	// contributes exactly one).
+	BudgetAborts uint64
 	// ROCommits counts the subset of Commits that committed on the
 	// read-only fast path (AtomicallyRO): no read log, no revalidation.
 	ROCommits uint64
@@ -35,6 +39,7 @@ func (s Stats) Sub(t Stats) Stats {
 	return Stats{
 		Commits:       s.Commits - t.Commits,
 		Aborts:        s.Aborts - t.Aborts,
+		BudgetAborts:  s.BudgetAborts - t.BudgetAborts,
 		ROCommits:     s.ROCommits - t.ROCommits,
 		Revalidations: s.Revalidations - t.Revalidations,
 	}
@@ -45,9 +50,10 @@ const statStripes = 16
 type statShard struct {
 	commits       atomic.Uint64
 	aborts        atomic.Uint64
+	budgetAborts  atomic.Uint64
 	roCommits     atomic.Uint64
 	revalidations atomic.Uint64
-	_             [128 - 4*8]byte
+	_             [128 - 5*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -65,6 +71,7 @@ func ReadStats() Stats {
 		sh := &statShards[i]
 		s.Commits += sh.commits.Load()
 		s.Aborts += sh.aborts.Load()
+		s.BudgetAborts += sh.budgetAborts.Load()
 		s.ROCommits += sh.roCommits.Load()
 		s.Revalidations += sh.revalidations.Load()
 	}

@@ -18,6 +18,12 @@ type Stats struct {
 	// and failed commits. Commits+Aborts is the total attempt count, so
 	// the abort ratio is Aborts / (Commits + Aborts).
 	Aborts uint64
+	// BudgetAborts counts transactions aborted with ErrOutOfBudget by the
+	// configured BudgetPolicy — a subset of Aborts (each exhausted call
+	// contributes exactly one), so metering aborts are separable from
+	// genuine conflicts when tuning a policy or feeding an admission
+	// controller.
+	BudgetAborts uint64
 	// Extensions counts successful read-timestamp extensions: stale-clock
 	// aborts converted into O(|read set|) revalidations.
 	Extensions uint64
@@ -49,6 +55,7 @@ func (s Stats) Sub(t Stats) Stats {
 		Commits:           s.Commits - t.Commits,
 		ROCommits:         s.ROCommits - t.ROCommits,
 		Aborts:            s.Aborts - t.Aborts,
+		BudgetAborts:      s.BudgetAborts - t.BudgetAborts,
 		Extensions:        s.Extensions - t.Extensions,
 		ExtensionFailures: s.ExtensionFailures - t.ExtensionFailures,
 		ClockIncrements:   s.ClockIncrements - t.ClockIncrements,
@@ -66,11 +73,12 @@ type statShard struct {
 	commits           atomic.Uint64
 	roCommits         atomic.Uint64
 	aborts            atomic.Uint64
+	budgetAborts      atomic.Uint64
 	extensions        atomic.Uint64
 	extensionFailures atomic.Uint64
 	clockIncrements   atomic.Uint64
 	clockAdoptions    atomic.Uint64
-	_                 [128 - 7*8]byte
+	_                 [128 - 8*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -91,6 +99,7 @@ func ReadStats() Stats {
 		s.Commits += sh.commits.Load()
 		s.ROCommits += sh.roCommits.Load()
 		s.Aborts += sh.aborts.Load()
+		s.BudgetAborts += sh.budgetAborts.Load()
 		s.Extensions += sh.extensions.Load()
 		s.ExtensionFailures += sh.extensionFailures.Load()
 		s.ClockIncrements += sh.clockIncrements.Load()

@@ -76,6 +76,7 @@
 package stm
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
@@ -85,6 +86,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/tm/lockword"
+	"repro/stm/budget"
 )
 
 // clock is the global version clock shared by all Vars (TL2's GV).
@@ -226,6 +228,15 @@ type Tx struct {
 	promoted bool
 	demoted  bool
 	roReads  int
+	// metered/budgetLeft/costs are the call's work-budget grant, sampled
+	// once per Atomically call from the engine policy (see SetBudgetPolicy);
+	// budgetExceeded records exhaustion discovered where the engine could
+	// not panic (commit, retry charge). The grant survives reset: retries
+	// spend the same budget.
+	metered        bool
+	budgetExceeded bool
+	budgetLeft     uint64
+	costs          budget.Costs
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
@@ -308,6 +319,9 @@ func (tx *Tx) read(v varBase) any {
 	if tx.ro {
 		return tx.readRO(v)
 	}
+	if tx.metered {
+		tx.charge(tx.costs.Step)
+	}
 	if i, ok := tx.findWrite(v); ok {
 		if tx.trec != nil {
 			tx.traceRead(v, tx.writes[i].val)
@@ -340,6 +354,9 @@ func (tx *Tx) read(v varBase) any {
 					return b.val
 				}
 			}
+			if tx.metered {
+				tx.charge(tx.costs.Read)
+			}
 			tx.reads = append(tx.reads, readEntry{v: v, ver: lockword.Version(w)})
 			return b.val
 		}
@@ -369,6 +386,9 @@ func (tx *Tx) read(v varBase) any {
 // version aborts the attempt, and the retry — whose fresh rv covers the
 // version thanks to helpClock below — replays it.
 func (tx *Tx) readRO(v varBase) any {
+	if tx.metered {
+		tx.charge(tx.costs.Step + tx.costs.Read)
+	}
 	for attempt := 0; ; attempt++ {
 		w := v.lockWord()
 		if !lockword.Locked(w) && lockword.Version(w) <= tx.rv {
@@ -413,6 +433,10 @@ func (tx *Tx) extend() bool {
 	if !extensionEnabled.Load() {
 		return false
 	}
+	// The revalidation scan is engine work on the transaction's behalf:
+	// one step per read entry. extend runs lock-free, so a hard charge is
+	// safe, and a transaction stuck extending forever runs dry.
+	tx.charge(tx.costs.Step * uint64(len(tx.reads)))
 	newRv := clock.Load()
 	for i := range tx.reads {
 		r := &tx.reads[i]
@@ -442,6 +466,9 @@ func (tx *Tx) write(v varBase, val any) {
 			tx.abort()
 		}
 	}
+	if tx.metered {
+		tx.charge(tx.costs.Step)
+	}
 	if tx.trec != nil {
 		tx.traceWrite(v, val)
 	}
@@ -449,6 +476,9 @@ func (tx *Tx) write(v varBase, val any) {
 		if i, ok := tx.wmap[v]; ok {
 			tx.writes[i].val = val
 			return
+		}
+		if tx.metered {
+			tx.charge(tx.costs.Write)
 		}
 		tx.wmap[v] = len(tx.writes)
 		tx.writes = append(tx.writes, writeEntry{v: v, val: val})
@@ -458,6 +488,9 @@ func (tx *Tx) write(v varBase, val any) {
 	if found {
 		tx.writes[i].val = val
 		return
+	}
+	if tx.metered {
+		tx.charge(tx.costs.Write)
 	}
 	if len(tx.writes) >= writeSetMapThreshold {
 		// Promote: index the existing entries, then append unsorted (the
@@ -567,6 +600,13 @@ func (tx *Tx) commit() bool {
 	if len(tx.writes) == 0 {
 		return true // invisible reads: read-only transactions commit for free
 	}
+	// Price the commit-time validation scan before any lock is taken: the
+	// charge must not panic (and must not succeed-then-strand) while write
+	// locks are held, so exhaustion surfaces as a failed commit and the
+	// attempt loop translates budgetExceeded into ErrOutOfBudget.
+	if !tx.chargeSoft(tx.costs.Step * uint64(len(tx.reads))) {
+		return false
+	}
 	if tx.wmap != nil {
 		// Large write sets append unsorted past the promotion point; one
 		// sort here re-establishes the deadlock-free lock order. (Small
@@ -627,9 +667,45 @@ func (tx *Tx) commit() bool {
 // Transactions that are read-only by construction should call AtomicallyRO
 // directly and skip both the first full-pipeline attempt and the guess.
 func Atomically(fn func(tx *Tx) error) error {
+	return atomically(nil, fn)
+}
+
+// AtomicallyCtx is Atomically with a cancellation point: the context is
+// checked before every attempt and while blocked in Retry, and a done
+// context surfaces as a clean abort — buffered writes discarded, no locks
+// held, the pooled descriptor recycled — returning ctx.Err(). An attempt
+// already past its check runs to completion, so a transaction that
+// commits concurrently with cancellation may still commit; callers that
+// need a hard guarantee must check the return value, exactly as with
+// context-aware I/O.
+func AtomicallyCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomically(ctx, fn)
+}
+
+// atomically is the shared retry loop behind Atomically and
+// AtomicallyCtx; a nil ctx (the plain entry point) costs one predictable
+// branch per attempt.
+func atomically(ctx context.Context, fn func(tx *Tx) error) error {
+	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = false, false, false
+	tx.beginBudget()
+	defer func() {
+		if r := recover(); r != nil {
+			// A panic escaping fn must not strand the pooled descriptor. No
+			// engine locks are held while fn runs (commit never runs user
+			// code), so recycling the descriptor is the whole cleanup.
+			tx.release()
+			panic(r)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				tx.release()
+				return err
+			}
+		}
 		tx.reset()
 		tx.rv = clock.Load()
 		if traceOn {
@@ -654,18 +730,31 @@ func Atomically(fn func(tx *Tx) error) error {
 			}
 			tx.stat().aborts.Add(1)
 			tx.traceEnd(false)
+			if tx.budgetExceeded {
+				return tx.budgetAbort()
+			}
 		case ctlRetryNow:
 			tx.stat().aborts.Add(1)
 			tx.traceEnd(false)
+		case ctlBudget:
+			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
+			return tx.budgetAbort()
 		case ctlRetryWait:
 			tx.traceEnd(false)
-			waitForChange(tx)
+			waitForChange(tx, ctx)
 			continue // the wait already yielded; retry immediately
 		}
 		if !tx.ro && !tx.demoted && len(tx.writes) == 0 && len(tx.reads) > 0 {
 			// The aborted attempt looked read-only; guess that the retry is
 			// too and run it on the fast path.
 			tx.ro, tx.promoted = true, true
+		}
+		// The re-run is the resource a pathological conflict loop consumes;
+		// charge it before backoff so a metered transaction runs dry instead
+		// of retrying forever. (The failed attempt is already in aborts.)
+		if !tx.chargeSoft(tx.costs.Retry) {
+			return tx.budgetAbort()
 		}
 		backoff.Attempt(attempt)
 	}
@@ -684,9 +773,36 @@ func Atomically(fn func(tx *Tx) error) error {
 // recorded read set to wait on. Use Atomically for transactions that may
 // write or need Retry.
 func AtomicallyRO(fn func(tx *Tx) error) error {
+	return atomicallyRO(nil, fn)
+}
+
+// AtomicallyROCtx is AtomicallyRO with a cancellation point, with the
+// same semantics as AtomicallyCtx: the context is checked before every
+// attempt, and a done context returns ctx.Err() after a clean abort.
+func AtomicallyROCtx(ctx context.Context, fn func(tx *Tx) error) error {
+	return atomicallyRO(ctx, fn)
+}
+
+// atomicallyRO is the shared retry loop behind AtomicallyRO and
+// AtomicallyROCtx.
+func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = true, false, false
+	tx.beginBudget()
+	defer func() {
+		if r := recover(); r != nil {
+			// As in atomically: recycle the descriptor under a user panic.
+			tx.release()
+			panic(r)
+		}
+	}()
 	for attempt := 0; ; attempt++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				tx.release()
+				return err
+			}
+		}
 		tx.reset()
 		tx.rv = clock.Load()
 		if traceOn {
@@ -710,6 +826,12 @@ func AtomicallyRO(fn func(tx *Tx) error) error {
 		// ctlRetryWait is impossible here (Retry panics on the RO path).
 		tx.stat().aborts.Add(1)
 		tx.traceEnd(false)
+		if ctl == ctlBudget {
+			return tx.budgetAbort()
+		}
+		if !tx.chargeSoft(tx.costs.Retry) {
+			return tx.budgetAbort()
+		}
 		backoff.Attempt(attempt)
 	}
 }
@@ -720,6 +842,7 @@ const (
 	ctlOK ctlKind = iota
 	ctlRetryNow
 	ctlRetryWait
+	ctlBudget
 )
 
 // runAttempt executes one attempt of fn, translating the panic-based abort
@@ -732,6 +855,8 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 			ctl = ctlRetryNow
 		case waitSignal:
 			ctl = ctlRetryWait
+		case budgetSignal:
+			ctl = ctlBudget
 		default:
 			panic(r)
 		}
@@ -740,17 +865,21 @@ func runAttempt(tx *Tx, fn func(tx *Tx) error) (err error, ctl ctlKind) {
 }
 
 // waitForChange blocks until some variable in the transaction's read set
-// has a version newer than the one read. Each probe is a single atomic
-// load of the lock word (no pointer chase through the value snapshot), and
-// the poll interval backs off exponentially so long waits cost almost
-// nothing.
-func waitForChange(tx *Tx) {
+// has a version newer than the one read, or until ctx (if any) is done —
+// the caller's loop turns that into a clean cancellation abort. Each
+// probe is a single atomic load of the lock word (no pointer chase
+// through the value snapshot), and the poll interval backs off
+// exponentially so long waits cost almost nothing.
+func waitForChange(tx *Tx, ctx context.Context) {
 	for spins := 0; ; spins++ {
 		for i := range tx.reads {
 			r := &tx.reads[i]
 			if lockword.Version(r.v.lockWord()) != r.ver {
 				return
 			}
+		}
+		if ctx != nil && ctx.Err() != nil {
+			return
 		}
 		if spins < 4 {
 			runtime.Gosched()

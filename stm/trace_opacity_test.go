@@ -11,12 +11,14 @@ package stm_test
 
 import (
 	"encoding/json"
+	"errors"
 	"sync"
 	"testing"
 
 	"repro/internal/check"
 	"repro/internal/tm"
 	"repro/stm"
+	"repro/stm/budget"
 )
 
 // verifyHistory asserts the two oracle properties on a recorded native
@@ -206,6 +208,69 @@ func TestTraceOpacityPromotedDescriptor(t *testing.T) {
 		t.Fatalf("attempts = %d, want 2", attempt)
 	}
 	verifyHistory(t, h)
+}
+
+// TestTraceOpacityBudgetAbort pins the metering layer's soundness claim
+// on the oracle itself: a budget abort must be indistinguishable from a
+// validation abort to the opacity checker, because it fires before the
+// transaction publishes anything. A metered scan is refused mid-read
+// between two invariant-preserving writer commits, and the recorded
+// history — budget-aborted attempt included — must be opaque and
+// strictly serializable.
+func TestTraceOpacityBudgetAbort(t *testing.T) {
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	stm.StartTrace()
+	writeBoth := func(v int) {
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			x.Set(tx, v)
+			y.Set(tx, v)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeBoth(1)
+	// Unit costs: the first Get charges Step+Read = 2, the second refuses.
+	stm.SetBudgetPolicy(budget.Fixed{Limit: 3})
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		_ = x.Get(tx)
+		_ = y.Get(tx)
+		t.Error("attempt survived an exhausted grant")
+		return nil
+	})
+	stm.SetBudgetPolicy(nil)
+	if !errors.Is(err, stm.ErrOutOfBudget) {
+		t.Fatalf("err = %v, want ErrOutOfBudget", err)
+	}
+	writeBoth(2)
+	h := stm.StopTrace()
+	verifyHistory(t, h)
+	// The refusal must appear as an ordinary aborted transaction that
+	// observed only committed state — that is what the checker verified.
+	aborted := 0
+	for _, rec := range h.Txns {
+		if rec.Status != tm.TxnAborted {
+			continue
+		}
+		aborted++
+		reads := 0
+		for _, op := range rec.Ops {
+			if op.Kind == tm.OpRead {
+				reads++
+			}
+		}
+		// Both reads are in the record: the update path certifies a read
+		// before charging its read-set entry, so the refusing charge lands
+		// after the second read was certified consistent — exactly why the
+		// checker can treat the refusal like any other abort.
+		if reads != 2 {
+			t.Errorf("budget-aborted attempt recorded %d reads, want 2:\n%s", reads, h)
+		}
+	}
+	if aborted != 1 {
+		t.Fatalf("history has %d aborted attempts, want exactly the refusal:\n%s", aborted, h)
+	}
 }
 
 // TestTraceHistoryJSONRoundTrip: the recorded native history marshals to
