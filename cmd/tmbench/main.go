@@ -9,14 +9,15 @@
 //	tmbench -exp e4 [-locks lm:irtm] [-models cc-wb] [-ns 2,8,32] [-k 4]
 //	tmbench -exp e6 [-ms 4,8,16,32]
 //	tmbench -exp e7 [-tms irtm] [-seed 42]
-//	tmbench -exp e8 [-workers 8] [-dur 100ms]
+//	tmbench -exp e8 [-workers 8] [-dur 100ms] [-clock gv1,gv4+ext,gv7+ext,tictoc]
 //	tmbench -exp e9 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e10 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e11 [-tms irtm,tl2,mvtm,mvtm-gc] [-seed 42]
 //	tmbench -exp e12 [-tms irtm,tl2,mvtm-gc] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
 //
-// An unknown -exp value exits non-zero and lists the valid experiments.
+// An unknown -exp or -clock value exits non-zero and lists the valid
+// names.
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
+		clocks    = flag.String("clock", strings.Join(validClockSpecs, ","), "comma-separated native commit-pipeline specs for e8")
 		tms       = flag.String("tms", strings.Join(ptm.Algorithms(), ","), "comma-separated TM algorithms")
 		locks     = flag.String("locks", strings.Join(ptm.Locks(), ","), "comma-separated lock algorithms")
 		models    = flag.String("models", strings.Join(ptm.CacheModels(), ","), "comma-separated cache models")
@@ -61,6 +63,16 @@ func main() {
 		adv:     *adversary,
 		workers: *workers,
 		dur:     *dur,
+		clocks:  split(*clocks),
+	}
+	// Fail fast on a bad -clock spec regardless of -exp: a fat-fingered
+	// pipeline name must not surface only after the earlier tables ran.
+	for _, spec := range cfg.clocks {
+		if _, ok := e8Variants[spec]; !ok {
+			fmt.Fprintf(os.Stderr, "tmbench: unknown clock spec %q (valid: %s)\n",
+				spec, strings.Join(validClockSpecs, ", "))
+			os.Exit(1)
+		}
 	}
 	var err error
 	switch *expName {
@@ -143,6 +155,7 @@ type config struct {
 	adv                bool
 	workers            int
 	dur                time.Duration
+	clocks             []string
 }
 
 func split(s string) []string {
@@ -392,32 +405,61 @@ func runE5(c config) error {
 	return nil
 }
 
+// e8Variant is one native commit-pipeline configuration the -clock flag
+// can request for E8.
+type e8Variant struct {
+	label string // table row label
+	strat stm.ClockStrategy
+	ext   bool
+}
+
+// validClockSpecs lists every -clock spec, in default sweep order;
+// e8Variants resolves each to its engine configuration. The gv1 row with
+// extension off is the PR 1 pipeline; gv7+ext is the batched-block
+// allocator; tictoc abandons the global clock for per-access timestamp
+// intervals (its "ext/revals" column counts interval advances).
+var validClockSpecs = []string{"gv1", "gv1+ext", "gv4+ext", "gv6+ext", "gv7+ext", "tictoc"}
+
+var e8Variants = map[string]e8Variant{
+	"gv1":     {"tl2/gv1", stm.GV1, false},
+	"gv1+ext": {"tl2/gv1+ext", stm.GV1, true},
+	"gv4+ext": {"tl2/gv4+ext", stm.GV4, true},
+	"gv6+ext": {"tl2/gv6+ext", stm.GV6, true},
+	"gv7+ext": {"tl2/gv7+ext", stm.GV7, true},
+	"tictoc":  {"tictoc", stm.TicToc, true},
+}
+
+// setPipeline applies one variant's knobs in the order the cross-knob
+// guards allow: GV6/GV7 refuse to be selected while extension is off, and
+// extension refuses to go off while GV6/GV7 is selected, so the enabling
+// knob always moves first.
+func setPipeline(v e8Variant) {
+	if v.ext {
+		stm.SetTimestampExtension(true)
+		stm.SetClockStrategy(v.strat)
+	} else {
+		stm.SetClockStrategy(v.strat)
+		stm.SetTimestampExtension(false)
+	}
+}
+
 // runE8 measures the native engines for wall-clock throughput: the
-// commit-pipeline ablation across clock strategies and timestamp
-// extension, against NOrec, on a contended-counter and a bank-transfer
-// workload. The gv1 row with extension off is the PR 1 pipeline.
+// commit-pipeline ablation across clock strategies (-clock selects the
+// rows), against NOrec, on a contended-counter and a bank-transfer
+// workload. Each cell's Vars are created after its pipeline is selected,
+// which is what makes the tictoc row safe: TicToc reinterprets the
+// lock-word payload and must never see versioned payloads.
 func runE8(c config) error {
 	t := ptm.Table{
 		Title: fmt.Sprintf("E8 — native commit pipeline: clock strategy × extension (%d goroutines, %v/cell; ext-or-revalidations in last column)",
 			c.workers, c.dur),
 		Header: []string{"engine", "workload", "txns/sec", "commits", "aborts", "abort-ratio", "ext/revals"},
 	}
-	type variant struct {
-		label string
-		strat stm.ClockStrategy
-		ext   bool
-	}
-	variants := []variant{
-		{"tl2/gv1", stm.GV1, false},
-		{"tl2/gv1+ext", stm.GV1, true},
-		{"tl2/gv4+ext", stm.GV4, true},
-		{"tl2/gv6+ext", stm.GV6, true},
-	}
 	defer stm.SetClockStrategy(stm.GV4)
 	defer stm.SetTimestampExtension(true)
-	for _, v := range variants {
-		stm.SetClockStrategy(v.strat)
-		stm.SetTimestampExtension(v.ext)
+	for _, spec := range c.clocks {
+		v := e8Variants[spec] // validated in main
+		setPipeline(v)
 		for _, wl := range []string{"counter", "bank"} {
 			before := stm.ReadStats()
 			elapsed := e8DriveTL2(wl, c.workers, c.dur)

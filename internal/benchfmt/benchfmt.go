@@ -148,6 +148,15 @@ type DiffRow struct {
 	Old, New float64
 	// Delta is (new-old)/old; NaN when old == 0.
 	Delta float64
+	// OldMin/NewMin carry the per-side minima over -count runs. On a
+	// shared machine scheduler interference inflates individual runs but
+	// almost never deflates them, so the minimum is each side's
+	// least-interference sample and min-vs-min is the noise-robust basis
+	// for a regression gate (means stay the reporting statistic).
+	// OldMax completes the baseline's recorded spread: (OldMax-OldMin)/
+	// OldMin is how much this cell wanders within a single recording era,
+	// which a gate can use as the cell's own noise-calibrated tolerance.
+	OldMin, NewMin, OldMax float64
 }
 
 // Diff compares the units of every benchmark present in both baselines,
@@ -172,7 +181,7 @@ func Diff(oldB, newB *Baseline, units []string) []DiffRow {
 			if !ok {
 				continue
 			}
-			d := DiffRow{Name: name, Unit: unit, Old: om.Mean, New: nm.Mean}
+			d := DiffRow{Name: name, Unit: unit, Old: om.Mean, New: nm.Mean, OldMin: om.Min, NewMin: nm.Min, OldMax: om.Max}
 			if om.Mean != 0 {
 				d.Delta = (nm.Mean - om.Mean) / om.Mean
 			} else if nm.Mean != 0 {

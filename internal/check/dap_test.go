@@ -87,6 +87,23 @@ func TestInvisibleReadsMeasured(t *testing.T) {
 			mem := memory.New(1, nil)
 			rec := tm.Record(tmreg.MustNew(name, mem, 4))
 			p := mem.Proc(0)
+			// Stagger the objects' commit timestamps with two sequential
+			// update transactions on object 0 before probing: from
+			// quiescence every TicToc validity window is [0,0] and even its
+			// reads are invisible, but once a solo reader crosses objects
+			// committed at different times it must CAS-extend a window
+			// during a t-read — the visibility this probe exists to measure.
+			for i := 0; i < 2; i++ {
+				if err := tm.Atomically(rec, p, func(w tm.Txn) error {
+					v, err := w.Read(0)
+					if err != nil {
+						return err
+					}
+					return w.Write(0, v+1)
+				}); err != nil {
+					t.Fatalf("seeding writer: %v", err)
+				}
+			}
 			// One solo read-only transaction (in scope for both the strong
 			// and the weak definition).
 			tx := rec.Begin(p)

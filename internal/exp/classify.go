@@ -41,11 +41,28 @@ func Classify(name string, seeds int) (ClassRow, error) {
 		StrongSingleItem:   true,
 		Opaque:             true,
 	}
-	// Probe 1: solo read-only transaction → weak invisible reads.
+	// Probe 1: solo read-only transaction → weak invisible reads. Two
+	// sequential update transactions first stagger the objects' commit
+	// timestamps: timestamp-interval TMs (TicToc) read invisibly from
+	// quiescence, where every validity window is [0,0], but must extend a
+	// window in place — a CAS during a t-read — once a solo reader crosses
+	// objects committed at different times. Reading from quiescence alone
+	// would under-measure exactly the class this probe classifies.
 	{
 		mem := memory.New(1, nil)
 		rec := tm.Record(tmreg.MustNew(name, mem, 4))
 		p := mem.Proc(0)
+		for i := 0; i < 2; i++ {
+			if err := tm.Atomically(rec, p, func(w tm.Txn) error {
+				v, err := w.Read(0)
+				if err != nil {
+					return err
+				}
+				return w.Write(0, v+1)
+			}); err != nil {
+				return row, err
+			}
+		}
 		tx := rec.Begin(p)
 		for x := 0; x < 4; x++ {
 			if _, err := tx.Read(x); err != nil {

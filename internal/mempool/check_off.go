@@ -1,0 +1,13 @@
+//go:build !mempoolcheck
+
+package mempool
+
+// Checked-mode hooks compile to nothing in normal builds; the live
+// registry and its lock exist only under -tags mempoolcheck.
+
+func checkPut(any) {}
+func checkGet(any) {}
+
+// Checking reports whether the build has the mempoolcheck registry armed
+// (tests use it to skip the double-put assertions in normal builds).
+const Checking = false

@@ -1,0 +1,42 @@
+//go:build mempoolcheck
+
+package mempool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Checked mode: a registry of every pointer currently filed in some
+// pool. Put of a pointer already in the registry is a double Put — two
+// goroutines racing to recycle the same object, or one recycling an
+// object still published — and panics immediately, at the second Put
+// site, instead of corrupting the free list and failing much later as a
+// torn Get. Get removes the pointer again, so the registry's size is
+// bounded by the pooled population.
+//
+// Use-after-Put is covered by the Reset hook contract (poison on Put),
+// not by the registry: the registry cannot see reads.
+
+var (
+	liveMu sync.Mutex
+	live   = map[any]bool{}
+)
+
+func checkPut(x any) {
+	liveMu.Lock()
+	defer liveMu.Unlock()
+	if live[x] {
+		panic(fmt.Sprintf("mempool: double Put of %p (object already in the pool)", x))
+	}
+	live[x] = true
+}
+
+func checkGet(x any) {
+	liveMu.Lock()
+	delete(live, x)
+	liveMu.Unlock()
+}
+
+// Checking reports whether the build has the mempoolcheck registry armed.
+const Checking = true

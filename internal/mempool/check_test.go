@@ -1,0 +1,32 @@
+//go:build mempoolcheck
+
+package mempool
+
+import "testing"
+
+// TestDoublePutPanics is the checked-mode contract: recycling the same
+// object twice without an intervening Get panics at the second Put.
+func TestDoublePutPanics(t *testing.T) {
+	p := newNodePool()
+	n := p.Get(8)
+	p.Put(n)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Put did not panic under -tags mempoolcheck")
+		}
+	}()
+	p.Put(n)
+}
+
+// TestGetClearsRegistry: a Put→Get→Put cycle is legal; only Put of an
+// object currently *in* a pool is a bug.
+func TestGetClearsRegistry(t *testing.T) {
+	p := newNodePool()
+	n := p.Get(8)
+	for i := 0; i < 3; i++ {
+		p.Put(n)
+		if got := p.Get(8); got != n {
+			t.Skip("sync.Pool dropped the entry; cycle cannot be driven")
+		}
+	}
+}

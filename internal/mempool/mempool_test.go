@@ -1,0 +1,84 @@
+package mempool
+
+import "testing"
+
+// node is the test stand-in for a pooled object carrying a buffer.
+type node struct {
+	buf  []int
+	used bool
+}
+
+func newNodePool() *ClassPool[node] {
+	return NewClassPool(
+		func(capacity int) *node { return &node{buf: make([]int, 0, capacity)} },
+		func(n *node) int { return cap(n.buf) },
+		func(n *node) { n.buf = n.buf[:0]; n.used = false },
+	)
+}
+
+func TestClassRounding(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{0, 0}, {1, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 16}, {100, 128}, {4096, 4096},
+	}
+	for _, c := range cases {
+		p := newNodePool()
+		got := p.Get(c.n)
+		if cap(got.buf) != c.wantCap {
+			t.Errorf("Get(%d): cap=%d, want %d", c.n, cap(got.buf), c.wantCap)
+		}
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	p := newNodePool()
+	a := p.Get(8)
+	a.used = true
+	a.buf = a.buf[:3]
+	p.Put(a)
+	if a.used || len(a.buf) != 0 {
+		t.Fatal("Put did not run the reset hook")
+	}
+	b := p.Get(8)
+	if b != a {
+		// sync.Pool may drop entries under GC pressure, but a same-goroutine
+		// Put→Get with no GC in between must hit the per-P private slot.
+		t.Fatalf("Get(8) after Put did not recycle: got %p, put %p", b, a)
+	}
+	// A smaller request maps to a different class and must not steal it.
+	p.Put(b)
+	if c := p.Get(2); cap(c.buf) != 4 {
+		t.Errorf("Get(2) returned cap %d, want class cap 4", cap(c.buf))
+	}
+}
+
+func TestOversizeBypassesPool(t *testing.T) {
+	p := newNodePool()
+	big := p.Get(maxCap + 1)
+	if cap(big.buf) != maxCap+1 {
+		t.Fatalf("oversize Get: cap=%d, want exactly %d", cap(big.buf), maxCap+1)
+	}
+	big.used = true
+	p.Put(big) // dropped to GC, but the reset hook must still run
+	if big.used {
+		t.Error("Put of an oversize object skipped the reset hook")
+	}
+	if again := p.Get(maxCap + 1); again == big {
+		t.Error("oversize object was filed in the pool")
+	}
+}
+
+func TestOffClassDropped(t *testing.T) {
+	p := newNodePool()
+	// cap 6 is not a class size: Put must drop it rather than file it
+	// where a Get(8) would receive a too-small buffer.
+	odd := &node{buf: make([]int, 0, 6)}
+	p.Put(odd)
+	if got := p.Get(8); got == odd {
+		t.Error("off-class object was filed in the pool")
+	}
+}
+
+func TestPutNil(t *testing.T) {
+	p := newNodePool()
+	p.Put(nil) // must be a no-op, not a panic in the reset hook
+}

@@ -1,0 +1,302 @@
+// Package tictoc implements the TicToc OCC algorithm (Yu, Pavlo,
+// Sanchez, Devadas, SIGMOD'16) on the simulated memory: data-driven
+// timestamp management with NO global clock of any kind. Each object's
+// metadata word carries a [wts, rts] validity interval — the value was
+// committed at wts and is known unchanged through rts — and every
+// transaction computes its own commit timestamp from the intervals it
+// touched, as the intersection of its reads' validity windows.
+//
+// TicToc is the repository's "escape the clock differently" ablation:
+// where TL2/GV7 amortizes the global-clock contention Theorem 3 prices
+// (every update commit still touches the shared clock, violating weak
+// DAP), TicToc is weakly disjoint-access-parallel — transactions on
+// disjoint data touch disjoint base objects. The paper's bounds say this
+// cannot be free, and it is not: the price is paid on the READ side.
+// Reads are no longer invisible — a transaction that must extend a read
+// object's validity window (rts < its commit timestamp) performs a CAS
+// on that object's metadata, so read-mostly workloads pay O(read set)
+// nontrivial primitives at commit where TL2 pays zero. The simulator's
+// step/DAP accounting makes both sides of that trade measurable next to
+// the clock-strategy sweep.
+package tictoc
+
+import (
+	"sort"
+
+	"repro/internal/memory"
+	"repro/internal/tm"
+	"repro/internal/tm/lockword"
+)
+
+// Metadata packing: the 63-bit lock-free payload (bit 63 is the lock
+// bit, as everywhere in this repository) holds wts in bits 32..62 and
+// rts in bits 0..31. rts is absolute, not a delta; the simulator's
+// workloads stay far below either width.
+const (
+	rtsBits = 32
+	rtsMask = (uint64(1) << rtsBits) - 1
+)
+
+func pack(wts, rts uint64) uint64 { return wts<<rtsBits | rts&rtsMask }
+
+func unpack(w uint64) (wts, rts uint64) {
+	p := lockword.Version(w) // strip the lock bit
+	return p >> rtsBits, p & rtsMask
+}
+
+// TM is a TicToc instance. Create with New.
+type TM struct {
+	mem  *memory.Memory
+	meta []*memory.Obj
+	val  []*memory.Obj
+}
+
+var _ tm.TM = (*TM)(nil)
+
+// New creates a TicToc instance over nobj t-objects initialized to 0,
+// each with validity interval [0, 0].
+func New(mem *memory.Memory, nobj int) *TM {
+	return &TM{
+		mem:  mem,
+		meta: mem.AllocArray("tictoc.meta", nobj),
+		val:  mem.AllocArray("tictoc.val", nobj),
+	}
+}
+
+// Name implements tm.TM.
+func (t *TM) Name() string { return "tictoc" }
+
+// NumObjects implements tm.TM.
+func (t *TM) NumObjects() int { return len(t.meta) }
+
+// Props implements tm.TM. The interesting bits against TL2: WeakDAP is
+// true (no base object is shared by disjoint transactions — the whole
+// point) and InvisibleReads is false (rts extension applies CAS to read
+// objects' metadata; even a solo read-write transaction from quiescence
+// extends the windows of its reads, so not even the weak form holds).
+// Progressiveness is declared conservatively false: a bounded number of
+// extension-CAS attempts stands in for the unbounded helping a
+// progressive TM would need.
+func (t *TM) Props() tm.Props {
+	return tm.Props{
+		Opaque:                true,
+		StrictSerializable:    true,
+		WeakDAP:               true,
+		InvisibleReads:        false,
+		WeakInvisibleReads:    false,
+		Progressive:           false,
+		StronglyProgressive:   false,
+		SequentialProgress:    true,
+		MultiVersion:          false,
+		UsesOnlyRWConditional: true,
+		ICFLiveness:           true,
+	}
+}
+
+// Begin implements tm.TM. There is no clock to sample: the transaction
+// starts with the universal interval and narrows it read by read.
+func (t *TM) Begin(p *memory.Proc) tm.Txn {
+	return &Txn{t: t, p: p, hi: ^uint64(0)}
+}
+
+// rentry is one logged read: the object and the wts under which its
+// value was loaded (the value is valid at any ts ≥ wts for as long as
+// wts stays put — rts rereads go to the metadata word, never the log).
+type rentry struct {
+	x   int
+	wts uint64
+}
+
+// Txn is a TicToc transaction.
+type Txn struct {
+	t *TM
+	p *memory.Proc
+	// [lo, hi] is the running intersection of the reads' validity
+	// windows: lo the max wts loaded, hi the min rts known. Every logged
+	// value is the committed state at any ts in the interval, which is
+	// what makes reads opaque without any global certificate.
+	lo, hi  uint64
+	rset    []rentry
+	wvals   map[int]tm.Value
+	worder  []int
+	aborted bool
+	done    bool
+}
+
+// Aborted implements tm.Txn.
+func (tx *Txn) Aborted() bool { return tx.aborted }
+
+func (tx *Txn) abort() error {
+	tx.aborted = true
+	tx.done = true
+	return tm.ErrAborted
+}
+
+// extendAttempts bounds every rts-extension CAS loop: TicToc does not
+// claim progressiveness, so a window that keeps moving is an abort, not
+// a helping obligation.
+const extendAttempts = 3
+
+// advanceRTS extends x's validity window to at least need, aborting the
+// extension if x's wts moves (the logged value died) or a writer holds
+// x locked. Returns ok=false when the caller must abort. This CAS on a
+// READ object's metadata is the visible-read cost the package comment
+// advertises.
+func (tx *Txn) advanceRTS(x int, entryWts, need uint64) bool {
+	for attempt := 0; attempt < extendAttempts; attempt++ {
+		m := tx.p.Read(tx.t.meta[x])
+		wts, rts := unpack(m)
+		if lockword.Locked(m) || wts != entryWts {
+			return false
+		}
+		if rts >= need {
+			return true
+		}
+		if tx.p.CAS(tx.t.meta[x], m, pack(wts, need)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Read implements tm.Txn.
+func (tx *Txn) Read(x int) (tm.Value, error) {
+	tm.CheckObjectIndex(x, len(tx.t.meta))
+	if tx.done {
+		return 0, tm.ErrAborted
+	}
+	if tx.wvals != nil {
+		if v, ok := tx.wvals[x]; ok {
+			return v, nil
+		}
+	}
+	m1 := tx.p.Read(tx.t.meta[x])
+	if lockword.Locked(m1) {
+		return 0, tx.abort() // a writer is publishing; its wts is not yet decided
+	}
+	v := tx.p.Read(tx.t.val[x])
+	m2 := tx.p.Read(tx.t.meta[x])
+	if m1 != m2 {
+		// The (wts, rts, value) triple must be read atomically; a moved
+		// word means a concurrent publish or extension landed mid-read.
+		// An extension-only move would be benign, but telling the cases
+		// apart is not worth the code in the simulator: abort.
+		return 0, tx.abort()
+	}
+	wts, rts := unpack(m1)
+	if wts > tx.hi {
+		// The new value postdates the interval: every prior read's window
+		// must be extended to cover wts, or the snapshot is torn. Each
+		// extension re-verifies the prior read's wts, so success proves
+		// all logged values coexist at wts.
+		for i := range tx.rset {
+			if !tx.advanceRTS(tx.rset[i].x, tx.rset[i].wts, wts) {
+				return 0, tx.abort()
+			}
+		}
+		tx.hi = wts
+	}
+	if rts < tx.lo {
+		// The new value's window ends before the interval: extend it
+		// forward instead.
+		if !tx.advanceRTS(x, wts, tx.lo) {
+			return 0, tx.abort()
+		}
+		rts = tx.lo
+	}
+	tx.lo = max(tx.lo, wts)
+	tx.hi = min(tx.hi, rts)
+	tx.rset = append(tx.rset, rentry{x: x, wts: wts})
+	return v, nil
+}
+
+// Write implements tm.Txn (lazy write buffering).
+func (tx *Txn) Write(x int, v tm.Value) error {
+	tm.CheckObjectIndex(x, len(tx.t.meta))
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if tx.wvals == nil {
+		tx.wvals = make(map[int]tm.Value)
+	}
+	if _, ok := tx.wvals[x]; !ok {
+		tx.worder = append(tx.worder, x)
+	}
+	tx.wvals[x] = v
+	return nil
+}
+
+// Commit implements tm.Txn. A read-only transaction commits with no
+// shared-memory operation at all — the maintained interval is the
+// certificate, and its lo end the serialization point. An update
+// transaction locks its write set in index order, derives its commit
+// timestamp cts = max(lo, rts(w)+1 over locked objects), validates that
+// every read is extendable to cts, and publishes every write with the
+// collapsed interval [cts, cts].
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return tm.ErrAborted
+	}
+	if len(tx.worder) == 0 {
+		tx.done = true
+		return nil
+	}
+	order := append([]int(nil), tx.worder...)
+	sort.Ints(order)
+	acquired := make([]uint64, 0, len(order))
+	owned := make(map[int]uint64, len(order)) // object -> locked word's payload
+	release := func() {
+		for i, x := range order[:len(acquired)] {
+			tx.p.Write(tx.t.meta[x], lockword.Unlocked(acquired[i]))
+		}
+	}
+	cts := tx.lo
+	for _, x := range order {
+		m := tx.p.Read(tx.t.meta[x])
+		if lockword.Locked(m) || !tx.p.CAS(tx.t.meta[x], m, lockword.Lock(m)) {
+			release()
+			return tx.abort()
+		}
+		acquired = append(acquired, lockword.Version(m))
+		owned[x] = lockword.Version(m)
+		_, rts := unpack(m)
+		// The write must postdate every read of the previous value.
+		cts = max(cts, rts+1)
+	}
+	for i := range tx.rset {
+		r := &tx.rset[i]
+		if p, mine := owned[r.x]; mine {
+			// Read-write object: the lock pins its word, so the logged
+			// value survives iff its wts is still the one beneath the
+			// lock bit. The read serializes at cts⁻, just before this
+			// transaction's own write replaces the value.
+			if wts, _ := unpack(p); wts != r.wts {
+				release()
+				return tx.abort()
+			}
+			continue
+		}
+		// Read-only object: extend its window to cover cts. This is
+		// where a read-mostly TicToc commit pays Ω(read set) CAS — the
+		// visible-read half of the weak-DAP trade.
+		if !tx.advanceRTS(r.x, r.wts, cts) {
+			release()
+			return tx.abort()
+		}
+	}
+	for _, x := range order {
+		tx.p.Write(tx.t.val[x], tx.wvals[x])
+		tx.p.Write(tx.t.meta[x], pack(cts, cts)) // unlocked: bit 63 clear
+	}
+	tx.done = true
+	return nil
+}
+
+// Abort implements tm.Txn. No cleanup is needed: Commit never returns
+// with locks held.
+func (tx *Txn) Abort() {
+	if !tx.done {
+		tx.aborted = true
+		tx.done = true
+	}
+}

@@ -37,6 +37,13 @@ const (
 	// increment; the rest use clock+1 without publishing, and readers that
 	// meet a version ahead of the clock bump the clock forward themselves.
 	GV6
+	// GV7 batches allocation: one CAS on a separate allocator word claims
+	// a block of GV7BlockSize ticks, and commits stamp write versions from
+	// the block without touching the published clock at all — the
+	// fetch-and-increment's cost is paid once per block instead of once
+	// per commit. Like GV6 the published clock lags committed versions, so
+	// readers help the clock forward and extension is mandatory.
+	GV7
 )
 
 func (s ClockStrategy) String() string {
@@ -47,6 +54,8 @@ func (s ClockStrategy) String() string {
 		return "gv4"
 	case GV6:
 		return "gv6"
+	case GV7:
+		return "gv7"
 	}
 	return "unknown"
 }
@@ -64,6 +73,9 @@ type Options struct {
 	// GV6SamplePeriod is the number of commits per published increment
 	// under GV6 (default 4; the simulator's workloads are small).
 	GV6SamplePeriod int
+	// GV7BlockSize is the number of ticks per allocator claim under GV7
+	// (default 4; the simulator's workloads are small).
+	GV7BlockSize int
 }
 
 // ParseVariant parses a "+"-separated option spec — e.g. "gv4", "ext",
@@ -78,10 +90,12 @@ func ParseVariant(spec string) (Options, error) {
 			o.Clock = GV4
 		case "gv6":
 			o.Clock = GV6
+		case "gv7":
+			o.Clock = GV7
 		case "ext":
 			o.Extension = true
 		default:
-			return o, fmt.Errorf("tl2: unknown variant option %q in %q (want gv1, gv4, gv6, ext)", part, spec)
+			return o, fmt.Errorf("tl2: unknown variant option %q in %q (want gv1, gv4, gv6, gv7, ext)", part, spec)
 		}
 	}
 	return o, nil
@@ -98,6 +112,14 @@ type TM struct {
 	// simulator's scheduler serializes all steps, so plain increment is
 	// race-free).
 	commitSeq int
+	// clockAlloc is GV7's allocator word; blockNext/blockEnd are the
+	// instance's current tick block (TM-level plain fields: schedule
+	// points are the shared-memory operations, so the bookkeeping between
+	// them is race-free — an instance-wide block is the simulator's
+	// analogue of the native engine's per-descriptor cache).
+	clockAlloc *memory.Obj
+	blockNext  uint64
+	blockEnd   uint64
 }
 
 var _ tm.TM = (*TM)(nil)
@@ -113,20 +135,33 @@ func NewWithOptions(mem *memory.Memory, nobj int, opts Options) *TM {
 	if opts.GV6SamplePeriod <= 0 {
 		opts.GV6SamplePeriod = 4
 	}
-	if opts.Clock == GV6 {
-		// GV6 requires extension: unpublished increments leave committed
-		// versions ahead of the clock, so without extension even a solo
-		// transaction from quiescence can abort on a stale timestamp —
-		// sequential progress would be lost, not just performance.
+	if opts.GV7BlockSize <= 0 {
+		opts.GV7BlockSize = 4
+	}
+	if opts.Clock == GV6 || opts.Clock == GV7 {
+		// GV6 and GV7 require extension: unpublished increments (GV6) and
+		// block-stamped versions (GV7) leave committed versions ahead of
+		// the clock, so without extension even a solo transaction from
+		// quiescence can abort on a stale timestamp — sequential progress
+		// would be lost, not just performance.
 		opts.Extension = true
 	}
-	return &TM{
+	t := &TM{
 		mem:   mem,
 		clock: mem.Alloc("tl2.clock"),
 		meta:  mem.AllocArray("tl2.meta", nobj),
 		val:   mem.AllocArray("tl2.val", nobj),
 		opts:  opts,
 	}
+	if opts.Clock == GV7 {
+		t.clockAlloc = mem.Alloc("tl2.clockAlloc")
+		// Canonical empty block: blockNext > blockEnd. The zero value
+		// (0, 0) would fail that test and stamp wv=0 — every object's
+		// initial version — making the first commit invisible to
+		// validation.
+		t.blockNext, t.blockEnd = 1, 0
+	}
+	return t
 }
 
 // Name implements tm.TM; variants name themselves "tl2:gv4+ext"-style so
@@ -418,6 +453,29 @@ func (tx *Txn) advanceClock() (wv uint64, quiescent bool) {
 			return tx.p.Read(tx.t.clock), false
 		}
 		return tx.p.Read(tx.t.clock) + 1, false // unpublished increment
+	case GV7:
+		t := tx.t
+		if t.blockNext > t.blockEnd {
+			// Claim a fresh block strictly above both the allocator mark
+			// and the published clock: the stamped version then always
+			// exceeds any clock value a reader could have sampled, which
+			// is the invariant extension recovers snapshots with. This CAS
+			// is GV7's only shared-word RMW — one per GV7BlockSize commits.
+			k := uint64(t.opts.GV7BlockSize)
+			for {
+				hi := tx.p.Read(t.clockAlloc)
+				base := max(hi, tx.p.Read(t.clock))
+				if tx.p.CAS(t.clockAlloc, hi, base+k) {
+					t.blockNext, t.blockEnd = base+1, base+k
+					break
+				}
+			}
+		}
+		wv = t.blockNext
+		t.blockNext++
+		// Never quiescent: the published clock deliberately lags the
+		// stamped versions, so an unmoved clock proves nothing.
+		return wv, false
 	default:
 		wv = tx.p.FetchAdd(tx.t.clock, 1) + 1
 		return wv, wv == tx.rv+1

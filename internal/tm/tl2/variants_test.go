@@ -10,7 +10,7 @@ import (
 	"repro/internal/tm/tmtest"
 )
 
-var variantSpecs = []string{"gv4", "gv6", "ext", "gv4+ext", "gv6+ext"}
+var variantSpecs = []string{"gv4", "gv6", "ext", "gv4+ext", "gv6+ext", "gv7", "gv7+ext"}
 
 // TestVariantConformance runs the full TM conformance suite on every clock
 // strategy × extension combination: the strategies change the clock
@@ -40,6 +40,15 @@ func TestParseVariant(t *testing.T) {
 	}
 	if _, err := tl2.ParseVariant("gv9"); err == nil {
 		t.Fatal("gv9 accepted")
+	}
+	// gv7 forces extension like gv6: block-stamped versions run ahead of
+	// the published clock.
+	g7, err := tl2.ParseVariant("gv7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tl2.NewWithOptions(memory.New(1, nil), 1, g7).Name(); got != "tl2:gv7+ext" {
+		t.Fatalf("gv7 Name() = %q, want tl2:gv7+ext (extension forced)", got)
 	}
 	mem := memory.New(1, nil)
 	if got := tl2.NewWithOptions(mem, 1, opts).Name(); got != "tl2:gv6+ext" {

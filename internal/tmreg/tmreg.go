@@ -22,6 +22,7 @@ import (
 	"repro/internal/tm/mvtm"
 	"repro/internal/tm/norec"
 	"repro/internal/tm/sgltm"
+	"repro/internal/tm/tictoc"
 	"repro/internal/tm/tl2"
 	"repro/internal/tm/tml"
 	"repro/internal/tm/vrtm"
@@ -40,6 +41,7 @@ var registry = map[string]Constructor{
 	"mvtm-gc": func(m *memory.Memory, n int) tm.TM { return mvtm.NewWithGC(m, n) },
 	"dstm":    func(m *memory.Memory, n int) tm.TM { return dstm.New(m, n) },
 	"tml":     func(m *memory.Memory, n int) tm.TM { return tml.New(m, n) },
+	"tictoc":  func(m *memory.Memory, n int) tm.TM { return tictoc.New(m, n) },
 }
 
 // Names returns the registered algorithm names in stable order.
@@ -76,7 +78,7 @@ func New(name string, mem *memory.Memory, nobj int) (tm.TM, error) {
 // ClockVariants lists the TL2 clock-strategy/extension variant names used
 // by the E5 ablation axis, in sweep order.
 func ClockVariants() []string {
-	return []string{"tl2", "tl2:gv4", "tl2:ext", "tl2:gv4+ext", "tl2:gv6+ext"}
+	return []string{"tl2", "tl2:gv4", "tl2:ext", "tl2:gv4+ext", "tl2:gv6+ext", "tl2:gv7+ext"}
 }
 
 // MustNew is New, panicking on unknown names; for tests and examples.

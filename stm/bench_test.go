@@ -155,10 +155,20 @@ func BenchmarkVarContended(b *testing.B) {
 		readsPerTx = 8
 	)
 	run := func(b *testing.B, strat stm.ClockStrategy, ext bool) {
-		stm.SetClockStrategy(strat)
-		stm.SetTimestampExtension(ext)
+		// Enable-before-select: GV6/GV7 refuse selection while extension is
+		// off, so the enabling knob always moves first.
+		if ext {
+			stm.SetTimestampExtension(true)
+			stm.SetClockStrategy(strat)
+		} else {
+			stm.SetClockStrategy(strat)
+			stm.SetTimestampExtension(ext)
+		}
 		defer stm.SetClockStrategy(stm.GV4)
 		defer stm.SetTimestampExtension(true)
+		// Vars are created after the strategy is selected — required for the
+		// tictoc row, which reinterprets the lock-word payload as (wts, rts)
+		// and must never see versioned payloads.
 		vars := make([]*stm.Var[int], nvars)
 		for i := range vars {
 			vars[i] = stm.NewVar(0)
@@ -198,6 +208,8 @@ func BenchmarkVarContended(b *testing.B) {
 	}
 	b.Run("pipeline=pr1-gv1-noext", func(b *testing.B) { run(b, stm.GV1, false) })
 	b.Run("pipeline=gv4-ext", func(b *testing.B) { run(b, stm.GV4, true) })
+	b.Run("pipeline=gv7-ext", func(b *testing.B) { run(b, stm.GV7, true) })
+	b.Run("pipeline=tictoc", func(b *testing.B) { run(b, stm.TicToc, true) })
 }
 
 // BenchmarkLargeWriteSet measures commits whose write sets cross the

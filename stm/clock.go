@@ -45,11 +45,61 @@ const (
 	// Commits under GV6 always validate their read set — with unpublished
 	// increments, an unchanged clock no longer proves quiescence.
 	GV6
+
+	// GV7 is the batched ("block") variant: one fetch on a separate
+	// allocator word (clockAlloc) claims a block of gv7BlockSize ticks
+	// cached in the transaction descriptor, and commits stamp write
+	// versions from the local block — the shared line is touched once
+	// every K commits per descriptor instead of once per commit. The
+	// published clock is never advanced by a commit at all; as under GV6,
+	// stamped versions run ahead of it and readers pull it forward
+	// (helpClock) and extend. Soundness hinges on one extra per-commit
+	// check: a cached tick is used as wv only if it is still strictly
+	// greater than the published clock *loaded after the write locks were
+	// acquired* (see advanceClock) — otherwise the block is stale and a
+	// fresh one is claimed with a base above both the allocator and the
+	// published clock, so the clock invariant above holds tick for tick.
+	// GV7 commits can never skip validation, and GV7 (like GV6) requires
+	// timestamp extension for sequential progress. A drain path
+	// (drainBlock) returns a block's unused ticks to the allocator when a
+	// descriptor is recycled off the GV7 regime, so versions stay dense
+	// enough for sampling-style analyses.
+	GV7
+
+	// TicToc is the per-access-timestamp mode: there is no global clock
+	// at all. Each Var's lock word carries a (wts, rts) pair — the write
+	// timestamp of its current version and the highest timestamp any
+	// reader has certified it at — and a transaction maintains the
+	// intersection of its reads' [wts, rts] validity intervals, advancing
+	// a Var's rts by bounded CAS when the intersection would go empty.
+	// Commit picks the serialization point by interval intersection (see
+	// ttCommit in tictoc.go). Reads and read-only commits touch no shared
+	// word beyond the Vars themselves (strong DAP on the read path:
+	// ClockIncrements stays 0), at the price TicToc pays everywhere:
+	// readers may write (rts advances), and a rising write floor costs an
+	// O(|read set|) advance sweep — the step/DAP trade-off the paper's
+	// lower bounds quantify. TicToc reinterprets the 63-bit lock-word
+	// payload as wts|rts, so it must be selected before any commit and
+	// never mixed with the versioned strategies on live data.
+	TicToc
 )
 
 // gv6SamplePeriod is the mean number of commits per published clock
 // increment under GV6.
 const gv6SamplePeriod = 8
+
+// gv7BlockSize is K, the number of ticks one allocator fetch claims under
+// GV7. A variable (not const) so tests can exercise block exhaustion and
+// drain with small blocks; set only while the engine is quiescent.
+var gv7BlockSize uint64 = 64
+
+// clockAlloc is GV7's allocation high-water mark: the highest tick any
+// block has claimed. It is a separate word from the published clock so
+// that claiming a block (one CAS here per K commits) does not disturb
+// readers sampling the clock. Invariant: clockAlloc ≥ clock whenever a
+// GV7 block is outstanding; blocks are half-open ownership of
+// (base, base+K] with base ≥ max(clockAlloc, clock) at claim time.
+var clockAlloc atomic.Uint64
 
 // clockStrategy is the engine-wide knob; see SetClockStrategy.
 var clockStrategy atomic.Int32
@@ -89,24 +139,43 @@ func init() {
 // regimes, so treat runtime switching as a correctness guarantee, not a
 // supported operating mode.
 //
-// GV6 requires timestamp extension: under GV6, versions run ahead of the
-// clock, so without extension even a solo transaction from a quiescent
-// state can abort — sequential progress would be lost, turning a
-// performance knob into a semantic one. SetClockStrategy(GV6) therefore
-// panics if SetTimestampExtension(false) is in effect, and
-// SetTimestampExtension(false) panics while GV6 is selected.
+// GV6 and GV7 require timestamp extension: under both, versions run ahead
+// of the clock, so without extension even a solo transaction from a
+// quiescent state can abort — sequential progress would be lost, turning a
+// performance knob into a semantic one. SetClockStrategy(GV6/GV7)
+// therefore panics if SetTimestampExtension(false) is in effect, and
+// SetTimestampExtension(false) panics while GV6 or GV7 is selected.
+//
+// TicToc is different in kind, not just in rule: it reinterprets the
+// 63-bit lock-word payload as a (wts, rts) pair instead of a version, so
+// it must be selected before the engine commits anything and must not be
+// toggled against Vars that have committed under a versioned strategy
+// (their payloads would be read as nonsense intervals). The runtime-switch
+// guarantee documented above covers GV1/GV4/GV6/GV7 only.
 func SetClockStrategy(s ClockStrategy) {
 	knobMu.Lock()
 	defer knobMu.Unlock()
 	switch s {
-	case GV1, GV4, GV6:
-		if s == GV6 && !extensionEnabled.Load() {
-			panic("stm: GV6 requires timestamp extension (call SetTimestampExtension(true) first): " +
+	case GV1, GV4, GV6, GV7:
+		if (s == GV6 || s == GV7) && !extensionEnabled.Load() {
+			panic("stm: " + gvName(s) + " requires timestamp extension (call SetTimestampExtension(true) first): " +
 				"without it a solo transaction from quiescence can abort on a version ahead of the clock")
+		}
+		if ClockStrategy(clockStrategy.Load()) == GV7 && s != GV7 {
+			// Leaving GV7: descriptors parked in the pool may still cache
+			// partially used blocks whose ticks were never published.
+			// Publishing the allocation high-water mark retires every
+			// outstanding block at once — any cached tick is now ≤ clock, so
+			// the per-commit staleness check discards it (and release()
+			// drains it), and no later GV1/GV4 quiescence proof can be
+			// confused by a straggler stamping from an old block.
+			helpClock(clockAlloc.Load())
 		}
 		if ClockStrategy(clockStrategy.Load()) != s {
 			clock.Add(1)
 		}
+		clockStrategy.Store(int32(s))
+	case TicToc:
 		clockStrategy.Store(int32(s))
 	default:
 		panic("stm: unknown ClockStrategy")
@@ -128,15 +197,27 @@ func CurrentClockStrategy() ClockStrategy { return ClockStrategy(clockStrategy.L
 func SetTimestampExtension(on bool) {
 	knobMu.Lock()
 	defer knobMu.Unlock()
-	if !on && ClockStrategy(clockStrategy.Load()) == GV6 {
-		panic("stm: cannot disable timestamp extension while the GV6 clock strategy is selected: " +
-			"GV6 relies on extension for sequential progress (select GV1/GV4 first)")
+	if s := ClockStrategy(clockStrategy.Load()); !on && (s == GV6 || s == GV7) {
+		panic("stm: cannot disable timestamp extension while the " + gvName(s) + " clock strategy is selected: " +
+			gvName(s) + " relies on extension for sequential progress (select GV1/GV4 first)")
 	}
 	extensionEnabled.Store(on)
 }
 
 // TimestampExtensionEnabled reports whether extension is in effect.
 func TimestampExtensionEnabled() bool { return extensionEnabled.Load() }
+
+// gvName is the uppercase constant name used in panic messages (String
+// returns the lowercase benchmark-label form).
+func gvName(s ClockStrategy) string {
+	switch s {
+	case GV6:
+		return "GV6"
+	case GV7:
+		return "GV7"
+	}
+	return "GV" + s.String()[2:]
+}
 
 // String implements fmt.Stringer for benchmark labels.
 func (s ClockStrategy) String() string {
@@ -147,6 +228,10 @@ func (s ClockStrategy) String() string {
 		return "gv4"
 	case GV6:
 		return "gv6"
+	case GV7:
+		return "gv7"
+	case TicToc:
+		return "tictoc"
 	}
 	return "unknown"
 }
@@ -156,10 +241,34 @@ func (s ClockStrategy) String() string {
 // overlapped the window between the transaction's read-version sample and
 // its lock acquisition, so read-set validation may be skipped: under GV1
 // that is wv == rv+1; under GV4, winning the CAS from exactly rv. Under
-// GV6 the proof is unavailable (commits may leave the clock untouched),
-// so quiescent is always false.
+// GV6 and GV7 the proof is unavailable (commits may leave the clock
+// untouched), so quiescent is always false.
+//
+// advanceClock runs while the commit holds every write lock — GV7's
+// soundness check (cached tick still above the published clock) depends
+// on that ordering.
 func (tx *Tx) advanceClock() (wv uint64, quiescent bool) {
 	switch ClockStrategy(clockStrategy.Load()) {
+	case GV7:
+		// The staleness check and the claim both compare against a clock
+		// value loaded after the locks were taken, so wv > that load and the
+		// clock (monotone, advanced only toward stamped versions) first
+		// reaches wv after this commit held its locks — the clock invariant.
+		c := clock.Load()
+		if tx.blockNext <= tx.blockEnd && tx.blockNext > c {
+			wv = tx.blockNext
+			tx.blockNext++
+			return wv, false
+		}
+		// Block empty or stale (the published clock caught up with ticks we
+		// never stamped — another block's versions were helped past ours).
+		// Stale ticks are abandoned, not drained: the allocator has moved
+		// past them, so the CAS drain cannot apply and the versions simply
+		// go unused (the version space is 63 bits; sparseness is harmless).
+		tx.claimBlock(c)
+		wv = tx.blockNext
+		tx.blockNext++
+		return wv, false
 	case GV4:
 		old := clock.Load()
 		if clock.CompareAndSwap(old, old+1) {
@@ -189,6 +298,46 @@ func (tx *Tx) advanceClock() (wv uint64, quiescent bool) {
 		tx.stat().clockIncrements.Add(1)
 		return wv, wv == tx.rv+1
 	}
+}
+
+// claimBlock claims a fresh GV7 block of gv7BlockSize ticks for the
+// descriptor. c is the published clock loaded after the commit's locks
+// were acquired; the block base is taken at or above both c and the
+// allocation high-water mark, so every tick in the block is strictly
+// greater than the post-lock clock load and no two blocks overlap.
+func (tx *Tx) claimBlock(c uint64) {
+	k := gv7BlockSize
+	for {
+		hi := clockAlloc.Load()
+		base := hi
+		if c > base {
+			base = c
+		}
+		if clockAlloc.CompareAndSwap(hi, base+k) {
+			tx.blockNext = base + 1
+			tx.blockEnd = base + k
+			tx.stat().clockBlockClaims.Add(1)
+			return
+		}
+	}
+}
+
+// drainBlock returns the descriptor's unused GV7 ticks to the allocator,
+// so a recycled descriptor does not strand up to K-1 versions of clock
+// space. The return only applies when this block is still the top of the
+// allocator (one CAS: blockEnd → blockNext-1); if later blocks have been
+// claimed above it, the ticks are abandoned instead — version-space
+// sparseness is harmless, overlap would not be. Either way the block is
+// emptied. Called when a descriptor leaves the GV7 regime (see release);
+// never on the per-commit path, which would re-serialize on the allocator
+// word and forfeit the batching.
+func (tx *Tx) drainBlock() {
+	// blockEnd == 0 is the no-block state (a claimed block's end is ≥ 1);
+	// the guard also keeps blockNext-1 from underflowing on a fresh Tx.
+	if tx.blockEnd != 0 && tx.blockNext <= tx.blockEnd {
+		clockAlloc.CompareAndSwap(tx.blockEnd, tx.blockNext-1)
+	}
+	tx.blockNext, tx.blockEnd = 1, 0
 }
 
 // helpClock advances the clock to at least ver. Under GV6 a committed

@@ -11,11 +11,12 @@ import (
 // TestVersionHistoriesMonotone races concurrent committers through the
 // clock CAS under each strategy and asserts the property GV4's soundness
 // argument needs: per-Var version words never decrease, even when two
-// commits share a tick (GV4 adoption) or run ahead of the clock (GV6).
+// commits share a tick (GV4 adoption) or run ahead of the clock (GV6,
+// GV7 block ticks).
 // Watcher goroutines poll the raw lock words concurrently with the
 // commits; the final counter values prove no update was lost.
 func TestVersionHistoriesMonotone(t *testing.T) {
-	for _, strat := range []ClockStrategy{GV4, GV6} {
+	for _, strat := range []ClockStrategy{GV4, GV6, GV7} {
 		t.Run(fmt.Sprintf("strategy=%s", strat), func(t *testing.T) {
 			SetClockStrategy(strat)
 			t.Cleanup(func() { SetClockStrategy(GV4) })
@@ -81,10 +82,11 @@ func TestVersionHistoriesMonotone(t *testing.T) {
 				t.Fatalf("lost updates under %s: total=%d, want %d", strat, total, workers*perW)
 			}
 			// Under GV1/GV4 no published version may exceed the clock; GV6
-			// may run ahead transiently, but helpClock must have kept the
-			// final state covered (the last commit's reader-visible version
-			// is readable only once the clock reaches it).
-			if strat != GV6 {
+			// and GV7 may run ahead transiently, but helpClock must have
+			// kept the final state covered (the last commit's
+			// reader-visible version is readable only once the clock
+			// reaches it).
+			if strat != GV6 && strat != GV7 {
 				c := clock.Load()
 				for i, v := range vars {
 					if ver := lockword.Version(v.lw.Load()); ver > c {
@@ -130,6 +132,22 @@ func TestAdvanceClockQuiescence(t *testing.T) {
 			t.Fatal("GV6 reported quiescence; unpublished increments make that proof unavailable")
 		}
 	}
+
+	// GV7 stamps from a local block the clock knows nothing about, so the
+	// quiescence proof is likewise unavailable — and every stamped tick
+	// must still exceed the published clock at stamp time.
+	SetClockStrategy(GV7)
+	for i := 0; i < 32; i++ {
+		tx.rv = clock.Load()
+		wv, q := tx.advanceClock()
+		if q {
+			t.Fatal("GV7 reported quiescence; block ticks make that proof unavailable")
+		}
+		if c := clock.Load(); wv <= tx.rv || wv <= 0 || wv <= c && c == tx.rv {
+			t.Fatalf("GV7 stamped wv=%d not above post-lock clock %d", wv, tx.rv)
+		}
+	}
+	tx.drainBlock()
 }
 
 // TestHelpClock checks the reader-side clock bump used by GV6.

@@ -45,3 +45,50 @@ func VarLocked[T any](v *Var[T]) bool { return lockword.Locked(v.lw.Load()) }
 // BudgetLeft reports the descriptor's remaining work-budget grant, for
 // pinning down exactly where a charge lands.
 func BudgetLeft(tx *Tx) uint64 { return tx.budgetLeft }
+
+// SetGV7BlockSizeForTest overrides the GV7 block size K and returns a
+// restore func. Call only while the engine is quiescent; the block-edge
+// tests use tiny blocks to hit exhaustion and drain without K commits.
+func SetGV7BlockSizeForTest(k uint64) (restore func()) {
+	old := gv7BlockSize
+	gv7BlockSize = k
+	return func() { gv7BlockSize = old }
+}
+
+// GV7BlockForTest exposes the descriptor's cached tick block.
+func GV7BlockForTest(tx *Tx) (next, end uint64) { return tx.blockNext, tx.blockEnd }
+
+// ClockAllocForTest exposes GV7's allocation high-water mark.
+func ClockAllocForTest() uint64 { return clockAlloc.Load() }
+
+// ClockForTest exposes the published global clock.
+func ClockForTest() uint64 { return clock.Load() }
+
+// DrainBlockForTest exercises the descriptor-recycle drain path directly
+// on a descriptor that holds a (possibly partially used) block.
+func DrainBlockForTest(tx *Tx) { tx.drainBlock() }
+
+// ClaimBlockForTest claims a fresh GV7 block for the descriptor as a
+// post-lock clock load of c would.
+func ClaimBlockForTest(tx *Tx, c uint64) { tx.claimBlock(c) }
+
+// AdvanceClockForTest drives the commit-time clock advance directly (the
+// caller owns no locks, so use only on quiescent engines).
+func AdvanceClockForTest(tx *Tx) (wv uint64, quiescent bool) { return tx.advanceClock() }
+
+// NewTxForTest hands out a pooled descriptor (and a release func) so the
+// block-lifecycle tests can drive claim/drain without running commits.
+func NewTxForTest() (*Tx, func()) {
+	tx := txPool.Get().(*Tx)
+	return tx, tx.release
+}
+
+// VarTS exposes a Var's TicToc (wts, rts) pair for the interval tests.
+func VarTS[T any](v *Var[T]) (wts, rts uint64) {
+	pl := lockword.Version(v.lw.Load())
+	return ttWts(pl), ttRts(pl)
+}
+
+// TTInterval exposes the descriptor's running validity-interval
+// intersection under TicToc.
+func TTInterval(tx *Tx) (lo, hi uint64) { return tx.rv, tx.ttHi }

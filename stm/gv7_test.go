@@ -1,0 +1,196 @@
+package stm_test
+
+// GV7 block-clock edge cases: exhaustion mid-commit (a fresh block is
+// claimed under the same locks), descriptor recycle draining a partially
+// used block back to the allocator, and the amortization contract itself
+// (commits per allocator RMW ≈ K). The monotonicity watcher lives with the
+// other strategies in clock_internal_test.go.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+// TestGV7BlockExhaustionMidCommit drives enough sequential update commits
+// through one goroutine that its descriptor's block is exhausted and
+// re-claimed several times, and checks both the amortization (block claims
+// ≪ commits) and that no update or snapshot consistency is lost across the
+// block boundaries.
+func TestGV7BlockExhaustionMidCommit(t *testing.T) {
+	restore := stm.SetGV7BlockSizeForTest(4)
+	defer restore()
+	stm.SetClockStrategy(stm.GV7)
+	t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+
+	const commits = 64
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	before := stm.ReadStats()
+	for i := 0; i < commits; i++ {
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			x.Set(tx, x.Get(tx)+1)
+			y.Set(tx, y.Get(tx)+1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		if x.Get(tx) != y.Get(tx) {
+			t.Errorf("snapshot saw x=%d y=%d across block boundaries", x.Get(tx), y.Get(tx))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Load(); got != commits {
+		t.Fatalf("lost updates under GV7: x=%d, want %d", got, commits)
+	}
+	d := stm.ReadStats().Sub(before)
+	// One goroutine reuses one pooled descriptor, so 64 commits at K=4
+	// need ~16 claims; allow generous slack for pool scheduling but reject
+	// a claim per commit (which would mean the block is not amortizing).
+	if d.ClockBlockClaims == 0 {
+		t.Fatal("GV7 ran without claiming any block")
+	}
+	if d.ClockBlockClaims > commits/2 {
+		t.Errorf("GV7 claimed %d blocks for %d commits; blocks are not amortizing", d.ClockBlockClaims, commits)
+	}
+	if d.ClockIncrements != 0 {
+		t.Errorf("GV7 commits published %d clock increments; the published clock is reader-advanced only", d.ClockIncrements)
+	}
+}
+
+// TestGV7DrainPartialBlock exercises the recycle drain path directly: a
+// descriptor that consumed part of its block returns the unused ticks to
+// the allocator when it is still the top block, and abandons them (block
+// emptied, allocator untouched) when a later block has been claimed above.
+func TestGV7DrainPartialBlock(t *testing.T) {
+	restore := stm.SetGV7BlockSizeForTest(8)
+	defer restore()
+	stm.SetClockStrategy(stm.GV7)
+	t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+
+	tx, release := stm.NewTxForTest()
+	defer release()
+
+	// Claim and consume 3 of 8 ticks.
+	wv1, _ := stm.AdvanceClockForTest(tx) // claims
+	stm.AdvanceClockForTest(tx)
+	wv3, _ := stm.AdvanceClockForTest(tx)
+	if wv3 != wv1+2 {
+		t.Fatalf("block ticks not dense: first=%d third=%d", wv1, wv3)
+	}
+	next, end := stm.GV7BlockForTest(tx)
+	if end-next+1 != 5 {
+		t.Fatalf("expected 5 unused ticks, have next=%d end=%d", next, end)
+	}
+	if stm.ClockAllocForTest() != end {
+		t.Fatalf("allocator %d is not at this block's end %d; test cannot drive the top-block case", stm.ClockAllocForTest(), end)
+	}
+	stm.DrainBlockForTest(tx)
+	if got := stm.ClockAllocForTest(); got != wv3 {
+		t.Errorf("drain did not return unused ticks: allocator=%d, want last-stamped=%d", got, wv3)
+	}
+	if n, e := stm.GV7BlockForTest(tx); e != 0 && n <= e {
+		t.Errorf("drain left a non-empty block next=%d end=%d", n, e)
+	}
+
+	// Re-claim, then let a second descriptor claim above: the first
+	// block's drain must fail the CAS and abandon, never corrupt.
+	stm.AdvanceClockForTest(tx)
+	tx2, release2 := stm.NewTxForTest()
+	defer release2()
+	stm.AdvanceClockForTest(tx2)
+	hi := stm.ClockAllocForTest()
+	stm.DrainBlockForTest(tx) // not the top block: abandons
+	if got := stm.ClockAllocForTest(); got != hi {
+		t.Errorf("drain of a non-top block moved the allocator %d → %d", hi, got)
+	}
+	stm.DrainBlockForTest(tx2)
+}
+
+// TestGV7DescriptorRecycleDrains checks the release-path drain: when the
+// engine leaves GV7 while a pooled descriptor still caches a block, the
+// next release returns the ticks (or abandons them) and empties the block,
+// so no descriptor re-enters a later GV7 run with a stale block.
+func TestGV7DescriptorRecycleDrains(t *testing.T) {
+	restore := stm.SetGV7BlockSizeForTest(8)
+	defer restore()
+	stm.SetClockStrategy(stm.GV7)
+	t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+
+	tx, release := stm.NewTxForTest()
+	stm.AdvanceClockForTest(tx) // descriptor now caches a part-used block
+
+	// Leaving GV7 publishes the allocation high-water mark, so every
+	// cached tick is ≤ clock and therefore unusable (stale) afterwards.
+	stm.SetClockStrategy(stm.GV4)
+	if c, a := stm.ClockForTest(), stm.ClockAllocForTest(); c < a {
+		t.Fatalf("leaving GV7 left clock %d below allocator %d; stale blocks would stay live", c, a)
+	}
+	release() // drain happens here (strategy is no longer GV7)
+	tx2, release2 := stm.NewTxForTest()
+	defer release2()
+	if n, e := stm.GV7BlockForTest(tx2); tx2 == tx && e != 0 && n <= e {
+		t.Errorf("recycled descriptor still holds block next=%d end=%d", n, e)
+	}
+}
+
+// TestGV7ConcurrentMixedConsistency races GV7 update commits against full
+// and RO readers and checks every snapshot: the rv lag a reader absorbs is
+// bounded by outstanding blocks, and extension must hide all of it.
+func TestGV7ConcurrentMixedConsistency(t *testing.T) {
+	restore := stm.SetGV7BlockSizeForTest(4)
+	defer restore()
+	stm.SetClockStrategy(stm.GV7)
+	t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					x.Set(tx, x.Get(tx)+1)
+					y.Set(tx, y.Get(tx)+1)
+					return nil
+				})
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					if a, b := x.Get(tx), y.Get(tx); a != b {
+						t.Errorf("reader saw x=%d y=%d", a, b)
+					}
+					return nil
+				})
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+					if a, b := x.Get(tx), y.Get(tx); a != b {
+						t.Errorf("RO reader saw x=%d y=%d", a, b)
+					}
+					return nil
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := x.Load(); got != 800 {
+		t.Fatalf("lost updates: x=%d, want 800", got)
+	}
+}

@@ -1,0 +1,166 @@
+package mvstm
+
+// Commit-time clock strategies, mirroring the stm engine's GV4/GV7 axis
+// (see stm/clock.go). The multi-version engine supports only the two:
+//
+//   - GV4 (default): pass-on-failure CAS — one shared-word RMW attempt
+//     per update commit, the PR 5 pipeline.
+//   - GV7: block allocation — a separate allocator word hands each
+//     descriptor a block of K ticks in one CAS, and commits stamp write
+//     versions from the cached block, so the *allocator* is touched once
+//     per K commits. Unlike the stm engine, mvstm cannot leave the
+//     published clock behind by a whole block: snapshot transactions pin
+//     rv from the published clock and have no timestamp-extension
+//     machinery (the snapshot path never revalidates — that is its whole
+//     contract), and strict serializability requires a commit that has
+//     returned to be visible to every later pin. Each commit therefore
+//     publishes its own write version with helpClock after releasing its
+//     locks — a pure load when a concurrent committer's later tick
+//     already covers it, a CAS otherwise. GV7 here amortizes the
+//     *allocation* RMW and converts the publication RMW into a load
+//     under concurrent commit traffic; the lower-bound tie-in (why the
+//     publication cannot be batched away like stm's) is DESIGN.md's
+//     "Commit pipeline v3" section.
+//
+// GV1/GV6/TicToc do not transfer: GV1 is strictly worse than GV4 here,
+// GV6's unpublished increments are exactly what pinned snapshots cannot
+// absorb without extension, and TicToc has no total commit order to pin
+// snapshots against (its serialization points are per-transaction
+// interval intersections, not a shared counter).
+
+import "sync/atomic"
+
+// ClockStrategy selects how update commits draw write versions; see the
+// package comment above and stm.ClockStrategy.
+type ClockStrategy int
+
+const (
+	// GV4 is pass-on-failure: a losing increment CAS adopts the winner's
+	// clock value.
+	GV4 ClockStrategy = iota
+	// GV7 is block allocation with per-commit publication.
+	GV7
+)
+
+func (s ClockStrategy) String() string {
+	switch s {
+	case GV4:
+		return "gv4"
+	case GV7:
+		return "gv7"
+	}
+	return "unknown"
+}
+
+// clockStrategy holds the engine-wide strategy (a ClockStrategy).
+var clockStrategy atomic.Int32
+
+// clockAlloc is GV7's allocation high-water mark: every tick ≤ it is
+// claimed by some descriptor's block (or was drained back). Kept
+// separate from the published clock so block claims do not move what
+// snapshot pins read.
+var clockAlloc atomic.Uint64
+
+// gv7BlockSize is K, the ticks claimed per allocator CAS. Overridable in
+// tests via SetGV7BlockSizeForTest.
+var gv7BlockSize uint64 = 64
+
+// SetClockStrategy selects the commit-time clock strategy (default GV4).
+// Engine-wide and meant to be set while quiescent, like SetRetention.
+// Leaving GV7 publishes the allocation high-water mark so every tick
+// cached in a pooled descriptor's block becomes stale (≤ clock) and the
+// next commit through that descriptor claims or increments freshly —
+// no stale block can stamp a version the published clock has already
+// passed out of order.
+func SetClockStrategy(s ClockStrategy) {
+	switch s {
+	case GV4, GV7:
+	default:
+		panic("mvstm: unknown clock strategy (want GV4 or GV7)")
+	}
+	if ClockStrategy(clockStrategy.Load()) == GV7 && s != GV7 {
+		helpClock(clockAlloc.Load())
+	}
+	clockStrategy.Store(int32(s))
+}
+
+// ClockStrategyInEffect reports the strategy in effect.
+func ClockStrategyInEffect() ClockStrategy { return ClockStrategy(clockStrategy.Load()) }
+
+// advanceClock produces the commit's write version. Must be called with
+// every write lock held: both strategies guarantee the returned version
+// exceeds a clock value loaded after the locks were acquired, so the
+// published clock first reaches it while the locks are held — the
+// invariant pinned snapshot reads rely on (see the package comment in
+// mvstm.go).
+//
+// Under GV7 a cached tick is used only if it still exceeds the
+// post-lock clock load; a block the published clock has caught up with
+// (another committer helped the clock past it) is discarded and a fresh
+// one claimed above both the allocator and the current clock.
+func (tx *Tx) advanceClock() uint64 {
+	if ClockStrategy(clockStrategy.Load()) == GV7 {
+		c := clock.Load()
+		if tx.blockNext <= tx.blockEnd && tx.blockNext > c {
+			wv := tx.blockNext
+			tx.blockNext++
+			return wv
+		}
+		tx.claimBlock(c)
+		wv := tx.blockNext
+		tx.blockNext++
+		return wv
+	}
+	old := clock.Load()
+	if clock.CompareAndSwap(old, old+1) {
+		return old + 1
+	}
+	return clock.Load()
+}
+
+// claimBlock claims a fresh block of gv7BlockSize ticks strictly above
+// both the allocator high-water mark and c (a clock value the caller
+// loaded while holding its write locks).
+func (tx *Tx) claimBlock(c uint64) {
+	k := gv7BlockSize
+	for {
+		hi := clockAlloc.Load()
+		base := max(hi, c)
+		if clockAlloc.CompareAndSwap(hi, base+k) {
+			tx.blockNext, tx.blockEnd = base+1, base+k
+			tx.stat().clockBlockClaims.Add(1)
+			return
+		}
+	}
+}
+
+// drainBlock returns the descriptor's unused ticks to the allocator when
+// its block is still the top one (a CAS from blockEnd down to the last
+// stamped tick), abandoning them otherwise, and empties the block. Runs
+// on descriptor recycle only when the engine has left GV7 — while GV7 is
+// active, blocks deliberately persist across pool cycles; draining every
+// release would cost the RMW back and undo the amortization.
+func (tx *Tx) drainBlock() {
+	if tx.blockEnd != 0 && tx.blockNext <= tx.blockEnd {
+		clockAlloc.CompareAndSwap(tx.blockEnd, tx.blockNext-1)
+	}
+	tx.blockNext, tx.blockEnd = 1, 0
+}
+
+// helpClock advances the published clock to at least target. Under GV7
+// every committer calls it with its write version after releasing its
+// locks: a transaction that begins after the commit returned pins
+// rv ≥ target and sees the new versions — strict serializability — and
+// when a concurrent committer already published a later tick this is a
+// single shared-mode load.
+func helpClock(target uint64) {
+	for {
+		c := clock.Load()
+		if c >= target {
+			return
+		}
+		if clock.CompareAndSwap(c, target) {
+			return
+		}
+	}
+}

@@ -18,11 +18,17 @@ func StopTrace() *tm.History { return stopTrace() }
 
 // ChainLen reports the number of versions currently published on v's
 // chain.
-func ChainLen[T any](v *Var[T]) int { return v.loadChain().len() }
+func ChainLen[T any](v *Var[T]) int {
+	b := pinPeek()
+	defer unpinPeek(b)
+	return v.loadChain().len()
+}
 
 // ChainVersions reports the version timestamps on v's chain,
 // newest-first (for asserting truncation boundaries).
 func ChainVersions[T any](v *Var[T]) []uint64 {
+	b := pinPeek()
+	defer unpinPeek(b)
 	c := v.loadChain()
 	out := make([]uint64, c.len())
 	for i := range out {
@@ -30,6 +36,23 @@ func ChainVersions[T any](v *Var[T]) []uint64 {
 	}
 	return out
 }
+
+// ClockForTest reports the published clock; ClockAllocForTest the GV7
+// allocation high-water mark.
+func ClockForTest() uint64      { return clock.Load() }
+func ClockAllocForTest() uint64 { return clockAlloc.Load() }
+
+// SetGV7BlockSizeForTest overrides the GV7 block size, returning a
+// restore func. Call while quiescent.
+func SetGV7BlockSizeForTest(k uint64) func() {
+	old := gv7BlockSize
+	gv7BlockSize = k
+	return func() { gv7BlockSize = old }
+}
+
+// RetiredLenForTest drives one transaction and reports the descriptor's
+// retired-list length as observed inside it.
+func RetiredLenForTest(tx *Tx) int { return len(tx.retired) }
 
 // ReadSetLen reports how many read-set entries the descriptor has logged;
 // the snapshot path must keep it at zero.

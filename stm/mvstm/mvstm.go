@@ -82,12 +82,13 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/mempool"
 	"repro/internal/tm/lockword"
 	"repro/stm/budget"
 )
 
-// clock is the global version clock shared by all Vars (advanced with the
-// GV4 pass-on-failure rule; see advanceClock).
+// clock is the global version clock shared by all Vars (advanced by the
+// strategy configured with SetClockStrategy; see clock.go).
 var clock atomic.Uint64
 
 // varIDs allocates the total order used to acquire commit locks
@@ -107,15 +108,37 @@ type version struct {
 
 // chain is an immutable snapshot of a Var's version history: head holds
 // the newest n versions (newest-first), tail the older ones oldest-first.
-// Every array is written only at construction — pushes below a full head
-// share the tail slice read-only, and a full head spills into a freshly
-// allocated tail — so chains may be built optimistically outside the Var
-// lock and walked by readers without any synchronization.
+// Every array is written only at construction, and a chain owns its tail
+// exclusively (pushes copy survivors instead of sharing the base's tail
+// slice), so chains may be built optimistically outside the Var lock,
+// walked by readers without any synchronization — and, once replaced and
+// proven quiescent, recycled through chainPool without any other live
+// chain referencing their storage.
 type chain struct {
 	head [chainInline]version
 	n    int
 	tail []version
 }
+
+// chainPool recycles chain nodes and their overflow slices through
+// size-classed free lists, keyed by tail capacity — the allocation-free
+// half of the E11 steady state. A chain may be Put only when provably
+// unreachable: immediately for a never-published build, and after the
+// epoch quiescence check in drainRetired for a published one. The reset
+// hook empties the chain (versions zeroed, tail length 0), which both
+// drops the user values pooled memory would otherwise pin and makes a
+// use-after-Put read fail loudly — at() on an emptied chain finds no
+// version and panics — instead of returning stale data.
+var chainPool = mempool.NewClassPool(
+	func(capacity int) *chain { return &chain{tail: make([]version, 0, capacity)} },
+	func(c *chain) int { return cap(c.tail) },
+	func(c *chain) {
+		c.head = [chainInline]version{}
+		c.n = 0
+		clear(c.tail[:cap(c.tail)])
+		c.tail = c.tail[:0]
+	},
+)
 
 // len returns the number of versions in the chain.
 func (c *chain) len() int { return c.n + len(c.tail) }
@@ -147,37 +170,44 @@ func (c *chain) index(i int) version {
 	return c.tail[len(c.tail)-1-(i-c.n)]
 }
 
-// push returns a new chain with (val, ver) prepended. While the inline
-// head has room, the tail slice is shared read-only with the base chain;
-// a full head spills every inline version into a freshly allocated tail
-// (one copy amortized over chainInline pushes), so no array reachable
-// from a published chain is ever written — push is safe to run
-// concurrently with other optimistic builders from the same base.
-func (c *chain) push(val any, ver uint64) *chain {
-	nc := &chain{}
+// newChainFrom builds a pooled chain holding (val, ver) on top of the
+// newest keep survivors of c, every survivor copied into storage the new
+// chain owns exclusively. The copy is O(keep), but keep is capped by the
+// GC sweep at gcSlackFactor×retention (plus whatever a pinned old reader
+// holds, which grows the chain anyway), so it is a bounded cost that
+// buys recyclability — the chain being replaced can be pooled without
+// any live chain sharing its arrays.
+func newChainFrom(c *chain, val any, ver uint64, keep int) *chain {
+	total := keep + 1
+	n := min(total, chainInline)
+	nc := chainPool.Get(total - n)
+	nc.n = n
 	nc.head[0] = version{val: val, ver: ver}
-	if c.n < chainInline {
-		copy(nc.head[1:], c.head[:c.n])
-		nc.n = c.n + 1
-		nc.tail = c.tail
-		return nc
+	for i := 1; i < n; i++ {
+		nc.head[i] = c.index(i - 1)
 	}
-	nc.n = 1
-	nc.tail = make([]version, len(c.tail)+chainInline)
-	copy(nc.tail, c.tail)
-	for i := 0; i < chainInline; i++ {
-		// The tail is oldest-first: the head spills in reverse order.
-		nc.tail[len(c.tail)+i] = c.head[chainInline-1-i]
+	if tl := total - n; tl > 0 {
+		nc.tail = nc.tail[:tl]
+		for i := range nc.tail {
+			// The tail is oldest-first: tail position i is logical index
+			// total-1-i of the new chain, i.e. survivor total-2-i of c.
+			nc.tail[i] = c.index(total - 2 - i)
+		}
 	}
 	return nc
 }
 
+// push returns a new chain with (val, ver) prepended and every existing
+// version carried over.
+func (c *chain) push(val any, ver uint64) *chain {
+	return newChainFrom(c, val, ver, c.len())
+}
+
 // pushTruncate builds the pushed chain with truncation applied in the
-// same allocation: the new version plus the newest survivors of c, where
-// the kept prefix preserves both the minRV floor (the newest version
+// same build: the new version plus the newest survivors of c, where the
+// kept prefix preserves both the minRV floor (the newest version
 // ≤ minRV — some registered reader's snapshot may need it) and at least
-// retain recent versions. The survivors are copied into fresh storage so
-// the dropped versions' memory is actually reclaimable.
+// retain recent versions.
 func (c *chain) pushTruncate(val any, ver uint64, minRV uint64, retain int) (*chain, int) {
 	l := c.len()
 	floor := -1
@@ -198,18 +228,7 @@ func (c *chain) pushTruncate(val any, ver uint64, minRV uint64, retain int) (*ch
 	if keep >= l {
 		return c.push(val, ver), 0
 	}
-	nc := &chain{n: min(keep+1, chainInline)}
-	nc.head[0] = version{val: val, ver: ver}
-	for i := 1; i < nc.n; i++ {
-		nc.head[i] = c.index(i - 1)
-	}
-	if keep+1 > chainInline {
-		nc.tail = make([]version, keep+1-chainInline)
-		for i := chainInline; i < keep+1; i++ {
-			nc.tail[keep-i] = c.index(i - 1)
-		}
-	}
-	return nc, l - keep
+	return newChainFrom(c, val, ver, keep), l - keep
 }
 
 // varBase is the type-erased interface Tx uses to manage heterogeneous
@@ -238,7 +257,8 @@ type Var[T any] struct {
 // before the Var existed reads the initial value).
 func NewVar[T any](initial T) *Var[T] {
 	v := &Var[T]{vid: varIDs.Add(1)}
-	c := &chain{n: 1}
+	c := chainPool.Get(0)
+	c.n = 1
 	c.head[0] = version{val: initial, ver: 0}
 	v.ch.Store(c)
 	return v
@@ -296,9 +316,48 @@ func (v *Var[T]) Set(tx *Tx, val T) {
 	tx.write(v, val)
 }
 
+// loadSlotBox wraps an epoch slot handed to non-transactional readers
+// (Load, String). Those readers have no descriptor, but they still
+// dereference a chain, so they must be visible to drainRetired — an
+// unregistered dereference could race a recycler rewriting the chain's
+// fields. The box exists to carry the AddCleanup that returns the slot
+// when the pool drops the box.
+type loadSlotBox struct{ s *epochSlot }
+
+var loadSlotPool = sync.Pool{New: func() any {
+	b := &loadSlotBox{s: newEpochSlot()}
+	runtime.AddCleanup(b, freeEpochSlot, b.s)
+	return b
+}}
+
+// pinPeek registers a momentary snapshot at the current clock so chains
+// loaded until unpinPeek cannot be recycled mid-read. Same protocol as
+// Tx.pin: the joining sentinel is published before the clock sample so a
+// concurrent drain either skips (saw the sentinel) or sampled its floor
+// before this reader's rv existed — in which case rv ≥ that floor's
+// clock and the retire-time argument above applies.
+func pinPeek() *loadSlotBox {
+	b := loadSlotPool.Get().(*loadSlotBox)
+	b.s.ts.Store(slotJoining)
+	rv := clock.Load()
+	b.s.ts.Store(rv + slotBias)
+	return b
+}
+
+func unpinPeek(b *loadSlotBox) {
+	b.s.ts.Store(slotInactive)
+	loadSlotPool.Put(b)
+}
+
 // Load reads the variable outside any transaction: the newest published
-// version, wait-free (one atomic load of the chain pointer).
+// version. The momentary epoch registration keeps the chain out of the
+// recycler while its newest version is read; no lock is taken and the
+// read never waits.
 func (v *Var[T]) Load() T {
+	b := pinPeek()
+	// Deferred so a panic (e.g. Load on a zero Var) cannot leak the
+	// registration and pin the GC floor forever.
+	defer unpinPeek(b)
 	return v.loadChain().head[0].val.(T)
 }
 
@@ -355,10 +414,42 @@ type Tx struct {
 	budgetExceeded bool
 	budgetLeft     uint64
 	costs          budget.Costs
+	// blockNext/blockEnd are the descriptor's GV7 tick block (see
+	// clock.go): ticks blockNext..blockEnd are claimed but unstamped.
+	// Blocks persist across pool cycles while GV7 is active.
+	blockNext uint64
+	blockEnd  uint64
+	// retired holds chains this descriptor unlinked from their Vars,
+	// awaiting epoch quiescence before recycling (see drainRetired).
+	// Timestamps are non-decreasing: appended in commit order under a
+	// monotone clock.
+	retired []retiredChain
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
 }
+
+// retiredChain is a chain unlinked from its Var, awaiting quiescence
+// before recycling. ts is a published-clock sample taken after the
+// unlinking store: any reader that could still hold the old chain
+// pinned before the swap, and a pin's rv is the clock at pin time
+// ≤ the clock after the swap = ts. Once every active registration
+// exceeds ts, no reader can reach the chain and it may be pooled.
+type retiredChain struct {
+	c  *chain
+	ts uint64
+}
+
+// retireDrainMin is the retired-list length below which finish does not
+// bother scanning the epoch table (the scan amortizes over ≥ this many
+// recycles). retireKeepMax caps the list: a reader pinned for a very
+// long time blocks quiescence, and past the cap the oldest entries are
+// dropped to the garbage collector instead — always safe, since the GC
+// itself waits for the last reference.
+const (
+	retireDrainMin = 16
+	retireKeepMax  = 1024
+)
 
 type readEntry struct {
 	v   varBase
@@ -416,7 +507,11 @@ func (tx *Tx) unpin() { tx.slot.ts.Store(slotInactive) }
 
 // finish flushes the locally accumulated stats, deregisters the snapshot
 // and returns the descriptor to the pool. Oversized backing arrays are
-// dropped so one large transaction does not pin memory forever.
+// dropped so one large transaction does not pin memory forever. The
+// retired-chain drain runs here, strictly after unpin: during commit the
+// descriptor's own registration (rv ≤ every retire timestamp it just
+// recorded) would hold the quiescence floor down and the drain could
+// never free anything.
 func (tx *Tx) finish() {
 	if tx.pendingReads != 0 {
 		st := tx.stat()
@@ -425,6 +520,10 @@ func (tx *Tx) finish() {
 		tx.pendingReads, tx.pendingWalk = 0, 0
 	}
 	tx.unpin()
+	tx.drainRetired()
+	if tx.blockEnd != 0 && ClockStrategyInEffect() != GV7 {
+		tx.drainBlock()
+	}
 	tx.reset()
 	if cap(tx.reads) > 4096 {
 		tx.reads = nil
@@ -433,6 +532,43 @@ func (tx *Tx) finish() {
 		tx.writes = nil
 	}
 	txPool.Put(tx)
+}
+
+// drainRetired recycles the prefix of the retired list proven
+// unreachable: entries whose timestamp is strictly below every active
+// registration (ts < m means every pre-swap holder, rv ≤ ts, is gone;
+// a reader pinned at rv > ts observed the clock after the retire sample
+// and therefore loads the replacement chain). The list is time-ordered,
+// so the scan stops at the first survivor. If a joiner makes the floor
+// unknown, or a long-pinned reader keeps the list growing past
+// retireKeepMax, the overflow is dropped to the garbage collector —
+// correctness never depends on pooling.
+func (tx *Tx) drainRetired() {
+	if len(tx.retired) < retireDrainMin {
+		return
+	}
+	if m, ok := minActiveRV(clock.Load()); ok {
+		i := 0
+		for i < len(tx.retired) && tx.retired[i].ts < m {
+			i++
+		}
+		if i > 0 {
+			st := tx.stat()
+			for j := 0; j < i; j++ {
+				st.pooled.Add(uint64(tx.retired[j].c.len()))
+				chainPool.Put(tx.retired[j].c)
+			}
+			n := copy(tx.retired, tx.retired[i:])
+			clear(tx.retired[n:])
+			tx.retired = tx.retired[:n]
+		}
+	}
+	if len(tx.retired) > retireKeepMax {
+		drop := len(tx.retired) - retireKeepMax/2
+		n := copy(tx.retired, tx.retired[drop:])
+		clear(tx.retired[n:])
+		tx.retired = tx.retired[:n]
+	}
 }
 
 // searchWrite binary-searches the sorted write set for v, returning the
@@ -649,18 +785,18 @@ func (tx *Tx) validateCommit() bool {
 	return true
 }
 
-// advanceClock produces the commit's write version with the GV4
-// pass-on-failure rule: CAS clock → clock+1, and on failure adopt the
-// winner's (re-loaded) value. Either way the write version exceeds a
-// clock value loaded after the commit acquired its locks, so the clock
-// first reaches it while the locks are held — the invariant snapshot
-// reads rely on (see the package comment).
-func advanceClock() uint64 {
-	old := clock.Load()
-	if clock.CompareAndSwap(old, old+1) {
-		return old + 1
+// recycleBuilds returns the attempt's never-published chain builds to
+// the pool. Safe immediately — the chains were private to this
+// descriptor (commit failed before, or instead of, publishing them).
+// nc pointers are nilled so a later attempt's buildChains starts clean
+// and no entry can be recycled twice.
+func (tx *Tx) recycleBuilds() {
+	for i := range tx.writes {
+		if nc := tx.writes[i].nc; nc != nil {
+			chainPool.Put(nc)
+			tx.writes[i].nc = nil
+		}
 	}
-	return clock.Load()
 }
 
 // commit attempts to append the transaction's writes as new versions
@@ -710,6 +846,7 @@ func (tx *Tx) commit() bool {
 			retained += uint64(tx.writes[i].nc.len())
 		}
 		if !tx.chargeSoft(tx.costs.Version*retained + tx.costs.Step*uint64(len(tx.reads))) {
+			tx.recycleBuilds()
 			return false
 		}
 	}
@@ -729,14 +866,17 @@ func (tx *Tx) commit() bool {
 	}
 	if locked != len(tx.writes) {
 		releaseLocked(locked)
+		tx.recycleBuilds()
 		return false
 	}
 	// The write version is fetched before validating (as in TL2 and the
 	// simulated mvtm): any writer serialized after this point either fails
-	// the ≤ rv check or is caught holding a lock.
-	wv := advanceClock()
+	// the ≤ rv check or is caught holding a lock. Both strategies draw a
+	// version above a post-lock clock load (see clock.go).
+	wv := tx.advanceClock()
 	if !tx.validateCommit() {
 		releaseLocked(locked)
+		tx.recycleBuilds()
 		return false
 	}
 	hwm := 0
@@ -744,8 +884,11 @@ func (tx *Tx) commit() bool {
 		e := &tx.writes[i]
 		if e.v.loadChain() != e.base {
 			// A foreign commit landed between the optimistic build and our
-			// lock; rebuild from the current chain (rare).
+			// lock; rebuild from the current chain (rare), recycling the
+			// never-published first build.
+			old := e.nc
 			tx.buildChain(e, st)
+			chainPool.Put(old)
 		}
 		e.nc.head[0].ver = wv // stamp before the publishing store below
 		if e.reclaimed > 0 {
@@ -757,6 +900,24 @@ func (tx *Tx) commit() bool {
 		}
 		e.v.storeChain(e.nc) // publish before the unlock's release store
 		e.v.unlock(wv)
+	}
+	// Retire the replaced chains: the timestamp is a clock sample taken
+	// after every unlinking store above, so any reader still holding one
+	// pinned before its swap and carries rv ≤ this value (see
+	// retiredChain). drainRetired recycles them once every active
+	// registration has moved strictly past it.
+	rt := clock.Load()
+	for i := range tx.writes {
+		tx.retired = append(tx.retired, retiredChain{c: tx.writes[i].base, ts: rt})
+	}
+	if ClockStrategyInEffect() == GV7 {
+		// Publish the write version now that the locks are released:
+		// strict serializability demands that a transaction pinning after
+		// this commit returns reads the new versions, and pinned snapshots
+		// have no extension path to recover from an unpublished commit.
+		// Under concurrent commit traffic a later tick is usually already
+		// published and this is a single shared load.
+		helpClock(wv)
 	}
 	st.appended.Add(uint64(len(tx.writes)))
 	st.maxChain(uint64(hwm))
@@ -1025,8 +1186,11 @@ func waitForChange(tx *Tx, ctx context.Context) {
 var _ varBase = (*Var[int])(nil)
 
 // String implements fmt.Stringer for diagnostics: the newest published
-// version and the chain length.
+// version and the chain length. Registered like Load — the chain must
+// not be recycled while it is being formatted.
 func (v *Var[T]) String() string {
+	b := pinPeek()
+	defer unpinPeek(b)
 	c := v.loadChain()
 	return fmt.Sprintf("Var(%v@v%d,chain=%d)", c.head[0].val, c.head[0].ver, c.len())
 }

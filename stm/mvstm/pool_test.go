@@ -1,0 +1,167 @@
+package mvstm_test
+
+// Version-chain recycling coverage: replaced chains must flow through
+// the size-classed free lists once the epoch floor passes them
+// (VersionsPooled grows), correctness must survive pooled storage being
+// rewritten (snapshot and non-transactional reads race the recycler),
+// and abort paths must recycle their never-published builds without
+// double-Put (the -tags mempoolcheck CI lane arms that check).
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/stm/mvstm"
+)
+
+// TestVersionsPooledGrows drives enough single-writer churn that retire
+// lists fill past the drain threshold and quiesce: recycling must
+// actually happen, and with no reader pinned nothing blocks it
+// indefinitely.
+func TestVersionsPooledGrows(t *testing.T) {
+	before := mvstm.ReadStats()
+	v := mvstm.NewVar(0)
+	// Each commit retires the replaced chain; the per-descriptor drain
+	// runs once ≥16 entries accumulate. Under -race, sync.Pool drops ~1/4
+	// of descriptor Puts, and a dropped descriptor loses its accumulated
+	// retired list (to the GC — safe, but unpooled), so reaching the
+	// drain threshold needs ~15 consecutive survivals (~1.3% per streak).
+	// 6000 commits make ~20 expected drains; 400 made ~1, a coin flip.
+	const commits = 6000
+	for i := 0; i < commits; i++ {
+		if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			v.Set(tx, i)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := mvstm.ReadStats().Sub(before)
+	if d.VersionsPooled == 0 {
+		t.Fatalf("VersionsPooled = 0 after %d commits (chains never recycled): %+v",
+			commits, d)
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d after quiescence, want 0", n)
+	}
+}
+
+// TestPinnedReaderBlocksRecycling: a chain retired while an old snapshot
+// is still registered must not be recycled until that snapshot finishes
+// — the reader's values must stay intact however much churn follows.
+func TestPinnedReaderBlocksRecycling(t *testing.T) {
+	v := mvstm.NewVar(100)
+	others := make([]*mvstm.Var[int], 8)
+	for i := range others {
+		others[i] = mvstm.NewVar(i)
+	}
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		got := v.Get(tx)
+		// Churn hard while pinned: every replaced chain's retire
+		// timestamp exceeds this snapshot's rv, so none may be recycled
+		// yet and the pinned floor version must survive.
+		for i := 0; i < 200; i++ {
+			if err := mvstm.Atomically(func(in *mvstm.Tx) error {
+				v.Set(in, 1000+i)
+				others[i%len(others)].Set(in, i)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if again := v.Get(tx); again != got {
+			t.Fatalf("pinned snapshot re-read %d, first read %d", again, got)
+		}
+		if got != 100 {
+			t.Fatalf("pinned snapshot read %d, want 100", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadRacesRecycler: non-transactional Load registers a momentary
+// epoch pin, so the chain it dereferences cannot be rewritten by the
+// recycler mid-read. Run under -race this is the regression test for
+// the torn-interface-read hazard of unregistered peeks.
+func TestLoadRacesRecycler(t *testing.T) {
+	v := mvstm.NewVar(0)
+	var stop atomic.Bool
+	var writer, wg sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		for i := 1; !stop.Load(); i++ {
+			_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+				v.Set(tx, i)
+				return nil
+			})
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := 0
+			for i := 0; i < 20000; i++ {
+				got := v.Load()
+				if got < last {
+					t.Errorf("Load went backwards: %d after %d", got, last)
+					return
+				}
+				last = got
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				_ = v.String()
+			}
+		}()
+	}
+	wg.Wait()
+	stop.Store(true)
+	writer.Wait()
+}
+
+// TestAbortedCommitRecyclesBuilds: every failed-commit path must return
+// its never-published chain builds to the pool exactly once. Driven by
+// forced validation failures; the mempoolcheck lane turns any double
+// recycle into a panic here.
+func TestAbortedCommitRecyclesBuilds(t *testing.T) {
+	v := mvstm.NewVar(0)
+	w := mvstm.NewVar(0)
+	var entered sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		first := true
+		err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+			got := v.Get(tx)
+			if first {
+				first = false
+				// Invalidate the read before this attempt commits: its
+				// build must be recycled and the retry must succeed.
+				entered.Add(1)
+				go func() {
+					defer entered.Done()
+					_ = mvstm.Atomically(func(in *mvstm.Tx) error {
+						v.Set(in, v.Get(in)+1)
+						return nil
+					})
+				}()
+				entered.Wait()
+			}
+			w.Set(tx, got+1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := mvstm.ActivePins(); n != 0 {
+		t.Fatalf("ActivePins = %d, want 0", n)
+	}
+}

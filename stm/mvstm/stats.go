@@ -33,6 +33,18 @@ type Stats struct {
 	// version count (up to the initial versions).
 	VersionsAppended  uint64
 	VersionsReclaimed uint64
+	// VersionsPooled counts versions whose chain storage was recycled
+	// through the size-classed free lists after epoch quiescence (see
+	// drainRetired) — the steady-state allocation-free signal. It lags
+	// VersionsReclaimed: reclaimed versions sit on retire lists until the
+	// epoch floor passes them, and overflow past the retire cap is dropped
+	// to the runtime GC instead of pooled.
+	VersionsPooled uint64
+	// ClockBlockClaims counts GV7 allocator claims — one fetch of
+	// gv7BlockSize ticks each. Under GV4 it stays 0; under GV7,
+	// Commits/ClockBlockClaims approaches the block size when the
+	// descriptor pool is stable (the amortization working).
+	ClockBlockClaims uint64
 	// GCSweeps counts chain truncations — one per chain swept, so a
 	// commit whose write set truncates k chains adds k (compare against
 	// VersionsReclaimed, not Commits). GCSkips counts commits whose sweep
@@ -78,6 +90,8 @@ func (s Stats) Sub(t Stats) Stats {
 		WalkSteps:         s.WalkSteps - t.WalkSteps,
 		VersionsAppended:  s.VersionsAppended - t.VersionsAppended,
 		VersionsReclaimed: s.VersionsReclaimed - t.VersionsReclaimed,
+		VersionsPooled:    s.VersionsPooled - t.VersionsPooled,
+		ClockBlockClaims:  s.ClockBlockClaims - t.ClockBlockClaims,
 		GCSweeps:          s.GCSweeps - t.GCSweeps,
 		GCSkips:           s.GCSkips - t.GCSkips,
 		ChainHWM:          s.ChainHWM,
@@ -91,18 +105,20 @@ const statStripes = 16
 // statShard is one stripe of counters, padded out to its own cache lines
 // so stripes do not false-share.
 type statShard struct {
-	commits       atomic.Uint64
-	roCommits     atomic.Uint64
-	aborts        atomic.Uint64
-	budgetAborts  atomic.Uint64
-	snapshotReads atomic.Uint64
-	walkSteps     atomic.Uint64
-	appended      atomic.Uint64
-	reclaimed     atomic.Uint64
-	gcSweeps      atomic.Uint64
-	gcSkips       atomic.Uint64
-	chainHWM      atomic.Uint64
-	_             [128 - 11*8]byte
+	commits          atomic.Uint64
+	roCommits        atomic.Uint64
+	aborts           atomic.Uint64
+	budgetAborts     atomic.Uint64
+	snapshotReads    atomic.Uint64
+	walkSteps        atomic.Uint64
+	appended         atomic.Uint64
+	reclaimed        atomic.Uint64
+	pooled           atomic.Uint64
+	clockBlockClaims atomic.Uint64
+	gcSweeps         atomic.Uint64
+	gcSkips          atomic.Uint64
+	chainHWM         atomic.Uint64
+	_                [128 - 13*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -138,6 +154,8 @@ func ReadStats() Stats {
 		s.WalkSteps += sh.walkSteps.Load()
 		s.VersionsAppended += sh.appended.Load()
 		s.VersionsReclaimed += sh.reclaimed.Load()
+		s.VersionsPooled += sh.pooled.Load()
+		s.ClockBlockClaims += sh.clockBlockClaims.Load()
 		s.GCSweeps += sh.gcSweeps.Load()
 		s.GCSkips += sh.gcSkips.Load()
 		if h := sh.chainHWM.Load(); h > s.ChainHWM {

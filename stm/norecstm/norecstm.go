@@ -33,6 +33,16 @@ import (
 
 // seq is the global sequence lock: even = quiescent, odd = a writer is
 // committing.
+//
+// There is deliberately no clock-strategy axis here (contrast
+// stm.SetClockStrategy and mvstm.SetClockStrategy): GV7-style block
+// allocation amortizes fetches of a *counter*, but NOrec's seq word is a
+// *lock* — a committer must move it odd to exclude other writers and
+// move it even again to release them, and readers certify against the
+// exact current value, so every commit must perform its two RMWs on the
+// shared word no matter how ticks were allocated. Batching is impossible
+// by construction, which is NOrec's trade: no per-variable metadata, in
+// exchange for a serialized commit window.
 var seq atomic.Uint64
 
 // box is an immutable value snapshot; pointer identity doubles as the

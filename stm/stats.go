@@ -37,6 +37,16 @@ type Stats struct {
 	// GV6) is commits that left the clock untouched entirely.
 	ClockIncrements uint64
 	ClockAdoptions  uint64
+	// ClockBlockClaims counts GV7 block claims on the allocator word: the
+	// number of shared-line RMWs the batched strategy actually performed.
+	// Commits ÷ ClockBlockClaims approaches the block size K in steady
+	// state — the amortization GV7 exists to buy.
+	ClockBlockClaims uint64
+	// RTSAdvances counts TicToc read-timestamp advances: CASes that raised
+	// a Var's rts so a read interval intersection stayed non-empty (during
+	// execution) or covered the commit timestamp (at commit). This is the
+	// "readers write" cost TicToc trades for its clock-free read path.
+	RTSAdvances uint64
 }
 
 // AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
@@ -60,6 +70,8 @@ func (s Stats) Sub(t Stats) Stats {
 		ExtensionFailures: s.ExtensionFailures - t.ExtensionFailures,
 		ClockIncrements:   s.ClockIncrements - t.ClockIncrements,
 		ClockAdoptions:    s.ClockAdoptions - t.ClockAdoptions,
+		ClockBlockClaims:  s.ClockBlockClaims - t.ClockBlockClaims,
+		RTSAdvances:       s.RTSAdvances - t.RTSAdvances,
 	}
 }
 
@@ -78,7 +90,9 @@ type statShard struct {
 	extensionFailures atomic.Uint64
 	clockIncrements   atomic.Uint64
 	clockAdoptions    atomic.Uint64
-	_                 [128 - 8*8]byte
+	clockBlockClaims  atomic.Uint64
+	rtsAdvances       atomic.Uint64
+	_                 [128 - 10*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -104,6 +118,8 @@ func ReadStats() Stats {
 		s.ExtensionFailures += sh.extensionFailures.Load()
 		s.ClockIncrements += sh.clockIncrements.Load()
 		s.ClockAdoptions += sh.clockAdoptions.Load()
+		s.ClockBlockClaims += sh.clockBlockClaims.Load()
+		s.RTSAdvances += sh.rtsAdvances.Load()
 	}
 	return s
 }

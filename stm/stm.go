@@ -103,10 +103,12 @@ type box struct {
 }
 
 // varBase is the type-erased interface Tx uses to manage heterogeneous
-// Vars in one transaction.
+// Vars in one transaction. casWord exists for TicToc's rts advances — the
+// one place a reader mutates a lock word it does not hold.
 type varBase interface {
 	id() uint64
 	lockWord() uint64
+	casWord(old, new uint64) bool
 	tryLock() (prev uint64, ok bool)
 	unlock(ver uint64)
 	loadBox() *box
@@ -130,6 +132,9 @@ func NewVar[T any](initial T) *Var[T] {
 
 func (v *Var[T]) id() uint64       { return v.vid }
 func (v *Var[T]) lockWord() uint64 { return v.lw.Load() }
+
+// casWord CASes the raw lock word (TicToc rts advance).
+func (v *Var[T]) casWord(old, new uint64) bool { return v.lw.CompareAndSwap(old, new) }
 
 // tryLock sets the lock bit, preserving the version, and returns the
 // pre-lock version so a failed commit can restore the word exactly.
@@ -237,6 +242,22 @@ type Tx struct {
 	budgetExceeded bool
 	budgetLeft     uint64
 	costs          budget.Costs
+	// blockNext/blockEnd are the descriptor's cached GV7 tick block:
+	// blockNext is the next unstamped tick, blockEnd the block's last tick
+	// (inclusive); blockEnd == 0 means no block. The block survives reset
+	// and pool recycling — that persistence is the amortization — and is
+	// drained back to the allocator when the descriptor is released while
+	// GV7 is no longer the strategy (see drainBlock).
+	blockNext uint64
+	blockEnd  uint64
+	// tt caches "the TicToc pipeline is selected" for the duration of one
+	// Atomically call; ttHi is the upper end of the TicToc validity-
+	// interval intersection (rv doubles as the lower end / floor), and
+	// ttFloor seeds a retry's floor after an RO-path interval abort. See
+	// tictoc.go.
+	tt      bool
+	ttHi    uint64
+	ttFloor uint64
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
@@ -274,6 +295,11 @@ func (tx *Tx) reset() {
 // dropped so one large transaction does not pin memory forever.
 func (tx *Tx) release() {
 	tx.reset()
+	if tx.blockEnd != 0 && ClockStrategy(clockStrategy.Load()) != GV7 {
+		// The engine moved off GV7 while this descriptor cached a block:
+		// return the unused ticks rather than strand them in the pool.
+		tx.drainBlock()
+	}
 	if cap(tx.reads) > 4096 {
 		tx.reads = nil
 	}
@@ -317,7 +343,13 @@ func (tx *Tx) findWrite(v varBase) (int, bool) {
 
 func (tx *Tx) read(v varBase) any {
 	if tx.ro {
+		if tx.tt {
+			return tx.ttReadRO(v)
+		}
 		return tx.readRO(v)
+	}
+	if tx.tt {
+		return tx.ttRead(v)
 	}
 	if tx.metered {
 		tx.charge(tx.costs.Step)
@@ -597,6 +629,9 @@ func (tx *Tx) validateCommit() bool {
 
 // commit attempts to make the transaction's writes visible atomically.
 func (tx *Tx) commit() bool {
+	if tx.tt {
+		return tx.ttCommit()
+	}
 	if len(tx.writes) == 0 {
 		return true // invisible reads: read-only transactions commit for free
 	}
@@ -607,22 +642,7 @@ func (tx *Tx) commit() bool {
 	if !tx.chargeSoft(tx.costs.Step * uint64(len(tx.reads))) {
 		return false
 	}
-	if tx.wmap != nil {
-		// Large write sets append unsorted past the promotion point; one
-		// sort here re-establishes the deadlock-free lock order. (Small
-		// write sets are maintained sorted and skip this entirely.)
-		slices.SortFunc(tx.writes, func(a, b writeEntry) int {
-			switch ai, bi := a.v.id(), b.v.id(); {
-			case ai < bi:
-				return -1
-			case ai > bi:
-				return 1
-			default:
-				return 0
-			}
-		})
-		tx.wmap = nil // indices are stale now; the attempt is over either way
-	}
+	tx.sortWrites()
 	locked := 0
 	for i := range tx.writes {
 		prev, ok := tx.writes[i].v.tryLock()
@@ -652,6 +672,38 @@ func (tx *Tx) commit() bool {
 		e.v.unlock(wv) // lock release and version publication in one store
 	}
 	return true
+}
+
+// sortWrites re-establishes the deadlock-free Var-id lock order for large
+// write sets that appended unsorted past the map-promotion point. (Small
+// write sets are maintained sorted and skip this entirely.) Shared by the
+// versioned and TicToc commits.
+func (tx *Tx) sortWrites() {
+	if tx.wmap == nil {
+		return
+	}
+	slices.SortFunc(tx.writes, func(a, b writeEntry) int {
+		switch ai, bi := a.v.id(), b.v.id(); {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	})
+	tx.wmap = nil // indices are stale now; the attempt is over either way
+}
+
+// beginAttempt samples the attempt's starting timestamp state: the read
+// version under the versioned strategies, the validity interval under
+// TicToc.
+func (tx *Tx) beginAttempt() {
+	if tx.tt {
+		tx.ttBegin()
+		return
+	}
+	tx.rv = clock.Load()
 }
 
 // Atomically runs fn inside a transaction, retrying until it commits.
@@ -689,6 +741,7 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = false, false, false
+	tx.tt, tx.ttFloor = ClockStrategy(clockStrategy.Load()) == TicToc, 0
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -707,7 +760,7 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 		}
 		tx.reset()
-		tx.rv = clock.Load()
+		tx.beginAttempt()
 		if traceOn {
 			tx.traceBegin()
 		}
@@ -788,6 +841,7 @@ func AtomicallyROCtx(ctx context.Context, fn func(tx *Tx) error) error {
 func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = true, false, false
+	tx.tt, tx.ttFloor = ClockStrategy(clockStrategy.Load()) == TicToc, 0
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -804,7 +858,7 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 		}
 		tx.reset()
-		tx.rv = clock.Load()
+		tx.beginAttempt()
 		if traceOn {
 			tx.traceBegin()
 		}

@@ -1,0 +1,236 @@
+package stm_test
+
+// TicToc-mode tests: interval-intersection reads, rts advances (during
+// execution and at commit), the clock-silence contract (ClockIncrements
+// stays 0 under any mix), and opacity of adversarial rts-advance
+// interleavings certified through the trace hook by internal/check.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/stm"
+)
+
+func withTicToc(t *testing.T) {
+	t.Helper()
+	stm.SetClockStrategy(stm.TicToc)
+	t.Cleanup(func() { stm.SetClockStrategy(stm.GV4) })
+}
+
+// TestTicTocCounter: concurrent read-modify-writes lose no update and
+// publish strictly increasing per-Var write timestamps.
+func TestTicTocCounter(t *testing.T) {
+	withTicToc(t)
+	ctr := stm.NewVar(0)
+	const workers, perW = 8, 200
+	before := stm.ReadStats()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					ctr.Set(tx, ctr.Get(tx)+1)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ctr.Load(); got != workers*perW {
+		t.Fatalf("lost updates under TicToc: %d, want %d", got, workers*perW)
+	}
+	wts, rts := stm.VarTS(ctr)
+	if wts == 0 || rts < wts {
+		t.Fatalf("counter timestamps corrupt: wts=%d rts=%d", wts, rts)
+	}
+	if d := stm.ReadStats().Sub(before); d.ClockIncrements != 0 {
+		t.Errorf("TicToc write mix published %d clock increments; the mode must not touch the clock at all", d.ClockIncrements)
+	}
+}
+
+// TestTicTocRtsAdvanceOnFloorRaise pins the deterministic execution-time
+// sweep: a read whose wts exceeds the transaction's interval raises the
+// floor and advances every prior entry's rts by CAS.
+func TestTicTocRtsAdvanceOnFloorRaise(t *testing.T) {
+	withTicToc(t)
+	x := stm.NewVar(0) // will be written (wts rises)
+	y := stm.NewVar(0) // will be read first (rts must be swept forward)
+
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		x.Set(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	xw, _ := stm.VarTS(x)
+	if xw == 0 {
+		t.Fatal("write did not raise x's wts")
+	}
+	before := stm.ReadStats()
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		if y.Get(tx) != 0 { // logs y at [0, 0]
+			t.Error("y changed unexpectedly")
+		}
+		if x.Get(tx) != 1 { // wts(x) > 0 raises the floor, sweeping y's rts
+			t.Error("x read did not see the committed write")
+		}
+		if lo, _ := stm.TTInterval(tx); lo < xw {
+			t.Errorf("floor %d below x's wts %d after the read", lo, xw)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, yr := stm.VarTS(y); yr < xw {
+		t.Errorf("y's rts %d was not advanced to the new floor %d", yr, xw)
+	}
+	if d := stm.ReadStats().Sub(before); d.RTSAdvances == 0 {
+		t.Error("floor raise recorded no RTSAdvances")
+	}
+}
+
+// TestTicTocRtsAdvanceAtCommit pins the commit-time advance: a read-write
+// transaction whose serialization point exceeds a read entry's rts must
+// CAS that rts forward before publishing.
+func TestTicTocRtsAdvanceAtCommit(t *testing.T) {
+	withTicToc(t)
+	y := stm.NewVar(0)
+	z := stm.NewVar(0)
+	// Push z's rts up so a write to z forces cts = rts(z)+1 > rts(y).
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		z.Set(tx, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		_ = y.Get(tx) // y at [0, 0]
+		z.Set(tx, z.Get(tx)+1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	zw, _ := stm.VarTS(z)
+	_, yr := stm.VarTS(y)
+	if yr < zw {
+		t.Errorf("commit at cts=%d did not advance read entry y's rts (rts=%d)", zw, yr)
+	}
+	yw, _ := stm.VarTS(y)
+	if yw != 0 {
+		t.Errorf("y was never written but has wts=%d", yw)
+	}
+}
+
+// TestTicTocReadPathClockSilent: a read-mostly mix (full and RO readers
+// racing one writer) publishes zero clock increments — the acceptance
+// contract for the per-access-timestamp mode.
+func TestTicTocReadPathClockSilent(t *testing.T) {
+	withTicToc(t)
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	before := stm.ReadStats()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				x.Set(tx, x.Get(tx)+1)
+				y.Set(tx, y.Get(tx)+1)
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				if a, b := x.Get(tx), y.Get(tx); a != b {
+					t.Errorf("reader saw x=%d y=%d", a, b)
+				}
+				return nil
+			})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+				if a, b := x.Get(tx), y.Get(tx); a != b {
+					t.Errorf("RO reader saw x=%d y=%d", a, b)
+				}
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	if got := x.Load(); got != 100 {
+		t.Fatalf("lost updates: x=%d, want 100", got)
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.ClockIncrements != 0 {
+		t.Errorf("TicToc mix published %d clock increments", d.ClockIncrements)
+	}
+}
+
+// TestTicTocOpacityRtsAdvance is the satellite opacity test: a bounded
+// adversarial interleaving built to exercise rts advances on both paths —
+// writers racing readers over two Vars with skewed timestamps — is traced
+// through the native hook and certified by the internal/check oracles.
+func TestTicTocOpacityRtsAdvance(t *testing.T) {
+	withTicToc(t)
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	stm.StartTrace()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { // writer: skews x's timestamps ahead of y's
+		defer wg.Done()
+		for i := 0; i < 3; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				x.Set(tx, x.Get(tx)+1)
+				return nil
+			})
+		}
+	}()
+	go func() { // read x-then-y: floor raise sweeps y's rts
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			_ = stm.Atomically(func(tx *stm.Tx) error {
+				a := x.Get(tx)
+				b := y.Get(tx)
+				_ = a + b
+				return nil
+			})
+		}
+	}()
+	go func() { // RO read y-then-x: interval abort + floor-seeded retry
+		defer wg.Done()
+		for i := 0; i < 2; i++ {
+			_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+				b := y.Get(tx)
+				a := x.Get(tx)
+				_ = a + b
+				return nil
+			})
+		}
+	}()
+	wg.Wait()
+	h := stm.StopTrace()
+	if len(h.Txns) == 0 {
+		t.Fatal("trace recorded no transactions")
+	}
+	if res := check.Opaque(h); !res.OK {
+		t.Errorf("TicToc history is not opaque:\n%s", h)
+	}
+	if res := check.StrictlySerializable(h); !res.OK {
+		t.Errorf("TicToc history is not strictly serializable:\n%s", h)
+	}
+}
