@@ -15,10 +15,13 @@ GO ?= go
 # pipeline, containers), the native E9 scenarios (ordered-index scans,
 # reservations), the native E10 read-mostly serving scenario plus the
 # read-only fast-path acceptance pair (BenchmarkROFastPath), the native
-# E11 long-scan/HTAP scenario (stm vs stm/mvstm), and the native E12
-# hostile-tenant scenario (baseline/unmetered/metered cells); benchdiff
-# ignores names absent from an older baseline.
-E8_BENCH = BenchmarkE8|BenchmarkE9Native|BenchmarkE10Native|BenchmarkE11Native|BenchmarkE12Hostile|BenchmarkROFastPath|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed|BenchmarkOrderedMap
+# E11 long-scan/HTAP scenario (stm vs stm/mvstm), the native E12
+# hostile-tenant scenario (baseline/unmetered/metered cells), and the
+# native STAMP-shaped trio — E13 graph routing (write-set promotion),
+# E14 clustering (contended point RMWs), E15 pipeline (stm.Queue
+# blocking handoff); benchdiff ignores names absent from an older
+# baseline.
+E8_BENCH = BenchmarkE8|BenchmarkE9Native|BenchmarkE10Native|BenchmarkE11Native|BenchmarkE12Hostile|BenchmarkE13GraphRouting|BenchmarkE14Clustering|BenchmarkE15Pipeline|BenchmarkROFastPath|BenchmarkVarContended|BenchmarkContentionSweep|BenchmarkMapDisjointPut|BenchmarkMapMixed|BenchmarkOrderedMap
 # -benchmem records B/op and allocs/op in every baseline — the input the
 # bench-gate zero-allocation assertion reads.
 E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 8 -cpu 4 -benchmem -timeout 30m

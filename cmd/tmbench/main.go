@@ -14,6 +14,9 @@
 //	tmbench -exp e10 [-tms irtm,tl2] [-seed 42]
 //	tmbench -exp e11 [-tms irtm,tl2,mvtm,mvtm-gc] [-seed 42]
 //	tmbench -exp e12 [-tms irtm,tl2,mvtm-gc] [-seed 42]
+//	tmbench -exp e13 [-tms irtm,tl2,mvtm] [-seed 42]
+//	tmbench -exp e14 [-tms irtm,tl2,dstm] [-seed 42]
+//	tmbench -exp e15 [-tms irtm,tl2,sgltm] [-seed 42]
 //	tmbench -exp all        # every table with default parameters
 //
 // An unknown -exp or -clock value exits non-zero and lists the valid
@@ -37,7 +40,7 @@ import (
 
 func main() {
 	var (
-		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, or all")
+		expName   = flag.String("exp", "all", "experiment: e1, e2, e3, e4, e5, e6, e7, e8, e9, e10, e11, e12, e13, e14, e15, or all")
 		workers   = flag.Int("workers", 8, "goroutines for the native e8 ablation")
 		dur       = flag.Duration("dur", 100*time.Millisecond, "wall-clock duration per e8 cell")
 		clocks    = flag.String("clock", strings.Join(validClockSpecs, ","), "comma-separated native commit-pipeline specs for e8")
@@ -100,6 +103,12 @@ func main() {
 		err = runE11(cfg)
 	case "e12":
 		err = runE12(cfg)
+	case "e13":
+		err = runE13(cfg)
+	case "e14":
+		err = runE14(cfg)
+	case "e15":
+		err = runE15(cfg)
 	case "class":
 		err = runClass(cfg)
 	case "mc":
@@ -123,6 +132,9 @@ func main() {
 			func() error { return runE10(cfg) },
 			func() error { return runE11(cfg) },
 			func() error { return runE12(cfg) },
+			func() error { return runE13(cfg) },
+			func() error { return runE14(cfg) },
+			func() error { return runE15(cfg) },
 		}
 		for _, f := range steps {
 			if err = f(); err != nil {
@@ -144,6 +156,7 @@ func main() {
 // unknown-experiment error.
 var validExperiments = []string{
 	"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+	"e13", "e14", "e15",
 	"class", "mc", "all",
 }
 
@@ -700,6 +713,89 @@ func runE12(c config) error {
 			t.Add(row.TM, row.Metered, row.VictimCommits, row.VictimAborts, row.VictimStepsPerTxn,
 				row.HostileCommits, row.HostileBudgetAborts, row.HostileSteps, row.Space)
 		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE13 prints the graph-routing scenario twice per TM: one unmetered
+// row (routes retried or replanned to resolution) and one metered row
+// (each attempt charged against a step grant sized for a short route, so
+// long routes are refused mid-path). Routed + replanned + refused always
+// equals the route quota; claimed-cells prices the committed write sets.
+// The TL2 clock variants are swept after the base tl2 row, as in E5/E9–E12.
+func runE13(c config) error {
+	t := ptm.Table{
+		Title: "E13 — graph routing: long speculative paths, write sets as large as read sets",
+		Header: []string{"tm", "metered", "routed", "replanned", "refused", "aborts",
+			"claimed-cells", "steps/route", "space"},
+	}
+	cfg := exp.DefaultE13Config()
+	cfg.Seed = c.seed
+	// The metered grant covers roughly one grid side of reads+writes: long
+	// L-paths charge out, short ones fit.
+	metered := cfg
+	metered.StepBudget = uint64(cfg.GridW)
+	for _, name := range expandTL2(c.tms) {
+		for _, run := range []exp.E13Config{cfg, metered} {
+			row, err := ptm.RunE13(name, run)
+			if err != nil {
+				return err
+			}
+			t.Add(row.TM, row.Metered, row.Routed, row.Replanned, row.Refused,
+				row.Aborts, row.ClaimedCells, row.StepsPerTxn, row.Space)
+		}
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE14 prints the clustering scenario for every requested TM: K shared
+// centroid accumulators take the whole assignment stream, so the
+// abort-ratio column is the contention-management story (dstm's mutual
+// aborts vs tl2's lazy locking vs sgltm's serialization), and recenters
+// counts the full-width reader passes racing the stream. The TL2 clock
+// variants are swept after the base tl2 row, as in E5/E9–E13.
+func runE14(c config) error {
+	t := ptm.Table{
+		Title:  "E14 — clustering: high-contention point RMWs on K shared accumulators",
+		Header: []string{"tm", "centroids", "commits", "aborts", "abort-ratio", "recenters", "steps/txn", "space"},
+	}
+	cfg := exp.DefaultE14Config()
+	cfg.Seed = c.seed
+	for _, name := range expandTL2(c.tms) {
+		row, err := ptm.RunE14(name, cfg)
+		if err != nil {
+			return err
+		}
+		t.Add(row.TM, row.Centroids, row.Commits, row.Aborts, row.AbortRatio,
+			row.Recenters, row.StepsPerTxn, row.Space)
+	}
+	ptm.PrintTable(os.Stdout, &t)
+	return nil
+}
+
+// runE15 prints the producer/consumer pipeline for every requested TM: a
+// queue much smaller than the item flow, so the full-polls and
+// empty-polls columns price the backpressure and starvation probing each
+// TM's serialization order produces (the simulator has no Retry; the
+// native stm.Queue benchmark blocks instead). The TL2 clock variants are
+// swept after the base tl2 row, as in E5/E9–E14.
+func runE15(c config) error {
+	t := ptm.Table{
+		Title: "E15 — pipeline: producers/consumers over a bounded transactional queue",
+		Header: []string{"tm", "prod", "cons", "produced", "consumed", "full-polls",
+			"empty-polls", "aborts", "steps/item", "space"},
+	}
+	cfg := exp.DefaultE15Config()
+	cfg.Seed = c.seed
+	for _, name := range expandTL2(c.tms) {
+		row, err := ptm.RunE15(name, cfg)
+		if err != nil {
+			return err
+		}
+		t.Add(row.TM, row.Producers, row.Consumers, row.Produced, row.Consumed,
+			row.FullPolls, row.EmptyPolls, row.Aborts, row.StepsPerItem, row.Space)
 	}
 	ptm.PrintTable(os.Stdout, &t)
 	return nil

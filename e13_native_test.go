@@ -1,0 +1,348 @@
+package progressivetm
+
+// The native half of experiment E13 (graph routing): routers claim
+// L-shaped paths through a shared Var grid, reading a long speculative
+// run of cells and then writing every one of them. Two engine behaviors
+// are priced:
+//
+//   - Write-set promotion. A route longer than writeSetMapThreshold (24)
+//     crosses stm's sorted-slice → map switch; the writeset=short vs
+//     writeset=long benchmark cells straddle that boundary so the
+//     promotion cost shows up as the cell ratio.
+//
+//   - Budget charging on write-heavy work. Unlike E12's read-only scans,
+//     a metered route is charged for reads and buffered writes; the
+//     race-smoke test pins that a grant below a route's footprint refuses
+//     the route with ErrOutOfBudget counted in BudgetAborts.
+//
+// BenchmarkE13GraphRouting claims and releases one path per iteration so
+// the grid stays in steady state under RunParallel. The simulator
+// counterpart is internal/exp's RunE13 (tmbench -exp e13).
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/stm"
+	"repro/stm/budget"
+	"repro/stm/mvstm"
+)
+
+const (
+	e13GridW = 32
+	e13GridH = 32
+)
+
+// e13Cells returns the L-shaped path from (sx,sy) to (dx,dy): along the
+// row first, then the column — the same deterministic stand-in for
+// breadth-first expansion the simulator scenario uses.
+func e13Cells(sx, sy, dx, dy int) []int {
+	step := func(a, b int) int {
+		if a < b {
+			return 1
+		}
+		return -1
+	}
+	x, y := sx, sy
+	cells := []int{y*e13GridW + x}
+	for x != dx {
+		x += step(x, dx)
+		cells = append(cells, y*e13GridW+x)
+	}
+	for y != dy {
+		y += step(y, dy)
+		cells = append(cells, y*e13GridW+x)
+	}
+	return cells
+}
+
+var errE13Taken = errors.New("e13: cell already claimed")
+
+func BenchmarkE13GraphRouting(b *testing.B) {
+	// short stays below writeSetMapThreshold (24 writes); long crosses it,
+	// forcing the sorted-slice → map write-set promotion every route.
+	spans := []struct {
+		name string
+		span int // path length ≈ 2*span+1 cells
+	}{
+		{"writeset=short", 8},
+		{"writeset=long", 20},
+	}
+	b.Run("engine=stm", func(b *testing.B) {
+		for _, sp := range spans {
+			sp := sp
+			b.Run(sp.name, func(b *testing.B) {
+				grid := make([]*stm.Var[int], e13GridW*e13GridH)
+				for i := range grid {
+					grid[i] = stm.NewVar(0)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					rng := uint64(0x9e3779b97f4a7c15)
+					for pb.Next() {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						sx, sy := int(rng%uint64(e13GridW-sp.span)), int((rng>>16)%uint64(e13GridH-sp.span))
+						path := e13Cells(sx, sy, sx+sp.span, sy+sp.span)
+						// Claim the whole path (skip if any cell is taken),
+						// then release it so the grid stays in steady state.
+						err := stm.Atomically(func(tx *stm.Tx) error {
+							for _, c := range path {
+								if grid[c].Get(tx) != 0 {
+									return errE13Taken
+								}
+							}
+							for _, c := range path {
+								grid[c].Set(tx, 1)
+							}
+							return nil
+						})
+						if err == nil {
+							_ = stm.Atomically(func(tx *stm.Tx) error {
+								for _, c := range path {
+									grid[c].Set(tx, 0)
+								}
+								return nil
+							})
+						}
+					}
+				})
+			})
+		}
+	})
+	b.Run("engine=mvstm", func(b *testing.B) {
+		for _, sp := range spans {
+			sp := sp
+			b.Run(sp.name, func(b *testing.B) {
+				grid := make([]*mvstm.Var[int], e13GridW*e13GridH)
+				for i := range grid {
+					grid[i] = mvstm.NewVar(0)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					rng := uint64(0x243f6a8885a308d3)
+					for pb.Next() {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						sx, sy := int(rng%uint64(e13GridW-sp.span)), int((rng>>16)%uint64(e13GridH-sp.span))
+						path := e13Cells(sx, sy, sx+sp.span, sy+sp.span)
+						err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+							for _, c := range path {
+								if grid[c].Get(tx) != 0 {
+									return errE13Taken
+								}
+							}
+							for _, c := range path {
+								grid[c].Set(tx, 1)
+							}
+							return nil
+						})
+						if err == nil {
+							_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+								for _, c := range path {
+									grid[c].Set(tx, 0)
+								}
+								return nil
+							})
+						}
+					}
+				})
+			})
+		}
+	})
+}
+
+// TestE13GraphRouting is the functional (race-smoke) version: routers
+// race to claim crossing paths, and afterwards the grid must be exactly
+// partitioned — every cell owned by at most one router, and every
+// committed route's cells all carrying its id (a torn route would mean a
+// write set published partially).
+func TestE13GraphRouting(t *testing.T) {
+	const routers = 8
+	t.Run("engine=stm", func(t *testing.T) {
+		grid := make([]*stm.Var[int], e13GridW*e13GridH)
+		for i := range grid {
+			grid[i] = stm.NewVar(0)
+		}
+		var mu sync.Mutex
+		claimedPaths := make(map[int][]int) // router id → committed path
+		var wg sync.WaitGroup
+		for r := 0; r < routers; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				id := r + 1
+				rng := uint64(id) * 0x9e3779b97f4a7c15
+				for n := 0; n < 4; n++ {
+					for attempt := 0; attempt < 16; attempt++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						sx, sy := int(rng%e13GridW), int((rng>>16)%e13GridH)
+						dx, dy := int((rng>>32)%e13GridW), int((rng>>48)%e13GridH)
+						path := e13Cells(sx, sy, dx, dy)
+						err := stm.Atomically(func(tx *stm.Tx) error {
+							for _, c := range path {
+								if grid[c].Get(tx) != 0 {
+									return errE13Taken
+								}
+							}
+							for _, c := range path {
+								grid[c].Set(tx, id)
+							}
+							return nil
+						})
+						if err == nil {
+							mu.Lock()
+							claimedPaths[id] = append(claimedPaths[id], path...)
+							mu.Unlock()
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		// The grid is exactly the union of the committed paths.
+		want := 0
+		for id, cells := range claimedPaths {
+			for _, c := range cells {
+				got := 0
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					got = grid[c].Get(tx)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if got != id {
+					t.Fatalf("cell %d = %d, want owner %d — a committed route was torn", c, got, id)
+				}
+			}
+			want += len(cells)
+		}
+		occupied := 0
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			occupied = 0
+			for _, v := range grid {
+				if v.Get(tx) != 0 {
+					occupied++
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if occupied != want {
+			t.Fatalf("%d occupied cells, want the %d claimed by committed routes", occupied, want)
+		}
+	})
+	t.Run("engine=stm/metered", func(t *testing.T) {
+		// A grant below a long route's read+write footprint must refuse the
+		// route, and the refusal must be a BudgetAbort — the write-heavy
+		// counterpart of E12's refused scans.
+		grid := make([]*stm.Var[int], e13GridW*e13GridH)
+		for i := range grid {
+			grid[i] = stm.NewVar(0)
+		}
+		stm.SetBudgetPolicy(budget.Fixed{Limit: 8})
+		defer stm.SetBudgetPolicy(nil)
+		before := stm.ReadStats()
+		path := e13Cells(0, 0, e13GridW-1, e13GridH-1)
+		err := stm.Atomically(func(tx *stm.Tx) error {
+			for _, c := range path {
+				if grid[c].Get(tx) != 0 {
+					return errE13Taken
+				}
+			}
+			for _, c := range path {
+				grid[c].Set(tx, 1)
+			}
+			return nil
+		})
+		if !errors.Is(err, budget.ErrOutOfBudget) {
+			t.Fatalf("route over %d cells under an 8-step grant: err = %v, want ErrOutOfBudget", len(path), err)
+		}
+		if d := stm.ReadStats().Sub(before); d.BudgetAborts == 0 {
+			t.Error("refusal not counted in BudgetAborts")
+		}
+		stm.SetBudgetPolicy(nil)
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			for _, c := range path {
+				if grid[c].Get(tx) != 0 {
+					return errE13Taken
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("refused route left cells claimed or locks held: %v", err)
+		}
+	})
+	t.Run("engine=mvstm", func(t *testing.T) {
+		grid := make([]*mvstm.Var[int], e13GridW*e13GridH)
+		for i := range grid {
+			grid[i] = mvstm.NewVar(0)
+		}
+		var claimed [routers + 1][]int
+		var wg sync.WaitGroup
+		for r := 0; r < routers; r++ {
+			r := r
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				id := r + 1
+				rng := uint64(id) * 0x243f6a8885a308d3
+				for n := 0; n < 4; n++ {
+					for attempt := 0; attempt < 16; attempt++ {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						sx, sy := int(rng%e13GridW), int((rng>>16)%e13GridH)
+						dx, dy := int((rng>>32)%e13GridW), int((rng>>48)%e13GridH)
+						path := e13Cells(sx, sy, dx, dy)
+						err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+							for _, c := range path {
+								if grid[c].Get(tx) != 0 {
+									return errE13Taken
+								}
+							}
+							for _, c := range path {
+								grid[c].Set(tx, id)
+							}
+							return nil
+						})
+						if err == nil {
+							claimed[id] = append(claimed[id], path...)
+							break
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		want := 0
+		for id, cells := range claimed {
+			for _, c := range cells {
+				got := 0
+				if err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+					got = grid[c].Get(tx)
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+				if got != id {
+					t.Fatalf("cell %d = %d, want owner %d — a committed route was torn", c, got, id)
+				}
+			}
+			want += len(cells)
+		}
+		occupied := 0
+		if err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			occupied = 0
+			for _, v := range grid {
+				if v.Get(tx) != 0 {
+					occupied++
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if occupied != want {
+			t.Fatalf("%d occupied cells, want the %d claimed by committed routes", occupied, want)
+		}
+	})
+}

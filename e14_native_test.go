@@ -1,0 +1,231 @@
+package progressivetm
+
+// The native half of experiment E14 (clustering): a stream of tiny
+// read-modify-writes funneled onto K shared centroid accumulators, the
+// STAMP kmeans contention shape. K is the knob: centroids=1 puts every
+// concurrent assignment pair in conflict (the pathological cell),
+// centroids=16 spreads them out, and the cell ratio is each engine's
+// contention-management bill. Both stm (TL2-style lazy locking) and
+// norecstm (value-validation with a single sequence lock) run the same
+// cells — NOrec's global commit serialization meets its cheap validation
+// here. The simulator counterpart is internal/exp's RunE14
+// (tmbench -exp e14).
+
+import (
+	"sync"
+	"testing"
+
+	"repro/stm"
+	"repro/stm/norecstm"
+)
+
+func BenchmarkE14Clustering(b *testing.B) {
+	ks := []struct {
+		name string
+		k    int
+	}{
+		{"centroids=1", 1},
+		{"centroids=16", 16},
+	}
+	b.Run("engine=stm", func(b *testing.B) {
+		for _, kc := range ks {
+			kc := kc
+			b.Run(kc.name, func(b *testing.B) {
+				sums := make([]*stm.Var[int], kc.k)
+				counts := make([]*stm.Var[int], kc.k)
+				for i := 0; i < kc.k; i++ {
+					sums[i] = stm.NewVar(0)
+					counts[i] = stm.NewVar(0)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					rng := uint64(0x9e3779b97f4a7c15)
+					for pb.Next() {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						c := int(rng % uint64(kc.k))
+						v := int(rng>>32)%1000 + 1
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							sums[c].Set(tx, sums[c].Get(tx)+v)
+							counts[c].Set(tx, counts[c].Get(tx)+1)
+							return nil
+						})
+					}
+				})
+			})
+		}
+	})
+	b.Run("engine=norecstm", func(b *testing.B) {
+		for _, kc := range ks {
+			kc := kc
+			b.Run(kc.name, func(b *testing.B) {
+				sums := make([]*norecstm.Var[int], kc.k)
+				counts := make([]*norecstm.Var[int], kc.k)
+				for i := 0; i < kc.k; i++ {
+					sums[i] = norecstm.NewVar(0)
+					counts[i] = norecstm.NewVar(0)
+				}
+				b.RunParallel(func(pb *testing.PB) {
+					rng := uint64(0x243f6a8885a308d3)
+					for pb.Next() {
+						rng = rng*6364136223846793005 + 1442695040888963407
+						c := int(rng % uint64(kc.k))
+						v := int(rng>>32)%1000 + 1
+						_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+							sums[c].Set(tx, sums[c].Get(tx)+v)
+							counts[c].Set(tx, counts[c].Get(tx)+1)
+							return nil
+						})
+					}
+				})
+			})
+		}
+	})
+}
+
+// TestE14Clustering is the functional (race-smoke) version: workers race
+// assignments onto shared accumulators while a recenter reader snapshots
+// all of them mid-flight, and at the end the accumulators must conserve
+// the assignment stream exactly — a lost RMW or a torn sum/count pair
+// (recenter observing one updated without the other) fails.
+func TestE14Clustering(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 400
+		k         = 4
+	)
+	t.Run("engine=stm", func(t *testing.T) {
+		sums := make([]*stm.Var[int], k)
+		counts := make([]*stm.Var[int], k)
+		for i := 0; i < k; i++ {
+			sums[i] = stm.NewVar(0)
+			counts[i] = stm.NewVar(0)
+		}
+		var wantSum, wantCnt int
+		var mu sync.Mutex
+		done := make(chan struct{})
+		var readerWG sync.WaitGroup
+		readerWG.Add(1)
+		go func() {
+			// The recenter reader: every snapshot must see sum and count
+			// move together (count 0 with a nonzero sum is a torn pair).
+			defer readerWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					for i := 0; i < k; i++ {
+						if sums[i].Get(tx) != 0 && counts[i].Get(tx) == 0 {
+							t.Error("snapshot saw a sum without its count")
+						}
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := uint64(w+1) * 0x9e3779b97f4a7c15
+				localSum, localCnt := 0, 0
+				for n := 0; n < perWorker; n++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					c := int(rng % k)
+					v := int(rng>>32)%1000 + 1
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						sums[c].Set(tx, sums[c].Get(tx)+v)
+						counts[c].Set(tx, counts[c].Get(tx)+1)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					localSum += v
+					localCnt++
+				}
+				mu.Lock()
+				wantSum += localSum
+				wantCnt += localCnt
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		close(done)
+		readerWG.Wait()
+		gotSum, gotCnt := 0, 0
+		if err := stm.Atomically(func(tx *stm.Tx) error {
+			gotSum, gotCnt = 0, 0
+			for i := 0; i < k; i++ {
+				gotSum += sums[i].Get(tx)
+				gotCnt += counts[i].Get(tx)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if gotSum != wantSum || gotCnt != wantCnt {
+			t.Fatalf("accumulators hold sum=%d count=%d, want sum=%d count=%d — an assignment was lost", gotSum, gotCnt, wantSum, wantCnt)
+		}
+	})
+	t.Run("engine=norecstm", func(t *testing.T) {
+		sums := make([]*norecstm.Var[int], k)
+		counts := make([]*norecstm.Var[int], k)
+		for i := 0; i < k; i++ {
+			sums[i] = norecstm.NewVar(0)
+			counts[i] = norecstm.NewVar(0)
+		}
+		var wantSum, wantCnt int
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := uint64(w+1) * 0x243f6a8885a308d3
+				localSum, localCnt := 0, 0
+				for n := 0; n < perWorker; n++ {
+					rng = rng*6364136223846793005 + 1442695040888963407
+					c := int(rng % k)
+					v := int(rng>>32)%1000 + 1
+					if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+						sums[c].Set(tx, sums[c].Get(tx)+v)
+						counts[c].Set(tx, counts[c].Get(tx)+1)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					localSum += v
+					localCnt++
+				}
+				mu.Lock()
+				wantSum += localSum
+				wantCnt += localCnt
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		gotSum, gotCnt := 0, 0
+		if err := norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+			gotSum, gotCnt = 0, 0
+			for i := 0; i < k; i++ {
+				gotSum += sums[i].Get(tx)
+				gotCnt += counts[i].Get(tx)
+			}
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if gotSum != wantSum || gotCnt != wantCnt {
+			t.Fatalf("accumulators hold sum=%d count=%d, want sum=%d count=%d — an assignment was lost", gotSum, gotCnt, wantSum, wantCnt)
+		}
+	})
+}

@@ -1,0 +1,161 @@
+package progressivetm
+
+// The native half of experiment E15 (pipeline): producers and consumers
+// over stm.Queue under burst load — producers emit bursts larger than
+// the queue's capacity, so every burst drives Put into backpressure and
+// every drain drives Take into starvation. Where the simulator scenario
+// (internal/exp's RunE15) must poll — its Txn API has no Retry, so a
+// blocked party commits a read-only probe and tries again — the native
+// queue blocks: Put and Take call stm.Retry, parking the transaction
+// until a committed write changes a read Var. The benchmark's ns/op is
+// the per-item cost of that handoff, including the wakeups.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/stm"
+)
+
+func BenchmarkE15Pipeline(b *testing.B) {
+	cells := []struct {
+		name      string
+		producers int
+		consumers int
+		capacity  int
+	}{
+		{"shape=1p1c/cap=4", 1, 1, 4},
+		{"shape=4p4c/cap=4", 4, 4, 4},
+		{"shape=4p4c/cap=64", 4, 4, 64},
+	}
+	for _, c := range cells {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			q := stm.NewQueue[int](c.capacity)
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			// b.N items flow through the pipe: each producer puts its share,
+			// each consumer takes its share, and the shares sum exactly to
+			// b.N on both sides so the run drains.
+			for i := 0; i < c.producers; i++ {
+				share := b.N / c.producers
+				if i < b.N%c.producers {
+					share++
+				}
+				wg.Add(1)
+				go func(share int) {
+					defer wg.Done()
+					for n := 0; n < share; n++ {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							q.Put(tx, n)
+							return nil
+						})
+					}
+				}(share)
+			}
+			for i := 0; i < c.consumers; i++ {
+				share := b.N / c.consumers
+				if i < b.N%c.consumers {
+					share++
+				}
+				wg.Add(1)
+				go func(share int) {
+					defer wg.Done()
+					for n := 0; n < share; n++ {
+						_ = stm.Atomically(func(tx *stm.Tx) error {
+							q.Take(tx)
+							return nil
+						})
+					}
+				}(share)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestE15Pipeline is the functional (race-smoke) version: producers emit
+// bursts four times the queue's capacity, consumers drain exact shares,
+// and the flow must conserve count and checksum — an item lost to a bad
+// wakeup or delivered twice fails, as does a non-empty queue after both
+// sides finish.
+func TestE15Pipeline(t *testing.T) {
+	const (
+		producers = 3
+		consumers = 3
+		burst     = 16
+		bursts    = 8
+		capacity  = 4 // burst > capacity: every burst hits backpressure
+	)
+	q := stm.NewQueue[int](capacity)
+	total := producers * bursts * burst
+	var wantSum int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local int64
+			for bn := 0; bn < bursts; bn++ {
+				for i := 0; i < burst; i++ {
+					v := p*1_000_000 + bn*1_000 + i
+					if err := stm.Atomically(func(tx *stm.Tx) error {
+						q.Put(tx, v)
+						return nil
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+					local += int64(v)
+				}
+			}
+			mu.Lock()
+			wantSum += local
+			mu.Unlock()
+		}()
+	}
+	var gotSum int64
+	var consumed int
+	for c := 0; c < consumers; c++ {
+		share := total / consumers
+		wg.Add(1)
+		go func(share int) {
+			defer wg.Done()
+			var local int64
+			for n := 0; n < share; n++ {
+				var v int
+				if err := stm.Atomically(func(tx *stm.Tx) error {
+					v = q.Take(tx)
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+				local += int64(v)
+			}
+			mu.Lock()
+			gotSum += local
+			consumed += share
+			mu.Unlock()
+		}(share)
+	}
+	wg.Wait()
+	if consumed != total {
+		t.Fatalf("consumed %d items, want %d", consumed, total)
+	}
+	if gotSum != wantSum {
+		t.Fatalf("consumed checksum %d, want %d — an item was lost or duplicated", gotSum, wantSum)
+	}
+	left := -1
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		left = q.Len(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if left != 0 {
+		t.Fatalf("queue holds %d items after the flow drained", left)
+	}
+}

@@ -1,0 +1,61 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE13AllTMs runs the routing scenario on every registered TM: each
+// route resolves exactly one way (committed, replanned out, or refused),
+// and RunE13's built-in verification pass already cross-checks that the
+// committed routes hold disjoint cells.
+func TestE13AllTMs(t *testing.T) {
+	cfg := exp.E13Config{
+		Procs: 4, GridW: 12, GridH: 12, RoutesPerProc: 4, MaxReplans: 6, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.RunE13(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			quota := cfg.Procs * cfg.RoutesPerProc
+			if got := row.Routed + row.Replanned + row.Refused; got != quota {
+				t.Errorf("routes resolved %d ways (routed %d, replanned %d, refused %d), want %d",
+					got, row.Routed, row.Replanned, row.Refused, quota)
+			}
+			if row.Refused != 0 {
+				t.Errorf("%d routes refused with no budget", row.Refused)
+			}
+			if row.Routed == 0 {
+				t.Error("no route committed on an empty grid")
+			}
+			if row.ClaimedCells < row.Routed {
+				t.Errorf("%d routes claimed only %d cells", row.Routed, row.ClaimedCells)
+			}
+		})
+	}
+}
+
+// TestE13MeteredRefusesLongRoutes: with a step grant far below a typical
+// path's read+write cost, metered routing must refuse routes — the
+// write-heavy counterpart of E12's refused scans.
+func TestE13MeteredRefusesLongRoutes(t *testing.T) {
+	cfg := exp.E13Config{
+		Procs: 4, GridW: 12, GridH: 12, RoutesPerProc: 4, MaxReplans: 6,
+		StepBudget: 4, Seed: 7,
+	}
+	row, err := exp.RunE13("tl2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.Metered {
+		t.Error("row not marked metered")
+	}
+	if row.Refused == 0 {
+		t.Errorf("no route refused under a %d-step grant: %+v", cfg.StepBudget, row)
+	}
+}

@@ -1,0 +1,60 @@
+package exp_test
+
+import (
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/tmreg"
+)
+
+// TestE14AllTMs runs the clustering scenario on every registered TM:
+// the commit quota is fixed (every assignment and recenter retries until
+// it commits), and RunE14's built-in verification pass cross-checks the
+// centroid counts against the committed assignments.
+func TestE14AllTMs(t *testing.T) {
+	cfg := exp.E14Config{
+		Procs: 4, Centroids: 3, PointsPerProc: 8, RecenterEvery: 4, Seed: 7,
+	}
+	for _, name := range tmreg.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			row, err := exp.RunE14(name, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assignments := cfg.Procs * cfg.PointsPerProc
+			recenters := cfg.Procs * (cfg.PointsPerProc / cfg.RecenterEvery)
+			if row.Commits != assignments+recenters {
+				t.Errorf("commits = %d, want %d assignments + %d recenters", row.Commits, assignments, recenters)
+			}
+			if row.Recenters != recenters {
+				t.Errorf("recenters = %d, want %d", row.Recenters, recenters)
+			}
+			if row.StepsPerTxn <= 0 {
+				t.Errorf("steps not recorded: %+v", row)
+			}
+		})
+	}
+}
+
+// TestE14ContentionScalesWithCentroids: fewer centroids concentrate the
+// same assignment stream on fewer accumulators, so the single-centroid
+// run must abort at least as often as a spread-out one on an optimistic
+// TM. (Equality is possible on tiny configs; the test guards direction.)
+func TestE14ContentionScalesWithCentroids(t *testing.T) {
+	base := exp.E14Config{Procs: 4, PointsPerProc: 16, RecenterEvery: 0, Seed: 13}
+	narrow, wide := base, base
+	narrow.Centroids = 1
+	wide.Centroids = 8
+	rn, err := exp.RunE14("tl2", narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := exp.RunE14("tl2", wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Aborts < rw.Aborts {
+		t.Errorf("1-centroid run aborted %d < 8-centroid run's %d", rn.Aborts, rw.Aborts)
+	}
+}

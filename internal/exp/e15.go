@@ -1,0 +1,271 @@
+package exp
+
+// E15 is the producer/consumer pipeline scenario: a bounded FIFO queue
+// modeled on the t-object array, producers pushing a fixed quota of items
+// and consumers draining them. It is the coordination shape the E-series
+// lacks: E5–E14 transactions are independent workloads racing over shared
+// data, while here the transactions ARE the coordination — a producer's
+// commit is the only thing that unblocks a consumer, and queue-full
+// backpressure the only thing that stops a producer. The simulator's Txn
+// API has no Retry, so blocked parties poll: a producer finding the queue
+// full (or a consumer finding it empty) commits a read-only probe and
+// tries again — with randomized exponential spacing (expBackoff, the E5
+// idiom), because an unpaced probe stream is itself a conflict source
+// under visible-read TMs — and the Full/EmptyPolls columns price that
+// polling per TM.
+// The native counterpart is BenchmarkE15Pipeline over stm.Queue, where
+// Retry replaces polling with composable blocking — the comparison the
+// paper's STM-programming-model argument wants.
+//
+// Object layout: 0 = head index, 1 = element count, 2..2+Cap-1 = slots,
+// 2+Cap = consumed total, 3+Cap = consumed checksum.
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/sched"
+	"repro/internal/tm"
+	"repro/internal/tmreg"
+)
+
+// E15Row is one TM's pipeline measurement.
+type E15Row struct {
+	TM           string
+	Producers    int
+	Consumers    int
+	Produced     int
+	Consumed     int
+	FullPolls    int // producer attempts that found the queue full
+	EmptyPolls   int // consumer attempts that found the queue empty
+	Aborts       int
+	StepsPerItem float64
+	Space        int
+}
+
+// E15Config parameterizes the pipeline scenario.
+type E15Config struct {
+	Producers        int
+	Consumers        int
+	ItemsPerProducer int
+	QueueCap         int
+	Seed             int64
+}
+
+// DefaultE15Config is the configuration used by tmbench and the tests: a
+// queue much smaller than the item flow, so both backpressure (full
+// polls) and starvation (empty polls) occur on every run.
+func DefaultE15Config() E15Config {
+	return E15Config{
+		Producers:        4,
+		Consumers:        4,
+		ItemsPerProducer: 12,
+		QueueCap:         3,
+		Seed:             42,
+	}
+}
+
+var (
+	errE15Full  = fmt.Errorf("e15: queue full")
+	errE15Empty = fmt.Errorf("e15: queue empty")
+	errE15Done  = fmt.Errorf("e15: pipeline drained")
+)
+
+// RunE15 runs the pipeline scenario for one TM and cross-checks the
+// result: every produced item must be consumed exactly once (count and
+// checksum), or the run errors.
+func RunE15(name string, cfg E15Config) (E15Row, error) {
+	procs := cfg.Producers + cfg.Consumers
+	objects := cfg.QueueCap + 4
+	target := uint64(cfg.Producers) * uint64(cfg.ItemsPerProducer)
+	const (
+		objHead  = 0
+		objCount = 1
+		objSlot0 = 2
+	)
+	objTotal := objSlot0 + cfg.QueueCap
+	objSum := objTotal + 1
+	mem := memory.New(procs, nil)
+	tmi, err := tmreg.New(name, mem, objects)
+	if err != nil {
+		return E15Row{}, err
+	}
+	var produced, consumed, fullPolls, emptyPolls, aborts int
+	var producedSum uint64
+	// Backoff scratch, one object per process (the E5 idiom). Polling
+	// needs it as much as abort-retry does: under a visible-read TM a
+	// consumer's empty-probe read of the count object is itself a
+	// conflict, and unpaced probes abort every producer mid-put forever.
+	scratch := make([]*memory.Obj, procs)
+	for i := range scratch {
+		scratch[i] = mem.AllocAt(fmt.Sprintf("backoff[%d]", i), i)
+	}
+	s := sched.New(mem)
+	for i := 0; i < cfg.Producers; i++ {
+		i := i
+		rng := newSplitMix(uint64(cfg.Seed)*69621 + uint64(i+1))
+		s.Go(i, func(p *memory.Proc) {
+			for n := 0; n < cfg.ItemsPerProducer; n++ {
+				v := rng.next()%1000 + 1
+				put := func(tx tm.Txn) error {
+					cnt, err := tx.Read(objCount)
+					if err != nil {
+						return err
+					}
+					if int(cnt) == cfg.QueueCap {
+						return errE15Full
+					}
+					head, err := tx.Read(objHead)
+					if err != nil {
+						return err
+					}
+					slot := objSlot0 + (int(head)+int(cnt))%cfg.QueueCap
+					if err := tx.Write(slot, v); err != nil {
+						return err
+					}
+					return tx.Write(objCount, cnt+1)
+				}
+				for consecutive := 0; ; {
+					committed, err := tm.Once(tmi, p, put)
+					if err == errE15Full {
+						fullPolls++ // backpressure: probe again later
+						consecutive++
+						expBackoff(p, scratch[i], rng, consecutive)
+						continue
+					}
+					if err != nil {
+						panic(err)
+					}
+					if committed {
+						produced++
+						producedSum += v
+						break
+					}
+					aborts++
+					consecutive++
+					expBackoff(p, scratch[i], rng, consecutive)
+				}
+			}
+		})
+	}
+	for i := 0; i < cfg.Consumers; i++ {
+		i := i
+		rng := newSplitMix(uint64(cfg.Seed)*28411 + uint64(cfg.Producers+i+1))
+		s.Go(cfg.Producers+i, func(p *memory.Proc) {
+			consecutive := 0
+			for {
+				take := func(tx tm.Txn) error {
+					total, err := tx.Read(objTotal)
+					if err != nil {
+						return err
+					}
+					if total == target {
+						return errE15Done
+					}
+					cnt, err := tx.Read(objCount)
+					if err != nil {
+						return err
+					}
+					if cnt == 0 {
+						return errE15Empty
+					}
+					head, err := tx.Read(objHead)
+					if err != nil {
+						return err
+					}
+					v, err := tx.Read(objSlot0 + int(head)%cfg.QueueCap)
+					if err != nil {
+						return err
+					}
+					if err := tx.Write(objHead, (head+1)%uint64(cfg.QueueCap)); err != nil {
+						return err
+					}
+					if err := tx.Write(objCount, cnt-1); err != nil {
+						return err
+					}
+					if err := tx.Write(objTotal, total+1); err != nil {
+						return err
+					}
+					sum, err := tx.Read(objSum)
+					if err != nil {
+						return err
+					}
+					return tx.Write(objSum, sum+v)
+				}
+				committed, err := tm.Once(tmi, p, take)
+				if err == errE15Done {
+					return
+				}
+				if err == errE15Empty {
+					emptyPolls++ // starvation: probe again later
+					consecutive++
+					expBackoff(p, scratch[cfg.Producers+i], rng, consecutive)
+					continue
+				}
+				if err != nil {
+					panic(err)
+				}
+				if committed {
+					consumed++
+					consecutive = 0
+					continue
+				}
+				aborts++
+				consecutive++
+				expBackoff(p, scratch[cfg.Producers+i], rng, consecutive)
+			}
+		})
+	}
+	if err := s.Run(sched.NewRandom(cfg.Seed)); err != nil {
+		return E15Row{}, fmt.Errorf("exp: e15 %s: %w", name, err)
+	}
+	var steps uint64
+	for i := 0; i < procs; i++ {
+		steps += mem.Proc(i).Steps()
+	}
+	row := E15Row{
+		TM: name, Producers: cfg.Producers, Consumers: cfg.Consumers,
+		Produced: produced, Consumed: consumed,
+		FullPolls: fullPolls, EmptyPolls: emptyPolls, Aborts: aborts,
+		Space: mem.NumObjs(),
+	}
+	if mv, ok := tmi.(interface {
+		LiveVersions() int
+		Versions() int
+	}); ok {
+		row.Space = mem.NumObjs() - 3*mv.Versions() + 3*mv.LiveVersions()
+	}
+	if consumed > 0 {
+		row.StepsPerItem = float64(steps) / float64(consumed)
+	}
+	// Every item flows through exactly once: counts and checksum agree.
+	if produced != int(target) || consumed != int(target) {
+		return E15Row{}, fmt.Errorf("exp: e15 %s: produced %d, consumed %d, want %d each", name, produced, consumed, target)
+	}
+	var finalSum uint64
+	s.Go(0, func(p *memory.Proc) {
+		for {
+			committed, err := tm.Once(tmi, p, func(tx tm.Txn) error {
+				v, err := tx.Read(objSum)
+				if err != nil {
+					return err
+				}
+				finalSum = v
+				return nil
+			})
+			if err != nil {
+				panic(err)
+			}
+			if committed {
+				break
+			}
+		}
+	})
+	if err := s.Run(sched.NewRandom(cfg.Seed + 1)); err != nil {
+		return E15Row{}, fmt.Errorf("exp: e15 %s verification: %w", name, err)
+	}
+	if finalSum != producedSum {
+		return E15Row{}, fmt.Errorf("exp: e15 %s: consumed checksum %d, want %d — an item was lost or duplicated", name, finalSum, producedSum)
+	}
+	return row, nil
+}

@@ -176,3 +176,20 @@ func (s *splitMix) next() uint64 {
 	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 	return z ^ (z >> 31)
 }
+
+// expBackoff spins a randomized, exponentially growing number of local
+// reads on the caller's scratch object after the consecutive-th failed
+// attempt — the inline backoff from RunE5's ablation, shared by the
+// high-contention scenarios (E13, E14) where an aggressive contention
+// manager would otherwise mutually abort forever. The spins are real
+// accounted steps, so backed-off runs pay for their waiting.
+func expBackoff(p *memory.Proc, scratch *memory.Obj, rng *splitMix, consecutive int) {
+	shift := consecutive
+	if shift > 8 {
+		shift = 8
+	}
+	spins := int(rng.next() % (uint64(1) << uint(shift)))
+	for b := 0; b < spins; b++ {
+		p.Read(scratch)
+	}
+}

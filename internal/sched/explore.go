@@ -52,6 +52,20 @@ func (e *ErrExplore) Error() string {
 // Unwrap exposes the property error.
 func (e *ErrExplore) Unwrap() error { return e.Err }
 
+// Runner abstracts the deterministic system Explore drives: the
+// cooperative Scheduler over simulated memory here, and the native-engine
+// interleaving harness (internal/schedtest.Harness), which exposes the
+// same grant/park protocol at engine sync points. A Runner must be a pure
+// function of its Policy's choices — same picks, same runnable sets —
+// or exploration prefixes diverge.
+type Runner interface {
+	// SetStepLimit bounds the next Run's granted steps; exceeding it must
+	// surface as an error wrapping ErrStepLimit.
+	SetStepLimit(uint64)
+	// Run executes the registered tasks to completion under the policy.
+	Run(Policy) error
+}
+
 // Explore systematically runs the program under all schedules with at most
 // opts.MaxPreemptions preemptions (or until MaxRuns). build must construct
 // a *fresh* system under test — memory, algorithm instances, scheduler
@@ -59,9 +73,20 @@ func (e *ErrExplore) Unwrap() error { return e.Err }
 // after the execution. Explore returns the first property violation as an
 // *ErrExplore carrying the offending schedule.
 func Explore(build func() (*Scheduler, func() error), opts ExploreOpts) (ExploreResult, error) {
+	return ExploreRunner(func() (Runner, func() error) { return build() }, opts)
+}
+
+// ExploreRunner is Explore generalized over any Runner, so the same
+// preemption-bounded enumeration that model-checks the simulated
+// algorithms can drive the native engines through internal/schedtest.
+func ExploreRunner(build func() (Runner, func() error), opts ExploreOpts) (ExploreResult, error) {
 	maxRuns := opts.MaxRuns
 	if maxRuns == 0 {
 		maxRuns = 100_000
+	}
+	stepLimit := opts.StepLimit
+	if stepLimit == 0 {
+		stepLimit = 5_000
 	}
 	type frontier struct {
 		prefix []int
@@ -76,13 +101,10 @@ func Explore(build func() (*Scheduler, func() error), opts ExploreOpts) (Explore
 		stack = stack[:len(stack)-1]
 		res.Runs++
 
-		s, checkFn := build()
-		s.StepLimit = opts.StepLimit
-		if s.StepLimit == 0 {
-			s.StepLimit = 5_000
-		}
+		r, checkFn := build()
+		r.SetStepLimit(stepLimit)
 		g := &guided{prefix: f.prefix}
-		if err := s.Run(g); err != nil {
+		if err := r.Run(g); err != nil {
 			if errors.Is(err, ErrStepLimit) {
 				res.Truncated++
 				continue // starved spin loop under an unfair schedule: prune

@@ -186,6 +186,10 @@ func New(mem *memory.Memory) *Scheduler {
 	return &Scheduler{mem: mem}
 }
 
+// SetStepLimit sets the step budget for the next Run (0 restores the
+// default). It satisfies the Runner interface Explore is generic over.
+func (s *Scheduler) SetStepLimit(n uint64) { s.StepLimit = n }
+
 // Go registers fn to run as process proc. Each memory process may be
 // registered at most once per Run.
 func (s *Scheduler) Go(proc int, fn func(*memory.Proc)) {

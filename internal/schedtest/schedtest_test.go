@@ -1,0 +1,193 @@
+package schedtest
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/syncpoint"
+)
+
+// TestRoundRobinAlternates drives two workers through three parks each and
+// asserts the fair policy strictly alternates them.
+func TestRoundRobinAlternates(t *testing.T) {
+	h := New()
+	hook := h.Hook()
+	body := func() {
+		hook(syncpoint.Begin)
+		hook(syncpoint.PreLock)
+		hook(syncpoint.PrePublish)
+	}
+	h.Go(body)
+	h.Go(body)
+	if err := h.Run(&sched.RoundRobin{}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	log := h.Log()
+	if len(log) != 6 {
+		t.Fatalf("expected 6 parks, got %d: %v", len(log), log)
+	}
+	for i, s := range log {
+		if s.Worker != i%2 {
+			t.Fatalf("step %d ran worker %d, want strict alternation: %v", i, s.Worker, log)
+		}
+	}
+	// The pick schedule additionally records the completion grant of each
+	// worker (its run from last park to done), which never reaches a hook.
+	if sch := h.Schedule(); len(sch) != 8 {
+		t.Fatalf("expected 8 picks (6 parks + 2 completion grants), got %d: %v", len(sch), sch)
+	}
+}
+
+// TestReplayDeterminism runs the same explicit schedule twice against a
+// racy read-modify-write program and asserts both the executed schedule
+// and the program outcome are identical.
+func TestReplayDeterminism(t *testing.T) {
+	// Schedule the classic lost update: strict alternation parks both
+	// workers at PreLock after loading x=0, so both store 1 and the final
+	// value is 1, not 2 — deterministically.
+	schedule := []int{0, 1, 0, 1, 0, 1}
+	run := func() (int, []Step) {
+		h := New()
+		hook := h.Hook()
+		x := 0
+		body := func() {
+			hook(syncpoint.Begin)
+			tmp := x
+			hook(syncpoint.PreLock)
+			x = tmp + 1
+			hook(syncpoint.PrePublish)
+		}
+		h.Go(body)
+		h.Go(body)
+		if err := h.Run(sched.NewReplay(schedule)); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return x, h.Log()
+	}
+	x1, log1 := run()
+	x2, log2 := run()
+	if x1 != 1 || x2 != 1 {
+		t.Fatalf("lost-update schedule should yield x=1 both times, got %d and %d", x1, x2)
+	}
+	if fmt.Sprint(log1) != fmt.Sprint(log2) {
+		t.Fatalf("same schedule, different executions:\n%v\n%v", log1, log2)
+	}
+}
+
+// TestExploreRunnerFindsLostUpdate lets the preemption-bounded
+// enumeration search for the interleaving that loses an update, then
+// replays the reported schedule and asserts it reproduces the loss.
+func TestExploreRunnerFindsLostUpdate(t *testing.T) {
+	shared := 0
+	build := func() (sched.Runner, func() error) {
+		h := New()
+		hook := h.Hook()
+		shared = 0
+		body := func() {
+			hook(syncpoint.Begin)
+			tmp := shared
+			hook(syncpoint.PreLock)
+			shared = tmp + 1
+			hook(syncpoint.PrePublish)
+		}
+		h.Go(body)
+		h.Go(body)
+		return h, func() error {
+			if shared != 2 {
+				return fmt.Errorf("lost update: x=%d", shared)
+			}
+			return nil
+		}
+	}
+	_, err := sched.ExploreRunner(build, sched.ExploreOpts{MaxPreemptions: 2, MaxRuns: 1_000})
+	var ee *sched.ErrExplore
+	if !errors.As(err, &ee) {
+		t.Fatalf("exploration should find the lost-update interleaving, got %v", err)
+	}
+
+	// The counterexample replays deterministically.
+	h := New()
+	hook := h.Hook()
+	shared = 0
+	body := func() {
+		hook(syncpoint.Begin)
+		tmp := shared
+		hook(syncpoint.PreLock)
+		shared = tmp + 1
+		hook(syncpoint.PrePublish)
+	}
+	h.Go(body)
+	h.Go(body)
+	if err := h.Run(sched.NewReplay(ee.Schedule)); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if shared != 1 {
+		t.Fatalf("counterexample schedule %v no longer loses the update: x=%d", ee.Schedule, shared)
+	}
+}
+
+// TestStepLimitAbandons pins the free-run teardown: a worker spinning at
+// SpinWait forever exceeds the limit, Run reports sched.ErrStepLimit,
+// and the spinner is unwound (no goroutine leak, no hang).
+func TestStepLimitAbandons(t *testing.T) {
+	h := New()
+	h.SetStepLimit(16)
+	hook := h.Hook()
+	h.Go(func() {
+		for {
+			hook(syncpoint.SpinWait) // waits for a condition nobody will produce
+		}
+	})
+	h.Go(func() {
+		hook(syncpoint.Begin)
+	})
+	err := h.Run(&sched.RoundRobin{})
+	if !errors.Is(err, sched.ErrStepLimit) {
+		t.Fatalf("expected ErrStepLimit, got %v", err)
+	}
+}
+
+// TestWorkerPanicSurfaces pins that a worker panic is reported as a Run
+// error and the sibling is abandoned cleanly.
+func TestWorkerPanicSurfaces(t *testing.T) {
+	h := New()
+	hook := h.Hook()
+	h.Go(func() {
+		hook(syncpoint.Begin)
+		panic("boom")
+	})
+	h.Go(func() {
+		hook(syncpoint.Begin)
+		hook(syncpoint.PreLock)
+	})
+	err := h.Run(&sched.RoundRobin{})
+	if err == nil || !errors.Is(err, sched.ErrStepLimit) && err.Error() == "" {
+		t.Fatalf("expected a panic error, got %v", err)
+	}
+	if err == nil || !contains(err.Error(), "boom") {
+		t.Fatalf("expected the panic value in the error, got %v", err)
+	}
+}
+
+// TestOneShot pins that a Harness refuses a second Run.
+func TestOneShot(t *testing.T) {
+	h := New()
+	h.Go(func() {})
+	if err := h.Run(&sched.RoundRobin{}); err != nil {
+		t.Fatalf("first Run: %v", err)
+	}
+	if err := h.Run(&sched.RoundRobin{}); err == nil {
+		t.Fatal("second Run should error")
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

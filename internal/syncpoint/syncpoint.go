@@ -1,0 +1,75 @@
+// Package syncpoint names the engine-side scheduling decision points the
+// deterministic interleaving harness (internal/schedtest) parks worker
+// goroutines at. It is a leaf package — just the enum — so the native
+// engines can reference the point names from their test-only hooks
+// without pulling the simulator scheduler into their import graphs.
+//
+// The six named points are the places a TL2-family commit pipeline makes
+// a decision another transaction can observe or invalidate (see
+// DESIGN.md, "Hostile-schedule replay"): certifying a read, entering and
+// leaving lock acquisition, stamping the commit timestamp, publishing,
+// and entering a GC sweep. Begin and SpinWait are harness plumbing:
+// Begin orders the read-version/snapshot sample against other workers'
+// commits, and SpinWait hands control back to the harness from loops
+// that would otherwise spin forever waiting on a parked peer.
+package syncpoint
+
+// Point identifies one engine sync point.
+type Point uint8
+
+const (
+	// Begin fires at the top of every attempt, before the attempt samples
+	// its read version (stm), snapshot pin (mvstm) or sequence snapshot
+	// (norecstm). Parking here lets a schedule order transaction starts
+	// against other workers' commits.
+	Begin Point = iota
+	// PostReadCertify fires after a transactional read certified its
+	// word/value/word triple (the value is final for this read).
+	PostReadCertify
+	// PreLock fires in commit after the write set is ordered, before the
+	// first lock acquisition.
+	PreLock
+	// PostLock fires once the commit holds its entire write set's locks.
+	PostLock
+	// PreClockStamp fires immediately before the commit takes its write
+	// version: the global-clock advance (stm versioned strategies), the
+	// commit-timestamp selection (TicToc), or the clock bump (mvstm).
+	// NOrec has no clock; this point never fires there.
+	PreClockStamp
+	// PrePublish fires after validation passes, immediately before the
+	// first value store of the publish loop.
+	PrePublish
+	// GCSweep fires at mvstm's GC-sweep entry, before the sweep samples
+	// the minimum active snapshot it will truncate version chains to.
+	// The single-version engines never fire it.
+	GCSweep
+	// SpinWait fires on each iteration of an engine wait loop (NOrec's
+	// commit-in-progress spins, mvstm's pre-pin lock-holder wait, stm's
+	// Retry poll). The harness treats the worker as still runnable: a
+	// schedule must eventually grant the worker it is waiting on.
+	SpinWait
+)
+
+// String returns the point's name for schedule dumps and test failures.
+func (p Point) String() string {
+	switch p {
+	case Begin:
+		return "begin"
+	case PostReadCertify:
+		return "post-read-certify"
+	case PreLock:
+		return "pre-lock"
+	case PostLock:
+		return "post-lock"
+	case PreClockStamp:
+		return "pre-clock-stamp"
+	case PrePublish:
+		return "pre-publish"
+	case GCSweep:
+		return "gc-sweep"
+	case SpinWait:
+		return "spin-wait"
+	default:
+		return "unknown"
+	}
+}

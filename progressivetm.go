@@ -225,5 +225,26 @@ func RunE11(tmName string, cfg exp.E11Config) (exp.E11Row, error) { return exp.R
 // repro/stm/mvstm under a real BudgetPolicy).
 func RunE12(tmName string, cfg exp.E12Config) (exp.E12Row, error) { return exp.RunE12(tmName, cfg) }
 
+// RunE13 runs the graph-routing scenario (STAMP labyrinth shape: routers
+// claiming long speculative paths through a shared grid, write sets as
+// large as read sets), optionally metering each attempt with a step
+// budget so over-long routes are refused. The native counterpart is
+// BenchmarkE13GraphRouting (repro/stm and repro/stm/mvstm).
+func RunE13(tmName string, cfg exp.E13Config) (exp.E13Row, error) { return exp.RunE13(tmName, cfg) }
+
+// RunE14 runs the clustering scenario (STAMP kmeans shape: tiny
+// read-modify-writes funneled onto K shared centroid accumulators, with
+// periodic full-width recenter passes) — the high-contention point-RMW
+// counterpart of E13's long routes. The native counterpart is
+// BenchmarkE14Clustering (repro/stm and repro/stm/norecstm).
+func RunE14(tmName string, cfg exp.E14Config) (exp.E14Row, error) { return exp.RunE14(tmName, cfg) }
+
+// RunE15 runs the producer/consumer pipeline scenario (a bounded queue
+// where transactions are the coordination: producers poll under
+// backpressure, consumers poll under starvation). The native counterpart
+// is BenchmarkE15Pipeline, where stm.Queue's Retry replaces polling with
+// composable blocking.
+func RunE15(tmName string, cfg exp.E15Config) (exp.E15Row, error) { return exp.RunE15(tmName, cfg) }
+
 // PrintTable renders rows produced by the Run* helpers.
 func PrintTable(w io.Writer, t *Table) { t.Print(w) }

@@ -93,6 +93,54 @@ func TestFacadeRunE12(t *testing.T) {
 	}
 }
 
+// TestFacadeRunE13 smoke-tests the E13 facade runner: every route
+// resolves exactly one way, and with no budget none is refused.
+func TestFacadeRunE13(t *testing.T) {
+	cfg := exp.DefaultE13Config()
+	cfg.Procs, cfg.RoutesPerProc = 4, 3
+	row, err := ptm.RunE13("tl2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quota := cfg.Procs * cfg.RoutesPerProc
+	if got := row.Routed + row.Replanned + row.Refused; got != quota {
+		t.Fatalf("routes resolved %d ways, want %d", got, quota)
+	}
+	if row.Refused != 0 {
+		t.Fatalf("refused = %d with no budget", row.Refused)
+	}
+}
+
+// TestFacadeRunE14 smoke-tests the E14 facade runner: the commit quota is
+// fixed by the config (assignments plus recenter passes).
+func TestFacadeRunE14(t *testing.T) {
+	cfg := exp.DefaultE14Config()
+	cfg.Procs, cfg.PointsPerProc, cfg.RecenterEvery = 4, 8, 4
+	row, err := ptm.RunE14("tl2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Procs*cfg.PointsPerProc + cfg.Procs*(cfg.PointsPerProc/cfg.RecenterEvery)
+	if row.Commits != want {
+		t.Fatalf("commits = %d, want %d", row.Commits, want)
+	}
+}
+
+// TestFacadeRunE15 smoke-tests the E15 facade runner: the full item flow
+// passes through the pipe (RunE15 cross-checks the checksum itself).
+func TestFacadeRunE15(t *testing.T) {
+	cfg := exp.DefaultE15Config()
+	cfg.Producers, cfg.Consumers, cfg.ItemsPerProducer = 2, 2, 6
+	row, err := ptm.RunE15("tl2", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Producers * cfg.ItemsPerProducer
+	if row.Produced != want || row.Consumed != want {
+		t.Fatalf("produced %d, consumed %d, want %d each", row.Produced, row.Consumed, want)
+	}
+}
+
 func TestFacadeRegistries(t *testing.T) {
 	algos := ptm.Algorithms()
 	if len(algos) < 8 {

@@ -23,6 +23,17 @@ func FuzzBudget(f *testing.F) {
 	f.Add([]byte{3, 0x80, 0x81, 0x82, 0x83, 0x84, 0x85})
 	f.Add([]byte{9, 0x80, 0x81, 1, 2, 0x80, 3})
 	f.Add([]byte{255, 0, 1, 2, 3, 4, 5, 6, 7, 0x80, 0x81, 0x82})
+	// Exhaustion mid-commit on a promoted write set — the schedtest
+	// counterexample shape (block exhaustion after the body succeeded): 26
+	// writes cross writeSetMapThreshold and, with four logged reads, the
+	// body's ~60 units fit a grant of 62 but the commit-time read-set
+	// charge does not, so the refusal fires inside the commit.
+	exhaustMidCommit := []byte{62}
+	for i := 0; i < 26; i++ {
+		exhaustMidCommit = append(exhaustMidCommit, byte(i)&0x7f)
+	}
+	exhaustMidCommit = append(exhaustMidCommit, 0x80, 0x81, 0x82, 0x83)
+	f.Add(exhaustMidCommit)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) == 0 {
 			return

@@ -1,6 +1,7 @@
 package stm
 
 import (
+	"repro/internal/syncpoint"
 	"repro/internal/tm"
 	"repro/internal/tm/lockword"
 )
@@ -15,6 +16,13 @@ func StartTrace() { startTrace() }
 // StopTrace disables tracing and returns the recorded history. Call after
 // joining every workload goroutine.
 func StopTrace() *tm.History { return stopTrace() }
+
+// SetSyncHook installs the scheduling-harness hook (see syncpoint.go):
+// every transaction begun while it is set calls h at each engine sync
+// point, and proc supplies the harness worker id traced as the history
+// Proc. Install and remove (h = nil) only with no transactions in
+// flight, and run no transactions outside the harness while it is set.
+func SetSyncHook(h func(syncpoint.Point), proc func() int) { setSyncHook(h, proc) }
 
 // ReadSetLen reports how many read-set entries the descriptor has logged;
 // the RO fast path must keep it at zero.

@@ -101,6 +101,20 @@ func FuzzMVStm(f *testing.F) {
 	// Batched multi-Var transaction crossing the write-set promotion
 	// threshold (24), plus RMWs and a full snapshot readback.
 	f.Add([]byte{6, 0, 30, 1, 4, 9, 2, 3, 0, 7, 5, 0, 6, 2, 13, 2, 0, 0})
+	// GC truncation inside a pin window — the schedtest counterexample
+	// shape (TestSchedPinnedSnapshotVsGCTruncation): pin a snapshot over a
+	// two-Var pair, then churn BOTH Vars past the sweep trigger (twice the
+	// retention) so buildChain considers truncation while the pin is the
+	// oldest active reader, read the pair through the pin mid-churn and
+	// after, then unpin and verify the post-churn world.
+	truncInWindow := []byte{0, 0, 1, 0, 1, 2, 3, 0, 0}
+	for i := 0; i <= 2*fuzzRetention; i++ {
+		truncInWindow = append(truncInWindow,
+			0, 0, byte(30+i), 0, 1, byte(60+i), // write the pair
+			4, 0, 0, 4, 1, 0) // pinned reads inside the window
+	}
+	truncInWindow = append(truncInWindow, 2, 0, 0, 5, 0, 0, 2, 0, 0)
+	f.Add(truncInWindow)
 
 	f.Fuzz(func(t *testing.T, ops []byte) {
 		mvstm.SetRetention(fuzzRetention)

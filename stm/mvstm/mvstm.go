@@ -83,6 +83,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/mempool"
+	"repro/internal/syncpoint"
 	"repro/internal/tm/lockword"
 	"repro/stm/budget"
 )
@@ -425,8 +426,10 @@ type Tx struct {
 	// monotone clock.
 	retired []retiredChain
 	// trec is the test-only trace record of the current attempt (nil
-	// outside tracing tests; see trace.go).
+	// outside tracing tests; see trace.go). sync is the test-only
+	// scheduling hook picked up at call entry (see syncpoint.go).
 	trec *traceTxn
+	sync func(syncpoint.Point)
 }
 
 // retiredChain is a chain unlinked from its Var, awaiting quiescence
@@ -497,6 +500,7 @@ func (tx *Tx) reset() {
 // load happens after the sweeper sampled its own (older) read timestamp,
 // so rv is at least the sweep's floor and the snapshot is safe.
 func (tx *Tx) pin() {
+	tx.syncAt(syncpoint.Begin)
 	tx.slot.ts.Store(slotJoining)
 	tx.rv = clock.Load()
 	tx.slot.ts.Store(tx.rv + slotBias)
@@ -647,7 +651,12 @@ func (tx *Tx) readSnapshot(v varBase) (any, uint64) {
 			break
 		}
 		// A pre-pin lock holder: publication is imminent unless the holder
-		// was preempted, so yield and then back off to real sleeps.
+		// was preempted, so yield and then back off to real sleeps. Under
+		// the scheduling harness the holder is a parked worker — hand
+		// control to the schedule instead of spinning.
+		if tx.syncSpin() {
+			continue
+		}
 		if spins < 8 {
 			runtime.Gosched()
 		} else {
@@ -671,6 +680,11 @@ func (tx *Tx) readSnapshot(v varBase) (any, uint64) {
 	if tx.trec != nil {
 		tx.traceRead(v, val)
 	}
+	// The snapshot lookup is this engine's read-certification analogue:
+	// the value is fixed once the chain walk returns, so the harness
+	// point sits after it (a writer granted here commits versions the
+	// pinned snapshot must — and does — ignore).
+	tx.syncAt(syncpoint.PostReadCertify)
 	return val, lockword.Version(w)
 }
 
@@ -850,6 +864,7 @@ func (tx *Tx) commit() bool {
 			return false
 		}
 	}
+	tx.syncAt(syncpoint.PreLock)
 	locked := 0
 	for i := range tx.writes {
 		prev, ok := tx.writes[i].v.tryLock()
@@ -869,16 +884,19 @@ func (tx *Tx) commit() bool {
 		tx.recycleBuilds()
 		return false
 	}
+	tx.syncAt(syncpoint.PostLock)
 	// The write version is fetched before validating (as in TL2 and the
 	// simulated mvtm): any writer serialized after this point either fails
 	// the ≤ rv check or is caught holding a lock. Both strategies draw a
 	// version above a post-lock clock load (see clock.go).
+	tx.syncAt(syncpoint.PreClockStamp)
 	wv := tx.advanceClock()
 	if !tx.validateCommit() {
 		releaseLocked(locked)
 		tx.recycleBuilds()
 		return false
 	}
+	tx.syncAt(syncpoint.PrePublish)
 	hwm := 0
 	for i := range tx.writes {
 		e := &tx.writes[i]
@@ -947,6 +965,11 @@ func (tx *Tx) buildChain(e *writeEntry, st *statShard) {
 	e.base, e.reclaimed = c, 0
 	if c.len() >= gcSlackFactor*int(retention.Load()) {
 		if tx.minState == 0 {
+			// The sweep is about to sample the epoch table: a reader
+			// granted here and pinning now must either be seen by the
+			// scan or make the sweep skip (the joining-sentinel race the
+			// GC-truncation pathology test interleaves against).
+			tx.syncAt(syncpoint.GCSweep)
 			if m, ok := minActiveRV(tx.rv); ok {
 				tx.minRV, tx.minState = m, 1
 			} else {
@@ -992,6 +1015,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro = false
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -1089,6 +1116,10 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	}
 	tx := txPool.Get().(*Tx)
 	tx.ro = true
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -1169,6 +1200,9 @@ func waitForChange(tx *Tx, ctx context.Context) {
 		}
 		if ctx != nil && ctx.Err() != nil {
 			return
+		}
+		if tx.syncSpin() {
+			continue
 		}
 		if spins < 4 {
 			runtime.Gosched()

@@ -1,0 +1,206 @@
+package mvstm_test
+
+// Hostile-schedule replay against the real multi-version engine, via the
+// internal/schedtest harness (see stm/schedtest_test.go for the TL2
+// counterpart and the instance-design notes). mvstm is where the fourth
+// race-only pathology of PR 8 lives: a pinned snapshot racing GC
+// truncation, deterministic here because the GC sweep itself is a sync
+// point (syncpoint.GCSweep fires just before a committing writer
+// consults the minimum active read version).
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+	"repro/internal/syncpoint"
+	"repro/internal/tm"
+	"repro/stm/mvstm"
+)
+
+// buildSchedInstance registers the standard three-transaction instance
+// (see stm/schedtest_test.go: asymmetric so every schedule terminates)
+// on a fresh harness over fresh Vars, and installs the hook and trace.
+func buildSchedInstance() *schedtest.Harness {
+	x := mvstm.NewVar(0)
+	y := mvstm.NewVar(0)
+	h := schedtest.New()
+	h.Go(func() {
+		_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+			y.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+			x.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			_ = x.Get(tx)
+			_ = y.Get(tx)
+			return nil
+		})
+	})
+	h.SetStepLimit(20_000)
+	mvstm.SetSyncHook(h.Hook(), h.Proc())
+	mvstm.StartTrace()
+	return h
+}
+
+func runSchedInstance(t *testing.T, pol sched.Policy) (*tm.History, *schedtest.Harness) {
+	t.Helper()
+	h := buildSchedInstance()
+	defer mvstm.SetSyncHook(nil, nil)
+	err := h.Run(pol)
+	hist := mvstm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	return hist, h
+}
+
+// TestSchedRoundRobinOpacity replays the fair adversarial schedule
+// against the real engine, the oracle asserting opacity on the result
+// (verifyHistory lives in trace_opacity_test.go).
+func TestSchedRoundRobinOpacity(t *testing.T) {
+	hist, h := runSchedInstance(t, &sched.RoundRobin{})
+	if len(h.Log()) == 0 {
+		t.Fatal("harness recorded no parks — the sync hooks did not fire")
+	}
+	verifyHistory(t, hist)
+}
+
+// TestSchedScheduleDeterminism: the same schedule driven twice against
+// the real engine yields byte-identical trace histories, and the pick
+// schedule extracted from a run replays to the same history again.
+func TestSchedScheduleDeterminism(t *testing.T) {
+	hist1, run1 := runSchedInstance(t, &sched.RoundRobin{})
+	hist2, run2 := runSchedInstance(t, &sched.RoundRobin{})
+	if fmt.Sprint(run1.Log()) != fmt.Sprint(run2.Log()) {
+		t.Fatalf("same policy, different schedules:\n%v\n%v", run1.Log(), run2.Log())
+	}
+	if hist1.String() != hist2.String() {
+		t.Fatalf("same schedule, different histories:\n%s\nvs\n%s", hist1, hist2)
+	}
+	hist3, _ := runSchedInstance(t, sched.NewReplay(run1.Schedule()))
+	if hist3.String() != hist1.String() {
+		t.Fatalf("extracted schedule %v diverged on replay:\n%s\nvs\n%s", run1.Schedule(), hist3, hist1)
+	}
+}
+
+// TestSchedExploreOpacity runs Explore's preemption-bounded enumeration
+// against the real engine; every bounded schedule of the instance must
+// yield an opaque history, and one explored schedule must replay to a
+// byte-identical history.
+func TestSchedExploreOpacity(t *testing.T) {
+	defer mvstm.SetSyncHook(nil, nil)
+	var schedules [][]int
+	build := func() (sched.Runner, func() error) {
+		h := buildSchedInstance()
+		return h, func() error {
+			hist := mvstm.StopTrace()
+			if res := check.Opaque(hist); !res.OK {
+				return fmt.Errorf("history not opaque:\n%s", hist)
+			}
+			schedules = append(schedules, h.Schedule())
+			return nil
+		}
+	}
+	res, err := sched.ExploreRunner(build, sched.ExploreOpts{MaxPreemptions: 1, MaxRuns: 64, StepLimit: 400})
+	mvstm.SetSyncHook(nil, nil)
+	mvstm.StopTrace()
+	if err != nil {
+		t.Fatalf("exploration found a violation: %v", err)
+	}
+	if res.Runs < 5 || len(schedules) < 2 {
+		t.Fatalf("exploration barely branched (runs=%d, completed=%d) — the hooks are not creating decision points", res.Runs, len(schedules))
+	}
+	target := schedules[len(schedules)-1]
+	h1, _ := runSchedInstance(t, sched.NewReplay(target))
+	h2, _ := runSchedInstance(t, sched.NewReplay(target))
+	if h1.String() != h2.String() {
+		t.Fatalf("explored schedule %v diverged on replay:\n%s\nvs\n%s", target, h1, h2)
+	}
+	verifyHistory(t, h1)
+}
+
+// TestSchedPinnedSnapshotVsGCTruncation pins the fourth pathology: a
+// read-only transaction pins its snapshot and certifies x, a writer then
+// commits six generations of an invariant-preserving pair (x=i, y=-i)
+// with the retention cranked down so its chain builds run GC sweeps
+// while the reader is parked, and the reader's resumed read of y must
+// come from its pinned snapshot — the sweep must retain the old
+// versions the registered reader can still need, however far past the
+// retention the chains grow.
+func TestSchedPinnedSnapshotVsGCTruncation(t *testing.T) {
+	mvstm.SetRetention(2)
+	defer mvstm.SetRetention(mvstm.DefaultRetention)
+	x := mvstm.NewVar(0)
+	y := mvstm.NewVar(0)
+	gotX, gotY := -1, -1
+	h := schedtest.New()
+	h.Go(func() {
+		_ = mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+			gotX = x.Get(tx)
+			gotY = y.Get(tx)
+			return nil
+		})
+	})
+	h.Go(func() {
+		for i := 1; i <= 6; i++ {
+			_ = mvstm.Atomically(func(tx *mvstm.Tx) error {
+				x.Set(tx, i)
+				y.Set(tx, -i)
+				return nil
+			})
+		}
+	})
+	h.SetStepLimit(20_000)
+	mvstm.SetSyncHook(h.Hook(), h.Proc())
+	defer mvstm.SetSyncHook(nil, nil)
+	mvstm.StartTrace()
+	pol := &schedtest.PolicyFunc{Label: "truncate-under-pin", PickFn: func(runnable []int, _ uint64) int {
+		// Park the reader once it has pinned and certified x, run the
+		// writer's six commits (GC sweeps included) to completion, then
+		// resume the reader.
+		if h.Count(0, syncpoint.PostReadCertify) == 0 && slices.Contains(runnable, 0) {
+			return 0
+		}
+		if slices.Contains(runnable, 1) {
+			return 1
+		}
+		return runnable[0]
+	}}
+	err := h.Run(pol)
+	mvstm.SetSyncHook(nil, nil) // before the checks below run transactions of their own
+	hist := mvstm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if h.Count(1, syncpoint.GCSweep) == 0 {
+		t.Fatal("no GC sweep ran under the pinned reader — the pathology precondition did not hold")
+	}
+	if gotX != 0 || gotY != 0 {
+		t.Fatalf("pinned reader got (x,y) = (%d,%d), want the snapshot (0,0): GC truncated a pinned version", gotX, gotY)
+	}
+	if n := mvstm.ChainLen(x); n < 2 {
+		t.Fatalf("x retains %d versions under an active pin, want at least the pinned and the newest", n)
+	}
+	verifyHistory(t, hist)
+	var fx, fy int
+	if err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		fx, fy = x.Get(tx), y.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if fx != 6 || fy != -6 {
+		t.Fatalf("post-run state (x,y) = (%d,%d), want (6,-6)", fx, fy)
+	}
+}

@@ -1,0 +1,45 @@
+package mvstm
+
+// Test-only scheduling hooks, mirroring repro/stm's syncpoint.go: a
+// plain global bool plus a per-descriptor callback, zero cost when off
+// (one nil check per site). The deterministic interleaving harness
+// (internal/schedtest) installs a hook that parks the calling goroutine
+// at each syncpoint.Point until a schedule grants it.
+//
+// mvstm fires the full set: syncpoint.GCSweep marks the commit-side
+// chain truncation consulting the epoch table (buildChain), the point
+// the pinned-snapshot-vs-GC pathology interleaves against. The snapshot
+// read's pre-pin-holder wait loop fires syncpoint.SpinWait each
+// iteration instead of yielding to the Go scheduler: under the harness
+// the lock holder is a parked worker, and only the schedule can run it.
+
+import "repro/internal/syncpoint"
+
+var syncOn bool
+var syncHook func(syncpoint.Point)
+var syncProc func() int
+
+// setSyncHook installs (or, with nil, removes) the scheduling hook and
+// the worker-id source. Test-only; exported via export_test.go.
+func setSyncHook(h func(syncpoint.Point), proc func() int) {
+	syncHook, syncProc = h, proc
+	syncOn = h != nil
+}
+
+// syncAt fires the descriptor's hook, if one was picked up at entry.
+func (tx *Tx) syncAt(p syncpoint.Point) {
+	if tx.sync != nil {
+		tx.sync(p)
+	}
+}
+
+// syncSpin hands control back to the harness from a wait loop; it
+// reports whether a hook is installed so callers can skip the
+// runtime.Gosched / sleep that would otherwise pace the spin.
+func (tx *Tx) syncSpin() bool {
+	if tx.sync == nil {
+		return false
+	}
+	tx.sync(syncpoint.SpinWait)
+	return true
+}

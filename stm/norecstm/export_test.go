@@ -1,6 +1,27 @@
 package norecstm
 
-// Test-only exports for the budget and panic-safety tests.
+// Test-only exports for the budget, panic-safety, tracing and
+// scheduling-harness tests.
+
+import (
+	"repro/internal/syncpoint"
+	"repro/internal/tm"
+)
+
+// StartTrace enables history tracing (see trace.go). Call with no
+// transactions in flight, before spawning workload goroutines.
+func StartTrace() { startTrace() }
+
+// StopTrace disables tracing and returns the recorded history. Call
+// after joining every workload goroutine.
+func StopTrace() *tm.History { return stopTrace() }
+
+// SetSyncHook installs the scheduling-harness hook (see syncpoint.go):
+// every transaction begun while it is set calls h at each engine sync
+// point, and proc supplies the harness worker id traced as the history
+// Proc. Install and remove (h = nil) only with no transactions in
+// flight, and run no transactions outside the harness while it is set.
+func SetSyncHook(h func(syncpoint.Point), proc func() int) { setSyncHook(h, proc) }
 
 // SeqQuiescent reports whether the global sequence lock is released (even
 // value): every abort path must leave it so, or the engine deadlocks.

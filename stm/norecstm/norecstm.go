@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/backoff"
+	"repro/internal/syncpoint"
 	"repro/stm/budget"
 )
 
@@ -118,6 +119,11 @@ type Tx struct {
 	budgetExceeded bool
 	budgetLeft     uint64
 	costs          budget.Costs
+	// trec is the test-only trace record of the current attempt (nil
+	// outside tracing tests; see trace.go); sync the test-only scheduling
+	// hook of the current call (nil outside harness tests; syncpoint.go).
+	trec *traceTxn
+	sync func(syncpoint.Point)
 }
 
 type readEntry struct {
@@ -143,6 +149,7 @@ func (tx *Tx) reset() {
 	tx.writes = tx.writes[:0]
 	tx.wmap = nil
 	tx.roReads = 0
+	tx.trec = nil
 }
 
 // release returns the descriptor to the pool, dropping oversized backing
@@ -173,13 +180,16 @@ func (tx *Tx) findWrite(v varBase) (int, bool) {
 }
 
 func (tx *Tx) begin() {
+	tx.syncAt(syncpoint.Begin)
 	for {
 		s := seq.Load()
 		if s&1 == 0 {
 			tx.snap = s
 			return
 		}
-		runtime.Gosched()
+		if !tx.syncSpin() {
+			runtime.Gosched()
+		}
 	}
 }
 
@@ -199,7 +209,9 @@ func (tx *Tx) validate() {
 	for {
 		s := seq.Load()
 		if s&1 == 1 {
-			runtime.Gosched()
+			if !tx.syncSpin() {
+				runtime.Gosched()
+			}
 			continue
 		}
 		ok := true
@@ -229,6 +241,9 @@ func (tx *Tx) read(v varBase) any {
 		tx.charge(tx.costs.Step)
 	}
 	if i, ok := tx.findWrite(v); ok {
+		if tx.trec != nil {
+			tx.traceRead(v, tx.writes[i].val)
+		}
 		return tx.writes[i].val
 	}
 	b := v.loadBox()
@@ -236,6 +251,10 @@ func (tx *Tx) read(v varBase) any {
 		tx.validate()
 		b = v.loadBox()
 	}
+	if tx.trec != nil {
+		tx.traceRead(v, b.val)
+	}
+	tx.syncAt(syncpoint.PostReadCertify)
 	if tx.metered {
 		tx.charge(tx.costs.Read)
 	}
@@ -259,13 +278,20 @@ func (tx *Tx) readRO(v varBase) any {
 		s := seq.Load()
 		if s == tx.snap {
 			tx.roReads++
+			if tx.trec != nil {
+				tx.traceRead(v, b.val)
+			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			return b.val
 		}
 		if tx.roReads > 0 {
 			panic(retrySignal{})
 		}
 		if s&1 == 1 {
-			runtime.Gosched() // a writer is mid-commit; wait for a stable sequence
+			// A writer is mid-commit; wait for a stable sequence.
+			if !tx.syncSpin() {
+				runtime.Gosched()
+			}
 			continue
 		}
 		tx.snap = s // no reads certified yet: adopt the newer snapshot
@@ -278,6 +304,9 @@ func (tx *Tx) write(v varBase, val any) {
 	}
 	if tx.metered {
 		tx.charge(tx.costs.Step)
+	}
+	if tx.trec != nil {
+		tx.traceWrite(v, val)
 	}
 	if i, ok := tx.findWrite(v); ok {
 		tx.writes[i].val = val
@@ -330,11 +359,15 @@ func (tx *Tx) commit() (ok bool) {
 			panic(r)
 		}
 	}()
+	tx.syncAt(syncpoint.PreLock)
 	for !seq.CompareAndSwap(tx.snap, tx.snap+1) {
 		// The sequence moved: revalidate, then retry from the refreshed
 		// snapshot.
 		tx.validate()
 	}
+	// The CAS moved seq odd: this commit holds the global sequence lock.
+	tx.syncAt(syncpoint.PostLock)
+	tx.syncAt(syncpoint.PrePublish)
 	for i := range tx.writes {
 		tx.writes[i].v.storeBox(&box{val: tx.writes[i].val})
 	}
@@ -364,6 +397,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 	admitted()
 	tx := txPool.Get().(*Tx)
 	tx.ro = false
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -384,28 +421,37 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 		}
 		tx.reset()
 		tx.begin()
+		if traceOn {
+			tx.traceBegin()
+		}
 		err, ctl := runAttempt(tx, fn)
 		switch ctl {
 		case ctlOK:
 			if err != nil {
+				tx.traceEnd(false)
 				tx.release()
 				return err
 			}
 			if tx.commit() {
 				tx.stat().commits.Add(1)
+				tx.traceEnd(true)
 				tx.release()
 				return nil
 			}
 			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
 			if tx.budgetExceeded {
 				return tx.budgetAbort()
 			}
 		case ctlRetryNow:
 			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
 		case ctlBudget:
 			tx.stat().aborts.Add(1)
+			tx.traceEnd(false)
 			return tx.budgetAbort()
 		case ctlRetryWait:
+			tx.traceEnd(false)
 			waitForChange(tx, ctx)
 			continue // the wait already yielded; retry immediately
 		}
@@ -438,6 +484,10 @@ func AtomicallyROCtx(ctx context.Context, fn func(tx *Tx) error) error {
 func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro = true
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -455,21 +505,27 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 		}
 		tx.reset()
 		tx.begin()
+		if traceOn {
+			tx.traceBegin()
+		}
 		err, ctl := runAttempt(tx, fn)
 		if ctl == ctlOK {
 			// Nothing to commit: every read was certified against the
 			// unmoved sequence when it was performed.
 			if err != nil {
+				tx.traceEnd(false)
 				tx.release()
 				return err
 			}
 			tx.stat().commits.Add(1)
 			tx.stat().roCommits.Add(1)
+			tx.traceEnd(true)
 			tx.release()
 			return nil
 		}
 		// ctlRetryWait is impossible here (Retry panics on the RO path).
 		tx.stat().aborts.Add(1)
+		tx.traceEnd(false)
 		if ctl == ctlBudget {
 			return tx.budgetAbort()
 		}
@@ -521,6 +577,8 @@ func waitForChange(tx *Tx, ctx context.Context) {
 		if ctx != nil && spins&63 == 0 && ctx.Err() != nil {
 			return
 		}
-		runtime.Gosched()
+		if !tx.syncSpin() {
+			runtime.Gosched()
+		}
 	}
 }

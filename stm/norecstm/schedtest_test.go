@@ -1,0 +1,205 @@
+package norecstm_test
+
+// Hostile-schedule replay against the real NOrec engine, via the
+// internal/schedtest harness (see stm/schedtest_test.go for the TL2
+// counterpart and the instance-design notes). NOrec is the interesting
+// engine for the harness's SpinWait protocol: its begin/validate/readRO
+// paths spin on the global sequence lock, and under the harness the
+// committer holding it is a parked worker — only the schedule can run
+// it, so every spin iteration parks at syncpoint.SpinWait instead of
+// yielding to the Go scheduler.
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+	"repro/internal/syncpoint"
+	"repro/internal/tm"
+	"repro/stm/norecstm"
+)
+
+// verifyHistory asserts the two oracle properties on a recorded native
+// history.
+func verifyHistory(t *testing.T, h *tm.History) {
+	t.Helper()
+	if len(h.Txns) == 0 {
+		t.Fatal("trace recorded no transactions")
+	}
+	if res := check.Opaque(h); !res.OK {
+		t.Errorf("history is not opaque:\n%s", h)
+	}
+	if res := check.StrictlySerializable(h); !res.OK {
+		t.Errorf("history is not strictly serializable:\n%s", h)
+	}
+}
+
+// buildSchedInstance registers the standard three-transaction instance
+// (see stm/schedtest_test.go: asymmetric so every schedule terminates)
+// on a fresh harness over fresh Vars, and installs the hook and trace.
+func buildSchedInstance() *schedtest.Harness {
+	x := norecstm.NewVar(0)
+	y := norecstm.NewVar(0)
+	h := schedtest.New()
+	h.Go(func() {
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			y.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			x.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = norecstm.AtomicallyRO(func(tx *norecstm.Tx) error {
+			_ = x.Get(tx)
+			_ = y.Get(tx)
+			return nil
+		})
+	})
+	h.SetStepLimit(20_000)
+	norecstm.SetSyncHook(h.Hook(), h.Proc())
+	norecstm.StartTrace()
+	return h
+}
+
+func runSchedInstance(t *testing.T, pol sched.Policy) (*tm.History, *schedtest.Harness) {
+	t.Helper()
+	h := buildSchedInstance()
+	defer norecstm.SetSyncHook(nil, nil)
+	err := h.Run(pol)
+	hist := norecstm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if !norecstm.SeqQuiescent() {
+		t.Fatal("sequence lock left held after the run")
+	}
+	return hist, h
+}
+
+// TestSchedRoundRobinOpacity replays the fair adversarial schedule
+// against the real engine: maximal interleaving at every sync point —
+// including the value-based revalidation a mid-schedule commit forces on
+// its concurrent readers — with the oracle asserting opacity.
+func TestSchedRoundRobinOpacity(t *testing.T) {
+	hist, h := runSchedInstance(t, &sched.RoundRobin{})
+	if len(h.Log()) == 0 {
+		t.Fatal("harness recorded no parks — the sync hooks did not fire")
+	}
+	verifyHistory(t, hist)
+}
+
+// TestSchedScheduleDeterminism: the same schedule driven twice against
+// the real engine yields byte-identical trace histories, and the pick
+// schedule extracted from a run replays to the same history again.
+func TestSchedScheduleDeterminism(t *testing.T) {
+	hist1, run1 := runSchedInstance(t, &sched.RoundRobin{})
+	hist2, run2 := runSchedInstance(t, &sched.RoundRobin{})
+	if fmt.Sprint(run1.Log()) != fmt.Sprint(run2.Log()) {
+		t.Fatalf("same policy, different schedules:\n%v\n%v", run1.Log(), run2.Log())
+	}
+	if hist1.String() != hist2.String() {
+		t.Fatalf("same schedule, different histories:\n%s\nvs\n%s", hist1, hist2)
+	}
+	hist3, _ := runSchedInstance(t, sched.NewReplay(run1.Schedule()))
+	if hist3.String() != hist1.String() {
+		t.Fatalf("extracted schedule %v diverged on replay:\n%s\nvs\n%s", run1.Schedule(), hist3, hist1)
+	}
+}
+
+// TestSchedExploreOpacity runs Explore's preemption-bounded enumeration
+// against the real engine; every bounded schedule of the instance must
+// yield an opaque history, and one explored schedule must replay to a
+// byte-identical history.
+func TestSchedExploreOpacity(t *testing.T) {
+	defer norecstm.SetSyncHook(nil, nil)
+	var schedules [][]int
+	build := func() (sched.Runner, func() error) {
+		h := buildSchedInstance()
+		return h, func() error {
+			hist := norecstm.StopTrace()
+			if res := check.Opaque(hist); !res.OK {
+				return fmt.Errorf("history not opaque:\n%s", hist)
+			}
+			schedules = append(schedules, h.Schedule())
+			return nil
+		}
+	}
+	res, err := sched.ExploreRunner(build, sched.ExploreOpts{MaxPreemptions: 1, MaxRuns: 64, StepLimit: 400})
+	norecstm.SetSyncHook(nil, nil)
+	norecstm.StopTrace()
+	if err != nil {
+		t.Fatalf("exploration found a violation: %v", err)
+	}
+	if res.Runs < 5 || len(schedules) < 2 {
+		t.Fatalf("exploration barely branched (runs=%d, completed=%d) — the hooks are not creating decision points", res.Runs, len(schedules))
+	}
+	target := schedules[len(schedules)-1]
+	h1, _ := runSchedInstance(t, sched.NewReplay(target))
+	h2, _ := runSchedInstance(t, sched.NewReplay(target))
+	if h1.String() != h2.String() {
+		t.Fatalf("explored schedule %v diverged on replay:\n%s\nvs\n%s", target, h1, h2)
+	}
+	verifyHistory(t, h1)
+}
+
+// TestSchedCommitInvalidatesSnapshot pins NOrec's one schedule-sensitive
+// behavior deterministically: a reader samples the sequence and certifies
+// x, a writer then commits (bumping the global sequence), and the
+// reader's next read must revalidate by value — the committed write to y
+// forces an abort, and the retry reads the writer's pair.
+func TestSchedCommitInvalidatesSnapshot(t *testing.T) {
+	x := norecstm.NewVar(0)
+	y := norecstm.NewVar(0)
+	attempts := 0
+	gotX, gotY := -1, -1
+	h := schedtest.New()
+	h.Go(func() {
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			attempts++
+			gotX = x.Get(tx)
+			gotY = y.Get(tx)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = norecstm.Atomically(func(tx *norecstm.Tx) error {
+			x.Set(tx, 10)
+			y.Set(tx, 10)
+			return nil
+		})
+	})
+	h.SetStepLimit(20_000)
+	norecstm.SetSyncHook(h.Hook(), h.Proc())
+	defer norecstm.SetSyncHook(nil, nil)
+	norecstm.StartTrace()
+	pol := &schedtest.PolicyFunc{Label: "commit-under-snapshot", PickFn: func(runnable []int, _ uint64) int {
+		if h.Count(0, syncpoint.PostReadCertify) == 0 && slices.Contains(runnable, 0) {
+			return 0
+		}
+		if slices.Contains(runnable, 1) {
+			return 1
+		}
+		return runnable[0]
+	}}
+	err := h.Run(pol)
+	norecstm.SetSyncHook(nil, nil) // before the checks below run transactions of their own
+	hist := norecstm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if gotX != 10 || gotY != 10 {
+		t.Fatalf("reader got (x,y) = (%d,%d), want the committed (10,10) — a torn snapshot survived", gotX, gotY)
+	}
+	if attempts < 2 {
+		t.Fatalf("attempts = %d, want ≥ 2 (the sequence bump must force a revalidation abort)", attempts)
+	}
+	verifyHistory(t, hist)
+}

@@ -1,27 +1,19 @@
-package mvstm
+package norecstm
 
-// Test-only history tracing: the mvstm half of the native trace oracle
-// introduced for the stm engine (see stm/trace.go, whose design this
-// follows exactly). When enabled, every attempt of an Atomically /
-// AtomicallyRO call is recorded as one internal/tm.TxnRecord — snapshot
-// reads (which the engine itself never logs), buffered writes, and the
-// commit/abort outcome — so a bounded concurrent workload yields an
+// Test-only history tracing, mirroring repro/stm's trace.go: when
+// enabled, every attempt of an Atomically / AtomicallyRO call is
+// recorded as one internal/tm.TxnRecord — certified reads (including
+// the unlogged reads of the read-only fast path), buffered writes, and
+// the commit/abort outcome — so a bounded concurrent workload yields an
 // internal/tm.History the internal/check oracles (Opaque,
-// StrictlySerializable) can verify and cmd/opacheck can consume as JSON.
-// This is what the GC-truncation and pinned-snapshot opacity tests are
-// built on: a long-pinned snapshot transaction reads values other
-// transactions have long since overwritten, and the checkers confirm the
-// history still serializes with the snapshot ordered at its pin point.
+// StrictlySerializable) can verify. PR 8's scheduling harness drives
+// all three native engines through adversarial schedules with this
+// trace as the per-run witness; NOrec gained the hook for exactly that.
 //
-// The hook is wired into the hot paths behind a plain bool (traceOn) plus
-// a per-descriptor nil check (tx.trec), both false/nil outside tests; the
-// enabling functions are exported only to the package's own test binary
-// via export_test.go. Enable/disable must happen with no transactions in
-// flight. Sequencing matches stm/trace.go: StartSeq is drawn after the
-// attempt pins its read timestamp, per-operation Seqs at each read/write,
-// EndSeq after the commit published (or the abort unwound), so the seq
-// order is a legal linearization and the derived real-time edges all
-// happened. Traced values must be int or uint64; OrElse is unsupported.
+// The same limitations as the TL2 engine's hook apply: traced values
+// must be int or uint64, enable/disable only with no transactions in
+// flight, and tracing allocates freely — it measures correctness, never
+// performance.
 
 import (
 	"fmt"
@@ -38,8 +30,8 @@ var traceOn bool
 var traceCur *traceCollector
 
 // traceCollector accumulates one tm.History across all traced
-// transactions; a single mutex orders the shared sequence counter and the
-// per-record appends (tracing is test-only, contention is irrelevant).
+// transactions; a single mutex orders the shared sequence counter and
+// the per-record appends.
 type traceCollector struct {
 	mu   sync.Mutex
 	seq  int
@@ -70,7 +62,8 @@ func stopTrace() *tm.History {
 	return &c.hist
 }
 
-// objID maps a Var to a dense t-object index, assigned on first sight (c.mu held).
+// objID maps a Var to a dense t-object index, assigned on first sight
+// (c.mu held).
 func (c *traceCollector) objID(v varBase) int {
 	id, ok := c.objs[v]
 	if !ok {
@@ -80,8 +73,7 @@ func (c *traceCollector) objID(v varBase) int {
 	return id
 }
 
-// traceValue narrows a traced value to tm.Value. The trace oracle covers
-// plain scalar workloads; anything else is a test-authoring error.
+// traceValue narrows a traced value to tm.Value.
 func traceValue(val any) tm.Value {
 	switch x := val.(type) {
 	case int:
@@ -89,12 +81,12 @@ func traceValue(val any) tm.Value {
 	case uint64:
 		return x
 	default:
-		panic(fmt.Sprintf("mvstm: trace mode supports int and uint64 Var values only, got %T", val))
+		panic(fmt.Sprintf("norecstm: trace mode supports int and uint64 Var values only, got %T", val))
 	}
 }
 
 // traceBegin opens a TxnRecord for the current attempt. Called (behind
-// traceOn) right after the attempt pins its read timestamp.
+// traceOn) right after the attempt samples its sequence snapshot.
 func (tx *Tx) traceBegin() {
 	c := traceCur
 	if c == nil {
@@ -116,8 +108,8 @@ func (tx *Tx) traceBegin() {
 	tx.trec = &traceTxn{c: c, rec: rec}
 }
 
-// traceRead records a snapshot read (called on both paths, including
-// read-own-write hits on the update path).
+// traceRead records a certified read (called at the certify point, on
+// both the default and the RO path, including read-own-write hits).
 func (tx *Tx) traceRead(v varBase, val any) {
 	t := tx.trec
 	t.c.mu.Lock()
@@ -126,9 +118,7 @@ func (tx *Tx) traceRead(v varBase, val any) {
 	t.c.mu.Unlock()
 }
 
-// traceWrite records a buffered write at invocation time (lazy buffering:
-// the write takes effect only if the attempt commits, which the record's
-// final status captures).
+// traceWrite records a buffered write at invocation time.
 func (tx *Tx) traceWrite(v varBase, val any) {
 	t := tx.trec
 	t.c.mu.Lock()
@@ -138,9 +128,8 @@ func (tx *Tx) traceWrite(v varBase, val any) {
 }
 
 // traceEnd closes the attempt's record: committed attempts get a tryC
-// response, everything else an abort. Called after the commit published
-// its versions (or the abort unwound), so EndSeq is inside the commit's
-// real-time window.
+// response, everything else an abort. Called after the commit released
+// the sequence lock (or the abort unwound).
 func (tx *Tx) traceEnd(committed bool) {
 	t := tx.trec
 	if t == nil {

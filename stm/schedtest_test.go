@@ -1,0 +1,337 @@
+package stm_test
+
+// Hostile-schedule replay against the real TL2 engine: the
+// internal/schedtest harness parks worker goroutines at the engine's
+// test-only sync points (stm/syncpoint.go) and releases exactly one at a
+// time per a sched.Policy, so the adversarial schedules the simulator
+// half model-checks — round-robin, explicit replays, Explore's
+// preemption-bounded enumeration — drive real transactions, with the
+// trace hook recording each run as an internal/tm.History and the
+// internal/check oracles asserting opacity and strict serializability.
+// Three of PR 8's four race-only pathologies live here (the fourth, the
+// pinned-snapshot-vs-GC race, is mvstm's; see stm/mvstm).
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/sched"
+	"repro/internal/schedtest"
+	"repro/internal/syncpoint"
+	"repro/internal/tm"
+	"repro/stm"
+)
+
+// buildSchedInstance registers the standard three-transaction instance —
+// a dependent read-modify-write (x into y), a conflicting increment of x,
+// and a read-only observer — on a fresh harness over fresh Vars, and
+// installs the hook and trace. The conflict is deliberately asymmetric
+// (only worker 1 writes x), so every schedule terminates: worker 1's
+// first attempt always validates, and worker 0 can retry at most until
+// worker 1 is done. A symmetric cycle would livelock under fair
+// alternation — schedules are logical, so backoff cannot break the tie.
+func buildSchedInstance() *schedtest.Harness {
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	h := schedtest.New()
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			y.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			x.Set(tx, x.Get(tx)+1)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+			_ = x.Get(tx)
+			_ = y.Get(tx)
+			return nil
+		})
+	})
+	// A diverged or starving schedule should fail fast as ErrStepLimit,
+	// not burn real backoff sleeps for the default million steps.
+	h.SetStepLimit(20_000)
+	stm.SetSyncHook(h.Hook(), h.Proc())
+	stm.StartTrace()
+	return h
+}
+
+// runSchedInstance runs the standard instance under pol and returns the
+// recorded history and the harness (for its park log and pick schedule).
+func runSchedInstance(t *testing.T, pol sched.Policy) (*tm.History, *schedtest.Harness) {
+	t.Helper()
+	h := buildSchedInstance()
+	defer stm.SetSyncHook(nil, nil)
+	err := h.Run(pol)
+	hist := stm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	return hist, h
+}
+
+// TestSchedRoundRobinOpacity replays the fair adversarial schedule
+// against the real engine: maximal interleaving at every sync point, the
+// oracle asserting opacity on the result.
+func TestSchedRoundRobinOpacity(t *testing.T) {
+	stm.SetClockStrategy(stm.GV4)
+	hist, h := runSchedInstance(t, &sched.RoundRobin{})
+	if len(h.Log()) == 0 {
+		t.Fatal("harness recorded no parks — the sync hooks did not fire")
+	}
+	verifyHistory(t, hist)
+}
+
+// TestSchedScheduleDeterminism is the replay guarantee itself: the same
+// schedule driven twice against the real engine yields byte-identical
+// trace histories (worker ids as Proc, pool nondeterminism masked), and
+// the schedule extracted from a run replays to the same history again.
+func TestSchedScheduleDeterminism(t *testing.T) {
+	stm.SetClockStrategy(stm.GV4)
+	hist1, run1 := runSchedInstance(t, &sched.RoundRobin{})
+	hist2, run2 := runSchedInstance(t, &sched.RoundRobin{})
+	if fmt.Sprint(run1.Log()) != fmt.Sprint(run2.Log()) {
+		t.Fatalf("same policy, different schedules:\n%v\n%v", run1.Log(), run2.Log())
+	}
+	if hist1.String() != hist2.String() {
+		t.Fatalf("same schedule, different histories:\n%s\nvs\n%s", hist1, hist2)
+	}
+	// Replaying the extracted pick schedule reproduces it a third time.
+	hist3, _ := runSchedInstance(t, sched.NewReplay(run1.Schedule()))
+	if hist3.String() != hist1.String() {
+		t.Fatalf("extracted schedule %v diverged on replay:\n%s\nvs\n%s", run1.Schedule(), hist3, hist1)
+	}
+}
+
+// TestSchedExploreOpacity runs Explore's preemption-bounded enumeration
+// against the real engine — every bounded schedule of the
+// three-transaction instance must yield an opaque history — then replays one of the
+// explored schedules twice and asserts byte-identical histories.
+func TestSchedExploreOpacity(t *testing.T) {
+	stm.SetClockStrategy(stm.GV4)
+	defer stm.SetSyncHook(nil, nil)
+	var schedules [][]int
+	build := func() (sched.Runner, func() error) {
+		h := buildSchedInstance()
+		return h, func() error {
+			hist := stm.StopTrace()
+			if res := check.Opaque(hist); !res.OK {
+				return fmt.Errorf("history not opaque:\n%s", hist)
+			}
+			schedules = append(schedules, h.Schedule())
+			return nil
+		}
+	}
+	// StepLimit prunes schedules that starve a retry loop; truncated runs
+	// pay real backoff sleeps per step, so the limit is kept tight.
+	res, err := sched.ExploreRunner(build, sched.ExploreOpts{MaxPreemptions: 1, MaxRuns: 64, StepLimit: 400})
+	stm.SetSyncHook(nil, nil)
+	stm.StopTrace()
+	if err != nil {
+		t.Fatalf("exploration found a violation: %v", err)
+	}
+	if res.Runs < 5 || len(schedules) < 2 {
+		t.Fatalf("exploration barely branched (runs=%d, completed=%d) — the hooks are not creating decision points", res.Runs, len(schedules))
+	}
+	// The deepest explored schedule replays deterministically.
+	target := schedules[len(schedules)-1]
+	h1, _ := runSchedInstance(t, sched.NewReplay(target))
+	h2, _ := runSchedInstance(t, sched.NewReplay(target))
+	if h1.String() != h2.String() {
+		t.Fatalf("explored schedule %v diverged on replay:\n%s\nvs\n%s", target, h1, h2)
+	}
+	verifyHistory(t, h1)
+}
+
+// TestSchedExtensionVsConcurrentCommit pins the first race-only
+// pathology as a deterministic regression: a reader certifies x, a
+// concurrent writer (a real second goroutine, unlike the nested-call
+// orchestration in trace_opacity_test.go) commits y while the reader is
+// parked, and the reader's now-stale read of y must extend — not abort —
+// and still serialize after the writer.
+func TestSchedExtensionVsConcurrentCommit(t *testing.T) {
+	stm.SetClockStrategy(stm.GV4)
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	before := stm.ReadStats()
+	attempts := 0
+	gotY := -1
+	h := schedtest.New()
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			attempts++
+			_ = x.Get(tx)
+			gotY = y.Get(tx)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			y.Set(tx, 7)
+			return nil
+		})
+	})
+	stm.SetSyncHook(h.Hook(), h.Proc())
+	defer stm.SetSyncHook(nil, nil)
+	stm.StartTrace()
+	pol := &schedtest.PolicyFunc{Label: "park-reader-at-certify", PickFn: func(runnable []int, _ uint64) int {
+		// Run the reader until it has certified its read of x, then the
+		// writer to completion, then the reader again.
+		if h.Count(0, syncpoint.PostReadCertify) == 0 && slices.Contains(runnable, 0) {
+			return 0
+		}
+		if slices.Contains(runnable, 1) {
+			return 1
+		}
+		return runnable[0]
+	}}
+	err := h.Run(pol)
+	stm.SetSyncHook(nil, nil) // before the checks below run transactions of their own
+	hist := stm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (extension must absorb the concurrent commit)", attempts)
+	}
+	if gotY != 7 {
+		t.Fatalf("reader got y = %d, want the concurrently committed 7", gotY)
+	}
+	if d := stm.ReadStats().Sub(before); d.Extensions == 0 {
+		t.Fatalf("stats delta %+v records no extension", d)
+	}
+	verifyHistory(t, hist)
+}
+
+// TestSchedGV7DrainVsStrategySwitch pins the second pathology: a worker
+// commits once under GV7 (claiming a tick block), parks mid-commit at
+// the clock stamp of its second transaction, and a concurrent worker
+// switches the engine to GV4 and commits. The parked commit must stamp
+// correctly under the new strategy and its cached block must drain, with
+// the combined history opaque.
+func TestSchedGV7DrainVsStrategySwitch(t *testing.T) {
+	restore := stm.SetGV7BlockSizeForTest(2)
+	defer restore()
+	stm.SetClockStrategy(stm.GV7)
+	defer stm.SetClockStrategy(stm.GV4)
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	before := stm.ReadStats()
+	h := schedtest.New()
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error { x.Set(tx, 1); return nil })
+		_ = stm.Atomically(func(tx *stm.Tx) error { x.Set(tx, 2); return nil })
+	})
+	h.Go(func() {
+		// Workers may run non-transactional code between grants: the
+		// strategy switch races the parked GV7 commit by design.
+		stm.SetClockStrategy(stm.GV4)
+		_ = stm.Atomically(func(tx *stm.Tx) error { y.Set(tx, 3); return nil })
+	})
+	stm.SetSyncHook(h.Hook(), h.Proc())
+	defer stm.SetSyncHook(nil, nil)
+	stm.StartTrace()
+	pol := &schedtest.PolicyFunc{Label: "switch-under-parked-stamp", PickFn: func(runnable []int, _ uint64) int {
+		// Let the first worker commit once and park at its second
+		// commit's clock stamp (write locks held), then run the switcher.
+		if h.Count(0, syncpoint.PreClockStamp) < 2 && slices.Contains(runnable, 0) {
+			return 0
+		}
+		if slices.Contains(runnable, 1) {
+			return 1
+		}
+		return runnable[0]
+	}}
+	err := h.Run(pol)
+	stm.SetSyncHook(nil, nil) // before the checks below run transactions of their own
+	hist := stm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	if d := stm.ReadStats().Sub(before); d.ClockBlockClaims == 0 {
+		t.Fatalf("stats delta %+v shows no GV7 block claim — the pathology precondition did not hold", d)
+	}
+	verifyHistory(t, hist)
+	var gx, gy int
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		gx, gy = x.Get(tx), y.Get(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if gx != 2 || gy != 3 {
+		t.Fatalf("post-run state (x,y) = (%d,%d), want (2,3): a commit was lost across the switch", gx, gy)
+	}
+}
+
+// TestSchedTicTocRTSRace pins the third pathology: under TicToc, a
+// reader-writer certifies x at its old timestamp, a concurrent writer
+// then overwrites both x and y, and the parked transaction's read of y
+// cannot land in any validity interval — it must abort and replay
+// against the new versions, never commit a mixed snapshot.
+func TestSchedTicTocRTSRace(t *testing.T) {
+	stm.SetClockStrategy(stm.TicToc)
+	defer stm.SetClockStrategy(stm.GV4)
+	x := stm.NewVar(0)
+	y := stm.NewVar(0)
+	z := stm.NewVar(0)
+	attempts := 0
+	h := schedtest.New()
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			attempts++
+			a := x.Get(tx)
+			b := y.Get(tx)
+			z.Set(tx, a+b)
+			return nil
+		})
+	})
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			x.Set(tx, 10)
+			y.Set(tx, 10)
+			return nil
+		})
+	})
+	stm.SetSyncHook(h.Hook(), h.Proc())
+	defer stm.SetSyncHook(nil, nil)
+	stm.StartTrace()
+	pol := &schedtest.PolicyFunc{Label: "tictoc-straddle", PickFn: func(runnable []int, _ uint64) int {
+		if h.Count(0, syncpoint.PostReadCertify) == 0 && slices.Contains(runnable, 0) {
+			return 0
+		}
+		if slices.Contains(runnable, 1) {
+			return 1
+		}
+		return runnable[0]
+	}}
+	err := h.Run(pol)
+	stm.SetSyncHook(nil, nil) // before the checks below run transactions of their own
+	hist := stm.StopTrace()
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	// Exactly three attempts, deterministically: the straddled attempt
+	// aborts at the read of y (its interval cannot absorb the writer's
+	// pair), the retry is promoted to the read-only fast path — it aborted
+	// with reads but no buffered write — and demotes-and-restarts at
+	// z.Set, and the third attempt commits on the full pipeline.
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 3 (straddled abort, promotion demotion, commit)", attempts)
+	}
+	var gz int
+	if err := stm.Atomically(func(tx *stm.Tx) error { gz = z.Get(tx); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if gz != 20 {
+		t.Fatalf("z = %d, want 20 (the replay must see the writer's pair)", gz)
+	}
+	verifyHistory(t, hist)
+}

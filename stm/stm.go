@@ -85,6 +85,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/syncpoint"
 	"repro/internal/tm/lockword"
 	"repro/stm/budget"
 )
@@ -261,6 +262,9 @@ type Tx struct {
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
+	// sync is the test-only scheduling hook of the current call (nil
+	// outside harness tests; see syncpoint.go).
+	sync func(syncpoint.Point)
 }
 
 type readEntry struct {
@@ -375,6 +379,7 @@ func (tx *Tx) read(v varBase) any {
 			if tx.trec != nil {
 				tx.traceRead(v, b.val)
 			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			// Skip duplicate read-set entries for recently read Vars.
 			// Soundness: a re-read of an already-recorded Var either sees
 			// the recorded version (≤ rv by the check above, and extension
@@ -435,6 +440,7 @@ func (tx *Tx) readRO(v varBase) any {
 			if tx.trec != nil {
 				tx.traceRead(v, b.val)
 			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			return b.val
 		}
 		if lockword.Locked(w) || attempt >= maxExtendAttempts {
@@ -643,6 +649,7 @@ func (tx *Tx) commit() bool {
 		return false
 	}
 	tx.sortWrites()
+	tx.syncAt(syncpoint.PreLock)
 	locked := 0
 	for i := range tx.writes {
 		prev, ok := tx.writes[i].v.tryLock()
@@ -661,11 +668,14 @@ func (tx *Tx) commit() bool {
 		releaseLocked(locked)
 		return false
 	}
+	tx.syncAt(syncpoint.PostLock)
+	tx.syncAt(syncpoint.PreClockStamp)
 	wv, quiescent := tx.advanceClock()
 	if !quiescent && !tx.validateCommit() {
 		releaseLocked(locked)
 		return false
 	}
+	tx.syncAt(syncpoint.PrePublish)
 	for i := range tx.writes {
 		e := &tx.writes[i]
 		e.v.storeBox(&box{val: e.val})
@@ -699,6 +709,7 @@ func (tx *Tx) sortWrites() {
 // version under the versioned strategies, the validity interval under
 // TicToc.
 func (tx *Tx) beginAttempt() {
+	tx.syncAt(syncpoint.Begin)
 	if tx.tt {
 		tx.ttBegin()
 		return
@@ -742,6 +753,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = false, false, false
 	tx.tt, tx.ttFloor = ClockStrategy(clockStrategy.Load()) == TicToc, 0
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -842,6 +857,10 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 	tx := txPool.Get().(*Tx)
 	tx.ro, tx.promoted, tx.demoted = true, false, false
 	tx.tt, tx.ttFloor = ClockStrategy(clockStrategy.Load()) == TicToc, 0
+	tx.sync = nil
+	if syncOn {
+		tx.sync = syncHook
+	}
 	tx.beginBudget()
 	defer func() {
 		if r := recover(); r != nil {
@@ -934,6 +953,13 @@ func waitForChange(tx *Tx, ctx context.Context) {
 		}
 		if ctx != nil && ctx.Err() != nil {
 			return
+		}
+		if tx.sync != nil {
+			// Under the harness a sleeping worker would stall the whole
+			// schedule: hand control back instead, so the policy can grant
+			// the writer this wait is waiting for.
+			tx.sync(syncpoint.SpinWait)
+			continue
 		}
 		if spins < 4 {
 			runtime.Gosched()

@@ -1,0 +1,44 @@
+package stm
+
+// Test-only scheduling hooks, the same shape as the trace hook in
+// trace.go: a plain global bool plus a per-descriptor callback, so the
+// production hot path pays one nil check per site and nothing else. The
+// deterministic interleaving harness (internal/schedtest) installs a
+// hook that parks the calling goroutine at each syncpoint.Point until a
+// schedule grants it; see DESIGN.md, "Hostile-schedule replay".
+//
+// Like tracing, the hook is installed only via export_test.go
+// (SetSyncHook), with no transactions in flight: syncOn is read without
+// synchronization on the assumption that it only ever changes while the
+// engine is quiescent. While a hook is installed, every new transaction
+// on every goroutine picks it up — harness tests must be the only
+// transaction source for the duration.
+
+import "repro/internal/syncpoint"
+
+// syncOn gates per-descriptor hook pickup; false in production, so the
+// only cost when off is the tx.sync nil checks.
+var syncOn bool
+
+// syncHook is the installed callback (valid while syncOn).
+var syncHook func(syncpoint.Point)
+
+// syncProc reports the installed harness's current worker id, replacing
+// the pooled descriptor's stats stripe as the trace Proc: sync.Pool
+// hand-out order is nondeterministic, and schedule replays must produce
+// byte-identical histories.
+var syncProc func() int
+
+// setSyncHook installs (or, with nil, removes) the scheduling hook and
+// the worker-id source. Test-only; exported via export_test.go.
+func setSyncHook(h func(syncpoint.Point), proc func() int) {
+	syncHook, syncProc = h, proc
+	syncOn = h != nil
+}
+
+// syncAt fires the descriptor's hook, if one was picked up at entry.
+func (tx *Tx) syncAt(p syncpoint.Point) {
+	if tx.sync != nil {
+		tx.sync(p)
+	}
+}

@@ -40,6 +40,7 @@ package stm
 // adversarial interleavings through the trace hook and internal/check.
 
 import (
+	"repro/internal/syncpoint"
 	"repro/internal/tm/lockword"
 )
 
@@ -169,6 +170,7 @@ func (tx *Tx) ttRead(v varBase) any {
 			if tx.trec != nil {
 				tx.traceRead(v, b.val)
 			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			for i, n := len(tx.reads)-1, len(tx.reads)-readDedupWindow; i >= 0 && i >= n; i-- {
 				if tx.reads[i].v == v {
 					tx.rv, tx.ttHi = lo, hi
@@ -237,6 +239,7 @@ func (tx *Tx) ttReadRO(v varBase) any {
 			if tx.trec != nil {
 				tx.traceRead(v, b.val)
 			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			return b.val
 		}
 		if attempt >= maxExtendAttempts {
@@ -257,6 +260,7 @@ func (tx *Tx) ttReadRO(v varBase) any {
 			if tx.trec != nil {
 				tx.traceRead(v, b.val)
 			}
+			tx.syncAt(syncpoint.PostReadCertify)
 			return b.val
 		}
 		if !tx.ttAdvanceVar(v, tx.rv) {
@@ -280,6 +284,7 @@ func (tx *Tx) ttCommit() bool {
 		return false
 	}
 	tx.sortWrites()
+	tx.syncAt(syncpoint.PreLock)
 	locked := 0
 	for i := range tx.writes {
 		prev, ok := tx.writes[i].v.tryLock()
@@ -298,9 +303,12 @@ func (tx *Tx) ttCommit() bool {
 		releaseLocked(locked)
 		return false
 	}
+	tx.syncAt(syncpoint.PostLock)
 	// Serialization point: above the floor of our own reads, and above
 	// every certified read of the versions we overwrite (their rts, read
-	// from the locked payloads, can no longer advance).
+	// from the locked payloads, can no longer advance). Under TicToc the
+	// cts selection is the clock stamp.
+	tx.syncAt(syncpoint.PreClockStamp)
 	cts := tx.rv
 	for i := range tx.writes {
 		if r := ttRts(tx.writes[i].prev) + 1; r > cts {
@@ -337,6 +345,7 @@ func (tx *Tx) ttCommit() bool {
 			return false
 		}
 	}
+	tx.syncAt(syncpoint.PrePublish)
 	newPl := ttPack(cts, cts)
 	for i := range tx.writes {
 		e := &tx.writes[i]

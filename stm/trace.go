@@ -109,8 +109,16 @@ func (tx *Tx) traceBegin() {
 	if c == nil {
 		return
 	}
+	// Under the scheduling harness the Proc column is the harness worker
+	// id, not the pooled descriptor's stats stripe: pool hand-out order is
+	// nondeterministic, and replaying the same schedule twice must yield
+	// byte-identical histories.
+	proc := int(tx.shard)
+	if tx.sync != nil && syncProc != nil {
+		proc = syncProc()
+	}
 	c.mu.Lock()
-	rec := &tm.TxnRecord{ID: len(c.hist.Txns), Proc: int(tx.shard), StartSeq: c.seq, EndSeq: -1}
+	rec := &tm.TxnRecord{ID: len(c.hist.Txns), Proc: proc, StartSeq: c.seq, EndSeq: -1}
 	c.seq++
 	c.hist.Txns = append(c.hist.Txns, rec)
 	c.mu.Unlock()
