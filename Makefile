@@ -5,6 +5,12 @@
 
 GO ?= go
 
+# PR names the committed perf-baseline label: bench-baseline writes
+# BENCH_$(PR).json and bench-diff/bench-gate read it. Override per PR
+# line (make bench-baseline PR=PR9) instead of hand-editing the recipes.
+PR ?= PR7
+BASELINE = BENCH_$(PR).json
+
 # -cpu 4 pins the GOMAXPROCS≥4 regime the contention benchmarks target;
 # -count 8 gives benchdiff's min-vs-min gate a usable per-cell minimum —
 # on a shared host the per-run distribution is heavy-tailed upward (true
@@ -38,7 +44,7 @@ E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 8 -cpu 4 -benc
 # pressure).
 ZEROALLOC = E11NativeScan/.*writers=1/engine=mvstm|BenchmarkROFastPath
 
-.PHONY: test race bench-e8 bench-baseline bench-diff bench-gate bench-scaling fuzz-smoke docs-check
+.PHONY: test race server-test bench-e8 bench-baseline bench-diff bench-gate bench-scaling fuzz-smoke docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -46,24 +52,32 @@ test:
 race:
 	$(GO) test -race ./...
 
+# server-test is the serving-tier gate the CI server job runs: the
+# internal/server integration suite and the tmserve wiring under -race,
+# then a tmload smoke sweep against in-process servers.
+server-test:
+	$(GO) test -race -count=1 ./internal/server ./cmd/tmserve ./cmd/tmload
+	$(GO) run ./cmd/tmload -smoke
+	$(GO) run ./cmd/tmload -smoke -engine mvstm
+
 # bench-e8 runs the E8 suite once and leaves the raw output in
 # bench_e8.txt (also the input format benchdiff accepts as -new).
 bench-e8:
 	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
 
 # bench-baseline records the committed perf baseline for this PR line:
-# re-runs the E8 suite and regenerates BENCH_PR7.json. Commit the result
-# so later PRs have a trajectory to compare against.
+# re-runs the E8 suite and regenerates BENCH_$(PR).json. Commit the
+# result so later PRs have a trajectory to compare against.
 bench-baseline:
 	$(GO) test $(E8_FLAGS) . ./stm | tee bench_e8.txt
-	$(GO) run ./cmd/benchjson -in bench_e8.txt -label PR7 \
-	  -command "go test $(E8_FLAGS) . ./stm" -out BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -in bench_e8.txt -label $(PR) \
+	  -command "go test $(E8_FLAGS) . ./stm" -out $(BASELINE)
 
 # bench-diff compares a fresh E8 run against the committed baseline;
 # report-only (never fails on a regression).
 bench-diff:
 	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -new bench_new.txt
+	$(GO) run ./cmd/benchdiff -baseline $(BASELINE) -new bench_new.txt
 
 # bench-gate is the enforcing variant: passing -threshold makes benchdiff
 # exit non-zero when an ns/op regression survives its noise calibrations
@@ -79,7 +93,7 @@ bench-diff:
 # contrast, is hardware-free).
 bench-gate:
 	$(GO) test $(E8_FLAGS) . ./stm > bench_new.txt
-	$(GO) run ./cmd/benchdiff -baseline BENCH_PR7.json -new bench_new.txt \
+	$(GO) run ./cmd/benchdiff -baseline $(BASELINE) -new bench_new.txt \
 	  -threshold 0.25 -zeroalloc '$(ZEROALLOC)'
 
 # bench-scaling is the high-core commit-pipeline scaling row: the

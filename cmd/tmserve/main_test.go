@@ -1,0 +1,59 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestBuildRejectsBadEngine(t *testing.T) {
+	if _, err := build(4, "postgres", 0); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	if _, err := build(-1, "stm", 0); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestBuiltServerServes smoke-tests the assembled handler end to end:
+// the binary's wiring, minus the socket.
+func TestBuiltServerServes(t *testing.T) {
+	for _, engine := range []string{"stm", "mvstm"} {
+		t.Run(engine, func(t *testing.T) {
+			srv, err := build(4, engine, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+
+			resp, err := http.Post(ts.URL+"/put", "application/json",
+				strings.NewReader(`{"key":"boot","value":"ok"}`))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("put: status %d", resp.StatusCode)
+			}
+
+			resp, err = http.Get(ts.URL + "/get?key=boot")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			var got struct {
+				Value string `json:"value"`
+				Found bool   `json:"found"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+				t.Fatal(err)
+			}
+			if !got.Found || got.Value != "ok" {
+				t.Fatalf("get boot = (%q, %v), want (ok, true)", got.Value, got.Found)
+			}
+		})
+	}
+}

@@ -74,12 +74,12 @@ func BenchmarkE15Pipeline(b *testing.B) {
 	}
 }
 
-// TestE15Pipeline is the functional (race-smoke) version: producers emit
-// bursts four times the queue's capacity, consumers drain exact shares,
-// and the flow must conserve count and checksum — an item lost to a bad
-// wakeup or delivered twice fails, as does a non-empty queue after both
-// sides finish.
-func TestE15Pipeline(t *testing.T) {
+// runE15Pipeline drives the functional (race-smoke) pipeline: producers
+// emit bursts four times the queue's capacity, consumers drain exact
+// shares, and the flow must conserve count and checksum — an item lost
+// to a bad wakeup or delivered twice fails, as does a non-empty queue
+// after both sides finish.
+func runE15Pipeline(t *testing.T) {
 	const (
 		producers = 3
 		consumers = 3
@@ -158,4 +158,17 @@ func TestE15Pipeline(t *testing.T) {
 	if left != 0 {
 		t.Fatalf("queue holds %d items after the flow drained", left)
 	}
+}
+
+// TestE15Pipeline runs the pipeline under the default versioned clock.
+func TestE15Pipeline(t *testing.T) { runE15Pipeline(t) }
+
+// TestE15PipelineTicToc runs the same flow under TicToc, where Retry's
+// wakeup probe must ignore foreign rts-advance CASes (they change the
+// lock-word payload without publishing a value): blocked Puts and Takes
+// must still wake on real commits and the conservation checks must hold.
+func TestE15PipelineTicToc(t *testing.T) {
+	stm.SetClockStrategy(stm.TicToc)
+	defer stm.SetClockStrategy(stm.GV4)
+	runE15Pipeline(t)
 }

@@ -1,0 +1,117 @@
+// Package server is the network-facing serving tier over the native
+// engines: an HTTP/JSON key-value API (get/put/delete/scan and a
+// multi-key transactional batch) backed by stm or mvstm containers,
+// with the keyspace sharded across N independent engine instances.
+//
+// The package is layered the way the handlers read:
+//
+//	handlers (handlers.go)      — JSON in/out, one function per endpoint
+//	middlewares (middleware.go) — per-IP rate limiting, panic recovery,
+//	                              per-endpoint latency/error metrics
+//	router (shards.go)          — key→shard hashing, cross-shard
+//	                              two-phase locking in shard-id order
+//	backend (backend_*.go)      — one engine instance per shard behind
+//	                              the Backend interface
+package server
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// KV is one key/value pair, as served and scanned.
+type KV struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Op is one operation inside a transactional batch.
+//
+// Kinds: "get" reads Key; "put" stores Value at Key; "delete" removes
+// Key; "add" treats the value at Key as a decimal integer (missing or
+// non-numeric reads as 0), adds Delta, and stores the sum — the
+// conservation primitive that makes transfer-shaped batches expressible
+// in a single request.
+type Op struct {
+	Kind  string `json:"kind"`
+	Key   string `json:"key"`
+	Value string `json:"value,omitempty"`
+	Delta int64  `json:"delta,omitempty"`
+}
+
+// OpResult is the per-op outcome of a batch. Found reports presence for
+// get/delete and is always true for put/add; Value carries the read
+// value (get), the stored value (put), or the post-add sum (add).
+type OpResult struct {
+	Key   string `json:"key"`
+	Found bool   `json:"found"`
+	Value string `json:"value,omitempty"`
+}
+
+// Stats is the engine-counter snapshot served at /stats, unified across
+// the two engine packages.
+type Stats struct {
+	Commits   uint64 `json:"commits"`
+	ROCommits uint64 `json:"ro_commits"`
+	Aborts    uint64 `json:"aborts"`
+}
+
+// Backend is one shard's store: a single engine instance (stm or mvstm)
+// holding a disjoint slice of the keyspace. Get and Scan run on the
+// engine's read-only path; Apply runs every op in ONE native
+// transaction, so a sub-batch routed to a shard is atomic there by
+// construction — the router's job is only to make multi-shard batches
+// atomic across instances.
+type Backend interface {
+	Get(key string) (value string, found bool, err error)
+	Scan(from, to string, limit int) ([]KV, error)
+	Apply(ops []Op) ([]OpResult, error)
+	Len() (int, error)
+	Stats() Stats
+}
+
+// ValidateOps rejects unknown op kinds and empty keys before any shard
+// is touched: Apply itself never fails on op content, which is what
+// keeps the shard-ordered commit loop in Router.Batch all-or-nothing.
+func ValidateOps(ops []Op) error {
+	if len(ops) == 0 {
+		return fmt.Errorf("empty batch")
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case "get", "put", "delete", "add":
+		default:
+			return fmt.Errorf("op %d: unknown kind %q", i, op.Kind)
+		}
+		if op.Key == "" {
+			return fmt.Errorf("op %d: empty key", i)
+		}
+	}
+	return nil
+}
+
+// applyOps interprets a sub-batch against primitive accessors that the
+// caller runs inside one engine transaction; both backends share it so
+// the op semantics cannot drift between engines.
+func applyOps(ops []Op, get func(string) (string, bool), put func(string, string), del func(string) bool) []OpResult {
+	res := make([]OpResult, len(ops))
+	for i, op := range ops {
+		switch op.Kind {
+		case "get":
+			v, ok := get(op.Key)
+			res[i] = OpResult{Key: op.Key, Found: ok, Value: v}
+		case "put":
+			put(op.Key, op.Value)
+			res[i] = OpResult{Key: op.Key, Found: true, Value: op.Value}
+		case "delete":
+			res[i] = OpResult{Key: op.Key, Found: del(op.Key)}
+		case "add":
+			cur, _ := get(op.Key)
+			n, _ := strconv.ParseInt(cur, 10, 64) // missing/non-numeric reads as 0
+			sum := strconv.FormatInt(n+op.Delta, 10)
+			put(op.Key, sum)
+			res[i] = OpResult{Key: op.Key, Found: true, Value: sum}
+		}
+	}
+	return res
+}

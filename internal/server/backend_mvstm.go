@@ -1,0 +1,138 @@
+package server
+
+import (
+	"sort"
+
+	"repro/stm/mvstm"
+)
+
+// mvstmBackendBuckets is the hash-bucket count per shard. Buckets are
+// copy-on-write sorted slices inside mvstm Vars, so writes republish a
+// bucket as a new version and readers pin a snapshot — the multi-version
+// engine's abort-free read path does the isolation work.
+const mvstmBackendBuckets = 256
+
+// mvstmBackend serves a shard from mvstm Vars. mvstm ships no container
+// types, so the backend builds its own: a fixed array of buckets, each a
+// sorted []KV behind one Var. Point reads use Var.Load (pinned peek, no
+// transaction); scans read every bucket in one read-only snapshot
+// transaction and merge; Apply copy-on-writes the touched buckets in one
+// mvstm.Atomically call.
+type mvstmBackend struct {
+	buckets [mvstmBackendBuckets]*mvstm.Var[[]KV]
+}
+
+// NewMVSTMBackend returns a shard backend over fresh mvstm version chains.
+func NewMVSTMBackend() Backend {
+	b := &mvstmBackend{}
+	for i := range b.buckets {
+		b.buckets[i] = mvstm.NewVar[[]KV](nil)
+	}
+	return b
+}
+
+func (b *mvstmBackend) bucketFor(key string) *mvstm.Var[[]KV] {
+	return b.buckets[fnv32(key)%mvstmBackendBuckets]
+}
+
+// search locates key in a sorted bucket slice.
+func search(kvs []KV, key string) (int, bool) {
+	i := sort.Search(len(kvs), func(i int) bool { return kvs[i].Key >= key })
+	return i, i < len(kvs) && kvs[i].Key == key
+}
+
+func (b *mvstmBackend) Get(key string) (string, bool, error) {
+	kvs := b.bucketFor(key).Load()
+	if i, ok := search(kvs, key); ok {
+		return kvs[i].Value, true, nil
+	}
+	return "", false, nil
+}
+
+func (b *mvstmBackend) Scan(from, to string, limit int) ([]KV, error) {
+	var out []KV
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		out = out[:0]
+		for _, bk := range b.buckets {
+			for _, kv := range bk.Get(tx) {
+				if kv.Key >= from && (to == "" || kv.Key < to) {
+					out = append(out, kv)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out, nil
+}
+
+func (b *mvstmBackend) Apply(ops []Op) ([]OpResult, error) {
+	var res []OpResult
+	err := mvstm.Atomically(func(tx *mvstm.Tx) error {
+		res = applyOps(ops,
+			func(k string) (string, bool) {
+				kvs := b.bucketFor(k).Get(tx)
+				if i, ok := search(kvs, k); ok {
+					return kvs[i].Value, true
+				}
+				return "", false
+			},
+			func(k, v string) {
+				bk := b.bucketFor(k)
+				kvs := bk.Get(tx)
+				i, ok := search(kvs, k)
+				next := make([]KV, len(kvs), len(kvs)+1)
+				copy(next, kvs)
+				if ok {
+					next[i] = KV{Key: k, Value: v}
+				} else {
+					next = append(next, KV{})
+					copy(next[i+1:], next[i:])
+					next[i] = KV{Key: k, Value: v}
+				}
+				bk.Set(tx, next)
+			},
+			func(k string) bool {
+				bk := b.bucketFor(k)
+				kvs := bk.Get(tx)
+				i, ok := search(kvs, k)
+				if !ok {
+					return false
+				}
+				next := make([]KV, 0, len(kvs)-1)
+				next = append(next, kvs[:i]...)
+				next = append(next, kvs[i+1:]...)
+				bk.Set(tx, next)
+				return true
+			},
+		)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (b *mvstmBackend) Len() (int, error) {
+	n := 0
+	err := mvstm.AtomicallyRO(func(tx *mvstm.Tx) error {
+		n = 0
+		for _, bk := range b.buckets {
+			n += len(bk.Get(tx))
+		}
+		return nil
+	})
+	return n, err
+}
+
+func (b *mvstmBackend) Stats() Stats {
+	s := mvstm.ReadStats()
+	return Stats{Commits: s.Commits, ROCommits: s.ROCommits, Aborts: s.Aborts}
+}

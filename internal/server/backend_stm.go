@@ -1,0 +1,57 @@
+package server
+
+import (
+	"repro/stm"
+)
+
+// stmBackend serves a shard from an stm.OrderedMap. Point reads and
+// scans use the map's snapshot fast paths (no transaction, no read-set);
+// Apply runs the whole sub-batch in one stm.Atomically call, which the
+// TL2 commit pipeline makes atomic and opaque.
+type stmBackend struct {
+	m *stm.OrderedMap[string]
+}
+
+// NewSTMBackend returns a shard backend over a fresh stm.OrderedMap.
+func NewSTMBackend() Backend {
+	return &stmBackend{m: stm.NewOrderedMap[string]()}
+}
+
+func (b *stmBackend) Get(key string) (string, bool, error) {
+	v, ok := b.m.SnapshotGet(key)
+	return v, ok, nil
+}
+
+func (b *stmBackend) Scan(from, to string, limit int) ([]KV, error) {
+	var out []KV
+	b.m.SnapshotRange(from, to, func(k, v string) bool {
+		out = append(out, KV{Key: k, Value: v})
+		return limit <= 0 || len(out) < limit
+	})
+	return out, nil
+}
+
+func (b *stmBackend) Apply(ops []Op) ([]OpResult, error) {
+	var res []OpResult
+	err := stm.Atomically(func(tx *stm.Tx) error {
+		res = applyOps(ops,
+			func(k string) (string, bool) { return b.m.Get(tx, k) },
+			func(k, v string) { b.m.Put(tx, k, v) },
+			func(k string) bool { return b.m.Delete(tx, k) },
+		)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func (b *stmBackend) Len() (int, error) {
+	return b.m.SnapshotLen(), nil
+}
+
+func (b *stmBackend) Stats() Stats {
+	s := stm.ReadStats()
+	return Stats{Commits: s.Commits, ROCommits: s.ROCommits, Aborts: s.Aborts}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func bothBackends(t *testing.T, f func(t *testing.T, b Backend)) {
+	t.Run("stm", func(t *testing.T) { f(t, NewSTMBackend()) })
+	t.Run("mvstm", func(t *testing.T) { f(t, NewMVSTMBackend()) })
+}
+
+func TestBackendOpSemantics(t *testing.T) {
+	bothBackends(t, func(t *testing.T, b Backend) {
+		res, err := b.Apply([]Op{
+			{Kind: "get", Key: "a"},
+			{Kind: "put", Key: "a", Value: "hello"},
+			{Kind: "get", Key: "a"},
+			{Kind: "add", Key: "n", Delta: 7},
+			{Kind: "add", Key: "n", Delta: -2},
+			{Kind: "add", Key: "a", Delta: 3}, // non-numeric reads as 0
+			{Kind: "delete", Key: "a"},
+			{Kind: "delete", Key: "a"},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := []OpResult{
+			{Key: "a", Found: false},
+			{Key: "a", Found: true, Value: "hello"},
+			{Key: "a", Found: true, Value: "hello"}, // read-your-writes inside one batch
+			{Key: "n", Found: true, Value: "7"},
+			{Key: "n", Found: true, Value: "5"},
+			{Key: "a", Found: true, Value: "3"},
+			{Key: "a", Found: true},
+			{Key: "a", Found: false},
+		}
+		for i := range want {
+			if res[i] != want[i] {
+				t.Errorf("op %d = %+v, want %+v", i, res[i], want[i])
+			}
+		}
+		if v, ok, _ := b.Get("n"); !ok || v != "5" {
+			t.Fatalf("Get n = (%q, %v) after batch, want (5, true)", v, ok)
+		}
+		if n, _ := b.Len(); n != 1 {
+			t.Fatalf("Len = %d, want 1 (only n survives)", n)
+		}
+	})
+}
+
+func TestBackendScanOrderAndLimit(t *testing.T) {
+	bothBackends(t, func(t *testing.T, b Backend) {
+		var ops []Op
+		for i := 9; i >= 0; i-- { // inserted in reverse, scanned in order
+			ops = append(ops, Op{Kind: "put", Key: fmt.Sprintf("k%d", i), Value: strconv.Itoa(i)})
+		}
+		if _, err := b.Apply(ops); err != nil {
+			t.Fatal(err)
+		}
+		kvs, err := b.Scan("k2", "k7", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kvs) != 5 {
+			t.Fatalf("scan [k2,k7) = %d keys, want 5", len(kvs))
+		}
+		for i, kv := range kvs {
+			if want := fmt.Sprintf("k%d", 2+i); kv.Key != want {
+				t.Fatalf("scan[%d] = %q, want %q", i, kv.Key, want)
+			}
+		}
+		if kvs, _ = b.Scan("", "", 3); len(kvs) != 3 || kvs[0].Key != "k0" {
+			t.Fatalf("limited full scan = %d keys starting %q, want 3 from k0", len(kvs), kvs[0].Key)
+		}
+	})
+}
+
+// TestBackendApplyIsAtomic hammers one backend with conflicting add
+// batches and concurrent snapshot reads; the engine's native transaction
+// must keep the two counters' sum constant.
+func TestBackendApplyIsAtomic(t *testing.T) {
+	bothBackends(t, func(t *testing.T, b Backend) {
+		if _, err := b.Apply([]Op{{Kind: "add", Key: "x", Delta: 100}, {Kind: "add", Key: "y", Delta: 100}}); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					if _, err := b.Apply([]Op{
+						{Kind: "add", Key: "x", Delta: -1},
+						{Kind: "add", Key: "y", Delta: 1},
+					}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		res, err := b.Apply([]Op{{Kind: "get", Key: "x"}, {Kind: "get", Key: "y"}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, _ := strconv.Atoi(res[0].Value)
+		y, _ := strconv.Atoi(res[1].Value)
+		if x+y != 200 {
+			t.Fatalf("x+y = %d+%d = %d, want 200", x, y, x+y)
+		}
+		if x != 100-800 {
+			t.Fatalf("x = %d, want %d (4 workers × 200 decrements)", x, 100-800)
+		}
+	})
+}
+
+func TestValidateOps(t *testing.T) {
+	if err := ValidateOps(nil); err == nil {
+		t.Error("empty batch validated")
+	}
+	if err := ValidateOps([]Op{{Kind: "frobnicate", Key: "k"}}); err == nil {
+		t.Error("unknown kind validated")
+	}
+	if err := ValidateOps([]Op{{Kind: "get"}}); err == nil {
+		t.Error("empty key validated")
+	}
+	if err := ValidateOps([]Op{{Kind: "get", Key: "a"}, {Kind: "add", Key: "b", Delta: -1}}); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+}
+
+func TestRouterShardingIsStable(t *testing.T) {
+	r, err := NewRouter(8, "stm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("key%d", i)
+		s := r.ShardFor(k)
+		if s < 0 || s >= 8 {
+			t.Fatalf("ShardFor(%q) = %d, out of range", k, s)
+		}
+		if s != r.ShardFor(k) {
+			t.Fatalf("ShardFor(%q) unstable", k)
+		}
+		seen[s] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("1000 keys hit only %d/8 shards", len(seen))
+	}
+}
+
+func TestRouterRejectsBadConfig(t *testing.T) {
+	if _, err := NewRouter(0, "stm"); err == nil {
+		t.Error("zero shards accepted")
+	}
+	if _, err := NewRouter(2, "redis"); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+// TestRouterBatchResultOrder: a cross-shard batch's results must come
+// back in request order even though ops are regrouped per shard.
+func TestRouterBatchResultOrder(t *testing.T) {
+	r, err := NewRouter(4, "stm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	for i := 0; i < 20; i++ {
+		ops = append(ops, Op{Kind: "put", Key: fmt.Sprintf("rk%02d", i), Value: strconv.Itoa(i)})
+	}
+	if _, err := r.Batch(ops); err != nil {
+		t.Fatal(err)
+	}
+	var gets []Op
+	for i := 19; i >= 0; i-- {
+		gets = append(gets, Op{Kind: "get", Key: fmt.Sprintf("rk%02d", i)})
+	}
+	res, err := r.Batch(gets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rr := range res {
+		if want := strconv.Itoa(19 - i); rr.Value != want {
+			t.Fatalf("result %d = %q, want %q (per-shard regrouping scrambled order)", i, rr.Value, want)
+		}
+	}
+}

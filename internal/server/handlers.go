@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// handleGet serves GET /get?key=K.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		writeError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	v, ok, err := s.router.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"key": key, "value": v, "found": ok})
+}
+
+// handlePut serves POST /put {"key": K, "value": V}.
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Key   string `json:"key"`
+		Value string `json:"value"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Key == "" {
+		writeError(w, http.StatusBadRequest, "want JSON body {key, value} with non-empty key")
+		return
+	}
+	if _, err := s.router.Batch([]Op{{Kind: "put", Key: req.Key, Value: req.Value}}); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleDelete serves POST /delete {"key": K}.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Key string `json:"key"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Key == "" {
+		writeError(w, http.StatusBadRequest, "want JSON body {key} with non-empty key")
+		return
+	}
+	res, err := s.router.Batch([]Op{{Kind: "delete", Key: req.Key}})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"found": res[0].Found})
+}
+
+// handleScan serves GET /scan?from=A&to=B&limit=N: the half-open ordered
+// range [from, to), merged across shards; empty to means "to the end".
+func (s *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := 0
+	if ls := q.Get("limit"); ls != "" {
+		n, err := strconv.Atoi(ls)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	kvs, err := s.router.Scan(q.Get("from"), q.Get("to"), limit)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"kvs": kvs, "count": len(kvs)})
+}
+
+// handleBatch serves POST /batch {"ops": [{kind, key, value?, delta?}]}:
+// every op in one transactional request, atomic across shards.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Ops []Op `json:"ops"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "want JSON body {ops: [...]}")
+		return
+	}
+	if err := ValidateOps(req.Ops); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.router.Batch(req.Ops)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": res})
+}
+
+// handleStats serves GET /stats: engine counters, shard sizes, and the
+// per-endpoint latency/error summary the metrics middleware collects.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	engine, lens := s.router.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine":     s.engine,
+		"shards":     s.router.NumShards(),
+		"shard_keys": lens,
+		"counters":   engine,
+		"endpoints":  s.metrics.snapshot(),
+	})
+}
+
+// handleHealthz serves GET /healthz for load balancers and smoke tests.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

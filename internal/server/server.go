@@ -1,0 +1,76 @@
+package server
+
+import (
+	"net/http"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Shards is the number of independent engine instances the keyspace
+	// is hashed across (minimum 1).
+	Shards int
+	// Engine selects the per-shard backend: "stm" (TL2 OrderedMap) or
+	// "mvstm" (multi-version buckets).
+	Engine string
+	// RatePerIP caps each client IP at this many requests per second via
+	// a fixed-rate token bucket; 0 or negative disables limiting.
+	RatePerIP float64
+}
+
+// Server wires router, middlewares, and handlers into one http.Handler.
+type Server struct {
+	router  *Router
+	engine  string
+	metrics *metricsSet
+	handler http.Handler
+}
+
+// endpointNames is the fixed metrics vocabulary; the /stats payload has
+// one entry per name.
+var endpointNames = []string{"get", "put", "delete", "scan", "batch", "stats"}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Engine == "" {
+		cfg.Engine = "stm"
+	}
+	router, err := NewRouter(cfg.Shards, cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		router:  router,
+		engine:  cfg.Engine,
+		metrics: newMetricsSet(endpointNames...),
+	}
+	var rl *rateLimiter
+	if cfg.RatePerIP > 0 {
+		rl = newRateLimiter(cfg.RatePerIP)
+	}
+	mux := http.NewServeMux()
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, withMetrics(s.metrics, name, h))
+	}
+	route("GET /get", "get", s.handleGet)
+	route("POST /put", "put", s.handlePut)
+	route("POST /delete", "delete", s.handleDelete)
+	route("GET /scan", "scan", s.handleScan)
+	route("POST /batch", "batch", s.handleBatch)
+	route("GET /stats", "stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// Rate limiting sits outside the metrics wrapper on purpose: a 429
+	// never reaches a handler, so it should not pollute endpoint latency;
+	// recovery wraps everything.
+	s.handler = withRecovery(withRateLimit(rl, mux))
+	return s, nil
+}
+
+// Handler returns the fully-wrapped HTTP handler.
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// Router exposes the shard router for in-process callers (tmload's
+// in-process mode and tests).
+func (s *Server) Router() *Router { return s.router }

@@ -102,6 +102,65 @@ func (c *Controller) Admit() {
 	c.take()
 }
 
+// TryAdmit is the non-blocking form of Admit: it reports whether the
+// caller was admitted instead of sleeping off token debt. A disengaged
+// controller admits everything; an engaged one admits only while the
+// bucket holds a whole token, never borrowing against future refill.
+// Serving tiers use this to turn overload into an immediate refusal
+// (HTTP 429) rather than a queued wait.
+func (c *Controller) TryAdmit() bool {
+	if !c.engaged.Load() {
+		if c.SamplePeriod > 0 && c.calls.Add(1)&255 != 0 {
+			return true
+		}
+		c.mu.Lock()
+		c.sampleLocked(time.Now())
+		engaged := c.engaged.Load()
+		c.mu.Unlock()
+		if !engaged {
+			return true
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	c.sampleLocked(now)
+	if !c.engaged.Load() {
+		return true
+	}
+	elapsed := now.Sub(c.last).Seconds()
+	c.last = now
+	burst := max(1, c.rate/100)
+	c.tokens = min(burst, c.tokens+elapsed*c.rate)
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// NewRateLimiter returns a Controller reduced to a plain fixed-rate
+// token bucket: permanently engaged at rate admissions per second, with
+// no stats feedback to disengage it. It is the degenerate Controller a
+// per-client limiter wants — Admit blocks to pace the caller, TryAdmit
+// refuses instead.
+func NewRateLimiter(rate float64) *Controller {
+	if rate <= 0 {
+		rate = 1
+	}
+	c := &Controller{
+		HighWater: 1,
+		LowWater:  0,
+		MinRate:   rate,
+		MaxRate:   rate,
+		rate:      rate,
+		tokens:    max(1, rate/100), // start with a full burst
+		last:      time.Now(),
+	}
+	c.engaged.Store(true)
+	return c
+}
+
 // Engaged reports whether the controller is currently throttling.
 func (c *Controller) Engaged() bool { return c.engaged.Load() }
 
@@ -115,6 +174,11 @@ func (c *Controller) Rate() float64 {
 // sampleLocked re-reads the counters at most once per SamplePeriod and
 // applies the AIMD rule. Callers hold c.mu.
 func (c *Controller) sampleLocked(now time.Time) {
+	if c.sample == nil {
+		// A fixed-rate limiter (NewRateLimiter) has no feedback loop: its
+		// engagement and rate are permanent.
+		return
+	}
 	if now.Sub(c.lastS) < c.SamplePeriod {
 		return
 	}

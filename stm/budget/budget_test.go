@@ -98,3 +98,84 @@ func TestControllerRecoversAndDisengages(t *testing.T) {
 		t.Fatal("controller never disengaged on an abort-free recovery")
 	}
 }
+
+func TestControllerTryAdmitDisengaged(t *testing.T) {
+	var commits atomic.Uint64
+	c := NewController(func() (uint64, uint64) { return commits.Load(), 0 })
+	c.MinSampleTotal = 1
+	for i := 0; i < 1000; i++ {
+		commits.Add(1)
+		if !c.TryAdmit() {
+			t.Fatal("TryAdmit refused on an abort-free workload")
+		}
+	}
+	if c.Engaged() {
+		t.Fatal("controller engaged on an abort-free workload")
+	}
+}
+
+func TestControllerTryAdmitRefusesUnderStorm(t *testing.T) {
+	var commits, aborts atomic.Uint64
+	c := NewController(func() (uint64, uint64) { return commits.Load(), aborts.Load() })
+	c.SamplePeriod = 0 // sample every call: the test controls the window
+	c.MinSampleTotal = 1
+	c.MinRate = 100
+
+	commits.Add(10)
+	aborts.Add(90)
+	if !c.TryAdmit() {
+		// The engaging call itself may or may not win the burst token;
+		// either way the controller must now be engaged.
+		t.Log("engaging TryAdmit refused (bucket empty)")
+	}
+	if !c.Engaged() {
+		t.Fatal("controller did not engage at 90% abort ratio")
+	}
+
+	// Non-blocking under pressure: a tight refused loop must return
+	// immediately rather than sleeping off debt like Admit does.
+	start := time.Now()
+	refused := 0
+	for i := 0; i < 1000; i++ {
+		commits.Add(10)
+		aborts.Add(90)
+		if !c.TryAdmit() {
+			refused++
+		}
+	}
+	if refused == 0 {
+		t.Fatal("no refusals from an engaged bucket under a sustained abort storm")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("1000 TryAdmit calls took %v: refusals are blocking", elapsed)
+	}
+}
+
+func TestRateLimiterFixedBucket(t *testing.T) {
+	rl := NewRateLimiter(100)
+	if !rl.Engaged() {
+		t.Fatal("fixed-rate limiter must be permanently engaged")
+	}
+	if !rl.TryAdmit() {
+		t.Fatal("first TryAdmit refused: the bucket should start with a burst")
+	}
+	// Drain the burst: a tight loop cannot be admitted 1000 times at
+	// 100/s; almost everything must be refused.
+	refused := 0
+	for i := 0; i < 1000; i++ {
+		if !rl.TryAdmit() {
+			refused++
+		}
+	}
+	if refused < 900 {
+		t.Fatalf("only %d/1000 refusals from a drained 100/s bucket", refused)
+	}
+	// Refill: ~50ms at 100/s is ~5 tokens.
+	time.Sleep(50 * time.Millisecond)
+	if !rl.TryAdmit() {
+		t.Fatal("TryAdmit refused after refill interval")
+	}
+	if rl.Engaged() == false || rl.Rate() != 100 {
+		t.Fatalf("limiter drifted: engaged=%v rate=%v, want true/100", rl.Engaged(), rl.Rate())
+	}
+}

@@ -68,6 +68,12 @@ func (q *Queue[T]) TryPut(tx *Tx, v T) bool {
 
 // Take removes and returns the oldest element, blocking (transactionally)
 // while the queue is empty.
+//
+// The vacated slot is overwritten with the zero value, so a pointer-typed
+// payload becomes collectable as soon as the consumer drops it — without
+// the clear, the payload would stay reachable through the slot's Var until
+// the ring wraps back around, a retention leak exactly as long as the
+// queue is quiet. The clear costs one extra write-set entry per Take.
 func (q *Queue[T]) Take(tx *Tx) T {
 	n := q.count.Get(tx)
 	if n == 0 {
@@ -75,12 +81,16 @@ func (q *Queue[T]) Take(tx *Tx) T {
 	}
 	h := q.head.Get(tx)
 	v := q.buf[h].Get(tx)
+	var zero T
+	q.buf[h].Set(tx, zero)
 	q.head.Set(tx, q.wrap(h+1))
 	q.count.Set(tx, n-1)
 	return v
 }
 
-// TryTake removes the oldest element if any, reporting success.
+// TryTake removes the oldest element if any, reporting success. Like
+// Take, it zeroes the vacated slot (one extra write-set entry) so the
+// taken payload does not stay reachable through the ring.
 func (q *Queue[T]) TryTake(tx *Tx) (T, bool) {
 	n := q.count.Get(tx)
 	if n == 0 {
@@ -89,6 +99,8 @@ func (q *Queue[T]) TryTake(tx *Tx) (T, bool) {
 	}
 	h := q.head.Get(tx)
 	v := q.buf[h].Get(tx)
+	var zero T
+	q.buf[h].Set(tx, zero)
 	q.head.Set(tx, q.wrap(h+1))
 	q.count.Set(tx, n-1)
 	return v, true

@@ -1,0 +1,79 @@
+package stm_test
+
+// Regression for the Queue slot-retention leak: Take/TryTake used to
+// leave the taken payload in q.buf[h], keeping a pointer-typed element
+// reachable through the slot's Var until the ring index wrapped around —
+// on a quiet queue, forever. The fix zeroes the vacated slot, so a taken
+// payload must become collectable as soon as the consumer drops it; these
+// tests pin that with weak pointers across explicit GC cycles.
+
+import (
+	"runtime"
+	"testing"
+	"weak"
+
+	"repro/stm"
+)
+
+type bigPayload struct {
+	buf [1 << 16]byte
+}
+
+// putTakeDropped puts a fresh payload, removes it with take, discards the
+// returned value, and hands back only a weak pointer to the payload — no
+// strong reference survives the call frame.
+func putTakeDropped(t *testing.T, q *stm.Queue[*bigPayload], take func(tx *stm.Tx)) weak.Pointer[bigPayload] {
+	t.Helper()
+	p := &bigPayload{}
+	wp := weak.Make(p)
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		q.Put(tx, p)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := stm.Atomically(func(tx *stm.Tx) error {
+		take(tx)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return wp
+}
+
+// assertCollected GCs until the weak pointer clears. The queue must be
+// kept alive across the checks (runtime.KeepAlive at each call site):
+// letting q itself die would free the retained slot with it and mask the
+// leak the test exists to catch.
+func assertCollected(t *testing.T, wp weak.Pointer[bigPayload]) {
+	t.Helper()
+	for i := 0; i < 5; i++ {
+		runtime.GC()
+		if wp.Value() == nil {
+			return
+		}
+	}
+	t.Fatal("taken payload is still reachable — the queue slot retained it")
+}
+
+func TestQueueTakeReleasesSlot(t *testing.T) {
+	q := stm.NewQueue[*bigPayload](4)
+	wp := putTakeDropped(t, q, func(tx *stm.Tx) {
+		if got := q.Take(tx); got == nil {
+			t.Error("Take returned nil payload")
+		}
+	})
+	assertCollected(t, wp)
+	runtime.KeepAlive(q)
+}
+
+func TestQueueTryTakeReleasesSlot(t *testing.T) {
+	q := stm.NewQueue[*bigPayload](4)
+	wp := putTakeDropped(t, q, func(tx *stm.Tx) {
+		if got, ok := q.TryTake(tx); !ok || got == nil {
+			t.Errorf("TryTake = (%v, %v), want a payload", got, ok)
+		}
+	})
+	assertCollected(t, wp)
+	runtime.KeepAlive(q)
+}

@@ -335,3 +335,92 @@ func TestSchedTicTocRTSRace(t *testing.T) {
 	}
 	verifyHistory(t, hist)
 }
+
+// TestSchedTicTocRetryNoSpuriousWakeup pins the Retry wakeup fix: a
+// TicToc read-set entry logs the full (wts,rts) lock-word payload, so the
+// sleeper's waitForChange probe must compare wts only. A foreign
+// read-only reader's rts-advance CAS changes the payload without
+// publishing a new value; waking on it would re-run the blocked
+// transaction for nothing — a busy-retry pathology on read-hot Vars.
+func TestSchedTicTocRetryNoSpuriousWakeup(t *testing.T) {
+	stm.SetClockStrategy(stm.TicToc)
+	defer stm.SetClockStrategy(stm.GV4)
+	marker := stm.NewVar(0)
+	flag := stm.NewVar(0)
+	attempts := 0
+	got := -1
+	h := schedtest.New()
+	h.Go(func() {
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			attempts++
+			v := flag.Get(tx)
+			if v == 0 {
+				tx.Retry()
+			}
+			got = v
+			return nil
+		})
+	})
+	h.Go(func() {
+		// Commit the marker so its wts rises above flag's timestamps…
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			marker.Set(tx, 1)
+			return nil
+		})
+		// …then take a read-only snapshot anchored at the marker: flag's
+		// stale interval cannot absorb it, so the reader CASes flag's rts
+		// forward — the foreign advance that used to wake the sleeper.
+		_ = stm.AtomicallyRO(func(tx *stm.Tx) error {
+			_ = marker.Get(tx)
+			_ = flag.Get(tx)
+			return nil
+		})
+		// The legitimate wakeup: a committed write publishing a new wts.
+		_ = stm.Atomically(func(tx *stm.Tx) error {
+			flag.Set(tx, 1)
+			return nil
+		})
+	})
+	stm.SetSyncHook(h.Hook(), h.Proc())
+	defer stm.SetSyncHook(nil, nil)
+	before := stm.ReadStats()
+	pol := &schedtest.PolicyFunc{Label: "tictoc-rts-wake", PickFn: func(runnable []int, _ uint64) int {
+		switch {
+		// Park the sleeper on flag first.
+		case h.Count(0, syncpoint.SpinWait) == 0 && slices.Contains(runnable, 0):
+			return 0
+		// Drive the writer through the marker commit and the
+		// rts-advancing snapshot, stopping at the Begin of its flag.Set.
+		case h.Count(1, syncpoint.Begin) < 3 && slices.Contains(runnable, 1):
+			return 1
+		// Probe the sleeper repeatedly: with the fix every grant lands
+		// straight back on SpinWait; the payload compare woke it here.
+		case h.Count(0, syncpoint.SpinWait) < 6 && slices.Contains(runnable, 0):
+			return 0
+		case slices.Contains(runnable, 1):
+			return 1
+		default:
+			return runnable[0]
+		}
+	}}
+	err := h.Run(pol)
+	stm.SetSyncHook(nil, nil) // before the stats read below
+	if err != nil {
+		t.Fatalf("harness run: %v", err)
+	}
+	d := stm.ReadStats().Sub(before)
+	if d.RTSAdvances == 0 {
+		t.Fatal("the read-only snapshot never advanced flag's rts — the scenario lost its trigger")
+	}
+	// One parked attempt, one legitimate wakeup: the rts advance alone
+	// must not have re-run the sleeper.
+	if attempts != 2 {
+		t.Fatalf("sleeper attempts = %d, want 2 (rts advance must not wake Retry)", attempts)
+	}
+	if got != 1 {
+		t.Fatalf("sleeper observed flag = %d, want 1", got)
+	}
+	if n := h.Count(0, syncpoint.Begin); n != 2 {
+		t.Fatalf("sleeper Begin parks = %d, want 2 (parked attempt + wakeup)", n)
+	}
+}

@@ -947,7 +947,16 @@ func waitForChange(tx *Tx, ctx context.Context) {
 	for spins := 0; ; spins++ {
 		for i := range tx.reads {
 			r := &tx.reads[i]
-			if lockword.Version(r.v.lockWord()) != r.ver {
+			cur := lockword.Version(r.v.lockWord())
+			if tx.tt {
+				// A TicToc read entry logs the full (wts,rts) payload, but
+				// only a wts change means a new committed value: foreign
+				// readers advance rts by CAS without publishing anything,
+				// and waking on that would re-run the sleeper for nothing.
+				if ttWts(cur) != ttWts(r.ver) {
+					return
+				}
+			} else if cur != r.ver {
 				return
 			}
 		}
@@ -978,13 +987,25 @@ var _ varBase = (*Var[int])(nil)
 
 // String implements fmt.Stringer for diagnostics. It certifies the
 // value/version pair the same way a transactional read does, so it never
-// prints a combination that did not exist.
+// prints a combination that did not exist. Under TicToc the certify
+// compares wts only — the payload's rts half moves under foreign
+// readers' advance CASes without the value changing, and insisting on a
+// stable full payload would spin on a read-hot Var.
 func (v *Var[T]) String() string {
+	tt := ClockStrategy(clockStrategy.Load()) == TicToc
 	for {
 		w := v.lw.Load()
 		b := v.loadBox()
-		if !lockword.Locked(w) && v.lw.Load() == w {
-			return fmt.Sprintf("Var(%v@v%d)", b.val, lockword.Version(w))
+		w2 := v.lw.Load()
+		if !lockword.Locked(w) && !lockword.Locked(w2) {
+			if tt {
+				pl := lockword.Version(w)
+				if ttWts(lockword.Version(w2)) == ttWts(pl) {
+					return fmt.Sprintf("Var(%v@wts%d,rts%d)", b.val, ttWts(pl), ttRts(pl))
+				}
+			} else if w2 == w {
+				return fmt.Sprintf("Var(%v@v%d)", b.val, lockword.Version(w))
+			}
 		}
 		runtime.Gosched()
 	}
