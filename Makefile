@@ -44,7 +44,7 @@ E8_FLAGS = -run '^$$' -bench '$(E8_BENCH)' -benchtime 0.2s -count 8 -cpu 4 -benc
 # pressure).
 ZEROALLOC = E11NativeScan/.*writers=1/engine=mvstm|BenchmarkROFastPath
 
-.PHONY: test race server-test bench-e8 bench-baseline bench-diff bench-gate bench-scaling fuzz-smoke docs-check
+.PHONY: test race server-test bench-e8 bench-baseline bench-diff bench-gate bench-scaling fuzz-smoke overhead-smoke docs-check
 
 test:
 	$(GO) build ./... && $(GO) test ./...
@@ -53,10 +53,12 @@ race:
 	$(GO) test -race ./...
 
 # server-test is the serving-tier gate the CI server job runs: the
-# internal/server integration suite and the tmserve wiring under -race,
-# then a tmload smoke sweep against in-process servers.
+# internal/server integration suite (including the Prometheus exposition
+# golden test), the observability packages, and the tmserve/tmstat wiring
+# under -race, then a tmload smoke sweep against in-process servers.
 server-test:
-	$(GO) test -race -count=1 ./internal/server ./cmd/tmserve ./cmd/tmload
+	$(GO) test -race -count=1 ./internal/server ./internal/loghist ./internal/telemetry \
+	  ./cmd/tmserve ./cmd/tmload ./cmd/tmstat
 	$(GO) run ./cmd/tmload -smoke
 	$(GO) run ./cmd/tmload -smoke -engine mvstm
 
@@ -108,13 +110,25 @@ bench-scaling:
 # fuzz-smoke runs each fuzz target briefly against the differential models
 # (the same invocations as the CI fuzz job): the containers against plain
 # maps, the mvstm engine against a model map with a pinned-snapshot
-# reader racing writers and the GC, and the metering layer against the
-# unmetered engine (a refusal must change nothing, a commit everything).
+# reader racing writers and the GC, the metering layer against the
+# unmetered engine (a refusal must change nothing, a commit everything),
+# and the contention sketch against a sequential frequency model (the
+# space-saving overestimate bound must hold on arbitrary id streams).
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzMap$$' -fuzztime 10s ./stm
 	$(GO) test -run '^$$' -fuzz '^FuzzOrderedMap$$' -fuzztime 10s ./stm
 	$(GO) test -run '^$$' -fuzz '^FuzzMVStm$$' -fuzztime 10s ./stm/mvstm
 	$(GO) test -run '^$$' -fuzz '^FuzzBudget$$' -fuzztime 10s ./stm
+	$(GO) test -run '^$$' -fuzz '^FuzzSketch$$' -fuzztime 10s ./internal/telemetry
+
+# overhead-smoke is the telemetry A/B gate mirroring the PR 6 metering
+# discipline: the uncontended transaction round-trip with telemetry off
+# vs with a sketch installed and a sparse latency-sampling period, must
+# differ by under 3% (interleaved min-of-N, see stm/overhead_test.go).
+# Env-gated so `go test ./...` stays deterministic on loaded machines;
+# run it on quiet hardware when touching the engines' begin/commit paths.
+overhead-smoke:
+	TM_OVERHEAD_SMOKE=1 $(GO) test -run '^TestTelemetryOffOverhead$$' -count=1 -v ./stm
 
 # docs-check keeps the documentation executable: formatting, vet, and
 # every Example function in the repository (the README quickstart mirrors

@@ -2,8 +2,14 @@ package main
 
 import (
 	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/benchfmt"
+	"repro/internal/server"
 )
 
 // TestRunLoadSmoke drives the full generator — preload, mixed workload,
@@ -44,6 +50,106 @@ func TestRunLoadSmoke(t *testing.T) {
 				t.Fatalf("table contains NaN:\n%s", got)
 			}
 		})
+	}
+}
+
+// TestRunLoadJSONBaseline: -json must emit a record benchfmt.Load can
+// read back — the BENCH_*.json compatibility contract.
+func TestRunLoadJSONBaseline(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_load.json")
+	cfg := config{
+		shards:  []int{1, 2},
+		engine:  "stm",
+		clients: 2,
+		keys:    500,
+		ops:     500,
+		read:    0.90,
+		scan:    0.05,
+		scanLen: 10,
+		zipf:    1.1,
+		preload: 250,
+		seed:    1,
+		jsonOut: path,
+	}
+	var out bytes.Buffer
+	if err := runLoad(cfg, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := benchfmt.Load(data)
+	if err != nil {
+		t.Fatalf("benchfmt cannot read the baseline back: %v", err)
+	}
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("baseline has %d benchmarks, want 2: %v", len(base.Benchmarks), base.Benchmarks)
+	}
+	for name, b := range base.Benchmarks {
+		if !strings.Contains(name, "shards=") {
+			t.Fatalf("benchmark name %q missing shards label", name)
+		}
+		for _, unit := range []string{"ops/s", "p50-us", "p95-us", "p99-us", "errors"} {
+			if _, ok := b.Metrics[unit]; !ok {
+				t.Fatalf("benchmark %s missing unit %q", name, unit)
+			}
+		}
+		if b.Metrics["ops/s"].Mean <= 0 {
+			t.Fatalf("benchmark %s: non-positive ops/s", name)
+		}
+	}
+}
+
+// TestTransferOps pins the contention-shape contract: every batch has
+// exactly cfg.batch add ops whose deltas sum to zero (the conservation
+// invariant the server tests audit), and in -affine mode every key in a
+// batch lands on the same shard — the property that keeps the batch a
+// single native transaction instead of a 2PL cross-shard one.
+func TestTransferOps(t *testing.T) {
+	cfg := config{keys: 512, zipf: 1.3}
+	r := rand.New(rand.NewSource(7))
+	zipf := rand.NewZipf(r, cfg.zipf, 1, uint64(cfg.keys-1))
+
+	for _, batch := range []int{2, 3, 16} {
+		cfg.batch = batch
+		for _, shards := range []int{0, 4} { // 0 = no affinity pools
+			var pools [][]uint64
+			if shards > 0 {
+				pools = buildAffinity(cfg.keys, shards)
+				total := 0
+				for _, p := range pools {
+					total += len(p)
+				}
+				if total != cfg.keys {
+					t.Fatalf("affinity pools cover %d keys, want %d", total, cfg.keys)
+				}
+			}
+			for trial := 0; trial < 50; trial++ {
+				ops := transferOps(r, zipf, cfg, pools)
+				if len(ops) != batch {
+					t.Fatalf("batch=%d: got %d ops", batch, len(ops))
+				}
+				sum := int64(0)
+				for _, op := range ops {
+					if op.Kind != "add" {
+						t.Fatalf("op kind %q, want add", op.Kind)
+					}
+					sum += op.Delta
+				}
+				if sum != 0 {
+					t.Fatalf("batch=%d shards=%d: deltas sum to %d, want 0 (%v)", batch, shards, sum, ops)
+				}
+				if pools != nil {
+					want := server.ShardOfKey(ops[0].Key, shards)
+					for _, op := range ops {
+						if got := server.ShardOfKey(op.Key, shards); got != want {
+							t.Fatalf("affine batch straddles shards %d and %d: %v", want, got, ops)
+						}
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -9,11 +10,71 @@ import (
 )
 
 func TestBuildRejectsBadEngine(t *testing.T) {
-	if _, err := build(4, "postgres", 0); err == nil {
+	if _, err := build(options{shards: 4, engine: "postgres"}); err == nil {
 		t.Fatal("unknown engine accepted")
 	}
-	if _, err := build(-1, "stm", 0); err == nil {
+	if _, err := build(options{shards: -1, engine: "stm"}); err == nil {
 		t.Fatal("negative shard count accepted")
+	}
+}
+
+// TestPprofOptIn: the pprof handlers must be reachable only when the
+// -pprof flag asked for them.
+func TestPprofOptIn(t *testing.T) {
+	srv, err := build(options{shards: 1, engine: "stm"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, on := range []bool{false, true} {
+		ts := httptest.NewServer(mount(srv, on))
+		resp, err := http.Get(ts.URL + "/debug/pprof/")
+		if err != nil {
+			ts.Close()
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if on && resp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof enabled: index status %d", resp.StatusCode)
+		}
+		if !on && resp.StatusCode == http.StatusOK {
+			t.Fatal("pprof served without opt-in")
+		}
+		// The KV API must serve through the mount either way.
+		resp, err = http.Get(ts.URL + "/healthz")
+		if err != nil {
+			ts.Close()
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz through mount(pprof=%v): status %d", on, resp.StatusCode)
+		}
+		ts.Close()
+	}
+}
+
+// TestMetricsThroughBuiltServer: a profiled build must expose the
+// Prometheus endpoint with the taxonomy series.
+func TestMetricsThroughBuiltServer(t *testing.T) {
+	srv, err := build(options{shards: 2, engine: "stm", profileK: 16, profileSample: 1, latencySample: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(mount(srv, false))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"tm_commits_total", "tm_aborts_by_reason_total", "tm_hot_key_aborts", "tm_commit_latency_us_bucket"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %s:\n%s", want, body)
+		}
 	}
 }
 
@@ -22,7 +83,7 @@ func TestBuildRejectsBadEngine(t *testing.T) {
 func TestBuiltServerServes(t *testing.T) {
 	for _, engine := range []string{"stm", "mvstm"} {
 		t.Run(engine, func(t *testing.T) {
-			srv, err := build(4, engine, 0)
+			srv, err := build(options{shards: 4, engine: engine})
 			if err != nil {
 				t.Fatal(err)
 			}

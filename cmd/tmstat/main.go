@@ -1,0 +1,213 @@
+// Command tmstat is the live observability view over a running tmserve:
+// it polls GET /stats once per interval and renders per-interval deltas
+// — request/error rates, commit and abort rates with the abort ratio
+// broken down by the engines' abort-reason taxonomy, clock-strategy
+// counters, and the hottest contention keys when the server runs with
+// -profile.
+//
+//	tmstat -url http://host:8080 -interval 1s
+//	tmstat -url http://host:8080 -n 5    # five ticks, then exit
+//	tmstat -demo                         # self-contained: in-process server + load
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+// payload mirrors the /stats JSON the serving tier emits.
+type payload struct {
+	Engine    string                          `json:"engine"`
+	Shards    int                             `json:"shards"`
+	ShardKeys []int                           `json:"shard_keys"`
+	Counters  server.Stats                    `json:"counters"`
+	Endpoints map[string]server.EndpointStats `json:"endpoints"`
+	HotKeys   []telemetry.Entry               `json:"hot_keys"`
+}
+
+func main() {
+	var (
+		url      = flag.String("url", "http://localhost:8080", "tmserve base URL")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		n        = flag.Int("n", 0, "number of ticks to render (0 = until interrupted)")
+		demo     = flag.Bool("demo", false, "ignore -url; watch an in-process profiled server under synthetic load")
+	)
+	flag.Parse()
+	base := *url
+	ticks := *n
+	if *demo {
+		ts, stop, err := startDemo()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tmstat:", err)
+			os.Exit(2)
+		}
+		defer stop()
+		base = ts
+		if ticks == 0 {
+			ticks = 5
+		}
+	}
+	if err := watch(os.Stdout, base, *interval, ticks); err != nil {
+		fmt.Fprintln(os.Stderr, "tmstat:", err)
+		os.Exit(1)
+	}
+}
+
+// watch polls base/stats every interval and renders deltas; ticks = 0
+// runs until the process is interrupted.
+func watch(w io.Writer, base string, interval time.Duration, ticks int) error {
+	client := &http.Client{Timeout: 10 * time.Second}
+	prev, err := fetch(client, base)
+	if err != nil {
+		return err
+	}
+	last := time.Now()
+	for i := 0; ticks == 0 || i < ticks; i++ {
+		time.Sleep(interval)
+		cur, err := fetch(client, base)
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		render(w, prev, cur, now.Sub(last))
+		prev, last = cur, now
+	}
+	return nil
+}
+
+// fetch reads one /stats snapshot.
+func fetch(client *http.Client, base string) (payload, error) {
+	var p payload
+	resp, err := client.Get(strings.TrimSuffix(base, "/") + "/stats")
+	if err != nil {
+		return p, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return p, fmt.Errorf("/stats: status %d", resp.StatusCode)
+	}
+	return p, json.NewDecoder(resp.Body).Decode(&p)
+}
+
+// render writes one tick: rates are (cur-prev)/dt, hot keys and shard
+// sizes are the current cumulative reading.
+func render(w io.Writer, prev, cur payload, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	rate := func(cur, prev uint64) float64 { return float64(cur-prev) / secs }
+
+	var reqs, errs, preqs, perrs uint64
+	for _, e := range cur.Endpoints {
+		reqs += e.Count
+		errs += e.Errors
+	}
+	for _, e := range prev.Endpoints {
+		preqs += e.Count
+		perrs += e.Errors
+	}
+	keys := 0
+	for _, n := range cur.ShardKeys {
+		keys += n
+	}
+	dCommit := cur.Counters.Commits - prev.Counters.Commits
+	dAbort := cur.Counters.Aborts - prev.Counters.Aborts
+	ratio := 0.0
+	if dCommit+dAbort > 0 {
+		ratio = float64(dAbort) / float64(dCommit+dAbort)
+	}
+	fmt.Fprintf(w, "%s engine=%s shards=%d keys=%d | req/s=%.0f err/s=%.0f | commit/s=%.0f abort/s=%.0f abort%%=%.1f\n",
+		time.Now().Format("15:04:05"), cur.Engine, cur.Shards, keys,
+		rate(reqs, preqs), rate(errs, perrs),
+		rate(cur.Counters.Commits, prev.Counters.Commits),
+		rate(cur.Counters.Aborts, prev.Counters.Aborts),
+		100*ratio)
+
+	if len(cur.Counters.AbortReasons) > 0 {
+		names := make([]string, 0, len(cur.Counters.AbortReasons))
+		for k := range cur.Counters.AbortReasons {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, k := range names {
+			parts = append(parts, fmt.Sprintf("%s=%.0f", k, rate(cur.Counters.AbortReasons[k], prev.Counters.AbortReasons[k])))
+		}
+		fmt.Fprintf(w, "  reasons/s: %s\n", strings.Join(parts, " "))
+	}
+
+	c, p := cur.Counters, prev.Counters
+	if c.Extensions+c.ClockIncrements+c.ClockAdoptions+c.ClockBlockClaims+c.RTSAdvances > 0 {
+		fmt.Fprintf(w, "  clock/s: incr=%.0f adopt=%.0f ext=%.0f blocks=%.0f rts=%.0f\n",
+			rate(c.ClockIncrements, p.ClockIncrements),
+			rate(c.ClockAdoptions, p.ClockAdoptions),
+			rate(c.Extensions, p.Extensions),
+			rate(c.ClockBlockClaims, p.ClockBlockClaims),
+			rate(c.RTSAdvances, p.RTSAdvances))
+	}
+
+	if len(cur.HotKeys) > 0 {
+		parts := make([]string, 0, 5)
+		for i, e := range cur.HotKeys {
+			if i == 5 {
+				break
+			}
+			name := e.Label
+			if name == "" {
+				name = fmt.Sprintf("var-%d", e.ID)
+			}
+			parts = append(parts, fmt.Sprintf("%s=%d", name, e.Count))
+		}
+		fmt.Fprintf(w, "  hot: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// startDemo builds a profiled in-process server, aims a small synthetic
+// contended workload at its router, and returns the server's URL plus a
+// stop function. The workload is transfer batches over a Zipf-hot
+// keyspace — enough write-write conflict to light up every panel tmstat
+// renders.
+func startDemo() (url string, stop func(), err error) {
+	srv, err := server.New(server.Config{Shards: 2, Engine: "stm", ProfileK: 32, ProfileSample: 1, LatencySample: 8})
+	if err != nil {
+		return "", nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	done := make(chan struct{})
+	const demoKeys = 64
+	for w := 0; w < 4; w++ {
+		go func(seed int64) {
+			r := rand.New(rand.NewSource(seed))
+			zipf := rand.NewZipf(r, 1.3, 1, demoKeys-1)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				a, b := zipf.Uint64(), zipf.Uint64()
+				if a == b {
+					b = (b + 1) % demoKeys
+				}
+				_, _ = srv.Router().Batch([]server.Op{
+					{Kind: "add", Key: fmt.Sprintf("demo%03d", a), Delta: -1},
+					{Kind: "add", Key: fmt.Sprintf("demo%03d", b), Delta: 1},
+				})
+			}
+		}(int64(w))
+	}
+	return ts.URL, func() { close(done); ts.Close() }, nil
+}

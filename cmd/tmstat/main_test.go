@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestWatchDemo drives the whole pipeline — demo server, synthetic load,
+// /stats polling, delta rendering — for two fast ticks and checks every
+// panel appears: header rates, the abort-reason taxonomy, clock
+// counters, and hot keys (the demo runs profiled over a Zipf-hot
+// keyspace, so contention is all but guaranteed; the hot panel is only
+// required when aborts actually happened).
+func TestWatchDemo(t *testing.T) {
+	url, stop, err := startDemo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	var out bytes.Buffer
+	if err := watch(&out, url, 50*time.Millisecond, 2); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	t.Log("\n" + got)
+	for _, want := range []string{"engine=stm", "req/s=", "commit/s=", "abort%=", "reasons/s:", "commit_validation="} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("tmstat output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "abort/s=") && !strings.Contains(got, "abort/s=0 ") {
+		if !strings.Contains(got, "hot: ") {
+			t.Fatalf("aborts flowed but no hot-key panel:\n%s", got)
+		}
+	}
+	if lines := strings.Count(got, "engine=stm"); lines != 2 {
+		t.Fatalf("rendered %d ticks, want 2:\n%s", lines, got)
+	}
+}
+
+// TestRenderFirstTick: rendering against an all-zero previous snapshot
+// (the first tick) must not divide by zero or print NaN.
+func TestRenderFirstTick(t *testing.T) {
+	var out bytes.Buffer
+	cur := payload{Engine: "mvstm", Shards: 1, ShardKeys: []int{3}}
+	render(&out, payload{}, cur, 0)
+	got := out.String()
+	if strings.Contains(got, "NaN") || strings.Contains(got, "Inf") {
+		t.Fatalf("render with zero interval produced NaN/Inf: %s", got)
+	}
+	if !strings.Contains(got, "engine=mvstm") {
+		t.Fatalf("missing header: %s", got)
+	}
+}

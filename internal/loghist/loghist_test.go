@@ -1,0 +1,164 @@
+package loghist
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEmpty pins the empty-histogram contract: every accessor is zero
+// and every quantile is 0, not a bucket bound.
+func TestEmpty(t *testing.T) {
+	var h Hist
+	if got := h.Count(); got != 0 {
+		t.Fatalf("Count = %d, want 0", got)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty = %d, want 0", q, got)
+		}
+	}
+	s := h.Snapshot()
+	if s.Mean() != 0 || s.Quantile(0.5) != 0 {
+		t.Fatalf("empty snapshot: mean=%d p50=%d, want 0,0", s.Mean(), s.Quantile(0.5))
+	}
+}
+
+// TestZeroObservation: a 0µs observation lands in bucket 0 and
+// quantiles over it report the bucket-0 upper bound (1), never 0 being
+// confused with "no data".
+func TestZeroObservation(t *testing.T) {
+	var h Hist
+	h.Observe(0)
+	s := h.Snapshot()
+	if s.Buckets[0] != 1 {
+		t.Fatalf("bucket 0 = %d, want 1", s.Buckets[0])
+	}
+	if got := h.Quantile(0.5); got != 1 {
+		t.Fatalf("Quantile(0.5) = %d, want 1 (bucket-0 upper bound)", got)
+	}
+	if s.Sum != 0 || s.Count != 1 {
+		t.Fatalf("sum=%d count=%d, want 0,1", s.Sum, s.Count)
+	}
+}
+
+// TestSaturatingTopBucket: values at and beyond the top bucket's lower
+// edge all land in bucket NBuckets-1, and the quantile reports that
+// bucket's bound rather than overflowing the shift.
+func TestSaturatingTopBucket(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{1 << (NBuckets - 1), 1 << 40, ^uint64(0)} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Buckets[NBuckets-1] != 3 {
+		t.Fatalf("top bucket = %d, want 3", s.Buckets[NBuckets-1])
+	}
+	want := BucketUpper(NBuckets - 1)
+	for _, q := range []float64{0, 0.5, 0.99, 1.0} {
+		if got := h.Quantile(q); got != want {
+			t.Fatalf("Quantile(%v) = %d, want %d", q, got, want)
+		}
+	}
+}
+
+// TestQuantileRankEqualsCount: q = 1.0 makes the raw rank equal the
+// observation count; it must clamp to the last observation instead of
+// walking off the end of the buckets.
+func TestQuantileRankEqualsCount(t *testing.T) {
+	var h Hist
+	h.Observe(1) // bucket 1
+	h.Observe(7) // bucket 3
+	if got, want := h.Quantile(1.0), BucketUpper(3); got != want {
+		t.Fatalf("Quantile(1.0) = %d, want %d (max observation's bucket)", got, want)
+	}
+	// And the degenerate single-observation histogram.
+	var h1 Hist
+	h1.Observe(5)
+	if got, want := h1.Quantile(1.0), BucketUpper(3); got != want {
+		t.Fatalf("single-obs Quantile(1.0) = %d, want %d", got, want)
+	}
+}
+
+// TestBucketBounds pins the bucket placement rule against the bound
+// helpers: every value maps into the bucket whose [lower, BucketMax]
+// range contains it.
+func TestBucketBounds(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {7, 3}, {8, 4},
+		{1023, 10}, {1024, 11},
+	}
+	for _, c := range cases {
+		var h Hist
+		h.Observe(c.v)
+		if got := h.Snapshot().Buckets[c.bucket]; got != 1 {
+			t.Fatalf("Observe(%d): bucket %d = %d, want 1", c.v, c.bucket, got)
+		}
+		if c.bucket > 0 && c.v > BucketMax(c.bucket) {
+			t.Fatalf("Observe(%d): exceeds BucketMax(%d) = %d", c.v, c.bucket, BucketMax(c.bucket))
+		}
+	}
+}
+
+// TestErrorsAndDurations covers the serving-tier entry points.
+func TestErrorsAndDurations(t *testing.T) {
+	var h Hist
+	h.ObserveDuration(1500*time.Microsecond, false)
+	h.ObserveDuration(3*time.Millisecond, true)
+	h.ObserveErr(10, true)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Errors != 2 {
+		t.Fatalf("count=%d errors=%d, want 3,2", s.Count, s.Errors)
+	}
+	if s.Sum != 1500+3000+10 {
+		t.Fatalf("sum = %d, want %d", s.Sum, 1500+3000+10)
+	}
+}
+
+// TestSnapshotSub: interval deltas subtract per-bucket.
+func TestSnapshotSub(t *testing.T) {
+	var h Hist
+	h.Observe(3)
+	before := h.Snapshot()
+	h.Observe(3)
+	h.Observe(100)
+	d := h.Snapshot().Sub(before)
+	if d.Count != 2 || d.Buckets[2] != 1 || d.Buckets[7] != 1 {
+		t.Fatalf("delta = %+v, want count 2 with one obs each in buckets 2 and 7", d)
+	}
+}
+
+// TestConcurrentObserve is a smoke for the lock-free claim: concurrent
+// observers never lose counts.
+func TestConcurrentObserve(t *testing.T) {
+	var h Hist
+	const (
+		workers = 8
+		per     = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(uint64(w*per + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	if sum != s.Count {
+		t.Fatalf("bucket sum %d != count %d", sum, s.Count)
+	}
+}

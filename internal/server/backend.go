@@ -49,11 +49,22 @@ type OpResult struct {
 }
 
 // Stats is the engine-counter snapshot served at /stats, unified across
-// the two engine packages.
+// the engine packages. AbortReasons carries the per-class abort taxonomy
+// under the engines' stable snake_case keys; the clock-strategy counters
+// are populated where the engine maintains them (all by stm,
+// ClockBlockClaims also by mvstm) and stay zero elsewhere.
 type Stats struct {
-	Commits   uint64 `json:"commits"`
-	ROCommits uint64 `json:"ro_commits"`
-	Aborts    uint64 `json:"aborts"`
+	Commits      uint64            `json:"commits"`
+	ROCommits    uint64            `json:"ro_commits"`
+	Aborts       uint64            `json:"aborts"`
+	BudgetAborts uint64            `json:"budget_aborts"`
+	AbortReasons map[string]uint64 `json:"abort_reasons,omitempty"`
+
+	Extensions       uint64 `json:"extensions,omitempty"`
+	ClockIncrements  uint64 `json:"clock_increments,omitempty"`
+	ClockAdoptions   uint64 `json:"clock_adoptions,omitempty"`
+	ClockBlockClaims uint64 `json:"clock_block_claims,omitempty"`
+	RTSAdvances      uint64 `json:"rts_advances,omitempty"`
 }
 
 // Backend is one shard's store: a single engine instance (stm or mvstm)

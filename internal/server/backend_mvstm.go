@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/stm/mvstm"
@@ -24,9 +25,20 @@ type mvstmBackend struct {
 
 // NewMVSTMBackend returns a shard backend over fresh mvstm version chains.
 func NewMVSTMBackend() Backend {
+	return newMVSTMBackend(-1)
+}
+
+// newMVSTMBackend builds the bucket array; a non-negative shard index
+// labels each bucket Var shard<i>.bucket<j> in the hot-Var registry —
+// buckets are this backend's contention unit (copy-on-write slices), so
+// hot-key reports name the bucket, not an individual key.
+func newMVSTMBackend(shard int) Backend {
 	b := &mvstmBackend{}
 	for i := range b.buckets {
 		b.buckets[i] = mvstm.NewVar[[]KV](nil)
+		if shard >= 0 {
+			b.buckets[i].Label(fmt.Sprintf("shard%d.bucket%d", shard, i))
+		}
 	}
 	return b
 }
@@ -134,5 +146,12 @@ func (b *mvstmBackend) Len() (int, error) {
 
 func (b *mvstmBackend) Stats() Stats {
 	s := mvstm.ReadStats()
-	return Stats{Commits: s.Commits, ROCommits: s.ROCommits, Aborts: s.Aborts}
+	return Stats{
+		Commits:          s.Commits,
+		ROCommits:        s.ROCommits,
+		Aborts:           s.Aborts,
+		BudgetAborts:     s.BudgetAborts,
+		AbortReasons:     s.AbortReasons.Map(),
+		ClockBlockClaims: s.ClockBlockClaims,
+	}
 }

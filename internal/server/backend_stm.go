@@ -17,6 +17,16 @@ func NewSTMBackend() Backend {
 	return &stmBackend{m: stm.NewOrderedMap[string]()}
 }
 
+// newSTMBackendLabeled additionally labels every inserted key in the
+// hot-Var registry (keys are hash-partitioned so no prefix is needed for
+// uniqueness), making an installed contention sketch report the map keys
+// transactions fought over instead of anonymous Var ids.
+func newSTMBackendLabeled() Backend {
+	m := stm.NewOrderedMap[string]()
+	m.EnableKeyLabels("")
+	return &stmBackend{m: m}
+}
+
 func (b *stmBackend) Get(key string) (string, bool, error) {
 	v, ok := b.m.SnapshotGet(key)
 	return v, ok, nil
@@ -53,5 +63,16 @@ func (b *stmBackend) Len() (int, error) {
 
 func (b *stmBackend) Stats() Stats {
 	s := stm.ReadStats()
-	return Stats{Commits: s.Commits, ROCommits: s.ROCommits, Aborts: s.Aborts}
+	return Stats{
+		Commits:          s.Commits,
+		ROCommits:        s.ROCommits,
+		Aborts:           s.Aborts,
+		BudgetAborts:     s.BudgetAborts,
+		AbortReasons:     s.AbortReasons.Map(),
+		Extensions:       s.Extensions,
+		ClockIncrements:  s.ClockIncrements,
+		ClockAdoptions:   s.ClockAdoptions,
+		ClockBlockClaims: s.ClockBlockClaims,
+		RTSAdvances:      s.RTSAdvances,
+	}
 }

@@ -98,17 +98,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": res})
 }
 
-// handleStats serves GET /stats: engine counters, shard sizes, and the
-// per-endpoint latency/error summary the metrics middleware collects.
+// handleStats serves GET /stats: engine counters (including the
+// abort-reason taxonomy), shard sizes, the per-endpoint latency/error
+// summary the metrics middleware collects, and — when profiling is on —
+// the hottest contention units from the sketch.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	engine, lens := s.router.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	payload := map[string]any{
 		"engine":     s.engine,
 		"shards":     s.router.NumShards(),
 		"shard_keys": lens,
 		"counters":   engine,
 		"endpoints":  s.metrics.snapshot(),
-	})
+	}
+	if s.sketch != nil {
+		payload["hot_keys"] = s.sketch.Top(10)
+	}
+	writeJSON(w, http.StatusOK, payload)
 }
 
 // handleHealthz serves GET /healthz for load balancers and smoke tests.

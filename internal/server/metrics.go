@@ -1,89 +1,32 @@
 package server
 
 import (
-	"math/bits"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/loghist"
 )
 
-// histogram is a lock-free log2 latency histogram: bucket i counts
-// observations in [2^i, 2^(i+1)) microseconds. Coarse, but allocation-
-// free on the request path and good enough for the percentile summary
-// /stats serves.
-type histogram struct {
-	buckets [32]atomic.Uint64
-	count   atomic.Uint64
-	errs    atomic.Uint64
-	sumUS   atomic.Uint64
-}
-
-func (h *histogram) observe(d time.Duration, isErr bool) {
-	us := uint64(d.Microseconds())
-	b := bits.Len64(us) // 0µs → bucket 0, [2^i,2^(i+1))µs → bucket i+1
-	if b >= len(h.buckets) {
-		b = len(h.buckets) - 1
-	}
-	h.buckets[b].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-	if isErr {
-		h.errs.Add(1)
-	}
-}
-
-// quantile returns the upper bound (µs) of the bucket holding the q-th
-// observation — an overestimate by at most 2×, which is the resolution
-// this histogram trades for zero allocation.
-func (h *histogram) quantile(q float64) uint64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(q * float64(total))
-	if rank >= total {
-		rank = total - 1
-	}
-	var seen uint64
-	for i := range h.buckets {
-		seen += h.buckets[i].Load()
-		if seen > rank {
-			if i == 0 {
-				return 1
-			}
-			return 1 << uint(i)
-		}
-	}
-	return 1 << uint(len(h.buckets)-1)
-}
-
 // EndpointStats is the JSON shape of one endpoint's counters in /stats.
+// Quantiles are bucket upper bounds from the shared log2 histogram — an
+// overestimate by at most 2×, the resolution traded for an
+// allocation-free request path.
 type EndpointStats struct {
 	Count  uint64 `json:"count"`
 	Errors uint64 `json:"errors"`
 	MeanUS uint64 `json:"mean_us"`
 	P50US  uint64 `json:"p50_us"`
+	P95US  uint64 `json:"p95_us"`
 	P99US  uint64 `json:"p99_us"`
 }
 
-func (h *histogram) snapshot() EndpointStats {
-	n := h.count.Load()
-	s := EndpointStats{
-		Count:  n,
-		Errors: h.errs.Load(),
-		P50US:  h.quantile(0.50),
-		P99US:  h.quantile(0.99),
-	}
-	if n > 0 {
-		s.MeanUS = h.sumUS.Load() / n
-	}
-	return s
-}
-
 // metricsSet holds one histogram per endpoint, fixed at construction so
-// the hot path is an index, not a map lookup under a lock.
+// the hot path is an index, not a map lookup under a lock. The
+// histograms are repro/internal/loghist — the same type the engines use
+// for commit latency, so bucket semantics cannot drift between the
+// serving tier's /metrics exposition and the engines'.
 type metricsSet struct {
 	names []string
-	hists []*histogram
+	hists []*loghist.Hist
 	index map[string]int
 }
 
@@ -92,21 +35,29 @@ func newMetricsSet(names ...string) *metricsSet {
 	for _, n := range names {
 		m.index[n] = len(m.hists)
 		m.names = append(m.names, n)
-		m.hists = append(m.hists, &histogram{})
+		m.hists = append(m.hists, &loghist.Hist{})
 	}
 	return m
 }
 
 func (m *metricsSet) observe(name string, d time.Duration, isErr bool) {
 	if i, ok := m.index[name]; ok {
-		m.hists[i].observe(d, isErr)
+		m.hists[i].ObserveDuration(d, isErr)
 	}
 }
 
 func (m *metricsSet) snapshot() map[string]EndpointStats {
 	out := make(map[string]EndpointStats, len(m.names))
 	for i, n := range m.names {
-		out[n] = m.hists[i].snapshot()
+		s := m.hists[i].Snapshot()
+		out[n] = EndpointStats{
+			Count:  s.Count,
+			Errors: s.Errors,
+			MeanUS: s.Mean(),
+			P50US:  s.Quantile(0.50),
+			P95US:  s.Quantile(0.95),
+			P99US:  s.Quantile(0.99),
+		}
 	}
 	return out
 }

@@ -1,0 +1,308 @@
+package server
+
+// Golden-format test for GET /metrics: the body must be valid Prometheus
+// text exposition (version 0.0.4) — every sample preceded by HELP/TYPE
+// for its family, label values escaped per the format rules, histogram
+// buckets cumulative and monotone with a final +Inf equal to _count —
+// and must carry the series the observability tier promises: per-reason
+// abort counters, per-endpoint request histograms, and hot-key gauges.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// promSample is one parsed non-comment exposition line.
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromLine parses `name{l="v",...} value` (labels optional),
+// validating label-name syntax and that only \\ \" \n escapes appear.
+func parsePromLine(line string) (promSample, error) {
+	s := promSample{labels: map[string]string{}}
+	i := 0
+	for i < len(line) && (isMetricChar(line[i]) || line[i] == ':') {
+		i++
+	}
+	if i == 0 {
+		return s, fmt.Errorf("no metric name")
+	}
+	s.name = line[:i]
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			j := i
+			for j < len(line) && isMetricChar(line[j]) {
+				j++
+			}
+			if j == i {
+				return s, fmt.Errorf("empty label name at %d", i)
+			}
+			lname := line[i:j]
+			if j+1 >= len(line) || line[j] != '=' || line[j+1] != '"' {
+				return s, fmt.Errorf("label %s not followed by =\"", lname)
+			}
+			j += 2
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %s", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\n' {
+					return s, fmt.Errorf("raw newline in label value for %s", lname)
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return s, fmt.Errorf("dangling backslash in %s", lname)
+					}
+					switch line[j+1] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("bad escape \\%c in %s", line[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			s.labels[lname] = val.String()
+			if j < len(line) && line[j] == ',' {
+				i = j + 1
+				continue
+			}
+			if j < len(line) && line[j] == '}' {
+				i = j + 1
+				break
+			}
+			return s, fmt.Errorf("expected , or } at %d", j)
+		}
+	}
+	rest := strings.TrimSpace(line[i:])
+	v, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %v", rest, err)
+	}
+	s.value = v
+	return s, nil
+}
+
+func isMetricChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// familyOf strips the histogram sample suffixes back to the family name.
+func familyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// seriesKey identifies one histogram series independent of le.
+func seriesKey(s promSample) string {
+	parts := make([]string, 0, len(s.labels))
+	for k, v := range s.labels {
+		if k != "le" {
+			parts = append(parts, k+"="+v)
+		}
+	}
+	// Two labels max in this exposition; order is stable per line anyway.
+	if len(parts) == 2 && parts[0] > parts[1] {
+		parts[0], parts[1] = parts[1], parts[0]
+	}
+	return familyOf(s.name) + "|" + strings.Join(parts, ",")
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv, err := New(Config{Shards: 2, Engine: "stm", ProfileK: 8, ProfileSample: 1, LatencySample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 20; i++ {
+		body := fmt.Sprintf(`{"key":"k%02d","value":"v%d"}`, i, i)
+		if resp, err := http.Post(ts.URL+"/put", "application/json", strings.NewReader(body)); err != nil {
+			t.Fatal(err)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	for _, path := range []string{"/get?key=k00", "/get", "/scan?from=a&to=z", "/stats"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	// Force a hot-key series with every escapable character in its label:
+	// the gauge renders straight from the sketch, so observing directly is
+	// equivalent to an engine abort on a labeled Var.
+	nastyID := telemetry.NamespaceSTM | (1<<59 - 1)
+	telemetry.SetLabel(nastyID, "he\"llo\\wo\nrld")
+	srv.Sketch().Observe(nastyID)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	if !strings.HasSuffix(body, "\n") {
+		t.Fatal("exposition does not end with a newline")
+	}
+	if !strings.Contains(body, `key="he\"llo\\wo\nrld"`) {
+		t.Fatal("hot-key label not escaped per exposition rules")
+	}
+
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	samples := []promSample{}
+	lastBucket := map[string]float64{} // seriesKey → cumulative count
+	lastLE := map[string]float64{}     // seriesKey → le bound
+	infBucket := map[string]float64{}
+	countVal := map[string]float64{}
+	for ln, line := range strings.Split(strings.TrimSuffix(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			f := strings.Fields(line)
+			if len(f) < 4 {
+				t.Fatalf("line %d: HELP without docstring: %q", ln+1, line)
+			}
+			helped[f[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, f[3])
+			}
+			typed[f[2]] = f[3]
+			continue
+		}
+		s, err := parsePromLine(line)
+		if err != nil {
+			t.Fatalf("line %d: %v (%q)", ln+1, err, line)
+		}
+		fam := familyOf(s.name)
+		if !helped[fam] || typed[fam] == "" {
+			t.Fatalf("line %d: sample %s before HELP/TYPE for %s", ln+1, s.name, fam)
+		}
+		if strings.HasSuffix(s.name, "_bucket") {
+			if typed[fam] != "histogram" {
+				t.Fatalf("line %d: _bucket sample in non-histogram family %s", ln+1, fam)
+			}
+			le, ok := s.labels["le"]
+			if !ok {
+				t.Fatalf("line %d: bucket without le label", ln+1)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("line %d: bad le %q", ln+1, le)
+			}
+			k := seriesKey(s)
+			if prev, seen := lastLE[k]; seen && bound <= prev {
+				t.Fatalf("line %d: le %v not increasing after %v in %s", ln+1, bound, prev, k)
+			}
+			if s.value < lastBucket[k] {
+				t.Fatalf("line %d: bucket count %v below cumulative %v in %s", ln+1, s.value, lastBucket[k], k)
+			}
+			lastLE[k], lastBucket[k] = bound, s.value
+			if le == "+Inf" {
+				infBucket[k] = s.value
+			}
+		}
+		if strings.HasSuffix(s.name, "_count") && typed[fam] == "histogram" {
+			countVal[seriesKey(s)] = s.value
+		}
+		samples = append(samples, s)
+	}
+	for k, inf := range infBucket {
+		if countVal[k] != inf {
+			t.Fatalf("series %s: +Inf bucket %v != _count %v", k, inf, countVal[k])
+		}
+	}
+	for k := range countVal {
+		if _, ok := infBucket[k]; !ok {
+			t.Fatalf("series %s: histogram without +Inf bucket", k)
+		}
+	}
+
+	byReason := map[string]bool{}
+	endpoints := map[string]float64{}
+	for _, s := range samples {
+		switch s.name {
+		case "tm_aborts_by_reason_total":
+			byReason[s.labels["reason"]] = true
+		case "tm_http_requests_total":
+			endpoints[s.labels["endpoint"]] = s.value
+		}
+	}
+	for _, r := range []string{"read_certify", "commit_validation", "lock_busy", "extension", "budget", "explicit_retry"} {
+		if !byReason[r] {
+			t.Fatalf("abort taxonomy missing reason %q (got %v)", r, byReason)
+		}
+	}
+	if endpoints["put"] < 20 || endpoints["get"] < 2 {
+		t.Fatalf("endpoint request counters missing traffic: %v", endpoints)
+	}
+	// The bad /get (missing key) must have surfaced as an endpoint error.
+	found := false
+	for _, s := range samples {
+		if s.name == "tm_http_request_errors_total" && s.labels["endpoint"] == "get" && s.value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("400 on /get not counted in tm_http_request_errors_total")
+	}
+}
+
+func TestPromEscape(t *testing.T) {
+	in := "a\\b\"c\nd"
+	want := `a\\b\"c\nd`
+	if got := promEscape(in); got != want {
+		t.Fatalf("promEscape(%q) = %q, want %q", in, got, want)
+	}
+	if got := promEscape("plain"); got != "plain" {
+		t.Fatalf("promEscape(plain) = %q", got)
+	}
+}

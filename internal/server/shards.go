@@ -38,15 +38,35 @@ type Router struct {
 
 // NewRouter builds n shards of the named engine ("stm" or "mvstm").
 func NewRouter(n int, engine string) (*Router, error) {
+	return NewRouterProfiled(n, engine, false)
+}
+
+// NewRouterProfiled is NewRouter with hot-Var labeling: when label is
+// set, each shard registers human-readable names for its contention
+// units (map keys for stm, buckets for mvstm) so an installed contention
+// sketch (stm.SetContentionProfiler and siblings) reports them by name.
+// Labeling costs stm inserts one atomic pointer load plus a registry
+// store per new key; leave it off when not profiling.
+func NewRouterProfiled(n int, engine string, label bool) (*Router, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("shards = %d, want >= 1", n)
 	}
-	var mk func() Backend
+	var mk func(i int) Backend
 	switch engine {
 	case "stm":
-		mk = NewSTMBackend
+		mk = func(int) Backend {
+			if label {
+				return newSTMBackendLabeled()
+			}
+			return NewSTMBackend()
+		}
 	case "mvstm":
-		mk = NewMVSTMBackend
+		mk = func(i int) Backend {
+			if label {
+				return newMVSTMBackend(i)
+			}
+			return NewMVSTMBackend()
+		}
 	default:
 		return nil, fmt.Errorf("unknown engine %q (want stm or mvstm)", engine)
 	}
@@ -55,7 +75,7 @@ func NewRouter(n int, engine string) (*Router, error) {
 		locks:  make([]sync.RWMutex, n),
 	}
 	for i := range r.shards {
-		r.shards[i] = mk()
+		r.shards[i] = mk(i)
 	}
 	return r, nil
 }
@@ -63,9 +83,16 @@ func NewRouter(n int, engine string) (*Router, error) {
 // NumShards reports the shard count.
 func (r *Router) NumShards() int { return len(r.shards) }
 
+// ShardOfKey reports which of n hash-partitioned shards owns key.
+// Exported so load generators (cmd/tmload's -affine mode) can build
+// shard-confined batches without duplicating the partitioning hash.
+func ShardOfKey(key string, n int) int {
+	return int(fnv32(key) % uint32(n))
+}
+
 // ShardFor reports which shard owns key.
 func (r *Router) ShardFor(key string) int {
-	return int(fnv32(key) % uint32(len(r.shards)))
+	return ShardOfKey(key, len(r.shards))
 }
 
 // Get reads one key from its shard. Single-object: no coordination.

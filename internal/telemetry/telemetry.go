@@ -1,0 +1,191 @@
+// Package telemetry holds the engine-side observability plumbing shared
+// by the three native engines: a lock-free top-K "space-saving" sketch
+// that attributes aborts to the Vars they conflicted on, and a process-
+// wide label registry mapping Var ids to human-readable names (the
+// OrderedMap key, a container name) so hot-Var reports can name keys
+// instead of pointer identities.
+//
+// The sketch is fed from engine abort sites through a nil-check hook
+// (see stm.SetContentionProfiler and its siblings): with no sketch
+// installed the cost at each site is one atomic pointer load and a
+// branch, and with one installed the observe path allocates nothing —
+// a striped sampling counter, a bounded scan of K padded slots, and at
+// most two CASes. Races between concurrent observers can drop or
+// slightly inflate individual increments; the sketch is a profiler, not
+// an accounting ledger, and the space-saving bound below is stated for
+// the quiescent reading.
+//
+// Accuracy: with K slots and N admitted observations, a sequentially
+// fed sketch overestimates any id's count by at most N/K, and any id
+// whose true frequency exceeds N/(K+1) occupies a slot. Sampling
+// 1-in-S scales both by S.
+//
+// Var ids are namespaced per engine (high bits, see NamespaceSTM and
+// siblings) so one registry and one sketch can serve several engines
+// without aliasing their independent id counters.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Engine id namespaces, ORed into Var ids by each engine's telemetry
+// hooks. Engine id counters are sequential and never approach 2^60, so
+// the tag bits are always clear in the raw id.
+const (
+	NamespaceSTM    uint64 = 1 << 60
+	NamespaceNOrec  uint64 = 2 << 60
+	NamespaceMVSTM  uint64 = 3 << 60
+	namespaceMask   uint64 = 7 << 60
+	DefaultSketchK         = 64
+	DefaultSampling        = 1 // every admitted abort; abort paths are off the fast path
+)
+
+// labels is the process-wide id → name registry. Written once per
+// labeled Var (container inserts), read when rendering reports — a
+// sync.Map's exact strong suit.
+var labels sync.Map // uint64 → string
+
+// SetLabel names a Var id for hot-Var reports. Relabeling overwrites.
+func SetLabel(id uint64, label string) { labels.Store(id, label) }
+
+// LabelOf returns the registered label for id, or "".
+func LabelOf(id uint64) string {
+	if v, ok := labels.Load(id); ok {
+		return v.(string)
+	}
+	return ""
+}
+
+// slot is one sketch counter, padded so concurrent increments on
+// neighboring slots do not false-share.
+type slot struct {
+	id atomic.Uint64 // 0 = empty
+	n  atomic.Uint64
+	_  [112]byte
+}
+
+// sampStripes is the number of sampling-counter stripes; a power of two
+// so stripe selection is a mask. Striping keeps the sampling gate from
+// becoming the shared contended word the stat stripes exist to avoid.
+const sampStripes = 8
+
+type sampStripe struct {
+	n atomic.Uint64
+	_ [120]byte
+}
+
+// Sketch is a lock-free top-K space-saving sketch over uint64 ids.
+type Sketch struct {
+	mask  uint64 // sampling mask: admit when counter&mask == 0; 0 = admit all
+	slots []slot
+	samp  [sampStripes]sampStripe
+}
+
+// NewSketch returns a sketch with k counters admitting roughly 1 in
+// sampleEvery observations (rounded up to a power of two; ≤ 1 means
+// every observation). k is clamped to [1, 4096].
+func NewSketch(k, sampleEvery int) *Sketch {
+	if k < 1 {
+		k = 1
+	}
+	if k > 4096 {
+		k = 4096
+	}
+	var mask uint64
+	if sampleEvery > 1 {
+		e := uint64(1)
+		for e < uint64(sampleEvery) {
+			e <<= 1
+		}
+		mask = e - 1
+	}
+	return &Sketch{mask: mask, slots: make([]slot, k)}
+}
+
+// Observe records one occurrence of id (0 is reserved and ignored).
+// Allocation-free; safe for concurrent use.
+func (s *Sketch) Observe(id uint64) {
+	if id == 0 {
+		return
+	}
+	if s.mask != 0 {
+		if s.samp[id&(sampStripes-1)].n.Add(1)&s.mask != 0 {
+			return
+		}
+	}
+	minIdx, minN := -1, ^uint64(0)
+	emptyIdx := -1
+	for i := range s.slots {
+		sl := &s.slots[i]
+		switch got := sl.id.Load(); got {
+		case id:
+			sl.n.Add(1)
+			return
+		case 0:
+			if emptyIdx < 0 {
+				emptyIdx = i
+			}
+		default:
+			if n := sl.n.Load(); n < minN {
+				minN, minIdx = n, i
+			}
+		}
+	}
+	if emptyIdx >= 0 {
+		sl := &s.slots[emptyIdx]
+		if sl.id.CompareAndSwap(0, id) || sl.id.Load() == id {
+			sl.n.Add(1)
+			return
+		}
+	}
+	if minIdx < 0 {
+		return // every candidate slot was lost to a racing claim; drop
+	}
+	// Space-saving replacement: evict the minimum and inherit its count,
+	// so the new id's count is an overestimate by at most the evicted
+	// minimum — the bound in the package comment.
+	sl := &s.slots[minIdx]
+	old := sl.id.Load()
+	if old != 0 && old != id && sl.id.CompareAndSwap(old, id) {
+		sl.n.Add(1)
+	}
+	// A lost replacement race drops this observation; acceptable for a
+	// sampled profile.
+}
+
+// Entry is one row of a Top report.
+type Entry struct {
+	ID    uint64 `json:"id"`
+	Label string `json:"label,omitempty"`
+	Count uint64 `json:"count"`
+}
+
+// Top returns up to n occupied slots ordered by descending count, with
+// labels resolved from the registry ("" when unlabeled).
+func (s *Sketch) Top(n int) []Entry {
+	out := make([]Entry, 0, len(s.slots))
+	for i := range s.slots {
+		sl := &s.slots[i]
+		id := sl.id.Load()
+		if id == 0 {
+			continue
+		}
+		out = append(out, Entry{ID: id, Label: LabelOf(id), Count: sl.n.Load()})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// K returns the sketch's slot count.
+func (s *Sketch) K() int { return len(s.slots) }

@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestExactUnderK: with at most K distinct ids and no sampling, a
+// sequentially fed sketch counts exactly.
+func TestExactUnderK(t *testing.T) {
+	s := NewSketch(4, 0)
+	feed := []uint64{1, 2, 1, 3, 1, 2, 4, 1}
+	for _, id := range feed {
+		s.Observe(id)
+	}
+	want := map[uint64]uint64{1: 4, 2: 2, 3: 1, 4: 1}
+	top := s.Top(0)
+	if len(top) != len(want) {
+		t.Fatalf("Top returned %d entries, want %d: %+v", len(top), len(want), top)
+	}
+	for _, e := range top {
+		if e.Count != want[e.ID] {
+			t.Fatalf("id %d: count %d, want %d", e.ID, e.Count, want[e.ID])
+		}
+	}
+	if top[0].ID != 1 || top[0].Count != 4 {
+		t.Fatalf("Top[0] = %+v, want id 1 count 4", top[0])
+	}
+}
+
+// TestHeavyHitterSurvives: a heavy hitter keeps its slot (and its count
+// stays an overestimate of the truth) despite a long tail of distinct
+// ids contending for the K slots.
+func TestHeavyHitterSurvives(t *testing.T) {
+	// The space-saving guarantee needs the hot id's frequency above
+	// N/(K+1): here hot is half of N = 4000 observations, well past
+	// 4000/9, while 2000 distinct tail ids churn the other 7 slots.
+	const hot, hotCount, tail = 7, 2000, 2000
+	s := NewSketch(8, 0)
+	for i := 0; i < hotCount; i++ {
+		s.Observe(hot)
+		s.Observe(uint64(1000 + i%tail))
+	}
+	var got *Entry
+	for _, e := range s.Top(0) {
+		if e.ID == hot {
+			e := e
+			got = &e
+		}
+	}
+	if got == nil {
+		t.Fatalf("heavy hitter evicted from sketch: %+v", s.Top(8))
+	}
+	if got.Count < hotCount {
+		t.Fatalf("space-saving count %d underestimates true count %d", got.Count, hotCount)
+	}
+}
+
+// TestZeroIDIgnored: id 0 is the empty-slot sentinel and must never
+// occupy a slot.
+func TestZeroIDIgnored(t *testing.T) {
+	s := NewSketch(4, 0)
+	s.Observe(0)
+	if top := s.Top(0); len(top) != 0 {
+		t.Fatalf("Observe(0) occupied a slot: %+v", top)
+	}
+}
+
+// TestSampling: with 1-in-8 sampling, admitted counts land near
+// total/8 — the striped counters admit deterministically per stripe, so
+// a single-id feed admits exactly 1 in 8.
+func TestSampling(t *testing.T) {
+	s := NewSketch(4, 8)
+	const n = 800
+	for i := 0; i < n; i++ {
+		s.Observe(42)
+	}
+	top := s.Top(1)
+	if len(top) != 1 || top[0].ID != 42 {
+		t.Fatalf("Top = %+v, want the single sampled id", top)
+	}
+	if got := top[0].Count; got != n/8 {
+		t.Fatalf("sampled count = %d, want exactly %d (single-stripe feed)", got, n/8)
+	}
+}
+
+// TestLabels: registry round-trip and Top label resolution.
+func TestLabels(t *testing.T) {
+	id := NamespaceSTM | 12345
+	SetLabel(id, "user000000042")
+	if got := LabelOf(id); got != "user000000042" {
+		t.Fatalf("LabelOf = %q", got)
+	}
+	if got := LabelOf(id + 1); got != "" {
+		t.Fatalf("unlabeled id resolved to %q", got)
+	}
+	s := NewSketch(2, 0)
+	s.Observe(id)
+	if top := s.Top(1); top[0].Label != "user000000042" {
+		t.Fatalf("Top label = %q", top[0].Label)
+	}
+}
+
+// TestConcurrentObserve: the lock-free claim under race — no panics,
+// and a sole hot id's count stays within the observation total.
+func TestConcurrentObserve(t *testing.T) {
+	s := NewSketch(8, 0)
+	const workers, per = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				s.Observe(1)                        // hot id every iteration
+				s.Observe(uint64(2 + (w*per+i)%64)) // churning tail
+			}
+		}(w)
+	}
+	wg.Wait()
+	var hot uint64
+	for _, e := range s.Top(0) {
+		if e.ID == 1 {
+			hot = e.Count
+		}
+	}
+	if hot == 0 {
+		t.Fatalf("hot id evicted under concurrency: %+v", s.Top(8))
+	}
+	if hot > 2*workers*per {
+		t.Fatalf("hot count %d wildly exceeds %d observations", hot, 2*workers*per)
+	}
+}
+
+// TestKClamp: degenerate constructor arguments still yield a working
+// sketch.
+func TestKClamp(t *testing.T) {
+	s := NewSketch(-1, -1)
+	if s.K() != 1 {
+		t.Fatalf("K = %d, want 1", s.K())
+	}
+	s.Observe(9)
+	s.Observe(9)
+	if top := s.Top(0); len(top) != 1 || top[0].Count != 2 {
+		t.Fatalf("Top = %+v", top)
+	}
+}
+
+// FuzzSketch checks the two space-saving properties against an exact
+// model: counts never underestimate (sequential feed), and with ≤ K
+// distinct ids they are exact.
+func FuzzSketch(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 1, 1})
+	f.Add([]byte{0, 0, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const k = 4
+		s := NewSketch(k, 0)
+		exact := map[uint64]uint64{}
+		for _, b := range data {
+			id := uint64(b % 16) // small id space so eviction is exercised
+			s.Observe(id)
+			if id != 0 {
+				exact[id]++
+			}
+		}
+		top := s.Top(0)
+		counts := map[uint64]uint64{}
+		for _, e := range top {
+			if e.ID == 0 {
+				t.Fatalf("sentinel id in Top: %+v", top)
+			}
+			counts[e.ID] = e.Count
+		}
+		for id, n := range counts {
+			if n < exact[id] {
+				t.Fatalf("id %d: sketch %d underestimates exact %d (feed %v)", id, n, exact[id], data)
+			}
+		}
+		if len(exact) <= k {
+			for id, n := range exact {
+				if counts[id] != n {
+					t.Fatalf("≤K distinct ids but id %d counted %d, want exact %d (feed %v)", id, counts[id], n, data)
+				}
+			}
+		}
+	})
+}
+
+// ExampleSketch documents the intended profiling flow.
+func ExampleSketch() {
+	s := NewSketch(8, 0)
+	SetLabel(101, "accounts/alice")
+	for i := 0; i < 3; i++ {
+		s.Observe(101)
+	}
+	s.Observe(202)
+	for _, e := range s.Top(2) {
+		name := e.Label
+		if name == "" {
+			name = fmt.Sprintf("var-%d", e.ID)
+		}
+		fmt.Printf("%s %d\n", name, e.Count)
+	}
+	// Output:
+	// accounts/alice 3
+	// var-202 1
+}

@@ -391,6 +391,11 @@ type Tx struct {
 	// shard picks the descriptor's stats stripe, assigned once so pooled
 	// reuse keeps stripes spread out.
 	shard uint32
+	// latSeq is the descriptor-local sampling sequence for the commit
+	// latency histograms (see SetLatencySampling); it deliberately
+	// survives reset so pooled descriptors keep striding through the
+	// sample period.
+	latSeq uint32
 	// slot is the descriptor's registration in the epoch table; pin/unpin
 	// publish and clear the active read timestamp committers sweep against.
 	slot *epochSlot
@@ -767,6 +772,9 @@ func (tx *Tx) Retry() {
 	if len(tx.reads) == 0 {
 		panic("mvstm: Retry with an empty read set would sleep forever")
 	}
+	// Taxonomy: a parked wait is a user-requested re-run, not a conflict
+	// (and not counted in Stats.Aborts).
+	tx.stat().reasons[abortExplicitRetry].Add(1)
 	panic(waitSignal{})
 }
 
@@ -777,26 +785,28 @@ func (tx *Tx) Retry() {
 // has validated and will install a newer version, so letting both commits
 // stand would admit write skew. An own-locked Var's word holds the
 // embedded lock-time clock (see tryLock), not the committed version, so
-// its check uses the pre-lock version saved in the write entry.
-func (tx *Tx) validateCommit() bool {
+// its check uses the pre-lock version saved in the write entry. On
+// failure it returns the offending read's Var for contention
+// attribution.
+func (tx *Tx) validateCommit() (varBase, bool) {
 	for i := range tx.reads {
 		r := &tx.reads[i]
 		w := r.v.lockWord()
 		if !lockword.Locked(w) {
 			if lockword.Version(w) > tx.rv {
-				return false
+				return r.v, false
 			}
 			continue
 		}
 		j, own := tx.searchWrite(r.v)
 		if !own {
-			return false
+			return r.v, false
 		}
 		if tx.writes[j].prev > tx.rv {
-			return false
+			return r.v, false
 		}
 	}
-	return true
+	return nil, true
 }
 
 // recycleBuilds returns the attempt's never-published chain builds to
@@ -882,6 +892,7 @@ func (tx *Tx) commit() bool {
 	if locked != len(tx.writes) {
 		releaseLocked(locked)
 		tx.recycleBuilds()
+		tx.noteAbort(abortLockBusy, tx.writes[locked].v)
 		return false
 	}
 	tx.syncAt(syncpoint.PostLock)
@@ -891,9 +902,10 @@ func (tx *Tx) commit() bool {
 	// version above a post-lock clock load (see clock.go).
 	tx.syncAt(syncpoint.PreClockStamp)
 	wv := tx.advanceClock()
-	if !tx.validateCommit() {
+	if bad, ok := tx.validateCommit(); !ok {
 		releaseLocked(locked)
 		tx.recycleBuilds()
+		tx.noteAbort(abortCommitValidation, bad)
 		return false
 	}
 	tx.syncAt(syncpoint.PrePublish)
@@ -1020,6 +1032,13 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic escaping fn must not strand the descriptor: finish
@@ -1064,6 +1083,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 		}
 		if tx.commit() {
 			tx.stat().commits.Add(1)
+			if !latStart.IsZero() {
+				commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+				attemptsPerCommit.Observe(uint64(attempt) + 1)
+			}
 			tx.traceEnd(true)
 			tx.finish()
 			return nil
@@ -1121,6 +1144,13 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// As in atomically: a panic (including the Set/Retry usage
@@ -1154,6 +1184,10 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 		st := tx.stat()
 		st.commits.Add(1)
 		st.roCommits.Add(1)
+		if !latStart.IsZero() {
+			commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+			attemptsPerCommit.Observe(1)
+		}
 	}
 	tx.traceEnd(err == nil)
 	tx.finish()

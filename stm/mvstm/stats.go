@@ -57,6 +57,57 @@ type Stats struct {
 	// snapshot's value through). Bounded chains under churn are the GC's
 	// acceptance signal; a pinned long reader shows up here as growth.
 	ChainHWM uint64
+	// AbortReasons classifies every abort at its site, mirroring
+	// repro/stm's taxonomy shape-wise. Snapshot reads cannot fail
+	// mid-attempt, so this engine produces only LockBusy (commit could
+	// not acquire its write locks), CommitValidation (a validated read
+	// was overwritten or foreign-locked), Budget and ExplicitRetry;
+	// ReadCertify and Extension stay zero by construction.
+	AbortReasons AbortReasons
+}
+
+// AbortReasons is the per-class abort breakdown, field-compatible with
+// repro/stm's so the serving tier reports all engines uniformly. The
+// conflict classes partition Stats.Aborts minus budget refusals; Budget
+// equals Stats.BudgetAborts; ExplicitRetry counts user Retry signals
+// (parked waits, which are not in Stats.Aborts).
+type AbortReasons struct {
+	ReadCertify      uint64
+	CommitValidation uint64
+	LockBusy         uint64
+	Extension        uint64
+	Budget           uint64
+	ExplicitRetry    uint64
+}
+
+// Total sums every class.
+func (r AbortReasons) Total() uint64 {
+	return r.ReadCertify + r.CommitValidation + r.LockBusy + r.Extension + r.Budget + r.ExplicitRetry
+}
+
+// Sub returns the per-class deltas r - t.
+func (r AbortReasons) Sub(t AbortReasons) AbortReasons {
+	return AbortReasons{
+		ReadCertify:      r.ReadCertify - t.ReadCertify,
+		CommitValidation: r.CommitValidation - t.CommitValidation,
+		LockBusy:         r.LockBusy - t.LockBusy,
+		Extension:        r.Extension - t.Extension,
+		Budget:           r.Budget - t.Budget,
+		ExplicitRetry:    r.ExplicitRetry - t.ExplicitRetry,
+	}
+}
+
+// Map returns the breakdown keyed by the stable snake_case names the
+// serving tier and tmstat expose.
+func (r AbortReasons) Map() map[string]uint64 {
+	return map[string]uint64{
+		"read_certify":      r.ReadCertify,
+		"commit_validation": r.CommitValidation,
+		"lock_busy":         r.LockBusy,
+		"extension":         r.Extension,
+		"budget":            r.Budget,
+		"explicit_retry":    r.ExplicitRetry,
+	}
 }
 
 // AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
@@ -95,6 +146,7 @@ func (s Stats) Sub(t Stats) Stats {
 		GCSweeps:          s.GCSweeps - t.GCSweeps,
 		GCSkips:           s.GCSkips - t.GCSkips,
 		ChainHWM:          s.ChainHWM,
+		AbortReasons:      s.AbortReasons.Sub(t.AbortReasons),
 	}
 }
 
@@ -102,8 +154,22 @@ func (s Stats) Sub(t Stats) Stats {
 // selection is a mask.
 const statStripes = 16
 
+// Abort-reason indices into a statShard's reasons array; the order
+// matches the AbortReasons fields.
+const (
+	abortReadCertify = iota
+	abortCommitValidation
+	abortLockBusy
+	abortExtension
+	abortBudget
+	abortExplicitRetry
+	nAbortReasons
+)
+
 // statShard is one stripe of counters, padded out to its own cache lines
-// so stripes do not false-share.
+// so stripes do not false-share: 13 named counters plus 6 reason
+// counters is 19 words (152 bytes), padded to the next 128-byte
+// multiple.
 type statShard struct {
 	commits          atomic.Uint64
 	roCommits        atomic.Uint64
@@ -118,7 +184,8 @@ type statShard struct {
 	gcSweeps         atomic.Uint64
 	gcSkips          atomic.Uint64
 	chainHWM         atomic.Uint64
-	_                [128 - 13*8]byte
+	reasons          [nAbortReasons]atomic.Uint64
+	_                [256 - 19*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -161,6 +228,12 @@ func ReadStats() Stats {
 		if h := sh.chainHWM.Load(); h > s.ChainHWM {
 			s.ChainHWM = h
 		}
+		s.AbortReasons.ReadCertify += sh.reasons[abortReadCertify].Load()
+		s.AbortReasons.CommitValidation += sh.reasons[abortCommitValidation].Load()
+		s.AbortReasons.LockBusy += sh.reasons[abortLockBusy].Load()
+		s.AbortReasons.Extension += sh.reasons[abortExtension].Load()
+		s.AbortReasons.Budget += sh.reasons[abortBudget].Load()
+		s.AbortReasons.ExplicitRetry += sh.reasons[abortExplicitRetry].Load()
 	}
 	return s
 }

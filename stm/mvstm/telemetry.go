@@ -1,0 +1,87 @@
+package mvstm
+
+import (
+	"sync/atomic"
+
+	"repro/internal/loghist"
+	"repro/internal/telemetry"
+)
+
+// profiler is the installed contention sketch (nil = off). Abort sites
+// feed it through noteAbort: with no sketch installed each site costs
+// one atomic pointer load and a branch, and the sites only run on
+// aborts, so the successful hot path is untouched either way.
+var profiler atomic.Pointer[telemetry.Sketch]
+
+// SetContentionProfiler installs (or, with nil, removes) the hot-Var
+// contention sketch: every classified abort that can name the Var it
+// conflicted on feeds the sketch with that Var's id, so Sketch.Top
+// reports where the abort budget is going. Install/remove is safe
+// concurrently with running transactions (atomic pointer swap).
+func SetContentionProfiler(s *telemetry.Sketch) { profiler.Store(s) }
+
+// ContentionProfiler returns the installed sketch, or nil.
+func ContentionProfiler() *telemetry.Sketch { return profiler.Load() }
+
+// noteConflict attributes an abort to v in the installed sketch; nil v
+// (no single Var attributable) is a no-op.
+func noteConflict(v varBase) {
+	if s := profiler.Load(); s != nil && v != nil {
+		s.Observe(telemetry.NamespaceMVSTM | v.id())
+	}
+}
+
+// Label names this Var in hot-Var contention reports (see
+// SetContentionProfiler). Unlabeled Vars report as var-<id>.
+func (v *Var[T]) Label(name string) { telemetry.SetLabel(telemetry.NamespaceMVSTM|v.vid, name) }
+
+// noteAbort classifies an abort at its site: one indexed Add on the
+// descriptor's stat stripe plus the profiler hook. All of this engine's
+// conflict aborts surface in commit through normal control flow
+// (snapshot reads cannot fail mid-attempt), so there is no panicking
+// variant; the attempt loop still counts the abort itself, so every
+// entry in Stats.Aborts carries exactly one conflict reason.
+func (tx *Tx) noteAbort(reason int, v varBase) {
+	tx.stat().reasons[reason].Add(1)
+	noteConflict(v)
+}
+
+// latEvery gates commit-latency sampling: 0 = off, else the
+// power-of-two sampling period whose mask (period-1) is compared
+// against a descriptor-local sequence number, so the
+// sampled-on cost per call is one atomic load, one local increment and
+// a branch — and one time.Now pair per sampled call.
+var latEvery atomic.Uint64
+
+// commitLatency records sampled wall-clock µs from a call's first
+// attempt to its successful commit; attemptsPerCommit records how many
+// attempts that call burned (1 = first try; snapshot transactions are
+// always 1 — they run exactly once). Both are engine-wide log2
+// histograms; budget/ctx-aborted calls are not recorded.
+var (
+	commitLatency     loghist.Hist
+	attemptsPerCommit loghist.Hist
+)
+
+// SetLatencySampling enables commit-latency and attempts-per-commit
+// sampling for roughly 1 in every transaction calls (rounded up to a
+// power of two; ≤ 0 disables, 1 samples every call). Engine-wide, like
+// the clock strategy knobs.
+func SetLatencySampling(every int) {
+	if every <= 0 {
+		latEvery.Store(0)
+		return
+	}
+	e := uint64(1)
+	for e < uint64(every) {
+		e <<= 1
+	}
+	latEvery.Store(e)
+}
+
+// LatencyHists returns the engine's sampled commit-latency (µs) and
+// attempts-per-commit histograms for snapshotting; they accumulate for
+// the life of the process, so renderers should diff snapshots.
+func LatencyHists() (commitUS, attempts *loghist.Hist) {
+	return &commitLatency, &attemptsPerCommit
+}

@@ -101,6 +101,10 @@ func (tx *Tx) chargeSoft(n uint64) bool {
 // counted in aborts by the caller).
 func (tx *Tx) budgetAbort() error {
 	tx.stat().budgetAborts.Add(1)
+	// Taxonomy: the Budget class mirrors BudgetAborts exactly (see
+	// Stats.AbortReasons), so the refusal is counted here — once per
+	// exhausted call — not at the individual charge sites.
+	tx.stat().reasons[abortBudget].Add(1)
 	tx.release()
 	return ErrOutOfBudget
 }

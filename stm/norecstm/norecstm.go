@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/backoff"
 	"repro/internal/syncpoint"
@@ -53,17 +54,26 @@ type box struct{ val any }
 type varBase interface {
 	loadBox() *box
 	storeBox(*box)
+	id() uint64
 }
+
+// varIDs hands out Var identities for contention profiling. The id is
+// inert metadata: NOrec's "no per-variable metadata" claim is about the
+// runtime algorithm (no version word read or written on any path), and
+// the id is touched only by abort-site telemetry, never by reads,
+// writes, validation or commit.
+var varIDs atomic.Uint64
 
 // Var is a transactional variable holding a value of type T. Create with
 // NewVar.
 type Var[T any] struct {
+	vid   uint64
 	state atomic.Pointer[box]
 }
 
 // NewVar creates a transactional variable with the given initial value.
 func NewVar[T any](initial T) *Var[T] {
-	v := &Var[T]{}
+	v := &Var[T]{vid: varIDs.Add(1)}
 	v.state.Store(&box{val: initial})
 	return v
 }
@@ -76,6 +86,7 @@ func (v *Var[T]) loadBox() *box {
 	return b
 }
 func (v *Var[T]) storeBox(b *box) { v.state.Store(b) }
+func (v *Var[T]) id() uint64      { return v.vid }
 
 // Get reads the variable inside a transaction.
 func (v *Var[T]) Get(tx *Tx) T { return tx.read(v).(T) }
@@ -111,6 +122,11 @@ type Tx struct {
 	// inside an RO transaction panic.
 	ro      bool
 	roReads int
+	// latSeq is the descriptor-local sampling sequence for the commit
+	// latency histograms (see SetLatencySampling); it deliberately
+	// survives reset so pooled descriptors keep striding through the
+	// sample period.
+	latSeq uint32
 	// metered/budgetLeft/costs are the call's work-budget grant, sampled
 	// once per call from the engine policy (see SetBudgetPolicy);
 	// budgetExceeded records exhaustion on the non-panicking paths. The
@@ -199,8 +215,11 @@ func (tx *Tx) begin() {
 // forward to the stable sequence whenever every read value is unchanged,
 // and only a genuinely overwritten read aborts. Each completed scan is
 // counted so the Θ(m)-per-conflict revalidation cost the paper's Theorem 3
-// builds on is observable (ReadStats).
-func (tx *Tx) validate() {
+// builds on is observable (ReadStats). reason classifies a failed scan
+// for the abort taxonomy — the read path passes abortReadCertify, the
+// commit CAS loop abortCommitValidation — and the overwritten entry's
+// Var feeds the contention profiler.
+func (tx *Tx) validate(reason int) {
 	// The revalidation scan is engine work on the transaction's behalf:
 	// one step per read entry, charged per completed pass. The charge may
 	// panic budgetSignal — safe from the read path, and translated into a
@@ -215,9 +234,11 @@ func (tx *Tx) validate() {
 			continue
 		}
 		ok := true
+		var bad varBase
 		for _, r := range tx.reads {
 			if r.v.loadBox() != r.b {
 				ok = false
+				bad = r.v
 				break
 			}
 		}
@@ -226,7 +247,7 @@ func (tx *Tx) validate() {
 		}
 		tx.stat().revalidations.Add(1)
 		if !ok {
-			panic(retrySignal{})
+			tx.abortConflict(reason, bad)
 		}
 		tx.snap = s
 		return
@@ -248,7 +269,7 @@ func (tx *Tx) read(v varBase) any {
 	}
 	b := v.loadBox()
 	for seq.Load() != tx.snap {
-		tx.validate()
+		tx.validate(abortReadCertify)
 		b = v.loadBox()
 	}
 	if tx.trec != nil {
@@ -285,7 +306,10 @@ func (tx *Tx) readRO(v varBase) any {
 			return b.val
 		}
 		if tx.roReads > 0 {
-			panic(retrySignal{})
+			// Certified reads exist but there is no read log to
+			// revalidate: the snapshot cannot be extended, so the read
+			// fails certification outright.
+			tx.abortConflict(abortReadCertify, v)
 		}
 		if s&1 == 1 {
 			// A writer is mid-commit; wait for a stable sequence.
@@ -337,6 +361,9 @@ func (tx *Tx) Retry() {
 	if len(tx.reads) == 0 {
 		panic("norecstm: Retry with an empty read set would sleep forever")
 	}
+	// Taxonomy: a parked wait is a user-requested re-run, not a conflict
+	// (and not counted in Stats.Aborts).
+	tx.stat().reasons[abortExplicitRetry].Add(1)
 	panic(waitSignal{})
 }
 
@@ -363,7 +390,7 @@ func (tx *Tx) commit() (ok bool) {
 	for !seq.CompareAndSwap(tx.snap, tx.snap+1) {
 		// The sequence moved: revalidate, then retry from the refreshed
 		// snapshot.
-		tx.validate()
+		tx.validate(abortCommitValidation)
 	}
 	// The CAS moved seq odd: this commit holds the global sequence lock.
 	tx.syncAt(syncpoint.PostLock)
@@ -402,6 +429,13 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic escaping fn must not strand the pooled descriptor. No
@@ -434,6 +468,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 			if tx.commit() {
 				tx.stat().commits.Add(1)
+				if !latStart.IsZero() {
+					commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+					attemptsPerCommit.Observe(uint64(attempt) + 1)
+				}
 				tx.traceEnd(true)
 				tx.release()
 				return nil
@@ -489,6 +527,13 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// As in atomically: recycle the descriptor under a user panic.
@@ -519,6 +564,10 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 			tx.stat().commits.Add(1)
 			tx.stat().roCommits.Add(1)
+			if !latStart.IsZero() {
+				commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+				attemptsPerCommit.Observe(uint64(attempt) + 1)
+			}
 			tx.traceEnd(true)
 			tx.release()
 			return nil

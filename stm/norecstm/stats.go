@@ -22,6 +22,61 @@ type Stats struct {
 	// NOrec's extension analogue, triggered whenever the global sequence
 	// moves under a live transaction. Each scan is Θ(|read set|).
 	Revalidations uint64
+	// AbortReasons classifies every abort at its site, mirroring
+	// repro/stm's taxonomy shape-wise. NOrec can only produce a subset of
+	// the classes: ReadCertify (a moved sequence killed an execution-time
+	// revalidation, or the RO fast path hit a moved sequence past its
+	// first certified read), CommitValidation (the commit-time
+	// revalidation inside the sequence-CAS loop found an overwritten
+	// read), Budget and ExplicitRetry. LockBusy and Extension stay zero:
+	// a reader that meets the odd (locked) sequence spins rather than
+	// aborting, and NOrec's extension analogue is the revalidation scan
+	// itself, already split by call site into the two classes above.
+	AbortReasons AbortReasons
+}
+
+// AbortReasons is the per-class abort breakdown, field-compatible with
+// repro/stm's so the serving tier reports all engines uniformly. The
+// conflict classes partition Stats.Aborts minus budget refusals; Budget
+// equals Stats.BudgetAborts; ExplicitRetry counts user Retry signals
+// (parked waits, which are not in Stats.Aborts).
+type AbortReasons struct {
+	ReadCertify      uint64
+	CommitValidation uint64
+	LockBusy         uint64
+	Extension        uint64
+	Budget           uint64
+	ExplicitRetry    uint64
+}
+
+// Total sums every class.
+func (r AbortReasons) Total() uint64 {
+	return r.ReadCertify + r.CommitValidation + r.LockBusy + r.Extension + r.Budget + r.ExplicitRetry
+}
+
+// Sub returns the per-class deltas r - t.
+func (r AbortReasons) Sub(t AbortReasons) AbortReasons {
+	return AbortReasons{
+		ReadCertify:      r.ReadCertify - t.ReadCertify,
+		CommitValidation: r.CommitValidation - t.CommitValidation,
+		LockBusy:         r.LockBusy - t.LockBusy,
+		Extension:        r.Extension - t.Extension,
+		Budget:           r.Budget - t.Budget,
+		ExplicitRetry:    r.ExplicitRetry - t.ExplicitRetry,
+	}
+}
+
+// Map returns the breakdown keyed by the stable snake_case names the
+// serving tier and tmstat expose.
+func (r AbortReasons) Map() map[string]uint64 {
+	return map[string]uint64{
+		"read_certify":      r.ReadCertify,
+		"commit_validation": r.CommitValidation,
+		"lock_busy":         r.LockBusy,
+		"extension":         r.Extension,
+		"budget":            r.Budget,
+		"explicit_retry":    r.ExplicitRetry,
+	}
 }
 
 // AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
@@ -42,18 +97,35 @@ func (s Stats) Sub(t Stats) Stats {
 		BudgetAborts:  s.BudgetAborts - t.BudgetAborts,
 		ROCommits:     s.ROCommits - t.ROCommits,
 		Revalidations: s.Revalidations - t.Revalidations,
+		AbortReasons:  s.AbortReasons.Sub(t.AbortReasons),
 	}
 }
 
 const statStripes = 16
 
+// Abort-reason indices into a statShard's reasons array; the order
+// matches the AbortReasons fields.
+const (
+	abortReadCertify = iota
+	abortCommitValidation
+	abortLockBusy
+	abortExtension
+	abortBudget
+	abortExplicitRetry
+	nAbortReasons
+)
+
+// statShard is one stripe of counters, padded so stripes do not
+// false-share: 5 named counters plus 6 reason counters is 11 words,
+// padded out to the 128-byte two-line target.
 type statShard struct {
 	commits       atomic.Uint64
 	aborts        atomic.Uint64
 	budgetAborts  atomic.Uint64
 	roCommits     atomic.Uint64
 	revalidations atomic.Uint64
-	_             [128 - 5*8]byte
+	reasons       [nAbortReasons]atomic.Uint64
+	_             [128 - 11*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -74,6 +146,12 @@ func ReadStats() Stats {
 		s.BudgetAborts += sh.budgetAborts.Load()
 		s.ROCommits += sh.roCommits.Load()
 		s.Revalidations += sh.revalidations.Load()
+		s.AbortReasons.ReadCertify += sh.reasons[abortReadCertify].Load()
+		s.AbortReasons.CommitValidation += sh.reasons[abortCommitValidation].Load()
+		s.AbortReasons.LockBusy += sh.reasons[abortLockBusy].Load()
+		s.AbortReasons.Extension += sh.reasons[abortExtension].Load()
+		s.AbortReasons.Budget += sh.reasons[abortBudget].Load()
+		s.AbortReasons.ExplicitRetry += sh.reasons[abortExplicitRetry].Load()
 	}
 	return s
 }

@@ -1,0 +1,158 @@
+package norecstm_test
+
+// Abort-taxonomy tests for the NOrec engine: the conflict classes this
+// engine can produce (ReadCertify from execution-time revalidation and
+// the RO fast path, CommitValidation from the sequence-CAS loop) must
+// partition Stats.Aborts, Budget must mirror BudgetAborts, and the
+// contention profiler must surface the hot Var.
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/stm/budget"
+	"repro/stm/norecstm"
+)
+
+func hammer(t *testing.T, workers, iters int, vars ...*norecstm.Var[int]) norecstm.Stats {
+	t.Helper()
+	before := norecstm.ReadStats()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+					for _, v := range vars {
+						v.Set(tx, v.Get(tx)+1)
+					}
+					return nil
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return norecstm.ReadStats().Sub(before)
+}
+
+func TestAbortReasonsPartitionAborts(t *testing.T) {
+	v := norecstm.NewVar(0)
+	d := hammer(t, 8, 300, v)
+	r := d.AbortReasons
+	conflict := r.ReadCertify + r.CommitValidation + r.LockBusy + r.Extension
+	if conflict != d.Aborts {
+		t.Fatalf("conflict reasons %+v sum to %d, want Aborts = %d", r, conflict, d.Aborts)
+	}
+	if r.LockBusy != 0 || r.Extension != 0 {
+		t.Fatalf("NOrec produced classes it cannot: %+v", r)
+	}
+	if r.Budget != 0 || r.ExplicitRetry != 0 {
+		t.Fatalf("unmetered no-Retry workload counted Budget=%d ExplicitRetry=%d", r.Budget, r.ExplicitRetry)
+	}
+	if d.Aborts == 0 {
+		t.Log("workload produced no aborts; partition check was vacuous")
+	}
+}
+
+func TestAbortReasonBudgetMirrorsBudgetAborts(t *testing.T) {
+	norecstm.SetBudgetPolicy(budget.Fixed{Limit: 3})
+	t.Cleanup(func() { norecstm.SetBudgetPolicy(nil) })
+	vars := make([]*norecstm.Var[int], 8)
+	for i := range vars {
+		vars[i] = norecstm.NewVar(0)
+	}
+	before := norecstm.ReadStats()
+	refused := 0
+	for i := 0; i < 50; i++ {
+		err := norecstm.Atomically(func(tx *norecstm.Tx) error {
+			for _, v := range vars {
+				v.Set(tx, v.Get(tx)+1)
+			}
+			return nil
+		})
+		if errors.Is(err, norecstm.ErrOutOfBudget) {
+			refused++
+		}
+	}
+	d := norecstm.ReadStats().Sub(before)
+	if refused == 0 {
+		t.Fatal("limit-3 policy refused nothing")
+	}
+	if d.AbortReasons.Budget != d.BudgetAborts {
+		t.Fatalf("Budget reason = %d, want BudgetAborts = %d", d.AbortReasons.Budget, d.BudgetAborts)
+	}
+}
+
+func TestAbortReasonExplicitRetry(t *testing.T) {
+	flag := norecstm.NewVar(false)
+	before := norecstm.ReadStats()
+	done := make(chan error, 1)
+	// parked fires once the waiter has committed to calling Retry, which
+	// counts ExplicitRetry before blocking — so the wake-up write below
+	// cannot race the count away.
+	parked := make(chan struct{}, 1)
+	go func() {
+		done <- norecstm.Atomically(func(tx *norecstm.Tx) error {
+			if !flag.Get(tx) {
+				select {
+				case parked <- struct{}{}:
+				default:
+				}
+				tx.Retry()
+			}
+			return nil
+		})
+	}()
+	<-parked
+	if err := norecstm.Atomically(func(tx *norecstm.Tx) error { flag.Set(tx, true); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	d := norecstm.ReadStats().Sub(before)
+	if d.AbortReasons.ExplicitRetry == 0 {
+		t.Fatal("parked Retry not counted in ExplicitRetry")
+	}
+}
+
+func TestContentionProfilerFindsHotVar(t *testing.T) {
+	sk := telemetry.NewSketch(8, 1)
+	norecstm.SetContentionProfiler(sk)
+	t.Cleanup(func() { norecstm.SetContentionProfiler(nil) })
+	hot := norecstm.NewVar(0)
+	hot.Label("norec-hot")
+	d := hammer(t, 8, 300, hot)
+	if d.Aborts == 0 {
+		t.Skip("no contention this run; nothing for the sketch to see")
+	}
+	for _, e := range sk.Top(8) {
+		if e.Label == "norec-hot" {
+			return
+		}
+	}
+	t.Fatalf("hot Var missing from sketch top: %+v", sk.Top(8))
+}
+
+func TestLatencySampling(t *testing.T) {
+	norecstm.SetLatencySampling(1)
+	t.Cleanup(func() { norecstm.SetLatencySampling(0) })
+	lat, att := norecstm.LatencyHists()
+	c0, a0 := lat.Count(), att.Count()
+	v := norecstm.NewVar(0)
+	for i := 0; i < 10; i++ {
+		if err := norecstm.Atomically(func(tx *norecstm.Tx) error { v.Set(tx, v.Get(tx)+1); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if lat.Count()-c0 != 10 || att.Count()-a0 != 10 {
+		t.Fatalf("sample-every-call recorded %d latencies / %d attempts, want 10 each",
+			lat.Count()-c0, att.Count()-a0)
+	}
+}

@@ -45,6 +45,10 @@ type OrderedMap[V any] struct {
 	// tallest published tower is correct, and a stale-high hint after an
 	// aborted insert merely re-reads a few nil heads.
 	height atomic.Int32
+	// labelPrefix, when set, makes Put label each new key's value Var
+	// prefix+key in the contention profiler's registry (see
+	// EnableKeyLabels); nil = off, costing inserts one pointer load.
+	labelPrefix atomic.Pointer[string]
 }
 
 // omNode is one skiplist node. key is immutable; val is a Var, so
@@ -75,6 +79,16 @@ func NewOrderedMap[V any]() *OrderedMap[V] {
 	}
 	m.height.Store(1)
 	return m
+}
+
+// EnableKeyLabels makes every subsequent Put label the new key's value
+// Var as prefix+key in the hot-Var registry, so contention profiles
+// (SetContentionProfiler) report the map keys transactions fought over
+// instead of anonymous Var ids. Keys inserted before the call stay
+// unlabeled; enable at construction for full coverage. The off path
+// costs inserts a single atomic pointer load.
+func (m *OrderedMap[V]) EnableKeyLabels(prefix string) {
+	m.labelPrefix.Store(&prefix)
 }
 
 // top returns the level count descents must cover: every published tower
@@ -209,6 +223,12 @@ func (m *OrderedMap[V]) Put(tx *Tx, key string, val V) {
 		key:  key,
 		val:  NewVar(val),
 		next: make([]*Var[*omNode[V]], height),
+	}
+	if p := m.labelPrefix.Load(); p != nil {
+		// Label even if this insert later aborts: a re-run creates a fresh
+		// node (and relabels), and a stale registry entry for an
+		// unpublished Var can never be observed by the sketch.
+		node.val.Label(*p + key)
 	}
 	for i := 0; i < height; i++ {
 		// The successor at level i is whatever preds[i] pointed to when we

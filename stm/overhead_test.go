@@ -1,0 +1,75 @@
+package stm_test
+
+// The telemetry A/B overhead smoke: the observability layer's standing
+// constraint is that hooks-off costs one predicate per site and
+// sampled-on stays allocation-free, so installing a contention sketch
+// and a sparse latency-sampling period must not move the uncontended
+// transaction round-trip (BenchmarkVarUncontended's shape) by more than
+// noise. Opt-in via TM_OVERHEAD_SMOKE because it is a microbenchmark
+// comparison — meaningless under a loaded CI neighbor — and run by
+// `make overhead-smoke`.
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/stm"
+)
+
+func TestTelemetryOffOverhead(t *testing.T) {
+	if os.Getenv("TM_OVERHEAD_SMOKE") == "" {
+		t.Skip("set TM_OVERHEAD_SMOKE=1 (make overhead-smoke) to run the telemetry A/B microbenchmark")
+	}
+	if testing.Short() {
+		t.Skip("microbenchmark; skipped in -short")
+	}
+	roundTrip := func() float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			v := stm.NewVar(0)
+			for i := 0; i < b.N; i++ {
+				_ = stm.Atomically(func(tx *stm.Tx) error {
+					v.Set(tx, v.Get(tx)+1)
+					return nil
+				})
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+	// Sampled-on side: a sketch installed (the abort-site hook becomes an
+	// atomic load + branch, though an uncontended run never aborts) and a
+	// sparse latency-sampling period (one atomic load, one local
+	// increment, one branch per call; time.Now only on sampled calls).
+	enable := func() {
+		stm.SetContentionProfiler(telemetry.NewSketch(telemetry.DefaultSketchK, 1024))
+		stm.SetLatencySampling(1 << 20)
+	}
+	disable := func() {
+		stm.SetContentionProfiler(nil)
+		stm.SetLatencySampling(0)
+	}
+	defer disable()
+
+	// Interleaved min-of-N on each side: on a shared host interference
+	// inflates individual runs but almost never deflates them, so the
+	// minimum is each side's least-interference sample (cmd/benchdiff's
+	// min-vs-min argument), and interleaving keeps slow drift (thermal,
+	// neighbors arriving) from loading one side only.
+	off, on := 0.0, 0.0
+	for i := 0; i < 6; i++ {
+		disable()
+		if ns := roundTrip(); off == 0 || ns < off {
+			off = ns
+		}
+		enable()
+		if ns := roundTrip(); on == 0 || ns < on {
+			on = ns
+		}
+	}
+
+	delta := (on - off) / off
+	t.Logf("uncontended round-trip: off=%.1f ns/op sampled-on=%.1f ns/op delta=%+.2f%%", off, on, 100*delta)
+	if delta > 0.03 {
+		t.Errorf("sampled-on telemetry costs %.2f%% on the uncontended path, budget is 3%%", 100*delta)
+	}
+}

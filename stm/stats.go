@@ -47,6 +47,79 @@ type Stats struct {
 	// execution) or covered the commit timestamp (at commit). This is the
 	// "readers write" cost TicToc trades for its clock-free read path.
 	RTSAdvances uint64
+	// AbortReasons classifies every abort at the site it happened, so an
+	// abort-ratio spike can be attributed (lock-busy vs read certification
+	// vs commit validation vs …) without re-running under a tracer.
+	AbortReasons AbortReasons
+}
+
+// AbortReasons is the per-class abort breakdown shared (shape-wise) by
+// all three native engines; classes an engine cannot produce stay zero.
+// The conflict classes (everything but Budget and ExplicitRetry)
+// partition Stats.Aborts minus budget refusals: each failed attempt
+// increments exactly one of them at the site that killed it (see
+// ExplicitRetry for the one demotion corner that lands there instead).
+type AbortReasons struct {
+	// ReadCertify: a read could not be certified — the raced re-load
+	// bound was exceeded, or a stale version could not be covered on a
+	// path with nothing to revalidate (the RO fast path past its first
+	// read, a promotion demoted after certified-but-unlogged reads).
+	ReadCertify uint64
+	// CommitValidation: commit-time revalidation of the read set found
+	// an entry overwritten (or persistently foreign-locked) — the
+	// genuine write-after-read conflict class.
+	CommitValidation uint64
+	// LockBusy: the attempt died waiting on someone else's commit lock —
+	// a read hit a locked word, or commit could not acquire its own
+	// write locks.
+	LockBusy uint64
+	// Extension: a read-timestamp extension (or TicToc prior-entry
+	// sweep) found an invalidated entry and the attempt aborted.
+	Extension uint64
+	// Budget: the configured BudgetPolicy refused the work — equal to
+	// Stats.BudgetAborts. A refusal that lands on the retry charge of an
+	// attempt already counted under a conflict class adds a second
+	// reason to that single abort, so Total can slightly exceed
+	// Stats.Aborts under metering.
+	Budget uint64
+	// ExplicitRetry counts Retry signals from user code: parked waits
+	// (not in Stats.Aborts — the attempt sleeps instead of spinning),
+	// OrElse branches that fell through to their alternative, and the
+	// rare promoted-RO attempt a Retry demoted back to the full
+	// pipeline (that one is in Stats.Aborts). A blocked-queue workload
+	// shows up here, not in the conflict classes.
+	ExplicitRetry uint64
+}
+
+// Total sums every class (see Budget and ExplicitRetry for the two
+// classes that are not subsets of Stats.Aborts).
+func (r AbortReasons) Total() uint64 {
+	return r.ReadCertify + r.CommitValidation + r.LockBusy + r.Extension + r.Budget + r.ExplicitRetry
+}
+
+// Sub returns the per-class deltas r - t.
+func (r AbortReasons) Sub(t AbortReasons) AbortReasons {
+	return AbortReasons{
+		ReadCertify:      r.ReadCertify - t.ReadCertify,
+		CommitValidation: r.CommitValidation - t.CommitValidation,
+		LockBusy:         r.LockBusy - t.LockBusy,
+		Extension:        r.Extension - t.Extension,
+		Budget:           r.Budget - t.Budget,
+		ExplicitRetry:    r.ExplicitRetry - t.ExplicitRetry,
+	}
+}
+
+// Map returns the breakdown keyed by the stable snake_case names the
+// serving tier and tmstat expose.
+func (r AbortReasons) Map() map[string]uint64 {
+	return map[string]uint64{
+		"read_certify":      r.ReadCertify,
+		"commit_validation": r.CommitValidation,
+		"lock_busy":         r.LockBusy,
+		"extension":         r.Extension,
+		"budget":            r.Budget,
+		"explicit_retry":    r.ExplicitRetry,
+	}
 }
 
 // AbortRatio returns Aborts / (Commits + Aborts), or 0 for an empty
@@ -72,6 +145,7 @@ func (s Stats) Sub(t Stats) Stats {
 		ClockAdoptions:    s.ClockAdoptions - t.ClockAdoptions,
 		ClockBlockClaims:  s.ClockBlockClaims - t.ClockBlockClaims,
 		RTSAdvances:       s.RTSAdvances - t.RTSAdvances,
+		AbortReasons:      s.AbortReasons.Sub(t.AbortReasons),
 	}
 }
 
@@ -79,8 +153,22 @@ func (s Stats) Sub(t Stats) Stats {
 // selection is a mask.
 const statStripes = 16
 
+// Abort-reason indices into a statShard's reasons array. The array keeps
+// the per-class increment a single indexed Add on the descriptor's own
+// stripe — same discipline as the named counters, no new shared words.
+const (
+	abortReadCertify = iota
+	abortCommitValidation
+	abortLockBusy
+	abortExtension
+	abortBudget
+	abortExplicitRetry
+	nAbortReasons
+)
+
 // statShard is one stripe of counters, padded out to its own cache lines
-// so stripes do not false-share.
+// so stripes do not false-share. The 10 named counters plus the 6 reason
+// counters fill the 128-byte two-line target exactly.
 type statShard struct {
 	commits           atomic.Uint64
 	roCommits         atomic.Uint64
@@ -92,7 +180,8 @@ type statShard struct {
 	clockAdoptions    atomic.Uint64
 	clockBlockClaims  atomic.Uint64
 	rtsAdvances       atomic.Uint64
-	_                 [128 - 10*8]byte
+	reasons           [nAbortReasons]atomic.Uint64
+	_                 [128 - 16*8]byte
 }
 
 var statShards [statStripes]statShard
@@ -120,6 +209,12 @@ func ReadStats() Stats {
 		s.ClockAdoptions += sh.clockAdoptions.Load()
 		s.ClockBlockClaims += sh.clockBlockClaims.Load()
 		s.RTSAdvances += sh.rtsAdvances.Load()
+		s.AbortReasons.ReadCertify += sh.reasons[abortReadCertify].Load()
+		s.AbortReasons.CommitValidation += sh.reasons[abortCommitValidation].Load()
+		s.AbortReasons.LockBusy += sh.reasons[abortLockBusy].Load()
+		s.AbortReasons.Extension += sh.reasons[abortExtension].Load()
+		s.AbortReasons.Budget += sh.reasons[abortBudget].Load()
+		s.AbortReasons.ExplicitRetry += sh.reasons[abortExplicitRetry].Load()
 	}
 	return s
 }

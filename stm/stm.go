@@ -259,6 +259,11 @@ type Tx struct {
 	tt      bool
 	ttHi    uint64
 	ttFloor uint64
+	// latSeq drives commit-latency sampling (see SetLatencySampling):
+	// a descriptor-local sequence compared against latEvery's mask, so sampling
+	// adds no shared word. It survives reset and pool recycling, which
+	// spreads sampling phase across pooled descriptors.
+	latSeq uint32
 	// trec is the test-only trace record of the current attempt (nil
 	// outside tracing tests; see trace.go).
 	trec *traceTxn
@@ -372,7 +377,7 @@ func (tx *Tx) read(v varBase) any {
 				// A commit raced between the word load and the value load;
 				// re-read (the new word is handled like any other state).
 				if attempt >= maxExtendAttempts {
-					tx.abort()
+					tx.abortConflict(abortReadCertify, v)
 				}
 				continue
 			}
@@ -397,8 +402,11 @@ func (tx *Tx) read(v varBase) any {
 			tx.reads = append(tx.reads, readEntry{v: v, ver: lockword.Version(w)})
 			return b.val
 		}
-		if lockword.Locked(w) || attempt >= maxExtendAttempts {
-			tx.abort() // mid-commit elsewhere; extension cannot see past a lock
+		if lockword.Locked(w) {
+			tx.abortConflict(abortLockBusy, v) // mid-commit elsewhere; extension cannot see past a lock
+		}
+		if attempt >= maxExtendAttempts {
+			tx.abortConflict(abortReadCertify, v)
 		}
 		// The Var committed past our read version — the stale-clock case
 		// that plain TL2 aborts on. If no read has actually been
@@ -407,7 +415,7 @@ func (tx *Tx) read(v varBase) any {
 		// clock), then revalidate and advance rv.
 		helpClock(lockword.Version(w))
 		if !tx.extend() {
-			tx.abort()
+			tx.abortConflict(abortExtension, v)
 		}
 	}
 }
@@ -432,7 +440,7 @@ func (tx *Tx) readRO(v varBase) any {
 			b := v.loadBox()
 			if v.lockWord() != w {
 				if attempt >= maxExtendAttempts {
-					tx.abort()
+					tx.abortConflict(abortReadCertify, v)
 				}
 				continue
 			}
@@ -443,8 +451,11 @@ func (tx *Tx) readRO(v varBase) any {
 			tx.syncAt(syncpoint.PostReadCertify)
 			return b.val
 		}
-		if lockword.Locked(w) || attempt >= maxExtendAttempts {
-			tx.abort() // mid-commit elsewhere; the RO path never waits it out
+		if lockword.Locked(w) {
+			tx.abortConflict(abortLockBusy, v) // mid-commit elsewhere; the RO path never waits it out
+		}
+		if attempt >= maxExtendAttempts {
+			tx.abortConflict(abortReadCertify, v)
 		}
 		// Stale read version. Help the clock cover it first (under GV6
 		// versions run ahead of the clock), so that even if this attempt
@@ -452,7 +463,7 @@ func (tx *Tx) readRO(v varBase) any {
 		// path's sequential-progress obligation under GV6.
 		helpClock(lockword.Version(w))
 		if tx.roReads > 0 || !extensionEnabled.Load() {
-			tx.abort()
+			tx.abortConflict(abortReadCertify, v)
 		}
 		tx.rv = clock.Load()
 		tx.stat().extensions.Add(1)
@@ -501,7 +512,9 @@ func (tx *Tx) write(v varBase, val any) {
 		// none, demotion is free and the attempt continues in place.
 		tx.ro, tx.promoted, tx.demoted = false, false, true
 		if tx.roReads > 0 {
-			tx.abort()
+			// Certified-but-unlogged RO reads cannot be validated on the full
+			// pipeline; the restart is a read-certification casualty.
+			tx.abortConflict(abortReadCertify, v)
 		}
 	}
 	if tx.metered {
@@ -579,13 +592,17 @@ func (tx *Tx) Retry() {
 	if tx.ro {
 		if tx.promoted {
 			tx.ro, tx.promoted, tx.demoted = false, false, true
-			tx.abort()
+			tx.abortConflict(abortExplicitRetry, nil)
 		}
 		panic("stm: Retry inside AtomicallyRO would sleep forever (the read-only fast path records no read set to wait on)")
 	}
 	if len(tx.reads) == 0 {
 		panic("stm: Retry with an empty read set would sleep forever")
 	}
+	// Taxonomy only: a parked Retry is not counted in Stats.Aborts (the
+	// attempt loop waits instead of spinning), but operators still want
+	// to see how much of the workload is blocking on state changes.
+	tx.stat().reasons[abortExplicitRetry].Add(1)
 	panic(waitSignal{})
 }
 
@@ -609,25 +626,27 @@ func (tx *Tx) ownsLock(v varBase) bool {
 // committer holds a lock it is about to release with the version unchanged
 // (its own commit failed); a version mismatch is a real conflict and fails
 // immediately.
-func (tx *Tx) validateCommit() bool {
+// It returns the read-set Var that failed (for contention attribution);
+// nil on success.
+func (tx *Tx) validateCommit() (varBase, bool) {
 	for attempt := 0; ; attempt++ {
-		foreignLocked := false
+		var foreignLocked varBase
 		for i := range tx.reads {
 			r := &tx.reads[i]
 			w := r.v.lockWord()
 			if lockword.Version(w) != r.ver {
-				return false
+				return r.v, false
 			}
 			if lockword.Locked(w) && !tx.ownsLock(r.v) {
-				foreignLocked = true
+				foreignLocked = r.v
 				break
 			}
 		}
-		if !foreignLocked {
-			return true
+		if foreignLocked == nil {
+			return nil, true
 		}
 		if attempt >= 1 {
-			return false
+			return foreignLocked, false
 		}
 		runtime.Gosched()
 	}
@@ -666,14 +685,18 @@ func (tx *Tx) commit() bool {
 	}
 	if locked != len(tx.writes) {
 		releaseLocked(locked)
+		tx.noteAbort(abortLockBusy, tx.writes[locked].v)
 		return false
 	}
 	tx.syncAt(syncpoint.PostLock)
 	tx.syncAt(syncpoint.PreClockStamp)
 	wv, quiescent := tx.advanceClock()
-	if !quiescent && !tx.validateCommit() {
-		releaseLocked(locked)
-		return false
+	if !quiescent {
+		if bad, ok := tx.validateCommit(); !ok {
+			releaseLocked(locked)
+			tx.noteAbort(abortCommitValidation, bad)
+			return false
+		}
 	}
 	tx.syncAt(syncpoint.PrePublish)
 	for i := range tx.writes {
@@ -758,6 +781,15 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	// Commit-latency sampling (see SetLatencySampling): off = one atomic
+	// load and a branch; a sampled call pays one time.Now pair.
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// A panic escaping fn must not strand the pooled descriptor. No
@@ -791,6 +823,10 @@ func atomically(ctx context.Context, fn func(tx *Tx) error) error {
 				tx.stat().commits.Add(1)
 				if tx.ro {
 					tx.stat().roCommits.Add(1)
+				}
+				if !latStart.IsZero() {
+					commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+					attemptsPerCommit.Observe(uint64(attempt) + 1)
 				}
 				tx.traceEnd(true)
 				tx.release()
@@ -862,6 +898,13 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 		tx.sync = syncHook
 	}
 	tx.beginBudget()
+	var latStart time.Time
+	if p := latEvery.Load(); p != 0 {
+		tx.latSeq++
+		if uint64(tx.latSeq)&(p-1) == 0 {
+			latStart = time.Now()
+		}
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			// As in atomically: recycle the descriptor under a user panic.
@@ -892,6 +935,10 @@ func atomicallyRO(ctx context.Context, fn func(tx *Tx) error) error {
 			}
 			tx.stat().commits.Add(1)
 			tx.stat().roCommits.Add(1)
+			if !latStart.IsZero() {
+				commitLatency.Observe(uint64(time.Since(latStart).Microseconds()))
+				attemptsPerCommit.Observe(uint64(attempt) + 1)
+			}
 			tx.traceEnd(true)
 			tx.release()
 			return nil

@@ -148,13 +148,13 @@ func (tx *Tx) ttRead(v varBase) any {
 	for attempt := 0; ; attempt++ {
 		w := v.lockWord()
 		if lockword.Locked(w) {
-			tx.abort() // mid-commit elsewhere
+			tx.abortConflict(abortLockBusy, v) // mid-commit elsewhere
 		}
 		pl := lockword.Version(w)
 		b := v.loadBox()
 		if v.lockWord() != w {
 			if attempt >= maxExtendAttempts {
-				tx.abort()
+				tx.abortConflict(abortReadCertify, v)
 			}
 			continue
 		}
@@ -185,7 +185,7 @@ func (tx *Tx) ttRead(v varBase) any {
 			return b.val
 		}
 		if attempt >= maxExtendAttempts {
-			tx.abort()
+			tx.abortConflict(abortReadCertify, v)
 		}
 		// Empty intersection. Exactly one of the two repairs applies (rts ≥
 		// wts and ttHi ≥ tx.rv rule out both at once).
@@ -193,10 +193,10 @@ func (tx *Tx) ttRead(v varBase) any {
 			// This version was installed past our interval: raise the floor,
 			// sweeping the prior entries' rts forward.
 			if !tx.ttAdvancePriors(wts) {
-				tx.abort()
+				tx.abortConflict(abortExtension, v)
 			}
 		} else if !tx.ttAdvanceVar(v, tx.rv) {
-			tx.abort()
+			tx.abortConflict(abortReadCertify, v)
 		}
 	}
 }
@@ -215,13 +215,13 @@ func (tx *Tx) ttReadRO(v varBase) any {
 	for attempt := 0; ; attempt++ {
 		w := v.lockWord()
 		if lockword.Locked(w) {
-			tx.abort()
+			tx.abortConflict(abortLockBusy, v)
 		}
 		pl := lockword.Version(w)
 		b := v.loadBox()
 		if v.lockWord() != w {
 			if attempt >= maxExtendAttempts {
-				tx.abort()
+				tx.abortConflict(abortReadCertify, v)
 			}
 			continue
 		}
@@ -243,14 +243,14 @@ func (tx *Tx) ttReadRO(v varBase) any {
 			return b.val
 		}
 		if attempt >= maxExtendAttempts {
-			tx.abort()
+			tx.abortConflict(abortReadCertify, v)
 		}
 		if wts > tx.ttHi {
 			if tx.roReads > 0 {
 				// Seed the retry's floor at the version that outran us, so the
 				// replay advances stale rts values instead of re-aborting.
 				tx.ttFloor = wts
-				tx.abort()
+				tx.abortConflict(abortReadCertify, v)
 			}
 			// No certified reads yet: adopting the version's own interval is
 			// a re-begin, exactly like readRO's first-read extension.
@@ -264,7 +264,7 @@ func (tx *Tx) ttReadRO(v varBase) any {
 			return b.val
 		}
 		if !tx.ttAdvanceVar(v, tx.rv) {
-			tx.abort()
+			tx.abortConflict(abortReadCertify, v)
 		}
 	}
 }
@@ -301,6 +301,7 @@ func (tx *Tx) ttCommit() bool {
 	}
 	if locked != len(tx.writes) {
 		releaseLocked(locked)
+		tx.noteAbort(abortLockBusy, tx.writes[locked].v)
 		return false
 	}
 	tx.syncAt(syncpoint.PostLock)
@@ -330,6 +331,7 @@ func (tx *Tx) ttCommit() bool {
 			// serializes at cts⁻ with no rts advance needed.
 			if ttWts(tx.writes[j].prev) != ttWts(r.ver) {
 				releaseLocked(locked)
+				tx.noteAbort(abortCommitValidation, r.v)
 				return false
 			}
 			continue
@@ -338,10 +340,12 @@ func (tx *Tx) ttCommit() bool {
 		pl := lockword.Version(w)
 		if lockword.Locked(w) || ttWts(pl) != ttWts(r.ver) {
 			releaseLocked(locked)
+			tx.noteAbort(abortCommitValidation, r.v)
 			return false
 		}
 		if ttRts(pl) < cts && !tx.ttAdvanceVar(r.v, cts) {
 			releaseLocked(locked)
+			tx.noteAbort(abortCommitValidation, r.v)
 			return false
 		}
 	}
